@@ -1,0 +1,38 @@
+//! Criterion micro-benchmark: single-test cost of each oracle (the
+//! microscopic view of Table 3's throughput column).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use coddb::{Database, Dialect};
+use coddtest::{make_oracle, Session};
+use sqlgen::state::generate_state;
+use sqlgen::GenConfig;
+
+fn bench_oracles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oracle_one_test");
+    for name in ["codd", "codd-expression", "codd-subquery", "norec", "tlp", "dqe", "eet"] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, name| {
+            // Fixed state, fresh rng stream per iteration batch.
+            let mut rng = StdRng::seed_from_u64(42);
+            let (stmts, schema) = generate_state(&mut rng, Dialect::Sqlite, &GenConfig::default());
+            let mut db = Database::new(Dialect::Sqlite);
+            for s in &stmts {
+                db.execute(s).unwrap();
+            }
+            let mut oracle = make_oracle(name).unwrap();
+            let mut session = Session::new(&mut db);
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut trng = StdRng::seed_from_u64(seed);
+                std::hint::black_box(oracle.run_one(&mut session, &schema, &mut trng))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_oracles);
+criterion_main!(benches);

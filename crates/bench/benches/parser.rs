@@ -1,0 +1,43 @@
+//! Criterion micro-benchmark: lexing + parsing throughput on the paper's
+//! listing-style SQL.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+const SCRIPT: &str = "
+CREATE TABLE t0 (c0 INT, c1 TEXT, c2 REAL);
+INSERT INTO t0 VALUES (1, 'a', 1.5), (2, 'b', 2.5), (NULL, 'c', NULL);
+CREATE INDEX i0 ON t0 (c0 > 0);
+CREATE VIEW v0 (c0) AS SELECT AVG(t0.c0) FROM t0 GROUP BY 1 > t0.c0;
+SELECT COUNT(*) FROM t0 INDEXED BY i0 WHERE (SELECT COUNT(*) FROM v0 WHERE v0.c0 BETWEEN 0 AND 0);
+WITH t2 AS (SELECT NULL AS b) SELECT t0.c1 FROM t0, t2 WHERE t0.c0 NOT BETWEEN t0.c0 AND \
+  (CASE WHEN NULL THEN t2.b ELSE t0.c2 END);
+SELECT x.c0 FROM t0 AS x WHERE x.c2 > (SELECT AVG(y.c2) FROM t0 AS y WHERE x.c0 = y.c0);
+UPDATE t0 SET c1 = 'z' WHERE c0 IN (1, 862827606027206657);
+DELETE FROM t0 WHERE c1 LIKE 'a%' OR c0 IS NULL;
+";
+
+fn bench_parser(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parser");
+    group.throughput(Throughput::Bytes(SCRIPT.len() as u64));
+    group.bench_function("parse_script", |b| {
+        b.iter(|| std::hint::black_box(coddb::parser::parse_statements(SCRIPT).unwrap()))
+    });
+    group.bench_function("lex_script", |b| {
+        b.iter(|| std::hint::black_box(coddb::parser::lex(SCRIPT).unwrap()))
+    });
+    // Render round trip.
+    let stmts = coddb::parser::parse_statements(SCRIPT).unwrap();
+    group.bench_function("render_script", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for s in &stmts {
+                total += std::hint::black_box(s.to_string()).len();
+            }
+            total
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_parser);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Development probe: which logic mutants does each oracle detect, and
+//! how fast? Used to validate the Table 2 detectability matrix.
+
+use coddb::bugs::{BaselineOracle, BugId};
+use coddtest::runner::detects_bug;
+
+fn main() {
+    let budget: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2000);
+    let oracles = ["codd", "norec", "tlp", "dqe"];
+    println!("{:<42} {:>8} {:>8} {:>8} {:>8}  expected", "bug", "codd", "norec", "tlp", "dqe");
+    for bug in BugId::logic_bugs() {
+        print!("{:<42}", bug.name());
+        for oracle in oracles {
+            let hit = detects_bug(oracle, bug, budget, 1);
+            match hit {
+                Some((tests, _)) => print!(" {tests:>8}"),
+                None => print!("        -"),
+            }
+        }
+        let expected: Vec<&str> = bug
+            .baseline_detectable()
+            .iter()
+            .map(|o| match o {
+                BaselineOracle::NoRec => "norec",
+                BaselineOracle::Tlp => "tlp",
+                BaselineOracle::Dqe => "dqe",
+            })
+            .collect();
+        println!("  [{}]", expected.join(","));
+    }
+}

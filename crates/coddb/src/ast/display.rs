@@ -1,0 +1,474 @@
+//! SQL rendering.
+//!
+//! Renders the AST back to SQL text. Composite expressions are always
+//! parenthesized — the same defensive style SQLancer emits (visible in the
+//! paper's listings) — so rendering never depends on precedence and the
+//! text round-trips through [`crate::parser`].
+
+use std::fmt;
+
+use super::{
+    AggFunc, BinaryOp, ColumnRef, CompareOp, Cte, Expr, InsertSource, JoinKind, OrderItem,
+    Quantifier, Select, SelectBody, SelectCore, SelectItem, SortOrder, Statement, TableExpr,
+    UnaryOp,
+};
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.table {
+            Some(t) => write!(f, "{t}.{}", self.column),
+            None => f.write_str(&self.column),
+        }
+    }
+}
+
+impl fmt::Display for UnaryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            UnaryOp::Neg => "-",
+            UnaryOp::Not => "NOT ",
+        })
+    }
+}
+
+impl fmt::Display for BinaryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::Div => "/",
+            BinaryOp::Mod => "%",
+            BinaryOp::Concat => "||",
+            BinaryOp::Eq => "=",
+            BinaryOp::Ne => "<>",
+            BinaryOp::Lt => "<",
+            BinaryOp::Le => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::Ge => ">=",
+            BinaryOp::And => "AND",
+            BinaryOp::Or => "OR",
+            BinaryOp::Is => "IS",
+            BinaryOp::IsNot => "IS NOT",
+        })
+    }
+}
+
+impl fmt::Display for CompareOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_binary())
+    }
+}
+
+impl fmt::Display for Quantifier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Quantifier::Any => "ANY",
+            Quantifier::All => "ALL",
+        })
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Literal(v) => f.write_str(&v.to_sql()),
+            Expr::Column(c) => write!(f, "{c}"),
+            Expr::Unary { op, expr } => write!(f, "({op}{expr})"),
+            Expr::Binary { op, left, right } => write!(f, "({left} {op} {right})"),
+            Expr::Between { expr, low, high, negated } => {
+                write!(f, "({expr} {}BETWEEN {low} AND {high})", if *negated { "NOT " } else { "" })
+            }
+            Expr::InList { expr, list, negated } => {
+                write!(f, "({expr} {}IN (", if *negated { "NOT " } else { "" })?;
+                join_exprs(f, list)?;
+                f.write_str("))")
+            }
+            Expr::InSubquery { expr, query, negated } => {
+                write!(f, "({expr} {}IN ({query}))", if *negated { "NOT " } else { "" })
+            }
+            Expr::Exists { query, negated } => {
+                write!(f, "({}EXISTS ({query}))", if *negated { "NOT " } else { "" })
+            }
+            Expr::Scalar(query) => write!(f, "({query})"),
+            Expr::Quantified { op, quantifier, expr, query } => {
+                write!(f, "({expr} {op} {quantifier} ({query}))")
+            }
+            Expr::Case { operand, whens, else_expr } => {
+                f.write_str("(CASE")?;
+                if let Some(op) = operand {
+                    write!(f, " {op}")?;
+                }
+                for (w, t) in whens {
+                    write!(f, " WHEN {w} THEN {t}")?;
+                }
+                if let Some(e) = else_expr {
+                    write!(f, " ELSE {e}")?;
+                }
+                f.write_str(" END)")
+            }
+            Expr::Func { func, args } => {
+                write!(f, "{}(", func.sql_name())?;
+                join_exprs(f, args)?;
+                f.write_str(")")
+            }
+            Expr::Agg { func, arg, distinct } => {
+                if *func == AggFunc::CountStar {
+                    return f.write_str("COUNT(*)");
+                }
+                write!(f, "{}(", func.sql_name())?;
+                if *distinct {
+                    f.write_str("DISTINCT ")?;
+                }
+                if let Some(a) = arg {
+                    write!(f, "{a}")?;
+                }
+                f.write_str(")")
+            }
+            Expr::Cast { expr, ty } => write!(f, "CAST({expr} AS {ty})"),
+            Expr::IsNull { expr, negated } => {
+                write!(f, "({expr} IS {}NULL)", if *negated { "NOT " } else { "" })
+            }
+            Expr::Like { expr, pattern, negated } => {
+                write!(f, "({expr} {}LIKE {pattern})", if *negated { "NOT " } else { "" })
+            }
+        }
+    }
+}
+
+fn join_exprs(f: &mut fmt::Formatter<'_>, exprs: &[Expr]) -> fmt::Result {
+    for (i, e) in exprs.iter().enumerate() {
+        if i > 0 {
+            f.write_str(", ")?;
+        }
+        write!(f, "{e}")?;
+    }
+    Ok(())
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectItem::Wildcard => f.write_str("*"),
+            SelectItem::TableWildcard(t) => write!(f, "{t}.*"),
+            SelectItem::Expr { expr, alias } => match alias {
+                Some(a) => write!(f, "{expr} AS {a}"),
+                None => write!(f, "{expr}"),
+            },
+        }
+    }
+}
+
+impl fmt::Display for TableExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableExpr::Named { name, alias, indexed_by } => {
+                f.write_str(name)?;
+                if let Some(a) = alias {
+                    write!(f, " AS {a}")?;
+                }
+                if let Some(i) = indexed_by {
+                    write!(f, " INDEXED BY {i}")?;
+                }
+                Ok(())
+            }
+            TableExpr::Derived { query, alias } => write!(f, "({query}) AS {alias}"),
+            TableExpr::Values { rows, alias, columns } => {
+                f.write_str("(VALUES ")?;
+                write_value_rows(f, rows)?;
+                write!(f, ") AS {alias}")?;
+                if !columns.is_empty() {
+                    write!(f, " ({})", columns.join(", "))?;
+                }
+                Ok(())
+            }
+            TableExpr::Join { left, right, kind, on } => {
+                write!(f, "{left} {} {right}", kind.sql_name())?;
+                if let Some(on) = on {
+                    write!(f, " ON {on}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+fn write_value_rows(f: &mut fmt::Formatter<'_>, rows: &[Vec<Expr>]) -> fmt::Result {
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            f.write_str(", ")?;
+        }
+        f.write_str("(")?;
+        join_exprs(f, row)?;
+        f.write_str(")")?;
+    }
+    Ok(())
+}
+
+impl fmt::Display for Cte {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)?;
+        if !self.columns.is_empty() {
+            write!(f, " ({})", self.columns.join(", "))?;
+        }
+        write!(f, " AS ({})", self.query)
+    }
+}
+
+impl fmt::Display for SelectCore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SELECT ")?;
+        if self.distinct {
+            f.write_str("DISTINCT ")?;
+        }
+        for (i, item) in self.items.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        if let Some(from) = &self.from {
+            write!(f, " FROM {from}")?;
+        }
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        if !self.group_by.is_empty() {
+            f.write_str(" GROUP BY ")?;
+            join_exprs(f, &self.group_by)?;
+        }
+        if let Some(h) = &self.having {
+            write!(f, " HAVING {h}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for SelectBody {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectBody::Core(core) => write!(f, "{core}"),
+            SelectBody::SetOp { op, all, left, right } => {
+                write!(f, "{left} {}{} {right}", op.sql_name(), if *all { " ALL" } else { "" })
+            }
+            SelectBody::Values(rows) => {
+                f.write_str("VALUES ")?;
+                write_value_rows(f, rows)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Select {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.with.is_empty() {
+            f.write_str("WITH ")?;
+            for (i, cte) in self.with.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{cte}")?;
+            }
+            f.write_str(" ")?;
+        }
+        write!(f, "{}", self.body)?;
+        if !self.order_by.is_empty() {
+            f.write_str(" ORDER BY ")?;
+            for (i, item) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{item}")?;
+            }
+        }
+        if let Some(l) = &self.limit {
+            write!(f, " LIMIT {l}")?;
+        }
+        if let Some(o) = &self.offset {
+            write!(f, " OFFSET {o}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for OrderItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.expr)?;
+        match self.order {
+            SortOrder::Asc => f.write_str(" ASC"),
+            SortOrder::Desc => f.write_str(" DESC"),
+        }
+    }
+}
+
+impl fmt::Display for JoinKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.sql_name())
+    }
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::CreateTable { name, columns, if_not_exists } => {
+                write!(
+                    f,
+                    "CREATE TABLE {}{name} (",
+                    if *if_not_exists { "IF NOT EXISTS " } else { "" }
+                )?;
+                for (i, c) in columns.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    f.write_str(&c.name)?;
+                    if c.ty != crate::value::DataType::Any {
+                        write!(f, " {}", c.ty)?;
+                    }
+                    if c.not_null {
+                        f.write_str(" NOT NULL")?;
+                    }
+                }
+                f.write_str(")")
+            }
+            Statement::DropTable { name, if_exists } => {
+                write!(f, "DROP TABLE {}{name}", if *if_exists { "IF EXISTS " } else { "" })
+            }
+            Statement::CreateView { name, columns, query } => {
+                write!(f, "CREATE VIEW {name}")?;
+                if !columns.is_empty() {
+                    write!(f, " ({})", columns.join(", "))?;
+                }
+                write!(f, " AS {query}")
+            }
+            Statement::CreateIndex { name, table, expr, unique } => {
+                write!(
+                    f,
+                    "CREATE {}INDEX {name} ON {table} ({expr})",
+                    if *unique { "UNIQUE " } else { "" }
+                )
+            }
+            Statement::Insert { table, columns, source } => {
+                write!(f, "INSERT INTO {table}")?;
+                if !columns.is_empty() {
+                    write!(f, " ({})", columns.join(", "))?;
+                }
+                match source {
+                    InsertSource::Values(rows) => {
+                        f.write_str(" VALUES ")?;
+                        write_value_rows(f, rows)
+                    }
+                    InsertSource::Query(q) => write!(f, " {q}"),
+                }
+            }
+            Statement::Update { table, sets, where_clause } => {
+                write!(f, "UPDATE {table} SET ")?;
+                for (i, (c, e)) in sets.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{c} = {e}")?;
+                }
+                if let Some(w) = where_clause {
+                    write!(f, " WHERE {w}")?;
+                }
+                Ok(())
+            }
+            Statement::Delete { table, where_clause } => {
+                write!(f, "DELETE FROM {table}")?;
+                if let Some(w) = where_clause {
+                    write!(f, " WHERE {w}")?;
+                }
+                Ok(())
+            }
+            Statement::Select(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{AggFunc, SelectCore};
+    use crate::value::Value;
+
+    #[test]
+    fn renders_listing1_style_query() {
+        // SELECT COUNT(*) FROM t0 WHERE (...)
+        let subq = Select::from_core(SelectCore {
+            items: vec![SelectItem::Expr { expr: Expr::count_star(), alias: None }],
+            from: Some(TableExpr::named("v0")),
+            where_clause: Some(Expr::Between {
+                expr: Box::new(Expr::col("v0", "c0")),
+                low: Box::new(Expr::lit(0i64)),
+                high: Box::new(Expr::lit(0i64)),
+                negated: false,
+            }),
+            ..SelectCore::default()
+        });
+        let outer = Select::from_core(SelectCore {
+            items: vec![SelectItem::Expr { expr: Expr::count_star(), alias: None }],
+            from: Some(TableExpr::Named {
+                name: "t0".into(),
+                alias: None,
+                indexed_by: Some("i0".into()),
+            }),
+            where_clause: Some(Expr::Scalar(Box::new(subq))),
+            ..SelectCore::default()
+        });
+        let sql = outer.to_string();
+        assert_eq!(
+            sql,
+            "SELECT COUNT(*) FROM t0 INDEXED BY i0 WHERE \
+             (SELECT COUNT(*) FROM v0 WHERE (v0.c0 BETWEEN 0 AND 0))"
+        );
+    }
+
+    #[test]
+    fn renders_case_mapping() {
+        let case = Expr::Case {
+            operand: None,
+            whens: vec![(Expr::eq(Expr::col("t0", "c0"), Expr::lit(-1i64)), Expr::lit(0i64))],
+            else_expr: Some(Box::new(Expr::lit(1i64))),
+        };
+        assert_eq!(case.to_string(), "(CASE WHEN (t0.c0 = -1) THEN 0 ELSE 1 END)");
+    }
+
+    #[test]
+    fn renders_values_table() {
+        let te = TableExpr::Values {
+            rows: vec![vec![Expr::lit(1i64), Expr::lit("a")]],
+            alias: "ft0".into(),
+            columns: vec!["c0".into(), "c1".into()],
+        };
+        assert_eq!(te.to_string(), "(VALUES (1, 'a')) AS ft0 (c0, c1)");
+    }
+
+    #[test]
+    fn renders_agg_and_quantified() {
+        let agg = Expr::Agg {
+            func: AggFunc::Avg,
+            arg: Some(Box::new(Expr::col("t", "score"))),
+            distinct: true,
+        };
+        assert_eq!(agg.to_string(), "AVG(DISTINCT t.score)");
+        let q = Expr::Quantified {
+            op: CompareOp::Ge,
+            quantifier: Quantifier::All,
+            expr: Box::new(Expr::lit(3i64)),
+            query: Box::new(Select::scalar_probe(Expr::lit(Value::Int(1)))),
+        };
+        assert_eq!(q.to_string(), "(3 >= ALL (SELECT 1))");
+    }
+
+    #[test]
+    fn renders_statements() {
+        let stmt = Statement::Update {
+            table: "t0".into(),
+            sets: vec![("c0".into(), Expr::lit(5i64))],
+            where_clause: Some(Expr::is_null(Expr::bare_col("c1"))),
+        };
+        assert_eq!(stmt.to_string(), "UPDATE t0 SET c0 = 5 WHERE (c1 IS NULL)");
+        let del = Statement::Delete { table: "t0".into(), where_clause: None };
+        assert_eq!(del.to_string(), "DELETE FROM t0");
+    }
+}

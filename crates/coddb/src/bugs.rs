@@ -1,0 +1,571 @@
+//! Injectable bug mutants.
+//!
+//! The paper found 45 previously-unknown bugs in five DBMSs (Table 1):
+//! 24 logic bugs, 14 internal errors, 2 crashes and 5 hangs. Since this
+//! reproduction cannot re-find bugs in the real systems offline, CoddDB
+//! carries 45 *injectable mutants*, one per bug class, each modelled on a
+//! bug the paper describes (Listings 1 and 6–11 are all represented).
+//!
+//! Every mutant is **context-sensitive**: it corrupts behaviour only under
+//! specific query shapes (clause, statement kind, optimizer decisions,
+//! expression shape), exactly like real planner/executor bugs. This is what
+//! makes the oracle comparison meaningful — folding an expression (CODDTest)
+//! changes the context and un-triggers the mutant, while the baselines'
+//! rewrites only escape a characteristic subset:
+//!
+//! * **NoREC** detects a mutant iff the corruption differs between the
+//!   WHERE-filter path and the projection path (or between optimized and
+//!   unoptimized plans).
+//! * **TLP** detects a mutant iff the corruption is shape-sensitive enough
+//!   that `NOT p` / `p IS NULL` wrappers change whether it fires, or it
+//!   corrupts aggregation/DISTINCT.
+//! * **DQE** detects a mutant iff the corruption differs across
+//!   SELECT/UPDATE/DELETE.
+//!
+//! The resulting detectability matrix reproduces Table 2 of the paper:
+//! NoREC 11, TLP 12, DQE 4, and 11 logic bugs only CODDTest can find.
+
+use std::collections::BTreeSet;
+
+use crate::dialect::Dialect;
+
+/// Kind of injected bug, matching the paper's Table 1 categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BugKind {
+    Logic,
+    InternalError,
+    Crash,
+    Hang,
+}
+
+impl BugKind {
+    pub fn label(self) -> &'static str {
+        match self {
+            BugKind::Logic => "logic",
+            BugKind::InternalError => "internal error",
+            BugKind::Crash => "crash",
+            BugKind::Hang => "hang",
+        }
+    }
+}
+
+/// Baseline oracles used in the paper's Table 2 comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BaselineOracle {
+    NoRec,
+    Tlp,
+    Dqe,
+}
+
+/// Every injectable bug. Names are prefixed by the dialect whose emulated
+/// system exhibited the modelled bug.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(clippy::enum_variant_names)]
+pub enum BugId {
+    // ---------------- SQLite: 6 logic + 1 internal -----------------------
+    /// Listing 1: WHERE contains an aggregate subquery with GROUP BY while
+    /// the outer scan is indexed; the subquery's value is misevaluated.
+    SqliteAggSubqueryIndexedWhere,
+    /// Listing 8: an `EXISTS` over an empty result used as a JOIN `ON`
+    /// predicate is treated as TRUE.
+    SqliteExistsJoinOnEmpty,
+    /// Second ON-clause bug: an `ON` predicate that references only
+    /// view-sourced columns under an outer join is treated as TRUE.
+    SqliteJoinOnViewLeftTrue,
+    /// Under an index scan, a comparison that evaluates to NULL keeps the
+    /// row (optimized SELECT only).
+    SqliteIndexedCmpNullTrue,
+    /// Top-level `BETWEEN` on a TEXT value with numeric bounds wrongly
+    /// applies numeric affinity in the WHERE of a SELECT (the correct
+    /// storage-class comparison places TEXT above all numbers).
+    SqliteBetweenTextAffinity,
+    /// Top-level `LIKE` in the WHERE of a SELECT matches case-sensitively
+    /// (SQLite's LIKE is ASCII case-insensitive).
+    SqliteLikeCaseFold,
+    /// `||` applied to TEXT and REAL inside an indexed-expression
+    /// evaluation raises an internal error.
+    SqliteInternalConcatIndexedExpr,
+
+    // ---------------- MySQL: 1 logic + 1 internal ------------------------
+    /// The 14-year-latency bug class: a top-level TEXT-vs-INT comparison in
+    /// a WHERE filter compares bytes instead of coercing numerically.
+    /// (In UPDATE/DELETE the same comparison raises a semantic error, so
+    /// DQE cannot observe the logic bug — §4.2.)
+    MysqlTextIntCompareWhere,
+    /// UNION between INT and TEXT columns fails type unification with an
+    /// internal error.
+    MysqlInternalUnionTypeUnify,
+
+    // ------- CockroachDB: 7 logic + 4 internal + 2 hang ------------------
+    /// Listing 7: a searched CASE whose WHEN condition is literal NULL
+    /// takes the THEN branch — but only when the CASE reads a column
+    /// sourced from a CTE.
+    CockroachCaseNullFromCte,
+    /// `expr op ANY (subquery)` evaluates with ALL semantics unless the
+    /// subquery is a bare VALUES list.
+    CockroachAnyNonValuesSubquery,
+    /// AVG evaluated inside a nested subquery accumulates in reverse row
+    /// order with float32 rounding (the paper's argument-order AVG bug).
+    CockroachAvgNestedReverse,
+    /// Listing 9: an IN value list containing an INT8-range literal makes
+    /// the whole IN evaluate to FALSE, in SELECT statements only.
+    CockroachInBigIntValueList,
+    /// The optimizer constant-folds `x NOT BETWEEN a AND b` with a NULL
+    /// bound to TRUE when the query has a join.
+    CockroachConstFoldNotBetweenNull,
+    /// A top-level AND whose arm evaluates NULL keeps the row in WHERE
+    /// filters (all statements).
+    CockroachAndNullTopConjunct,
+    /// A top-level OR with a constant-FALSE left arm short-circuits the
+    /// whole filter to FALSE in SELECT WHERE filters.
+    CockroachOrShortCircuitFalse,
+    /// `%` with a negative right operand under constant folding.
+    CockroachInternalNegMod,
+    /// `t.*` wildcard expansion under a FULL OUTER JOIN.
+    CockroachInternalFullJoinWildcard,
+    /// INTERSECT over rows containing NULL.
+    CockroachInternalIntersectNull,
+    /// Strict CAST of a non-numeric TEXT to INT raises internal error
+    /// instead of a clean conversion error.
+    CockroachInternalCastTextInt,
+    /// A CTE referenced twice in the same FROM clause loops the executor.
+    CockroachHangCteReuse,
+    /// FULL OUTER JOIN combined with HAVING loops the executor.
+    CockroachHangFullJoinHaving,
+
+    // ------- DuckDB: 5 logic + 2 internal + 2 crash + 3 hang -------------
+    /// A scalar subquery's result is coerced through the wrong type before
+    /// a comparison: booleans invert, integers come back sign-flipped.
+    DuckdbSubqueryBoolCoerce,
+    /// A CASE with a subquery in a THEN arm incorrectly takes the ELSE arm.
+    DuckdbCaseSubqueryElse,
+    /// SELECT DISTINCT combined with GROUP BY drops the last group.
+    DuckdbDistinctGroupByDrop,
+    /// Filter pushdown below the right side of a LEFT JOIN removes
+    /// NULL-padded rows.
+    DuckdbPushdownLeftJoin,
+    /// Top-level `NOT LIKE` in WHERE filters evaluates as plain LIKE.
+    DuckdbNotLikeTopLevel,
+    /// Listing 11: integer-addition overflow in a projection raises an
+    /// internal error instead of a clean overflow error.
+    DuckdbInternalOverflowAddProj,
+    /// GROUP BY on a REAL key with more than two distinct groups.
+    DuckdbInternalGroupByRealMany,
+    /// IEJoin crash #1: a join ON with two inequality conditions
+    /// (index out of bounds in the paper).
+    DuckdbCrashIEJoinRange,
+    /// IEJoin crash #2: an inequality join mixing INT and REAL operands
+    /// (type mismatch in the paper).
+    DuckdbCrashIEJoinTypes,
+    /// Three or more chained joins loop the executor.
+    DuckdbHangTripleJoin,
+    /// UNION (distinct) under a DISTINCT select loops the executor.
+    DuckdbHangDistinctUnion,
+    /// A LIKE pattern with three consecutive `%` wildcards loops the
+    /// matcher.
+    DuckdbHangLikePercents,
+
+    // ---------------- TiDB: 5 logic + 6 internal -------------------------
+    /// Listing 6: INSERT ... SELECT whose WHERE calls VERSION() inserts
+    /// nothing although the SELECT returns rows.
+    TidbInsertSelectVersion,
+    /// A non-correlated subquery whose column names collide with the outer
+    /// query is misinterpreted as correlated.
+    TidbCorrelatedNameCollision,
+    /// AVG(DISTINCT x) inside a nested subquery returns 0 instead of NULL
+    /// for empty input.
+    TidbAvgDistinctNestedZero,
+    /// Listing 10: a top-level IN value list in WHERE filters evaluates to
+    /// FALSE (consistently across statements, so DQE misses it).
+    TidbInValueListWhere,
+    /// Top-level `IS NULL` over a non-literal operand is inverted in WHERE
+    /// filters.
+    TidbIsNullTopLevelInverted,
+    /// LIKE pattern ending in an escape character.
+    TidbInternalLikeEscape,
+    /// SUBSTR with a negative start index.
+    TidbInternalSubstrNegative,
+    /// ROUND with a precision argument larger than 10.
+    TidbInternalRoundHuge,
+    /// CASE expressions with more than eight WHEN arms.
+    TidbInternalCaseManyWhens,
+    /// A correlated subquery under HAVING fails decorrelation.
+    TidbInternalHavingCorrelated,
+    /// A set operation combined with positional ORDER BY.
+    TidbInternalSetOpOrderBy,
+}
+
+impl BugId {
+    /// Every injectable bug, in a stable order.
+    pub const ALL: [BugId; 45] = [
+        BugId::SqliteAggSubqueryIndexedWhere,
+        BugId::SqliteExistsJoinOnEmpty,
+        BugId::SqliteJoinOnViewLeftTrue,
+        BugId::SqliteIndexedCmpNullTrue,
+        BugId::SqliteBetweenTextAffinity,
+        BugId::SqliteLikeCaseFold,
+        BugId::SqliteInternalConcatIndexedExpr,
+        BugId::MysqlTextIntCompareWhere,
+        BugId::MysqlInternalUnionTypeUnify,
+        BugId::CockroachCaseNullFromCte,
+        BugId::CockroachAnyNonValuesSubquery,
+        BugId::CockroachAvgNestedReverse,
+        BugId::CockroachInBigIntValueList,
+        BugId::CockroachConstFoldNotBetweenNull,
+        BugId::CockroachAndNullTopConjunct,
+        BugId::CockroachOrShortCircuitFalse,
+        BugId::CockroachInternalNegMod,
+        BugId::CockroachInternalFullJoinWildcard,
+        BugId::CockroachInternalIntersectNull,
+        BugId::CockroachInternalCastTextInt,
+        BugId::CockroachHangCteReuse,
+        BugId::CockroachHangFullJoinHaving,
+        BugId::DuckdbSubqueryBoolCoerce,
+        BugId::DuckdbCaseSubqueryElse,
+        BugId::DuckdbDistinctGroupByDrop,
+        BugId::DuckdbPushdownLeftJoin,
+        BugId::DuckdbNotLikeTopLevel,
+        BugId::DuckdbInternalOverflowAddProj,
+        BugId::DuckdbInternalGroupByRealMany,
+        BugId::DuckdbCrashIEJoinRange,
+        BugId::DuckdbCrashIEJoinTypes,
+        BugId::DuckdbHangTripleJoin,
+        BugId::DuckdbHangDistinctUnion,
+        BugId::DuckdbHangLikePercents,
+        BugId::TidbInsertSelectVersion,
+        BugId::TidbCorrelatedNameCollision,
+        BugId::TidbAvgDistinctNestedZero,
+        BugId::TidbInValueListWhere,
+        BugId::TidbIsNullTopLevelInverted,
+        BugId::TidbInternalLikeEscape,
+        BugId::TidbInternalSubstrNegative,
+        BugId::TidbInternalRoundHuge,
+        BugId::TidbInternalCaseManyWhens,
+        BugId::TidbInternalHavingCorrelated,
+        BugId::TidbInternalSetOpOrderBy,
+    ];
+
+    /// Which emulated system exhibits this bug.
+    pub fn dialect(self) -> Dialect {
+        use BugId::*;
+        match self {
+            SqliteAggSubqueryIndexedWhere | SqliteExistsJoinOnEmpty | SqliteJoinOnViewLeftTrue
+            | SqliteIndexedCmpNullTrue | SqliteBetweenTextAffinity | SqliteLikeCaseFold
+            | SqliteInternalConcatIndexedExpr => Dialect::Sqlite,
+            MysqlTextIntCompareWhere | MysqlInternalUnionTypeUnify => Dialect::Mysql,
+            CockroachCaseNullFromCte | CockroachAnyNonValuesSubquery | CockroachAvgNestedReverse
+            | CockroachInBigIntValueList | CockroachConstFoldNotBetweenNull
+            | CockroachAndNullTopConjunct | CockroachOrShortCircuitFalse
+            | CockroachInternalNegMod | CockroachInternalFullJoinWildcard
+            | CockroachInternalIntersectNull | CockroachInternalCastTextInt
+            | CockroachHangCteReuse | CockroachHangFullJoinHaving => Dialect::Cockroach,
+            DuckdbSubqueryBoolCoerce | DuckdbCaseSubqueryElse | DuckdbDistinctGroupByDrop
+            | DuckdbPushdownLeftJoin | DuckdbNotLikeTopLevel | DuckdbInternalOverflowAddProj
+            | DuckdbInternalGroupByRealMany | DuckdbCrashIEJoinRange | DuckdbCrashIEJoinTypes
+            | DuckdbHangTripleJoin | DuckdbHangDistinctUnion | DuckdbHangLikePercents => {
+                Dialect::Duckdb
+            }
+            TidbInsertSelectVersion | TidbCorrelatedNameCollision | TidbAvgDistinctNestedZero
+            | TidbInValueListWhere | TidbIsNullTopLevelInverted | TidbInternalLikeEscape
+            | TidbInternalSubstrNegative | TidbInternalRoundHuge | TidbInternalCaseManyWhens
+            | TidbInternalHavingCorrelated | TidbInternalSetOpOrderBy => Dialect::Tidb,
+        }
+    }
+
+    /// The Table 1 category of this bug.
+    pub fn kind(self) -> BugKind {
+        use BugId::*;
+        match self {
+            SqliteInternalConcatIndexedExpr
+            | MysqlInternalUnionTypeUnify
+            | CockroachInternalNegMod
+            | CockroachInternalFullJoinWildcard
+            | CockroachInternalIntersectNull
+            | CockroachInternalCastTextInt
+            | DuckdbInternalOverflowAddProj
+            | DuckdbInternalGroupByRealMany
+            | TidbInternalLikeEscape
+            | TidbInternalSubstrNegative
+            | TidbInternalRoundHuge
+            | TidbInternalCaseManyWhens
+            | TidbInternalHavingCorrelated
+            | TidbInternalSetOpOrderBy => BugKind::InternalError,
+            DuckdbCrashIEJoinRange | DuckdbCrashIEJoinTypes => BugKind::Crash,
+            CockroachHangCteReuse | CockroachHangFullJoinHaving | DuckdbHangTripleJoin
+            | DuckdbHangDistinctUnion | DuckdbHangLikePercents => BugKind::Hang,
+            _ => BugKind::Logic,
+        }
+    }
+
+    /// Which state-of-the-art baseline oracles can detect this logic bug,
+    /// per the manual-analysis methodology of §4.2 (empirically validated
+    /// by the `table2_oracle_matrix` harness). Empty for the 11 bugs only
+    /// CODDTest finds, and for non-logic bugs (which any oracle surfaces
+    /// as an error when its queries reach the trigger).
+    pub fn baseline_detectable(self) -> &'static [BaselineOracle] {
+        use BaselineOracle::*;
+        use BugId::*;
+        match self {
+            SqliteIndexedCmpNullTrue => &[NoRec, Tlp],
+            SqliteBetweenTextAffinity => &[NoRec, Tlp, Dqe],
+            SqliteLikeCaseFold => &[NoRec, Tlp, Dqe],
+            MysqlTextIntCompareWhere => &[NoRec, Tlp],
+            CockroachInBigIntValueList => &[Tlp, Dqe],
+            CockroachConstFoldNotBetweenNull => &[NoRec],
+            CockroachAndNullTopConjunct => &[NoRec, Tlp],
+            CockroachOrShortCircuitFalse => &[NoRec, Tlp, Dqe],
+            DuckdbDistinctGroupByDrop => &[Tlp],
+            DuckdbPushdownLeftJoin => &[NoRec, Tlp],
+            DuckdbNotLikeTopLevel => &[NoRec, Tlp],
+            TidbInValueListWhere => &[NoRec, Tlp],
+            TidbIsNullTopLevelInverted => &[NoRec, Tlp],
+            _ => &[],
+        }
+    }
+
+    /// Human-readable description (one line).
+    pub fn description(self) -> &'static str {
+        use BugId::*;
+        match self {
+            SqliteAggSubqueryIndexedWhere => {
+                "aggregate subquery with GROUP BY misevaluated under indexed outer scan (Listing 1)"
+            }
+            SqliteExistsJoinOnEmpty => "EXISTS over empty result treated as TRUE in JOIN ON (Listing 8)",
+            SqliteJoinOnViewLeftTrue => "ON predicate over view columns treated as TRUE under outer join",
+            SqliteIndexedCmpNullTrue => "NULL comparison keeps row under index scan",
+            SqliteBetweenTextAffinity => "BETWEEN on TEXT value wrongly applies numeric affinity",
+            SqliteLikeCaseFold => "LIKE matches case-sensitively in SELECT WHERE",
+            SqliteInternalConcatIndexedExpr => "TEXT||REAL inside indexed expression: internal error",
+            MysqlTextIntCompareWhere => "TEXT vs INT comparison uses byte order in WHERE filters",
+            MysqlInternalUnionTypeUnify => "UNION of INT and TEXT: internal type-unification error",
+            CockroachCaseNullFromCte => "CASE WHEN NULL takes THEN branch for CTE-sourced rows (Listing 7)",
+            CockroachAnyNonValuesSubquery => "ANY uses ALL semantics unless operand is a VALUES list",
+            CockroachAvgNestedReverse => "AVG in nested subquery accumulates reversed with f32 rounding",
+            CockroachInBigIntValueList => "IN list with INT8-range literal returns FALSE in SELECT (Listing 9)",
+            CockroachConstFoldNotBetweenNull => "optimizer folds NOT BETWEEN with NULL bound to TRUE",
+            CockroachAndNullTopConjunct => "top-level AND with NULL arm keeps row in WHERE",
+            CockroachOrShortCircuitFalse => "top-level OR with constant FALSE arm drops right arm",
+            CockroachInternalNegMod => "% by negative operand under constant folding: internal error",
+            CockroachInternalFullJoinWildcard => "t.* under FULL OUTER JOIN: internal error",
+            CockroachInternalIntersectNull => "INTERSECT over NULL rows: internal error",
+            CockroachInternalCastTextInt => "strict CAST of non-numeric TEXT to INT: internal error",
+            CockroachHangCteReuse => "CTE referenced twice in one FROM: executor loops",
+            CockroachHangFullJoinHaving => "FULL JOIN with HAVING: executor loops",
+            DuckdbSubqueryBoolCoerce => "scalar subquery result mistyped before comparison",
+            DuckdbCaseSubqueryElse => "CASE with subquery THEN arm takes ELSE",
+            DuckdbDistinctGroupByDrop => "SELECT DISTINCT with GROUP BY drops last group",
+            DuckdbPushdownLeftJoin => "filter pushdown below LEFT JOIN removes padded rows",
+            DuckdbNotLikeTopLevel => "top-level NOT LIKE evaluates as LIKE",
+            DuckdbInternalOverflowAddProj => "integer overflow in projection: internal error (Listing 11)",
+            DuckdbInternalGroupByRealMany => "GROUP BY REAL with >2 groups: internal error",
+            DuckdbCrashIEJoinRange => "IEJoin with two inequality conditions: crash (index OOB)",
+            DuckdbCrashIEJoinTypes => "IEJoin inequality over mixed INT/REAL: crash (type mismatch)",
+            DuckdbHangTripleJoin => ">=3 chained joins: executor loops",
+            DuckdbHangDistinctUnion => "UNION under DISTINCT: executor loops",
+            DuckdbHangLikePercents => "LIKE with three consecutive %: matcher loops",
+            TidbInsertSelectVersion => "INSERT..SELECT with VERSION() in WHERE inserts nothing (Listing 6)",
+            TidbCorrelatedNameCollision => "non-correlated subquery with colliding names treated as correlated",
+            TidbAvgDistinctNestedZero => "AVG(DISTINCT) in nested subquery returns 0 for empty input",
+            TidbInValueListWhere => "top-level IN value list returns FALSE in WHERE (Listing 10)",
+            TidbIsNullTopLevelInverted => "top-level IS NULL inverted in WHERE filters",
+            TidbInternalLikeEscape => "LIKE pattern ending in escape: internal error",
+            TidbInternalSubstrNegative => "SUBSTR with negative start: internal error",
+            TidbInternalRoundHuge => "ROUND with precision > 10: internal error",
+            TidbInternalCaseManyWhens => "CASE with >8 WHEN arms: internal error",
+            TidbInternalHavingCorrelated => "correlated subquery under HAVING: internal error",
+            TidbInternalSetOpOrderBy => "set operation with positional ORDER BY: internal error",
+        }
+    }
+
+    /// All bugs belonging to one dialect profile.
+    pub fn for_dialect(dialect: Dialect) -> Vec<BugId> {
+        BugId::ALL.iter().copied().filter(|b| b.dialect() == dialect).collect()
+    }
+
+    /// All logic bugs (the 24 the paper's oracle comparison targets).
+    pub fn logic_bugs() -> Vec<BugId> {
+        BugId::ALL.iter().copied().filter(|b| b.kind() == BugKind::Logic).collect()
+    }
+
+    /// Short stable identifier, e.g. for report keys.
+    pub fn name(self) -> &'static str {
+        use BugId::*;
+        match self {
+            SqliteAggSubqueryIndexedWhere => "sqlite-agg-subquery-indexed-where",
+            SqliteExistsJoinOnEmpty => "sqlite-exists-join-on-empty",
+            SqliteJoinOnViewLeftTrue => "sqlite-join-on-view-left-true",
+            SqliteIndexedCmpNullTrue => "sqlite-indexed-cmp-null-true",
+            SqliteBetweenTextAffinity => "sqlite-between-text-affinity",
+            SqliteLikeCaseFold => "sqlite-like-case-fold",
+            SqliteInternalConcatIndexedExpr => "sqlite-internal-concat-indexed-expr",
+            MysqlTextIntCompareWhere => "mysql-text-int-compare-where",
+            MysqlInternalUnionTypeUnify => "mysql-internal-union-type-unify",
+            CockroachCaseNullFromCte => "cockroach-case-null-from-cte",
+            CockroachAnyNonValuesSubquery => "cockroach-any-non-values-subquery",
+            CockroachAvgNestedReverse => "cockroach-avg-nested-reverse",
+            CockroachInBigIntValueList => "cockroach-in-bigint-value-list",
+            CockroachConstFoldNotBetweenNull => "cockroach-const-fold-not-between-null",
+            CockroachAndNullTopConjunct => "cockroach-and-null-top-conjunct",
+            CockroachOrShortCircuitFalse => "cockroach-or-short-circuit-false",
+            CockroachInternalNegMod => "cockroach-internal-neg-mod",
+            CockroachInternalFullJoinWildcard => "cockroach-internal-full-join-wildcard",
+            CockroachInternalIntersectNull => "cockroach-internal-intersect-null",
+            CockroachInternalCastTextInt => "cockroach-internal-cast-text-int",
+            CockroachHangCteReuse => "cockroach-hang-cte-reuse",
+            CockroachHangFullJoinHaving => "cockroach-hang-full-join-having",
+            DuckdbSubqueryBoolCoerce => "duckdb-subquery-bool-coerce",
+            DuckdbCaseSubqueryElse => "duckdb-case-subquery-else",
+            DuckdbDistinctGroupByDrop => "duckdb-distinct-group-by-drop",
+            DuckdbPushdownLeftJoin => "duckdb-pushdown-left-join",
+            DuckdbNotLikeTopLevel => "duckdb-not-like-top-level",
+            DuckdbInternalOverflowAddProj => "duckdb-internal-overflow-add-proj",
+            DuckdbInternalGroupByRealMany => "duckdb-internal-group-by-real-many",
+            DuckdbCrashIEJoinRange => "duckdb-crash-iejoin-range",
+            DuckdbCrashIEJoinTypes => "duckdb-crash-iejoin-types",
+            DuckdbHangTripleJoin => "duckdb-hang-triple-join",
+            DuckdbHangDistinctUnion => "duckdb-hang-distinct-union",
+            DuckdbHangLikePercents => "duckdb-hang-like-percents",
+            TidbInsertSelectVersion => "tidb-insert-select-version",
+            TidbCorrelatedNameCollision => "tidb-correlated-name-collision",
+            TidbAvgDistinctNestedZero => "tidb-avg-distinct-nested-zero",
+            TidbInValueListWhere => "tidb-in-value-list-where",
+            TidbIsNullTopLevelInverted => "tidb-is-null-top-level-inverted",
+            TidbInternalLikeEscape => "tidb-internal-like-escape",
+            TidbInternalSubstrNegative => "tidb-internal-substr-negative",
+            TidbInternalRoundHuge => "tidb-internal-round-huge",
+            TidbInternalCaseManyWhens => "tidb-internal-case-many-whens",
+            TidbInternalHavingCorrelated => "tidb-internal-having-correlated",
+            TidbInternalSetOpOrderBy => "tidb-internal-set-op-order-by",
+        }
+    }
+}
+
+/// The set of currently enabled mutants.
+#[derive(Debug, Clone, Default)]
+pub struct BugRegistry {
+    active: BTreeSet<BugId>,
+}
+
+impl BugRegistry {
+    /// A clean engine: no injected bugs.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Enable every mutant belonging to `dialect` (the Table 1 campaign
+    /// configuration).
+    pub fn all_for_dialect(dialect: Dialect) -> Self {
+        let mut reg = Self::default();
+        for b in BugId::for_dialect(dialect) {
+            reg.enable(b);
+        }
+        reg
+    }
+
+    /// Enable exactly one mutant (the Table 2 per-bug configuration).
+    pub fn only(bug: BugId) -> Self {
+        let mut reg = Self::default();
+        reg.enable(bug);
+        reg
+    }
+
+    pub fn enable(&mut self, bug: BugId) {
+        self.active.insert(bug);
+    }
+
+    pub fn disable(&mut self, bug: BugId) {
+        self.active.remove(&bug);
+    }
+
+    #[inline]
+    pub fn active(&self, bug: BugId) -> bool {
+        self.active.contains(&bug)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.active.is_empty()
+    }
+
+    pub fn enabled(&self) -> impl Iterator<Item = BugId> + '_ {
+        self.active.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_counts_match_paper() {
+        // Table 1 of the paper: per-DBMS bug counts by category.
+        let count = |d: Dialect, k: BugKind| {
+            BugId::ALL.iter().filter(|b| b.dialect() == d && b.kind() == k).count()
+        };
+        assert_eq!(count(Dialect::Sqlite, BugKind::Logic), 6);
+        assert_eq!(count(Dialect::Sqlite, BugKind::InternalError), 1);
+        assert_eq!(count(Dialect::Mysql, BugKind::Logic), 1);
+        assert_eq!(count(Dialect::Mysql, BugKind::InternalError), 1);
+        assert_eq!(count(Dialect::Cockroach, BugKind::Logic), 7);
+        assert_eq!(count(Dialect::Cockroach, BugKind::InternalError), 4);
+        assert_eq!(count(Dialect::Cockroach, BugKind::Hang), 2);
+        assert_eq!(count(Dialect::Duckdb, BugKind::Logic), 5);
+        assert_eq!(count(Dialect::Duckdb, BugKind::InternalError), 2);
+        assert_eq!(count(Dialect::Duckdb, BugKind::Crash), 2);
+        assert_eq!(count(Dialect::Duckdb, BugKind::Hang), 3);
+        assert_eq!(count(Dialect::Tidb, BugKind::Logic), 5);
+        assert_eq!(count(Dialect::Tidb, BugKind::InternalError), 6);
+        assert_eq!(BugId::ALL.len(), 45);
+        assert_eq!(BugId::logic_bugs().len(), 24);
+    }
+
+    #[test]
+    fn table2_detectability_matches_paper() {
+        // Table 2: NoREC 11, TLP 12, DQE 4, only-CODDTest 11.
+        let logic = BugId::logic_bugs();
+        let by = |o: BaselineOracle| {
+            logic.iter().filter(|b| b.baseline_detectable().contains(&o)).count()
+        };
+        assert_eq!(by(BaselineOracle::NoRec), 11, "NoREC-detectable");
+        assert_eq!(by(BaselineOracle::Tlp), 12, "TLP-detectable");
+        assert_eq!(by(BaselineOracle::Dqe), 4, "DQE-detectable");
+        let only_codd = logic.iter().filter(|b| b.baseline_detectable().is_empty()).count();
+        assert_eq!(only_codd, 11, "only-CODDTest");
+    }
+
+    #[test]
+    fn names_are_unique_and_nonempty() {
+        let mut names = BTreeSet::new();
+        for b in BugId::ALL {
+            assert!(!b.name().is_empty());
+            assert!(!b.description().is_empty());
+            assert!(names.insert(b.name()), "duplicate name {}", b.name());
+        }
+    }
+
+    #[test]
+    fn registry_enable_disable() {
+        let mut reg = BugRegistry::none();
+        assert!(reg.is_empty());
+        reg.enable(BugId::SqliteLikeCaseFold);
+        assert!(reg.active(BugId::SqliteLikeCaseFold));
+        assert!(!reg.active(BugId::MysqlTextIntCompareWhere));
+        reg.disable(BugId::SqliteLikeCaseFold);
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn all_for_dialect_covers_exactly_that_dialect() {
+        let reg = BugRegistry::all_for_dialect(Dialect::Duckdb);
+        assert_eq!(reg.enabled().count(), 12);
+        assert!(reg.enabled().all(|b| b.dialect() == Dialect::Duckdb));
+    }
+
+    #[test]
+    fn non_logic_bugs_have_no_baseline_entry() {
+        for b in BugId::ALL {
+            if b.kind() != BugKind::Logic {
+                assert!(b.baseline_detectable().is_empty());
+            }
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! Catalog and row storage.
+//!
+//! CoddDB stores everything in memory: base tables hold materialized rows,
+//! views hold their defining query (expanded at plan time), and indexes
+//! hold an indexed *expression* (SQLite-style expression indexes — the
+//! paper's Listing 1 uses `CREATE INDEX i0 ON t0 (c0 > 0)`), which the
+//! planner may choose (or be forced via `INDEXED BY`) for scans.
+
+use std::collections::BTreeMap;
+
+use crate::ast::{ColumnDef, Expr, Select};
+use crate::error::{Error, Result};
+use crate::value::Row;
+
+/// A base table with its rows.
+#[derive(Debug, Clone)]
+pub struct TableDef {
+    pub name: String,
+    pub columns: Vec<ColumnDef>,
+    pub rows: Vec<Row>,
+}
+
+impl TableDef {
+    pub fn column_index(&self, column: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name.eq_ignore_ascii_case(column))
+    }
+
+    pub fn column_names(&self) -> Vec<String> {
+        self.columns.iter().map(|c| c.name.clone()).collect()
+    }
+}
+
+/// A view definition.
+#[derive(Debug, Clone)]
+pub struct ViewDef {
+    pub name: String,
+    /// Optional explicit output column names.
+    pub columns: Vec<String>,
+    pub query: Select,
+}
+
+/// An expression index.
+#[derive(Debug, Clone)]
+pub struct IndexDef {
+    pub name: String,
+    pub table: String,
+    pub expr: Expr,
+    pub unique: bool,
+}
+
+/// What a FROM-clause name resolves to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RelationKind {
+    Table,
+    View,
+}
+
+/// The in-memory catalog.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: BTreeMap<String, TableDef>,
+    views: BTreeMap<String, ViewDef>,
+    indexes: BTreeMap<String, IndexDef>,
+}
+
+fn key(name: &str) -> String {
+    name.to_ascii_lowercase()
+}
+
+impl Catalog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    // --- tables ---------------------------------------------------------
+
+    pub fn create_table(
+        &mut self,
+        name: &str,
+        columns: Vec<ColumnDef>,
+        if_not_exists: bool,
+    ) -> Result<()> {
+        let k = key(name);
+        if self.tables.contains_key(&k) || self.views.contains_key(&k) {
+            if if_not_exists {
+                return Ok(());
+            }
+            return Err(Error::Catalog(format!("table {name} already exists")));
+        }
+        if columns.is_empty() {
+            return Err(Error::Catalog(format!("table {name} must have at least one column")));
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for c in &columns {
+            if !seen.insert(c.name.to_ascii_lowercase()) {
+                return Err(Error::Catalog(format!(
+                    "duplicate column {} in table {name}",
+                    c.name
+                )));
+            }
+        }
+        self.tables.insert(k, TableDef { name: name.to_string(), columns, rows: Vec::new() });
+        Ok(())
+    }
+
+    pub fn drop_table(&mut self, name: &str, if_exists: bool) -> Result<()> {
+        let k = key(name);
+        if self.tables.remove(&k).is_none() {
+            if if_exists {
+                return Ok(());
+            }
+            return Err(Error::Catalog(format!("no such table: {name}")));
+        }
+        // Indexes on the dropped table disappear with it.
+        self.indexes.retain(|_, idx| !idx.table.eq_ignore_ascii_case(name));
+        Ok(())
+    }
+
+    pub fn table(&self, name: &str) -> Result<&TableDef> {
+        self.tables
+            .get(&key(name))
+            .ok_or_else(|| Error::Catalog(format!("no such table: {name}")))
+    }
+
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut TableDef> {
+        self.tables
+            .get_mut(&key(name))
+            .ok_or_else(|| Error::Catalog(format!("no such table: {name}")))
+    }
+
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.values().map(|t| t.name.as_str()).collect()
+    }
+
+    pub fn tables(&self) -> impl Iterator<Item = &TableDef> {
+        self.tables.values()
+    }
+
+    // --- views ----------------------------------------------------------
+
+    pub fn create_view(&mut self, name: &str, columns: Vec<String>, query: Select) -> Result<()> {
+        let k = key(name);
+        if self.tables.contains_key(&k) || self.views.contains_key(&k) {
+            return Err(Error::Catalog(format!("relation {name} already exists")));
+        }
+        self.views.insert(k, ViewDef { name: name.to_string(), columns, query });
+        Ok(())
+    }
+
+    pub fn view(&self, name: &str) -> Option<&ViewDef> {
+        self.views.get(&key(name))
+    }
+
+    pub fn view_names(&self) -> Vec<&str> {
+        self.views.values().map(|v| v.name.as_str()).collect()
+    }
+
+    // --- indexes --------------------------------------------------------
+
+    pub fn create_index(&mut self, name: &str, table: &str, expr: Expr, unique: bool) -> Result<()> {
+        let k = key(name);
+        if self.indexes.contains_key(&k) {
+            return Err(Error::Catalog(format!("index {name} already exists")));
+        }
+        self.table(table)?;
+        self.indexes.insert(
+            k,
+            IndexDef { name: name.to_string(), table: table.to_string(), expr, unique },
+        );
+        Ok(())
+    }
+
+    pub fn index(&self, name: &str) -> Option<&IndexDef> {
+        self.indexes.get(&key(name))
+    }
+
+    pub fn indexes_for_table(&self, table: &str) -> Vec<&IndexDef> {
+        self.indexes.values().filter(|i| i.table.eq_ignore_ascii_case(table)).collect()
+    }
+
+    pub fn index_names(&self) -> Vec<&str> {
+        self.indexes.values().map(|i| i.name.as_str()).collect()
+    }
+
+    // --- resolution -----------------------------------------------------
+
+    /// Resolve a FROM-clause name to a table or view.
+    pub fn resolve_relation(&self, name: &str) -> Result<RelationKind> {
+        let k = key(name);
+        if self.tables.contains_key(&k) {
+            Ok(RelationKind::Table)
+        } else if self.views.contains_key(&k) {
+            Ok(RelationKind::View)
+        } else {
+            Err(Error::Catalog(format!("no such table or view: {name}")))
+        }
+    }
+
+    /// Total number of stored rows across all base tables.
+    pub fn total_rows(&self) -> usize {
+        self.tables.values().map(|t| t.rows.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{DataType, Value};
+
+    fn col(name: &str, ty: DataType) -> ColumnDef {
+        ColumnDef { name: name.into(), ty, not_null: false }
+    }
+
+    #[test]
+    fn create_and_lookup_table_is_case_insensitive() {
+        let mut cat = Catalog::new();
+        cat.create_table("T0", vec![col("c0", DataType::Int)], false).unwrap();
+        assert!(cat.table("t0").is_ok());
+        assert!(cat.table("T0").is_ok());
+        assert_eq!(cat.table("t0").unwrap().column_index("C0"), Some(0));
+    }
+
+    #[test]
+    fn duplicate_table_rejected_unless_if_not_exists() {
+        let mut cat = Catalog::new();
+        cat.create_table("t", vec![col("c", DataType::Int)], false).unwrap();
+        assert!(matches!(
+            cat.create_table("t", vec![col("c", DataType::Int)], false),
+            Err(Error::Catalog(_))
+        ));
+        assert!(cat.create_table("t", vec![col("c", DataType::Int)], true).is_ok());
+    }
+
+    #[test]
+    fn duplicate_column_rejected() {
+        let mut cat = Catalog::new();
+        let res = cat.create_table("t", vec![col("c", DataType::Int), col("C", DataType::Text)], false);
+        assert!(matches!(res, Err(Error::Catalog(_))));
+    }
+
+    #[test]
+    fn drop_table_removes_its_indexes() {
+        let mut cat = Catalog::new();
+        cat.create_table("t", vec![col("c", DataType::Int)], false).unwrap();
+        cat.create_index("i", "t", Expr::bare_col("c"), false).unwrap();
+        assert_eq!(cat.indexes_for_table("t").len(), 1);
+        cat.drop_table("t", false).unwrap();
+        assert!(cat.index("i").is_none());
+        assert!(matches!(cat.drop_table("t", false), Err(Error::Catalog(_))));
+        assert!(cat.drop_table("t", true).is_ok());
+    }
+
+    #[test]
+    fn view_name_conflicts_with_table() {
+        let mut cat = Catalog::new();
+        cat.create_table("t", vec![col("c", DataType::Int)], false).unwrap();
+        let q = Select::scalar_probe(Expr::lit(Value::Int(1)));
+        assert!(cat.create_view("t", vec![], q.clone()).is_err());
+        cat.create_view("v", vec!["c0".into()], q).unwrap();
+        assert_eq!(cat.resolve_relation("v").unwrap(), RelationKind::View);
+        assert_eq!(cat.resolve_relation("t").unwrap(), RelationKind::Table);
+        assert!(cat.resolve_relation("zzz").is_err());
+    }
+
+    #[test]
+    fn index_requires_existing_table() {
+        let mut cat = Catalog::new();
+        assert!(cat.create_index("i", "missing", Expr::bare_col("c"), false).is_err());
+    }
+
+    #[test]
+    fn total_rows_sums_tables() {
+        let mut cat = Catalog::new();
+        cat.create_table("t", vec![col("c", DataType::Int)], false).unwrap();
+        cat.table_mut("t").unwrap().rows.push(vec![Value::Int(1)]);
+        cat.table_mut("t").unwrap().rows.push(vec![Value::Int(2)]);
+        assert_eq!(cat.total_rows(), 2);
+    }
+}

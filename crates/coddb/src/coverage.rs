@@ -1,0 +1,255 @@
+//! Deterministic branch-point coverage.
+//!
+//! Table 3 of the paper reports gcov branch coverage of SQLite under each
+//! oracle. CoddDB substitutes a registry of named branch points inside the
+//! planner, executor and evaluator; [`Coverage::percent`] reports the
+//! fraction of registered points an oracle's campaign exercised. The metric
+//! has the same semantics (which engine behaviours did the workload reach)
+//! without an external coverage toolchain.
+
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+
+/// Every registered branch point. Call sites use [`Coverage::hit`] with one
+/// of these names; a debug assertion keeps the registry and the call sites
+/// in sync.
+pub const ALL_POINTS: &[&str] = &[
+    // --- planner -------------------------------------------------------
+    "plan::seq_scan",
+    "plan::index_scan",
+    "plan::index_forced",
+    "plan::view_expand",
+    "plan::derived",
+    "plan::values_scan",
+    "plan::cte_scan",
+    "plan::join_inner",
+    "plan::join_left",
+    "plan::join_right",
+    "plan::join_full",
+    "plan::join_cross",
+    "plan::fold_const",
+    "plan::fold_skipped",
+    "plan::pushdown_applied",
+    "plan::pushdown_blocked_outer",
+    "plan::filter_true_elim",
+    "plan::filter_false",
+    "plan::no_from",
+    // --- executor ------------------------------------------------------
+    "exec::filter_pass",
+    "exec::filter_drop",
+    "exec::filter_null",
+    "exec::project",
+    "exec::wildcard",
+    "exec::group_single",
+    "exec::group_multi",
+    "exec::group_empty_input",
+    "exec::having_pass",
+    "exec::having_drop",
+    "exec::distinct_dedup",
+    "exec::sort",
+    "exec::sort_positional",
+    "exec::limit",
+    "exec::offset",
+    "exec::union",
+    "exec::union_all",
+    "exec::intersect",
+    "exec::except",
+    "exec::insert_values",
+    "exec::insert_select",
+    "exec::update_match",
+    "exec::update_nomatch",
+    "exec::delete_match",
+    "exec::delete_nomatch",
+    "exec::join_probe_match",
+    "exec::join_probe_miss",
+    "exec::join_pad_left",
+    "exec::join_pad_right",
+    "exec::values_rows",
+    "exec::cte_eval",
+    "exec::cte_reuse",
+    "exec::empty_relation",
+    // --- scalar evaluator ---------------------------------------------
+    "eval::literal",
+    "eval::column_local",
+    "eval::column_outer",
+    "eval::neg",
+    "eval::not",
+    "eval::arith_int",
+    "eval::arith_real",
+    "eval::arith_null",
+    "eval::arith_overflow",
+    "eval::div_zero_null",
+    "eval::div_zero_error",
+    "eval::concat",
+    "eval::cmp_true",
+    "eval::cmp_false",
+    "eval::cmp_null",
+    "eval::and_short",
+    "eval::and_null",
+    "eval::or_short",
+    "eval::or_null",
+    "eval::is_op",
+    "eval::between",
+    "eval::between_neg",
+    "eval::in_list_hit",
+    "eval::in_list_miss",
+    "eval::in_list_null",
+    "eval::in_subq_hit",
+    "eval::in_subq_miss",
+    "eval::in_subq_null",
+    "eval::exists_true",
+    "eval::exists_false",
+    "eval::scalar_subq",
+    "eval::scalar_subq_empty",
+    "eval::quant_any",
+    "eval::quant_all",
+    "eval::case_operand",
+    "eval::case_searched",
+    "eval::case_else",
+    "eval::case_no_match",
+    "eval::cast_int",
+    "eval::cast_real",
+    "eval::cast_text",
+    "eval::cast_bool",
+    "eval::func_length",
+    "eval::func_abs",
+    "eval::func_upper",
+    "eval::func_lower",
+    "eval::func_coalesce",
+    "eval::func_nullif",
+    "eval::func_iif",
+    "eval::func_typeof",
+    "eval::func_version",
+    "eval::func_round",
+    "eval::func_sign",
+    "eval::func_instr",
+    "eval::func_substr",
+    "eval::like_match",
+    "eval::like_nomatch",
+    "eval::like_null",
+    "eval::truthy_numeric",
+    "eval::truthy_bool",
+    "eval::truthy_null",
+    // --- aggregates ----------------------------------------------------
+    "agg::count_star",
+    "agg::count",
+    "agg::sum_int",
+    "agg::sum_real",
+    "agg::avg",
+    "agg::min",
+    "agg::max",
+    "agg::total",
+    "agg::distinct",
+    "agg::empty",
+];
+
+/// Coverage accumulator. Single-threaded by design (each campaign thread
+/// owns its own `Database`); merge accumulators with [`Coverage::merge`].
+#[derive(Debug, Default)]
+pub struct Coverage {
+    hits: RefCell<BTreeSet<&'static str>>,
+}
+
+impl Coverage {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that a branch point executed.
+    #[inline]
+    pub fn hit(&self, point: &'static str) {
+        debug_assert!(
+            ALL_POINTS.contains(&point),
+            "coverage point '{point}' is not registered in ALL_POINTS"
+        );
+        self.hits.borrow_mut().insert(point);
+    }
+
+    /// Number of distinct points hit so far.
+    pub fn hit_count(&self) -> usize {
+        self.hits.borrow().len()
+    }
+
+    /// Total registered points.
+    pub fn total_points(&self) -> usize {
+        ALL_POINTS.len()
+    }
+
+    /// Fraction of branch points exercised, in percent.
+    pub fn percent(&self) -> f64 {
+        100.0 * self.hit_count() as f64 / ALL_POINTS.len() as f64
+    }
+
+    /// Snapshot of the hit set (sorted).
+    pub fn hit_points(&self) -> Vec<&'static str> {
+        self.hits.borrow().iter().copied().collect()
+    }
+
+    /// Points never exercised (useful when diagnosing oracle blind spots,
+    /// e.g. DQE never reaching the join machinery).
+    pub fn missed_points(&self) -> Vec<&'static str> {
+        let hits = self.hits.borrow();
+        ALL_POINTS.iter().copied().filter(|p| !hits.contains(p)).collect()
+    }
+
+    /// Fold another accumulator's hits into this one.
+    pub fn merge(&self, other: &Coverage) {
+        let mut mine = self.hits.borrow_mut();
+        for p in other.hits.borrow().iter() {
+            mine.insert(p);
+        }
+    }
+
+    pub fn reset(&self) {
+        self.hits.borrow_mut().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_no_duplicates() {
+        let set: BTreeSet<&str> = ALL_POINTS.iter().copied().collect();
+        assert_eq!(set.len(), ALL_POINTS.len(), "duplicate coverage point registered");
+    }
+
+    #[test]
+    fn hit_accumulates_and_percent_reports() {
+        let cov = Coverage::new();
+        assert_eq!(cov.hit_count(), 0);
+        cov.hit("eval::literal");
+        cov.hit("eval::literal");
+        cov.hit("exec::project");
+        assert_eq!(cov.hit_count(), 2);
+        assert!(cov.percent() > 0.0 && cov.percent() < 100.0);
+    }
+
+    #[test]
+    fn merge_unions_hits() {
+        let a = Coverage::new();
+        let b = Coverage::new();
+        a.hit("eval::literal");
+        b.hit("exec::project");
+        a.merge(&b);
+        assert_eq!(a.hit_count(), 2);
+        assert_eq!(b.hit_count(), 1);
+    }
+
+    #[test]
+    fn missed_points_complement_hits() {
+        let cov = Coverage::new();
+        cov.hit("agg::avg");
+        let missed = cov.missed_points();
+        assert_eq!(missed.len(), ALL_POINTS.len() - 1);
+        assert!(!missed.contains(&"agg::avg"));
+    }
+
+    #[test]
+    #[should_panic(expected = "not registered")]
+    #[cfg(debug_assertions)]
+    fn unknown_point_panics_in_debug() {
+        Coverage::new().hit("nope::nothing");
+    }
+}

@@ -1,0 +1,539 @@
+//! The public engine facade.
+//!
+//! [`Database`] owns a catalog, a dialect profile, a bug registry and a
+//! coverage accumulator, and executes statements (from ASTs or SQL text).
+//! Oracles use [`Database::query`] / [`Database::query_unoptimized`] plus
+//! [`Database::last_plan_fingerprint`] and the snapshot/restore pair.
+
+use crate::ast::{InsertSource, Statement};
+use crate::bugs::{BugId, BugRegistry};
+use crate::catalog::Catalog;
+use crate::coverage::Coverage;
+use crate::dialect::Dialect;
+use crate::error::{Error, Result};
+use crate::eval::{eval_expr, truthiness, Clause, ExprCtx};
+use crate::exec::{self, CteEnv, EngineCtx, EvalEnv, Frame, Schema, StmtKind};
+use crate::value::{Relation, Row, Value};
+
+/// Default execution fuel per statement (row-operations budget). Generated
+/// workloads stay far below this; injected hang bugs exhaust it.
+pub const DEFAULT_FUEL: u64 = 4_000_000;
+
+/// Result of executing one statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecOutcome {
+    /// A SELECT result.
+    Rows(Relation),
+    /// Rows affected by DML.
+    Affected(usize),
+    /// DDL completed.
+    Ddl,
+}
+
+impl ExecOutcome {
+    pub fn rows(&self) -> Option<&Relation> {
+        match self {
+            ExecOutcome::Rows(r) => Some(r),
+            _ => None,
+        }
+    }
+    pub fn affected(&self) -> Option<usize> {
+        match self {
+            ExecOutcome::Affected(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// An in-memory CoddDB database instance.
+pub struct Database {
+    catalog: Catalog,
+    dialect: Dialect,
+    bugs: BugRegistry,
+    coverage: Coverage,
+    fuel_limit: u64,
+    last_plan_fp: Option<u64>,
+    queries_executed: u64,
+}
+
+impl Database {
+    /// A clean database (no injected bugs) under the given dialect.
+    pub fn new(dialect: Dialect) -> Self {
+        Self::with_bugs(dialect, BugRegistry::none())
+    }
+
+    /// A database with an explicit mutant configuration.
+    pub fn with_bugs(dialect: Dialect, bugs: BugRegistry) -> Self {
+        Database {
+            catalog: Catalog::new(),
+            dialect,
+            bugs,
+            coverage: Coverage::new(),
+            fuel_limit: DEFAULT_FUEL,
+            last_plan_fp: None,
+            queries_executed: 0,
+        }
+    }
+
+    pub fn dialect(&self) -> Dialect {
+        self.dialect
+    }
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+    pub fn coverage(&self) -> &Coverage {
+        &self.coverage
+    }
+    pub fn bugs(&self) -> &BugRegistry {
+        &self.bugs
+    }
+    pub fn bugs_mut(&mut self) -> &mut BugRegistry {
+        &mut self.bugs
+    }
+    pub fn set_fuel_limit(&mut self, fuel: u64) {
+        self.fuel_limit = fuel;
+    }
+
+    /// Number of statements executed so far (Table 3 accounting).
+    pub fn queries_executed(&self) -> u64 {
+        self.queries_executed
+    }
+
+    /// Fingerprint of the most recently planned SELECT.
+    pub fn last_plan_fingerprint(&self) -> Option<u64> {
+        self.last_plan_fp
+    }
+
+    /// Snapshot the data (catalog) for later restore — used by oracles that
+    /// mutate state (DQE) and by the relation-folding CODDTest mode.
+    pub fn snapshot(&self) -> Catalog {
+        self.catalog.clone()
+    }
+
+    pub fn restore(&mut self, snapshot: Catalog) {
+        self.catalog = snapshot;
+    }
+
+    /// Parse and execute every statement in a SQL script.
+    pub fn execute_sql(&mut self, sql: &str) -> Result<Vec<ExecOutcome>> {
+        let stmts = crate::parser::parse_statements(sql)?;
+        let mut out = Vec::with_capacity(stmts.len());
+        for s in &stmts {
+            out.push(self.execute(s)?);
+        }
+        Ok(out)
+    }
+
+    /// Execute one statement with the optimizer on.
+    pub fn execute(&mut self, stmt: &Statement) -> Result<ExecOutcome> {
+        self.execute_with(stmt, true)
+    }
+
+    /// Execute one statement, controlling optimization (NoREC's reference
+    /// execution passes `optimize = false`).
+    pub fn execute_with(&mut self, stmt: &Statement, optimize: bool) -> Result<ExecOutcome> {
+        self.queries_executed += 1;
+        match stmt {
+            Statement::CreateTable { name, columns, if_not_exists } => {
+                if !self.dialect.allows_untyped_columns()
+                    && columns.iter().any(|c| c.ty == crate::value::DataType::Any)
+                {
+                    return Err(Error::Type(format!(
+                        "{} requires typed columns",
+                        self.dialect
+                    )));
+                }
+                self.catalog.create_table(name, columns.clone(), *if_not_exists)?;
+                Ok(ExecOutcome::Ddl)
+            }
+            Statement::DropTable { name, if_exists } => {
+                self.catalog.drop_table(name, *if_exists)?;
+                Ok(ExecOutcome::Ddl)
+            }
+            Statement::CreateView { name, columns, query } => {
+                self.catalog.create_view(name, columns.clone(), query.clone())?;
+                Ok(ExecOutcome::Ddl)
+            }
+            Statement::CreateIndex { name, table, expr, unique } => {
+                self.catalog.create_index(name, table, expr.clone(), *unique)?;
+                Ok(ExecOutcome::Ddl)
+            }
+            Statement::Select(q) => {
+                let rel = self.run_select(q, optimize)?;
+                Ok(ExecOutcome::Rows(rel))
+            }
+            Statement::Insert { table, columns, source } => {
+                let n = self.run_insert(table, columns, source, optimize)?;
+                Ok(ExecOutcome::Affected(n))
+            }
+            Statement::Update { table, sets, where_clause } => {
+                let w = self.prepare_dml_filter(where_clause.as_ref(), optimize)?;
+                let n = self.run_update(table, sets, w.as_ref())?;
+                Ok(ExecOutcome::Affected(n))
+            }
+            Statement::Delete { table, where_clause } => {
+                let w = self.prepare_dml_filter(where_clause.as_ref(), optimize)?;
+                let n = self.run_delete(table, w.as_ref())?;
+                Ok(ExecOutcome::Affected(n))
+            }
+        }
+    }
+
+    /// Run a SELECT with the optimizer on.
+    pub fn query(&mut self, q: &crate::ast::Select) -> Result<Relation> {
+        self.run_select(q, true)
+    }
+
+    /// Run a SELECT with the optimizer off (NoREC reference execution).
+    pub fn query_unoptimized(&mut self, q: &crate::ast::Select) -> Result<Relation> {
+        self.run_select(q, false)
+    }
+
+    /// Plan a SELECT and render its physical plan (the engine's EXPLAIN).
+    pub fn explain(&self, q: &crate::ast::Select) -> Result<String> {
+        let pctx = crate::plan::PlanCtx {
+            catalog: &self.catalog,
+            dialect: self.dialect,
+            bugs: &self.bugs,
+            cov: &self.coverage,
+            optimize: true,
+        };
+        let plan = crate::plan::plan_select(q, &pctx, &std::collections::BTreeSet::new())?;
+        Ok(crate::plan::explain(&plan))
+    }
+
+    /// Parse and explain a single SELECT.
+    pub fn explain_sql(&mut self, sql: &str) -> Result<String> {
+        let q = crate::parser::parse_select(sql)?;
+        self.explain(&q)
+    }
+
+    /// Parse a single SELECT from SQL text and run it.
+    pub fn query_sql(&mut self, sql: &str) -> Result<Relation> {
+        let stmts = crate::parser::parse_statements(sql)?;
+        match stmts.as_slice() {
+            [Statement::Select(q)] => self.query(q),
+            _ => Err(Error::Parse("expected exactly one SELECT statement".into())),
+        }
+    }
+
+    /// UPDATE/DELETE predicates run through the same constant-folding pass
+    /// as SELECT filters (a real planner folds all three identically; the
+    /// paper's §4.2 oracle analysis relies on that consistency).
+    fn prepare_dml_filter(
+        &self,
+        where_clause: Option<&crate::ast::Expr>,
+        optimize: bool,
+    ) -> Result<Option<crate::ast::Expr>> {
+        match where_clause {
+            None => Ok(None),
+            Some(w) if optimize => {
+                let pctx = crate::plan::PlanCtx {
+                    catalog: &self.catalog,
+                    dialect: self.dialect,
+                    bugs: &self.bugs,
+                    cov: &self.coverage,
+                    optimize: true,
+                };
+                Ok(Some(crate::plan::fold_dml_predicate(w.clone(), &pctx)?))
+            }
+            Some(w) => Ok(Some(w.clone())),
+        }
+    }
+
+    fn run_select(&mut self, q: &crate::ast::Select, optimize: bool) -> Result<Relation> {
+        self.queries_executed += 1;
+        let ctx = EngineCtx::new(
+            &self.catalog,
+            self.dialect,
+            &self.bugs,
+            &self.coverage,
+            optimize,
+            StmtKind::Select,
+            self.fuel_limit,
+        );
+        let (rel, fp) = exec::run_query(q, &ctx)?;
+        self.last_plan_fp = Some(fp);
+        Ok(rel)
+    }
+
+    fn run_insert(
+        &mut self,
+        table: &str,
+        columns: &[String],
+        source: &InsertSource,
+        optimize: bool,
+    ) -> Result<usize> {
+        // Resolve the target column mapping first.
+        let (col_indices, col_count, col_defs) = {
+            let t = self.catalog.table(table)?;
+            let defs = t.columns.clone();
+            let indices: Vec<usize> = if columns.is_empty() {
+                (0..defs.len()).collect()
+            } else {
+                columns
+                    .iter()
+                    .map(|c| {
+                        t.column_index(c).ok_or_else(|| {
+                            Error::Catalog(format!("no such column {c} in table {table}"))
+                        })
+                    })
+                    .collect::<Result<_>>()?
+            };
+            (indices, defs.len(), defs)
+        };
+
+        // Evaluate the source rows.
+        let source_rows: Vec<Row> = match source {
+            InsertSource::Values(rows) => {
+                self.coverage.hit("exec::insert_values");
+                let ctx = EngineCtx::new(
+                    &self.catalog,
+                    self.dialect,
+                    &self.bugs,
+                    &self.coverage,
+                    optimize,
+                    StmtKind::Insert,
+                    self.fuel_limit,
+                );
+                let ctes = CteEnv::root();
+                let mut out = Vec::with_capacity(rows.len());
+                for row in rows {
+                    let mut vals = Vec::with_capacity(row.len());
+                    for e in row {
+                        let env = EvalEnv {
+                            ctx: &ctx,
+                            scopes: &[],
+                            aggs: None,
+                            ctes: &ctes,
+                            info: ExprCtx::new(Clause::SelectList),
+                        };
+                        vals.push(eval_expr(e, env)?);
+                    }
+                    out.push(vals);
+                }
+                out
+            }
+            InsertSource::Query(q) => {
+                self.coverage.hit("exec::insert_select");
+                // Bug hook: TidbInsertSelectVersion (Listing 6) — the
+                // SELECT's rows never reach the table when its WHERE calls
+                // VERSION().
+                let mut has_version = false;
+                crate::ast::visit::walk_select_exprs(q, &mut |e| {
+                    if matches!(
+                        e,
+                        crate::ast::Expr::Func { func: crate::ast::FuncName::Version, .. }
+                    ) {
+                        has_version = true;
+                    }
+                });
+                let ctx = EngineCtx::new(
+                    &self.catalog,
+                    self.dialect,
+                    &self.bugs,
+                    &self.coverage,
+                    optimize,
+                    StmtKind::Insert,
+                    self.fuel_limit,
+                );
+                let (rel, _) = exec::run_query(q, &ctx)?;
+                if has_version && self.bugs.active(BugId::TidbInsertSelectVersion) {
+                    Vec::new()
+                } else {
+                    rel.rows
+                }
+            }
+        };
+
+        // Type-check and write.
+        let mut staged = Vec::with_capacity(source_rows.len());
+        for row in &source_rows {
+            if row.len() != col_indices.len() {
+                return Err(Error::Eval(format!(
+                    "table {table} expects {} values, got {}",
+                    col_indices.len(),
+                    row.len()
+                )));
+            }
+            let mut new_row: Row = vec![Value::Null; col_count];
+            for (v, &idx) in row.iter().zip(col_indices.iter()) {
+                let def = &col_defs[idx];
+                if self.dialect.strict_types()
+                    && !v.is_null()
+                    && !def.ty.accepts(v.data_type())
+                {
+                    return Err(Error::Type(format!(
+                        "cannot insert {} into column {} of type {}",
+                        v.data_type(),
+                        def.name,
+                        def.ty
+                    )));
+                }
+                new_row[idx] = v.clone();
+            }
+            for (i, def) in col_defs.iter().enumerate() {
+                if def.not_null && new_row[i].is_null() {
+                    return Err(Error::Eval(format!(
+                        "NOT NULL constraint failed: {table}.{}",
+                        def.name
+                    )));
+                }
+            }
+            staged.push(new_row);
+        }
+        let n = staged.len();
+        self.catalog.table_mut(table)?.rows.extend(staged);
+        Ok(n)
+    }
+
+    fn run_update(
+        &mut self,
+        table: &str,
+        sets: &[(String, crate::ast::Expr)],
+        where_clause: Option<&crate::ast::Expr>,
+    ) -> Result<usize> {
+        let (matches, updates) = {
+            let t = self.catalog.table(table)?;
+            let schema = table_schema(t);
+            let ctx = EngineCtx::new(
+                &self.catalog,
+                self.dialect,
+                &self.bugs,
+                &self.coverage,
+                false,
+                StmtKind::Update,
+                self.fuel_limit,
+            );
+            let ctes = CteEnv::root();
+            let set_indices: Vec<usize> = sets
+                .iter()
+                .map(|(c, _)| {
+                    t.column_index(c).ok_or_else(|| {
+                        Error::Catalog(format!("no such column {c} in table {table}"))
+                    })
+                })
+                .collect::<Result<_>>()?;
+
+            let mut matches = Vec::new();
+            let mut updates = Vec::new();
+            for (i, row) in t.rows.iter().enumerate() {
+                ctx.consume_fuel(1)?;
+                if !row_matches(row, &schema, where_clause, &ctx, &ctes)? {
+                    continue;
+                }
+                let frames = [Frame { schema: &schema, row }];
+                let mut new_vals = Vec::with_capacity(sets.len());
+                for (_, e) in sets {
+                    let env = EvalEnv {
+                        ctx: &ctx,
+                        scopes: &frames,
+                        aggs: None,
+                        ctes: &ctes,
+                        info: ExprCtx::new(Clause::SelectList),
+                    };
+                    new_vals.push(eval_expr(e, env)?);
+                }
+                matches.push(i);
+                updates.push((set_indices.clone(), new_vals));
+            }
+            (matches, updates)
+        };
+
+        self.coverage.hit(if matches.is_empty() {
+            "exec::update_nomatch"
+        } else {
+            "exec::update_match"
+        });
+        let t = self.catalog.table_mut(table)?;
+        for (&i, (indices, vals)) in matches.iter().zip(updates.iter()) {
+            for (&ci, v) in indices.iter().zip(vals.iter()) {
+                t.rows[i][ci] = v.clone();
+            }
+        }
+        Ok(matches.len())
+    }
+
+    fn run_delete(
+        &mut self,
+        table: &str,
+        where_clause: Option<&crate::ast::Expr>,
+    ) -> Result<usize> {
+        let matches: Vec<usize> = {
+            let t = self.catalog.table(table)?;
+            let schema = table_schema(t);
+            let ctx = EngineCtx::new(
+                &self.catalog,
+                self.dialect,
+                &self.bugs,
+                &self.coverage,
+                false,
+                StmtKind::Delete,
+                self.fuel_limit,
+            );
+            let ctes = CteEnv::root();
+            let mut out = Vec::new();
+            for (i, row) in t.rows.iter().enumerate() {
+                ctx.consume_fuel(1)?;
+                if row_matches(row, &schema, where_clause, &ctx, &ctes)? {
+                    out.push(i);
+                }
+            }
+            out
+        };
+        self.coverage.hit(if matches.is_empty() {
+            "exec::delete_nomatch"
+        } else {
+            "exec::delete_match"
+        });
+        let t = self.catalog.table_mut(table)?;
+        for &i in matches.iter().rev() {
+            t.rows.remove(i);
+        }
+        Ok(matches.len())
+    }
+}
+
+fn table_schema(t: &crate::catalog::TableDef) -> Schema {
+    Schema {
+        cols: t
+            .columns
+            .iter()
+            .map(|c| crate::exec::ColMeta {
+                table: Some(t.name.to_ascii_lowercase()),
+                name: c.name.to_ascii_lowercase(),
+                from_view: false,
+                from_cte: false,
+            })
+            .collect(),
+    }
+}
+
+fn row_matches(
+    row: &[Value],
+    schema: &Schema,
+    where_clause: Option<&crate::ast::Expr>,
+    ctx: &EngineCtx,
+    ctes: &CteEnv,
+) -> Result<bool> {
+    let Some(pred) = where_clause else { return Ok(true) };
+    let frames = [Frame { schema, row }];
+    let env = EvalEnv {
+        ctx,
+        scopes: &frames,
+        aggs: None,
+        ctes,
+        info: ExprCtx::new(Clause::Where),
+    };
+    let v = eval_expr(pred, env)?;
+    let t = truthiness(&v, ctx)?;
+    // Bug hook: CockroachAndNullTopConjunct applies to every statement's
+    // WHERE filter.
+    if t.is_none()
+        && matches!(pred, crate::ast::Expr::Binary { op: crate::ast::BinaryOp::And, .. })
+        && ctx.bugs.active(BugId::CockroachAndNullTopConjunct)
+    {
+        return Ok(true);
+    }
+    Ok(t == Some(true))
+}

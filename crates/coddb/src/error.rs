@@ -1,0 +1,111 @@
+//! Error taxonomy for CoddDB.
+//!
+//! The CODDTest paper distinguishes *expected* errors (semantically invalid
+//! queries, unfixed known errors — counted as "unsuccessful queries" in
+//! Table 3) from *bug signals* (internal errors, crashes and hangs — counted
+//! as found bugs in Table 1). [`Error::severity`] encodes that split.
+
+use std::fmt;
+
+/// Every failure the engine can produce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Lexing / parsing failure.
+    Parse(String),
+    /// Unknown or duplicate table / column / index / view.
+    Catalog(String),
+    /// Static or dynamic type mismatch under a strict-typing dialect.
+    Type(String),
+    /// Runtime evaluation failure (overflow, division by zero under strict
+    /// dialects, invalid cast, ...).
+    Eval(String),
+    /// A scalar subquery returned more than one row or more than one column.
+    SubqueryCardinality(String),
+    /// Feature not supported by the active dialect (e.g. `ANY`/`ALL` on the
+    /// SQLite profile).
+    Unsupported(String),
+    /// Injected internal error (models the paper's 14 internal-error bugs).
+    Internal(String),
+    /// Injected crash (models the paper's 2 segfault bugs; surfaced as an
+    /// error instead of aborting the process).
+    Crash(String),
+    /// Execution fuel exhausted (models the paper's 5 hang bugs).
+    Hang,
+}
+
+/// How a test harness should treat an error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Severity {
+    /// An "unsuccessful query": expected, not a bug (Table 3 terminology).
+    Expected,
+    /// A reportable bug signal: internal error, crash or hang.
+    BugSignal,
+}
+
+impl Error {
+    /// Classify the error for campaign accounting.
+    pub fn severity(&self) -> Severity {
+        match self {
+            Error::Internal(_) | Error::Crash(_) | Error::Hang => Severity::BugSignal,
+            _ => Severity::Expected,
+        }
+    }
+
+    /// Short machine-readable category label used in reports.
+    pub fn category(&self) -> &'static str {
+        match self {
+            Error::Parse(_) => "parse",
+            Error::Catalog(_) => "catalog",
+            Error::Type(_) => "type",
+            Error::Eval(_) => "eval",
+            Error::SubqueryCardinality(_) => "subquery-cardinality",
+            Error::Unsupported(_) => "unsupported",
+            Error::Internal(_) => "internal",
+            Error::Crash(_) => "crash",
+            Error::Hang => "hang",
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse(m) => write!(f, "parse error: {m}"),
+            Error::Catalog(m) => write!(f, "catalog error: {m}"),
+            Error::Type(m) => write!(f, "type error: {m}"),
+            Error::Eval(m) => write!(f, "evaluation error: {m}"),
+            Error::SubqueryCardinality(m) => write!(f, "subquery cardinality error: {m}"),
+            Error::Unsupported(m) => write!(f, "unsupported: {m}"),
+            Error::Internal(m) => write!(f, "internal error: {m}"),
+            Error::Crash(m) => write!(f, "crash: {m}"),
+            Error::Hang => write!(f, "query hang: execution fuel exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience result alias used across the engine.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_split_matches_paper_taxonomy() {
+        assert_eq!(Error::Parse("x".into()).severity(), Severity::Expected);
+        assert_eq!(Error::Type("x".into()).severity(), Severity::Expected);
+        assert_eq!(Error::Eval("x".into()).severity(), Severity::Expected);
+        assert_eq!(Error::Internal("x".into()).severity(), Severity::BugSignal);
+        assert_eq!(Error::Crash("x".into()).severity(), Severity::BugSignal);
+        assert_eq!(Error::Hang.severity(), Severity::BugSignal);
+    }
+
+    #[test]
+    fn display_is_prefixed_by_category() {
+        let e = Error::Internal("bad plan".into());
+        assert!(e.to_string().contains("internal error"));
+        assert_eq!(e.category(), "internal");
+    }
+}

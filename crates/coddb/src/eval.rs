@@ -1,0 +1,1459 @@
+//! Scalar expression evaluation.
+//!
+//! Implements SQL three-valued logic, dialect-dependent coercion rules
+//! (§3.3 of the paper: SQLite/MySQL convert freely, CockroachDB/DuckDB are
+//! strict), subquery evaluation (delegated back to [`crate::exec`]), and
+//! most of the injected logic-bug trigger points.
+//!
+//! Evaluation threads an [`ExprCtx`] carrying the *context* of the
+//! expression — clause, statement kind, whether rows arrived via an index
+//! scan, whether the FROM reads a CTE, and the subquery nesting depth.
+//! Real DBMS logic bugs are context-sensitive in exactly these dimensions,
+//! which is what the mutants key on.
+
+use std::cmp::Ordering;
+
+use crate::ast::{AggFunc, BinaryOp, Expr, FuncName, Quantifier, SelectBody, UnaryOp};
+use crate::bugs::BugId;
+use crate::error::{Error, Result};
+use crate::exec::{EngineCtx, EvalEnv, StmtKind};
+use crate::plan::PlanCtx;
+use crate::value::{DataType, Value};
+
+/// Which clause an expression is being evaluated in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Clause {
+    Where,
+    SelectList,
+    JoinOn,
+    Having,
+    GroupBy,
+    OrderBy,
+    IndexExpr,
+    Limit,
+    /// Planner-side constant folding (no clause-specific bugs fire here).
+    ConstFold,
+}
+
+/// Context of the expression being evaluated.
+#[derive(Debug, Clone, Copy)]
+pub struct ExprCtx {
+    pub clause: Clause,
+    /// True only for the root node of the clause's expression.
+    pub top_level: bool,
+    /// Rows reaching this expression came through an index scan.
+    pub via_index: bool,
+    /// The enclosing FROM clause reads at least one CTE.
+    pub from_has_cte: bool,
+    /// Subquery nesting depth of the enclosing SELECT (0 = top statement).
+    pub depth: u32,
+}
+
+impl ExprCtx {
+    pub fn new(clause: Clause) -> Self {
+        ExprCtx { clause, top_level: true, via_index: false, from_has_cte: false, depth: 0 }
+    }
+
+    /// Context for child sub-expressions: everything is inherited except
+    /// `top_level`.
+    pub fn child(self) -> Self {
+        ExprCtx { top_level: false, ..self }
+    }
+}
+
+/// SQL truth values.
+pub type Bool3 = Option<bool>;
+
+/// Convert a value to a SQL truth value under the active dialect.
+pub fn truthiness(v: &Value, ctx: &EngineCtx) -> Result<Bool3> {
+    match v {
+        Value::Null => {
+            ctx.cov.hit("eval::truthy_null");
+            Ok(None)
+        }
+        Value::Bool(b) => {
+            ctx.cov.hit("eval::truthy_bool");
+            Ok(Some(*b))
+        }
+        other => {
+            if ctx.dialect.strict_types() {
+                return Err(Error::Type(format!(
+                    "expected a boolean predicate, got {}",
+                    other.data_type()
+                )));
+            }
+            ctx.cov.hit("eval::truthy_numeric");
+            Ok(Some(other.coerce_f64() != 0.0))
+        }
+    }
+}
+
+/// Render a truth value as a SQL value (INTEGER 0/1 on flexible-typing
+/// dialects, BOOLEAN on strict ones — matching what the emulated systems
+/// return for comparisons).
+pub fn bool3_to_value(b: Bool3, ctx: &EngineCtx) -> Value {
+    match b {
+        None => Value::Null,
+        Some(t) => {
+            if ctx.dialect.strict_types() {
+                Value::Bool(t)
+            } else {
+                Value::Int(t as i64)
+            }
+        }
+    }
+}
+
+fn not3(b: Bool3) -> Bool3 {
+    b.map(|t| !t)
+}
+
+/// Evaluate a constant expression during planning.
+pub fn eval_const(expr: &Expr, pctx: &PlanCtx) -> Result<Value> {
+    let ctx = EngineCtx::new(
+        pctx.catalog,
+        pctx.dialect,
+        pctx.bugs,
+        pctx.cov,
+        false,
+        StmtKind::Select,
+        u64::MAX,
+    );
+    let ctes = crate::exec::CteEnv::root();
+    let env = EvalEnv {
+        ctx: &ctx,
+        scopes: &[],
+        aggs: None,
+        ctes: &ctes,
+        info: ExprCtx::new(Clause::ConstFold),
+    };
+    eval_expr(expr, env)
+}
+
+/// Evaluate an expression under the given environment.
+pub fn eval_expr(expr: &Expr, env: EvalEnv) -> Result<Value> {
+    let ctx = env.ctx;
+    match expr {
+        Expr::Literal(v) => {
+            ctx.cov.hit("eval::literal");
+            Ok(v.clone())
+        }
+        Expr::Column(c) => resolve_column(c, env),
+        Expr::Unary { op, expr } => {
+            let v = eval_expr(expr, env.child())?;
+            match op {
+                UnaryOp::Neg => {
+                    ctx.cov.hit("eval::neg");
+                    match v {
+                        Value::Null => Ok(Value::Null),
+                        Value::Int(i) => i
+                            .checked_neg()
+                            .map(Value::Int)
+                            .ok_or_else(|| Error::Eval("integer overflow in negation".into())),
+                        Value::Real(r) => Ok(Value::Real(-r)),
+                        other => {
+                            if ctx.dialect.strict_types() {
+                                Err(Error::Type(format!("cannot negate {}", other.data_type())))
+                            } else {
+                                Ok(Value::Real(-other.coerce_f64()))
+                            }
+                        }
+                    }
+                }
+                UnaryOp::Not => {
+                    ctx.cov.hit("eval::not");
+                    let b = truthiness(&v, ctx)?;
+                    Ok(bool3_to_value(not3(b), ctx))
+                }
+            }
+        }
+        Expr::Binary { op, left, right } => eval_binary(*op, left, right, env),
+        Expr::Between { expr: e, low, high, negated } => {
+            ctx.cov.hit(if *negated { "eval::between_neg" } else { "eval::between" });
+            let v = eval_expr(e, env.child())?;
+            // Bug hook: SqliteBetweenTextAffinity — a top-level BETWEEN on
+            // a TEXT value with numeric bounds wrongly applies numeric
+            // affinity (SQLite's correct storage-class comparison places
+            // any TEXT above any number, so the range never matches).
+            if ctx.bugs.active(BugId::SqliteBetweenTextAffinity)
+                && env.info.top_level
+                && env.info.clause == Clause::Where
+                && ctx.stmt == StmtKind::Select
+                && !*negated
+                && matches!(v, Value::Text(_))
+            {
+                let lo = eval_expr(low, env.child())?;
+                let hi = eval_expr(high, env.child())?;
+                if let (Some(lo), Some(hi)) = (lo.as_f64(), hi.as_f64()) {
+                    let x = v.coerce_f64();
+                    return Ok(bool3_to_value(Some(x >= lo && x <= hi), ctx));
+                }
+            }
+            let lo = eval_expr(low, env.child())?;
+            let hi = eval_expr(high, env.child())?;
+            let ge_low = compare(&v, &lo, ctx, env.info)?.map(|o| o != Ordering::Less);
+            let le_high = compare(&v, &hi, ctx, env.info)?.map(|o| o != Ordering::Greater);
+            let b = and3(ge_low, le_high);
+            Ok(bool3_to_value(if *negated { not3(b) } else { b }, ctx))
+        }
+        Expr::InList { expr: e, list, negated } => eval_in_list(e, list, *negated, env),
+        Expr::InSubquery { expr: e, query, negated } => {
+            let v = eval_expr(e, env.child())?;
+            let rel = crate::exec::exec_subquery(query, env)?;
+            if !rel.rows.is_empty() && rel.columns.len() != 1 {
+                return Err(Error::SubqueryCardinality(
+                    "IN subquery must return one column".into(),
+                ));
+            }
+            // SQL: `x IN (empty set)` is FALSE even for NULL x.
+            if rel.rows.is_empty() {
+                ctx.cov.hit("eval::in_subq_miss");
+                return Ok(bool3_to_value(Some(*negated), ctx));
+            }
+            let mut any_null = false;
+            let mut hit = false;
+            for row in &rel.rows {
+                match compare(&v, &row[0], ctx, env.info)? {
+                    Some(Ordering::Equal) => {
+                        hit = true;
+                        break;
+                    }
+                    None => any_null = true,
+                    _ => {}
+                }
+            }
+            let b = if hit {
+                ctx.cov.hit("eval::in_subq_hit");
+                Some(true)
+            } else if v.is_null() || any_null {
+                ctx.cov.hit("eval::in_subq_null");
+                None
+            } else {
+                ctx.cov.hit("eval::in_subq_miss");
+                Some(false)
+            };
+            Ok(bool3_to_value(if *negated { not3(b) } else { b }, ctx))
+        }
+        Expr::Exists { query, negated } => {
+            let rel = crate::exec::exec_subquery(query, env)?;
+            let mut exists = !rel.rows.is_empty();
+            // Bug hook: SqliteExistsJoinOnEmpty — an empty EXISTS inside a
+            // JOIN ON clause is treated as TRUE (Listing 8).
+            if ctx.bugs.active(BugId::SqliteExistsJoinOnEmpty)
+                && env.info.clause == Clause::JoinOn
+                && !exists
+            {
+                exists = true;
+            }
+            ctx.cov.hit(if exists { "eval::exists_true" } else { "eval::exists_false" });
+            let b = Some(exists != *negated);
+            Ok(bool3_to_value(b, ctx))
+        }
+        Expr::Scalar(query) => {
+            // Bug hook: SqliteAggSubqueryIndexedWhere (Listing 1) — an
+            // aggregate subquery with GROUP BY in the WHERE of an
+            // index-scanned query is misevaluated.
+            if ctx.bugs.active(BugId::SqliteAggSubqueryIndexedWhere)
+                && env.info.clause == Clause::Where
+                && env.info.via_index
+                && subquery_has_aggregate(query)
+            {
+                return Ok(Value::Int(1));
+            }
+            let rel = crate::exec::exec_subquery(query, env)?;
+            if rel.rows.is_empty() {
+                ctx.cov.hit("eval::scalar_subq_empty");
+                return Ok(Value::Null);
+            }
+            if rel.rows.len() > 1 {
+                return Err(Error::SubqueryCardinality("subquery returns more than 1 row".into()));
+            }
+            if rel.columns.len() != 1 {
+                return Err(Error::SubqueryCardinality(
+                    "operand should contain 1 column".into(),
+                ));
+            }
+            ctx.cov.hit("eval::scalar_subq");
+            Ok(rel.rows[0][0].clone())
+        }
+        Expr::Quantified { op, quantifier, expr: e, query } => {
+            if !ctx.dialect.supports_quantified() {
+                return Err(Error::Unsupported(format!(
+                    "{} does not support ANY/ALL",
+                    ctx.dialect
+                )));
+            }
+            let v = eval_expr(e, env.child())?;
+            let rel = crate::exec::exec_subquery(query, env)?;
+            if !rel.rows.is_empty() && rel.columns.len() != 1 {
+                return Err(Error::SubqueryCardinality(
+                    "quantified subquery must return one column".into(),
+                ));
+            }
+            let mut quant = *quantifier;
+            // Bug hook: CockroachAnyNonValuesSubquery — ANY evaluates with
+            // ALL semantics unless the subquery is a bare VALUES list.
+            if ctx.bugs.active(BugId::CockroachAnyNonValuesSubquery)
+                && quant == Quantifier::Any
+                && !matches!(query.body, SelectBody::Values(_))
+            {
+                quant = Quantifier::All;
+            }
+            ctx.cov.hit(match quant {
+                Quantifier::Any => "eval::quant_any",
+                Quantifier::All => "eval::quant_all",
+            });
+            let mut any_null = false;
+            let mut any_true = false;
+            let mut any_false = false;
+            for row in &rel.rows {
+                match compare(&v, &row[0], ctx, env.info)? {
+                    None => any_null = true,
+                    Some(ord) => {
+                        if cmp_matches(op.as_binary(), ord) {
+                            any_true = true;
+                        } else {
+                            any_false = true;
+                        }
+                    }
+                }
+            }
+            let b = match quant {
+                Quantifier::Any => {
+                    if any_true {
+                        Some(true)
+                    } else if any_null {
+                        None
+                    } else {
+                        Some(false)
+                    }
+                }
+                Quantifier::All => {
+                    if any_false {
+                        Some(false)
+                    } else if any_null {
+                        None
+                    } else {
+                        Some(true)
+                    }
+                }
+            };
+            Ok(bool3_to_value(b, ctx))
+        }
+        Expr::Case { operand, whens, else_expr } => {
+            // Bug hook: TidbInternalCaseManyWhens.
+            if ctx.bugs.active(BugId::TidbInternalCaseManyWhens) && whens.len() > 8 {
+                return Err(Error::Internal("CASE arm limit exceeded in plan cache".into()));
+            }
+            // Bug hook: DuckdbCaseSubqueryElse — a THEN arm containing a
+            // subquery makes the CASE take the ELSE arm.
+            if ctx.bugs.active(BugId::DuckdbCaseSubqueryElse)
+                && else_expr.is_some()
+                && whens.iter().any(|(_, t)| t.contains_subquery())
+            {
+                ctx.cov.hit("eval::case_else");
+                return eval_expr(else_expr.as_ref().unwrap(), env.child());
+            }
+            match operand {
+                Some(op) => {
+                    ctx.cov.hit("eval::case_operand");
+                    let base = eval_expr(op, env.child())?;
+                    for (w, t) in whens {
+                        let wv = eval_expr(w, env.child())?;
+                        if compare(&base, &wv, ctx, env.info)? == Some(Ordering::Equal) {
+                            return eval_expr(t, env.child());
+                        }
+                    }
+                }
+                None => {
+                    ctx.cov.hit("eval::case_searched");
+                    for (w, t) in whens {
+                        // Bug hook: CockroachCaseNullFromCte (Listing 7) —
+                        // `WHEN NULL` takes the THEN branch when the query
+                        // reads from a CTE.
+                        if ctx.bugs.active(BugId::CockroachCaseNullFromCte)
+                            && env.info.from_has_cte
+                            && matches!(w, Expr::Literal(Value::Null))
+                        {
+                            return eval_expr(t, env.child());
+                        }
+                        let wv = eval_expr(w, env.child())?;
+                        if truthiness(&wv, ctx)? == Some(true) {
+                            return eval_expr(t, env.child());
+                        }
+                    }
+                }
+            }
+            match else_expr {
+                Some(e) => {
+                    ctx.cov.hit("eval::case_else");
+                    eval_expr(e, env.child())
+                }
+                None => {
+                    ctx.cov.hit("eval::case_no_match");
+                    Ok(Value::Null)
+                }
+            }
+        }
+        Expr::Func { func, args } => eval_func(*func, args, env),
+        Expr::Agg { .. } => match env.aggs {
+            Some(aggs) => aggs
+                .iter()
+                .find(|(e, _)| e == expr)
+                .map(|(_, v)| v.clone())
+                .ok_or_else(|| Error::Internal("aggregate value not precomputed".into())),
+            None => Err(Error::Eval("misuse of aggregate function".into())),
+        },
+        Expr::Cast { expr: e, ty } => {
+            let v = eval_expr(e, env.child())?;
+            eval_cast(v, *ty, ctx)
+        }
+        Expr::IsNull { expr: e, negated } => {
+            let v = eval_expr(e, env.child())?;
+            let mut b = v.is_null();
+            // Bug hook: TidbIsNullTopLevelInverted.
+            if ctx.bugs.active(BugId::TidbIsNullTopLevelInverted)
+                && env.info.top_level
+                && env.info.clause == Clause::Where
+                && !matches!(e.as_ref(), Expr::Literal(_))
+            {
+                b = !b;
+            }
+            Ok(bool3_to_value(Some(b != *negated), ctx))
+        }
+        Expr::Like { expr: e, pattern, negated } => {
+            let v = eval_expr(e, env.child())?;
+            let p = eval_expr(pattern, env.child())?;
+            if v.is_null() || p.is_null() {
+                ctx.cov.hit("eval::like_null");
+                return Ok(Value::Null);
+            }
+            let text = value_to_text(&v, ctx, "LIKE")?;
+            let pat = value_to_text(&p, ctx, "LIKE")?;
+            // Bug hook: TidbInternalLikeEscape.
+            if ctx.bugs.active(BugId::TidbInternalLikeEscape) && pat.ends_with('\\') {
+                return Err(Error::Internal("dangling escape in LIKE pattern".into()));
+            }
+            // Bug hook: DuckdbHangLikePercents.
+            if ctx.bugs.active(BugId::DuckdbHangLikePercents) && pat.contains("%%%") {
+                return Err(Error::Hang);
+            }
+            let mut case_insensitive = ctx.dialect.like_case_insensitive();
+            // Bug hook: SqliteLikeCaseFold — top-level LIKE in a SELECT's
+            // WHERE matches case-sensitively.
+            if ctx.bugs.active(BugId::SqliteLikeCaseFold)
+                && env.info.top_level
+                && env.info.clause == Clause::Where
+                && ctx.stmt == StmtKind::Select
+            {
+                case_insensitive = false;
+            }
+            let mut matched = like_match(&text, &pat, case_insensitive);
+            ctx.cov.hit(if matched { "eval::like_match" } else { "eval::like_nomatch" });
+            let mut neg = *negated;
+            // Bug hook: DuckdbNotLikeTopLevel — top-level NOT LIKE in WHERE
+            // evaluates as plain LIKE.
+            if ctx.bugs.active(BugId::DuckdbNotLikeTopLevel)
+                && env.info.top_level
+                && env.info.clause == Clause::Where
+                && *negated
+            {
+                neg = false;
+            }
+            if neg {
+                matched = !matched;
+            }
+            Ok(bool3_to_value(Some(matched), ctx))
+        }
+    }
+}
+
+/// The Listing-1 trigger shape: an *aggregate subquery* (the SQLite
+/// developers confirmed an aggregate subquery is a necessary condition for
+/// the modelled bug; the remaining conditions — GROUP-BY-by-sort inside
+/// the view, indexed expressions — are folded into the indexed-scan
+/// requirement at the call site).
+fn subquery_has_aggregate(q: &crate::ast::Select) -> bool {
+    let Some(core) = q.core() else { return false };
+    core.items.iter().any(|i| match i {
+        crate::ast::SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
+        _ => false,
+    })
+}
+
+fn resolve_column(c: &crate::ast::ColumnRef, env: EvalEnv) -> Result<Value> {
+    let ctx = env.ctx;
+    let want_table = c.table.as_deref().map(str::to_ascii_lowercase);
+    let want_col = c.column.to_ascii_lowercase();
+
+    let mut found: Option<(usize, usize)> = None; // (scope index from end, col index)
+    for (rev_idx, frame) in env.scopes.iter().rev().enumerate() {
+        let mut matches = frame.schema.cols.iter().enumerate().filter(|(_, col)| {
+            col.name == want_col
+                && match &want_table {
+                    Some(t) => col.table.as_deref() == Some(t.as_str()),
+                    None => true,
+                }
+        });
+        if let Some((idx, _)) = matches.next() {
+            if matches.next().is_some() {
+                return Err(Error::Catalog(format!("ambiguous column name: {}", c)));
+            }
+            found = Some((rev_idx, idx));
+            break;
+        }
+    }
+    let (mut rev_idx, mut col_idx) = found
+        .ok_or_else(|| Error::Catalog(format!("no such column: {}", c)))?;
+
+    // Bug hook: TidbCorrelatedNameCollision — a bare column that resolves
+    // in the subquery's own scope but shares its name with an outer column
+    // is wrongly bound to the outer row (the subquery is "misinterpreted
+    // as correlated").
+    if ctx.bugs.active(BugId::TidbCorrelatedNameCollision)
+        && want_table.is_none()
+        && rev_idx == 0
+        && env.scopes.len() > 1
+        && env.info.depth > 0
+    {
+        for (outer_rev, frame) in env.scopes.iter().rev().enumerate().skip(1) {
+            if let Some(idx) =
+                frame.schema.cols.iter().position(|col| col.name == want_col)
+            {
+                rev_idx = outer_rev;
+                col_idx = idx;
+                break;
+            }
+        }
+    }
+
+    ctx.cov.hit(if rev_idx == 0 { "eval::column_local" } else { "eval::column_outer" });
+    let frame = &env.scopes[env.scopes.len() - 1 - rev_idx];
+    Ok(frame.row[col_idx].clone())
+}
+
+fn and3(a: Bool3, b: Bool3) -> Bool3 {
+    match (a, b) {
+        (Some(false), _) | (_, Some(false)) => Some(false),
+        (Some(true), Some(true)) => Some(true),
+        _ => None,
+    }
+}
+
+fn or3(a: Bool3, b: Bool3) -> Bool3 {
+    match (a, b) {
+        (Some(true), _) | (_, Some(true)) => Some(true),
+        (Some(false), Some(false)) => Some(false),
+        _ => None,
+    }
+}
+
+fn eval_binary(op: BinaryOp, left: &Expr, right: &Expr, env: EvalEnv) -> Result<Value> {
+    let ctx = env.ctx;
+    match op {
+        BinaryOp::And => {
+            let lv = eval_expr(left, env.child())?;
+            let lb = truthiness(&lv, ctx)?;
+            if lb == Some(false) {
+                ctx.cov.hit("eval::and_short");
+                return Ok(bool3_to_value(Some(false), ctx));
+            }
+            let rv = eval_expr(right, env.child())?;
+            let rb = truthiness(&rv, ctx)?;
+            let b = and3(lb, rb);
+            if b.is_none() {
+                ctx.cov.hit("eval::and_null");
+            }
+            Ok(bool3_to_value(b, ctx))
+        }
+        BinaryOp::Or => {
+            // Bug hook: CockroachOrShortCircuitFalse — a top-level OR in a
+            // SELECT's WHERE whose left arm is a constant FALSE literal
+            // short-circuits the whole filter to FALSE.
+            if ctx.bugs.active(BugId::CockroachOrShortCircuitFalse)
+                && env.info.top_level
+                && env.info.clause == Clause::Where
+                && ctx.stmt == StmtKind::Select
+            {
+                if let Expr::Literal(v) = left {
+                    if matches!(v, Value::Bool(false) | Value::Int(0)) {
+                        return Ok(bool3_to_value(Some(false), ctx));
+                    }
+                }
+            }
+            let lv = eval_expr(left, env.child())?;
+            let lb = truthiness(&lv, ctx)?;
+            if lb == Some(true) {
+                ctx.cov.hit("eval::or_short");
+                return Ok(bool3_to_value(Some(true), ctx));
+            }
+            let rv = eval_expr(right, env.child())?;
+            let rb = truthiness(&rv, ctx)?;
+            let b = or3(lb, rb);
+            if b.is_none() {
+                ctx.cov.hit("eval::or_null");
+            }
+            Ok(bool3_to_value(b, ctx))
+        }
+        BinaryOp::Is | BinaryOp::IsNot => {
+            ctx.cov.hit("eval::is_op");
+            let lv = eval_expr(left, env.child())?;
+            let rv = eval_expr(right, env.child())?;
+            let same = lv.is_identical(&rv);
+            Ok(bool3_to_value(Some(same == (op == BinaryOp::Is)), ctx))
+        }
+        _ if op.is_comparison() => {
+            let lv = eval_expr(left, env.child())?;
+            let rv = eval_expr(right, env.child())?;
+            // Bug hook: DuckdbSubqueryBoolCoerce — a boolean result of a
+            // scalar subquery is "coerced" before the comparison,
+            // inverting it.
+            let lv = coerce_subquery_bool(lv, left, ctx);
+            let rv = coerce_subquery_bool(rv, right, ctx);
+            let ord = compare_with_bugs(&lv, &rv, ctx, env)?;
+            let b = ord.map(|o| cmp_matches(op, o));
+            ctx.cov.hit(match b {
+                Some(true) => "eval::cmp_true",
+                Some(false) => "eval::cmp_false",
+                None => "eval::cmp_null",
+            });
+            Ok(bool3_to_value(b, ctx))
+        }
+        BinaryOp::Concat => {
+            ctx.cov.hit("eval::concat");
+            let lv = eval_expr(left, env.child())?;
+            let rv = eval_expr(right, env.child())?;
+            if lv.is_null() || rv.is_null() {
+                return Ok(Value::Null);
+            }
+            // Bug hook: SqliteInternalConcatIndexedExpr.
+            if ctx.bugs.active(BugId::SqliteInternalConcatIndexedExpr)
+                && env.info.clause == Clause::IndexExpr
+                && matches!(
+                    (&lv, &rv),
+                    (Value::Text(_), Value::Real(_)) | (Value::Real(_), Value::Text(_))
+                )
+            {
+                return Err(Error::Internal("affinity confusion in indexed expression".into()));
+            }
+            let l = value_to_text(&lv, ctx, "||")?;
+            let r = value_to_text(&rv, ctx, "||")?;
+            Ok(Value::Text(format!("{l}{r}")))
+        }
+        _ => {
+            debug_assert!(op.is_arithmetic());
+            let lv = eval_expr(left, env.child())?;
+            let rv = eval_expr(right, env.child())?;
+            eval_arith(op, lv, rv, env)
+        }
+    }
+}
+
+fn coerce_subquery_bool(v: Value, e: &Expr, ctx: &EngineCtx) -> Value {
+    if ctx.bugs.active(BugId::DuckdbSubqueryBoolCoerce) && matches!(e, Expr::Scalar(_)) {
+        // The modelled bug mishandles the subquery's return type before a
+        // comparison: booleans invert, integers come back sign-flipped.
+        match v {
+            Value::Bool(b) => return Value::Bool(!b),
+            Value::Int(i) => return Value::Int(-i),
+            other => return other,
+        }
+    }
+    v
+}
+
+fn cmp_matches(op: BinaryOp, ord: Ordering) -> bool {
+    match op {
+        BinaryOp::Eq => ord == Ordering::Equal,
+        BinaryOp::Ne => ord != Ordering::Equal,
+        BinaryOp::Lt => ord == Ordering::Less,
+        BinaryOp::Le => ord != Ordering::Greater,
+        BinaryOp::Gt => ord == Ordering::Greater,
+        BinaryOp::Ge => ord != Ordering::Less,
+        _ => unreachable!("not a comparison"),
+    }
+}
+
+/// Dialect-aware SQL comparison.
+///
+/// * Strict dialects demand compatible operand classes.
+/// * MySQL/TiDB coerce TEXT numerically when compared with a number.
+/// * SQLite compares across storage classes by class rank.
+pub fn compare(a: &Value, b: &Value, ctx: &EngineCtx, _info: ExprCtx) -> Result<Option<Ordering>> {
+    if a.is_null() || b.is_null() {
+        return Ok(None);
+    }
+    let (at, bt) = (a.data_type(), b.data_type());
+    let numeric =
+        |t: DataType| matches!(t, DataType::Int | DataType::Real | DataType::Bool);
+    if ctx.dialect.strict_types() {
+        let compatible = at == bt || (numeric(at) && numeric(bt));
+        if !compatible {
+            return Err(Error::Type(format!("cannot compare {at} with {bt}")));
+        }
+    }
+    // MySQL-family numeric coercion of text.
+    if matches!(ctx.dialect, crate::dialect::Dialect::Mysql | crate::dialect::Dialect::Tidb) {
+        let is_text = |v: &Value| matches!(v, Value::Text(_));
+        if (is_text(a) && numeric(bt)) || (numeric(at) && is_text(b)) {
+            return Ok(Some(a.coerce_f64().total_cmp(&b.coerce_f64())));
+        }
+    }
+    Ok(a.sql_cmp(b))
+}
+
+fn compare_with_bugs(a: &Value, b: &Value, ctx: &EngineCtx, env: EvalEnv) -> Result<Option<Ordering>> {
+    // MySQL dialect rule (not a bug): cross-type TEXT/number comparisons
+    // are rejected in UPDATE/DELETE (§4.2: the DQE semantic-error case).
+    let is_text = |v: &Value| matches!(v, Value::Text(_));
+    let is_num = |v: &Value| matches!(v, Value::Int(_) | Value::Real(_));
+    if ctx.dialect == crate::dialect::Dialect::Mysql
+        && matches!(ctx.stmt, StmtKind::Update | StmtKind::Delete)
+        && env.info.clause == Clause::Where
+        && ((is_text(a) && is_num(b)) || (is_num(a) && is_text(b)))
+    {
+        return Err(Error::Type(
+            "cross-type comparison is not permitted in UPDATE/DELETE".into(),
+        ));
+    }
+    // Bug hook: MysqlTextIntCompareWhere — a top-level TEXT-vs-INT
+    // comparison in a WHERE filter compares by storage class instead of
+    // coercing numerically.
+    if ctx.bugs.active(BugId::MysqlTextIntCompareWhere)
+        && env.info.top_level
+        && env.info.clause == Clause::Where
+        && ((is_text(a) && is_num(b)) || (is_num(a) && is_text(b)))
+    {
+        return Ok(a.sql_cmp(b)); // class-rank comparison: text > number
+    }
+    compare(a, b, ctx, env.info)
+}
+
+fn eval_in_list(e: &Expr, list: &[Expr], negated: bool, env: EvalEnv) -> Result<Value> {
+    let ctx = env.ctx;
+    let v = eval_expr(e, env.child())?;
+
+    // Bug hook: TidbInValueListWhere (Listing 10) — a top-level IN value
+    // list in a WHERE filter evaluates to FALSE (in every statement kind,
+    // which is why DQE cannot see it).
+    if ctx.bugs.active(BugId::TidbInValueListWhere)
+        && env.info.top_level
+        && env.info.clause == Clause::Where
+        && !negated
+    {
+        return Ok(bool3_to_value(Some(false), ctx));
+    }
+
+    // SQL: `x IN ()` over an empty list is FALSE even for NULL x.
+    if list.is_empty() {
+        ctx.cov.hit("eval::in_list_miss");
+        return Ok(bool3_to_value(Some(negated), ctx));
+    }
+    // Evaluate all items up front (lists are short); the Listing-9 bug
+    // hook below is keyed on the item *values*.
+    let mut items = Vec::with_capacity(list.len());
+    for item in list {
+        items.push(eval_expr(item, env.child())?);
+    }
+
+    // Bug hook: CockroachInBigIntValueList (Listing 9) — an IN list with an
+    // INT8-range value mis-lowers as a top-level SELECT predicate or
+    // projection, but not in UPDATE/DELETE — which is how DQE catches it
+    // while NoREC cannot (NoREC's two queries mis-lower identically; the
+    // planner also refuses to constant-fold such lists, see plan.rs).
+    if ctx.bugs.active(BugId::CockroachInBigIntValueList)
+        && ctx.stmt == StmtKind::Select
+        && env.info.top_level
+        && matches!(env.info.clause, Clause::Where | Clause::SelectList)
+        && items
+            .iter()
+            .any(|i| matches!(i, Value::Int(k) if k.unsigned_abs() > u32::MAX as u64))
+    {
+        return Ok(bool3_to_value(Some(negated), ctx));
+    }
+
+    let mut any_null = v.is_null();
+    let mut hit = false;
+    if !v.is_null() {
+        for iv in &items {
+            match compare(&v, iv, ctx, env.info)? {
+                Some(Ordering::Equal) => {
+                    hit = true;
+                    break;
+                }
+                None => any_null = true,
+                _ => {}
+            }
+        }
+    }
+    let b = if hit {
+        ctx.cov.hit("eval::in_list_hit");
+        Some(true)
+    } else if any_null {
+        ctx.cov.hit("eval::in_list_null");
+        None
+    } else {
+        ctx.cov.hit("eval::in_list_miss");
+        Some(false)
+    };
+    Ok(bool3_to_value(if negated { not3(b) } else { b }, ctx))
+}
+
+fn eval_arith(op: BinaryOp, lv: Value, rv: Value, env: EvalEnv) -> Result<Value> {
+    let ctx = env.ctx;
+    if lv.is_null() || rv.is_null() {
+        ctx.cov.hit("eval::arith_null");
+        return Ok(Value::Null);
+    }
+    if ctx.dialect.strict_types() {
+        let numeric = |v: &Value| matches!(v, Value::Int(_) | Value::Real(_));
+        if !numeric(&lv) || !numeric(&rv) {
+            return Err(Error::Type(format!(
+                "cannot apply {op} to {} and {}",
+                lv.data_type(),
+                rv.data_type()
+            )));
+        }
+    }
+    let both_int = matches!(lv, Value::Int(_) | Value::Bool(_))
+        && matches!(rv, Value::Int(_) | Value::Bool(_));
+    match op {
+        BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul => {
+            if both_int {
+                ctx.cov.hit("eval::arith_int");
+                let a = lv.as_i64().unwrap();
+                let b = rv.as_i64().unwrap();
+                let r = match op {
+                    BinaryOp::Add => a.checked_add(b),
+                    BinaryOp::Sub => a.checked_sub(b),
+                    _ => a.checked_mul(b),
+                };
+                match r {
+                    Some(v) => Ok(Value::Int(v)),
+                    None => {
+                        ctx.cov.hit("eval::arith_overflow");
+                        // Bug hook: DuckdbInternalOverflowAddProj
+                        // (Listing 11) — overflow in a projection raises an
+                        // internal error instead of a clean one.
+                        if ctx.bugs.active(BugId::DuckdbInternalOverflowAddProj)
+                            && op == BinaryOp::Add
+                            && env.info.clause == Clause::SelectList
+                        {
+                            return Err(Error::Internal(format!(
+                                "Overflow in addition of INT64 ({a} + {b})!"
+                            )));
+                        }
+                        Err(Error::Eval(format!("integer overflow: {a} {op} {b}")))
+                    }
+                }
+            } else {
+                ctx.cov.hit("eval::arith_real");
+                let a = lv.coerce_f64();
+                let b = rv.coerce_f64();
+                let r = match op {
+                    BinaryOp::Add => a + b,
+                    BinaryOp::Sub => a - b,
+                    _ => a * b,
+                };
+                Ok(finite_or_null(r))
+            }
+        }
+        BinaryOp::Div => {
+            let b_num = rv.coerce_f64();
+            if b_num == 0.0 {
+                return div_by_zero(ctx);
+            }
+            if both_int && !ctx.dialect.int_div_yields_real() {
+                ctx.cov.hit("eval::arith_int");
+                let a = lv.as_i64().unwrap();
+                let b = rv.as_i64().unwrap();
+                a.checked_div(b)
+                    .map(Value::Int)
+                    .ok_or_else(|| Error::Eval("integer overflow in division".into()))
+            } else {
+                ctx.cov.hit("eval::arith_real");
+                Ok(finite_or_null(lv.coerce_f64() / b_num))
+            }
+        }
+        BinaryOp::Mod => {
+            let a = lv
+                .as_i64()
+                .or_else(|| Some(lv.coerce_f64() as i64))
+                .unwrap();
+            let b = rv
+                .as_i64()
+                .or_else(|| Some(rv.coerce_f64() as i64))
+                .unwrap();
+            if b == 0 {
+                return div_by_zero(ctx);
+            }
+            ctx.cov.hit("eval::arith_int");
+            a.checked_rem(b)
+                .map(Value::Int)
+                .ok_or_else(|| Error::Eval("integer overflow in modulo".into()))
+        }
+        _ => unreachable!("not arithmetic"),
+    }
+}
+
+fn div_by_zero(ctx: &EngineCtx) -> Result<Value> {
+    if ctx.dialect.div_by_zero_is_null() {
+        ctx.cov.hit("eval::div_zero_null");
+        Ok(Value::Null)
+    } else {
+        ctx.cov.hit("eval::div_zero_error");
+        Err(Error::Eval("division by zero".into()))
+    }
+}
+
+fn finite_or_null(r: f64) -> Value {
+    if r.is_finite() {
+        Value::Real(r)
+    } else {
+        // CoddDB maps non-finite reals to NULL (documented simplification;
+        // the paper's generator likewise eschews extreme floats to avoid
+        // false alarms).
+        Value::Null
+    }
+}
+
+fn value_to_text(v: &Value, ctx: &EngineCtx, op: &str) -> Result<String> {
+    match v {
+        Value::Text(s) => Ok(s.clone()),
+        other if !ctx.dialect.strict_types() => Ok(other.to_string()),
+        other => Err(Error::Type(format!("{op} expects TEXT, got {}", other.data_type()))),
+    }
+}
+
+fn eval_cast(v: Value, ty: DataType, ctx: &EngineCtx) -> Result<Value> {
+    if v.is_null() {
+        return Ok(Value::Null);
+    }
+    match ty {
+        DataType::Int => {
+            ctx.cov.hit("eval::cast_int");
+            match &v {
+                Value::Int(i) => Ok(Value::Int(*i)),
+                Value::Bool(b) => Ok(Value::Int(*b as i64)),
+                Value::Real(r) => Ok(Value::Int(*r as i64)),
+                Value::Text(s) => {
+                    if ctx.dialect.strict_types() {
+                        match s.trim().parse::<i64>() {
+                            Ok(i) => Ok(Value::Int(i)),
+                            Err(_) => {
+                                // Bug hook: CockroachInternalCastTextInt.
+                                if ctx.bugs.active(BugId::CockroachInternalCastTextInt) {
+                                    Err(Error::Internal(format!(
+                                        "could not lower cast of {s:?} to INT"
+                                    )))
+                                } else {
+                                    Err(Error::Eval(format!("could not parse {s:?} as INT")))
+                                }
+                            }
+                        }
+                    } else {
+                        Ok(Value::Int(v.coerce_f64() as i64))
+                    }
+                }
+                Value::Null => unreachable!(),
+            }
+        }
+        DataType::Real => {
+            ctx.cov.hit("eval::cast_real");
+            match &v {
+                Value::Real(r) => Ok(Value::Real(*r)),
+                Value::Int(i) => Ok(Value::Real(*i as f64)),
+                Value::Bool(b) => Ok(Value::Real(*b as i64 as f64)),
+                Value::Text(s) => {
+                    if ctx.dialect.strict_types() {
+                        s.trim()
+                            .parse::<f64>()
+                            .map(Value::Real)
+                            .map_err(|_| Error::Eval(format!("could not parse {s:?} as REAL")))
+                    } else {
+                        Ok(Value::Real(v.coerce_f64()))
+                    }
+                }
+                Value::Null => unreachable!(),
+            }
+        }
+        DataType::Text => {
+            ctx.cov.hit("eval::cast_text");
+            Ok(Value::Text(v.to_string()))
+        }
+        DataType::Bool => {
+            ctx.cov.hit("eval::cast_bool");
+            match &v {
+                Value::Bool(b) => Ok(Value::Bool(*b)),
+                Value::Int(i) => Ok(Value::Bool(*i != 0)),
+                Value::Real(r) => Ok(Value::Bool(*r != 0.0)),
+                Value::Text(s) => {
+                    let t = s.trim().to_ascii_lowercase();
+                    match t.as_str() {
+                        "true" | "t" | "1" => Ok(Value::Bool(true)),
+                        "false" | "f" | "0" => Ok(Value::Bool(false)),
+                        _ if !ctx.dialect.strict_types() => {
+                            Ok(Value::Bool(v.coerce_f64() != 0.0))
+                        }
+                        _ => Err(Error::Eval(format!("could not parse {s:?} as BOOLEAN"))),
+                    }
+                }
+                Value::Null => unreachable!(),
+            }
+        }
+        DataType::Any => Ok(v),
+    }
+}
+
+fn eval_func(func: FuncName, args: &[Expr], env: EvalEnv) -> Result<Value> {
+    let ctx = env.ctx;
+    let arity_err = |want: &str| {
+        Err(Error::Eval(format!(
+            "wrong number of arguments to function {}() (expected {want}, got {})",
+            func.sql_name(),
+            args.len()
+        )))
+    };
+    match func {
+        FuncName::Length => {
+            if args.len() != 1 {
+                return arity_err("1");
+            }
+            ctx.cov.hit("eval::func_length");
+            let v = eval_expr(&args[0], env.child())?;
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            let s = value_to_text(&v, ctx, "LENGTH")?;
+            Ok(Value::Int(s.chars().count() as i64))
+        }
+        FuncName::Abs => {
+            if args.len() != 1 {
+                return arity_err("1");
+            }
+            ctx.cov.hit("eval::func_abs");
+            match eval_expr(&args[0], env.child())? {
+                Value::Null => Ok(Value::Null),
+                Value::Int(i) => i
+                    .checked_abs()
+                    .map(Value::Int)
+                    .ok_or_else(|| Error::Eval("integer overflow in ABS".into())),
+                Value::Real(r) => Ok(Value::Real(r.abs())),
+                other if !ctx.dialect.strict_types() => {
+                    Ok(Value::Real(other.coerce_f64().abs()))
+                }
+                other => Err(Error::Type(format!("ABS expects a number, got {}", other.data_type()))),
+            }
+        }
+        FuncName::Upper | FuncName::Lower => {
+            if args.len() != 1 {
+                return arity_err("1");
+            }
+            ctx.cov.hit(if func == FuncName::Upper {
+                "eval::func_upper"
+            } else {
+                "eval::func_lower"
+            });
+            let v = eval_expr(&args[0], env.child())?;
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            let s = value_to_text(&v, ctx, func.sql_name())?;
+            Ok(Value::Text(if func == FuncName::Upper {
+                s.to_uppercase()
+            } else {
+                s.to_lowercase()
+            }))
+        }
+        FuncName::Coalesce => {
+            if args.is_empty() {
+                return arity_err(">=1");
+            }
+            ctx.cov.hit("eval::func_coalesce");
+            for a in args {
+                let v = eval_expr(a, env.child())?;
+                if !v.is_null() {
+                    return Ok(v);
+                }
+            }
+            Ok(Value::Null)
+        }
+        FuncName::Nullif => {
+            if args.len() != 2 {
+                return arity_err("2");
+            }
+            ctx.cov.hit("eval::func_nullif");
+            let a = eval_expr(&args[0], env.child())?;
+            let b = eval_expr(&args[1], env.child())?;
+            if compare(&a, &b, ctx, env.info)? == Some(Ordering::Equal) {
+                Ok(Value::Null)
+            } else {
+                Ok(a)
+            }
+        }
+        FuncName::Iif => {
+            if args.len() != 3 {
+                return arity_err("3");
+            }
+            ctx.cov.hit("eval::func_iif");
+            let c = eval_expr(&args[0], env.child())?;
+            if truthiness(&c, ctx)? == Some(true) {
+                eval_expr(&args[1], env.child())
+            } else {
+                eval_expr(&args[2], env.child())
+            }
+        }
+        FuncName::Typeof => {
+            if args.len() != 1 {
+                return arity_err("1");
+            }
+            ctx.cov.hit("eval::func_typeof");
+            let v = eval_expr(&args[0], env.child())?;
+            let name = match v {
+                Value::Null => "null",
+                Value::Int(_) => "integer",
+                Value::Real(_) => "real",
+                Value::Text(_) => "text",
+                Value::Bool(_) => "boolean",
+            };
+            Ok(Value::Text(name.into()))
+        }
+        FuncName::Version => {
+            if !args.is_empty() {
+                return arity_err("0");
+            }
+            ctx.cov.hit("eval::func_version");
+            Ok(Value::Text(ctx.dialect.version_string().into()))
+        }
+        FuncName::Round => {
+            if args.is_empty() || args.len() > 2 {
+                return arity_err("1 or 2");
+            }
+            ctx.cov.hit("eval::func_round");
+            let v = eval_expr(&args[0], env.child())?;
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            let p = if args.len() == 2 {
+                match eval_expr(&args[1], env.child())? {
+                    Value::Null => return Ok(Value::Null),
+                    pv => pv.as_i64().unwrap_or(0),
+                }
+            } else {
+                0
+            };
+            // Bug hook: TidbInternalRoundHuge.
+            if ctx.bugs.active(BugId::TidbInternalRoundHuge) && p > 10 {
+                return Err(Error::Internal("ROUND precision exceeds decimal window".into()));
+            }
+            let x = match v.as_f64() {
+                Some(x) => x,
+                None if !ctx.dialect.strict_types() => v.coerce_f64(),
+                None => {
+                    return Err(Error::Type(format!(
+                        "ROUND expects a number, got {}",
+                        v.data_type()
+                    )))
+                }
+            };
+            let p = p.clamp(-15, 15);
+            let factor = 10f64.powi(p as i32);
+            Ok(finite_or_null((x * factor).round() / factor))
+        }
+        FuncName::Sign => {
+            if args.len() != 1 {
+                return arity_err("1");
+            }
+            ctx.cov.hit("eval::func_sign");
+            let v = eval_expr(&args[0], env.child())?;
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            let x = match v.as_f64() {
+                Some(x) => x,
+                None if !ctx.dialect.strict_types() => v.coerce_f64(),
+                None => {
+                    return Err(Error::Type(format!(
+                        "SIGN expects a number, got {}",
+                        v.data_type()
+                    )))
+                }
+            };
+            Ok(Value::Int(if x > 0.0 {
+                1
+            } else if x < 0.0 {
+                -1
+            } else {
+                0
+            }))
+        }
+        FuncName::Instr => {
+            if args.len() != 2 {
+                return arity_err("2");
+            }
+            ctx.cov.hit("eval::func_instr");
+            let a = eval_expr(&args[0], env.child())?;
+            let b = eval_expr(&args[1], env.child())?;
+            if a.is_null() || b.is_null() {
+                return Ok(Value::Null);
+            }
+            let hay = value_to_text(&a, ctx, "INSTR")?;
+            let needle = value_to_text(&b, ctx, "INSTR")?;
+            let pos = hay
+                .find(&needle)
+                .map(|byte| hay[..byte].chars().count() as i64 + 1)
+                .unwrap_or(0);
+            Ok(Value::Int(pos))
+        }
+        FuncName::Substr => {
+            if args.len() < 2 || args.len() > 3 {
+                return arity_err("2 or 3");
+            }
+            ctx.cov.hit("eval::func_substr");
+            let s = eval_expr(&args[0], env.child())?;
+            let start = eval_expr(&args[1], env.child())?;
+            if s.is_null() || start.is_null() {
+                return Ok(Value::Null);
+            }
+            let text = value_to_text(&s, ctx, "SUBSTR")?;
+            let start = start.as_i64().unwrap_or(1);
+            // Bug hook: TidbInternalSubstrNegative.
+            if ctx.bugs.active(BugId::TidbInternalSubstrNegative) && start < 0 {
+                return Err(Error::Internal("negative SUBSTR offset underflows cursor".into()));
+            }
+            let chars: Vec<char> = text.chars().collect();
+            let len = chars.len() as i64;
+            // SQLite semantics: 1-based; negative counts from the end.
+            let begin = if start > 0 {
+                start - 1
+            } else if start < 0 {
+                (len + start).max(0)
+            } else {
+                0
+            };
+            let take = if args.len() == 3 {
+                match eval_expr(&args[2], env.child())? {
+                    Value::Null => return Ok(Value::Null),
+                    v => v.as_i64().unwrap_or(0).max(0),
+                }
+            } else {
+                len
+            };
+            let begin = begin.clamp(0, len) as usize;
+            let end = (begin + take as usize).min(chars.len());
+            Ok(Value::Text(chars[begin..end].iter().collect()))
+        }
+    }
+}
+
+/// SQL LIKE pattern matching (`%` and `_`), iterative with backtracking.
+pub fn like_match(text: &str, pattern: &str, case_insensitive: bool) -> bool {
+    let norm = |s: &str| {
+        if case_insensitive {
+            s.to_lowercase().chars().collect::<Vec<char>>()
+        } else {
+            s.chars().collect()
+        }
+    };
+    let t = norm(text);
+    let p = norm(pattern);
+    let (mut ti, mut pi) = (0usize, 0usize);
+    let mut star: Option<(usize, usize)> = None; // (pattern idx after %, text idx)
+    while ti < t.len() {
+        // `%` must be treated as a wildcard before any literal match —
+        // otherwise a literal '%' in the *text* would consume it.
+        if pi < p.len() && p[pi] == '%' {
+            star = Some((pi + 1, ti));
+            pi += 1;
+        } else if pi < p.len() && (p[pi] == '_' || p[pi] == t[ti]) {
+            ti += 1;
+            pi += 1;
+        } else if let Some((sp, st)) = star {
+            pi = sp;
+            ti = st + 1;
+            star = Some((sp, st + 1));
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '%' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+// ---------------------------------------------------------------------------
+// Aggregate computation (used by the executor's grouping stage).
+// ---------------------------------------------------------------------------
+
+/// Precomputed aggregate values for one group, keyed by the aggregate's AST.
+pub type AggValues = Vec<(Expr, Value)>;
+
+/// Compute one aggregate over the values of its argument for a group.
+/// `values` holds the evaluated argument per row (empty for COUNT(*), which
+/// passes one dummy entry per row).
+pub fn compute_aggregate(
+    func: AggFunc,
+    distinct: bool,
+    mut values: Vec<Value>,
+    env: EvalEnv,
+) -> Result<Value> {
+    let ctx = env.ctx;
+    if distinct {
+        ctx.cov.hit("agg::distinct");
+        values.sort_by(|a, b| a.total_cmp(b));
+        values.dedup_by(|a, b| a.is_identical(b));
+    }
+    match func {
+        AggFunc::CountStar => {
+            ctx.cov.hit("agg::count_star");
+            Ok(Value::Int(values.len() as i64))
+        }
+        AggFunc::Count => {
+            ctx.cov.hit("agg::count");
+            Ok(Value::Int(values.iter().filter(|v| !v.is_null()).count() as i64))
+        }
+        AggFunc::Min | AggFunc::Max => {
+            ctx.cov.hit(if func == AggFunc::Min { "agg::min" } else { "agg::max" });
+            let mut best: Option<Value> = None;
+            for v in values {
+                if v.is_null() {
+                    continue;
+                }
+                best = Some(match best {
+                    None => v,
+                    Some(b) => {
+                        let keep_new = if func == AggFunc::Min {
+                            v.total_cmp(&b) == Ordering::Less
+                        } else {
+                            v.total_cmp(&b) == Ordering::Greater
+                        };
+                        if keep_new {
+                            v
+                        } else {
+                            b
+                        }
+                    }
+                });
+            }
+            if best.is_none() {
+                ctx.cov.hit("agg::empty");
+            }
+            Ok(best.unwrap_or(Value::Null))
+        }
+        AggFunc::Sum | AggFunc::Total | AggFunc::Avg => {
+            let nonnull: Vec<&Value> = values.iter().filter(|v| !v.is_null()).collect();
+            if nonnull.is_empty() {
+                ctx.cov.hit("agg::empty");
+                // Bug hook: TidbAvgDistinctNestedZero — AVG(DISTINCT) over
+                // empty input inside a nested subquery returns 0.
+                if func == AggFunc::Avg
+                    && distinct
+                    && env.info.depth > 0
+                    && ctx.bugs.active(BugId::TidbAvgDistinctNestedZero)
+                {
+                    return Ok(Value::Int(0));
+                }
+                return Ok(match func {
+                    AggFunc::Total => Value::Real(0.0),
+                    _ => Value::Null,
+                });
+            }
+            let all_int = nonnull
+                .iter()
+                .all(|v| matches!(v, Value::Int(_) | Value::Bool(_)));
+            if func == AggFunc::Sum && all_int {
+                ctx.cov.hit("agg::sum_int");
+                let mut acc: i64 = 0;
+                for v in &nonnull {
+                    acc = acc
+                        .checked_add(v.as_i64().unwrap())
+                        .ok_or_else(|| Error::Eval("integer overflow in SUM".into()))?;
+                }
+                return Ok(Value::Int(acc));
+            }
+            // Real accumulation: fold over *sorted* values so that the
+            // result is a deterministic function of the input multiset
+            // regardless of scan order.
+            let mut reals: Vec<f64> = Vec::with_capacity(nonnull.len());
+            for v in &nonnull {
+                match v.as_f64() {
+                    Some(x) => reals.push(x),
+                    None if !ctx.dialect.strict_types() => reals.push(v.coerce_f64()),
+                    None => {
+                        return Err(Error::Type(format!(
+                            "{} expects numbers, got {}",
+                            func.sql_name(),
+                            v.data_type()
+                        )))
+                    }
+                }
+            }
+            // Bug hook: CockroachAvgNestedReverse — inside a nested
+            // subquery, AVG accumulates in reverse arrival order with f32
+            // rounding at each step (the argument-order AVG bug).
+            if func == AggFunc::Avg
+                && env.info.depth > 0
+                && ctx.bugs.active(BugId::CockroachAvgNestedReverse)
+            {
+                ctx.cov.hit("agg::avg");
+                let mut acc: f32 = 0.0;
+                for x in reals.iter().rev() {
+                    acc += *x as f32;
+                }
+                return Ok(Value::Real(acc as f64 / reals.len() as f64));
+            }
+            reals.sort_by(|a, b| a.total_cmp(b));
+            let sum: f64 = reals.iter().sum();
+            match func {
+                AggFunc::Sum => {
+                    ctx.cov.hit("agg::sum_real");
+                    Ok(finite_or_null(sum))
+                }
+                AggFunc::Total => {
+                    ctx.cov.hit("agg::total");
+                    Ok(finite_or_null(sum))
+                }
+                AggFunc::Avg => {
+                    ctx.cov.hit("agg::avg");
+                    Ok(finite_or_null(sum / reals.len() as f64))
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn like_matcher_basics() {
+        assert!(like_match("hello", "h%o", false));
+        assert!(like_match("hello", "_ello", false));
+        assert!(!like_match("hello", "h_o", false));
+        assert!(like_match("", "%", false));
+        assert!(!like_match("abc", "", false));
+        assert!(like_match("abc", "%%c", false));
+        assert!(like_match("HeLLo", "hello", true));
+        assert!(!like_match("HeLLo", "hello", false));
+        assert!(like_match("a%b", "a%b", false));
+    }
+
+    #[test]
+    fn like_matcher_pathological_patterns_terminate() {
+        let text = "a".repeat(200);
+        assert!(like_match(&text, "%a%a%a%a%a%", false));
+        assert!(!like_match(&text, "%a%a%b", false));
+    }
+
+    #[test]
+    fn three_valued_and_or() {
+        assert_eq!(and3(Some(true), None), None);
+        assert_eq!(and3(Some(false), None), Some(false));
+        assert_eq!(or3(Some(true), None), Some(true));
+        assert_eq!(or3(Some(false), None), None);
+        assert_eq!(not3(None), None);
+    }
+}

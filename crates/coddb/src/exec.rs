@@ -1,0 +1,1361 @@
+//! Plan execution.
+//!
+//! A straightforward materializing executor: each operator produces a
+//! vector of rows. Correlated subqueries receive the outer row scopes as a
+//! stack of [`Frame`]s; CTEs are materialized once per SELECT and shared
+//! through a chained [`CteEnv`]. A fuel counter bounds total row work so
+//! that injected hang bugs (and any accidental blow-ups) surface as
+//! [`Error::Hang`] instead of wedging a campaign.
+
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use crate::ast::{AggFunc, Expr, JoinKind, Select, SelectItem, SetOp, SortOrder};
+use crate::bugs::{BugId, BugRegistry};
+use crate::catalog::Catalog;
+use crate::coverage::Coverage;
+use crate::dialect::Dialect;
+use crate::error::{Error, Result};
+use crate::eval::{compute_aggregate, eval_expr, truthiness, AggValues, Clause, ExprCtx};
+use crate::plan::{self, BodyPlan, CorePlan, FromPlan, PlanCtx, SelectPlan};
+use crate::value::{OrdRow, OrdValue, Relation, Row, Value};
+
+/// Which statement kind is executing (several mutants key on this).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StmtKind {
+    Select,
+    Insert,
+    Update,
+    Delete,
+}
+
+/// Shared execution context for one statement.
+pub struct EngineCtx<'a> {
+    pub catalog: &'a Catalog,
+    pub dialect: Dialect,
+    pub bugs: &'a BugRegistry,
+    pub cov: &'a Coverage,
+    pub optimize: bool,
+    pub stmt: StmtKind,
+    fuel: Cell<u64>,
+}
+
+impl<'a> EngineCtx<'a> {
+    pub fn new(
+        catalog: &'a Catalog,
+        dialect: Dialect,
+        bugs: &'a BugRegistry,
+        cov: &'a Coverage,
+        optimize: bool,
+        stmt: StmtKind,
+        fuel: u64,
+    ) -> Self {
+        EngineCtx { catalog, dialect, bugs, cov, optimize, stmt, fuel: Cell::new(fuel) }
+    }
+
+    /// Spend `n` units of row work; exceeding the budget is a hang.
+    #[inline]
+    pub fn consume_fuel(&self, n: u64) -> Result<()> {
+        let left = self.fuel.get();
+        if left < n {
+            return Err(Error::Hang);
+        }
+        self.fuel.set(left - n);
+        Ok(())
+    }
+
+    pub fn plan_ctx(&self) -> PlanCtx<'a> {
+        PlanCtx {
+            catalog: self.catalog,
+            dialect: self.dialect,
+            bugs: self.bugs,
+            cov: self.cov,
+            optimize: self.optimize,
+        }
+    }
+}
+
+/// Metadata of one output column of a relation in flight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColMeta {
+    /// Qualifying alias (lowercase), if any.
+    pub table: Option<String>,
+    /// Column name (lowercase).
+    pub name: String,
+    /// True when the column came from an expanded view.
+    pub from_view: bool,
+    /// True when the column came from a CTE scan.
+    pub from_cte: bool,
+}
+
+/// Schema of a relation in flight.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Schema {
+    pub cols: Vec<ColMeta>,
+}
+
+impl Schema {
+    fn concat(mut self, other: Schema) -> Schema {
+        self.cols.extend(other.cols);
+        self
+    }
+}
+
+/// One visible row scope (innermost scope is the last frame).
+#[derive(Clone, Copy)]
+pub struct Frame<'a> {
+    pub schema: &'a Schema,
+    pub row: &'a [Value],
+}
+
+/// Materialized CTEs visible to the current query, chained to enclosing
+/// queries' CTEs.
+pub struct CteEnv<'a> {
+    parent: Option<&'a CteEnv<'a>>,
+    entries: Vec<(String, Rc<CteData>)>,
+}
+
+/// A materialized CTE.
+pub struct CteData {
+    pub columns: Vec<String>,
+    pub rel: Relation,
+    reads: Cell<u32>,
+}
+
+impl CteEnv<'static> {
+    pub fn root() -> Self {
+        CteEnv { parent: None, entries: Vec::new() }
+    }
+}
+
+impl<'a> CteEnv<'a> {
+    fn lookup(&self, name: &str) -> Option<Rc<CteData>> {
+        for (n, data) in self.entries.iter().rev() {
+            if n == name {
+                return Some(Rc::clone(data));
+            }
+        }
+        self.parent.and_then(|p| p.lookup(name))
+    }
+
+    /// All visible CTE names (used to seed subquery planning).
+    pub fn names(&self) -> std::collections::BTreeSet<String> {
+        let mut out = self.parent.map(|p| p.names()).unwrap_or_default();
+        out.extend(self.entries.iter().map(|(n, _)| n.clone()));
+        out
+    }
+}
+
+/// Evaluation environment handed to the expression evaluator.
+#[derive(Clone, Copy)]
+pub struct EvalEnv<'a> {
+    pub ctx: &'a EngineCtx<'a>,
+    pub scopes: &'a [Frame<'a>],
+    pub aggs: Option<&'a AggValues>,
+    pub ctes: &'a CteEnv<'a>,
+    pub info: ExprCtx,
+}
+
+impl<'a> EvalEnv<'a> {
+    /// Environment for child sub-expressions (clears `top_level`).
+    pub fn child(self) -> Self {
+        EvalEnv { info: self.info.child(), ..self }
+    }
+}
+
+/// Execute a subquery from inside expression evaluation: plan it lazily
+/// and run it with the current scopes as outer context.
+pub fn exec_subquery(query: &Select, env: EvalEnv) -> Result<Relation> {
+    let pctx = env.ctx.plan_ctx();
+    let plan = plan::plan_select(query, &pctx, &env.ctes.names())?;
+    exec_select_plan(&plan, env.ctx, env.ctes, env.scopes, env.info.depth + 1)
+}
+
+/// Plan and execute a top-level SELECT; returns the result and the plan
+/// fingerprint (Table 3's "unique query plans" metric).
+pub fn run_query(select: &Select, ctx: &EngineCtx) -> Result<(Relation, u64)> {
+    let pctx = ctx.plan_ctx();
+    let plan = plan::plan_select(select, &pctx, &std::collections::BTreeSet::new())?;
+    let fp = plan::fingerprint(&plan);
+    let root = CteEnv::root();
+    let rel = exec_select_plan(&plan, ctx, &root, &[], 0)?;
+    Ok((rel, fp))
+}
+
+/// Execute a planned SELECT.
+pub fn exec_select_plan(
+    plan: &SelectPlan,
+    ctx: &EngineCtx,
+    outer_ctes: &CteEnv,
+    outer_scopes: &[Frame],
+    depth: u32,
+) -> Result<Relation> {
+    // Materialize CTEs in definition order; each sees its predecessors.
+    let mut local: Vec<(String, Rc<CteData>)> = Vec::with_capacity(plan.ctes.len());
+    for (name, columns, cte_plan) in &plan.ctes {
+        let env = CteEnv { parent: Some(outer_ctes), entries: local.clone() };
+        ctx.cov.hit("exec::cte_eval");
+        let rel = exec_select_plan(cte_plan, ctx, &env, &[], depth)?;
+        let cols = if columns.is_empty() {
+            rel.columns.clone()
+        } else {
+            if columns.len() != rel.columns.len() {
+                return Err(Error::Catalog(format!(
+                    "CTE {name} declares {} columns but its query returns {}",
+                    columns.len(),
+                    rel.columns.len()
+                )));
+            }
+            columns.iter().map(|c| c.to_ascii_lowercase()).collect()
+        };
+        local.push((name.clone(), Rc::new(CteData { columns: cols, rel, reads: Cell::new(0) })));
+    }
+    let ctes = CteEnv { parent: Some(outer_ctes), entries: local };
+
+    // Bug hook: TidbInternalSetOpOrderBy.
+    if ctx.bugs.active(BugId::TidbInternalSetOpOrderBy)
+        && matches!(plan.body, BodyPlan::SetOp { .. })
+        && plan.order_by.iter().any(|o| matches!(o.expr, Expr::Literal(Value::Int(_))))
+    {
+        return Err(Error::Internal("cannot resolve positional ORDER BY over set operation".into()));
+    }
+
+    let (mut rel, pre_rows, pre_schema) = exec_body(&plan.body, ctx, &ctes, outer_scopes, depth)?;
+
+    // ORDER BY.
+    if !plan.order_by.is_empty() {
+        ctx.cov.hit("exec::sort");
+        sort_relation(&mut rel, pre_rows, pre_schema.as_ref(), plan, ctx, &ctes, outer_scopes, depth)?;
+    }
+
+    // OFFSET / LIMIT.
+    if let Some(off) = &plan.offset {
+        ctx.cov.hit("exec::offset");
+        let n = eval_limit_operand(off, ctx, &ctes, outer_scopes, depth, "OFFSET")?;
+        rel.rows.drain(..n.min(rel.rows.len()));
+    }
+    if let Some(lim) = &plan.limit {
+        ctx.cov.hit("exec::limit");
+        let n = eval_limit_operand(lim, ctx, &ctes, outer_scopes, depth, "LIMIT")?;
+        rel.rows.truncate(n);
+    }
+
+    if rel.rows.is_empty() {
+        ctx.cov.hit("exec::empty_relation");
+    }
+    Ok(rel)
+}
+
+fn eval_limit_operand(
+    e: &Expr,
+    ctx: &EngineCtx,
+    ctes: &CteEnv,
+    outer_scopes: &[Frame],
+    depth: u32,
+    what: &str,
+) -> Result<usize> {
+    let env = EvalEnv {
+        ctx,
+        scopes: outer_scopes,
+        aggs: None,
+        ctes,
+        info: ExprCtx { depth, ..ExprCtx::new(Clause::Limit) },
+    };
+    let v = eval_expr(e, env)?;
+    match v.as_i64() {
+        Some(n) if n >= 0 => Ok(n as usize),
+        Some(_) => Ok(0),
+        None => Err(Error::Eval(format!("{what} must be an integer"))),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn sort_relation(
+    rel: &mut Relation,
+    pre_rows: Option<Vec<Row>>,
+    pre_schema: Option<&Schema>,
+    plan: &SelectPlan,
+    ctx: &EngineCtx,
+    ctes: &CteEnv,
+    outer_scopes: &[Frame],
+    depth: u32,
+) -> Result<()> {
+    // Compute sort keys per output row.
+    let mut keyed: Vec<(Vec<(OrdValue, bool)>, Row)> = Vec::with_capacity(rel.rows.len());
+    for (i, row) in rel.rows.iter().enumerate() {
+        let mut keys = Vec::with_capacity(plan.order_by.len());
+        for item in &plan.order_by {
+            let desc = item.order == SortOrder::Desc;
+            let v = match &item.expr {
+                Expr::Literal(Value::Int(k)) => {
+                    ctx.cov.hit("exec::sort_positional");
+                    let idx = (*k - 1) as usize;
+                    if *k < 1 || idx >= row.len() {
+                        return Err(Error::Eval(format!(
+                            "ORDER BY position {k} is out of range"
+                        )));
+                    }
+                    row[idx].clone()
+                }
+                Expr::Column(c) if c.table.is_none() => {
+                    // Prefer an output-column (alias) match, then fall back
+                    // to the pre-projection scope.
+                    let name = c.column.to_ascii_lowercase();
+                    if let Some(idx) = rel.columns.iter().position(|n| n.eq_ignore_ascii_case(&name))
+                    {
+                        row[idx].clone()
+                    } else {
+                        eval_order_expr(&item.expr, i, &pre_rows, pre_schema, ctx, ctes, outer_scopes, depth)?
+                    }
+                }
+                e => eval_order_expr(e, i, &pre_rows, pre_schema, ctx, ctes, outer_scopes, depth)?,
+            };
+            keys.push((OrdValue(v), desc));
+        }
+        keyed.push((keys, row.clone()));
+    }
+    keyed.sort_by(|(ka, _), (kb, _)| {
+        for ((a, desc), (b, _)) in ka.iter().zip(kb.iter()) {
+            let ord = a.cmp(b);
+            let ord = if *desc { ord.reverse() } else { ord };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    rel.rows = keyed.into_iter().map(|(_, r)| r).collect();
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn eval_order_expr(
+    e: &Expr,
+    row_idx: usize,
+    pre_rows: &Option<Vec<Row>>,
+    pre_schema: Option<&Schema>,
+    ctx: &EngineCtx,
+    ctes: &CteEnv,
+    outer_scopes: &[Frame],
+    depth: u32,
+) -> Result<Value> {
+    match (pre_rows, pre_schema) {
+        (Some(rows), Some(schema)) if row_idx < rows.len() => {
+            let mut frames = outer_scopes.to_vec();
+            frames.push(Frame { schema, row: &rows[row_idx] });
+            let env = EvalEnv {
+                ctx,
+                scopes: &frames,
+                aggs: None,
+                ctes,
+                info: ExprCtx { depth, ..ExprCtx::new(Clause::OrderBy) },
+            };
+            eval_expr(e, env)
+        }
+        _ => Err(Error::Eval(format!("cannot resolve ORDER BY expression {e}"))),
+    }
+}
+
+/// Execute a body plan; returns the output relation plus, when available,
+/// the pre-projection rows and schema (used by ORDER BY expressions).
+fn exec_body(
+    body: &BodyPlan,
+    ctx: &EngineCtx,
+    ctes: &CteEnv,
+    outer_scopes: &[Frame],
+    depth: u32,
+) -> Result<(Relation, Option<Vec<Row>>, Option<Schema>)> {
+    match body {
+        BodyPlan::Core(core) => exec_core(core, ctx, ctes, outer_scopes, depth),
+        BodyPlan::SetOp { op, all, left, right } => {
+            let (l, _, _) = exec_body(left, ctx, ctes, outer_scopes, depth)?;
+            let (r, _, _) = exec_body(right, ctx, ctes, outer_scopes, depth)?;
+            let rel = exec_set_op(*op, *all, l, r, ctx, left, right)?;
+            Ok((rel, None, None))
+        }
+        BodyPlan::Values(rows) => {
+            ctx.cov.hit("exec::values_rows");
+            let mut out = Vec::with_capacity(rows.len());
+            for row in rows {
+                ctx.consume_fuel(1)?;
+                let mut vals = Vec::with_capacity(row.len());
+                for e in row {
+                    let env = EvalEnv {
+                        ctx,
+                        scopes: outer_scopes,
+                        aggs: None,
+                        ctes,
+                        info: ExprCtx { depth, ..ExprCtx::new(Clause::SelectList) },
+                    };
+                    vals.push(eval_expr(e, env)?);
+                }
+                out.push(vals);
+            }
+            let arity = rows.first().map(|r| r.len()).unwrap_or(0);
+            let columns = (1..=arity).map(|i| format!("column{i}")).collect();
+            Ok((Relation { columns, rows: out }, None, None))
+        }
+    }
+}
+
+fn core_is_distinct(body: &BodyPlan) -> bool {
+    match body {
+        BodyPlan::Core(c) => c.distinct,
+        BodyPlan::SetOp { left, right, .. } => core_is_distinct(left) || core_is_distinct(right),
+        BodyPlan::Values(_) => false,
+    }
+}
+
+fn exec_set_op(
+    op: SetOp,
+    all: bool,
+    left: Relation,
+    right: Relation,
+    ctx: &EngineCtx,
+    left_body: &BodyPlan,
+    right_body: &BodyPlan,
+) -> Result<Relation> {
+    if !left.rows.is_empty() && !right.rows.is_empty() && left.columns.len() != right.columns.len()
+    {
+        return Err(Error::Eval(format!(
+            "SELECTs to the left and right of {} do not have the same number of result columns",
+            op.sql_name()
+        )));
+    }
+    // Bug hook: MysqlInternalUnionTypeUnify.
+    if ctx.bugs.active(BugId::MysqlInternalUnionTypeUnify) && op == SetOp::Union {
+        let lt = left.column_types();
+        let rt = right.column_types();
+        let clash = lt.iter().zip(rt.iter()).any(|(a, b)| {
+            matches!(
+                (a, b),
+                (crate::value::DataType::Int, crate::value::DataType::Text)
+                    | (crate::value::DataType::Text, crate::value::DataType::Int)
+            )
+        });
+        if clash {
+            return Err(Error::Internal("failed to unify UNION column types".into()));
+        }
+    }
+    // Bug hook: DuckdbHangDistinctUnion.
+    if ctx.bugs.active(BugId::DuckdbHangDistinctUnion)
+        && op == SetOp::Union
+        && !all
+        && (core_is_distinct(left_body) || core_is_distinct(right_body))
+    {
+        return Err(Error::Hang);
+    }
+    // Bug hook: CockroachInternalIntersectNull.
+    if ctx.bugs.active(BugId::CockroachInternalIntersectNull)
+        && op == SetOp::Intersect
+        && (left.rows.iter().any(|r| r.iter().any(Value::is_null))
+            || right.rows.iter().any(|r| r.iter().any(Value::is_null)))
+    {
+        return Err(Error::Internal("NULL row reached INTERSECT hash table".into()));
+    }
+
+    ctx.consume_fuel((left.rows.len() + right.rows.len()) as u64)?;
+    let columns = if left.columns.is_empty() { right.columns.clone() } else { left.columns.clone() };
+    let rows = match (op, all) {
+        (SetOp::Union, true) => {
+            ctx.cov.hit("exec::union_all");
+            let mut rows = left.rows;
+            rows.extend(right.rows);
+            rows
+        }
+        (SetOp::Union, false) => {
+            ctx.cov.hit("exec::union");
+            let mut rows = left.rows;
+            rows.extend(right.rows);
+            dedup_rows(rows)
+        }
+        (SetOp::Intersect, _) => {
+            ctx.cov.hit("exec::intersect");
+            let rset: std::collections::BTreeSet<OrdRow> =
+                right.rows.into_iter().map(OrdRow).collect();
+            let rows: Vec<Row> = left
+                .rows
+                .into_iter()
+                .filter(|r| rset.contains(&OrdRow(r.clone())))
+                .collect();
+            dedup_rows(rows)
+        }
+        (SetOp::Except, _) => {
+            ctx.cov.hit("exec::except");
+            let rset: std::collections::BTreeSet<OrdRow> =
+                right.rows.into_iter().map(OrdRow).collect();
+            let rows: Vec<Row> = left
+                .rows
+                .into_iter()
+                .filter(|r| !rset.contains(&OrdRow(r.clone())))
+                .collect();
+            dedup_rows(rows)
+        }
+    };
+    Ok(Relation { columns, rows })
+}
+
+fn dedup_rows(rows: Vec<Row>) -> Vec<Row> {
+    let mut seen = std::collections::BTreeSet::new();
+    let mut out = Vec::with_capacity(rows.len());
+    for r in rows {
+        if seen.insert(OrdRow(r.clone())) {
+            out.push(r);
+        }
+    }
+    out
+}
+
+/// Result of executing a FROM clause.
+struct FromResult {
+    schema: Schema,
+    rows: Vec<Row>,
+    via_index: bool,
+    has_cte: bool,
+    has_full_join: bool,
+}
+
+fn exec_core(
+    core: &CorePlan,
+    ctx: &EngineCtx,
+    ctes: &CteEnv,
+    outer_scopes: &[Frame],
+    depth: u32,
+) -> Result<(Relation, Option<Vec<Row>>, Option<Schema>)> {
+    // Hang hooks keyed on FROM shape.
+    if let Some(from) = &core.from {
+        if ctx.bugs.active(BugId::CockroachHangCteReuse) {
+            let mut names = Vec::new();
+            collect_cte_scans(from, &mut names);
+            names.sort();
+            if names.windows(2).any(|w| w[0] == w[1]) {
+                return Err(Error::Hang);
+            }
+        }
+        if ctx.bugs.active(BugId::DuckdbHangTripleJoin) && count_joins(from) >= 3 {
+            return Err(Error::Hang);
+        }
+    }
+
+    let FromResult { schema, rows, via_index, has_cte, has_full_join } = match &core.from {
+        Some(f) => exec_from(f, ctx, ctes, depth)?,
+        None => FromResult {
+            schema: Schema::default(),
+            rows: vec![Vec::new()],
+            via_index: false,
+            has_cte: false,
+            has_full_join: false,
+        },
+    };
+
+    let base_info = ExprCtx {
+        clause: Clause::Where,
+        top_level: true,
+        via_index,
+        from_has_cte: has_cte,
+        depth,
+    };
+
+    // Bug hook: CockroachHangFullJoinHaving.
+    if ctx.bugs.active(BugId::CockroachHangFullJoinHaving)
+        && core.having.is_some()
+        && has_full_join
+    {
+        return Err(Error::Hang);
+    }
+
+    // WHERE.
+    let mut rows = rows;
+    if let Some(pred) = &core.where_clause {
+        rows = apply_filter(rows, &schema, pred, ctx, ctes, outer_scopes, base_info)?;
+    }
+
+    let has_aggregates = !core.group_by.is_empty()
+        || core.items.iter().any(|i| match i {
+            SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
+            _ => false,
+        })
+        || core.having.as_ref().is_some_and(|h| h.contains_aggregate());
+
+    if has_aggregates {
+        let (rel, reps) =
+            exec_grouped(core, rows, &schema, ctx, ctes, outer_scopes, base_info)?;
+        let rel = maybe_distinct(rel, core.distinct, ctx)?;
+        return Ok((rel, Some(reps), Some(schema)));
+    }
+
+    // Plain projection.
+    ctx.cov.hit("exec::project");
+    let (columns, exprs) = expand_items(core, &schema, has_full_join, ctx)?;
+    let mut out_rows = Vec::with_capacity(rows.len());
+    for row in &rows {
+        ctx.consume_fuel(1)?;
+        let mut frames = outer_scopes.to_vec();
+        frames.push(Frame { schema: &schema, row });
+        let mut out = Vec::with_capacity(exprs.len());
+        for e in &exprs {
+            let env = EvalEnv {
+                ctx,
+                scopes: &frames,
+                aggs: None,
+                ctes,
+                info: ExprCtx { clause: Clause::SelectList, ..base_info },
+            };
+            out.push(eval_expr(e, env)?);
+        }
+        out_rows.push(out);
+    }
+    let rel = Relation { columns, rows: out_rows };
+    let rel = maybe_distinct(rel, core.distinct, ctx)?;
+    Ok((rel, Some(rows), Some(schema)))
+}
+
+fn maybe_distinct(mut rel: Relation, distinct: bool, ctx: &EngineCtx) -> Result<Relation> {
+    if distinct {
+        ctx.cov.hit("exec::distinct_dedup");
+        ctx.consume_fuel(rel.rows.len() as u64)?;
+        rel.rows = dedup_rows(rel.rows);
+    }
+    Ok(rel)
+}
+
+/// Expand SELECT items into output column names plus one expression per
+/// output column.
+fn expand_items(
+    core: &CorePlan,
+    schema: &Schema,
+    has_full_join: bool,
+    ctx: &EngineCtx,
+) -> Result<(Vec<String>, Vec<Expr>)> {
+    let mut columns = Vec::new();
+    let mut exprs = Vec::new();
+    for item in &core.items {
+        match item {
+            SelectItem::Wildcard => {
+                ctx.cov.hit("exec::wildcard");
+                if schema.cols.is_empty() {
+                    return Err(Error::Eval("SELECT * with no FROM clause".into()));
+                }
+                for col in &schema.cols {
+                    columns.push(col.name.clone());
+                    exprs.push(Expr::Column(crate::ast::ColumnRef {
+                        table: col.table.clone(),
+                        column: col.name.clone(),
+                    }));
+                }
+            }
+            SelectItem::TableWildcard(t) => {
+                ctx.cov.hit("exec::wildcard");
+                // Bug hook: CockroachInternalFullJoinWildcard.
+                if ctx.bugs.active(BugId::CockroachInternalFullJoinWildcard) && has_full_join {
+                    return Err(Error::Internal(
+                        "cannot expand table wildcard over FULL JOIN".into(),
+                    ));
+                }
+                let tl = t.to_ascii_lowercase();
+                let mut found = false;
+                for col in &schema.cols {
+                    if col.table.as_deref() == Some(tl.as_str()) {
+                        found = true;
+                        columns.push(col.name.clone());
+                        exprs.push(Expr::Column(crate::ast::ColumnRef {
+                            table: col.table.clone(),
+                            column: col.name.clone(),
+                        }));
+                    }
+                }
+                if !found {
+                    return Err(Error::Catalog(format!("no such table: {t}")));
+                }
+            }
+            SelectItem::Expr { expr, alias } => {
+                let name = match alias {
+                    Some(a) => a.to_ascii_lowercase(),
+                    None => match expr {
+                        Expr::Column(c) => c.column.to_ascii_lowercase(),
+                        other => other.to_string(),
+                    },
+                };
+                columns.push(name);
+                exprs.push(expr.clone());
+            }
+        }
+    }
+    if columns.is_empty() {
+        return Err(Error::Parse("SELECT requires at least one result column".into()));
+    }
+    Ok((columns, exprs))
+}
+
+/// Grouped execution: grouping, aggregate computation, HAVING, projection.
+/// Returns the output relation and one representative pre-projection row
+/// per output row (for ORDER BY expressions).
+#[allow(clippy::too_many_arguments)]
+fn exec_grouped(
+    core: &CorePlan,
+    rows: Vec<Row>,
+    schema: &Schema,
+    ctx: &EngineCtx,
+    ctes: &CteEnv,
+    outer_scopes: &[Frame],
+    base_info: ExprCtx,
+) -> Result<(Relation, Vec<Row>)> {
+    // Resolve positional GROUP BY entries to projection expressions.
+    let mut group_exprs: Vec<Expr> = Vec::with_capacity(core.group_by.len());
+    for g in &core.group_by {
+        match g {
+            Expr::Literal(Value::Int(k)) => {
+                let idx = (*k - 1) as usize;
+                let item = core
+                    .items
+                    .get(idx)
+                    .ok_or_else(|| Error::Eval(format!("GROUP BY position {k} out of range")))?;
+                match item {
+                    SelectItem::Expr { expr, .. } => group_exprs.push(expr.clone()),
+                    _ => {
+                        return Err(Error::Eval(
+                            "GROUP BY position must reference an expression".into(),
+                        ))
+                    }
+                }
+            }
+            other => group_exprs.push(other.clone()),
+        }
+    }
+
+    // Partition rows into groups (BTreeMap keeps key order deterministic).
+    let mut groups: BTreeMap<Vec<OrdValue>, Vec<usize>> = BTreeMap::new();
+    if group_exprs.is_empty() {
+        if rows.is_empty() {
+            ctx.cov.hit("exec::group_empty_input");
+        } else {
+            ctx.cov.hit("exec::group_single");
+        }
+        groups.insert(Vec::new(), (0..rows.len()).collect());
+    } else {
+        ctx.cov.hit("exec::group_multi");
+        for (i, row) in rows.iter().enumerate() {
+            ctx.consume_fuel(1)?;
+            let mut frames = outer_scopes.to_vec();
+            frames.push(Frame { schema, row });
+            let mut key = Vec::with_capacity(group_exprs.len());
+            for g in &group_exprs {
+                let env = EvalEnv {
+                    ctx,
+                    scopes: &frames,
+                    aggs: None,
+                    ctes,
+                    info: ExprCtx { clause: Clause::GroupBy, ..base_info },
+                };
+                key.push(OrdValue(eval_expr(g, env)?));
+            }
+            groups.entry(key).or_default().push(i);
+        }
+        // Grouping over an empty input with GROUP BY yields no groups.
+    }
+
+    // Bug hook: DuckdbInternalGroupByRealMany.
+    if ctx.bugs.active(BugId::DuckdbInternalGroupByRealMany)
+        && groups.len() > 2
+        && groups.keys().any(|k| k.iter().any(|v| matches!(v.0, Value::Real(_))))
+    {
+        return Err(Error::Internal("REAL group key misaligned in hash table".into()));
+    }
+
+    // Bug hook: TidbInternalHavingCorrelated — a subquery under HAVING.
+    if ctx.bugs.active(BugId::TidbInternalHavingCorrelated) {
+        if let Some(h) = &core.having {
+            if h.contains_subquery() {
+                return Err(Error::Internal("failed to decorrelate subquery in HAVING".into()));
+            }
+        }
+    }
+
+    // Collect the distinct aggregate expressions to compute per group.
+    let mut agg_exprs: Vec<Expr> = Vec::new();
+    let mut collect_aggs = |e: &Expr| {
+        crate::ast::visit::walk_expr_shallow(e, &mut |sub| {
+            if matches!(sub, Expr::Agg { .. }) && !agg_exprs.contains(sub) {
+                agg_exprs.push(sub.clone());
+            }
+        });
+    };
+    for item in &core.items {
+        if let SelectItem::Expr { expr, .. } = item {
+            collect_aggs(expr);
+        }
+    }
+    if let Some(h) = &core.having {
+        collect_aggs(h);
+    }
+
+    let mut group_list: Vec<(Vec<OrdValue>, Vec<usize>)> = groups.into_iter().collect();
+
+    // Bug hook: DuckdbDistinctGroupByDrop — DISTINCT + GROUP BY drops the
+    // last group. The rewrite rule pattern-matches plain grouping
+    // expressions, so a CASE-shaped group key escapes it (which is what
+    // lets a folded query expose the discrepancy).
+    if ctx.bugs.active(BugId::DuckdbDistinctGroupByDrop)
+        && core.distinct
+        && !core.group_by.is_empty()
+        && group_list.len() > 1
+        && !matches!(group_exprs.first(), Some(Expr::Case { .. }))
+    {
+        group_list.pop();
+    }
+
+    let (columns, proj_exprs) = expand_items_grouped(core)?;
+
+    let mut out_rows: Vec<Row> = Vec::with_capacity(group_list.len());
+    let mut rep_rows: Vec<Row> = Vec::with_capacity(group_list.len());
+    let empty_row: Row = vec![Value::Null; schema.cols.len()];
+
+    for (_key, members) in &group_list {
+        ctx.consume_fuel(1 + members.len() as u64)?;
+        // Compute aggregates for this group.
+        let mut aggs: AggValues = Vec::with_capacity(agg_exprs.len());
+        for agg in &agg_exprs {
+            let Expr::Agg { func, arg, distinct } = agg else { unreachable!() };
+            let mut values = Vec::with_capacity(members.len());
+            for &ri in members {
+                let row = &rows[ri];
+                let mut frames = outer_scopes.to_vec();
+                frames.push(Frame { schema, row });
+                let v = match (func, arg) {
+                    (AggFunc::CountStar, _) => Value::Int(1),
+                    (_, Some(a)) => {
+                        let env = EvalEnv {
+                            ctx,
+                            scopes: &frames,
+                            aggs: None,
+                            ctes,
+                            info: ExprCtx { clause: Clause::SelectList, ..base_info },
+                        };
+                        eval_expr(a, env)?
+                    }
+                    (_, None) => {
+                        return Err(Error::Parse(format!(
+                            "{}() requires an argument",
+                            func.sql_name()
+                        )))
+                    }
+                };
+                values.push(v);
+            }
+            let rep = members.first().map(|&i| &rows[i]).unwrap_or(&empty_row);
+            let mut frames = outer_scopes.to_vec();
+            frames.push(Frame { schema, row: rep });
+            let env = EvalEnv {
+                ctx,
+                scopes: &frames,
+                aggs: None,
+                ctes,
+                info: ExprCtx { clause: Clause::SelectList, ..base_info },
+            };
+            let v = compute_aggregate(*func, *distinct, values, env)?;
+            aggs.push((agg.clone(), v));
+        }
+
+        // Representative row: bare columns take the group's first row
+        // (SQLite "bare column in aggregate query" semantics).
+        let rep: Row = members.first().map(|&i| rows[i].clone()).unwrap_or_else(|| empty_row.clone());
+
+        // HAVING.
+        if let Some(h) = &core.having {
+            let mut frames = outer_scopes.to_vec();
+            frames.push(Frame { schema, row: &rep });
+            let env = EvalEnv {
+                ctx,
+                scopes: &frames,
+                aggs: Some(&aggs),
+                ctes,
+                info: ExprCtx { clause: Clause::Having, top_level: true, ..base_info },
+            };
+            let hv = eval_expr(h, env)?;
+            if truthiness(&hv, ctx)? != Some(true) {
+                ctx.cov.hit("exec::having_drop");
+                continue;
+            }
+            ctx.cov.hit("exec::having_pass");
+        }
+
+        // Projection.
+        let mut frames = outer_scopes.to_vec();
+        frames.push(Frame { schema, row: &rep });
+        let mut out = Vec::with_capacity(proj_exprs.len());
+        for e in &proj_exprs {
+            let env = EvalEnv {
+                ctx,
+                scopes: &frames,
+                aggs: Some(&aggs),
+                ctes,
+                info: ExprCtx { clause: Clause::SelectList, ..base_info },
+            };
+            out.push(eval_expr(e, env)?);
+        }
+        out_rows.push(out);
+        rep_rows.push(rep);
+    }
+
+    Ok((Relation { columns, rows: out_rows }, rep_rows))
+}
+
+/// In grouped execution only explicit expressions are allowed (CoddDB
+/// restricts wildcards to non-aggregated queries, matching common DBMS
+/// behaviour for grouped queries).
+fn expand_items_grouped(core: &CorePlan) -> Result<(Vec<String>, Vec<Expr>)> {
+    let mut columns = Vec::new();
+    let mut exprs = Vec::new();
+    for item in &core.items {
+        match item {
+            SelectItem::Expr { expr, alias } => {
+                let name = match alias {
+                    Some(a) => a.to_ascii_lowercase(),
+                    None => match expr {
+                        Expr::Column(c) => c.column.to_ascii_lowercase(),
+                        other => other.to_string(),
+                    },
+                };
+                columns.push(name);
+                exprs.push(expr.clone());
+            }
+            _ => {
+                return Err(Error::Eval(
+                    "wildcards are not supported in aggregated queries".into(),
+                ))
+            }
+        }
+    }
+    if columns.is_empty() {
+        return Err(Error::Parse("SELECT requires at least one result column".into()));
+    }
+    Ok((columns, exprs))
+}
+
+/// Apply a WHERE filter, including the filter-site bug hooks.
+#[allow(clippy::too_many_arguments)]
+pub fn apply_filter(
+    rows: Vec<Row>,
+    schema: &Schema,
+    pred: &Expr,
+    ctx: &EngineCtx,
+    ctes: &CteEnv,
+    outer_scopes: &[Frame],
+    info: ExprCtx,
+) -> Result<Vec<Row>> {
+    let mut out = Vec::with_capacity(rows.len());
+    for row in rows {
+        ctx.consume_fuel(1)?;
+        let mut frames = outer_scopes.to_vec();
+        frames.push(Frame { schema, row: &row });
+        let env = EvalEnv { ctx, scopes: &frames, aggs: None, ctes, info };
+        let v = eval_expr(pred, env)?;
+        let t = truthiness(&v, ctx)?;
+
+        // Bug hook: SqliteIndexedCmpNullTrue — under an index scan a NULL
+        // comparison keeps the row.
+        if t.is_none()
+            && info.via_index
+            && matches!(pred, Expr::Binary { op, .. } if op.is_comparison())
+            && ctx.bugs.active(BugId::SqliteIndexedCmpNullTrue)
+        {
+            out.push(row);
+            continue;
+        }
+        // Bug hook: CockroachAndNullTopConjunct — a top-level AND that
+        // evaluates to NULL keeps the row.
+        if t.is_none()
+            && matches!(pred, Expr::Binary { op: crate::ast::BinaryOp::And, .. })
+            && ctx.bugs.active(BugId::CockroachAndNullTopConjunct)
+        {
+            out.push(row);
+            continue;
+        }
+
+        match t {
+            Some(true) => {
+                ctx.cov.hit("exec::filter_pass");
+                out.push(row);
+            }
+            Some(false) => ctx.cov.hit("exec::filter_drop"),
+            None => ctx.cov.hit("exec::filter_null"),
+        }
+    }
+    Ok(out)
+}
+
+fn collect_cte_scans(from: &FromPlan, out: &mut Vec<String>) {
+    match from {
+        FromPlan::CteScan { name, .. } => out.push(name.clone()),
+        FromPlan::Join { left, right, .. } => {
+            collect_cte_scans(left, out);
+            collect_cte_scans(right, out);
+        }
+        FromPlan::Filtered { input, .. } => collect_cte_scans(input, out),
+        _ => {}
+    }
+}
+
+fn count_joins(from: &FromPlan) -> usize {
+    match from {
+        FromPlan::Join { left, right, .. } => 1 + count_joins(left) + count_joins(right),
+        FromPlan::Filtered { input, .. } => count_joins(input),
+        _ => 0,
+    }
+}
+
+fn exec_from(from: &FromPlan, ctx: &EngineCtx, ctes: &CteEnv, depth: u32) -> Result<FromResult> {
+    match from {
+        FromPlan::SeqScan { table, alias } => {
+            let t = ctx.catalog.table(table)?;
+            ctx.consume_fuel(t.rows.len() as u64)?;
+            let schema = Schema {
+                cols: t
+                    .columns
+                    .iter()
+                    .map(|c| ColMeta {
+                        table: Some(alias.clone()),
+                        name: c.name.to_ascii_lowercase(),
+                        from_view: false,
+                        from_cte: false,
+                    })
+                    .collect(),
+            };
+            Ok(FromResult {
+                schema,
+                rows: t.rows.clone(),
+                via_index: false,
+                has_cte: false,
+                has_full_join: false,
+            })
+        }
+        FromPlan::IndexScan { table, alias, index, reverse } => {
+            let t = ctx.catalog.table(table)?;
+            let idx = ctx
+                .catalog
+                .index(index)
+                .ok_or_else(|| Error::Catalog(format!("no such index: {index}")))?;
+            ctx.consume_fuel(2 * t.rows.len() as u64)?;
+            let schema = Schema {
+                cols: t
+                    .columns
+                    .iter()
+                    .map(|c| ColMeta {
+                        table: Some(alias.clone()),
+                        name: c.name.to_ascii_lowercase(),
+                        from_view: false,
+                        from_cte: false,
+                    })
+                    .collect(),
+            };
+            // Evaluate the indexed expression per row and visit rows in
+            // index order — row-identical to a seq scan, different order.
+            let mut keyed: Vec<(OrdValue, usize)> = Vec::with_capacity(t.rows.len());
+            for (i, row) in t.rows.iter().enumerate() {
+                let frames = [Frame { schema: &schema, row }];
+                let env = EvalEnv {
+                    ctx,
+                    scopes: &frames,
+                    aggs: None,
+                    ctes,
+                    info: ExprCtx { depth, ..ExprCtx::new(Clause::IndexExpr) },
+                };
+                let key = eval_expr(&idx.expr, env)?;
+                keyed.push((OrdValue(key), i));
+            }
+            keyed.sort_by(|(a, ia), (b, ib)| a.cmp(b).then(ia.cmp(ib)));
+            if *reverse {
+                keyed.reverse();
+            }
+            let rows = keyed.into_iter().map(|(_, i)| t.rows[i].clone()).collect();
+            Ok(FromResult { schema, rows, via_index: true, has_cte: false, has_full_join: false })
+        }
+        FromPlan::Derived { plan, alias, columns, from_view } => {
+            let rel = exec_select_plan(plan, ctx, ctes, &[], depth)?;
+            let names: Vec<String> = if columns.is_empty() {
+                rel.columns.iter().map(|c| c.to_ascii_lowercase()).collect()
+            } else {
+                if columns.len() != rel.columns.len() {
+                    return Err(Error::Catalog(format!(
+                        "{alias} declares {} columns but its query returns {}",
+                        columns.len(),
+                        rel.columns.len()
+                    )));
+                }
+                columns.iter().map(|c| c.to_ascii_lowercase()).collect()
+            };
+            let schema = Schema {
+                cols: names
+                    .into_iter()
+                    .map(|name| ColMeta {
+                        table: Some(alias.clone()),
+                        name,
+                        from_view: *from_view,
+                        from_cte: false,
+                    })
+                    .collect(),
+            };
+            Ok(FromResult {
+                schema,
+                rows: rel.rows,
+                via_index: false,
+                has_cte: false,
+                has_full_join: false,
+            })
+        }
+        FromPlan::ValuesScan { rows, alias, columns } => {
+            ctx.cov.hit("exec::values_rows");
+            let mut out = Vec::with_capacity(rows.len());
+            for row in rows {
+                ctx.consume_fuel(1)?;
+                let mut vals = Vec::with_capacity(row.len());
+                for e in row {
+                    let env = EvalEnv {
+                        ctx,
+                        scopes: &[],
+                        aggs: None,
+                        ctes,
+                        info: ExprCtx { depth, ..ExprCtx::new(Clause::SelectList) },
+                    };
+                    vals.push(eval_expr(e, env)?);
+                }
+                out.push(vals);
+            }
+            let arity = rows.first().map(|r| r.len()).unwrap_or(0);
+            let names: Vec<String> = if columns.is_empty() {
+                (1..=arity).map(|i| format!("column{i}")).collect()
+            } else {
+                if columns.len() != arity {
+                    return Err(Error::Catalog(format!(
+                        "{alias} declares {} columns but VALUES has {arity}",
+                        columns.len()
+                    )));
+                }
+                columns.clone()
+            };
+            let schema = Schema {
+                cols: names
+                    .into_iter()
+                    .map(|name| ColMeta {
+                        table: Some(alias.clone()),
+                        name,
+                        from_view: false,
+                        from_cte: false,
+                    })
+                    .collect(),
+            };
+            Ok(FromResult {
+                schema,
+                rows: out,
+                via_index: false,
+                has_cte: false,
+                has_full_join: false,
+            })
+        }
+        FromPlan::CteScan { name, alias } => {
+            let data = ctes
+                .lookup(name)
+                .ok_or_else(|| Error::Catalog(format!("no such CTE: {name}")))?;
+            if data.reads.get() > 0 {
+                ctx.cov.hit("exec::cte_reuse");
+            }
+            data.reads.set(data.reads.get() + 1);
+            ctx.consume_fuel(data.rel.rows.len() as u64)?;
+            let schema = Schema {
+                cols: data
+                    .columns
+                    .iter()
+                    .map(|c| ColMeta {
+                        table: Some(alias.clone()),
+                        name: c.to_ascii_lowercase(),
+                        from_view: false,
+                        from_cte: true,
+                    })
+                    .collect(),
+            };
+            Ok(FromResult {
+                schema,
+                rows: data.rel.rows.clone(),
+                via_index: false,
+                has_cte: true,
+                has_full_join: false,
+            })
+        }
+        FromPlan::Join { kind, on, left, right } => {
+            let l = exec_from(left, ctx, ctes, depth)?;
+            let r = exec_from(right, ctx, ctes, depth)?;
+            exec_join(*kind, on.as_ref(), l, r, ctx, ctes, depth)
+        }
+        FromPlan::Filtered { input, pred, is_clause_root } => {
+            let mut res = exec_from(input, ctx, ctes, depth)?;
+            // A pushed predicate is still the clause's top-level
+            // expression only if it was the entire WHERE clause;
+            // conjunction fragments are not.
+            let info = ExprCtx {
+                clause: Clause::Where,
+                top_level: *is_clause_root,
+                via_index: res.via_index,
+                from_has_cte: res.has_cte,
+                depth,
+            };
+            res.rows = apply_filter(res.rows, &res.schema, pred, ctx, ctes, &[], info)?;
+            Ok(res)
+        }
+    }
+}
+
+fn is_inequality(e: &Expr) -> bool {
+    matches!(
+        e,
+        Expr::Binary { op, .. }
+            if matches!(op, crate::ast::BinaryOp::Lt | crate::ast::BinaryOp::Le
+                | crate::ast::BinaryOp::Gt | crate::ast::BinaryOp::Ge)
+    )
+}
+
+fn exec_join(
+    kind: JoinKind,
+    on: Option<&Expr>,
+    left: FromResult,
+    right: FromResult,
+    ctx: &EngineCtx,
+    ctes: &CteEnv,
+    depth: u32,
+) -> Result<FromResult> {
+    let schema = left.schema.clone().concat(right.schema.clone());
+    let lw = left.schema.cols.len();
+    let rw = right.schema.cols.len();
+
+    // Crash hooks: the DuckDB IEJoin bugs (both fixed upstream; modelled
+    // here as Error::Crash instead of a process abort).
+    if let Some(on_expr) = on {
+        if ctx.bugs.active(BugId::DuckdbCrashIEJoinRange) {
+            if let Expr::Binary { op: crate::ast::BinaryOp::And, left: a, right: b } = on_expr {
+                if is_inequality(a) && is_inequality(b) {
+                    return Err(Error::Crash(
+                        "segmentation fault in IEJoin (index out of bounds)".into(),
+                    ));
+                }
+            }
+        }
+        if ctx.bugs.active(BugId::DuckdbCrashIEJoinTypes) && is_inequality(on_expr) {
+            if let (Some(lrow), Some(rrow)) = (left.rows.first(), right.rows.first()) {
+                let mut combined = lrow.clone();
+                combined.extend(rrow.iter().cloned());
+                if let Expr::Binary { left: a, right: b, .. } = on_expr {
+                    let frames = [Frame { schema: &schema, row: &combined }];
+                    let env = EvalEnv {
+                        ctx,
+                        scopes: &frames,
+                        aggs: None,
+                        ctes,
+                        info: ExprCtx { depth, ..ExprCtx::new(Clause::JoinOn) },
+                    };
+                    let av = eval_expr(a, env).unwrap_or(Value::Null);
+                    let bv = eval_expr(b, env).unwrap_or(Value::Null);
+                    let mixed = matches!(
+                        (&av, &bv),
+                        (Value::Int(_), Value::Real(_)) | (Value::Real(_), Value::Int(_))
+                    );
+                    if mixed {
+                        return Err(Error::Crash(
+                            "segmentation fault in IEJoin (operand type mismatch)".into(),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    // Bug hook: SqliteJoinOnViewLeftTrue — a *comparison* ON predicate
+    // that reads a view-sourced column is treated as TRUE under outer
+    // joins (the rewrite pattern-matches bare comparisons, so a folded
+    // CASE predicate escapes it).
+    let on_forced_true = match (on, kind) {
+        (Some(pred), JoinKind::Left | JoinKind::Full)
+            if ctx.bugs.active(BugId::SqliteJoinOnViewLeftTrue)
+                && matches!(pred, Expr::Binary { op, .. } if op.is_comparison()) =>
+        {
+            pred.shallow_column_refs().iter().any(|c| {
+                schema.cols.iter().any(|col| {
+                    col.from_view
+                        && col.name == c.column.to_ascii_lowercase()
+                        && match &c.table {
+                            Some(t) => {
+                                col.table.as_deref() == Some(t.to_ascii_lowercase().as_str())
+                            }
+                            None => true,
+                        }
+                })
+            })
+        }
+        _ => false,
+    };
+
+    let info = ExprCtx {
+        clause: Clause::JoinOn,
+        top_level: true,
+        via_index: false,
+        from_has_cte: left.has_cte || right.has_cte,
+        depth,
+    };
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut right_matched = vec![false; right.rows.len()];
+
+    for lrow in &left.rows {
+        let mut matched = false;
+        for (ri, rrow) in right.rows.iter().enumerate() {
+            ctx.consume_fuel(1)?;
+            let mut combined = lrow.clone();
+            combined.extend(rrow.iter().cloned());
+            let is_match = if on_forced_true {
+                true
+            } else {
+                match on {
+                    None => true,
+                    Some(pred) => {
+                        let frames = [Frame { schema: &schema, row: &combined }];
+                        let env =
+                            EvalEnv { ctx, scopes: &frames, aggs: None, ctes, info };
+                        let v = eval_expr(pred, env)?;
+                        truthiness(&v, ctx)? == Some(true)
+                    }
+                }
+            };
+            if is_match {
+                ctx.cov.hit("exec::join_probe_match");
+                matched = true;
+                right_matched[ri] = true;
+                rows.push(combined);
+            } else {
+                ctx.cov.hit("exec::join_probe_miss");
+            }
+        }
+        if !matched && matches!(kind, JoinKind::Left | JoinKind::Full) {
+            ctx.cov.hit("exec::join_pad_left");
+            let mut padded = lrow.clone();
+            padded.extend(std::iter::repeat_with(|| Value::Null).take(rw));
+            rows.push(padded);
+        }
+    }
+    if matches!(kind, JoinKind::Right | JoinKind::Full) {
+        for (ri, rrow) in right.rows.iter().enumerate() {
+            if !right_matched[ri] {
+                ctx.cov.hit("exec::join_pad_right");
+                let mut padded: Row = std::iter::repeat_with(|| Value::Null).take(lw).collect();
+                padded.extend(rrow.iter().cloned());
+                rows.push(padded);
+            }
+        }
+    }
+
+    Ok(FromResult {
+        schema,
+        rows,
+        via_index: left.via_index || right.via_index,
+        has_cte: left.has_cte || right.has_cte,
+        has_full_join: kind == JoinKind::Full || left.has_full_join || right.has_full_join,
+    })
+}

@@ -1,0 +1,39 @@
+//! # CoddDB — the device-under-test substrate for the CODDTest reproduction
+//!
+//! An in-memory relational SQL engine built from scratch:
+//!
+//! * typed values with SQL three-valued logic ([`value`]),
+//! * a full AST with renderer and recursive-descent parser ([`ast`],
+//!   [`parser`]),
+//! * a catalog with tables, views and expression indexes ([`catalog`]),
+//! * a planner with constant folding, predicate pushdown and index
+//!   selection, producing fingerprintable physical plans ([`plan`]),
+//! * an executor covering joins, grouping, subqueries (correlated and
+//!   non-correlated), CTEs, set operations and DML ([`exec`], [`eval`]),
+//! * five dialect profiles emulating the paper's target systems
+//!   ([`dialect`]),
+//! * 45 injectable bug mutants mirroring the paper's Table 1 ([`bugs`]),
+//! * a branch-point coverage registry for the Table 3 metric
+//!   ([`coverage`]).
+//!
+//! The public entry point is [`Database`].
+
+pub mod ast;
+pub mod bugs;
+pub mod catalog;
+pub mod coverage;
+pub mod dialect;
+pub mod error;
+pub mod eval;
+pub mod exec;
+pub mod parser;
+pub mod plan;
+pub mod value;
+
+mod database;
+
+pub use bugs::{BugId, BugKind, BugRegistry};
+pub use database::{Database, ExecOutcome};
+pub use dialect::Dialect;
+pub use error::{Error, Result, Severity};
+pub use value::{DataType, Relation, Row, Value};

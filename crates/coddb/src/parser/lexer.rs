@@ -1,0 +1,281 @@
+//! SQL lexer.
+
+use crate::error::{Error, Result};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (original spelling preserved).
+    Word(String),
+    Int(i64),
+    Real(f64),
+    Str(String),
+    /// Punctuation / operator symbol.
+    Sym(Sym),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sym {
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Semi,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Concat,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl Token {
+    /// Keyword test, case-insensitive.
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Word(w) if w.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenize a SQL string.
+pub fn lex(input: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let bytes: Vec<char> = input.chars().collect();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == '-' => {
+                // Line comment.
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                tokens.push(Token::Sym(Sym::LParen));
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::Sym(Sym::RParen));
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Sym(Sym::Comma));
+                i += 1;
+            }
+            '.' if i + 1 >= bytes.len() || !bytes[i + 1].is_ascii_digit() => {
+                tokens.push(Token::Sym(Sym::Dot));
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token::Sym(Sym::Semi));
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Sym(Sym::Star));
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token::Sym(Sym::Plus));
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token::Sym(Sym::Minus));
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token::Sym(Sym::Slash));
+                i += 1;
+            }
+            '%' => {
+                tokens.push(Token::Sym(Sym::Percent));
+                i += 1;
+            }
+            '|' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == '|' {
+                    tokens.push(Token::Sym(Sym::Concat));
+                    i += 2;
+                } else {
+                    return Err(Error::Parse("unexpected '|'".into()));
+                }
+            }
+            '=' => {
+                // Accept both `=` and `==`.
+                if i + 1 < bytes.len() && bytes[i + 1] == '=' {
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+                tokens.push(Token::Sym(Sym::Eq));
+            }
+            '!' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == '=' {
+                    tokens.push(Token::Sym(Sym::Ne));
+                    i += 2;
+                } else {
+                    return Err(Error::Parse("unexpected '!'".into()));
+                }
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == '=' {
+                    tokens.push(Token::Sym(Sym::Le));
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == '>' {
+                    tokens.push(Token::Sym(Sym::Ne));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Sym(Sym::Lt));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == '=' {
+                    tokens.push(Token::Sym(Sym::Ge));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Sym(Sym::Gt));
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let (s, next) = lex_quoted(&bytes, i, '\'')?;
+                tokens.push(Token::Str(s));
+                i = next;
+            }
+            '"' => {
+                // CoddDB treats double quotes as string literals (the
+                // paper's MySQL listings use "A", "B", "C").
+                let (s, next) = lex_quoted(&bytes, i, '"')?;
+                tokens.push(Token::Str(s));
+                i = next;
+            }
+            c if c.is_ascii_digit() || c == '.' => {
+                let start = i;
+                let mut saw_dot = false;
+                let mut saw_exp = false;
+                while i < bytes.len() {
+                    let d = bytes[i];
+                    if d.is_ascii_digit() {
+                        i += 1;
+                    } else if d == '.' && !saw_dot && !saw_exp {
+                        saw_dot = true;
+                        i += 1;
+                    } else if (d == 'e' || d == 'E')
+                        && !saw_exp
+                        && i + 1 < bytes.len()
+                        && (bytes[i + 1].is_ascii_digit()
+                            || ((bytes[i + 1] == '+' || bytes[i + 1] == '-')
+                                && i + 2 < bytes.len()
+                                && bytes[i + 2].is_ascii_digit()))
+                    {
+                        saw_exp = true;
+                        i += 1;
+                        if bytes[i] == '+' || bytes[i] == '-' {
+                            i += 1;
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                let text: String = bytes[start..i].iter().collect();
+                if saw_dot || saw_exp {
+                    let v = text
+                        .parse::<f64>()
+                        .map_err(|_| Error::Parse(format!("bad numeric literal {text}")))?;
+                    tokens.push(Token::Real(v));
+                } else {
+                    match text.parse::<i64>() {
+                        Ok(v) => tokens.push(Token::Int(v)),
+                        // Integer literals beyond i64 degrade to REAL,
+                        // like SQLite.
+                        Err(_) => tokens.push(Token::Real(
+                            text.parse::<f64>()
+                                .map_err(|_| Error::Parse(format!("bad numeric literal {text}")))?,
+                        )),
+                    }
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                tokens.push(Token::Word(bytes[start..i].iter().collect()));
+            }
+            other => return Err(Error::Parse(format!("unexpected character {other:?}"))),
+        }
+    }
+    Ok(tokens)
+}
+
+fn lex_quoted(bytes: &[char], start: usize, quote: char) -> Result<(String, usize)> {
+    let mut s = String::new();
+    let mut i = start + 1;
+    while i < bytes.len() {
+        if bytes[i] == quote {
+            if i + 1 < bytes.len() && bytes[i + 1] == quote {
+                s.push(quote);
+                i += 2;
+            } else {
+                return Ok((s, i + 1));
+            }
+        } else {
+            s.push(bytes[i]);
+            i += 1;
+        }
+    }
+    Err(Error::Parse("unterminated string literal".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_basic_query() {
+        let toks = lex("SELECT * FROM t0 WHERE c0 >= -1.5;").unwrap();
+        assert!(toks.contains(&Token::Sym(Sym::Star)));
+        assert!(toks.contains(&Token::Sym(Sym::Ge)));
+        assert!(toks.contains(&Token::Real(1.5)));
+        assert!(toks.iter().any(|t| t.is_kw("where")));
+    }
+
+    #[test]
+    fn string_escapes_and_double_quotes() {
+        let toks = lex("'a''b' \"C\"").unwrap();
+        assert_eq!(toks[0], Token::Str("a'b".into()));
+        assert_eq!(toks[1], Token::Str("C".into()));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = lex("SELECT 1 -- trailing comment\n, 2").unwrap();
+        assert_eq!(
+            toks.iter().filter(|t| matches!(t, Token::Int(_))).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn neq_spellings() {
+        assert_eq!(lex("<>").unwrap(), vec![Token::Sym(Sym::Ne)]);
+        assert_eq!(lex("!=").unwrap(), vec![Token::Sym(Sym::Ne)]);
+    }
+
+    #[test]
+    fn huge_integer_degrades_to_real() {
+        let toks = lex("8628276060272066570000000").unwrap();
+        assert!(matches!(toks[0], Token::Real(_)));
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(lex("'abc").is_err());
+    }
+}

@@ -1,0 +1,1374 @@
+//! Query planning.
+//!
+//! The planner lowers a [`Select`] AST into a [`SelectPlan`]: views are
+//! expanded, CTE references resolved, and — when optimization is enabled —
+//! three rewrites run:
+//!
+//! 1. **constant folding** of filter expressions (the very optimization the
+//!    CODDTest oracle scrutinizes from the outside),
+//! 2. **predicate pushdown** through inner/cross joins,
+//! 3. **index selection** (forced by `INDEXED BY`, or chosen when a
+//!    top-level conjunct matches an expression index).
+//!
+//! NoREC's reference execution runs with `optimize = false`, skipping all
+//! three. [`fingerprint`] hashes the plan *shape* (operators, join kinds,
+//! access paths, expression skeletons) — the "unique query plans" metric of
+//! Table 3 and Figure 3.
+
+use std::collections::BTreeSet;
+use std::hash::{Hash, Hasher};
+
+use crate::ast::{
+    BinaryOp, Expr, JoinKind, OrderItem, Select, SelectBody, SelectCore, SelectItem, SetOp,
+    TableExpr,
+};
+use crate::bugs::{BugId, BugRegistry};
+use crate::catalog::{Catalog, RelationKind};
+use crate::coverage::Coverage;
+use crate::dialect::Dialect;
+use crate::error::{Error, Result};
+use crate::value::Value;
+
+/// Planning context.
+pub struct PlanCtx<'a> {
+    pub catalog: &'a Catalog,
+    pub dialect: Dialect,
+    pub bugs: &'a BugRegistry,
+    pub cov: &'a Coverage,
+    pub optimize: bool,
+}
+
+/// Physical FROM-clause plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FromPlan {
+    /// Full scan of a base table in storage order.
+    SeqScan { table: String, alias: String },
+    /// Scan of a base table in index order (CoddDB indexes provide an
+    /// ordering over an indexed expression; results are row-identical to a
+    /// sequential scan but arrive in a different order).
+    IndexScan { table: String, alias: String, index: String, reverse: bool },
+    /// A derived table (or expanded view).
+    Derived {
+        plan: Box<SelectPlan>,
+        alias: String,
+        /// Optional output column renames (view / CTE column lists).
+        columns: Vec<String>,
+        /// True when this node came from expanding a view reference.
+        from_view: bool,
+    },
+    /// Table value constructor.
+    ValuesScan { rows: Vec<Vec<Expr>>, alias: String, columns: Vec<String> },
+    /// Reference to a materialized CTE.
+    CteScan { name: String, alias: String },
+    /// Nested-loop join.
+    Join { kind: JoinKind, on: Option<Expr>, left: Box<FromPlan>, right: Box<FromPlan> },
+    /// A filter pushed below its original position. `is_clause_root` is
+    /// true when the pushed predicate is the *entire* original WHERE
+    /// clause (it then still evaluates as the clause's top-level
+    /// expression; fragments of a conjunction do not).
+    Filtered { input: Box<FromPlan>, pred: Expr, is_clause_root: bool },
+}
+
+/// Physical plan of one select core.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorePlan {
+    pub distinct: bool,
+    pub items: Vec<SelectItem>,
+    pub from: Option<FromPlan>,
+    pub where_clause: Option<Expr>,
+    pub group_by: Vec<Expr>,
+    pub having: Option<Expr>,
+}
+
+/// Physical plan of a select body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BodyPlan {
+    Core(CorePlan),
+    SetOp { op: SetOp, all: bool, left: Box<BodyPlan>, right: Box<BodyPlan> },
+    Values(Vec<Vec<Expr>>),
+}
+
+/// Physical plan of a full SELECT.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectPlan {
+    /// CTEs in definition order: (name, column renames, plan).
+    pub ctes: Vec<(String, Vec<String>, SelectPlan)>,
+    pub body: BodyPlan,
+    pub order_by: Vec<OrderItem>,
+    pub limit: Option<Expr>,
+    pub offset: Option<Expr>,
+}
+
+impl SelectPlan {
+    /// Count join nodes in the whole plan (hang-bug trigger input).
+    pub fn join_count(&self) -> usize {
+        fn from_joins(f: &FromPlan) -> usize {
+            match f {
+                FromPlan::Join { left, right, .. } => 1 + from_joins(left) + from_joins(right),
+                FromPlan::Filtered { input, .. } => from_joins(input),
+                FromPlan::Derived { plan, .. } => plan.join_count(),
+                _ => 0,
+            }
+        }
+        fn body_joins(b: &BodyPlan) -> usize {
+            match b {
+                BodyPlan::Core(c) => c.from.as_ref().map(from_joins).unwrap_or(0),
+                BodyPlan::SetOp { left, right, .. } => body_joins(left) + body_joins(right),
+                BodyPlan::Values(_) => 0,
+            }
+        }
+        body_joins(&self.body) + self.ctes.iter().map(|(_, _, p)| p.join_count()).sum::<usize>()
+    }
+}
+
+/// Plan a SELECT statement. `outer_ctes` holds the CTE names visible from
+/// enclosing queries (their materialized values live in the executor's CTE
+/// environment).
+pub fn plan_select(select: &Select, pctx: &PlanCtx, outer_ctes: &BTreeSet<String>) -> Result<SelectPlan> {
+    let mut visible = outer_ctes.clone();
+    let mut ctes = Vec::with_capacity(select.with.len());
+    for cte in &select.with {
+        // A CTE body sees previously defined CTEs (non-recursive).
+        let plan = plan_select(&cte.query, pctx, &visible)?;
+        visible.insert(cte.name.to_ascii_lowercase());
+        ctes.push((cte.name.to_ascii_lowercase(), cte.columns.clone(), plan));
+    }
+    let body = plan_body(&select.body, pctx, &visible)?;
+    Ok(SelectPlan {
+        ctes,
+        body,
+        order_by: select.order_by.clone(),
+        limit: select.limit.clone(),
+        offset: select.offset.clone(),
+    })
+}
+
+fn plan_body(body: &SelectBody, pctx: &PlanCtx, ctes: &BTreeSet<String>) -> Result<BodyPlan> {
+    match body {
+        SelectBody::Core(core) => Ok(BodyPlan::Core(plan_core(core, pctx, ctes)?)),
+        SelectBody::SetOp { op, all, left, right } => Ok(BodyPlan::SetOp {
+            op: *op,
+            all: *all,
+            left: Box::new(plan_body(left, pctx, ctes)?),
+            right: Box::new(plan_body(right, pctx, ctes)?),
+        }),
+        SelectBody::Values(rows) => {
+            if rows.is_empty() {
+                return Err(Error::Parse("VALUES requires at least one row".into()));
+            }
+            let arity = rows[0].len();
+            if rows.iter().any(|r| r.len() != arity) {
+                return Err(Error::Eval("all VALUES rows must have the same arity".into()));
+            }
+            Ok(BodyPlan::Values(rows.clone()))
+        }
+    }
+}
+
+fn plan_core(core: &SelectCore, pctx: &PlanCtx, ctes: &BTreeSet<String>) -> Result<CorePlan> {
+    let mut from = match &core.from {
+        Some(te) => Some(plan_table_expr(te, pctx, ctes)?),
+        None => {
+            pctx.cov.hit("plan::no_from");
+            None
+        }
+    };
+
+    let mut where_clause = core.where_clause.clone();
+    let mut having = core.having.clone();
+
+    if pctx.optimize {
+        if let Some(w) = where_clause.take() {
+            where_clause = Some(fold_expr(w, pctx, from.is_some() && has_join(from.as_ref()))?);
+        }
+        if let Some(h) = having.take() {
+            having = Some(fold_expr(h, pctx, has_join(from.as_ref()))?);
+        }
+        // Trivial-filter elimination. Strict dialects only treat BOOLEAN
+        // literals as predicates; a numeric filter must still raise its
+        // runtime type error, so it is never eliminated there.
+        if let Some(Expr::Literal(v)) = &where_clause {
+            let strict = pctx.dialect.strict_types();
+            match v {
+                Value::Bool(true) => {
+                    pctx.cov.hit("plan::filter_true_elim");
+                    where_clause = None;
+                }
+                Value::Int(1) if !strict => {
+                    pctx.cov.hit("plan::filter_true_elim");
+                    where_clause = None;
+                }
+                Value::Bool(false) | Value::Null => {
+                    pctx.cov.hit("plan::filter_false");
+                }
+                Value::Int(0) if !strict => {
+                    pctx.cov.hit("plan::filter_false");
+                }
+                _ => {}
+            }
+        }
+        // Predicate pushdown through joins.
+        if from.is_some() && where_clause.is_some() {
+            let (new_from, residual) =
+                push_down(from.take().unwrap(), where_clause.take().unwrap(), pctx);
+            from = Some(new_from);
+            where_clause = residual;
+        }
+        // Index selection on single-table scans.
+        if let Some(f) = from.take() {
+            from = Some(select_index(f, where_clause.as_ref(), pctx)?);
+        }
+    }
+
+    // INDEXED BY is honoured even without the optimizer (SQLite semantics:
+    // it is a hard directive, and Listing 1's original query relies on it).
+    if let Some(f) = from.take() {
+        from = Some(force_indexed_by(f, pctx)?);
+    }
+
+    Ok(CorePlan {
+        distinct: core.distinct,
+        items: core.items.clone(),
+        from,
+        where_clause,
+        group_by: core.group_by.clone(),
+        having,
+    })
+}
+
+/// Constant-fold a DML WHERE predicate (UPDATE/DELETE go through the same
+/// folding pass as SELECT filters in a real planner).
+pub fn fold_dml_predicate(expr: Expr, pctx: &PlanCtx) -> Result<Expr> {
+    fold_expr(expr, pctx, false)
+}
+
+fn has_join(from: Option<&FromPlan>) -> bool {
+    fn rec(f: &FromPlan) -> bool {
+        match f {
+            FromPlan::Join { .. } => true,
+            FromPlan::Filtered { input, .. } => rec(input),
+            _ => false,
+        }
+    }
+    from.map(rec).unwrap_or(false)
+}
+
+fn plan_table_expr(te: &TableExpr, pctx: &PlanCtx, ctes: &BTreeSet<String>) -> Result<FromPlan> {
+    match te {
+        TableExpr::Named { name, alias, indexed_by } => {
+            let key = name.to_ascii_lowercase();
+            let alias_name = alias.clone().unwrap_or_else(|| name.clone()).to_ascii_lowercase();
+            if ctes.contains(&key) {
+                pctx.cov.hit("plan::cte_scan");
+                if indexed_by.is_some() {
+                    return Err(Error::Catalog(format!("cannot use INDEXED BY on CTE {name}")));
+                }
+                return Ok(FromPlan::CteScan { name: key, alias: alias_name });
+            }
+            match pctx.catalog.resolve_relation(name)? {
+                RelationKind::Table => {
+                    pctx.cov.hit("plan::seq_scan");
+                    let mut plan =
+                        FromPlan::SeqScan { table: key.clone(), alias: alias_name.clone() };
+                    if let Some(idx) = indexed_by {
+                        // Validated/applied in force_indexed_by; keep the
+                        // directive by eagerly resolving it here.
+                        let index = pctx
+                            .catalog
+                            .index(idx)
+                            .ok_or_else(|| Error::Catalog(format!("no such index: {idx}")))?;
+                        if !index.table.eq_ignore_ascii_case(name) {
+                            return Err(Error::Catalog(format!(
+                                "index {idx} does not belong to table {name}"
+                            )));
+                        }
+                        pctx.cov.hit("plan::index_forced");
+                        plan = FromPlan::IndexScan {
+                            table: key,
+                            alias: alias_name,
+                            index: idx.to_ascii_lowercase(),
+                            reverse: false,
+                        };
+                    }
+                    Ok(plan)
+                }
+                RelationKind::View => {
+                    pctx.cov.hit("plan::view_expand");
+                    if indexed_by.is_some() {
+                        return Err(Error::Catalog(format!("cannot use INDEXED BY on view {name}")));
+                    }
+                    let view = pctx.catalog.view(name).expect("resolved as view");
+                    let sub = plan_select(&view.query, pctx, &BTreeSet::new())?;
+                    Ok(FromPlan::Derived {
+                        plan: Box::new(sub),
+                        alias: alias_name,
+                        columns: view.columns.clone(),
+                        from_view: true,
+                    })
+                }
+            }
+        }
+        TableExpr::Derived { query, alias } => {
+            pctx.cov.hit("plan::derived");
+            let sub = plan_select(query, pctx, ctes)?;
+            Ok(FromPlan::Derived {
+                plan: Box::new(sub),
+                alias: alias.to_ascii_lowercase(),
+                columns: Vec::new(),
+                from_view: false,
+            })
+        }
+        TableExpr::Values { rows, alias, columns } => {
+            pctx.cov.hit("plan::values_scan");
+            if rows.is_empty() {
+                return Err(Error::Parse("VALUES requires at least one row".into()));
+            }
+            let arity = rows[0].len();
+            if rows.iter().any(|r| r.len() != arity) {
+                return Err(Error::Eval("all VALUES rows must have the same arity".into()));
+            }
+            Ok(FromPlan::ValuesScan {
+                rows: rows.clone(),
+                alias: alias.to_ascii_lowercase(),
+                columns: columns.iter().map(|c| c.to_ascii_lowercase()).collect(),
+            })
+        }
+        TableExpr::Join { left, right, kind, on } => {
+            pctx.cov.hit(match kind {
+                JoinKind::Inner => "plan::join_inner",
+                JoinKind::Left => "plan::join_left",
+                JoinKind::Right => "plan::join_right",
+                JoinKind::Full => "plan::join_full",
+                JoinKind::Cross => "plan::join_cross",
+            });
+            Ok(FromPlan::Join {
+                kind: *kind,
+                on: on.clone(),
+                left: Box::new(plan_table_expr(left, pctx, ctes)?),
+                right: Box::new(plan_table_expr(right, pctx, ctes)?),
+            })
+        }
+    }
+}
+
+/// Re-apply `INDEXED BY` on plans built without optimization (it is part
+/// of query semantics in SQLite, not an optimizer decision). A no-op for
+/// plans where index selection already ran.
+fn force_indexed_by(plan: FromPlan, _pctx: &PlanCtx) -> Result<FromPlan> {
+    Ok(plan)
+}
+
+// ---------------------------------------------------------------------------
+// Constant folding
+// ---------------------------------------------------------------------------
+
+/// Fold constant sub-expressions of a filter expression. Mirrors the very
+/// optimization CODDTest emulates from the outside.
+fn fold_expr(expr: Expr, pctx: &PlanCtx, in_join_query: bool) -> Result<Expr> {
+    // Bug hook: CockroachConstFoldNotBetweenNull — the optimizer "folds"
+    // a NOT BETWEEN with a NULL bound to TRUE in join queries, although the
+    // expression is not constant at all.
+    if pctx.bugs.active(BugId::CockroachConstFoldNotBetweenNull) && in_join_query {
+        if let Expr::Between { negated: true, low, high, .. } = &expr {
+            let null_bound = matches!(low.as_ref(), Expr::Literal(Value::Null))
+                || matches!(high.as_ref(), Expr::Literal(Value::Null));
+            if null_bound {
+                return Ok(Expr::Literal(truthy_literal(pctx.dialect)));
+            }
+        }
+    }
+    // Bug hook: CockroachInternalNegMod — folding `x % -k` raises an
+    // internal error.
+    if pctx.bugs.active(BugId::CockroachInternalNegMod) {
+        if let Expr::Binary { op: BinaryOp::Mod, right, .. } = &expr {
+            if matches!(right.as_ref(), Expr::Literal(Value::Int(k)) if *k < 0) {
+                return Err(Error::Internal(
+                    "constant folding of % with negative modulus".into(),
+                ));
+            }
+        }
+    }
+
+    // Bug hook companion: the Listing-9 mutant's planner cannot lower IN
+    // value lists with INT8-range members, so it skips constant-folding
+    // any subtree containing an IN list — keeping plan-time and run-time
+    // behaviour consistent (NoREC therefore sees no asymmetry).
+    if pctx.bugs.active(BugId::CockroachInBigIntValueList) && contains_in_list(&expr) {
+        pctx.cov.hit("plan::fold_skipped");
+        return map_children(expr, &mut |child| fold_expr(child, pctx, in_join_query));
+    }
+
+    if expr.is_constant() {
+        match crate::eval::eval_const(&expr, pctx) {
+            Ok(v) => {
+                pctx.cov.hit("plan::fold_const");
+                return Ok(Expr::Literal(v));
+            }
+            Err(e) if e.severity() == crate::error::Severity::BugSignal => return Err(e),
+            Err(_) => {
+                // Expressions that error at fold time (overflow, strict type
+                // mismatch, ...) are left for runtime, like real planners do.
+                pctx.cov.hit("plan::fold_skipped");
+                return Ok(expr);
+            }
+        }
+    }
+    // Recurse into children (not into subqueries: they are planned lazily).
+    map_children(expr, &mut |child| fold_expr(child, pctx, in_join_query))
+}
+
+fn contains_in_list(expr: &Expr) -> bool {
+    let mut found = false;
+    crate::ast::visit::walk_expr_shallow(expr, &mut |e| {
+        if matches!(e, Expr::InList { .. }) {
+            found = true;
+        }
+    });
+    found
+}
+
+fn truthy_literal(dialect: Dialect) -> Value {
+    if dialect.strict_types() {
+        Value::Bool(true)
+    } else {
+        Value::Int(1)
+    }
+}
+
+/// Rebuild an expression by transforming each immediate child.
+fn map_children(expr: Expr, f: &mut impl FnMut(Expr) -> Result<Expr>) -> Result<Expr> {
+    Ok(match expr {
+        Expr::Unary { op, expr } => Expr::Unary { op, expr: Box::new(f(*expr)?) },
+        Expr::Binary { op, left, right } => {
+            Expr::Binary { op, left: Box::new(f(*left)?), right: Box::new(f(*right)?) }
+        }
+        Expr::Between { expr, low, high, negated } => Expr::Between {
+            expr: Box::new(f(*expr)?),
+            low: Box::new(f(*low)?),
+            high: Box::new(f(*high)?),
+            negated,
+        },
+        Expr::InList { expr, list, negated } => Expr::InList {
+            expr: Box::new(f(*expr)?),
+            list: list.into_iter().map(&mut *f).collect::<Result<_>>()?,
+            negated,
+        },
+        Expr::Case { operand, whens, else_expr } => Expr::Case {
+            operand: match operand {
+                Some(o) => Some(Box::new(f(*o)?)),
+                None => None,
+            },
+            whens: whens
+                .into_iter()
+                .map(|(w, t)| Ok::<_, Error>((f(w)?, f(t)?)))
+                .collect::<Result<_>>()?,
+            else_expr: match else_expr {
+                Some(e) => Some(Box::new(f(*e)?)),
+                None => None,
+            },
+        },
+        Expr::Func { func, args } => {
+            Expr::Func { func, args: args.into_iter().map(&mut *f).collect::<Result<_>>()? }
+        }
+        Expr::Cast { expr, ty } => Expr::Cast { expr: Box::new(f(*expr)?), ty },
+        Expr::IsNull { expr, negated } => Expr::IsNull { expr: Box::new(f(*expr)?), negated },
+        Expr::Like { expr, pattern, negated } => Expr::Like {
+            expr: Box::new(f(*expr)?),
+            pattern: Box::new(f(*pattern)?),
+            negated,
+        },
+        // Leaves and subquery holders are returned unchanged.
+        other @ (Expr::Literal(_)
+        | Expr::Column(_)
+        | Expr::InSubquery { .. }
+        | Expr::Exists { .. }
+        | Expr::Scalar(_)
+        | Expr::Quantified { .. }
+        | Expr::Agg { .. }) => other,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Predicate pushdown
+// ---------------------------------------------------------------------------
+
+/// Split a predicate into top-level conjuncts.
+pub fn split_conjuncts(expr: &Expr) -> Vec<Expr> {
+    match expr {
+        Expr::Binary { op: BinaryOp::And, left, right } => {
+            let mut out = split_conjuncts(left);
+            out.extend(split_conjuncts(right));
+            out
+        }
+        other => vec![other.clone()],
+    }
+}
+
+fn conjoin(parts: Vec<Expr>) -> Option<Expr> {
+    let mut it = parts.into_iter();
+    let first = it.next()?;
+    Some(it.fold(first, Expr::and))
+}
+
+/// Aliases produced by a FROM subtree.
+fn collect_aliases(plan: &FromPlan, out: &mut BTreeSet<String>) {
+    match plan {
+        FromPlan::SeqScan { alias, .. }
+        | FromPlan::IndexScan { alias, .. }
+        | FromPlan::Derived { alias, .. }
+        | FromPlan::ValuesScan { alias, .. }
+        | FromPlan::CteScan { alias, .. } => {
+            out.insert(alias.clone());
+        }
+        FromPlan::Join { left, right, .. } => {
+            collect_aliases(left, out);
+            collect_aliases(right, out);
+        }
+        FromPlan::Filtered { input, .. } => collect_aliases(input, out),
+    }
+}
+
+/// Can a conjunct be evaluated using only the given aliases? Conservative:
+/// bare (unqualified) column references and subqueries block pushdown.
+fn refers_only_to(expr: &Expr, aliases: &BTreeSet<String>) -> bool {
+    if expr.contains_subquery() || expr.contains_aggregate() {
+        return false;
+    }
+    expr.shallow_column_refs().iter().all(|c| match &c.table {
+        Some(t) => aliases.contains(&t.to_ascii_lowercase()),
+        None => false,
+    })
+}
+
+/// Push WHERE conjuncts below joins where legal (inner/cross only —
+/// pushing below the preserved side of an outer join changes semantics).
+/// The `DuckdbPushdownLeftJoin` mutant "also" pushes below the null-padded
+/// right side of a LEFT JOIN, which is exactly the illegal rewrite.
+fn push_down(from: FromPlan, where_clause: Expr, pctx: &PlanCtx) -> (FromPlan, Option<Expr>) {
+    let FromPlan::Join { kind, on, left, right } = from else {
+        return (from, Some(where_clause));
+    };
+
+    let mut left_aliases = BTreeSet::new();
+    let mut right_aliases = BTreeSet::new();
+    collect_aliases(&left, &mut left_aliases);
+    collect_aliases(&right, &mut right_aliases);
+
+    let mut left_preds = Vec::new();
+    let mut right_preds = Vec::new();
+    let mut residual = Vec::new();
+
+    let push_left_legal = matches!(kind, JoinKind::Inner | JoinKind::Cross);
+    let conjuncts = split_conjuncts(&where_clause);
+    let whole_clause = conjuncts.len() == 1;
+
+    for conj in conjuncts {
+        // The buggy LEFT-JOIN pushdown pattern-matches simple predicates;
+        // CASE expressions escape it (so the CODDTest folded query stays
+        // correct while the original is corrupted).
+        let push_right_legal = matches!(kind, JoinKind::Inner | JoinKind::Cross)
+            || (kind == JoinKind::Left
+                && pctx.bugs.active(BugId::DuckdbPushdownLeftJoin)
+                && !matches!(conj, Expr::Case { .. }));
+        if push_left_legal && refers_only_to(&conj, &left_aliases) {
+            pctx.cov.hit("plan::pushdown_applied");
+            left_preds.push(conj);
+        } else if push_right_legal && refers_only_to(&conj, &right_aliases) {
+            pctx.cov.hit("plan::pushdown_applied");
+            right_preds.push(conj);
+        } else {
+            if !matches!(kind, JoinKind::Inner | JoinKind::Cross)
+                && (refers_only_to(&conj, &left_aliases) || refers_only_to(&conj, &right_aliases))
+            {
+                pctx.cov.hit("plan::pushdown_blocked_outer");
+            }
+            residual.push(conj);
+        }
+    }
+
+    let left = match conjoin(left_preds) {
+        Some(p) => Box::new(FromPlan::Filtered {
+            input: left,
+            pred: p,
+            is_clause_root: whole_clause,
+        }),
+        None => left,
+    };
+    let right = match conjoin(right_preds) {
+        Some(p) => Box::new(FromPlan::Filtered {
+            input: right,
+            pred: p,
+            is_clause_root: whole_clause,
+        }),
+        None => right,
+    };
+    (FromPlan::Join { kind, on, left, right }, conjoin(residual))
+}
+
+// ---------------------------------------------------------------------------
+// Index selection
+// ---------------------------------------------------------------------------
+
+/// Choose an index scan for a bare single-table FROM when a top-level
+/// WHERE conjunct matches one of the table's expression indexes.
+fn select_index(plan: FromPlan, where_clause: Option<&Expr>, pctx: &PlanCtx) -> Result<FromPlan> {
+    let FromPlan::SeqScan { table, alias } = &plan else {
+        return Ok(plan);
+    };
+    let Some(filter) = where_clause else {
+        return Ok(plan);
+    };
+    for conj in split_conjuncts(filter) {
+        for index in pctx.catalog.indexes_for_table(table) {
+            if let Some(reverse) = index_matches(&conj, &index.expr, alias) {
+                pctx.cov.hit("plan::index_scan");
+                return Ok(FromPlan::IndexScan {
+                    table: table.clone(),
+                    alias: alias.clone(),
+                    index: index.name.to_ascii_lowercase(),
+                    reverse,
+                });
+            }
+        }
+    }
+    Ok(plan)
+}
+
+/// Does a conjunct make the given index usable? Returns the scan direction
+/// (descending for `>`/`>=` probes) or `None`.
+fn index_matches(conj: &Expr, index_expr: &Expr, alias: &str) -> Option<bool> {
+    let norm = normalize_for_index(conj, alias);
+    let idx = normalize_for_index(index_expr, alias);
+    // Whole-expression match: the conjunct *is* the indexed expression.
+    if norm == idx {
+        return Some(false);
+    }
+    // Column-probe match: `col op literal` against an index on `col`.
+    if let Expr::Binary { op, left, right } = &norm {
+        if op.is_comparison()
+            && matches!(left.as_ref(), Expr::Column(_))
+            && matches!(right.as_ref(), Expr::Literal(_))
+            && *left.as_ref() == idx
+        {
+            return Some(matches!(op, BinaryOp::Gt | BinaryOp::Ge));
+        }
+    }
+    None
+}
+
+/// Strip table qualifiers equal to `alias` so index expressions (stored
+/// with bare columns) compare structurally with query predicates.
+fn normalize_for_index(expr: &Expr, alias: &str) -> Expr {
+    let mut e = expr.clone();
+    fn rec(e: &mut Expr, alias: &str) {
+        if let Expr::Column(c) = e {
+            if c.table.as_deref().is_some_and(|t| t.eq_ignore_ascii_case(alias)) {
+                c.table = None;
+            }
+            c.column = c.column.to_ascii_lowercase();
+            return;
+        }
+        // Reuse the mutable child traversal from `visit` via a small local
+        // match to avoid exposing it publicly.
+        match e {
+            Expr::Unary { expr, .. } => rec(expr, alias),
+            Expr::Binary { left, right, .. } => {
+                rec(left, alias);
+                rec(right, alias);
+            }
+            Expr::Between { expr, low, high, .. } => {
+                rec(expr, alias);
+                rec(low, alias);
+                rec(high, alias);
+            }
+            Expr::InList { expr, list, .. } => {
+                rec(expr, alias);
+                for i in list {
+                    rec(i, alias);
+                }
+            }
+            Expr::Case { operand, whens, else_expr } => {
+                if let Some(o) = operand {
+                    rec(o, alias);
+                }
+                for (w, t) in whens {
+                    rec(w, alias);
+                    rec(t, alias);
+                }
+                if let Some(el) = else_expr {
+                    rec(el, alias);
+                }
+            }
+            Expr::Func { args, .. } => {
+                for a in args {
+                    rec(a, alias);
+                }
+            }
+            Expr::Cast { expr, .. } | Expr::IsNull { expr, .. } => rec(expr, alias),
+            Expr::Like { expr, pattern, .. } => {
+                rec(expr, alias);
+                rec(pattern, alias);
+            }
+            _ => {}
+        }
+    }
+    rec(&mut e, alias);
+    e
+}
+
+// ---------------------------------------------------------------------------
+// EXPLAIN
+// ---------------------------------------------------------------------------
+
+/// Render a plan as an indented operator tree (the engine's `EXPLAIN`
+/// output). The text intentionally shows what the fingerprint hashes:
+/// access paths, join kinds, aggregation and subplan structure.
+pub fn explain(plan: &SelectPlan) -> String {
+    let mut out = String::new();
+    explain_select(plan, 0, &mut out);
+    out.pop(); // trailing newline
+    out
+}
+
+fn pad(indent: usize, out: &mut String) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn explain_select(plan: &SelectPlan, indent: usize, out: &mut String) {
+    for (name, _, cte) in &plan.ctes {
+        pad(indent, out);
+        out.push_str(&format!("MATERIALIZE CTE {name}\n"));
+        explain_select(cte, indent + 1, out);
+    }
+    if !plan.order_by.is_empty() {
+        pad(indent, out);
+        out.push_str(&format!("SORT ({} key(s))\n", plan.order_by.len()));
+    }
+    if plan.limit.is_some() || plan.offset.is_some() {
+        pad(indent, out);
+        out.push_str("LIMIT/OFFSET\n");
+    }
+    explain_body(&plan.body, indent, out);
+}
+
+fn explain_body(body: &BodyPlan, indent: usize, out: &mut String) {
+    match body {
+        BodyPlan::Core(core) => {
+            pad(indent, out);
+            let agg = !core.group_by.is_empty()
+                || core.items.iter().any(|i| match i {
+                    SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
+                    _ => false,
+                });
+            let mut label = String::from("PROJECT");
+            if core.distinct {
+                label.push_str(" DISTINCT");
+            }
+            out.push_str(&format!("{label} ({} item(s))\n", core.items.len()));
+            if agg {
+                pad(indent + 1, out);
+                out.push_str(&format!(
+                    "AGGREGATE (group by {} expr(s){})\n",
+                    core.group_by.len(),
+                    if core.having.is_some() { ", having" } else { "" }
+                ));
+            }
+            if let Some(w) = &core.where_clause {
+                pad(indent + 1, out);
+                out.push_str(&format!("FILTER {w}\n"));
+            }
+            match &core.from {
+                Some(f) => explain_from(f, indent + 1, out),
+                None => {
+                    pad(indent + 1, out);
+                    out.push_str("SINGLE ROW\n");
+                }
+            }
+        }
+        BodyPlan::SetOp { op, all, left, right } => {
+            pad(indent, out);
+            out.push_str(&format!("{}{}\n", op.sql_name(), if *all { " ALL" } else { "" }));
+            explain_body(left, indent + 1, out);
+            explain_body(right, indent + 1, out);
+        }
+        BodyPlan::Values(rows) => {
+            pad(indent, out);
+            out.push_str(&format!("VALUES ({} row(s))\n", rows.len()));
+        }
+    }
+}
+
+fn explain_from(from: &FromPlan, indent: usize, out: &mut String) {
+    match from {
+        FromPlan::SeqScan { table, alias } => {
+            pad(indent, out);
+            out.push_str(&format!("SCAN {table} AS {alias}\n"));
+        }
+        FromPlan::IndexScan { table, alias, index, reverse } => {
+            pad(indent, out);
+            out.push_str(&format!(
+                "INDEX SCAN {table} AS {alias} USING {index}{}\n",
+                if *reverse { " (reverse)" } else { "" }
+            ));
+        }
+        FromPlan::Derived { plan, alias, from_view, .. } => {
+            pad(indent, out);
+            out.push_str(&format!(
+                "{} {alias}\n",
+                if *from_view { "VIEW" } else { "DERIVED" }
+            ));
+            explain_select(plan, indent + 1, out);
+        }
+        FromPlan::ValuesScan { rows, alias, .. } => {
+            pad(indent, out);
+            out.push_str(&format!("VALUES SCAN {alias} ({} row(s))\n", rows.len()));
+        }
+        FromPlan::CteScan { name, alias } => {
+            pad(indent, out);
+            out.push_str(&format!("CTE SCAN {name} AS {alias}\n"));
+        }
+        FromPlan::Join { kind, on, left, right } => {
+            pad(indent, out);
+            out.push_str(&format!(
+                "NESTED LOOP {}{}\n",
+                kind.sql_name(),
+                on.as_ref().map(|o| format!(" ON {o}")).unwrap_or_default()
+            ));
+            explain_from(left, indent + 1, out);
+            explain_from(right, indent + 1, out);
+        }
+        FromPlan::Filtered { input, pred, .. } => {
+            pad(indent, out);
+            out.push_str(&format!("PUSHED FILTER {pred}\n"));
+            explain_from(input, indent + 1, out);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Plan fingerprints
+// ---------------------------------------------------------------------------
+
+/// Hash the *plan-relevant* shape of a plan: operators, join kinds,
+/// access paths, aggregation structure — and, crucially, the recursive
+/// shapes of embedded subqueries, which real planners compile into
+/// distinct subplans. Pure scalar expression structure (`a+b > c` vs
+/// `a*b < c`) does **not** contribute: a real DBMS executes both with the
+/// same plan. This is what makes subquery-bearing workloads cover vastly
+/// more unique plans (Table 3, Figure 3).
+pub fn fingerprint(plan: &SelectPlan) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    hash_select(plan, &mut h);
+    h.finish()
+}
+
+fn hash_select(plan: &SelectPlan, h: &mut impl Hasher) {
+    0xA0u8.hash(h);
+    plan.ctes.len().hash(h);
+    for (name, cols, p) in &plan.ctes {
+        name.hash(h);
+        cols.len().hash(h);
+        hash_select(p, h);
+    }
+    hash_body(&plan.body, h);
+    plan.order_by.len().hash(h);
+    for o in &plan.order_by {
+        (o.order == crate::ast::SortOrder::Desc).hash(h);
+        hash_expr_shape(&o.expr, h);
+    }
+    plan.limit.is_some().hash(h);
+    plan.offset.is_some().hash(h);
+}
+
+fn hash_body(body: &BodyPlan, h: &mut impl Hasher) {
+    match body {
+        BodyPlan::Core(core) => {
+            0xB0u8.hash(h);
+            core.distinct.hash(h);
+            core.items.len().hash(h);
+            for item in &core.items {
+                match item {
+                    SelectItem::Wildcard => 0u8.hash(h),
+                    SelectItem::TableWildcard(_) => 1u8.hash(h),
+                    SelectItem::Expr { expr, .. } => {
+                        2u8.hash(h);
+                        hash_expr_shape(expr, h);
+                    }
+                }
+            }
+            match &core.from {
+                Some(f) => {
+                    1u8.hash(h);
+                    hash_from(f, h);
+                }
+                None => 0u8.hash(h),
+            }
+            match &core.where_clause {
+                Some(w) => {
+                    1u8.hash(h);
+                    hash_expr_shape(w, h);
+                }
+                None => 0u8.hash(h),
+            }
+            core.group_by.len().hash(h);
+            for g in &core.group_by {
+                hash_expr_shape(g, h);
+            }
+            core.having.is_some().hash(h);
+            if let Some(having) = &core.having {
+                hash_expr_shape(having, h);
+            }
+        }
+        BodyPlan::SetOp { op, all, left, right } => {
+            0xB1u8.hash(h);
+            (*op as u8).hash(h);
+            all.hash(h);
+            hash_body(left, h);
+            hash_body(right, h);
+        }
+        BodyPlan::Values(rows) => {
+            0xB2u8.hash(h);
+            rows.len().hash(h);
+            rows.first().map(|r| r.len()).unwrap_or(0).hash(h);
+        }
+    }
+}
+
+fn hash_from(from: &FromPlan, h: &mut impl Hasher) {
+    match from {
+        FromPlan::SeqScan { table, .. } => {
+            0xC0u8.hash(h);
+            table.hash(h);
+        }
+        FromPlan::IndexScan { table, index, reverse, .. } => {
+            0xC1u8.hash(h);
+            table.hash(h);
+            index.hash(h);
+            reverse.hash(h);
+        }
+        FromPlan::Derived { plan, from_view, .. } => {
+            0xC2u8.hash(h);
+            from_view.hash(h);
+            hash_select(plan, h);
+        }
+        FromPlan::ValuesScan { rows, .. } => {
+            0xC3u8.hash(h);
+            rows.len().hash(h);
+        }
+        FromPlan::CteScan { name, .. } => {
+            0xC4u8.hash(h);
+            name.hash(h);
+        }
+        FromPlan::Join { kind, on, left, right } => {
+            0xC5u8.hash(h);
+            (*kind as u8).hash(h);
+            match on {
+                Some(on) => {
+                    1u8.hash(h);
+                    hash_expr_shape(on, h);
+                }
+                None => 0u8.hash(h),
+            }
+            hash_from(left, h);
+            hash_from(right, h);
+        }
+        FromPlan::Filtered { input, pred, .. } => {
+            0xC6u8.hash(h);
+            hash_expr_shape(pred, h);
+            hash_from(input, h);
+        }
+    }
+}
+
+/// Contribute an expression's *plan-relevant* structure to the hash.
+///
+/// Real planners compile scalar arithmetic into opaque filter/projection
+/// programs: `a+b > c` and `a*b < c` execute with the same plan. What
+/// changes the plan is relational structure — subqueries (each becomes a
+/// subplan, with its own access paths), `EXISTS`/`IN`/quantified operators
+/// (semi-join strategies), and which relations a predicate touches. Only
+/// those contribute here; everything else hashes to a fixed token.
+pub fn hash_expr_shape(expr: &Expr, h: &mut impl Hasher) {
+    let mut subqueries: Vec<(u8, &Select)> = Vec::new();
+    collect_plan_relevant(expr, &mut subqueries);
+    subqueries.len().hash(h);
+    for (kind, q) in subqueries {
+        kind.hash(h);
+        hash_select_shape(q, h);
+    }
+}
+
+/// Collect the subquery-bearing nodes of an expression (not descending
+/// into the subqueries themselves — their structure is hashed
+/// recursively via `hash_select_shape`).
+fn collect_plan_relevant<'a>(expr: &'a Expr, out: &mut Vec<(u8, &'a Select)>) {
+    match expr {
+        Expr::InSubquery { expr, query, .. } => {
+            collect_plan_relevant(expr, out);
+            out.push((1, query));
+        }
+        Expr::Exists { query, .. } => out.push((2, query)),
+        Expr::Scalar(query) => out.push((3, query)),
+        Expr::Quantified { quantifier, expr, query, .. } => {
+            collect_plan_relevant(expr, out);
+            out.push((4 + *quantifier as u8, query));
+        }
+        Expr::Literal(_) | Expr::Column(_) => {}
+        Expr::Unary { expr, .. } | Expr::Cast { expr, .. } | Expr::IsNull { expr, .. } => {
+            collect_plan_relevant(expr, out)
+        }
+        Expr::Binary { left, right, .. } => {
+            collect_plan_relevant(left, out);
+            collect_plan_relevant(right, out);
+        }
+        Expr::Between { expr, low, high, .. } => {
+            collect_plan_relevant(expr, out);
+            collect_plan_relevant(low, out);
+            collect_plan_relevant(high, out);
+        }
+        Expr::InList { expr, list, .. } => {
+            collect_plan_relevant(expr, out);
+            for e in list {
+                collect_plan_relevant(e, out);
+            }
+        }
+        Expr::Case { operand, whens, else_expr } => {
+            if let Some(o) = operand {
+                collect_plan_relevant(o, out);
+            }
+            for (w, t) in whens {
+                collect_plan_relevant(w, out);
+                collect_plan_relevant(t, out);
+            }
+            if let Some(e) = else_expr {
+                collect_plan_relevant(e, out);
+            }
+        }
+        Expr::Func { args, .. } => {
+            for a in args {
+                collect_plan_relevant(a, out);
+            }
+        }
+        Expr::Agg { arg, .. } => {
+            if let Some(a) = arg {
+                collect_plan_relevant(a, out);
+            }
+        }
+        Expr::Like { expr, pattern, .. } => {
+            collect_plan_relevant(expr, out);
+            collect_plan_relevant(pattern, out);
+        }
+    }
+}
+
+/// Hash the plan shape of an un-planned subquery (the planner plans
+/// subqueries lazily, so fingerprints use the AST's relational structure:
+/// FROM shape, aggregation, set operations, and nested subqueries).
+fn hash_select_shape(select: &Select, h: &mut impl Hasher) {
+    0xD0u8.hash(h);
+    select.with.len().hash(h);
+    for cte in &select.with {
+        hash_select_shape(&cte.query, h);
+    }
+    fn table(te: &crate::ast::TableExpr, h: &mut impl Hasher) {
+        match te {
+            crate::ast::TableExpr::Named { name, indexed_by, .. } => {
+                0u8.hash(h);
+                name.to_ascii_lowercase().hash(h);
+                indexed_by.is_some().hash(h);
+            }
+            crate::ast::TableExpr::Derived { query, .. } => {
+                1u8.hash(h);
+                hash_select_shape(query, h);
+            }
+            crate::ast::TableExpr::Values { rows, .. } => {
+                2u8.hash(h);
+                rows.first().map(|r| r.len()).unwrap_or(0).hash(h);
+            }
+            crate::ast::TableExpr::Join { left, right, kind, on } => {
+                3u8.hash(h);
+                (*kind as u8).hash(h);
+                table(left, h);
+                table(right, h);
+                if let Some(on) = on {
+                    hash_expr_shape(on, h);
+                }
+            }
+        }
+    }
+    fn body(b: &SelectBody, h: &mut impl Hasher) {
+        match b {
+            SelectBody::Core(c) => {
+                0u8.hash(h);
+                c.distinct.hash(h);
+                c.items.len().hash(h);
+                let aggregated = c.items.iter().any(|i| match i {
+                    SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
+                    _ => false,
+                });
+                aggregated.hash(h);
+                for item in &c.items {
+                    if let SelectItem::Expr { expr, .. } = item {
+                        hash_expr_shape(expr, h);
+                    }
+                }
+                match &c.from {
+                    Some(f) => {
+                        1u8.hash(h);
+                        table(f, h);
+                    }
+                    None => 0u8.hash(h),
+                }
+                match &c.where_clause {
+                    Some(w) => {
+                        1u8.hash(h);
+                        hash_expr_shape(w, h);
+                    }
+                    None => 0u8.hash(h),
+                }
+                c.group_by.len().hash(h);
+                c.having.is_some().hash(h);
+                if let Some(hv) = &c.having {
+                    hash_expr_shape(hv, h);
+                }
+            }
+            SelectBody::SetOp { op, all, left, right } => {
+                1u8.hash(h);
+                (*op as u8).hash(h);
+                all.hash(h);
+                body(left, h);
+                body(right, h);
+            }
+            SelectBody::Values(rows) => {
+                2u8.hash(h);
+                rows.len().hash(h);
+            }
+        }
+    }
+    body(&select.body, h);
+    select.order_by.len().hash(h);
+    select.limit.is_some().hash(h);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::ColumnDef;
+    use crate::value::DataType;
+
+    fn setup() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.create_table(
+            "t0",
+            vec![
+                ColumnDef { name: "c0".into(), ty: DataType::Int, not_null: false },
+                ColumnDef { name: "c1".into(), ty: DataType::Int, not_null: false },
+            ],
+            false,
+        )
+        .unwrap();
+        cat.create_index("i0", "t0", Expr::bare_col("c0"), false).unwrap();
+        cat
+    }
+
+    fn pctx<'a>(cat: &'a Catalog, bugs: &'a BugRegistry, cov: &'a Coverage, optimize: bool) -> PlanCtx<'a> {
+        PlanCtx { catalog: cat, dialect: Dialect::Sqlite, bugs, cov, optimize }
+    }
+
+    fn simple_select(where_clause: Option<Expr>) -> Select {
+        Select::from_core(SelectCore {
+            items: vec![SelectItem::Wildcard],
+            from: Some(TableExpr::named("t0")),
+            where_clause,
+            ..SelectCore::default()
+        })
+    }
+
+    #[test]
+    fn index_selected_for_matching_probe() {
+        let cat = setup();
+        let bugs = BugRegistry::none();
+        let cov = Coverage::new();
+        let ctx = pctx(&cat, &bugs, &cov, true);
+        let sel = simple_select(Some(Expr::bin(
+            BinaryOp::Gt,
+            Expr::col("t0", "c0"),
+            Expr::lit(5i64),
+        )));
+        let plan = plan_select(&sel, &ctx, &BTreeSet::new()).unwrap();
+        match plan.body {
+            BodyPlan::Core(c) => {
+                assert!(matches!(c.from, Some(FromPlan::IndexScan { reverse: true, .. })));
+            }
+            _ => panic!("expected core"),
+        }
+    }
+
+    #[test]
+    fn no_index_without_optimizer() {
+        let cat = setup();
+        let bugs = BugRegistry::none();
+        let cov = Coverage::new();
+        let ctx = pctx(&cat, &bugs, &cov, false);
+        let sel = simple_select(Some(Expr::bin(
+            BinaryOp::Gt,
+            Expr::col("t0", "c0"),
+            Expr::lit(5i64),
+        )));
+        let plan = plan_select(&sel, &ctx, &BTreeSet::new()).unwrap();
+        match plan.body {
+            BodyPlan::Core(c) => assert!(matches!(c.from, Some(FromPlan::SeqScan { .. }))),
+            _ => panic!("expected core"),
+        }
+    }
+
+    #[test]
+    fn constant_filter_folds_and_eliminates() {
+        let cat = setup();
+        let bugs = BugRegistry::none();
+        let cov = Coverage::new();
+        let ctx = pctx(&cat, &bugs, &cov, true);
+        let sel = simple_select(Some(Expr::bin(
+            BinaryOp::Lt,
+            Expr::lit(1i64),
+            Expr::lit(2i64),
+        )));
+        let plan = plan_select(&sel, &ctx, &BTreeSet::new()).unwrap();
+        match plan.body {
+            BodyPlan::Core(c) => assert!(c.where_clause.is_none(), "TRUE filter eliminated"),
+            _ => panic!("expected core"),
+        }
+    }
+
+    #[test]
+    fn fingerprints_are_plan_relevant() {
+        let cat = setup();
+        let bugs = BugRegistry::none();
+        let cov = Coverage::new();
+        let ctx = pctx(&cat, &bugs, &cov, false);
+        let plan_of = |e: Expr| {
+            plan_select(&simple_select(Some(e)), &ctx, &BTreeSet::new()).unwrap()
+        };
+        // Scalar expression differences do NOT change the plan (a real
+        // DBMS runs `c1 = 1` and `c1 < 999` with the same scan + filter).
+        let a = plan_of(Expr::eq(Expr::col("t0", "c1"), Expr::lit(1i64)));
+        let b = plan_of(Expr::bin(BinaryOp::Lt, Expr::col("t0", "c1"), Expr::lit(999i64)));
+        assert_eq!(fingerprint(&a), fingerprint(&b), "scalar shape is not plan-relevant");
+        // A subquery embeds a subplan and does change the fingerprint; two
+        // structurally different subqueries differ from each other too.
+        let sub1 = Select::scalar_probe(Expr::lit(1i64));
+        let mut sub2 = Select::from_core(SelectCore {
+            items: vec![SelectItem::Expr { expr: Expr::count_star(), alias: None }],
+            from: Some(TableExpr::named("t0")),
+            ..SelectCore::default()
+        });
+        let c = plan_of(Expr::eq(Expr::Scalar(Box::new(sub1)), Expr::lit(1i64)));
+        let d = plan_of(Expr::eq(Expr::Scalar(Box::new(sub2.clone())), Expr::lit(1i64)));
+        assert_ne!(fingerprint(&a), fingerprint(&c), "subquery changes the plan");
+        assert_ne!(fingerprint(&c), fingerprint(&d), "different subplans differ");
+        // Aggregation structure inside the subquery is plan-relevant.
+        sub2.core_mut().unwrap().group_by = vec![Expr::col("t0", "c0")];
+        let e = plan_of(Expr::eq(Expr::Scalar(Box::new(sub2)), Expr::lit(1i64)));
+        assert_ne!(fingerprint(&d), fingerprint(&e), "GROUP BY changes the subplan");
+    }
+
+    #[test]
+    fn pushdown_through_inner_join_only() {
+        let mut cat = setup();
+        cat.create_table(
+            "t1",
+            vec![ColumnDef { name: "c0".into(), ty: DataType::Int, not_null: false }],
+            false,
+        )
+        .unwrap();
+        let bugs = BugRegistry::none();
+        let cov = Coverage::new();
+        let ctx = pctx(&cat, &bugs, &cov, true);
+        let join = TableExpr::Join {
+            left: Box::new(TableExpr::named("t0")),
+            right: Box::new(TableExpr::named("t1")),
+            kind: JoinKind::Left,
+            on: Some(Expr::eq(Expr::col("t0", "c0"), Expr::col("t1", "c0"))),
+        };
+        let sel = Select::from_core(SelectCore {
+            items: vec![SelectItem::Wildcard],
+            from: Some(join),
+            where_clause: Some(Expr::is_null(Expr::col("t1", "c0"))),
+            ..SelectCore::default()
+        });
+        let plan = plan_select(&sel, &ctx, &BTreeSet::new()).unwrap();
+        match plan.body {
+            BodyPlan::Core(c) => {
+                // LEFT JOIN blocks pushdown of the right-side predicate.
+                assert!(c.where_clause.is_some());
+                match c.from.unwrap() {
+                    FromPlan::Join { right, .. } => {
+                        assert!(matches!(*right, FromPlan::SeqScan { .. }))
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            _ => panic!("expected core"),
+        }
+    }
+
+    #[test]
+    fn pushdown_bug_pushes_below_left_join() {
+        let mut cat = setup();
+        cat.create_table(
+            "t1",
+            vec![ColumnDef { name: "c0".into(), ty: DataType::Int, not_null: false }],
+            false,
+        )
+        .unwrap();
+        let mut bugs = BugRegistry::none();
+        bugs.enable(BugId::DuckdbPushdownLeftJoin);
+        let cov = Coverage::new();
+        let ctx = pctx(&cat, &bugs, &cov, true);
+        let join = TableExpr::Join {
+            left: Box::new(TableExpr::named("t0")),
+            right: Box::new(TableExpr::named("t1")),
+            kind: JoinKind::Left,
+            on: Some(Expr::eq(Expr::col("t0", "c0"), Expr::col("t1", "c0"))),
+        };
+        let sel = Select::from_core(SelectCore {
+            items: vec![SelectItem::Wildcard],
+            from: Some(join),
+            where_clause: Some(Expr::is_null(Expr::col("t1", "c0"))),
+            ..SelectCore::default()
+        });
+        let plan = plan_select(&sel, &ctx, &BTreeSet::new()).unwrap();
+        match plan.body {
+            BodyPlan::Core(c) => {
+                assert!(c.where_clause.is_none(), "predicate illegally pushed");
+                match c.from.unwrap() {
+                    FromPlan::Join { right, .. } => {
+                        assert!(matches!(*right, FromPlan::Filtered { .. }))
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            _ => panic!("expected core"),
+        }
+    }
+
+    #[test]
+    fn indexed_by_unknown_index_errors() {
+        let cat = setup();
+        let bugs = BugRegistry::none();
+        let cov = Coverage::new();
+        let ctx = pctx(&cat, &bugs, &cov, true);
+        let sel = Select::from_core(SelectCore {
+            items: vec![SelectItem::Wildcard],
+            from: Some(TableExpr::Named {
+                name: "t0".into(),
+                alias: None,
+                indexed_by: Some("nope".into()),
+            }),
+            ..SelectCore::default()
+        });
+        assert!(matches!(plan_select(&sel, &ctx, &BTreeSet::new()), Err(Error::Catalog(_))));
+    }
+}

@@ -1,0 +1,628 @@
+//! One witness per injected bug mutant.
+//!
+//! Each test sets up a database state and a query that *triggers* the
+//! mutant, and asserts that the buggy engine diverges from the clean
+//! engine exactly the way the modelled bug did in the paper (wrong rows
+//! for logic bugs, `Error::Internal` / `Error::Crash` / `Error::Hang` for
+//! the rest). These witnesses double as executable documentation of every
+//! trigger condition, and the oracle crate's tests build on them.
+
+use coddb::bugs::BugRegistry;
+use coddb::value::Value;
+use coddb::{BugId, Database, Dialect, Error};
+
+/// Build a pair (clean, buggy) of databases with identical state.
+fn pair(bug: BugId, setup: &str) -> (Database, Database) {
+    let dialect = bug.dialect();
+    let mut clean = Database::new(dialect);
+    let mut buggy = Database::with_bugs(dialect, BugRegistry::only(bug));
+    clean.execute_sql(setup).unwrap_or_else(|e| panic!("setup failed on clean: {e}"));
+    buggy.execute_sql(setup).unwrap_or_else(|e| panic!("setup failed on buggy: {e}"));
+    (clean, buggy)
+}
+
+/// Assert that a logic bug makes `sql` return different results.
+fn assert_diverges(bug: BugId, setup: &str, sql: &str) {
+    let (mut clean, mut buggy) = pair(bug, setup);
+    let c = clean.query_sql(sql).unwrap_or_else(|e| panic!("clean failed on {sql}: {e}"));
+    let b = buggy.query_sql(sql).unwrap_or_else(|e| panic!("buggy failed on {sql}: {e}"));
+    assert!(
+        !c.multiset_eq(&b),
+        "{bug:?} did not diverge on {sql}\nclean: {c:?}\nbuggy: {b:?}"
+    );
+}
+
+/// Assert that `sql` raises the given error category on the buggy engine
+/// while succeeding on the clean one.
+fn assert_error(bug: BugId, setup: &str, sql: &str, want: fn(&Error) -> bool) {
+    let (mut clean, mut buggy) = pair(bug, setup);
+    clean
+        .execute_sql(sql)
+        .unwrap_or_else(|e| panic!("clean failed on {sql}: {e}"));
+    let err = buggy.execute_sql(sql).expect_err("buggy engine should error");
+    assert!(want(&err), "{bug:?}: unexpected error {err}");
+    assert_eq!(err.severity(), coddb::Severity::BugSignal);
+}
+
+// ===========================================================================
+// SQLite logic bugs
+// ===========================================================================
+
+#[test]
+fn sqlite_agg_subquery_indexed_where() {
+    // Listing 1 of the paper, verbatim.
+    let setup = "CREATE TABLE t0 (c0);
+        INSERT INTO t0 (c0) VALUES (1);
+        CREATE INDEX i0 ON t0 (c0 > 0);
+        CREATE VIEW v0 (c0) AS SELECT AVG(t0.c0) FROM t0 GROUP BY 1 > t0.c0";
+    let o = "SELECT COUNT(*) FROM t0 INDEXED BY i0 WHERE \
+             (SELECT COUNT(*) FROM v0 WHERE v0.c0 BETWEEN 0 AND 0)";
+    let (mut clean, mut buggy) = pair(BugId::SqliteAggSubqueryIndexedWhere, setup);
+    assert_eq!(clean.query_sql(o).unwrap().scalar(), Some(&Value::Int(0)));
+    // The buggy engine reproduces the paper's wrong answer: 1.
+    assert_eq!(buggy.query_sql(o).unwrap().scalar(), Some(&Value::Int(1)));
+    // The folded query is immune (no subquery left to mistrigger).
+    let f = "SELECT COUNT(*) FROM t0 INDEXED BY i0 WHERE 0";
+    assert_eq!(buggy.query_sql(f).unwrap().scalar(), Some(&Value::Int(0)));
+}
+
+#[test]
+fn sqlite_exists_join_on_empty() {
+    assert_diverges(
+        BugId::SqliteExistsJoinOnEmpty,
+        "CREATE TABLE t0 (c0 INT); CREATE TABLE t1 (c0 INT);
+         INSERT INTO t0 VALUES (1); INSERT INTO t1 VALUES (2)",
+        "SELECT * FROM t0 CROSS JOIN t1 ON (EXISTS (SELECT c0 FROM t1 WHERE FALSE))",
+    );
+}
+
+#[test]
+fn sqlite_join_on_view_left_true() {
+    assert_diverges(
+        BugId::SqliteJoinOnViewLeftTrue,
+        "CREATE TABLE t0 (c0 INT); INSERT INTO t0 VALUES (1), (2);
+         CREATE TABLE b (x INT); INSERT INTO b VALUES (10);
+         CREATE VIEW v0 (x) AS SELECT x FROM b",
+        "SELECT * FROM t0 LEFT JOIN v0 ON v0.x = 99",
+    );
+}
+
+#[test]
+fn sqlite_indexed_cmp_null_true() {
+    assert_diverges(
+        BugId::SqliteIndexedCmpNullTrue,
+        "CREATE TABLE t (c INT); INSERT INTO t VALUES (1), (NULL);
+         CREATE INDEX ic ON t (c)",
+        "SELECT * FROM t WHERE c > 0",
+    );
+}
+
+#[test]
+fn sqlite_between_text_affinity() {
+    assert_diverges(
+        BugId::SqliteBetweenTextAffinity,
+        "CREATE TABLE t (c); INSERT INTO t VALUES ('5')",
+        "SELECT * FROM t WHERE c BETWEEN 1 AND 9",
+    );
+}
+
+#[test]
+fn sqlite_like_case_fold() {
+    assert_diverges(
+        BugId::SqliteLikeCaseFold,
+        "CREATE TABLE t (s TEXT); INSERT INTO t VALUES ('ABC')",
+        "SELECT * FROM t WHERE s LIKE 'abc'",
+    );
+}
+
+// ===========================================================================
+// MySQL
+// ===========================================================================
+
+#[test]
+fn mysql_text_int_compare_where() {
+    // Numeric coercion says '2' > 5 is FALSE; the byte/class comparison of
+    // the bug says TEXT > INT, i.e. TRUE.
+    assert_diverges(
+        BugId::MysqlTextIntCompareWhere,
+        "CREATE TABLE t (v TEXT); INSERT INTO t VALUES ('2')",
+        "SELECT * FROM t WHERE v > 5",
+    );
+}
+
+#[test]
+fn mysql_update_delete_cross_type_comparison_is_semantic_error() {
+    // Not a mutant: a MySQL-dialect rule modelling the paper's §4.2
+    // observation that DQE hits a semantic error where SELECT works.
+    let mut db = Database::new(Dialect::Mysql);
+    db.execute_sql("CREATE TABLE t (v TEXT); INSERT INTO t VALUES ('2')").unwrap();
+    assert!(db.query_sql("SELECT * FROM t WHERE v > 5").is_ok());
+    let err = db.execute_sql("UPDATE t SET v = '3' WHERE v > 5").unwrap_err();
+    assert!(matches!(err, Error::Type(_)), "{err}");
+    let err = db.execute_sql("DELETE FROM t WHERE v > 5").unwrap_err();
+    assert!(matches!(err, Error::Type(_)), "{err}");
+}
+
+#[test]
+fn mysql_internal_union_type_unify() {
+    assert_error(
+        BugId::MysqlInternalUnionTypeUnify,
+        "CREATE TABLE t (v INT); INSERT INTO t VALUES (1)",
+        "SELECT v FROM t UNION SELECT 'a'",
+        |e| matches!(e, Error::Internal(_)),
+    );
+}
+
+// ===========================================================================
+// CockroachDB
+// ===========================================================================
+
+#[test]
+fn cockroach_case_null_from_cte() {
+    // Listing 7's mechanism: CASE WHEN NULL takes THEN only for rows read
+    // through a CTE.
+    assert_diverges(
+        BugId::CockroachCaseNullFromCte,
+        "CREATE TABLE t1 (v INT); INSERT INTO t1 VALUES (1)",
+        "WITH t2 AS (SELECT 5 AS b) \
+         SELECT CASE WHEN NULL THEN 1 ELSE 0 END FROM t1, t2",
+    );
+}
+
+#[test]
+fn cockroach_any_non_values_subquery() {
+    assert_diverges(
+        BugId::CockroachAnyNonValuesSubquery,
+        "CREATE TABLE t (v INT); INSERT INTO t VALUES (1), (2), (3)",
+        "SELECT 2 = ANY (SELECT v FROM t)",
+    );
+    // ... but ANY over a VALUES list stays correct, which is exactly what
+    // the CODDTest folded query produces.
+    let (mut clean, mut buggy) = pair(
+        BugId::CockroachAnyNonValuesSubquery,
+        "CREATE TABLE t (v INT); INSERT INTO t VALUES (1), (2), (3)",
+    );
+    let folded = "SELECT 2 = ANY (VALUES (1), (2), (3))";
+    assert_eq!(
+        clean.query_sql(folded).unwrap().rows,
+        buggy.query_sql(folded).unwrap().rows
+    );
+}
+
+#[test]
+fn cockroach_avg_nested_reverse() {
+    assert_diverges(
+        BugId::CockroachAvgNestedReverse,
+        "CREATE TABLE t (v REAL); INSERT INTO t VALUES (100000000.0), (7.0)",
+        "SELECT (SELECT AVG(v) FROM t)",
+    );
+    // At top level (the auxiliary query position) AVG is computed
+    // correctly, so CODDTest observes the divergence.
+    let (mut clean, mut buggy) = pair(
+        BugId::CockroachAvgNestedReverse,
+        "CREATE TABLE t (v REAL); INSERT INTO t VALUES (100000000.0), (7.0)",
+    );
+    let aux = "SELECT AVG(v) FROM t";
+    assert_eq!(clean.query_sql(aux).unwrap().rows, buggy.query_sql(aux).unwrap().rows);
+}
+
+#[test]
+fn cockroach_in_bigint_value_list() {
+    // Listing 9 of the paper.
+    assert_diverges(
+        BugId::CockroachInBigIntValueList,
+        "CREATE TABLE t (c INT); INSERT INTO t VALUES (0)",
+        "SELECT c FROM t WHERE c IN (0, 862827606027206657)",
+    );
+}
+
+#[test]
+fn cockroach_const_fold_not_between_null() {
+    assert_diverges(
+        BugId::CockroachConstFoldNotBetweenNull,
+        "CREATE TABLE a (v INT); CREATE TABLE b (w INT);
+         INSERT INTO a VALUES (1); INSERT INTO b VALUES (2)",
+        "SELECT * FROM a INNER JOIN b ON TRUE WHERE a.v NOT BETWEEN a.v AND NULL",
+    );
+}
+
+#[test]
+fn cockroach_and_null_top_conjunct() {
+    assert_diverges(
+        BugId::CockroachAndNullTopConjunct,
+        "CREATE TABLE t (v INT); INSERT INTO t VALUES (1)",
+        "SELECT * FROM t WHERE NULL AND v > 0",
+    );
+}
+
+#[test]
+fn cockroach_or_short_circuit_false() {
+    assert_diverges(
+        BugId::CockroachOrShortCircuitFalse,
+        "CREATE TABLE t (v INT); INSERT INTO t VALUES (1)",
+        "SELECT * FROM t WHERE FALSE OR v > 0",
+    );
+}
+
+#[test]
+fn cockroach_internal_neg_mod() {
+    assert_error(
+        BugId::CockroachInternalNegMod,
+        "CREATE TABLE t (v INT); INSERT INTO t VALUES (7)",
+        "SELECT * FROM t WHERE (v % -3) = 1",
+        |e| matches!(e, Error::Internal(_)),
+    );
+}
+
+#[test]
+fn cockroach_internal_full_join_wildcard() {
+    assert_error(
+        BugId::CockroachInternalFullJoinWildcard,
+        "CREATE TABLE a (v INT); CREATE TABLE b (w INT);
+         INSERT INTO a VALUES (1); INSERT INTO b VALUES (2)",
+        "SELECT a.* FROM a FULL OUTER JOIN b ON a.v = b.w",
+        |e| matches!(e, Error::Internal(_)),
+    );
+}
+
+#[test]
+fn cockroach_internal_intersect_null() {
+    assert_error(
+        BugId::CockroachInternalIntersectNull,
+        "CREATE TABLE t (v INT); INSERT INTO t VALUES (NULL)",
+        "SELECT v FROM t INTERSECT SELECT v FROM t",
+        |e| matches!(e, Error::Internal(_)),
+    );
+}
+
+#[test]
+fn cockroach_internal_cast_text_int() {
+    let mut clean = Database::new(Dialect::Cockroach);
+    let mut buggy =
+        Database::with_bugs(Dialect::Cockroach, BugRegistry::only(BugId::CockroachInternalCastTextInt));
+    // Clean strict engine: an expected conversion error.
+    let e = clean.query_sql("SELECT CAST('12abc' AS INT)").unwrap_err();
+    assert_eq!(e.severity(), coddb::Severity::Expected);
+    // Buggy engine: internal error.
+    let e = buggy.query_sql("SELECT CAST('12abc' AS INT)").unwrap_err();
+    assert!(matches!(e, Error::Internal(_)), "{e}");
+}
+
+#[test]
+fn cockroach_hang_cte_reuse() {
+    assert_error(
+        BugId::CockroachHangCteReuse,
+        "CREATE TABLE t (v INT); INSERT INTO t VALUES (1)",
+        "WITH w AS (SELECT v FROM t) SELECT * FROM w AS a CROSS JOIN w AS b",
+        |e| matches!(e, Error::Hang),
+    );
+}
+
+#[test]
+fn cockroach_hang_full_join_having() {
+    assert_error(
+        BugId::CockroachHangFullJoinHaving,
+        "CREATE TABLE a (v INT); CREATE TABLE b (w INT);
+         INSERT INTO a VALUES (1); INSERT INTO b VALUES (1)",
+        "SELECT COUNT(*) FROM a FULL OUTER JOIN b ON a.v = b.w \
+         GROUP BY a.v HAVING COUNT(*) >= 1",
+        |e| matches!(e, Error::Hang),
+    );
+}
+
+// ===========================================================================
+// DuckDB
+// ===========================================================================
+
+#[test]
+fn duckdb_subquery_bool_coerce() {
+    assert_diverges(
+        BugId::DuckdbSubqueryBoolCoerce,
+        "CREATE TABLE t (v INT); INSERT INTO t VALUES (1)",
+        "SELECT * FROM t WHERE (SELECT TRUE) = TRUE",
+    );
+}
+
+#[test]
+fn duckdb_case_subquery_else() {
+    assert_diverges(
+        BugId::DuckdbCaseSubqueryElse,
+        "CREATE TABLE t (v INT); INSERT INTO t VALUES (1)",
+        "SELECT CASE WHEN TRUE THEN (SELECT 7) ELSE 0 END FROM t",
+    );
+}
+
+#[test]
+fn duckdb_distinct_group_by_drop() {
+    assert_diverges(
+        BugId::DuckdbDistinctGroupByDrop,
+        "CREATE TABLE t (k INT); INSERT INTO t VALUES (1), (2), (2), (3)",
+        "SELECT DISTINCT k FROM t GROUP BY k",
+    );
+}
+
+#[test]
+fn duckdb_pushdown_left_join() {
+    assert_diverges(
+        BugId::DuckdbPushdownLeftJoin,
+        "CREATE TABLE l (v INT); CREATE TABLE r (v INT);
+         INSERT INTO l VALUES (1), (2); INSERT INTO r VALUES (2), (3)",
+        "SELECT * FROM l LEFT JOIN r ON l.v = r.v WHERE r.v IS NULL",
+    );
+}
+
+#[test]
+fn duckdb_not_like_top_level() {
+    assert_diverges(
+        BugId::DuckdbNotLikeTopLevel,
+        "CREATE TABLE t (s TEXT); INSERT INTO t VALUES ('abc'), ('xyz')",
+        "SELECT * FROM t WHERE s NOT LIKE 'a%'",
+    );
+}
+
+#[test]
+fn duckdb_internal_overflow_add_proj() {
+    // Listing 11 of the paper: an overflow in the projection surfaces as
+    // an internal error instead of a clean one.
+    let mut clean = Database::new(Dialect::Duckdb);
+    let mut buggy =
+        Database::with_bugs(Dialect::Duckdb, BugRegistry::only(BugId::DuckdbInternalOverflowAddProj));
+    let sql = "SELECT 9223372036854775807 + 1";
+    let e = clean.query_sql(sql).unwrap_err();
+    assert_eq!(e.severity(), coddb::Severity::Expected);
+    let e = buggy.query_sql(sql).unwrap_err();
+    assert!(matches!(e, Error::Internal(_)), "{e}");
+    // In a WHERE clause the overflow is still the expected error — NoREC's
+    // projection rewrite is what exposes the internal error (§4.2).
+    buggy.execute_sql("CREATE TABLE t (v INT); INSERT INTO t VALUES (1)").unwrap();
+    let e = buggy
+        .query_sql("SELECT * FROM t WHERE (9223372036854775807 + 1) = v")
+        .unwrap_err();
+    assert_eq!(e.severity(), coddb::Severity::Expected);
+}
+
+#[test]
+fn duckdb_internal_group_by_real_many() {
+    assert_error(
+        BugId::DuckdbInternalGroupByRealMany,
+        "CREATE TABLE t (r REAL); INSERT INTO t VALUES (1.5), (2.5), (3.5)",
+        "SELECT r, COUNT(*) FROM t GROUP BY r",
+        |e| matches!(e, Error::Internal(_)),
+    );
+}
+
+#[test]
+fn duckdb_crash_iejoin_range() {
+    assert_error(
+        BugId::DuckdbCrashIEJoinRange,
+        "CREATE TABLE a (v INT, w INT); CREATE TABLE b (v INT, w INT);
+         INSERT INTO a VALUES (1, 10); INSERT INTO b VALUES (2, 0)",
+        "SELECT * FROM a INNER JOIN b ON a.v < b.v AND a.w > b.w",
+        |e| matches!(e, Error::Crash(_)),
+    );
+}
+
+#[test]
+fn duckdb_crash_iejoin_types() {
+    assert_error(
+        BugId::DuckdbCrashIEJoinTypes,
+        "CREATE TABLE a (v INT); CREATE TABLE b (r REAL);
+         INSERT INTO a VALUES (1); INSERT INTO b VALUES (2.5)",
+        "SELECT * FROM a INNER JOIN b ON a.v < b.r",
+        |e| matches!(e, Error::Crash(_)),
+    );
+}
+
+#[test]
+fn duckdb_hang_triple_join() {
+    assert_error(
+        BugId::DuckdbHangTripleJoin,
+        "CREATE TABLE a (v INT); CREATE TABLE b (v INT);
+         CREATE TABLE c (v INT); CREATE TABLE d (v INT);
+         INSERT INTO a VALUES (1); INSERT INTO b VALUES (1);
+         INSERT INTO c VALUES (1); INSERT INTO d VALUES (1)",
+        "SELECT * FROM a INNER JOIN b ON a.v = b.v INNER JOIN c ON b.v = c.v \
+         INNER JOIN d ON c.v = d.v",
+        |e| matches!(e, Error::Hang),
+    );
+}
+
+#[test]
+fn duckdb_hang_distinct_union() {
+    assert_error(
+        BugId::DuckdbHangDistinctUnion,
+        "CREATE TABLE a (v INT); CREATE TABLE b (v INT);
+         INSERT INTO a VALUES (1); INSERT INTO b VALUES (2)",
+        "SELECT DISTINCT v FROM a UNION SELECT v FROM b",
+        |e| matches!(e, Error::Hang),
+    );
+}
+
+#[test]
+fn duckdb_hang_like_percents() {
+    assert_error(
+        BugId::DuckdbHangLikePercents,
+        "CREATE TABLE t (s TEXT); INSERT INTO t VALUES ('abc')",
+        "SELECT * FROM t WHERE s LIKE '%%%a'",
+        |e| matches!(e, Error::Hang),
+    );
+}
+
+// ===========================================================================
+// TiDB
+// ===========================================================================
+
+#[test]
+fn tidb_insert_select_version() {
+    // Listing 6 of the paper.
+    let setup = "CREATE TABLE t0 (c0 INT NOT NULL);
+        INSERT INTO t0 (c0) VALUES (1);
+        CREATE TABLE ot0 (c0 INT)";
+    let (mut clean, mut buggy) = pair(BugId::TidbInsertSelectVersion, setup);
+    let insert = "INSERT INTO ot0 SELECT t0.c0 AS c0 FROM t0 WHERE VERSION() >= t0.c0";
+    clean.execute_sql(insert).unwrap();
+    buggy.execute_sql(insert).unwrap();
+    // VERSION() is a TEXT starting with a digit; numeric coercion makes it
+    // >= 1, so the clean engine inserts the row. The buggy one drops it.
+    assert_eq!(clean.query_sql("SELECT COUNT(*) FROM ot0").unwrap().scalar(), Some(&Value::Int(1)));
+    assert_eq!(buggy.query_sql("SELECT COUNT(*) FROM ot0").unwrap().scalar(), Some(&Value::Int(0)));
+    // The auxiliary query (query A in Listing 6) is unaffected.
+    assert_eq!(
+        buggy
+            .query_sql("SELECT t0.c0 AS c0 FROM t0 WHERE VERSION() >= t0.c0")
+            .unwrap()
+            .row_count(),
+        1
+    );
+}
+
+#[test]
+fn tidb_correlated_name_collision() {
+    assert_diverges(
+        BugId::TidbCorrelatedNameCollision,
+        "CREATE TABLE t0 (c0 INT); CREATE TABLE t1 (c0 INT);
+         INSERT INTO t0 VALUES (5); INSERT INTO t1 VALUES (1), (2)",
+        "SELECT (SELECT MAX(c0) FROM t1) FROM t0",
+    );
+}
+
+#[test]
+fn tidb_avg_distinct_nested_zero() {
+    assert_diverges(
+        BugId::TidbAvgDistinctNestedZero,
+        "CREATE TABLE t (v INT); INSERT INTO t VALUES (1)",
+        "SELECT (SELECT AVG(DISTINCT v) FROM t WHERE v > 100) IS NULL FROM t",
+    );
+}
+
+#[test]
+fn tidb_in_value_list_where() {
+    // Listing 10's shape: wrong in WHERE ...
+    assert_diverges(
+        BugId::TidbInValueListWhere,
+        "CREATE TABLE t0 (c0 INT); INSERT INTO t0 VALUES (1)",
+        "SELECT t0.c0 FROM t0 WHERE t0.c0 IN (1)",
+    );
+    // ... but correct in the projection (which is why NoREC catches it and
+    // DQE does not).
+    let (mut clean, mut buggy) = pair(
+        BugId::TidbInValueListWhere,
+        "CREATE TABLE t0 (c0 INT); INSERT INTO t0 VALUES (1)",
+    );
+    let proj = "SELECT t0.c0 IN (1) FROM t0";
+    assert_eq!(clean.query_sql(proj).unwrap().rows, buggy.query_sql(proj).unwrap().rows);
+}
+
+#[test]
+fn tidb_is_null_top_level_inverted() {
+    assert_diverges(
+        BugId::TidbIsNullTopLevelInverted,
+        "CREATE TABLE t (v INT); INSERT INTO t VALUES (1), (NULL)",
+        "SELECT * FROM t WHERE v IS NULL",
+    );
+}
+
+#[test]
+fn tidb_internal_like_escape() {
+    assert_error(
+        BugId::TidbInternalLikeEscape,
+        "CREATE TABLE t (s TEXT); INSERT INTO t VALUES ('a')",
+        "SELECT * FROM t WHERE s LIKE 'a\\'",
+        |e| matches!(e, Error::Internal(_)),
+    );
+}
+
+#[test]
+fn tidb_internal_substr_negative() {
+    assert_error(
+        BugId::TidbInternalSubstrNegative,
+        "CREATE TABLE t (s TEXT); INSERT INTO t VALUES ('hello')",
+        "SELECT SUBSTR(s, -2) FROM t",
+        |e| matches!(e, Error::Internal(_)),
+    );
+}
+
+#[test]
+fn tidb_internal_round_huge() {
+    assert_error(
+        BugId::TidbInternalRoundHuge,
+        "CREATE TABLE t (v REAL); INSERT INTO t VALUES (1.23456)",
+        "SELECT ROUND(v, 11) FROM t",
+        |e| matches!(e, Error::Internal(_)),
+    );
+}
+
+#[test]
+fn tidb_internal_case_many_whens() {
+    let whens: String = (0..9).map(|i| format!("WHEN {i} THEN {i} ")).collect();
+    assert_error(
+        BugId::TidbInternalCaseManyWhens,
+        "CREATE TABLE t (v INT); INSERT INTO t VALUES (3)",
+        &format!("SELECT CASE v {whens}ELSE -1 END FROM t"),
+        |e| matches!(e, Error::Internal(_)),
+    );
+}
+
+#[test]
+fn tidb_internal_having_correlated() {
+    assert_error(
+        BugId::TidbInternalHavingCorrelated,
+        "CREATE TABLE t (k INT, v INT); INSERT INTO t VALUES (1, 2), (1, 3)",
+        "SELECT k FROM t GROUP BY k HAVING COUNT(*) > (SELECT 0)",
+        |e| matches!(e, Error::Internal(_)),
+    );
+}
+
+#[test]
+fn tidb_internal_set_op_order_by() {
+    assert_error(
+        BugId::TidbInternalSetOpOrderBy,
+        "CREATE TABLE t (v INT); INSERT INTO t VALUES (1)",
+        "SELECT v FROM t UNION SELECT 2 ORDER BY 1",
+        |e| matches!(e, Error::Internal(_)),
+    );
+}
+
+#[test]
+fn sqlite_internal_concat_indexed_expr() {
+    assert_error(
+        BugId::SqliteInternalConcatIndexedExpr,
+        "CREATE TABLE t (s TEXT, r REAL);
+         INSERT INTO t VALUES ('a', 1.5);
+         CREATE INDEX ix ON t (s || r)",
+        "SELECT * FROM t INDEXED BY ix WHERE s LIKE 'a%'",
+        |e| matches!(e, Error::Internal(_)),
+    );
+}
+
+// ===========================================================================
+// Cross-cutting invariants
+// ===========================================================================
+
+#[test]
+fn every_logic_bug_dialect_profile_runs_clean_without_mutants() {
+    // Enabling no bugs must keep all dialect engines consistent on a probe
+    // workload, whatever the dialect quirks.
+    for d in Dialect::ALL {
+        let mut db = Database::new(d);
+        db.execute_sql("CREATE TABLE probe (a INT, b TEXT)").unwrap();
+        db.execute_sql("INSERT INTO probe VALUES (1, 'x'), (2, 'y')").unwrap();
+        let n = db.query_sql("SELECT COUNT(*) FROM probe WHERE a > 0").unwrap();
+        assert_eq!(n.scalar(), Some(&Value::Int(2)), "dialect {d}");
+    }
+}
+
+#[test]
+fn logic_bugs_do_not_fire_outside_their_trigger() {
+    // A buggy engine answers an unrelated probe exactly like a clean one.
+    for bug in BugId::logic_bugs() {
+        let setup = "CREATE TABLE zz (q INT); INSERT INTO zz VALUES (4)";
+        let (mut clean, mut buggy) = pair(bug, setup);
+        let probe = "SELECT q + 1 FROM zz";
+        assert_eq!(
+            clean.query_sql(probe).unwrap().rows,
+            buggy.query_sql(probe).unwrap().rows,
+            "{bug:?} fired on an unrelated query"
+        );
+    }
+}

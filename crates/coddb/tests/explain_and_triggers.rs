@@ -1,0 +1,213 @@
+//! EXPLAIN output tests plus *negative* trigger tests: every
+//! context-sensitive logic mutant must stay silent outside its trigger
+//! context — the property the whole Table 2 detectability matrix rests on.
+
+use coddb::bugs::BugRegistry;
+use coddb::{BugId, Database, Dialect};
+
+// ---------------------------------------------------------------------------
+// EXPLAIN
+// ---------------------------------------------------------------------------
+
+#[test]
+fn explain_shows_access_paths() {
+    let mut db = Database::new(Dialect::Sqlite);
+    db.execute_sql(
+        "CREATE TABLE t (v INT); INSERT INTO t VALUES (1);
+         CREATE INDEX iv ON t (v)",
+    )
+    .unwrap();
+    let plain = db.explain_sql("SELECT * FROM t").unwrap();
+    assert!(plain.contains("SCAN t AS t"), "{plain}");
+    let probe = db.explain_sql("SELECT * FROM t WHERE v > 0").unwrap();
+    assert!(probe.contains("INDEX SCAN t AS t USING iv"), "{probe}");
+    assert!(probe.contains("(reverse)"), "{probe}");
+}
+
+#[test]
+fn explain_shows_joins_subplans_and_ctes() {
+    let mut db = Database::new(Dialect::Sqlite);
+    db.execute_sql(
+        "CREATE TABLE a (x INT); CREATE TABLE b (y INT);
+         INSERT INTO a VALUES (1); INSERT INTO b VALUES (1);
+         CREATE VIEW w (z) AS SELECT x FROM a",
+    )
+    .unwrap();
+    let joined = db
+        .explain_sql("SELECT COUNT(*) FROM a LEFT JOIN b ON a.x = b.y GROUP BY a.x")
+        .unwrap();
+    assert!(joined.contains("NESTED LOOP LEFT JOIN"), "{joined}");
+    assert!(joined.contains("AGGREGATE (group by 1 expr(s))"), "{joined}");
+    let view = db.explain_sql("SELECT * FROM w").unwrap();
+    assert!(view.contains("VIEW w"), "{view}");
+    let cte = db
+        .explain_sql("WITH c (k) AS (VALUES (1)) SELECT k FROM c ORDER BY k LIMIT 1")
+        .unwrap();
+    assert!(cte.contains("MATERIALIZE CTE c"), "{cte}");
+    assert!(cte.contains("CTE SCAN c AS c"), "{cte}");
+    assert!(cte.contains("SORT (1 key(s))"), "{cte}");
+    assert!(cte.contains("LIMIT/OFFSET"), "{cte}");
+}
+
+#[test]
+fn explain_shows_pushed_filters() {
+    let mut db = Database::new(Dialect::Sqlite);
+    db.execute_sql(
+        "CREATE TABLE a (x INT); CREATE TABLE b (y INT);
+         INSERT INTO a VALUES (1); INSERT INTO b VALUES (1)",
+    )
+    .unwrap();
+    let plan = db
+        .explain_sql("SELECT * FROM a INNER JOIN b ON a.x = b.y WHERE a.x > 0 AND b.y > 0")
+        .unwrap();
+    assert!(plan.contains("PUSHED FILTER"), "{plan}");
+}
+
+// ---------------------------------------------------------------------------
+// Negative trigger tests: mutants are silent outside their context.
+// ---------------------------------------------------------------------------
+
+/// Run one query on a clean and a single-mutant engine over the same
+/// state; results must be identical (the mutant must not fire).
+fn assert_silent(bug: BugId, setup: &str, sql: &str) {
+    let mut clean = Database::new(bug.dialect());
+    let mut buggy = Database::with_bugs(bug.dialect(), BugRegistry::only(bug));
+    clean.execute_sql(setup).unwrap();
+    buggy.execute_sql(setup).unwrap();
+    let c = clean.query_sql(sql).unwrap_or_else(|e| panic!("clean {sql}: {e}"));
+    let b = buggy.query_sql(sql).unwrap_or_else(|e| panic!("buggy {sql}: {e}"));
+    assert!(
+        c.multiset_eq(&b),
+        "{bug:?} fired outside its trigger context on {sql}\nclean: {c:?}\nbuggy: {b:?}"
+    );
+}
+
+#[test]
+fn like_case_fold_is_silent_in_projection_and_nested() {
+    let setup = "CREATE TABLE t (s TEXT); INSERT INTO t VALUES ('ABC')";
+    // Projection placement: not the WHERE top level.
+    assert_silent(BugId::SqliteLikeCaseFold, setup, "SELECT s LIKE 'abc' FROM t");
+    // Nested under NOT: not top level.
+    assert_silent(BugId::SqliteLikeCaseFold, setup, "SELECT * FROM t WHERE NOT (s LIKE 'abc')");
+}
+
+#[test]
+fn in_value_list_bug_is_silent_when_nested() {
+    let setup = "CREATE TABLE t0 (c0 INT); INSERT INTO t0 VALUES (1)";
+    assert_silent(
+        BugId::TidbInValueListWhere,
+        setup,
+        "SELECT * FROM t0 WHERE NOT (c0 NOT IN (1))",
+    );
+    assert_silent(BugId::TidbInValueListWhere, setup, "SELECT c0 IN (1) FROM t0");
+}
+
+#[test]
+fn indexed_cmp_bug_needs_the_index_path() {
+    // Without an index the comparison is evaluated correctly.
+    assert_silent(
+        BugId::SqliteIndexedCmpNullTrue,
+        "CREATE TABLE t (c INT); INSERT INTO t VALUES (1), (NULL)",
+        "SELECT * FROM t WHERE c > 0",
+    );
+}
+
+#[test]
+fn agg_subquery_bug_needs_index_and_aggregate() {
+    let setup = "CREATE TABLE t0 (c0); INSERT INTO t0 VALUES (1);
+         CREATE INDEX i0 ON t0 (c0 > 0)";
+    // Non-aggregate subquery under the index: silent.
+    assert_silent(
+        BugId::SqliteAggSubqueryIndexedWhere,
+        setup,
+        "SELECT COUNT(*) FROM t0 INDEXED BY i0 WHERE (SELECT c0 FROM t0 LIMIT 1)",
+    );
+    // Aggregate subquery without the index: silent.
+    assert_silent(
+        BugId::SqliteAggSubqueryIndexedWhere,
+        setup,
+        "SELECT COUNT(*) FROM t0 WHERE (SELECT COUNT(*) FROM t0 WHERE FALSE)",
+    );
+}
+
+#[test]
+fn case_cte_bug_needs_a_cte_source() {
+    assert_silent(
+        BugId::CockroachCaseNullFromCte,
+        "CREATE TABLE t (v INT); INSERT INTO t VALUES (1)",
+        "SELECT CASE WHEN NULL THEN 1 ELSE 0 END FROM t",
+    );
+}
+
+#[test]
+fn any_bug_is_silent_over_values_lists() {
+    assert_silent(
+        BugId::CockroachAnyNonValuesSubquery,
+        "CREATE TABLE t (v INT); INSERT INTO t VALUES (1), (2), (3)",
+        "SELECT 2 = ANY (VALUES (1), (2), (3))",
+    );
+}
+
+#[test]
+fn avg_bug_is_silent_at_top_level() {
+    assert_silent(
+        BugId::CockroachAvgNestedReverse,
+        "CREATE TABLE t (v REAL); INSERT INTO t VALUES (100000000.0), (7.0)",
+        "SELECT AVG(v) FROM t",
+    );
+}
+
+#[test]
+fn insert_version_bug_is_silent_for_plain_selects_and_values() {
+    let bug = BugId::TidbInsertSelectVersion;
+    let setup = "CREATE TABLE t0 (c0 INT); INSERT INTO t0 VALUES (1);
+         CREATE TABLE ot0 (c0 INT)";
+    let mut buggy = Database::with_bugs(bug.dialect(), BugRegistry::only(bug));
+    buggy.execute_sql(setup).unwrap();
+    // INSERT ... SELECT without VERSION(): inserts normally.
+    buggy.execute_sql("INSERT INTO ot0 SELECT c0 FROM t0").unwrap();
+    assert_eq!(buggy.query_sql("SELECT COUNT(*) FROM ot0").unwrap().scalar().unwrap().as_i64(), Some(1));
+    // Plain VALUES insert with VERSION() in an expression elsewhere: fine.
+    buggy.execute_sql("INSERT INTO ot0 VALUES (2)").unwrap();
+    assert_eq!(buggy.query_sql("SELECT COUNT(*) FROM ot0").unwrap().scalar().unwrap().as_i64(), Some(2));
+}
+
+#[test]
+fn pushdown_bug_is_silent_without_a_left_join() {
+    assert_silent(
+        BugId::DuckdbPushdownLeftJoin,
+        "CREATE TABLE l (v INT); CREATE TABLE r (v INT);
+         INSERT INTO l VALUES (1), (2); INSERT INTO r VALUES (2), (3)",
+        "SELECT * FROM l INNER JOIN r ON l.v = r.v WHERE r.v IS NULL",
+    );
+}
+
+#[test]
+fn distinct_group_bug_needs_both_distinct_and_group_by() {
+    let setup = "CREATE TABLE t (k INT); INSERT INTO t VALUES (1), (2), (2), (3)";
+    assert_silent(BugId::DuckdbDistinctGroupByDrop, setup, "SELECT DISTINCT k FROM t");
+    assert_silent(BugId::DuckdbDistinctGroupByDrop, setup, "SELECT k FROM t GROUP BY k");
+}
+
+#[test]
+fn name_collision_bug_is_silent_for_qualified_refs() {
+    assert_silent(
+        BugId::TidbCorrelatedNameCollision,
+        "CREATE TABLE t0 (c0 INT); CREATE TABLE t1 (c0 INT);
+         INSERT INTO t0 VALUES (5); INSERT INTO t1 VALUES (1), (2)",
+        "SELECT (SELECT MAX(t1.c0) FROM t1) FROM t0",
+    );
+}
+
+#[test]
+fn every_logic_mutant_is_silent_on_a_neutral_probe() {
+    // A probe that touches none of the trigger contexts: plain arithmetic
+    // projection over a single-row table.
+    for bug in BugId::logic_bugs() {
+        assert_silent(
+            bug,
+            "CREATE TABLE neutral (n INT); INSERT INTO neutral VALUES (3)",
+            "SELECT n + 1, n * 2 FROM neutral",
+        );
+    }
+}

@@ -1,0 +1,267 @@
+//! # CODDTest — constant-optimization-driven database testing
+//!
+//! The paper's contribution, reproduced as a Rust library:
+//!
+//! * [`codd`] — the CODDTest oracle (Algorithm 1): constant folding of a
+//!   randomly generated expression φ through an auxiliary query, constant
+//!   propagation back into the original query (literal, value-list, or
+//!   per-row CASE mapping), plus the §3.4 relation-folding extension.
+//! * [`norec`], [`tlp`], [`dqe`], [`eet`] — the state-of-the-art baseline
+//!   oracles the paper compares against.
+//! * [`runner`] — deterministic test campaigns with the Table 3 metrics
+//!   (tests, successful/unsuccessful queries, QPT, unique query plans,
+//!   branch coverage) and bug attribution for the Table 1/2 harnesses.
+//! * [`reduce`] — a delta-debugging reducer for bug-inducing test cases
+//!   (the paper reduces every case before reporting, §4.1).
+//!
+//! Every oracle implements [`Oracle`] and consumes a [`Session`], which
+//! tallies successful/unsuccessful queries and collects plan fingerprints.
+
+pub mod codd;
+pub mod dqe;
+pub mod eet;
+pub mod norec;
+pub mod reduce;
+pub mod runner;
+pub mod tlp;
+
+use std::collections::BTreeSet;
+
+use coddb::ast::{Select, Statement};
+use coddb::value::{Relation, Value};
+use coddb::{Database, Error, Severity};
+use sqlgen::SchemaInfo;
+
+/// The outcome of one metamorphic test.
+#[derive(Debug, Clone)]
+pub enum TestOutcome {
+    /// The metamorphic relation held.
+    Pass,
+    /// A discrepancy or engine bug signal was observed.
+    Bug(BugReport),
+    /// The test could not be completed (expected error, empty input, ...).
+    Skipped(String),
+}
+
+impl TestOutcome {
+    pub fn is_bug(&self) -> bool {
+        matches!(self, TestOutcome::Bug(_))
+    }
+}
+
+/// What kind of misbehaviour a report describes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReportKind {
+    /// Original and folded/partitioned queries disagreed.
+    LogicDiscrepancy,
+    /// The engine returned an internal error.
+    InternalError,
+    /// The engine "crashed" (CoddDB surfaces this as an error).
+    Crash,
+    /// The engine exhausted its execution fuel.
+    Hang,
+}
+
+impl ReportKind {
+    pub fn from_error(e: &Error) -> Option<ReportKind> {
+        match e {
+            Error::Internal(_) => Some(ReportKind::InternalError),
+            Error::Crash(_) => Some(ReportKind::Crash),
+            Error::Hang => Some(ReportKind::Hang),
+            _ => None,
+        }
+    }
+
+    pub fn label(&self) -> &'static str {
+        match self {
+            ReportKind::LogicDiscrepancy => "logic",
+            ReportKind::InternalError => "internal error",
+            ReportKind::Crash => "crash",
+            ReportKind::Hang => "hang",
+        }
+    }
+}
+
+/// A bug-inducing test case, with everything needed to inspect it.
+#[derive(Debug, Clone)]
+pub struct BugReport {
+    pub oracle: &'static str,
+    pub kind: ReportKind,
+    /// Labelled queries, e.g. `("original", ...)`, `("auxiliary", ...)`,
+    /// `("folded", ...)`.
+    pub queries: Vec<(String, String)>,
+    /// Human-readable explanation of the discrepancy.
+    pub detail: String,
+}
+
+impl BugReport {
+    pub fn to_display(&self) -> String {
+        let mut out = format!("[{}] {} bug\n", self.oracle, self.kind.label());
+        for (label, sql) in &self.queries {
+            out.push_str(&format!("  {label}: {sql}\n"));
+        }
+        out.push_str(&format!("  detail: {}", self.detail));
+        out
+    }
+}
+
+/// Wraps a [`Database`] and tallies the Table 3 accounting: successful
+/// queries, unsuccessful (expected-error) queries, and the fingerprints of
+/// executed query plans.
+pub struct Session<'a> {
+    pub db: &'a mut Database,
+    pub ok_queries: u64,
+    pub err_queries: u64,
+    pub plans: BTreeSet<u64>,
+}
+
+impl<'a> Session<'a> {
+    pub fn new(db: &'a mut Database) -> Self {
+        Session { db, ok_queries: 0, err_queries: 0, plans: BTreeSet::new() }
+    }
+
+    fn track<T>(&mut self, r: &coddb::Result<T>) {
+        match r {
+            Ok(_) => {
+                self.ok_queries += 1;
+                if let Some(fp) = self.db.last_plan_fingerprint() {
+                    self.plans.insert(fp);
+                }
+            }
+            Err(e) if e.severity() == Severity::Expected => self.err_queries += 1,
+            Err(_) => {}
+        }
+    }
+
+    /// Run a SELECT with the optimizer enabled.
+    pub fn query(&mut self, q: &Select) -> coddb::Result<Relation> {
+        let r = self.db.query(q);
+        self.track(&r);
+        r
+    }
+
+    /// Run a SELECT with the optimizer disabled (NoREC's reference side).
+    pub fn query_unoptimized(&mut self, q: &Select) -> coddb::Result<Relation> {
+        let r = self.db.query_unoptimized(q);
+        self.track(&r);
+        r
+    }
+
+    /// Execute any statement.
+    pub fn execute(&mut self, stmt: &Statement) -> coddb::Result<coddb::ExecOutcome> {
+        let r = self.db.execute(stmt);
+        self.track(&r);
+        r
+    }
+
+    pub fn dialect(&self) -> coddb::Dialect {
+        self.db.dialect()
+    }
+}
+
+/// Convert an engine error into a test outcome: bug-signal errors become
+/// reports, expected errors skip the test.
+pub fn error_outcome(
+    oracle: &'static str,
+    e: &Error,
+    queries: Vec<(String, String)>,
+) -> TestOutcome {
+    match ReportKind::from_error(e) {
+        Some(kind) => TestOutcome::Bug(BugReport {
+            oracle,
+            kind,
+            queries,
+            detail: e.to_string(),
+        }),
+        None => TestOutcome::Skipped(format!("expected error: {e}")),
+    }
+}
+
+/// Interpret a value as a SQL truth value the way the dialect's clients
+/// do (used when an oracle evaluates a predicate in a projection).
+pub fn value_is_true(v: &Value) -> bool {
+    match v {
+        Value::Bool(b) => *b,
+        Value::Int(i) => *i != 0,
+        Value::Real(r) => *r != 0.0,
+        Value::Text(s) => Value::Text(s.clone()).coerce_f64() != 0.0,
+        Value::Null => false,
+    }
+}
+
+/// A test oracle: generates one metamorphic test against the session's
+/// database (whose state is described by `schema`) per call.
+pub trait Oracle {
+    fn name(&self) -> &'static str;
+
+    /// Run one test. Implementations must be deterministic given `rng`.
+    fn run_one(
+        &mut self,
+        session: &mut Session,
+        schema: &SchemaInfo,
+        rng: &mut dyn rand::Rng,
+    ) -> TestOutcome;
+}
+
+/// Construct a fresh oracle by name (used by the campaign re-runner for
+/// bug attribution).
+pub fn make_oracle(name: &str) -> Option<Box<dyn Oracle>> {
+    match name {
+        "codd" => Some(Box::new(codd::CoddTest::default())),
+        "codd-expression" => Some(Box::new(codd::CoddTest::expressions_only())),
+        "codd-subquery" => Some(Box::new(codd::CoddTest::subqueries_only())),
+        "norec" => Some(Box::new(norec::NoRec::default())),
+        "tlp" => Some(Box::new(tlp::Tlp::default())),
+        "dqe" => Some(Box::new(dqe::Dqe::default())),
+        "eet" => Some(Box::new(eet::Eet::default())),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_kind_from_error() {
+        assert_eq!(
+            ReportKind::from_error(&Error::Internal("x".into())),
+            Some(ReportKind::InternalError)
+        );
+        assert_eq!(ReportKind::from_error(&Error::Crash("x".into())), Some(ReportKind::Crash));
+        assert_eq!(ReportKind::from_error(&Error::Hang), Some(ReportKind::Hang));
+        assert_eq!(ReportKind::from_error(&Error::Eval("x".into())), None);
+    }
+
+    #[test]
+    fn session_tallies_queries() {
+        let mut db = Database::new(coddb::Dialect::Sqlite);
+        db.execute_sql("CREATE TABLE t (v INT); INSERT INTO t VALUES (1)").unwrap();
+        let mut s = Session::new(&mut db);
+        let q = coddb::parser::parse_select("SELECT * FROM t").unwrap();
+        s.query(&q).unwrap();
+        assert_eq!(s.ok_queries, 1);
+        assert_eq!(s.plans.len(), 1);
+        let bad = coddb::parser::parse_select("SELECT * FROM missing").unwrap();
+        assert!(s.query(&bad).is_err());
+        assert_eq!(s.err_queries, 1);
+    }
+
+    #[test]
+    fn value_truthiness() {
+        assert!(value_is_true(&Value::Int(5)));
+        assert!(!value_is_true(&Value::Int(0)));
+        assert!(value_is_true(&Value::Bool(true)));
+        assert!(!value_is_true(&Value::Null));
+        assert!(value_is_true(&Value::Text("1".into())));
+        assert!(!value_is_true(&Value::Text("x".into())));
+    }
+
+    #[test]
+    fn oracle_factory_knows_all_names() {
+        for name in ["codd", "codd-expression", "codd-subquery", "norec", "tlp", "dqe", "eet"] {
+            assert!(make_oracle(name).is_some(), "{name}");
+        }
+        assert!(make_oracle("nope").is_none());
+    }
+}

@@ -1,0 +1,235 @@
+//! Delta-debugging reducer for bug-inducing test cases.
+//!
+//! The paper reduces every case before reporting ("we manually reduced the
+//! bug-inducing test cases", citing Zeller & Hildebrandt's
+//! simplifying-and-isolating work). This module automates the two most
+//! effective reductions for CODDTest cases:
+//!
+//! 1. **statement reduction** — drop setup statements while the original
+//!    and folded queries still disagree,
+//! 2. **expression shrinking** — replace sub-expressions of the original
+//!    query's predicate with simpler nodes while the discrepancy persists.
+
+use coddb::ast::{Expr, Select, Statement};
+use coddb::bugs::BugRegistry;
+use coddb::value::Value;
+use coddb::{Database, Dialect};
+
+/// A reducible CODDTest case: setup + the disagreeing query pair.
+#[derive(Debug, Clone)]
+pub struct ReducibleCase {
+    pub setup: Vec<Statement>,
+    pub original: Select,
+    pub folded: Select,
+}
+
+impl ReducibleCase {
+    /// Total size proxy (statement count + rendered query length).
+    pub fn size(&self) -> usize {
+        self.setup.len() * 100 + self.original.to_string().len()
+    }
+}
+
+/// Does the case still reproduce a *mutant-caused* logic discrepancy?
+///
+/// Two conditions must hold, mirroring how a reporter validates a reduced
+/// case against a fixed build:
+///
+/// 1. on the buggy engine both queries succeed and **disagree**,
+/// 2. on a clean engine both queries succeed and **agree** (otherwise the
+///    shrink merely produced two inequivalent queries, losing the bug).
+pub fn still_failing(case: &ReducibleCase, dialect: Dialect, bugs: &BugRegistry) -> bool {
+    let run = |bugs: BugRegistry| -> Option<(coddb::Relation, coddb::Relation)> {
+        let mut db = Database::with_bugs(dialect, bugs);
+        for s in &case.setup {
+            if db.execute(s).is_err() {
+                return None;
+            }
+        }
+        let o = db.query(&case.original).ok()?;
+        let f = db.query(&case.folded).ok()?;
+        Some((o, f))
+    };
+    let Some((bo, bf)) = run(bugs.clone()) else { return false };
+    let Some((co, cf)) = run(BugRegistry::none()) else { return false };
+    !bo.multiset_eq(&bf) && co.multiset_eq(&cf)
+}
+
+/// Reduce a failing case to a (locally) minimal one. The result is
+/// guaranteed to still fail.
+pub fn reduce(case: &ReducibleCase, dialect: Dialect, bugs: &BugRegistry) -> ReducibleCase {
+    assert!(still_failing(case, dialect, bugs), "cannot reduce a passing case");
+    let mut current = case.clone();
+
+    // Phase 1: drop setup statements (greedy, repeated until fixpoint).
+    loop {
+        let mut progressed = false;
+        let mut i = 0;
+        while i < current.setup.len() {
+            let mut candidate = current.clone();
+            candidate.setup.remove(i);
+            if still_failing(&candidate, dialect, bugs) {
+                current = candidate;
+                progressed = true;
+            } else {
+                i += 1;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+
+    // Phase 2: shrink the original query's WHERE expression; mirror every
+    // accepted shrink in the folded query when the same subtree exists.
+    if let Some(where_clause) = current
+        .original
+        .core()
+        .and_then(|c| c.where_clause.clone())
+    {
+        let shrunk = shrink_expr(&where_clause, &mut |e| {
+            let mut candidate = current.clone();
+            if let Some(core) = candidate.original.core_mut() {
+                core.where_clause = Some(e.clone());
+            }
+            still_failing(&candidate, dialect, bugs)
+        });
+        if let Some(core) = current.original.core_mut() {
+            core.where_clause = Some(shrunk);
+        }
+    }
+
+    debug_assert!(still_failing(&current, dialect, bugs));
+    current
+}
+
+/// Candidate replacements for a node: its children (hoisting) and simple
+/// literals.
+fn shrink_candidates(e: &Expr) -> Vec<Expr> {
+    let mut out = Vec::new();
+    match e {
+        Expr::Binary { left, right, .. } => {
+            out.push((**left).clone());
+            out.push((**right).clone());
+        }
+        Expr::Unary { expr, .. }
+        | Expr::Cast { expr, .. }
+        | Expr::IsNull { expr, .. } => out.push((**expr).clone()),
+        Expr::Between { expr, .. } => out.push((**expr).clone()),
+        Expr::InList { expr, .. } => out.push((**expr).clone()),
+        Expr::Case { whens, else_expr, .. } => {
+            for (_, t) in whens {
+                out.push(t.clone());
+            }
+            if let Some(el) = else_expr {
+                out.push((**el).clone());
+            }
+        }
+        _ => {}
+    }
+    if !matches!(e, Expr::Literal(_)) {
+        out.push(Expr::Literal(Value::Int(1)));
+        out.push(Expr::Literal(Value::Int(0)));
+    }
+    out
+}
+
+/// Greedily shrink an expression while `check` keeps returning true for
+/// the candidate.
+fn shrink_expr(expr: &Expr, check: &mut impl FnMut(&Expr) -> bool) -> Expr {
+    let mut current = expr.clone();
+    loop {
+        let mut progressed = false;
+        for candidate in shrink_candidates(&current) {
+            if candidate != current && check(&candidate) {
+                current = candidate;
+                progressed = true;
+                break;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coddb::parser::{parse_select, parse_statements};
+    use coddb::BugId;
+
+    /// A hand-built failing case with redundant setup for the Listing-1
+    /// mutant.
+    fn listing1_case() -> ReducibleCase {
+        let setup = parse_statements(
+            "CREATE TABLE t0 (c0);
+             INSERT INTO t0 (c0) VALUES (1);
+             CREATE TABLE unrelated (x INT);
+             INSERT INTO unrelated VALUES (42);
+             CREATE INDEX i0 ON t0 (c0 > 0);
+             CREATE VIEW v0 (c0) AS SELECT AVG(t0.c0) FROM t0 GROUP BY 1 > t0.c0",
+        )
+        .unwrap();
+        let original = parse_select(
+            "SELECT COUNT(*) FROM t0 INDEXED BY i0 WHERE \
+             (SELECT COUNT(*) FROM v0 WHERE v0.c0 BETWEEN 0 AND 0)",
+        )
+        .unwrap();
+        let folded = parse_select("SELECT COUNT(*) FROM t0 INDEXED BY i0 WHERE 0").unwrap();
+        ReducibleCase { setup, original, folded }
+    }
+
+    #[test]
+    fn reduction_removes_unrelated_statements() {
+        let bugs = BugRegistry::only(BugId::SqliteAggSubqueryIndexedWhere);
+        let case = listing1_case();
+        assert!(still_failing(&case, Dialect::Sqlite, &bugs));
+        let reduced = reduce(&case, Dialect::Sqlite, &bugs);
+        assert!(still_failing(&reduced, Dialect::Sqlite, &bugs));
+        assert!(reduced.setup.len() < case.setup.len(), "unrelated table should be dropped");
+        let rendered: Vec<String> = reduced.setup.iter().map(|s| s.to_string()).collect();
+        assert!(
+            rendered.iter().all(|s| !s.contains("unrelated")),
+            "unrelated statements survived: {rendered:?}"
+        );
+    }
+
+    #[test]
+    fn reduction_keeps_failure_invariant() {
+        let bugs = BugRegistry::only(BugId::SqliteAggSubqueryIndexedWhere);
+        let reduced = reduce(&listing1_case(), Dialect::Sqlite, &bugs);
+        // The essential statements survive.
+        let rendered: Vec<String> = reduced.setup.iter().map(|s| s.to_string()).collect();
+        assert!(rendered.iter().any(|s| s.contains("CREATE INDEX")));
+        assert!(rendered.iter().any(|s| s.contains("CREATE VIEW")));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot reduce a passing case")]
+    fn reducing_a_passing_case_panics() {
+        let case = listing1_case();
+        reduce(&case, Dialect::Sqlite, &BugRegistry::none());
+    }
+
+    #[test]
+    fn shrink_expr_hoists_children() {
+        // Shrinks (1 AND (x > 0)) all the way down to the bare column when
+        // the check only demands a column reference to stay present.
+        let e = Expr::and(
+            Expr::lit(1i64),
+            Expr::bin(coddb::ast::BinaryOp::Gt, Expr::bare_col("x"), Expr::lit(0i64)),
+        );
+        let shrunk = shrink_expr(&e, &mut |c| {
+            let mut has_col = false;
+            coddb::ast::visit::walk_expr_shallow(c, &mut |n| {
+                if matches!(n, Expr::Column(_)) {
+                    has_col = true;
+                }
+            });
+            has_col
+        });
+        assert_eq!(shrunk.to_string(), "x");
+    }
+}

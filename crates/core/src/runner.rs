@@ -1,0 +1,341 @@
+//! Deterministic test campaigns and metrics.
+//!
+//! A campaign runs an oracle for a fixed *test budget* against freshly
+//! generated database states (a scaled-down, reproducible stand-in for the
+//! paper's 24-hour wall-clock runs). It records the Table 3 metrics —
+//! number of tests, successful and unsuccessful queries, queries per test
+//! (QPT), unique query plans and branch coverage — plus every bug report.
+//!
+//! Campaigns are fully deterministic: state `i` is generated from seed
+//! `f(campaign_seed, i)` and test `j` within it from `g(campaign_seed, i,
+//! j)`, so any single test can be *re-run* under a different mutant
+//! configuration. [`attribute_bugs`] uses this to map each finding back to
+//! the injected [`BugId`] that caused it — the Table 1 accounting.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::{Duration, Instant};
+
+use coddb::bugs::{BugId, BugRegistry};
+use coddb::{Database, Dialect};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sqlgen::state::generate_state;
+use sqlgen::GenConfig;
+
+use crate::{make_oracle, BugReport, Oracle, ReportKind, Session, TestOutcome};
+
+/// Campaign configuration.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    pub dialect: Dialect,
+    pub bugs: BugRegistry,
+    pub gen: GenConfig,
+    /// Total number of tests to run.
+    pub tests: u64,
+    /// Tests per generated database state (the paper loops steps ②-⑤ to
+    /// "thoroughly test the generated database state").
+    pub tests_per_state: u64,
+    pub seed: u64,
+    /// Stop at the first bug (used by detection-probe harnesses).
+    pub stop_on_first_bug: bool,
+}
+
+impl CampaignConfig {
+    pub fn new(dialect: Dialect) -> Self {
+        CampaignConfig {
+            dialect,
+            bugs: BugRegistry::none(),
+            gen: GenConfig::default(),
+            tests: 1000,
+            tests_per_state: 20,
+            seed: 0xC0DD,
+            stop_on_first_bug: false,
+        }
+    }
+}
+
+/// A bug found during a campaign, with its reproduction coordinates.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub report: BugReport,
+    pub state_idx: u64,
+    pub test_idx: u64,
+    /// Injected mutants that reproduce this finding (filled by
+    /// [`attribute_bugs`]).
+    pub attributed: Vec<BugId>,
+}
+
+/// Aggregated campaign results (one row of Table 3).
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    pub oracle: String,
+    pub tests_run: u64,
+    pub passed: u64,
+    pub skipped: u64,
+    pub findings: Vec<Finding>,
+    pub successful_queries: u64,
+    pub unsuccessful_queries: u64,
+    pub unique_plans: usize,
+    pub coverage_percent: f64,
+    pub elapsed: Duration,
+}
+
+impl CampaignResult {
+    /// Queries per successfully executed test (Table 3's QPT).
+    pub fn qpt(&self) -> f64 {
+        let denom = (self.passed + self.findings.len() as u64).max(1);
+        (self.successful_queries + self.unsuccessful_queries) as f64 / denom as f64
+    }
+
+    /// Average execution time per query, in microseconds (Figure 2).
+    pub fn time_per_query_us(&self) -> f64 {
+        let q = (self.successful_queries + self.unsuccessful_queries).max(1);
+        self.elapsed.as_secs_f64() * 1e6 / q as f64
+    }
+
+    /// Distinct mutants attributed across all findings.
+    pub fn unique_attributed_bugs(&self) -> BTreeSet<BugId> {
+        self.findings.iter().flat_map(|f| f.attributed.iter().copied()).collect()
+    }
+
+    /// Findings grouped by report kind.
+    pub fn findings_by_kind(&self) -> BTreeMap<&'static str, usize> {
+        let mut out = BTreeMap::new();
+        for f in &self.findings {
+            *out.entry(f.report.kind.label()).or_insert(0) += 1;
+        }
+        out
+    }
+}
+
+fn state_seed(campaign_seed: u64, state_idx: u64) -> u64 {
+    campaign_seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(state_idx.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+}
+
+fn test_seed(campaign_seed: u64, state_idx: u64, test_idx: u64) -> u64 {
+    state_seed(campaign_seed, state_idx)
+        .wrapping_add(1 + test_idx.wrapping_mul(0x94D0_49BB_1331_11EB))
+}
+
+/// Apply the generated state statements; returns `None` when a statement
+/// fails (e.g. an injected internal error during setup) so the caller can
+/// regenerate.
+fn apply_state(db: &mut Database, stmts: &[coddb::ast::Statement]) -> Option<()> {
+    for s in stmts {
+        if db.execute(s).is_err() {
+            return None;
+        }
+    }
+    Some(())
+}
+
+/// Run one campaign.
+pub fn run_campaign(oracle: &mut dyn Oracle, cfg: &CampaignConfig) -> CampaignResult {
+    let start = Instant::now();
+    let mut result = CampaignResult {
+        oracle: oracle.name().to_string(),
+        tests_run: 0,
+        passed: 0,
+        skipped: 0,
+        findings: Vec::new(),
+        successful_queries: 0,
+        unsuccessful_queries: 0,
+        unique_plans: 0,
+        coverage_percent: 0.0,
+        elapsed: Duration::ZERO,
+    };
+    let mut plans: BTreeSet<u64> = BTreeSet::new();
+    let coverage = coddb::coverage::Coverage::new();
+
+    let mut state_idx = 0u64;
+    'outer: while result.tests_run < cfg.tests {
+        // Fresh state.
+        let mut srng = StdRng::seed_from_u64(state_seed(cfg.seed, state_idx));
+        let (stmts, schema) = generate_state(&mut srng, cfg.dialect, &cfg.gen);
+        let mut db = Database::with_bugs(cfg.dialect, cfg.bugs.clone());
+        if apply_state(&mut db, &stmts).is_none() {
+            state_idx += 1;
+            continue;
+        }
+
+        let mut session = Session::new(&mut db);
+        for test_idx in 0..cfg.tests_per_state {
+            if result.tests_run >= cfg.tests {
+                break;
+            }
+            result.tests_run += 1;
+            let mut trng = StdRng::seed_from_u64(test_seed(cfg.seed, state_idx, test_idx));
+            match oracle.run_one(&mut session, &schema, &mut trng) {
+                TestOutcome::Pass => result.passed += 1,
+                TestOutcome::Skipped(_) => result.skipped += 1,
+                TestOutcome::Bug(report) => {
+                    result.findings.push(Finding {
+                        report,
+                        state_idx,
+                        test_idx,
+                        attributed: Vec::new(),
+                    });
+                    if cfg.stop_on_first_bug {
+                        result.successful_queries += session.ok_queries;
+                        result.unsuccessful_queries += session.err_queries;
+                        plans.extend(session.plans.iter().copied());
+                        coverage.merge(db.coverage());
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        result.successful_queries += session.ok_queries;
+        result.unsuccessful_queries += session.err_queries;
+        plans.extend(session.plans.iter().copied());
+        coverage.merge(db.coverage());
+        state_idx += 1;
+    }
+
+    result.unique_plans = plans.len();
+    result.coverage_percent = coverage.percent();
+    result.elapsed = start.elapsed();
+    result
+}
+
+/// Re-run one specific campaign test under a given mutant configuration;
+/// returns whether it reports a bug.
+pub fn rerun_test(
+    oracle_name: &str,
+    cfg: &CampaignConfig,
+    state_idx: u64,
+    test_idx: u64,
+    bugs: &BugRegistry,
+) -> bool {
+    let Some(mut oracle) = make_oracle(oracle_name) else { return false };
+    let mut srng = StdRng::seed_from_u64(state_seed(cfg.seed, state_idx));
+    let (stmts, schema) = generate_state(&mut srng, cfg.dialect, &cfg.gen);
+    let mut db = Database::with_bugs(cfg.dialect, bugs.clone());
+    if apply_state(&mut db, &stmts).is_none() {
+        // State setup itself fails under this mutant: the mutant is
+        // responsible (e.g. an internal error in INSERT evaluation).
+        return true;
+    }
+    let mut session = Session::new(&mut db);
+    // Replay the *whole* state's tests up to and including the target:
+    // earlier tests may have mutated the DQE-style private tables.
+    for t in 0..=test_idx {
+        let mut trng = StdRng::seed_from_u64(test_seed(cfg.seed, state_idx, t));
+        let outcome = oracle.run_one(&mut session, &schema, &mut trng);
+        if t == test_idx {
+            return outcome.is_bug();
+        }
+    }
+    false
+}
+
+/// Attribute every finding of a campaign to the injected mutant(s) that
+/// reproduce it when enabled alone.
+pub fn attribute_bugs(result: &mut CampaignResult, cfg: &CampaignConfig, oracle_name: &str) {
+    let enabled: Vec<BugId> = cfg.bugs.enabled().collect();
+    for finding in &mut result.findings {
+        for &bug in &enabled {
+            if rerun_test(oracle_name, cfg, finding.state_idx, finding.test_idx, &BugRegistry::only(bug))
+            {
+                finding.attributed.push(bug);
+            }
+        }
+    }
+}
+
+/// Convenience: can `oracle_name` detect `bug` within `budget` tests?
+/// Used by the Table 2 matrix harness.
+pub fn detects_bug(
+    oracle_name: &str,
+    bug: BugId,
+    budget: u64,
+    seed: u64,
+) -> Option<(u64, BugReport)> {
+    let mut oracle = make_oracle(oracle_name)?;
+    let cfg = CampaignConfig {
+        bugs: BugRegistry::only(bug),
+        tests: budget,
+        stop_on_first_bug: true,
+        seed,
+        ..CampaignConfig::new(bug.dialect())
+    };
+    let result = run_campaign(oracle.as_mut(), &cfg);
+    result
+        .findings
+        .into_iter()
+        // Only count findings of the matching category: a logic mutant is
+        // "detected" via a discrepancy, a crash mutant via a crash, etc.
+        .find(|f| kind_matches(bug, &f.report.kind))
+        .map(|f| (result.tests_run, f.report))
+}
+
+fn kind_matches(bug: BugId, kind: &ReportKind) -> bool {
+    matches!(
+        (bug.kind(), kind),
+        (coddb::BugKind::Logic, ReportKind::LogicDiscrepancy)
+            | (coddb::BugKind::InternalError, ReportKind::InternalError)
+            | (coddb::BugKind::Crash, ReportKind::Crash)
+            | (coddb::BugKind::Hang, ReportKind::Hang)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_campaign_finds_no_bugs() {
+        let mut oracle = make_oracle("codd").unwrap();
+        let cfg = CampaignConfig { tests: 120, ..CampaignConfig::new(Dialect::Sqlite) };
+        let result = run_campaign(oracle.as_mut(), &cfg);
+        assert_eq!(result.tests_run, 120);
+        assert!(result.findings.is_empty(), "{:#?}", result.findings);
+        assert!(result.successful_queries > 0);
+        assert!(result.unique_plans > 0);
+        assert!(result.coverage_percent > 20.0);
+        assert!(result.qpt() >= 2.0, "CODDTest runs >= 3 queries per test, qpt={}", result.qpt());
+    }
+
+    #[test]
+    fn campaigns_are_deterministic() {
+        let run = || {
+            let mut oracle = make_oracle("norec").unwrap();
+            let cfg = CampaignConfig { tests: 60, ..CampaignConfig::new(Dialect::Mysql) };
+            let r = run_campaign(oracle.as_mut(), &cfg);
+            (r.tests_run, r.successful_queries, r.unsuccessful_queries, r.unique_plans)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn buggy_campaign_finds_and_attributes() {
+        // A campaign over the TiDB profile with the top-level IN bug must
+        // find it and attribute the finding to that mutant.
+        let bug = BugId::TidbInValueListWhere;
+        let mut oracle = make_oracle("codd").unwrap();
+        let cfg = CampaignConfig {
+            bugs: BugRegistry::only(bug),
+            tests: 800,
+            ..CampaignConfig::new(Dialect::Tidb)
+        };
+        let mut result = run_campaign(oracle.as_mut(), &cfg);
+        assert!(!result.findings.is_empty(), "CODDTest failed to find {bug:?}");
+        attribute_bugs(&mut result, &cfg, "codd");
+        assert!(
+            result.unique_attributed_bugs().contains(&bug),
+            "attribution failed: {:?}",
+            result.findings.iter().map(|f| &f.attributed).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn detects_bug_probe_works() {
+        let hit = detects_bug("codd", BugId::CockroachOrShortCircuitFalse, 1500, 7);
+        assert!(hit.is_some(), "codd should detect the OR short-circuit bug");
+        let (tests, report) = hit.unwrap();
+        assert!(tests >= 1);
+        assert_eq!(report.kind, ReportKind::LogicDiscrepancy);
+    }
+}

@@ -1,0 +1,849 @@
+//! Random typed expression generation (step ② of Figure 1).
+//!
+//! [`ExprGen`] produces expressions that are valid *by construction* for
+//! the active dialect: strict-typing profiles get precisely typed operand
+//! pairs and boolean predicates, flexible profiles may exploit implicit
+//! casts (§3.3 of the paper). Columns referenced from the primary (outer)
+//! scope are recorded — the `{cᵢ}` set of Algorithm 1 that classifies the
+//! expression as *independent* (empty) or *dependent* (non-empty).
+
+use coddb::ast::{
+    AggFunc, BinaryOp, CompareOp, Expr, FuncName, Quantifier, Select, SelectCore, SelectItem,
+    SortOrder, TableExpr,
+};
+use coddb::value::{DataType, Value};
+use coddb::Dialect;
+use rand::{Rng, RngExt};
+
+use crate::state::random_value;
+use crate::{ColumnInfo, GenConfig, SchemaInfo};
+
+/// A generated expression plus the outer-scope columns it references.
+#[derive(Debug, Clone)]
+pub struct GeneratedExpr {
+    pub expr: Expr,
+    /// `{cᵢ}`: columns referenced from the outer context (deduplicated).
+    pub refs: Vec<ColumnInfo>,
+}
+
+impl GeneratedExpr {
+    /// Independent expressions yield constant results irrespective of the
+    /// outer context (Algorithm 1, line 3).
+    pub fn is_independent(&self) -> bool {
+        self.refs.is_empty()
+    }
+}
+
+/// Random expression generator over a fixed column scope.
+pub struct ExprGen<'a> {
+    dialect: Dialect,
+    config: &'a GenConfig,
+    schema: &'a SchemaInfo,
+    scope: &'a [ColumnInfo],
+    refs: Vec<ColumnInfo>,
+}
+
+impl<'a> ExprGen<'a> {
+    pub fn new(
+        dialect: Dialect,
+        config: &'a GenConfig,
+        schema: &'a SchemaInfo,
+        scope: &'a [ColumnInfo],
+    ) -> Self {
+        ExprGen { dialect, config, schema, scope, refs: Vec::new() }
+    }
+
+    /// Generate the expression φ that will undergo constant folding, with
+    /// its reference set.
+    pub fn gen_phi(&mut self, rng: &mut (impl Rng + ?Sized)) -> GeneratedExpr {
+        self.refs.clear();
+        let expr = self.gen_predicate(rng, self.config.max_depth);
+        let mut refs = std::mem::take(&mut self.refs);
+        refs.dedup_by(|a, b| a == b);
+        // Full dedup (refs may interleave).
+        let mut seen: Vec<ColumnInfo> = Vec::new();
+        for r in refs {
+            if !seen.contains(&r) {
+                seen.push(r);
+            }
+        }
+        GeneratedExpr { expr, refs: seen }
+    }
+
+    /// Generate a boolean-valued predicate (strict dialects require an
+    /// explicitly boolean expression — §3.3).
+    pub fn gen_predicate(&mut self, rng: &mut (impl Rng + ?Sized), depth: u32) -> Expr {
+        if !self.dialect.strict_types() && depth > 0 && rng.random_bool(0.12) {
+            // Flexible typing lets any numeric act as a predicate.
+            return self.gen_expr(rng, DataType::Int, depth - 1);
+        }
+        self.gen_bool(rng, depth)
+    }
+
+    /// Generate an expression of the requested type.
+    pub fn gen_expr(&mut self, rng: &mut (impl Rng + ?Sized), ty: DataType, depth: u32) -> Expr {
+        match ty {
+            DataType::Bool => self.gen_bool(rng, depth),
+            DataType::Int => self.gen_int(rng, depth),
+            DataType::Real => self.gen_real(rng, depth),
+            DataType::Text => self.gen_text(rng, depth),
+            DataType::Any => {
+                let t = [DataType::Int, DataType::Real, DataType::Text][rng.random_range(0..3)];
+                self.gen_expr(rng, t, depth)
+            }
+        }
+    }
+
+    // -- leaves ------------------------------------------------------------
+
+    fn leaf(&mut self, rng: &mut (impl Rng + ?Sized), ty: DataType) -> Expr {
+        // Prefer a column of the right type when one exists.
+        let candidates: Vec<&ColumnInfo> = self
+            .scope
+            .iter()
+            .filter(|c| {
+                c.ty == ty
+                    || (c.ty == DataType::Any && !self.dialect.strict_types())
+                    || (ty == DataType::Real && c.ty == DataType::Int)
+            })
+            .collect();
+        if !candidates.is_empty() && rng.random_bool(0.6) {
+            let col = candidates[rng.random_range(0..candidates.len())].clone();
+            self.refs.push(col.clone());
+            return Expr::col(col.table, col.column);
+        }
+        Expr::Literal(random_value(rng, ty))
+    }
+
+    // -- boolean expressions ------------------------------------------------
+
+    fn gen_bool(&mut self, rng: &mut (impl Rng + ?Sized), depth: u32) -> Expr {
+        if depth == 0 {
+            return if self.dialect.strict_types() {
+                self.leaf(rng, DataType::Bool)
+            } else {
+                // Flexible profiles commonly use 0/1 integers as booleans.
+                let mut e = self.leaf(rng, DataType::Int);
+                if matches!(e, Expr::Literal(Value::Int(_))) {
+                    e = Expr::lit(rng.random_range(0i64..2));
+                }
+                e
+            };
+        }
+        let subqueries = self.config.allow_subqueries;
+        let roll = rng.random_range(0..100);
+        match roll {
+            0..=24 => {
+                // Comparison. Strict dialects demand same-typed operands;
+                // flexible ones occasionally mix types (implicit-cast
+                // behaviour is a known bug nest — §3.3, Listing 11).
+                let tyl = self.comparison_type(rng);
+                let tyr = if !self.dialect.strict_types() && rng.random_bool(0.25) {
+                    self.comparison_type(rng)
+                } else {
+                    tyl
+                };
+                let l = self.gen_expr(rng, tyl, depth - 1);
+                let r = self.gen_expr(rng, tyr, depth - 1);
+                let op = [
+                    BinaryOp::Eq,
+                    BinaryOp::Ne,
+                    BinaryOp::Lt,
+                    BinaryOp::Le,
+                    BinaryOp::Gt,
+                    BinaryOp::Ge,
+                ][rng.random_range(0..6)];
+                Expr::bin(op, l, r)
+            }
+            25..=36 => {
+                let mut l = self.gen_bool(rng, depth - 1);
+                let mut r = self.gen_bool(rng, depth - 1);
+                // Inject literal TRUE/FALSE/NULL arms (SQLancer commonly
+                // produces them, and several optimizer bug classes key on
+                // constant arms of logical connectives).
+                if rng.random_bool(0.25) {
+                    let lit = self.bool_literal_leaf(rng);
+                    if rng.random() {
+                        l = lit;
+                    } else {
+                        r = lit;
+                    }
+                }
+                let op = if rng.random() { BinaryOp::And } else { BinaryOp::Or };
+                Expr::bin(op, l, r)
+            }
+            37..=42 => Expr::not(self.gen_bool(rng, depth - 1)),
+            43..=49 => {
+                let ty = self.comparison_type(rng);
+                Expr::IsNull {
+                    expr: Box::new(self.gen_expr(rng, ty, depth - 1)),
+                    negated: rng.random(),
+                }
+            }
+            50..=57 => {
+                // BETWEEN over numerics. Flexible dialects occasionally
+                // range-test a TEXT operand against numeric bounds (legal
+                // under storage-class comparison; an affinity bug nest).
+                let ty = if rng.random() { DataType::Int } else { DataType::Real };
+                let operand_ty = if !self.dialect.strict_types() && rng.random_bool(0.25) {
+                    DataType::Text
+                } else {
+                    ty
+                };
+                Expr::Between {
+                    expr: Box::new(self.gen_expr(rng, operand_ty, depth - 1)),
+                    low: Box::new(self.gen_expr(rng, ty, depth - 1)),
+                    high: Box::new(self.gen_expr(rng, ty, depth - 1)),
+                    negated: rng.random(),
+                }
+            }
+            58..=65 => {
+                // IN value list.
+                let ty = self.comparison_type(rng);
+                let expr = self.gen_expr(rng, ty, depth - 1);
+                let n = rng.random_range(1..=3);
+                let list = (0..n).map(|_| self.gen_expr(rng, ty, depth - 1)).collect();
+                Expr::InList { expr: Box::new(expr), list, negated: rng.random_bool(0.3) }
+            }
+            66..=71 => {
+                // LIKE with a literal pattern.
+                let expr = self.gen_text(rng, depth - 1);
+                let pattern = Expr::Literal(Value::Text(self.gen_like_pattern(rng)));
+                Expr::Like {
+                    expr: Box::new(expr),
+                    pattern: Box::new(pattern),
+                    negated: rng.random_bool(0.3),
+                }
+            }
+            72..=76 => {
+                // Null-safe IS / IS NOT.
+                let ty = self.comparison_type(rng);
+                let l = self.gen_expr(rng, ty, depth - 1);
+                let r = self.gen_expr(rng, ty, depth - 1);
+                Expr::bin(if rng.random() { BinaryOp::Is } else { BinaryOp::IsNot }, l, r)
+            }
+            77..=82 => {
+                // CASE returning boolean. Conditions are sometimes bare
+                // literals (`CASE WHEN NULL THEN ...` — the Listing 7
+                // shape).
+                let cond = if rng.random_bool(0.25) {
+                    self.bool_literal_leaf(rng)
+                } else {
+                    self.gen_bool(rng, depth - 1)
+                };
+                let then = self.gen_bool(rng, depth - 1);
+                let els = self.gen_bool(rng, depth - 1);
+                Expr::Case {
+                    operand: None,
+                    whens: vec![(cond, then)],
+                    else_expr: Some(Box::new(els)),
+                }
+            }
+            83..=88 if subqueries => {
+                // EXISTS.
+                let q = self.gen_row_subquery(rng, None, depth.saturating_sub(1));
+                Expr::Exists { query: Box::new(q), negated: rng.random_bool(0.3) }
+            }
+            89..=94 if subqueries => {
+                // expr IN (subquery).
+                let ty = self.comparison_type(rng);
+                let expr = self.gen_expr(rng, ty, depth - 1);
+                let q = self.gen_row_subquery(rng, Some(ty), depth.saturating_sub(1));
+                Expr::InSubquery {
+                    expr: Box::new(expr),
+                    query: Box::new(q),
+                    negated: rng.random_bool(0.3),
+                }
+            }
+            95..=97 if subqueries && self.dialect.supports_quantified() => {
+                let ty = self.comparison_type(rng);
+                let expr = self.gen_expr(rng, ty, depth - 1);
+                let q = self.gen_row_subquery(rng, Some(ty), depth.saturating_sub(1));
+                let op = [CompareOp::Eq, CompareOp::Ne, CompareOp::Lt, CompareOp::Gt]
+                    [rng.random_range(0..4)];
+                Expr::Quantified {
+                    op,
+                    quantifier: if rng.random() { Quantifier::Any } else { Quantifier::All },
+                    expr: Box::new(expr),
+                    query: Box::new(q),
+                }
+            }
+            98..=99 if subqueries => {
+                // Scalar subquery compared with a literal.
+                let (q, qty) = self.gen_scalar_subquery(rng, depth.saturating_sub(1));
+                let rhs = Expr::Literal(random_value(rng, qty));
+                let op = [BinaryOp::Eq, BinaryOp::Lt, BinaryOp::Ge][rng.random_range(0..3)];
+                Expr::bin(op, Expr::Scalar(Box::new(q)), rhs)
+            }
+            _ => {
+                // Fallback: plain comparison.
+                let ty = self.comparison_type(rng);
+                let l = self.gen_expr(rng, ty, depth - 1);
+                let r = self.gen_expr(rng, ty, depth - 1);
+                Expr::bin(BinaryOp::Eq, l, r)
+            }
+        }
+    }
+
+    fn comparison_type(&self, rng: &mut (impl Rng + ?Sized)) -> DataType {
+        let tys = [DataType::Int, DataType::Int, DataType::Real, DataType::Text];
+        tys[rng.random_range(0..tys.len())]
+    }
+
+    /// A boolean-ish literal: TRUE/FALSE (dialect-appropriate) or NULL.
+    fn bool_literal_leaf(&self, rng: &mut (impl Rng + ?Sized)) -> Expr {
+        match rng.random_range(0..5) {
+            0 => Expr::null(),
+            n if self.dialect.strict_types() => Expr::lit(n % 2 == 0),
+            n => Expr::lit((n % 2) as i64),
+        }
+    }
+
+    /// Reference an inner-scope column, randomly qualified or bare (bare
+    /// references inside subqueries exercise name-resolution paths; the
+    /// TiDB name-collision bug class lives there).
+    fn inner_col(&self, rng: &mut (impl Rng + ?Sized), col: &ColumnInfo) -> Expr {
+        if rng.random_bool(0.4) {
+            Expr::bare_col(col.column.clone())
+        } else {
+            Expr::col(col.table.clone(), col.column.clone())
+        }
+    }
+
+    fn gen_like_pattern(&self, rng: &mut (impl Rng + ?Sized)) -> String {
+        let shapes = [
+            "a%", "%b%", "_x%", "%", "ab", "%c", "a_c", "",
+            // Pathological shapes: repeated wildcards and a dangling
+            // escape (both are engine bug nests).
+            "%%%a", "a\\",
+        ];
+        shapes[rng.random_range(0..shapes.len())].to_string()
+    }
+
+    // -- numeric / text expressions ------------------------------------------
+
+    fn gen_int(&mut self, rng: &mut (impl Rng + ?Sized), depth: u32) -> Expr {
+        if depth == 0 {
+            return self.leaf(rng, DataType::Int);
+        }
+        let roll = rng.random_range(0..100);
+        match roll {
+            0..=34 => self.leaf(rng, DataType::Int),
+            35..=59 => {
+                let op = [BinaryOp::Add, BinaryOp::Sub, BinaryOp::Mul, BinaryOp::Mod]
+                    [rng.random_range(0..4)];
+                Expr::bin(op, self.gen_int(rng, depth - 1), self.gen_int(rng, depth - 1))
+            }
+            60..=66 => {
+                // Fold negation of literals (the parser normalizes `-k`
+                // to a literal, so generating the folded form keeps
+                // render→parse round-trips exact).
+                match self.gen_int(rng, depth - 1) {
+                    Expr::Literal(Value::Int(k)) => Expr::lit(k.wrapping_neg()),
+                    inner => Expr::Unary {
+                        op: coddb::ast::UnaryOp::Neg,
+                        expr: Box::new(inner),
+                    },
+                }
+            }
+            67..=73 => Expr::Func {
+                func: FuncName::Abs,
+                args: vec![self.gen_int(rng, depth - 1)],
+            },
+            74..=79 => Expr::Func {
+                func: FuncName::Length,
+                args: vec![self.gen_text(rng, depth - 1)],
+            },
+            80..=84 => Expr::Func {
+                func: FuncName::Sign,
+                args: vec![self.gen_int(rng, depth - 1)],
+            },
+            85..=89 => {
+                if rng.random_bool(0.08) {
+                    // A wide operand-form CASE (many WHEN arms stress the
+                    // engines' CASE machinery).
+                    let operand = self.gen_int(rng, 0);
+                    let whens = (0..9)
+                        .map(|i| (Expr::lit(i as i64), Expr::lit(i as i64 * 10)))
+                        .collect();
+                    Expr::Case {
+                        operand: Some(Box::new(operand)),
+                        whens,
+                        else_expr: Some(Box::new(Expr::lit(-1i64))),
+                    }
+                } else {
+                    let cond = self.gen_bool(rng, depth - 1);
+                    let then = self.gen_int(rng, depth - 1);
+                    let els = self.gen_int(rng, depth - 1);
+                    Expr::Case {
+                        operand: None,
+                        whens: vec![(cond, then)],
+                        else_expr: Some(Box::new(els)),
+                    }
+                }
+            }
+            90..=93 => {
+                // Cross-type casts (TEXT→INT under strict typing is an
+                // expected-error path; a known internal-error nest).
+                let src = [DataType::Int, DataType::Real, DataType::Text]
+                    [rng.random_range(0..3)];
+                Expr::Cast { expr: Box::new(self.gen_expr(rng, src, depth - 1)), ty: DataType::Int }
+            }
+            94..=99 if self.config.allow_subqueries => {
+                let q = self.gen_count_subquery(rng, depth.saturating_sub(1));
+                Expr::Scalar(Box::new(q))
+            }
+            _ => self.leaf(rng, DataType::Int),
+        }
+    }
+
+    fn gen_real(&mut self, rng: &mut (impl Rng + ?Sized), depth: u32) -> Expr {
+        if depth == 0 {
+            return self.leaf(rng, DataType::Real);
+        }
+        let roll = rng.random_range(0..100);
+        match roll {
+            0..=39 => self.leaf(rng, DataType::Real),
+            40..=64 => {
+                let op = [BinaryOp::Add, BinaryOp::Sub, BinaryOp::Mul][rng.random_range(0..3)];
+                Expr::bin(op, self.gen_real(rng, depth - 1), self.gen_real(rng, depth - 1))
+            }
+            65..=74 => {
+                // Precision mostly small, occasionally oversized (an
+                // engine edge case).
+                let precision = if rng.random_bool(0.1) {
+                    rng.random_range(11i64..14)
+                } else {
+                    rng.random_range(0i64..3)
+                };
+                Expr::Func {
+                    func: FuncName::Round,
+                    args: vec![self.gen_real(rng, depth - 1), Expr::lit(precision)],
+                }
+            }
+            75..=84 => Expr::Cast {
+                expr: Box::new(self.gen_int(rng, depth - 1)),
+                ty: DataType::Real,
+            },
+            85..=99 if self.config.allow_subqueries => {
+                let (q, _) = self.gen_agg_subquery(rng, AggFunc::Avg, depth.saturating_sub(1));
+                Expr::Scalar(Box::new(q))
+            }
+            _ => self.leaf(rng, DataType::Real),
+        }
+    }
+
+    fn gen_text(&mut self, rng: &mut (impl Rng + ?Sized), depth: u32) -> Expr {
+        if depth == 0 {
+            return self.leaf(rng, DataType::Text);
+        }
+        let roll = rng.random_range(0..100);
+        match roll {
+            0..=49 => self.leaf(rng, DataType::Text),
+            50..=64 => Expr::Func {
+                func: if rng.random() { FuncName::Upper } else { FuncName::Lower },
+                args: vec![self.gen_text(rng, depth - 1)],
+            },
+            65..=79 => Expr::bin(
+                BinaryOp::Concat,
+                self.gen_text(rng, depth - 1),
+                self.gen_text(rng, depth - 1),
+            ),
+            80..=89 => {
+                // Start index mostly positive; occasionally negative
+                // (SQLite counts from the end; an engine edge case).
+                let start = if rng.random_bool(0.15) {
+                    rng.random_range(-3i64..0)
+                } else {
+                    rng.random_range(1i64..3)
+                };
+                Expr::Func {
+                    func: FuncName::Substr,
+                    args: vec![
+                        self.gen_text(rng, depth - 1),
+                        Expr::lit(start),
+                        Expr::lit(rng.random_range(0i64..4)),
+                    ],
+                }
+            }
+            _ => Expr::Cast {
+                expr: Box::new(self.gen_int(rng, depth - 1)),
+                ty: DataType::Text,
+            },
+        }
+    }
+
+    // -- subqueries -----------------------------------------------------------
+
+    fn pick_subquery_table(&self, rng: &mut (impl Rng + ?Sized)) -> Option<&crate::TableInfo> {
+        if self.schema.tables.is_empty() {
+            return None;
+        }
+        Some(&self.schema.tables[rng.random_range(0..self.schema.tables.len())])
+    }
+
+    /// A subquery returning any number of single-column rows, for
+    /// `EXISTS` / `IN` / `ANY` / `ALL`. When `ty` is given, the output
+    /// column has that type (strict dialects demand it). Occasionally the
+    /// body is a set operation — UNION/INTERSECT/EXCEPT of two cores —
+    /// with an optional positional ORDER BY (all engine bug nests).
+    pub fn gen_row_subquery(
+        &mut self,
+        rng: &mut (impl Rng + ?Sized),
+        ty: Option<DataType>,
+        depth: u32,
+    ) -> Select {
+        let first_distinct = rng.random_bool(0.15);
+        let first = self.gen_row_core(rng, ty, depth, first_distinct);
+        let Some(first) = first else {
+            return Select::scalar_probe(Expr::Literal(random_value(
+                rng,
+                ty.unwrap_or(DataType::Int),
+            )));
+        };
+        if !rng.random_bool(0.2) {
+            return Select::from_core(first);
+        }
+        // Set-operation body. For typed operands both sides keep the type;
+        // untyped (EXISTS) sides may mix types freely.
+        let second_distinct = rng.random_bool(0.3);
+        let Some(second) = self.gen_row_core(rng, ty, depth, second_distinct) else {
+            return Select::from_core(first);
+        };
+        let op = [coddb::ast::SetOp::Union, coddb::ast::SetOp::Union, coddb::ast::SetOp::Intersect,
+            coddb::ast::SetOp::Except][rng.random_range(0..4)];
+        let all = op == coddb::ast::SetOp::Union && rng.random_bool(0.4);
+        let mut q = Select {
+            with: Vec::new(),
+            body: coddb::ast::SelectBody::SetOp {
+                op,
+                all,
+                left: Box::new(coddb::ast::SelectBody::Core(first)),
+                right: Box::new(coddb::ast::SelectBody::Core(second)),
+            },
+            order_by: Vec::new(),
+            limit: None,
+            offset: None,
+        };
+        if rng.random_bool(0.25) {
+            q.order_by.push(coddb::ast::OrderItem {
+                expr: Expr::lit(1i64),
+                order: SortOrder::Asc,
+            });
+        }
+        q
+    }
+
+    /// One single-column select core over a random table.
+    fn gen_row_core(
+        &mut self,
+        rng: &mut (impl Rng + ?Sized),
+        ty: Option<DataType>,
+        depth: u32,
+        distinct: bool,
+    ) -> Option<SelectCore> {
+        let table = self.pick_subquery_table(rng)?.clone();
+        let inner_scope = table.columns_as(&table.name);
+        let col = match ty {
+            Some(want) => inner_scope
+                .iter()
+                .find(|c| c.ty == want || (c.ty == DataType::Any && !self.dialect.strict_types()))
+                .cloned(),
+            None => Some(inner_scope[rng.random_range(0..inner_scope.len())].clone()),
+        };
+        let item = match (&col, ty) {
+            (Some(c), _) => self.inner_col(rng, c),
+            (None, Some(want)) => Expr::Literal(random_value(rng, want)),
+            (None, None) => Expr::lit(1i64),
+        };
+        let where_clause = self.gen_inner_predicate(rng, &inner_scope, depth);
+        Some(SelectCore {
+            distinct,
+            items: vec![SelectItem::Expr { expr: item, alias: None }],
+            from: Some(TableExpr::named(table.name.clone())),
+            where_clause,
+            ..SelectCore::default()
+        })
+    }
+
+    /// A scalar subquery (exactly one row, one column), built with an
+    /// aggregate or `LIMIT 1` — the two paper-sanctioned ways of forcing a
+    /// scalar (§3.3).
+    pub fn gen_scalar_subquery(&mut self, rng: &mut (impl Rng + ?Sized), depth: u32) -> (Select, DataType) {
+        if rng.random_bool(0.7) {
+            let func = [AggFunc::Count, AggFunc::Min, AggFunc::Max, AggFunc::Avg, AggFunc::Sum]
+                [rng.random_range(0..5)];
+            self.gen_agg_subquery(rng, func, depth)
+        } else {
+            // LIMIT 1 with a full ORDER BY keeps the result deterministic.
+            let Some(table) = self.pick_subquery_table(rng) else {
+                return (Select::scalar_probe(Expr::lit(1i64)), DataType::Int);
+            };
+            let table = table.clone();
+            let inner_scope = table.columns_as(&table.name);
+            let col = inner_scope[rng.random_range(0..inner_scope.len())].clone();
+            let mut q = Select::from_core(SelectCore {
+                items: vec![SelectItem::Expr {
+                    expr: Expr::col(col.table.clone(), col.column.clone()),
+                    alias: None,
+                }],
+                from: Some(TableExpr::named(table.name.clone())),
+                where_clause: self.gen_inner_predicate(rng, &inner_scope, depth),
+                ..SelectCore::default()
+            });
+            q.order_by = inner_scope
+                .iter()
+                .map(|c| coddb::ast::OrderItem {
+                    expr: Expr::col(c.table.clone(), c.column.clone()),
+                    order: SortOrder::Asc,
+                })
+                .collect();
+            q.limit = Some(Expr::lit(1i64));
+            (q, col.ty)
+        }
+    }
+
+    /// `SELECT COUNT(*) FROM t [WHERE p]` — always integer-typed.
+    pub fn gen_count_subquery(&mut self, rng: &mut (impl Rng + ?Sized), depth: u32) -> Select {
+        let Some(table) = self.pick_subquery_table(rng) else {
+            return Select::scalar_probe(Expr::lit(0i64));
+        };
+        let table = table.clone();
+        let inner_scope = table.columns_as(&table.name);
+        Select::from_core(SelectCore {
+            items: vec![SelectItem::Expr { expr: Expr::count_star(), alias: None }],
+            from: Some(TableExpr::named(table.name.clone())),
+            where_clause: self.gen_inner_predicate(rng, &inner_scope, depth),
+            ..SelectCore::default()
+        })
+    }
+
+    fn gen_agg_subquery(
+        &mut self,
+        rng: &mut (impl Rng + ?Sized),
+        func: AggFunc,
+        depth: u32,
+    ) -> (Select, DataType) {
+        let Some(table) = self.pick_subquery_table(rng) else {
+            return (Select::scalar_probe(Expr::lit(0i64)), DataType::Int);
+        };
+        let table = table.clone();
+        let inner_scope = table.columns_as(&table.name);
+        // Numeric aggregates want a numeric argument.
+        let arg_col = inner_scope
+            .iter()
+            .find(|c| matches!(c.ty, DataType::Int | DataType::Real | DataType::Any))
+            .cloned()
+            .unwrap_or_else(|| inner_scope[0].clone());
+        let arg_ref = self.inner_col(rng, &arg_col);
+        let (agg, ty) = match func {
+            AggFunc::Count | AggFunc::CountStar => (Expr::count_star(), DataType::Int),
+            AggFunc::Avg | AggFunc::Total => (
+                Expr::Agg {
+                    func: AggFunc::Avg,
+                    arg: Some(Box::new(arg_ref)),
+                    distinct: rng.random_bool(0.2),
+                },
+                DataType::Real,
+            ),
+            AggFunc::Sum => (
+                Expr::Agg {
+                    func: AggFunc::Sum,
+                    arg: Some(Box::new(arg_ref)),
+                    distinct: rng.random_bool(0.2),
+                },
+                if arg_col.ty == DataType::Real { DataType::Real } else { DataType::Int },
+            ),
+            AggFunc::Min | AggFunc::Max => (
+                Expr::Agg { func, arg: Some(Box::new(arg_ref)), distinct: false },
+                arg_col.ty,
+            ),
+        };
+        let q = Select::from_core(SelectCore {
+            items: vec![SelectItem::Expr { expr: agg, alias: None }],
+            from: Some(TableExpr::named(table.name.clone())),
+            where_clause: self.gen_inner_predicate(rng, &inner_scope, depth),
+            ..SelectCore::default()
+        });
+        (q, ty)
+    }
+
+    /// Inner predicate of a subquery: either purely over the inner scope
+    /// (non-correlated) or comparing an inner column with an outer one
+    /// (correlated — the outer reference is recorded in `{cᵢ}`).
+    fn gen_inner_predicate(
+        &mut self,
+        rng: &mut (impl Rng + ?Sized),
+        inner_scope: &[ColumnInfo],
+        depth: u32,
+    ) -> Option<Expr> {
+        if rng.random_bool(0.3) {
+            return None;
+        }
+        let correlated = !self.scope.is_empty() && rng.random_bool(0.45);
+        if correlated {
+            // inner_col CMP outer_col with compatible types.
+            for _ in 0..8 {
+                let inner = &inner_scope[rng.random_range(0..inner_scope.len())];
+                let candidates: Vec<&ColumnInfo> = self
+                    .scope
+                    .iter()
+                    .filter(|o| {
+                        compatible(o.ty, inner.ty)
+                            || !self.dialect.strict_types()
+                    })
+                    .collect();
+                if candidates.is_empty() {
+                    continue;
+                }
+                let outer = candidates[rng.random_range(0..candidates.len())].clone();
+                self.refs.push(outer.clone());
+                let op = [BinaryOp::Eq, BinaryOp::Ne, BinaryOp::Lt, BinaryOp::Ge]
+                    [rng.random_range(0..4)];
+                return Some(Expr::bin(
+                    op,
+                    Expr::col(outer.table, outer.column),
+                    Expr::col(inner.table.clone(), inner.column.clone()),
+                ));
+            }
+        }
+        // Non-correlated: generate over the inner scope only.
+        let mut inner_gen = ExprGen::new(self.dialect, self.config, self.schema, inner_scope);
+        let pred = inner_gen.gen_predicate(rng, depth.min(2));
+        Some(pred)
+    }
+}
+
+fn compatible(a: DataType, b: DataType) -> bool {
+    use DataType::*;
+    matches!(
+        (a, b),
+        (Int, Int) | (Real, Real) | (Int, Real) | (Real, Int) | (Text, Text) | (Bool, Bool)
+    ) || a == Any
+        || b == Any
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::generate_state;
+    use coddb::Database;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(seed: u64, dialect: Dialect) -> (Database, SchemaInfo) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = GenConfig::default();
+        let (stmts, schema) = generate_state(&mut rng, dialect, &cfg);
+        let mut db = Database::new(dialect);
+        for s in &stmts {
+            db.execute(s).unwrap();
+        }
+        (db, schema)
+    }
+
+    #[test]
+    fn phi_refs_only_come_from_primary_scope() {
+        let cfg = GenConfig::default();
+        for seed in 0..40u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (_, schema) = generate_state(&mut rng, Dialect::Sqlite, &cfg);
+            let t = schema.tables[0].clone();
+            let scope = t.columns_as("x");
+            let mut gen = ExprGen::new(Dialect::Sqlite, &cfg, &schema, &scope);
+            let phi = gen.gen_phi(&mut rng);
+            for r in &phi.refs {
+                assert_eq!(r.table, "x", "ref escaped the primary scope: {r:?}");
+            }
+            // Independence classification agrees with the refs.
+            assert_eq!(phi.is_independent(), phi.refs.is_empty());
+        }
+    }
+
+    #[test]
+    fn generated_predicates_evaluate_or_fail_expectedly() {
+        // Predicates placed in a WHERE over the primary table must either
+        // run or produce only *expected* errors on every dialect.
+        for dialect in Dialect::ALL {
+            let mut interesting = 0;
+            for seed in 0..60u64 {
+                let (mut db, schema) = setup(seed, dialect);
+                let cfg = GenConfig::default();
+                let mut rng = StdRng::seed_from_u64(seed * 31 + 7);
+                let t = schema.tables[0].clone();
+                let scope = t.columns_as(&t.name);
+                let mut gen = ExprGen::new(dialect, &cfg, &schema, &scope);
+                let phi = gen.gen_phi(&mut rng);
+                let sql = format!("SELECT COUNT(*) FROM {} WHERE {}", t.name, phi.expr);
+                match db.query_sql(&sql) {
+                    Ok(_) => interesting += 1,
+                    Err(e) => assert_eq!(
+                        e.severity(),
+                        coddb::Severity::Expected,
+                        "unexpected engine failure on {dialect} (seed {seed}): {sql}\n{e}"
+                    ),
+                }
+            }
+            assert!(interesting > 20, "{dialect}: too few valid predicates ({interesting}/60)");
+        }
+    }
+
+    #[test]
+    fn scalar_subqueries_really_are_scalar() {
+        for seed in 0..40u64 {
+            let (mut db, schema) = setup(seed, Dialect::Sqlite);
+            let cfg = GenConfig::default();
+            let mut rng = StdRng::seed_from_u64(seed + 1000);
+            let scope: Vec<ColumnInfo> = Vec::new();
+            let mut gen = ExprGen::new(Dialect::Sqlite, &cfg, &schema, &scope);
+            let (q, _) = gen.gen_scalar_subquery(&mut rng, 2);
+            match db.query(&q) {
+                Ok(rel) => {
+                    assert!(rel.rows.len() <= 1, "scalar subquery returned {} rows", rel.rows.len());
+                    assert_eq!(rel.columns.len(), 1);
+                }
+                Err(e) => assert_eq!(e.severity(), coddb::Severity::Expected),
+            }
+        }
+    }
+
+    #[test]
+    fn expressions_only_config_never_generates_subqueries() {
+        let cfg = GenConfig::expressions_only();
+        for seed in 0..60u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (_, schema) = generate_state(&mut rng, Dialect::Sqlite, &cfg);
+            let t = schema.tables[0].clone();
+            let scope = t.columns_as(&t.name);
+            let mut gen = ExprGen::new(Dialect::Sqlite, &cfg, &schema, &scope);
+            let phi = gen.gen_phi(&mut rng);
+            assert!(!phi.expr.contains_subquery(), "subquery leaked: {}", phi.expr);
+        }
+    }
+
+    #[test]
+    fn max_depth_bounds_expression_size() {
+        fn depth_of(e: &Expr) -> u32 {
+            let mut max_child = 0;
+            coddb::ast::visit::walk_expr_shallow(e, &mut |_| {});
+            // Approximate by rendered length ratio instead of a full depth
+            // computation: deeper configs must produce longer expressions
+            // on average; exact depth is checked by construction.
+            max_child += e.to_string().len() as u32;
+            max_child
+        }
+        let schema = SchemaInfo::default();
+        let scope: Vec<ColumnInfo> = Vec::new();
+        let avg_len = |d: u32| {
+            let cfg = GenConfig { allow_subqueries: false, ..GenConfig::with_max_depth(d) };
+            let mut total = 0u64;
+            for seed in 0..120u64 {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut gen = ExprGen::new(Dialect::Sqlite, &cfg, &schema, &scope);
+                total += depth_of(&gen.gen_phi(&mut rng).expr) as u64;
+            }
+            total
+        };
+        assert!(avg_len(7) > avg_len(1), "MaxDepth must scale expression size");
+    }
+}

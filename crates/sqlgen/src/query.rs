@@ -1,0 +1,287 @@
+//! FROM-context and query construction (step ④ of Figure 1).
+//!
+//! The CODDTest oracle needs the FROM clause *before* generating φ: for
+//! dependent expressions the auxiliary query must replicate the original
+//! query's joins (§3.2). [`gen_from_context`] produces a reusable FROM
+//! tree plus its visible column scope; [`build_count_query`] /
+//! [`build_projection_query`] wrap a predicate into the original-query
+//! shapes used by the oracles.
+
+use coddb::ast::{
+    BinaryOp, Expr, JoinKind, Select, SelectCore, SelectItem, TableExpr,
+};
+use coddb::value::DataType;
+use coddb::Dialect;
+use rand::{Rng, RngExt};
+
+use crate::{ColumnInfo, GenConfig, SchemaInfo};
+
+/// A generated FROM clause with its visible columns.
+#[derive(Debug, Clone)]
+pub struct FromContext {
+    pub table_expr: TableExpr,
+    /// Visible columns, qualified by alias.
+    pub scope: Vec<ColumnInfo>,
+    /// (alias, underlying relation name) pairs, in join order.
+    pub relations: Vec<(String, String)>,
+    pub has_join: bool,
+    pub join_kind: Option<JoinKind>,
+}
+
+/// Generate a FROM context: one table, or a two-table join when allowed.
+pub fn gen_from_context(
+    rng: &mut (impl Rng + ?Sized),
+    schema: &SchemaInfo,
+    config: &GenConfig,
+    dialect: Dialect,
+) -> FromContext {
+    let tables = &schema.tables;
+    assert!(!tables.is_empty(), "state generator always creates a table");
+    let first = &tables[rng.random_range(0..tables.len())];
+
+    let join = config.allow_joins && rng.random_bool(0.4);
+    if !join {
+        let alias = first.name.clone();
+        // SQLite's INDEXED BY forces an index scan (Listing 1 relies on
+        // this to reach the planner's indexed path).
+        let indexed_by = if dialect.supports_indexed_by() && !first.is_view && rng.random_bool(0.35)
+        {
+            let idxs = schema.indexes_for(&first.name);
+            if idxs.is_empty() {
+                None
+            } else {
+                Some(idxs[rng.random_range(0..idxs.len())].to_string())
+            }
+        } else {
+            None
+        };
+        return FromContext {
+            table_expr: TableExpr::Named { name: first.name.clone(), alias: None, indexed_by },
+            scope: first.columns_as(&alias),
+            relations: vec![(alias, first.name.clone())],
+            has_join: false,
+            join_kind: None,
+        };
+    }
+
+    // Prefer joining against a view when one exists (views behind joins
+    // are a distinct bug nest — Listing 8).
+    let second = match tables.iter().find(|t| t.is_view) {
+        Some(view) if rng.random_bool(0.4) => view,
+        _ => &tables[rng.random_range(0..tables.len())],
+    };
+    // Distinct aliases even when joining a table with itself.
+    let (a1, a2) = if first.name == second.name {
+        ("j0".to_string(), "j1".to_string())
+    } else {
+        (first.name.clone(), second.name.clone())
+    };
+    let left = TableExpr::Named {
+        name: first.name.clone(),
+        alias: if a1 == first.name { None } else { Some(a1.clone()) },
+        indexed_by: None,
+    };
+    let right = TableExpr::Named {
+        name: second.name.clone(),
+        alias: if a2 == second.name { None } else { Some(a2.clone()) },
+        indexed_by: None,
+    };
+    let kind =
+        [JoinKind::Inner, JoinKind::Left, JoinKind::Cross, JoinKind::Full][rng.random_range(0..4)];
+
+    let mut scope = first.columns_as(&a1);
+    scope.extend(second.columns_as(&a2));
+
+    let on = if kind == JoinKind::Cross {
+        None
+    } else {
+        Some(gen_join_condition(rng, &first.columns_as(&a1), &second.columns_as(&a2), dialect))
+    };
+
+    let mut table_expr =
+        TableExpr::Join { left: Box::new(left), right: Box::new(right), kind, on };
+    let mut relations = vec![(a1, first.name.clone()), (a2, second.name.clone())];
+
+    // Occasionally chain one or two more tables (deep join pipelines are
+    // their own bug nest — e.g. the DuckDB multi-join hang class).
+    let mut extra = 0;
+    while extra < 2 && rng.random_bool(0.15) {
+        let next = &tables[rng.random_range(0..tables.len())];
+        let alias = format!("j{}", relations.len());
+        let next_cols = next.columns_as(&alias);
+        let on = gen_join_condition(rng, &scope, &next_cols, dialect);
+        table_expr = TableExpr::Join {
+            left: Box::new(table_expr),
+            right: Box::new(TableExpr::Named {
+                name: next.name.clone(),
+                alias: Some(alias.clone()),
+                indexed_by: None,
+            }),
+            kind: JoinKind::Inner,
+            on: Some(on),
+        };
+        scope.extend(next_cols);
+        relations.push((alias, next.name.clone()));
+        extra += 1;
+    }
+
+    FromContext { table_expr, scope, relations, has_join: true, join_kind: Some(kind) }
+}
+
+/// An equality/comparison join condition over compatible column pairs, or
+/// a constant-true condition if no pair lines up.
+pub fn gen_join_condition(
+    rng: &mut (impl Rng + ?Sized),
+    left: &[ColumnInfo],
+    right: &[ColumnInfo],
+    dialect: Dialect,
+) -> Expr {
+    let mut pairs = Vec::new();
+    for l in left {
+        for r in right {
+            let ok = l.ty == r.ty
+                || (matches!(l.ty, DataType::Int | DataType::Real)
+                    && matches!(r.ty, DataType::Int | DataType::Real))
+                || (!dialect.strict_types()
+                    && (l.ty == DataType::Any || r.ty == DataType::Any));
+            if ok {
+                pairs.push((l.clone(), r.clone()));
+            }
+        }
+    }
+    if pairs.is_empty() || rng.random_bool(0.15) {
+        return if dialect.strict_types() { Expr::lit(true) } else { Expr::lit(1i64) };
+    }
+    let (l, r) = pairs[rng.random_range(0..pairs.len())].clone();
+    let op = [BinaryOp::Eq, BinaryOp::Eq, BinaryOp::Lt, BinaryOp::Ge][rng.random_range(0..4)];
+    Expr::bin(op, Expr::col(l.table, l.column), Expr::col(r.table, r.column))
+}
+
+/// `SELECT COUNT(*) FROM <from> WHERE <pred>` — the original-query shape
+/// used by NoREC and (often) CODDTest.
+pub fn build_count_query(from: &FromContext, where_clause: Option<Expr>) -> Select {
+    Select::from_core(SelectCore {
+        items: vec![SelectItem::Expr { expr: Expr::count_star(), alias: None }],
+        from: Some(from.table_expr.clone()),
+        where_clause,
+        ..SelectCore::default()
+    })
+}
+
+/// `SELECT <all scope columns> FROM <from> WHERE <pred>` with explicit
+/// qualified items (stable output column order for multiset comparison).
+pub fn build_projection_query(from: &FromContext, where_clause: Option<Expr>) -> Select {
+    let items = from
+        .scope
+        .iter()
+        .map(|c| SelectItem::Expr {
+            expr: Expr::col(c.table.clone(), c.column.clone()),
+            alias: None,
+        })
+        .collect();
+    Select::from_core(SelectCore {
+        items,
+        from: Some(from.table_expr.clone()),
+        where_clause,
+        ..SelectCore::default()
+    })
+}
+
+/// `SELECT alias.* FROM <from> WHERE <pred>` — a per-table wildcard
+/// (Listing 6-style projections; also exercises wildcard expansion over
+/// outer joins).
+pub fn build_table_wildcard_query(
+    from: &FromContext,
+    alias: &str,
+    where_clause: Option<Expr>,
+) -> Select {
+    Select::from_core(SelectCore {
+        items: vec![SelectItem::TableWildcard(alias.to_string())],
+        from: Some(from.table_expr.clone()),
+        where_clause,
+        ..SelectCore::default()
+    })
+}
+
+/// Pick randomly between the count, projection and table-wildcard shapes.
+pub fn build_random_query(
+    rng: &mut (impl Rng + ?Sized),
+    from: &FromContext,
+    where_clause: Option<Expr>,
+) -> Select {
+    if from.has_join && rng.random_bool(0.15) {
+        let (alias, _) = &from.relations[rng.random_range(0..from.relations.len())];
+        return build_table_wildcard_query(from, alias, where_clause);
+    }
+    if rng.random_bool(0.5) {
+        build_count_query(from, where_clause)
+    } else {
+        build_projection_query(from, where_clause)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::generate_state;
+    use coddb::Database;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn from_contexts_execute_everywhere() {
+        for dialect in Dialect::ALL {
+            for seed in 0..40u64 {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let cfg = GenConfig::default();
+                let (stmts, schema) = generate_state(&mut rng, dialect, &cfg);
+                let mut db = Database::new(dialect);
+                for s in &stmts {
+                    db.execute(s).unwrap();
+                }
+                let from = gen_from_context(&mut rng, &schema, &cfg, dialect);
+                let q = build_projection_query(&from, None);
+                match db.query(&q) {
+                    Ok(rel) => assert_eq!(rel.columns.len(), from.scope.len()),
+                    Err(e) => assert_eq!(
+                        e.severity(),
+                        coddb::Severity::Expected,
+                        "{dialect} seed {seed}: {q} -> {e}"
+                    ),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn self_join_gets_distinct_aliases() {
+        // Force generation until a self join appears; aliases must differ.
+        let cfg = GenConfig { max_tables: 1, ..GenConfig::default() };
+        let mut seen_self_join = false;
+        for seed in 0..200u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (_, schema) = generate_state(&mut rng, Dialect::Sqlite, &cfg);
+            let from = gen_from_context(&mut rng, &schema, &cfg, Dialect::Sqlite);
+            if from.has_join && from.relations[0].1 == from.relations[1].1 {
+                seen_self_join = true;
+                assert_ne!(from.relations[0].0, from.relations[1].0);
+            }
+        }
+        assert!(seen_self_join, "self joins should occur");
+    }
+
+    #[test]
+    fn count_query_shape() {
+        let from = FromContext {
+            table_expr: TableExpr::named("t0"),
+            scope: vec![ColumnInfo { table: "t0".into(), column: "c0".into(), ty: DataType::Int }],
+            relations: vec![("t0".into(), "t0".into())],
+            has_join: false,
+            join_kind: None,
+        };
+        let q = build_count_query(&from, Some(Expr::lit(1i64)));
+        assert_eq!(q.to_string(), "SELECT COUNT(*) FROM t0 WHERE 1");
+        let p = build_projection_query(&from, None);
+        assert_eq!(p.to_string(), "SELECT t0.c0 FROM t0");
+    }
+}

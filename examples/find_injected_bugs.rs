@@ -1,0 +1,72 @@
+//! Campaign against one emulated DBMS with its full mutant set enabled —
+//! the per-dialect slice of Table 1.
+//!
+//! Run with: `cargo run --release --example find_injected_bugs -- [dialect] [tests]`
+//! where dialect is one of sqlite | mysql | cockroach | duckdb | tidb
+//! (default: duckdb, whose profile includes crash and hang mutants).
+
+use std::collections::BTreeSet;
+
+use coddb::bugs::{BugId, BugRegistry};
+use coddb::Dialect;
+use coddtest::runner::{attribute_bugs, run_campaign, CampaignConfig};
+
+fn parse_dialect(s: &str) -> Option<Dialect> {
+    match s.to_ascii_lowercase().as_str() {
+        "sqlite" => Some(Dialect::Sqlite),
+        "mysql" => Some(Dialect::Mysql),
+        "cockroach" | "cockroachdb" => Some(Dialect::Cockroach),
+        "duckdb" => Some(Dialect::Duckdb),
+        "tidb" => Some(Dialect::Tidb),
+        _ => None,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let dialect = args.get(1).and_then(|s| parse_dialect(s)).unwrap_or(Dialect::Duckdb);
+    let tests: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(8_000);
+
+    println!("hunting the {} profile's {} injected bugs with CODDTest ({tests} tests)\n",
+        dialect,
+        BugId::for_dialect(dialect).len(),
+    );
+
+    let cfg = CampaignConfig {
+        bugs: BugRegistry::all_for_dialect(dialect),
+        tests,
+        ..CampaignConfig::new(dialect)
+    };
+    let mut oracle = coddtest::make_oracle("codd").expect("codd oracle");
+    let mut result = run_campaign(oracle.as_mut(), &cfg);
+    println!(
+        "campaign: {} tests, {} passed, {} skipped, {} findings, {} ok / {} err queries, \
+         {} unique plans, {:.1}% branch coverage\n",
+        result.tests_run,
+        result.passed,
+        result.skipped,
+        result.findings.len(),
+        result.successful_queries,
+        result.unsuccessful_queries,
+        result.unique_plans,
+        result.coverage_percent,
+    );
+
+    // Show the first finding of each kind in full.
+    let mut shown = BTreeSet::new();
+    for f in &result.findings {
+        if shown.insert(f.report.kind.label()) {
+            println!("--- first {} finding ---", f.report.kind.label());
+            println!("{}\n", f.report.to_display());
+        }
+    }
+
+    println!("attributing findings to mutants (re-running each under isolation)...");
+    attribute_bugs(&mut result, &cfg, "codd");
+    let unique = result.unique_attributed_bugs();
+    println!("\nuncovered {} of {} mutants:", unique.len(), BugId::for_dialect(dialect).len());
+    for b in BugId::for_dialect(dialect) {
+        let mark = if unique.contains(&b) { "✓" } else { "✗" };
+        println!("  {mark} [{:<14}] {}", b.kind().label(), b.name());
+    }
+}

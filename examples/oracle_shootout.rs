@@ -1,0 +1,65 @@
+//! Head-to-head oracle comparison on a single buggy engine — a
+//! miniature of the paper's §4.2 experiment.
+//!
+//! All five oracles (CODDTest, NoREC, TLP, DQE, EET) hunt the same
+//! TiDB-profile mutants with the same test budget; the summary shows how
+//! their detection sets overlap and differ.
+//!
+//! Run with: `cargo run --release --example oracle_shootout -- [tests]`
+
+use std::collections::BTreeSet;
+
+use coddb::bugs::{BugId, BugRegistry};
+use coddb::Dialect;
+use coddtest::runner::{attribute_bugs, run_campaign, CampaignConfig};
+
+fn main() {
+    let tests: u64 =
+        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(6_000);
+    let dialect = Dialect::Tidb;
+    println!("oracle shootout on the {dialect} profile ({tests} tests each)\n");
+
+    let oracles = ["codd", "norec", "tlp", "dqe", "eet"];
+    let mut sets: Vec<(String, BTreeSet<BugId>)> = Vec::new();
+    for name in oracles {
+        let cfg = CampaignConfig {
+            bugs: BugRegistry::all_for_dialect(dialect),
+            tests,
+            ..CampaignConfig::new(dialect)
+        };
+        let mut oracle = coddtest::make_oracle(name).expect("oracle");
+        let mut result = run_campaign(oracle.as_mut(), &cfg);
+        attribute_bugs(&mut result, &cfg, name);
+        let unique = result.unique_attributed_bugs();
+        println!(
+            "{name:<8} {} reports -> {} unique bugs, qpt {:.2}, {} unique plans",
+            result.findings.len(),
+            unique.len(),
+            result.qpt(),
+            result.unique_plans,
+        );
+        sets.push((name.to_string(), unique));
+    }
+
+    println!("\nper-bug detection:");
+    for bug in BugId::for_dialect(dialect) {
+        let finders: Vec<&str> = sets
+            .iter()
+            .filter(|(_, s)| s.contains(&bug))
+            .map(|(n, _)| n.as_str())
+            .collect();
+        println!(
+            "  {:<40} [{:<14}] {}",
+            bug.name(),
+            bug.kind().label(),
+            if finders.is_empty() { "— undetected —".to_string() } else { finders.join(", ") }
+        );
+    }
+
+    let codd = &sets[0].1;
+    let union_rest: BTreeSet<BugId> =
+        sets[1..].iter().flat_map(|(_, s)| s.iter().copied()).collect();
+    let exclusive: Vec<&str> =
+        codd.difference(&union_rest).map(|b| b.name()).collect();
+    println!("\nbugs only CODDTest found here: {exclusive:?}");
+}

@@ -1,0 +1,106 @@
+//! An interactive SQL shell over CoddDB — handy for replaying the paper's
+//! listings by hand and for exploring the dialect profiles and mutants.
+//!
+//! Run with: `cargo run --example sql_shell -- [dialect] [bug-name ...]`
+//!
+//! Meta-commands: `.tables`, `.bugs`, `.coverage`, `.dialect`, `.quit`;
+//! `.explain SELECT ...` prints the physical plan.
+
+use std::io::{BufRead, Write as _};
+
+use coddb::bugs::BugRegistry;
+use coddb::{BugId, Database, Dialect, ExecOutcome};
+
+fn parse_dialect(s: &str) -> Option<Dialect> {
+    match s.to_ascii_lowercase().as_str() {
+        "sqlite" => Some(Dialect::Sqlite),
+        "mysql" => Some(Dialect::Mysql),
+        "cockroach" | "cockroachdb" => Some(Dialect::Cockroach),
+        "duckdb" => Some(Dialect::Duckdb),
+        "tidb" => Some(Dialect::Tidb),
+        _ => None,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let dialect = args.first().and_then(|s| parse_dialect(s)).unwrap_or(Dialect::Sqlite);
+    let mut bugs = BugRegistry::none();
+    for arg in args.iter().skip(1) {
+        match BugId::ALL.iter().find(|b| b.name() == arg) {
+            Some(b) => bugs.enable(*b),
+            None => eprintln!("unknown bug name: {arg} (see `.bugs`)"),
+        }
+    }
+    let mut db = Database::with_bugs(dialect, bugs);
+    println!("CoddDB shell — {} profile. End statements with ';'. `.quit` exits.", dialect);
+
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    loop {
+        if buffer.is_empty() {
+            print!("coddb> ");
+        } else {
+            print!("  ...> ");
+        }
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+        let trimmed = line.trim();
+        if buffer.is_empty() && trimmed.starts_with('.') {
+            match trimmed {
+                ".quit" | ".exit" => break,
+                ".tables" => {
+                    println!("tables: {:?}", db.catalog().table_names());
+                    println!("views:  {:?}", db.catalog().view_names());
+                    println!("indexes:{:?}", db.catalog().index_names());
+                }
+                ".bugs" => {
+                    for b in BugId::ALL {
+                        let on = if db.bugs().active(b) { "ON " } else { "off" };
+                        println!("  [{on}] {:<42} {}", b.name(), b.description());
+                    }
+                }
+                ".coverage" => {
+                    println!(
+                        "branch coverage: {:.1}% ({} of {} points)",
+                        db.coverage().percent(),
+                        db.coverage().hit_count(),
+                        db.coverage().total_points()
+                    );
+                }
+                ".dialect" => println!("{dialect} — version {}", dialect.version_string()),
+                other if other.starts_with(".explain ") => {
+                    let sql = other.trim_start_matches(".explain ").trim_end_matches(';');
+                    match db.explain_sql(sql) {
+                        Ok(plan) => println!("{plan}"),
+                        Err(e) => println!("error: {e}"),
+                    }
+                }
+                other => println!("unknown meta-command {other}"),
+            }
+            continue;
+        }
+        buffer.push_str(&line);
+        if !buffer.trim_end().ends_with(';') {
+            continue;
+        }
+        let sql = std::mem::take(&mut buffer);
+        match db.execute_sql(&sql) {
+            Ok(outcomes) => {
+                for out in outcomes {
+                    match out {
+                        ExecOutcome::Rows(rel) => println!("{}", rel.to_table_string()),
+                        ExecOutcome::Affected(n) => println!("{n} row(s) affected"),
+                        ExecOutcome::Ddl => println!("ok"),
+                    }
+                }
+            }
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! Umbrella crate for the CODDTest reproduction workspace.
+//!
+//! Re-exports the three library crates so examples and integration tests
+//! can use a single dependency root:
+//!
+//! * [`coddb`] — the CoddDB engine substrate,
+//! * [`sqlgen`] — random state/expression/query generation,
+//! * [`coddtest`] — the CODDTest oracle and the baselines.
+
+pub use coddb;
+pub use coddtest;
+pub use sqlgen;

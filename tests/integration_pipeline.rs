@@ -1,0 +1,125 @@
+//! Cross-crate integration tests: the full pipeline from state generation
+//! through oracles to campaign metrics, across every dialect profile.
+
+use coddb::bugs::BugRegistry;
+use coddb::{BugId, Database, Dialect};
+use coddtest::runner::{attribute_bugs, detects_bug, run_campaign, CampaignConfig};
+use coddtest::{make_oracle, Session, TestOutcome};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sqlgen::state::generate_state;
+use sqlgen::GenConfig;
+
+/// Every oracle runs on every dialect without unexpected engine failures
+/// or false alarms.
+#[test]
+fn all_oracles_run_clean_on_all_dialects() {
+    for dialect in Dialect::ALL {
+        for name in ["codd", "norec", "tlp", "dqe", "eet"] {
+            let mut oracle = make_oracle(name).unwrap();
+            let mut rng = StdRng::seed_from_u64(0xFEED);
+            let (stmts, schema) = generate_state(&mut rng, dialect, &GenConfig::default());
+            let mut db = Database::new(dialect);
+            for s in &stmts {
+                db.execute(s).unwrap();
+            }
+            let mut session = Session::new(&mut db);
+            for _ in 0..8 {
+                if let TestOutcome::Bug(r) = oracle.run_one(&mut session, &schema, &mut rng) {
+                    panic!("{name} false alarm on clean {dialect}:\n{}", r.to_display());
+                }
+            }
+        }
+    }
+}
+
+/// Campaign metrics are self-consistent and deterministic.
+#[test]
+fn campaign_metrics_are_consistent() {
+    let cfg = CampaignConfig { tests: 150, ..CampaignConfig::new(Dialect::Sqlite) };
+    let mut oracle = make_oracle("codd").unwrap();
+    let r1 = run_campaign(oracle.as_mut(), &cfg);
+    assert_eq!(r1.tests_run, 150);
+    assert_eq!(r1.passed + r1.skipped + r1.findings.len() as u64, r1.tests_run);
+    assert!(r1.qpt() > 1.0);
+    assert!(r1.coverage_percent > 0.0 && r1.coverage_percent <= 100.0);
+
+    let mut oracle2 = make_oracle("codd").unwrap();
+    let r2 = run_campaign(oracle2.as_mut(), &cfg);
+    assert_eq!(r1.successful_queries, r2.successful_queries);
+    assert_eq!(r1.unsuccessful_queries, r2.unsuccessful_queries);
+    assert_eq!(r1.unique_plans, r2.unique_plans);
+}
+
+/// A fast subset of the Table 2 matrix (the full empirical matrix is
+/// produced by the `table2_oracle_matrix` harness): for a handful of
+/// quickly-detectable mutants, CODDTest and exactly the expected
+/// baselines find them.
+#[test]
+fn detection_matrix_fast_subset() {
+    // (bug, budget, codd, norec, tlp, dqe) — budgets chosen comfortably
+    // above each oracle's observed detection point.
+    let cases: &[(BugId, u64, bool, bool, bool, bool)] = &[
+        (BugId::TidbInValueListWhere, 900, true, true, true, false),
+        (BugId::TidbIsNullTopLevelInverted, 400, true, true, true, false),
+        (BugId::MysqlTextIntCompareWhere, 400, true, true, true, false),
+        (BugId::SqliteExistsJoinOnEmpty, 600, true, false, false, false),
+        (BugId::CockroachAnyNonValuesSubquery, 700, true, false, false, false),
+    ];
+    for &(bug, budget, codd, norec, tlp, dqe) in cases {
+        for (oracle, expected) in
+            [("codd", codd), ("norec", norec), ("tlp", tlp), ("dqe", dqe)]
+        {
+            let hit = detects_bug(oracle, bug, budget, 1).is_some();
+            assert_eq!(
+                hit, expected,
+                "{oracle} on {}: expected detect={expected} within {budget} tests",
+                bug.name()
+            );
+        }
+    }
+}
+
+/// Attribution maps a finding back to the responsible mutant even when
+/// several mutants are active at once.
+#[test]
+fn attribution_under_multiple_active_mutants() {
+    let cfg = CampaignConfig {
+        bugs: BugRegistry::all_for_dialect(Dialect::Tidb),
+        tests: 600,
+        ..CampaignConfig::new(Dialect::Tidb)
+    };
+    let mut oracle = make_oracle("codd").unwrap();
+    let mut result = run_campaign(oracle.as_mut(), &cfg);
+    assert!(!result.findings.is_empty(), "TiDB profile should yield findings quickly");
+    attribute_bugs(&mut result, &cfg, "codd");
+    let attributed = result.unique_attributed_bugs();
+    assert!(!attributed.is_empty());
+    assert!(attributed.iter().all(|b| b.dialect() == Dialect::Tidb));
+}
+
+/// Hang/crash/internal mutants surface through campaigns with the right
+/// report kinds.
+#[test]
+fn non_logic_mutants_surface_with_matching_kinds() {
+    let probes = [
+        (BugId::DuckdbCrashIEJoinRange, coddtest::ReportKind::Crash),
+        (BugId::CockroachHangCteReuse, coddtest::ReportKind::Hang),
+        (BugId::TidbInternalSubstrNegative, coddtest::ReportKind::InternalError),
+    ];
+    for (bug, kind) in probes {
+        let hit = detects_bug("codd", bug, 4000, 3);
+        match hit {
+            Some((_, report)) => assert_eq!(report.kind, kind, "{}", bug.name()),
+            None => panic!("codd did not surface {} within budget", bug.name()),
+        }
+    }
+}
+
+/// The umbrella crate re-exports all three libraries.
+#[test]
+fn umbrella_reexports_work() {
+    let _db = coddtest_suite::coddb::Database::new(coddtest_suite::coddb::Dialect::Sqlite);
+    let _cfg = coddtest_suite::sqlgen::GenConfig::default();
+    assert!(coddtest_suite::coddtest::make_oracle("codd").is_some());
+}

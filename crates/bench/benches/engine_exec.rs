@@ -1,55 +1,42 @@
 //! Criterion micro-benchmark: CoddDB query execution across operator
 //! classes (the paper's observation that subquery-bearing queries cost
-//! ~7x expression-only queries is the target shape).
+//! ~7x expression-only queries is the target shape), plus the
+//! `bind_vs_walk` comparison of the bind-once pipeline against the
+//! per-row rebinding baseline on the same query shapes.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use coddb::{Database, Dialect};
-
-fn setup() -> Database {
-    let mut db = Database::new(Dialect::Sqlite);
-    db.execute_sql("CREATE TABLE t0 (c0 INT, c1 TEXT, c2 REAL)").unwrap();
-    db.execute_sql("CREATE TABLE t1 (c0 INT, c1 TEXT)").unwrap();
-    db.execute_sql("CREATE INDEX i0 ON t0 (c0)").unwrap();
-    for chunk in 0..4 {
-        let rows: Vec<String> = (0..50)
-            .map(|i| {
-                let v = chunk * 50 + i;
-                format!("({v}, 'r{v}', {v}.5)")
-            })
-            .collect();
-        db.execute_sql(&format!("INSERT INTO t0 VALUES {}", rows.join(","))).unwrap();
-    }
-    let rows: Vec<String> = (0..40).map(|i| format!("({i}, 'x{i}')")).collect();
-    db.execute_sql(&format!("INSERT INTO t1 VALUES {}", rows.join(","))).unwrap();
-    db
-}
+use coddb::BindMode;
+use coddtest_bench::{engine_setup as setup, QUERY_SHAPES};
 
 fn bench_engine(c: &mut Criterion) {
     let mut db = setup();
-    let cases: &[(&str, &str)] = &[
-        ("seq_filter", "SELECT COUNT(*) FROM t0 WHERE c0 % 3 = 1 AND c2 > 10.0"),
-        ("index_probe", "SELECT COUNT(*) FROM t0 WHERE c0 > 150"),
-        ("join", "SELECT COUNT(*) FROM t0 INNER JOIN t1 ON t0.c0 = t1.c0"),
-        ("group_agg", "SELECT c0 % 7, COUNT(*), AVG(c2) FROM t0 GROUP BY c0 % 7"),
-        (
-            "subquery_correlated",
-            "SELECT COUNT(*) FROM t1 WHERE t1.c0 < \
-             (SELECT AVG(t0.c0) FROM t0 WHERE t0.c0 = t1.c0)",
-        ),
-        (
-            "subquery_noncorrelated",
-            "SELECT COUNT(*) FROM t0 WHERE c0 IN (SELECT c0 FROM t1 WHERE c0 > 5)",
-        ),
-        ("set_op", "SELECT c0 FROM t0 WHERE c0 < 30 UNION SELECT c0 FROM t1"),
-    ];
     let mut group = c.benchmark_group("engine_exec");
-    for (name, sql) in cases {
+    for (name, sql) in QUERY_SHAPES {
         let q = coddb::parser::parse_select(sql).unwrap();
-        group.bench_function(*name, |b| b.iter(|| std::hint::black_box(db.query(&q).unwrap())));
+        group.bench_function(*name, |b| {
+            b.iter(|| std::hint::black_box(db.query(&q).unwrap()))
+        });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_engine);
+/// Bind-once pipeline vs. the per-row rebinding (tree-walking) baseline
+/// on identical machinery — the speedup the binding pass buys.
+fn bench_bind_vs_walk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bind_vs_walk");
+    for (name, sql) in QUERY_SHAPES {
+        let q = coddb::parser::parse_select(sql).unwrap();
+        for (mode, label) in [(BindMode::PerQuery, "bound"), (BindMode::PerRow, "walk")] {
+            let mut db = setup();
+            db.set_bind_mode(mode);
+            group.bench_with_input(BenchmarkId::new(*name, label), &q, |b, q| {
+                b.iter(|| std::hint::black_box(db.query(q).unwrap()))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine, bench_bind_vs_walk);
 criterion_main!(benches);

@@ -12,7 +12,15 @@ use sqlgen::GenConfig;
 
 fn bench_oracles(c: &mut Criterion) {
     let mut group = c.benchmark_group("oracle_one_test");
-    for name in ["codd", "codd-expression", "codd-subquery", "norec", "tlp", "dqe", "eet"] {
+    for name in [
+        "codd",
+        "codd-expression",
+        "codd-subquery",
+        "norec",
+        "tlp",
+        "dqe",
+        "eet",
+    ] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, name| {
             // Fixed state, fresh rng stream per iteration batch.
             let mut rng = StdRng::seed_from_u64(42);

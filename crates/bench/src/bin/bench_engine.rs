@@ -1,0 +1,84 @@
+//! Perf-trajectory runner: times the engine benchmark shapes in both
+//! bind modes and writes `BENCH_engine.json` so successive PRs can track
+//! the execution pipeline's speed (and the bind-once speedup) over time.
+//!
+//! Run with: `cargo run --release -p coddtest-bench --bin bench_engine`
+//! (optionally `-- --out <path>`).
+
+use std::time::{Duration, Instant};
+
+use coddb::ast::Select;
+use coddb::{BindMode, Database};
+use coddtest_bench::{engine_setup as setup, QUERY_SHAPES};
+
+/// Median-of-runs ns/iter: warm up, then take the median of several
+/// fixed-duration measurement windows (robust against scheduler noise).
+fn measure(db: &mut Database, q: &Select) -> f64 {
+    const WARMUP: Duration = Duration::from_millis(60);
+    const WINDOW: Duration = Duration::from_millis(120);
+    const RUNS: usize = 5;
+
+    let warm_start = Instant::now();
+    let mut warm_iters = 0u64;
+    while warm_start.elapsed() < WARMUP {
+        std::hint::black_box(db.query(q).unwrap());
+        warm_iters += 1;
+    }
+    let per_iter = (WARMUP.as_nanos() as u64 / warm_iters.max(1)).max(1);
+    let batch = (200_000 / per_iter).clamp(1, 5_000);
+
+    let mut samples = Vec::with_capacity(RUNS);
+    for _ in 0..RUNS {
+        let mut iters = 0u64;
+        let start = Instant::now();
+        while start.elapsed() < WINDOW {
+            for _ in 0..batch {
+                std::hint::black_box(db.query(q).unwrap());
+            }
+            iters += batch;
+        }
+        samples.push(start.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[RUNS / 2]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_engine.json")
+        .to_string();
+
+    let mut entries = Vec::new();
+    for (name, sql) in QUERY_SHAPES {
+        let q = coddb::parser::parse_select(sql).unwrap();
+
+        let mut bound_db = setup();
+        bound_db.set_bind_mode(BindMode::PerQuery);
+        let bound_ns = measure(&mut bound_db, &q);
+
+        let mut walk_db = setup();
+        walk_db.set_bind_mode(BindMode::PerRow);
+        let walk_ns = measure(&mut walk_db, &q);
+
+        let speedup = walk_ns / bound_ns;
+        println!(
+            "{name:<24} bound {bound_ns:>12.0} ns/iter   walk {walk_ns:>12.0} ns/iter   speedup {speedup:>5.2}x"
+        );
+        entries.push(format!(
+            "    {:?}: {{\n      \"bound_ns_per_iter\": {:.0},\n      \"walk_ns_per_iter\": {:.0},\n      \"speedup\": {:.2}\n    }}",
+            name, bound_ns, walk_ns, speedup
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"engine_exec bind_vs_walk\",\n  \"unit\": \"ns/iter\",\n  \"shapes\": {{\n{}\n  }}\n}}\n",
+        entries.join(",\n")
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_engine.json");
+    println!("wrote {out_path}");
+}

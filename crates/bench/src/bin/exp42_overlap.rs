@@ -53,7 +53,12 @@ fn main() {
     for (i, name) in oracles.iter().enumerate() {
         let exclusive = found[i]
             .iter()
-            .filter(|b| found.iter().enumerate().all(|(j, s)| j == i || !s.contains(*b)))
+            .filter(|b| {
+                found
+                    .iter()
+                    .enumerate()
+                    .all(|(j, s)| j == i || !s.contains(*b))
+            })
             .count();
         table.row(&[
             name.to_string(),

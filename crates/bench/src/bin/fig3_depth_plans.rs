@@ -21,7 +21,11 @@ fn main() {
     println!("# Figure 3 — MaxDepth vs unique query plans");
     println!("# CODDTest & Expression, fixed wall-time emulated by plans/second\n");
 
-    let mut table = Table::new(&["MaxDepth", "plans per {budget} tests", "plans/s (fixed time)"]);
+    let mut table = Table::new(&[
+        "MaxDepth",
+        "plans per {budget} tests",
+        "plans/s (fixed time)",
+    ]);
     for depth in 1..=15u32 {
         let gen = GenConfig {
             allow_subqueries: false,

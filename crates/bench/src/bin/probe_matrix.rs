@@ -10,7 +10,10 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(2000);
     let oracles = ["codd", "norec", "tlp", "dqe"];
-    println!("{:<42} {:>8} {:>8} {:>8} {:>8}  expected", "bug", "codd", "norec", "tlp", "dqe");
+    println!(
+        "{:<42} {:>8} {:>8} {:>8} {:>8}  expected",
+        "bug", "codd", "norec", "tlp", "dqe"
+    );
     for bug in BugId::logic_bugs() {
         print!("{:<42}", bug.name());
         for oracle in oracles {

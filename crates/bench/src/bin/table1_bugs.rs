@@ -33,7 +33,13 @@ fn main() {
     println!("# campaign budget: {budget} tests per dialect, seed {seed}\n");
 
     let mut table = Table::new(&[
-        "DBMS", "logic", "internal", "crash", "hang", "total", "paper (L/I/C/H)",
+        "DBMS",
+        "logic",
+        "internal",
+        "crash",
+        "hang",
+        "total",
+        "paper (L/I/C/H)",
     ]);
     let mut grand_total = 0usize;
 
@@ -69,9 +75,17 @@ fn main() {
         ]);
 
         // Per-dialect detail: which mutants were uncovered.
-        eprintln!("{dialect}: {} findings, {} unique mutants", result.findings.len(), unique.len());
+        eprintln!(
+            "{dialect}: {} findings, {} unique mutants",
+            result.findings.len(),
+            unique.len()
+        );
         for b in BugId::for_dialect(dialect) {
-            let mark = if unique.contains(&b) { "found " } else { "MISSED" };
+            let mark = if unique.contains(&b) {
+                "found "
+            } else {
+                "MISSED"
+            };
             eprintln!("  [{mark}] {:<40} {}", b.name(), b.description());
         }
     }

@@ -44,7 +44,11 @@ fn main() {
 
     let mut bug_reports = Vec::new();
     for (name, paper_qpt, paper_plans, paper_cov) in paper {
-        let cfg = CampaignConfig { tests: budget, seed, ..CampaignConfig::new(Dialect::Sqlite) };
+        let cfg = CampaignConfig {
+            tests: budget,
+            seed,
+            ..CampaignConfig::new(Dialect::Sqlite)
+        };
         let mut oracle = coddtest::make_oracle(name).expect("oracle");
         let result = run_campaign(oracle.as_mut(), &cfg);
         if !result.findings.is_empty() {

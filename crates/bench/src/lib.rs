@@ -6,6 +6,64 @@
 //! side by side, so EXPERIMENTS.md can record paper-vs-measured shape
 //! comparisons directly from their output.
 
+use coddb::{Database, Dialect};
+
+/// The engine benchmark query shapes, shared by the `engine_exec` /
+/// `bind_vs_walk` criterion benches and the `bench_engine` runner that
+/// records the checked-in perf trajectory (`BENCH_engine.json`) — one
+/// definition so the trajectory stays comparable across PRs.
+pub const QUERY_SHAPES: &[(&str, &str)] = &[
+    (
+        "seq_filter",
+        "SELECT COUNT(*) FROM t0 WHERE c0 % 3 = 1 AND c2 > 10.0",
+    ),
+    ("index_probe", "SELECT COUNT(*) FROM t0 WHERE c0 > 150"),
+    (
+        "join",
+        "SELECT COUNT(*) FROM t0 INNER JOIN t1 ON t0.c0 = t1.c0",
+    ),
+    (
+        "group_agg",
+        "SELECT c0 % 7, COUNT(*), AVG(c2) FROM t0 GROUP BY c0 % 7",
+    ),
+    (
+        "subquery_correlated",
+        "SELECT COUNT(*) FROM t1 WHERE t1.c0 < \
+         (SELECT AVG(t0.c0) FROM t0 WHERE t0.c0 = t1.c0)",
+    ),
+    (
+        "subquery_noncorrelated",
+        "SELECT COUNT(*) FROM t0 WHERE c0 IN (SELECT c0 FROM t1 WHERE c0 > 5)",
+    ),
+    (
+        "set_op",
+        "SELECT c0 FROM t0 WHERE c0 < 30 UNION SELECT c0 FROM t1",
+    ),
+];
+
+/// The database state the engine benchmark shapes run against.
+pub fn engine_setup() -> Database {
+    let mut db = Database::new(Dialect::Sqlite);
+    db.execute_sql("CREATE TABLE t0 (c0 INT, c1 TEXT, c2 REAL)")
+        .unwrap();
+    db.execute_sql("CREATE TABLE t1 (c0 INT, c1 TEXT)").unwrap();
+    db.execute_sql("CREATE INDEX i0 ON t0 (c0)").unwrap();
+    for chunk in 0..4 {
+        let rows: Vec<String> = (0..50)
+            .map(|i| {
+                let v = chunk * 50 + i;
+                format!("({v}, 'r{v}', {v}.5)")
+            })
+            .collect();
+        db.execute_sql(&format!("INSERT INTO t0 VALUES {}", rows.join(",")))
+            .unwrap();
+    }
+    let rows: Vec<String> = (0..40).map(|i| format!("({i}, 'x{i}')")).collect();
+    db.execute_sql(&format!("INSERT INTO t1 VALUES {}", rows.join(",")))
+        .unwrap();
+    db
+}
+
 /// Parse `--budget N` / first positional integer from argv, with default.
 pub fn arg_budget(default: u64) -> u64 {
     let args: Vec<String> = std::env::args().collect();
@@ -40,7 +98,10 @@ pub struct Table {
 
 impl Table {
     pub fn new(headers: &[&str]) -> Self {
-        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     pub fn row(&mut self, cells: &[String]) {

@@ -76,25 +76,59 @@ impl fmt::Display for Expr {
             Expr::Column(c) => write!(f, "{c}"),
             Expr::Unary { op, expr } => write!(f, "({op}{expr})"),
             Expr::Binary { op, left, right } => write!(f, "({left} {op} {right})"),
-            Expr::Between { expr, low, high, negated } => {
-                write!(f, "({expr} {}BETWEEN {low} AND {high})", if *negated { "NOT " } else { "" })
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
+                write!(
+                    f,
+                    "({expr} {}BETWEEN {low} AND {high})",
+                    if *negated { "NOT " } else { "" }
+                )
             }
-            Expr::InList { expr, list, negated } => {
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
                 write!(f, "({expr} {}IN (", if *negated { "NOT " } else { "" })?;
                 join_exprs(f, list)?;
                 f.write_str("))")
             }
-            Expr::InSubquery { expr, query, negated } => {
-                write!(f, "({expr} {}IN ({query}))", if *negated { "NOT " } else { "" })
+            Expr::InSubquery {
+                expr,
+                query,
+                negated,
+            } => {
+                write!(
+                    f,
+                    "({expr} {}IN ({query}))",
+                    if *negated { "NOT " } else { "" }
+                )
             }
             Expr::Exists { query, negated } => {
-                write!(f, "({}EXISTS ({query}))", if *negated { "NOT " } else { "" })
+                write!(
+                    f,
+                    "({}EXISTS ({query}))",
+                    if *negated { "NOT " } else { "" }
+                )
             }
             Expr::Scalar(query) => write!(f, "({query})"),
-            Expr::Quantified { op, quantifier, expr, query } => {
+            Expr::Quantified {
+                op,
+                quantifier,
+                expr,
+                query,
+            } => {
                 write!(f, "({expr} {op} {quantifier} ({query}))")
             }
-            Expr::Case { operand, whens, else_expr } => {
+            Expr::Case {
+                operand,
+                whens,
+                else_expr,
+            } => {
                 f.write_str("(CASE")?;
                 if let Some(op) = operand {
                     write!(f, " {op}")?;
@@ -112,7 +146,11 @@ impl fmt::Display for Expr {
                 join_exprs(f, args)?;
                 f.write_str(")")
             }
-            Expr::Agg { func, arg, distinct } => {
+            Expr::Agg {
+                func,
+                arg,
+                distinct,
+            } => {
                 if *func == AggFunc::CountStar {
                     return f.write_str("COUNT(*)");
                 }
@@ -129,8 +167,16 @@ impl fmt::Display for Expr {
             Expr::IsNull { expr, negated } => {
                 write!(f, "({expr} IS {}NULL)", if *negated { "NOT " } else { "" })
             }
-            Expr::Like { expr, pattern, negated } => {
-                write!(f, "({expr} {}LIKE {pattern})", if *negated { "NOT " } else { "" })
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
+                write!(
+                    f,
+                    "({expr} {}LIKE {pattern})",
+                    if *negated { "NOT " } else { "" }
+                )
             }
         }
     }
@@ -162,7 +208,11 @@ impl fmt::Display for SelectItem {
 impl fmt::Display for TableExpr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TableExpr::Named { name, alias, indexed_by } => {
+            TableExpr::Named {
+                name,
+                alias,
+                indexed_by,
+            } => {
                 f.write_str(name)?;
                 if let Some(a) = alias {
                     write!(f, " AS {a}")?;
@@ -173,7 +223,11 @@ impl fmt::Display for TableExpr {
                 Ok(())
             }
             TableExpr::Derived { query, alias } => write!(f, "({query}) AS {alias}"),
-            TableExpr::Values { rows, alias, columns } => {
+            TableExpr::Values {
+                rows,
+                alias,
+                columns,
+            } => {
                 f.write_str("(VALUES ")?;
                 write_value_rows(f, rows)?;
                 write!(f, ") AS {alias}")?;
@@ -182,7 +236,12 @@ impl fmt::Display for TableExpr {
                 }
                 Ok(())
             }
-            TableExpr::Join { left, right, kind, on } => {
+            TableExpr::Join {
+                left,
+                right,
+                kind,
+                on,
+            } => {
                 write!(f, "{left} {} {right}", kind.sql_name())?;
                 if let Some(on) = on {
                     write!(f, " ON {on}")?;
@@ -248,8 +307,18 @@ impl fmt::Display for SelectBody {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SelectBody::Core(core) => write!(f, "{core}"),
-            SelectBody::SetOp { op, all, left, right } => {
-                write!(f, "{left} {}{} {right}", op.sql_name(), if *all { " ALL" } else { "" })
+            SelectBody::SetOp {
+                op,
+                all,
+                left,
+                right,
+            } => {
+                write!(
+                    f,
+                    "{left} {}{} {right}",
+                    op.sql_name(),
+                    if *all { " ALL" } else { "" }
+                )
             }
             SelectBody::Values(rows) => {
                 f.write_str("VALUES ")?;
@@ -310,7 +379,11 @@ impl fmt::Display for JoinKind {
 impl fmt::Display for Statement {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Statement::CreateTable { name, columns, if_not_exists } => {
+            Statement::CreateTable {
+                name,
+                columns,
+                if_not_exists,
+            } => {
                 write!(
                     f,
                     "CREATE TABLE {}{name} (",
@@ -331,23 +404,40 @@ impl fmt::Display for Statement {
                 f.write_str(")")
             }
             Statement::DropTable { name, if_exists } => {
-                write!(f, "DROP TABLE {}{name}", if *if_exists { "IF EXISTS " } else { "" })
+                write!(
+                    f,
+                    "DROP TABLE {}{name}",
+                    if *if_exists { "IF EXISTS " } else { "" }
+                )
             }
-            Statement::CreateView { name, columns, query } => {
+            Statement::CreateView {
+                name,
+                columns,
+                query,
+            } => {
                 write!(f, "CREATE VIEW {name}")?;
                 if !columns.is_empty() {
                     write!(f, " ({})", columns.join(", "))?;
                 }
                 write!(f, " AS {query}")
             }
-            Statement::CreateIndex { name, table, expr, unique } => {
+            Statement::CreateIndex {
+                name,
+                table,
+                expr,
+                unique,
+            } => {
                 write!(
                     f,
                     "CREATE {}INDEX {name} ON {table} ({expr})",
                     if *unique { "UNIQUE " } else { "" }
                 )
             }
-            Statement::Insert { table, columns, source } => {
+            Statement::Insert {
+                table,
+                columns,
+                source,
+            } => {
                 write!(f, "INSERT INTO {table}")?;
                 if !columns.is_empty() {
                     write!(f, " ({})", columns.join(", "))?;
@@ -360,7 +450,11 @@ impl fmt::Display for Statement {
                     InsertSource::Query(q) => write!(f, " {q}"),
                 }
             }
-            Statement::Update { table, sets, where_clause } => {
+            Statement::Update {
+                table,
+                sets,
+                where_clause,
+            } => {
                 write!(f, "UPDATE {table} SET ")?;
                 for (i, (c, e)) in sets.iter().enumerate() {
                     if i > 0 {
@@ -373,7 +467,10 @@ impl fmt::Display for Statement {
                 }
                 Ok(())
             }
-            Statement::Delete { table, where_clause } => {
+            Statement::Delete {
+                table,
+                where_clause,
+            } => {
                 write!(f, "DELETE FROM {table}")?;
                 if let Some(w) = where_clause {
                     write!(f, " WHERE {w}")?;
@@ -395,7 +492,10 @@ mod tests {
     fn renders_listing1_style_query() {
         // SELECT COUNT(*) FROM t0 WHERE (...)
         let subq = Select::from_core(SelectCore {
-            items: vec![SelectItem::Expr { expr: Expr::count_star(), alias: None }],
+            items: vec![SelectItem::Expr {
+                expr: Expr::count_star(),
+                alias: None,
+            }],
             from: Some(TableExpr::named("v0")),
             where_clause: Some(Expr::Between {
                 expr: Box::new(Expr::col("v0", "c0")),
@@ -406,7 +506,10 @@ mod tests {
             ..SelectCore::default()
         });
         let outer = Select::from_core(SelectCore {
-            items: vec![SelectItem::Expr { expr: Expr::count_star(), alias: None }],
+            items: vec![SelectItem::Expr {
+                expr: Expr::count_star(),
+                alias: None,
+            }],
             from: Some(TableExpr::Named {
                 name: "t0".into(),
                 alias: None,
@@ -427,10 +530,16 @@ mod tests {
     fn renders_case_mapping() {
         let case = Expr::Case {
             operand: None,
-            whens: vec![(Expr::eq(Expr::col("t0", "c0"), Expr::lit(-1i64)), Expr::lit(0i64))],
+            whens: vec![(
+                Expr::eq(Expr::col("t0", "c0"), Expr::lit(-1i64)),
+                Expr::lit(0i64),
+            )],
             else_expr: Some(Box::new(Expr::lit(1i64))),
         };
-        assert_eq!(case.to_string(), "(CASE WHEN (t0.c0 = -1) THEN 0 ELSE 1 END)");
+        assert_eq!(
+            case.to_string(),
+            "(CASE WHEN (t0.c0 = -1) THEN 0 ELSE 1 END)"
+        );
     }
 
     #[test]
@@ -468,7 +577,10 @@ mod tests {
             where_clause: Some(Expr::is_null(Expr::bare_col("c1"))),
         };
         assert_eq!(stmt.to_string(), "UPDATE t0 SET c0 = 5 WHERE (c1 IS NULL)");
-        let del = Statement::Delete { table: "t0".into(), where_clause: None };
+        let del = Statement::Delete {
+            table: "t0".into(),
+            where_clause: None,
+        };
         assert_eq!(del.to_string(), "DELETE FROM t0");
     }
 }

@@ -21,10 +21,16 @@ pub struct ColumnRef {
 
 impl ColumnRef {
     pub fn new(table: impl Into<String>, column: impl Into<String>) -> Self {
-        ColumnRef { table: Some(table.into()), column: column.into() }
+        ColumnRef {
+            table: Some(table.into()),
+            column: column.into(),
+        }
     }
     pub fn bare(column: impl Into<String>) -> Self {
-        ColumnRef { table: None, column: column.into() }
+        ColumnRef {
+            table: None,
+            column: column.into(),
+        }
     }
 }
 
@@ -274,7 +280,11 @@ impl Expr {
         Expr::Column(ColumnRef::bare(column))
     }
     pub fn bin(op: BinaryOp, left: Expr, right: Expr) -> Expr {
-        Expr::Binary { op, left: Box::new(left), right: Box::new(right) }
+        Expr::Binary {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
     }
     pub fn and(left: Expr, right: Expr) -> Expr {
         Expr::bin(BinaryOp::And, left, right)
@@ -285,14 +295,25 @@ impl Expr {
     pub fn eq(left: Expr, right: Expr) -> Expr {
         Expr::bin(BinaryOp::Eq, left, right)
     }
+    #[allow(clippy::should_implement_trait)] // SQL NOT, not std::ops::Not
     pub fn not(expr: Expr) -> Expr {
-        Expr::Unary { op: UnaryOp::Not, expr: Box::new(expr) }
+        Expr::Unary {
+            op: UnaryOp::Not,
+            expr: Box::new(expr),
+        }
     }
     pub fn is_null(expr: Expr) -> Expr {
-        Expr::IsNull { expr: Box::new(expr), negated: false }
+        Expr::IsNull {
+            expr: Box::new(expr),
+            negated: false,
+        }
     }
     pub fn count_star() -> Expr {
-        Expr::Agg { func: AggFunc::CountStar, arg: None, distinct: false }
+        Expr::Agg {
+            func: AggFunc::CountStar,
+            arg: None,
+            distinct: false,
+        }
     }
 
     /// Does this expression tree contain an aggregate call (outside of
@@ -330,9 +351,14 @@ impl Expr {
         let mut constant = true;
         visit::walk_expr_deep(self, &mut |e| match e {
             Expr::Column(_) | Expr::Agg { .. } => constant = false,
-            Expr::Scalar(_) | Expr::Exists { .. } | Expr::InSubquery { .. }
+            Expr::Scalar(_)
+            | Expr::Exists { .. }
+            | Expr::InSubquery { .. }
             | Expr::Quantified { .. } => constant = false,
-            Expr::Func { func: FuncName::Version, .. } => {
+            Expr::Func {
+                func: FuncName::Version,
+                ..
+            } => {
                 // VERSION() is constant per-session but we treat it as
                 // opaque so the planner never folds it (mirrors MySQL
                 // marking it non-deterministic for caching purposes).
@@ -407,22 +433,43 @@ impl JoinKind {
 #[derive(Debug, Clone, PartialEq)]
 pub enum TableExpr {
     /// A named table, view or CTE reference.
-    Named { name: String, alias: Option<String>, indexed_by: Option<String> },
+    Named {
+        name: String,
+        alias: Option<String>,
+        indexed_by: Option<String>,
+    },
     /// `(SELECT ...) AS alias`.
     Derived { query: Box<Select>, alias: String },
     /// `(VALUES (...), (...)) AS alias (c0, c1)` — a table value
     /// constructor, the folded-relation shape of §3.4.
-    Values { rows: Vec<Vec<Expr>>, alias: String, columns: Vec<String> },
+    Values {
+        rows: Vec<Vec<Expr>>,
+        alias: String,
+        columns: Vec<String>,
+    },
     /// A join of two table expressions.
-    Join { left: Box<TableExpr>, right: Box<TableExpr>, kind: JoinKind, on: Option<Expr> },
+    Join {
+        left: Box<TableExpr>,
+        right: Box<TableExpr>,
+        kind: JoinKind,
+        on: Option<Expr>,
+    },
 }
 
 impl TableExpr {
     pub fn named(name: impl Into<String>) -> TableExpr {
-        TableExpr::Named { name: name.into(), alias: None, indexed_by: None }
+        TableExpr::Named {
+            name: name.into(),
+            alias: None,
+            indexed_by: None,
+        }
     }
     pub fn aliased(name: impl Into<String>, alias: impl Into<String>) -> TableExpr {
-        TableExpr::Named { name: name.into(), alias: Some(alias.into()), indexed_by: None }
+        TableExpr::Named {
+            name: name.into(),
+            alias: Some(alias.into()),
+            indexed_by: None,
+        }
     }
 }
 
@@ -454,10 +501,16 @@ impl SetOp {
 
 /// Body of a select: a plain core, a set operation, or a bare `VALUES`
 /// list (usable as a CTE body or derived table).
+#[allow(clippy::large_enum_variant)] // Core dominates; bodies are built once
 #[derive(Debug, Clone, PartialEq)]
 pub enum SelectBody {
     Core(SelectCore),
-    SetOp { op: SetOp, all: bool, left: Box<SelectBody>, right: Box<SelectBody> },
+    SetOp {
+        op: SetOp,
+        all: bool,
+        left: Box<SelectBody>,
+        right: Box<SelectBody>,
+    },
     Values(Vec<Vec<Expr>>),
 }
 
@@ -527,6 +580,7 @@ pub struct ColumnDef {
 }
 
 /// Source of an `INSERT`.
+#[allow(clippy::large_enum_variant)] // statements are built once, not stored in bulk
 #[derive(Debug, Clone, PartialEq)]
 pub enum InsertSource {
     Values(Vec<Vec<Expr>>),
@@ -534,15 +588,43 @@ pub enum InsertSource {
 }
 
 /// Top-level SQL statements.
+#[allow(clippy::large_enum_variant)] // statements are built once, not stored in bulk
 #[derive(Debug, Clone, PartialEq)]
 pub enum Statement {
-    CreateTable { name: String, columns: Vec<ColumnDef>, if_not_exists: bool },
-    DropTable { name: String, if_exists: bool },
-    CreateView { name: String, columns: Vec<String>, query: Select },
-    CreateIndex { name: String, table: String, expr: Expr, unique: bool },
-    Insert { table: String, columns: Vec<String>, source: InsertSource },
-    Update { table: String, sets: Vec<(String, Expr)>, where_clause: Option<Expr> },
-    Delete { table: String, where_clause: Option<Expr> },
+    CreateTable {
+        name: String,
+        columns: Vec<ColumnDef>,
+        if_not_exists: bool,
+    },
+    DropTable {
+        name: String,
+        if_exists: bool,
+    },
+    CreateView {
+        name: String,
+        columns: Vec<String>,
+        query: Select,
+    },
+    CreateIndex {
+        name: String,
+        table: String,
+        expr: Expr,
+        unique: bool,
+    },
+    Insert {
+        table: String,
+        columns: Vec<String>,
+        source: InsertSource,
+    },
+    Update {
+        table: String,
+        sets: Vec<(String, Expr)>,
+        where_clause: Option<Expr>,
+    },
+    Delete {
+        table: String,
+        where_clause: Option<Expr>,
+    },
     Select(Select),
 }
 
@@ -556,16 +638,24 @@ mod tests {
 
     #[test]
     fn constructors_build_expected_shapes() {
-        let e = Expr::and(Expr::eq(Expr::col("t", "c"), Expr::lit(1i64)), Expr::lit(true));
+        let e = Expr::and(
+            Expr::eq(Expr::col("t", "c"), Expr::lit(1i64)),
+            Expr::lit(true),
+        );
         match e {
-            Expr::Binary { op: BinaryOp::And, .. } => {}
+            Expr::Binary {
+                op: BinaryOp::And, ..
+            } => {}
             other => panic!("unexpected {other:?}"),
         }
     }
 
     #[test]
     fn contains_subquery_sees_nested() {
-        let e = Expr::not(Expr::Exists { query: Box::new(subq()), negated: false });
+        let e = Expr::not(Expr::Exists {
+            query: Box::new(subq()),
+            negated: false,
+        });
         assert!(e.contains_subquery());
         assert!(!Expr::lit(1i64).contains_subquery());
     }
@@ -575,7 +665,11 @@ mod tests {
         assert!(Expr::bin(BinaryOp::Add, Expr::lit(1i64), Expr::lit(2i64)).is_constant());
         assert!(!Expr::col("t", "c").is_constant());
         assert!(!Expr::Scalar(Box::new(subq())).is_constant());
-        assert!(!Expr::Func { func: FuncName::Version, args: vec![] }.is_constant());
+        assert!(!Expr::Func {
+            func: FuncName::Version,
+            args: vec![]
+        }
+        .is_constant());
     }
 
     #[test]
@@ -583,7 +677,10 @@ mod tests {
         let inner = Select::scalar_probe(Expr::col("inner_t", "x"));
         let e = Expr::and(
             Expr::col("t", "a"),
-            Expr::Exists { query: Box::new(inner), negated: false },
+            Expr::Exists {
+                query: Box::new(inner),
+                negated: false,
+            },
         );
         let refs = e.shallow_column_refs();
         assert_eq!(refs.len(), 1);

@@ -86,7 +86,9 @@ fn walk_table_exprs(te: &TableExpr, f: &mut impl FnMut(&Expr)) {
                 }
             }
         }
-        TableExpr::Join { left, right, on, .. } => {
+        TableExpr::Join {
+            left, right, on, ..
+        } => {
             walk_table_exprs(left, f);
             walk_table_exprs(right, f);
             if let Some(on) = on {
@@ -105,7 +107,9 @@ fn for_each_child(expr: &Expr, f: &mut impl FnMut(&Expr)) {
             f(left);
             f(right);
         }
-        Expr::Between { expr, low, high, .. } => {
+        Expr::Between {
+            expr, low, high, ..
+        } => {
             f(expr);
             f(low);
             f(high);
@@ -120,7 +124,11 @@ fn for_each_child(expr: &Expr, f: &mut impl FnMut(&Expr)) {
         Expr::Exists { .. } => {}
         Expr::Scalar(_) => {}
         Expr::Quantified { expr, .. } => f(expr),
-        Expr::Case { operand, whens, else_expr } => {
+        Expr::Case {
+            operand,
+            whens,
+            else_expr,
+        } => {
             if let Some(op) = operand {
                 f(op);
             }
@@ -248,7 +256,9 @@ fn replace_in_table(te: &mut TableExpr, target: &Expr, replacement: &Expr) -> us
             .flat_map(|row| row.iter_mut())
             .map(|e| replace_in_expr(e, target, replacement))
             .sum(),
-        TableExpr::Join { left, right, on, .. } => {
+        TableExpr::Join {
+            left, right, on, ..
+        } => {
             let mut count = replace_in_table(left, target, replacement)
                 + replace_in_table(right, target, replacement);
             if let Some(on) = on {
@@ -271,7 +281,9 @@ pub fn replace_in_statement(stmt: &mut Statement, target: &Expr, replacement: &E
                 .sum(),
             InsertSource::Query(q) => replace_in_select(q, target, replacement),
         },
-        Statement::Update { sets, where_clause, .. } => {
+        Statement::Update {
+            sets, where_clause, ..
+        } => {
             let mut count = 0;
             for (_, e) in sets {
                 count += replace_in_expr(e, target, replacement);
@@ -299,7 +311,9 @@ fn for_each_child_mut(expr: &mut Expr, f: &mut impl FnMut(&mut Expr)) {
             f(left);
             f(right);
         }
-        Expr::Between { expr, low, high, .. } => {
+        Expr::Between {
+            expr, low, high, ..
+        } => {
             f(expr);
             f(low);
             f(high);
@@ -314,7 +328,11 @@ fn for_each_child_mut(expr: &mut Expr, f: &mut impl FnMut(&mut Expr)) {
         Expr::Exists { .. } => {}
         Expr::Scalar(_) => {}
         Expr::Quantified { expr, .. } => f(expr),
-        Expr::Case { operand, whens, else_expr } => {
+        Expr::Case {
+            operand,
+            whens,
+            else_expr,
+        } => {
             if let Some(op) = operand {
                 f(op);
             }
@@ -391,7 +409,10 @@ mod tests {
     #[test]
     fn replace_in_statement_reaches_where_clause() {
         let phi = Expr::bin(BinaryOp::Lt, Expr::bare_col("c"), Expr::lit(5i64));
-        let mut stmt = Statement::Delete { table: "t".into(), where_clause: Some(phi.clone()) };
+        let mut stmt = Statement::Delete {
+            table: "t".into(),
+            where_clause: Some(phi.clone()),
+        };
         let n = replace_in_statement(&mut stmt, &phi, &Expr::lit(true));
         assert_eq!(n, 1);
         match stmt {

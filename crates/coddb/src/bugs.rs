@@ -249,26 +249,50 @@ impl BugId {
     pub fn dialect(self) -> Dialect {
         use BugId::*;
         match self {
-            SqliteAggSubqueryIndexedWhere | SqliteExistsJoinOnEmpty | SqliteJoinOnViewLeftTrue
-            | SqliteIndexedCmpNullTrue | SqliteBetweenTextAffinity | SqliteLikeCaseFold
+            SqliteAggSubqueryIndexedWhere
+            | SqliteExistsJoinOnEmpty
+            | SqliteJoinOnViewLeftTrue
+            | SqliteIndexedCmpNullTrue
+            | SqliteBetweenTextAffinity
+            | SqliteLikeCaseFold
             | SqliteInternalConcatIndexedExpr => Dialect::Sqlite,
             MysqlTextIntCompareWhere | MysqlInternalUnionTypeUnify => Dialect::Mysql,
-            CockroachCaseNullFromCte | CockroachAnyNonValuesSubquery | CockroachAvgNestedReverse
-            | CockroachInBigIntValueList | CockroachConstFoldNotBetweenNull
-            | CockroachAndNullTopConjunct | CockroachOrShortCircuitFalse
-            | CockroachInternalNegMod | CockroachInternalFullJoinWildcard
-            | CockroachInternalIntersectNull | CockroachInternalCastTextInt
-            | CockroachHangCteReuse | CockroachHangFullJoinHaving => Dialect::Cockroach,
-            DuckdbSubqueryBoolCoerce | DuckdbCaseSubqueryElse | DuckdbDistinctGroupByDrop
-            | DuckdbPushdownLeftJoin | DuckdbNotLikeTopLevel | DuckdbInternalOverflowAddProj
-            | DuckdbInternalGroupByRealMany | DuckdbCrashIEJoinRange | DuckdbCrashIEJoinTypes
-            | DuckdbHangTripleJoin | DuckdbHangDistinctUnion | DuckdbHangLikePercents => {
-                Dialect::Duckdb
-            }
-            TidbInsertSelectVersion | TidbCorrelatedNameCollision | TidbAvgDistinctNestedZero
-            | TidbInValueListWhere | TidbIsNullTopLevelInverted | TidbInternalLikeEscape
-            | TidbInternalSubstrNegative | TidbInternalRoundHuge | TidbInternalCaseManyWhens
-            | TidbInternalHavingCorrelated | TidbInternalSetOpOrderBy => Dialect::Tidb,
+            CockroachCaseNullFromCte
+            | CockroachAnyNonValuesSubquery
+            | CockroachAvgNestedReverse
+            | CockroachInBigIntValueList
+            | CockroachConstFoldNotBetweenNull
+            | CockroachAndNullTopConjunct
+            | CockroachOrShortCircuitFalse
+            | CockroachInternalNegMod
+            | CockroachInternalFullJoinWildcard
+            | CockroachInternalIntersectNull
+            | CockroachInternalCastTextInt
+            | CockroachHangCteReuse
+            | CockroachHangFullJoinHaving => Dialect::Cockroach,
+            DuckdbSubqueryBoolCoerce
+            | DuckdbCaseSubqueryElse
+            | DuckdbDistinctGroupByDrop
+            | DuckdbPushdownLeftJoin
+            | DuckdbNotLikeTopLevel
+            | DuckdbInternalOverflowAddProj
+            | DuckdbInternalGroupByRealMany
+            | DuckdbCrashIEJoinRange
+            | DuckdbCrashIEJoinTypes
+            | DuckdbHangTripleJoin
+            | DuckdbHangDistinctUnion
+            | DuckdbHangLikePercents => Dialect::Duckdb,
+            TidbInsertSelectVersion
+            | TidbCorrelatedNameCollision
+            | TidbAvgDistinctNestedZero
+            | TidbInValueListWhere
+            | TidbIsNullTopLevelInverted
+            | TidbInternalLikeEscape
+            | TidbInternalSubstrNegative
+            | TidbInternalRoundHuge
+            | TidbInternalCaseManyWhens
+            | TidbInternalHavingCorrelated
+            | TidbInternalSetOpOrderBy => Dialect::Tidb,
         }
     }
 
@@ -291,8 +315,11 @@ impl BugId {
             | TidbInternalHavingCorrelated
             | TidbInternalSetOpOrderBy => BugKind::InternalError,
             DuckdbCrashIEJoinRange | DuckdbCrashIEJoinTypes => BugKind::Crash,
-            CockroachHangCteReuse | CockroachHangFullJoinHaving | DuckdbHangTripleJoin
-            | DuckdbHangDistinctUnion | DuckdbHangLikePercents => BugKind::Hang,
+            CockroachHangCteReuse
+            | CockroachHangFullJoinHaving
+            | DuckdbHangTripleJoin
+            | DuckdbHangDistinctUnion
+            | DuckdbHangLikePercents => BugKind::Hang,
             _ => BugKind::Logic,
         }
     }
@@ -330,25 +357,45 @@ impl BugId {
             SqliteAggSubqueryIndexedWhere => {
                 "aggregate subquery with GROUP BY misevaluated under indexed outer scan (Listing 1)"
             }
-            SqliteExistsJoinOnEmpty => "EXISTS over empty result treated as TRUE in JOIN ON (Listing 8)",
-            SqliteJoinOnViewLeftTrue => "ON predicate over view columns treated as TRUE under outer join",
+            SqliteExistsJoinOnEmpty => {
+                "EXISTS over empty result treated as TRUE in JOIN ON (Listing 8)"
+            }
+            SqliteJoinOnViewLeftTrue => {
+                "ON predicate over view columns treated as TRUE under outer join"
+            }
             SqliteIndexedCmpNullTrue => "NULL comparison keeps row under index scan",
             SqliteBetweenTextAffinity => "BETWEEN on TEXT value wrongly applies numeric affinity",
             SqliteLikeCaseFold => "LIKE matches case-sensitively in SELECT WHERE",
-            SqliteInternalConcatIndexedExpr => "TEXT||REAL inside indexed expression: internal error",
+            SqliteInternalConcatIndexedExpr => {
+                "TEXT||REAL inside indexed expression: internal error"
+            }
             MysqlTextIntCompareWhere => "TEXT vs INT comparison uses byte order in WHERE filters",
             MysqlInternalUnionTypeUnify => "UNION of INT and TEXT: internal type-unification error",
-            CockroachCaseNullFromCte => "CASE WHEN NULL takes THEN branch for CTE-sourced rows (Listing 7)",
-            CockroachAnyNonValuesSubquery => "ANY uses ALL semantics unless operand is a VALUES list",
-            CockroachAvgNestedReverse => "AVG in nested subquery accumulates reversed with f32 rounding",
-            CockroachInBigIntValueList => "IN list with INT8-range literal returns FALSE in SELECT (Listing 9)",
-            CockroachConstFoldNotBetweenNull => "optimizer folds NOT BETWEEN with NULL bound to TRUE",
+            CockroachCaseNullFromCte => {
+                "CASE WHEN NULL takes THEN branch for CTE-sourced rows (Listing 7)"
+            }
+            CockroachAnyNonValuesSubquery => {
+                "ANY uses ALL semantics unless operand is a VALUES list"
+            }
+            CockroachAvgNestedReverse => {
+                "AVG in nested subquery accumulates reversed with f32 rounding"
+            }
+            CockroachInBigIntValueList => {
+                "IN list with INT8-range literal returns FALSE in SELECT (Listing 9)"
+            }
+            CockroachConstFoldNotBetweenNull => {
+                "optimizer folds NOT BETWEEN with NULL bound to TRUE"
+            }
             CockroachAndNullTopConjunct => "top-level AND with NULL arm keeps row in WHERE",
             CockroachOrShortCircuitFalse => "top-level OR with constant FALSE arm drops right arm",
-            CockroachInternalNegMod => "% by negative operand under constant folding: internal error",
+            CockroachInternalNegMod => {
+                "% by negative operand under constant folding: internal error"
+            }
             CockroachInternalFullJoinWildcard => "t.* under FULL OUTER JOIN: internal error",
             CockroachInternalIntersectNull => "INTERSECT over NULL rows: internal error",
-            CockroachInternalCastTextInt => "strict CAST of non-numeric TEXT to INT: internal error",
+            CockroachInternalCastTextInt => {
+                "strict CAST of non-numeric TEXT to INT: internal error"
+            }
             CockroachHangCteReuse => "CTE referenced twice in one FROM: executor loops",
             CockroachHangFullJoinHaving => "FULL JOIN with HAVING: executor loops",
             DuckdbSubqueryBoolCoerce => "scalar subquery result mistyped before comparison",
@@ -356,16 +403,26 @@ impl BugId {
             DuckdbDistinctGroupByDrop => "SELECT DISTINCT with GROUP BY drops last group",
             DuckdbPushdownLeftJoin => "filter pushdown below LEFT JOIN removes padded rows",
             DuckdbNotLikeTopLevel => "top-level NOT LIKE evaluates as LIKE",
-            DuckdbInternalOverflowAddProj => "integer overflow in projection: internal error (Listing 11)",
+            DuckdbInternalOverflowAddProj => {
+                "integer overflow in projection: internal error (Listing 11)"
+            }
             DuckdbInternalGroupByRealMany => "GROUP BY REAL with >2 groups: internal error",
             DuckdbCrashIEJoinRange => "IEJoin with two inequality conditions: crash (index OOB)",
-            DuckdbCrashIEJoinTypes => "IEJoin inequality over mixed INT/REAL: crash (type mismatch)",
+            DuckdbCrashIEJoinTypes => {
+                "IEJoin inequality over mixed INT/REAL: crash (type mismatch)"
+            }
             DuckdbHangTripleJoin => ">=3 chained joins: executor loops",
             DuckdbHangDistinctUnion => "UNION under DISTINCT: executor loops",
             DuckdbHangLikePercents => "LIKE with three consecutive %: matcher loops",
-            TidbInsertSelectVersion => "INSERT..SELECT with VERSION() in WHERE inserts nothing (Listing 6)",
-            TidbCorrelatedNameCollision => "non-correlated subquery with colliding names treated as correlated",
-            TidbAvgDistinctNestedZero => "AVG(DISTINCT) in nested subquery returns 0 for empty input",
+            TidbInsertSelectVersion => {
+                "INSERT..SELECT with VERSION() in WHERE inserts nothing (Listing 6)"
+            }
+            TidbCorrelatedNameCollision => {
+                "non-correlated subquery with colliding names treated as correlated"
+            }
+            TidbAvgDistinctNestedZero => {
+                "AVG(DISTINCT) in nested subquery returns 0 for empty input"
+            }
             TidbInValueListWhere => "top-level IN value list returns FALSE in WHERE (Listing 10)",
             TidbIsNullTopLevelInverted => "top-level IS NULL inverted in WHERE filters",
             TidbInternalLikeEscape => "LIKE pattern ending in escape: internal error",
@@ -379,12 +436,20 @@ impl BugId {
 
     /// All bugs belonging to one dialect profile.
     pub fn for_dialect(dialect: Dialect) -> Vec<BugId> {
-        BugId::ALL.iter().copied().filter(|b| b.dialect() == dialect).collect()
+        BugId::ALL
+            .iter()
+            .copied()
+            .filter(|b| b.dialect() == dialect)
+            .collect()
     }
 
     /// All logic bugs (the 24 the paper's oracle comparison targets).
     pub fn logic_bugs() -> Vec<BugId> {
-        BugId::ALL.iter().copied().filter(|b| b.kind() == BugKind::Logic).collect()
+        BugId::ALL
+            .iter()
+            .copied()
+            .filter(|b| b.kind() == BugKind::Logic)
+            .collect()
     }
 
     /// Short stable identifier, e.g. for report keys.
@@ -499,7 +564,10 @@ mod tests {
     fn table1_counts_match_paper() {
         // Table 1 of the paper: per-DBMS bug counts by category.
         let count = |d: Dialect, k: BugKind| {
-            BugId::ALL.iter().filter(|b| b.dialect() == d && b.kind() == k).count()
+            BugId::ALL
+                .iter()
+                .filter(|b| b.dialect() == d && b.kind() == k)
+                .count()
         };
         assert_eq!(count(Dialect::Sqlite, BugKind::Logic), 6);
         assert_eq!(count(Dialect::Sqlite, BugKind::InternalError), 1);
@@ -523,12 +591,18 @@ mod tests {
         // Table 2: NoREC 11, TLP 12, DQE 4, only-CODDTest 11.
         let logic = BugId::logic_bugs();
         let by = |o: BaselineOracle| {
-            logic.iter().filter(|b| b.baseline_detectable().contains(&o)).count()
+            logic
+                .iter()
+                .filter(|b| b.baseline_detectable().contains(&o))
+                .count()
         };
         assert_eq!(by(BaselineOracle::NoRec), 11, "NoREC-detectable");
         assert_eq!(by(BaselineOracle::Tlp), 12, "TLP-detectable");
         assert_eq!(by(BaselineOracle::Dqe), 4, "DQE-detectable");
-        let only_codd = logic.iter().filter(|b| b.baseline_detectable().is_empty()).count();
+        let only_codd = logic
+            .iter()
+            .filter(|b| b.baseline_detectable().is_empty())
+            .count();
         assert_eq!(only_codd, 11, "only-CODDTest");
     }
 

@@ -22,7 +22,9 @@ pub struct TableDef {
 
 impl TableDef {
     pub fn column_index(&self, column: &str) -> Option<usize> {
-        self.columns.iter().position(|c| c.name.eq_ignore_ascii_case(column))
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(column))
     }
 
     pub fn column_names(&self) -> Vec<String> {
@@ -88,7 +90,9 @@ impl Catalog {
             return Err(Error::Catalog(format!("table {name} already exists")));
         }
         if columns.is_empty() {
-            return Err(Error::Catalog(format!("table {name} must have at least one column")));
+            return Err(Error::Catalog(format!(
+                "table {name} must have at least one column"
+            )));
         }
         let mut seen = std::collections::BTreeSet::new();
         for c in &columns {
@@ -99,7 +103,14 @@ impl Catalog {
                 )));
             }
         }
-        self.tables.insert(k, TableDef { name: name.to_string(), columns, rows: Vec::new() });
+        self.tables.insert(
+            k,
+            TableDef {
+                name: name.to_string(),
+                columns,
+                rows: Vec::new(),
+            },
+        );
         Ok(())
     }
 
@@ -112,7 +123,8 @@ impl Catalog {
             return Err(Error::Catalog(format!("no such table: {name}")));
         }
         // Indexes on the dropped table disappear with it.
-        self.indexes.retain(|_, idx| !idx.table.eq_ignore_ascii_case(name));
+        self.indexes
+            .retain(|_, idx| !idx.table.eq_ignore_ascii_case(name));
         Ok(())
     }
 
@@ -143,7 +155,14 @@ impl Catalog {
         if self.tables.contains_key(&k) || self.views.contains_key(&k) {
             return Err(Error::Catalog(format!("relation {name} already exists")));
         }
-        self.views.insert(k, ViewDef { name: name.to_string(), columns, query });
+        self.views.insert(
+            k,
+            ViewDef {
+                name: name.to_string(),
+                columns,
+                query,
+            },
+        );
         Ok(())
     }
 
@@ -157,7 +176,13 @@ impl Catalog {
 
     // --- indexes --------------------------------------------------------
 
-    pub fn create_index(&mut self, name: &str, table: &str, expr: Expr, unique: bool) -> Result<()> {
+    pub fn create_index(
+        &mut self,
+        name: &str,
+        table: &str,
+        expr: Expr,
+        unique: bool,
+    ) -> Result<()> {
         let k = key(name);
         if self.indexes.contains_key(&k) {
             return Err(Error::Catalog(format!("index {name} already exists")));
@@ -165,7 +190,12 @@ impl Catalog {
         self.table(table)?;
         self.indexes.insert(
             k,
-            IndexDef { name: name.to_string(), table: table.to_string(), expr, unique },
+            IndexDef {
+                name: name.to_string(),
+                table: table.to_string(),
+                expr,
+                unique,
+            },
         );
         Ok(())
     }
@@ -175,7 +205,10 @@ impl Catalog {
     }
 
     pub fn indexes_for_table(&self, table: &str) -> Vec<&IndexDef> {
-        self.indexes.values().filter(|i| i.table.eq_ignore_ascii_case(table)).collect()
+        self.indexes
+            .values()
+            .filter(|i| i.table.eq_ignore_ascii_case(table))
+            .collect()
     }
 
     pub fn index_names(&self) -> Vec<&str> {
@@ -208,13 +241,18 @@ mod tests {
     use crate::value::{DataType, Value};
 
     fn col(name: &str, ty: DataType) -> ColumnDef {
-        ColumnDef { name: name.into(), ty, not_null: false }
+        ColumnDef {
+            name: name.into(),
+            ty,
+            not_null: false,
+        }
     }
 
     #[test]
     fn create_and_lookup_table_is_case_insensitive() {
         let mut cat = Catalog::new();
-        cat.create_table("T0", vec![col("c0", DataType::Int)], false).unwrap();
+        cat.create_table("T0", vec![col("c0", DataType::Int)], false)
+            .unwrap();
         assert!(cat.table("t0").is_ok());
         assert!(cat.table("T0").is_ok());
         assert_eq!(cat.table("t0").unwrap().column_index("C0"), Some(0));
@@ -223,26 +261,35 @@ mod tests {
     #[test]
     fn duplicate_table_rejected_unless_if_not_exists() {
         let mut cat = Catalog::new();
-        cat.create_table("t", vec![col("c", DataType::Int)], false).unwrap();
+        cat.create_table("t", vec![col("c", DataType::Int)], false)
+            .unwrap();
         assert!(matches!(
             cat.create_table("t", vec![col("c", DataType::Int)], false),
             Err(Error::Catalog(_))
         ));
-        assert!(cat.create_table("t", vec![col("c", DataType::Int)], true).is_ok());
+        assert!(cat
+            .create_table("t", vec![col("c", DataType::Int)], true)
+            .is_ok());
     }
 
     #[test]
     fn duplicate_column_rejected() {
         let mut cat = Catalog::new();
-        let res = cat.create_table("t", vec![col("c", DataType::Int), col("C", DataType::Text)], false);
+        let res = cat.create_table(
+            "t",
+            vec![col("c", DataType::Int), col("C", DataType::Text)],
+            false,
+        );
         assert!(matches!(res, Err(Error::Catalog(_))));
     }
 
     #[test]
     fn drop_table_removes_its_indexes() {
         let mut cat = Catalog::new();
-        cat.create_table("t", vec![col("c", DataType::Int)], false).unwrap();
-        cat.create_index("i", "t", Expr::bare_col("c"), false).unwrap();
+        cat.create_table("t", vec![col("c", DataType::Int)], false)
+            .unwrap();
+        cat.create_index("i", "t", Expr::bare_col("c"), false)
+            .unwrap();
         assert_eq!(cat.indexes_for_table("t").len(), 1);
         cat.drop_table("t", false).unwrap();
         assert!(cat.index("i").is_none());
@@ -253,7 +300,8 @@ mod tests {
     #[test]
     fn view_name_conflicts_with_table() {
         let mut cat = Catalog::new();
-        cat.create_table("t", vec![col("c", DataType::Int)], false).unwrap();
+        cat.create_table("t", vec![col("c", DataType::Int)], false)
+            .unwrap();
         let q = Select::scalar_probe(Expr::lit(Value::Int(1)));
         assert!(cat.create_view("t", vec![], q.clone()).is_err());
         cat.create_view("v", vec!["c0".into()], q).unwrap();
@@ -265,13 +313,16 @@ mod tests {
     #[test]
     fn index_requires_existing_table() {
         let mut cat = Catalog::new();
-        assert!(cat.create_index("i", "missing", Expr::bare_col("c"), false).is_err());
+        assert!(cat
+            .create_index("i", "missing", Expr::bare_col("c"), false)
+            .is_err());
     }
 
     #[test]
     fn total_rows_sums_tables() {
         let mut cat = Catalog::new();
-        cat.create_table("t", vec![col("c", DataType::Int)], false).unwrap();
+        cat.create_table("t", vec![col("c", DataType::Int)], false)
+            .unwrap();
         cat.table_mut("t").unwrap().rows.push(vec![Value::Int(1)]);
         cat.table_mut("t").unwrap().rows.push(vec![Value::Int(2)]);
         assert_eq!(cat.total_rows(), 2);

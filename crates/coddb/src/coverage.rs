@@ -6,148 +6,193 @@
 //! fraction of registered points an oracle's campaign exercised. The metric
 //! has the same semantics (which engine behaviours did the workload reach)
 //! without an external coverage toolchain.
+//!
+//! Branch points are compile-time [`PointId`]s (the ordinal of the point in
+//! [`ALL_POINTS`]), and the accumulator is a fixed-size bitset: recording a
+//! hit is a single bit-or on a [`Cell`], with no hashing, ordering or
+//! interior-mutability bookkeeping on the hot path. Call sites use the
+//! typed constants in [`pt`], so an unregistered point is a compile error
+//! rather than a debug assertion.
 
-use std::cell::RefCell;
-use std::collections::BTreeSet;
+use std::cell::Cell;
 
-/// Every registered branch point. Call sites use [`Coverage::hit`] with one
-/// of these names; a debug assertion keeps the registry and the call sites
-/// in sync.
-pub const ALL_POINTS: &[&str] = &[
+/// A registered branch point: an index into [`ALL_POINTS`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct PointId(u16);
+
+impl PointId {
+    /// Ordinal of this point in [`ALL_POINTS`].
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The point's registered name (e.g. `"eval::literal"`).
+    pub fn label(self) -> &'static str {
+        ALL_POINTS[self.0 as usize]
+    }
+}
+
+macro_rules! declare_point_consts {
+    (($idx:expr)) => {};
+    (($idx:expr) $name:ident = $label:literal; $($rest:tt)*) => {
+        pub const $name: PointId = PointId($idx);
+        declare_point_consts!(($idx + 1) $($rest)*);
+    };
+}
+
+macro_rules! coverage_points {
+    ($($name:ident = $label:literal;)*) => {
+        /// Every registered branch point, in [`PointId`] ordinal order.
+        pub const ALL_POINTS: &[&str] = &[$($label),*];
+
+        /// Typed constants for every branch point; `pt::EVAL_LITERAL` is
+        /// the [`PointId`] of `"eval::literal"`.
+        pub mod pt {
+            use super::PointId;
+            declare_point_consts!((0u16) $($name = $label;)*);
+        }
+    };
+}
+
+coverage_points! {
     // --- planner -------------------------------------------------------
-    "plan::seq_scan",
-    "plan::index_scan",
-    "plan::index_forced",
-    "plan::view_expand",
-    "plan::derived",
-    "plan::values_scan",
-    "plan::cte_scan",
-    "plan::join_inner",
-    "plan::join_left",
-    "plan::join_right",
-    "plan::join_full",
-    "plan::join_cross",
-    "plan::fold_const",
-    "plan::fold_skipped",
-    "plan::pushdown_applied",
-    "plan::pushdown_blocked_outer",
-    "plan::filter_true_elim",
-    "plan::filter_false",
-    "plan::no_from",
+    PLAN_SEQ_SCAN = "plan::seq_scan";
+    PLAN_INDEX_SCAN = "plan::index_scan";
+    PLAN_INDEX_FORCED = "plan::index_forced";
+    PLAN_VIEW_EXPAND = "plan::view_expand";
+    PLAN_DERIVED = "plan::derived";
+    PLAN_VALUES_SCAN = "plan::values_scan";
+    PLAN_CTE_SCAN = "plan::cte_scan";
+    PLAN_JOIN_INNER = "plan::join_inner";
+    PLAN_JOIN_LEFT = "plan::join_left";
+    PLAN_JOIN_RIGHT = "plan::join_right";
+    PLAN_JOIN_FULL = "plan::join_full";
+    PLAN_JOIN_CROSS = "plan::join_cross";
+    PLAN_FOLD_CONST = "plan::fold_const";
+    PLAN_FOLD_SKIPPED = "plan::fold_skipped";
+    PLAN_PUSHDOWN_APPLIED = "plan::pushdown_applied";
+    PLAN_PUSHDOWN_BLOCKED_OUTER = "plan::pushdown_blocked_outer";
+    PLAN_FILTER_TRUE_ELIM = "plan::filter_true_elim";
+    PLAN_FILTER_FALSE = "plan::filter_false";
+    PLAN_NO_FROM = "plan::no_from";
     // --- executor ------------------------------------------------------
-    "exec::filter_pass",
-    "exec::filter_drop",
-    "exec::filter_null",
-    "exec::project",
-    "exec::wildcard",
-    "exec::group_single",
-    "exec::group_multi",
-    "exec::group_empty_input",
-    "exec::having_pass",
-    "exec::having_drop",
-    "exec::distinct_dedup",
-    "exec::sort",
-    "exec::sort_positional",
-    "exec::limit",
-    "exec::offset",
-    "exec::union",
-    "exec::union_all",
-    "exec::intersect",
-    "exec::except",
-    "exec::insert_values",
-    "exec::insert_select",
-    "exec::update_match",
-    "exec::update_nomatch",
-    "exec::delete_match",
-    "exec::delete_nomatch",
-    "exec::join_probe_match",
-    "exec::join_probe_miss",
-    "exec::join_pad_left",
-    "exec::join_pad_right",
-    "exec::values_rows",
-    "exec::cte_eval",
-    "exec::cte_reuse",
-    "exec::empty_relation",
+    EXEC_FILTER_PASS = "exec::filter_pass";
+    EXEC_FILTER_DROP = "exec::filter_drop";
+    EXEC_FILTER_NULL = "exec::filter_null";
+    EXEC_PROJECT = "exec::project";
+    EXEC_WILDCARD = "exec::wildcard";
+    EXEC_GROUP_SINGLE = "exec::group_single";
+    EXEC_GROUP_MULTI = "exec::group_multi";
+    EXEC_GROUP_EMPTY_INPUT = "exec::group_empty_input";
+    EXEC_HAVING_PASS = "exec::having_pass";
+    EXEC_HAVING_DROP = "exec::having_drop";
+    EXEC_DISTINCT_DEDUP = "exec::distinct_dedup";
+    EXEC_SORT = "exec::sort";
+    EXEC_SORT_POSITIONAL = "exec::sort_positional";
+    EXEC_LIMIT = "exec::limit";
+    EXEC_OFFSET = "exec::offset";
+    EXEC_UNION = "exec::union";
+    EXEC_UNION_ALL = "exec::union_all";
+    EXEC_INTERSECT = "exec::intersect";
+    EXEC_EXCEPT = "exec::except";
+    EXEC_INSERT_VALUES = "exec::insert_values";
+    EXEC_INSERT_SELECT = "exec::insert_select";
+    EXEC_UPDATE_MATCH = "exec::update_match";
+    EXEC_UPDATE_NOMATCH = "exec::update_nomatch";
+    EXEC_DELETE_MATCH = "exec::delete_match";
+    EXEC_DELETE_NOMATCH = "exec::delete_nomatch";
+    EXEC_JOIN_PROBE_MATCH = "exec::join_probe_match";
+    EXEC_JOIN_PROBE_MISS = "exec::join_probe_miss";
+    EXEC_JOIN_PAD_LEFT = "exec::join_pad_left";
+    EXEC_JOIN_PAD_RIGHT = "exec::join_pad_right";
+    EXEC_VALUES_ROWS = "exec::values_rows";
+    EXEC_CTE_EVAL = "exec::cte_eval";
+    EXEC_CTE_REUSE = "exec::cte_reuse";
+    EXEC_EMPTY_RELATION = "exec::empty_relation";
     // --- scalar evaluator ---------------------------------------------
-    "eval::literal",
-    "eval::column_local",
-    "eval::column_outer",
-    "eval::neg",
-    "eval::not",
-    "eval::arith_int",
-    "eval::arith_real",
-    "eval::arith_null",
-    "eval::arith_overflow",
-    "eval::div_zero_null",
-    "eval::div_zero_error",
-    "eval::concat",
-    "eval::cmp_true",
-    "eval::cmp_false",
-    "eval::cmp_null",
-    "eval::and_short",
-    "eval::and_null",
-    "eval::or_short",
-    "eval::or_null",
-    "eval::is_op",
-    "eval::between",
-    "eval::between_neg",
-    "eval::in_list_hit",
-    "eval::in_list_miss",
-    "eval::in_list_null",
-    "eval::in_subq_hit",
-    "eval::in_subq_miss",
-    "eval::in_subq_null",
-    "eval::exists_true",
-    "eval::exists_false",
-    "eval::scalar_subq",
-    "eval::scalar_subq_empty",
-    "eval::quant_any",
-    "eval::quant_all",
-    "eval::case_operand",
-    "eval::case_searched",
-    "eval::case_else",
-    "eval::case_no_match",
-    "eval::cast_int",
-    "eval::cast_real",
-    "eval::cast_text",
-    "eval::cast_bool",
-    "eval::func_length",
-    "eval::func_abs",
-    "eval::func_upper",
-    "eval::func_lower",
-    "eval::func_coalesce",
-    "eval::func_nullif",
-    "eval::func_iif",
-    "eval::func_typeof",
-    "eval::func_version",
-    "eval::func_round",
-    "eval::func_sign",
-    "eval::func_instr",
-    "eval::func_substr",
-    "eval::like_match",
-    "eval::like_nomatch",
-    "eval::like_null",
-    "eval::truthy_numeric",
-    "eval::truthy_bool",
-    "eval::truthy_null",
+    EVAL_LITERAL = "eval::literal";
+    EVAL_COLUMN_LOCAL = "eval::column_local";
+    EVAL_COLUMN_OUTER = "eval::column_outer";
+    EVAL_NEG = "eval::neg";
+    EVAL_NOT = "eval::not";
+    EVAL_ARITH_INT = "eval::arith_int";
+    EVAL_ARITH_REAL = "eval::arith_real";
+    EVAL_ARITH_NULL = "eval::arith_null";
+    EVAL_ARITH_OVERFLOW = "eval::arith_overflow";
+    EVAL_DIV_ZERO_NULL = "eval::div_zero_null";
+    EVAL_DIV_ZERO_ERROR = "eval::div_zero_error";
+    EVAL_CONCAT = "eval::concat";
+    EVAL_CMP_TRUE = "eval::cmp_true";
+    EVAL_CMP_FALSE = "eval::cmp_false";
+    EVAL_CMP_NULL = "eval::cmp_null";
+    EVAL_AND_SHORT = "eval::and_short";
+    EVAL_AND_NULL = "eval::and_null";
+    EVAL_OR_SHORT = "eval::or_short";
+    EVAL_OR_NULL = "eval::or_null";
+    EVAL_IS_OP = "eval::is_op";
+    EVAL_BETWEEN = "eval::between";
+    EVAL_BETWEEN_NEG = "eval::between_neg";
+    EVAL_IN_LIST_HIT = "eval::in_list_hit";
+    EVAL_IN_LIST_MISS = "eval::in_list_miss";
+    EVAL_IN_LIST_NULL = "eval::in_list_null";
+    EVAL_IN_SUBQ_HIT = "eval::in_subq_hit";
+    EVAL_IN_SUBQ_MISS = "eval::in_subq_miss";
+    EVAL_IN_SUBQ_NULL = "eval::in_subq_null";
+    EVAL_EXISTS_TRUE = "eval::exists_true";
+    EVAL_EXISTS_FALSE = "eval::exists_false";
+    EVAL_SCALAR_SUBQ = "eval::scalar_subq";
+    EVAL_SCALAR_SUBQ_EMPTY = "eval::scalar_subq_empty";
+    EVAL_QUANT_ANY = "eval::quant_any";
+    EVAL_QUANT_ALL = "eval::quant_all";
+    EVAL_CASE_OPERAND = "eval::case_operand";
+    EVAL_CASE_SEARCHED = "eval::case_searched";
+    EVAL_CASE_ELSE = "eval::case_else";
+    EVAL_CASE_NO_MATCH = "eval::case_no_match";
+    EVAL_CAST_INT = "eval::cast_int";
+    EVAL_CAST_REAL = "eval::cast_real";
+    EVAL_CAST_TEXT = "eval::cast_text";
+    EVAL_CAST_BOOL = "eval::cast_bool";
+    EVAL_FUNC_LENGTH = "eval::func_length";
+    EVAL_FUNC_ABS = "eval::func_abs";
+    EVAL_FUNC_UPPER = "eval::func_upper";
+    EVAL_FUNC_LOWER = "eval::func_lower";
+    EVAL_FUNC_COALESCE = "eval::func_coalesce";
+    EVAL_FUNC_NULLIF = "eval::func_nullif";
+    EVAL_FUNC_IIF = "eval::func_iif";
+    EVAL_FUNC_TYPEOF = "eval::func_typeof";
+    EVAL_FUNC_VERSION = "eval::func_version";
+    EVAL_FUNC_ROUND = "eval::func_round";
+    EVAL_FUNC_SIGN = "eval::func_sign";
+    EVAL_FUNC_INSTR = "eval::func_instr";
+    EVAL_FUNC_SUBSTR = "eval::func_substr";
+    EVAL_LIKE_MATCH = "eval::like_match";
+    EVAL_LIKE_NOMATCH = "eval::like_nomatch";
+    EVAL_LIKE_NULL = "eval::like_null";
+    EVAL_TRUTHY_NUMERIC = "eval::truthy_numeric";
+    EVAL_TRUTHY_BOOL = "eval::truthy_bool";
+    EVAL_TRUTHY_NULL = "eval::truthy_null";
     // --- aggregates ----------------------------------------------------
-    "agg::count_star",
-    "agg::count",
-    "agg::sum_int",
-    "agg::sum_real",
-    "agg::avg",
-    "agg::min",
-    "agg::max",
-    "agg::total",
-    "agg::distinct",
-    "agg::empty",
-];
+    AGG_COUNT_STAR = "agg::count_star";
+    AGG_COUNT = "agg::count";
+    AGG_SUM_INT = "agg::sum_int";
+    AGG_SUM_REAL = "agg::sum_real";
+    AGG_AVG = "agg::avg";
+    AGG_MIN = "agg::min";
+    AGG_MAX = "agg::max";
+    AGG_TOTAL = "agg::total";
+    AGG_DISTINCT = "agg::distinct";
+    AGG_EMPTY = "agg::empty";
+}
 
-/// Coverage accumulator. Single-threaded by design (each campaign thread
-/// owns its own `Database`); merge accumulators with [`Coverage::merge`].
+const WORDS: usize = ALL_POINTS.len().div_ceil(64);
+
+/// Coverage accumulator: a fixed-size bitset over [`ALL_POINTS`].
+/// Single-threaded by design (each campaign thread owns its own
+/// `Database`); merge accumulators with [`Coverage::merge`].
 #[derive(Debug, Default)]
 pub struct Coverage {
-    hits: RefCell<BTreeSet<&'static str>>,
+    bits: Cell<[u64; WORDS]>,
 }
 
 impl Coverage {
@@ -155,19 +200,21 @@ impl Coverage {
         Self::default()
     }
 
-    /// Record that a branch point executed.
+    /// Record that a branch point executed: a single bit-or.
     #[inline]
-    pub fn hit(&self, point: &'static str) {
-        debug_assert!(
-            ALL_POINTS.contains(&point),
-            "coverage point '{point}' is not registered in ALL_POINTS"
-        );
-        self.hits.borrow_mut().insert(point);
+    pub fn hit(&self, point: PointId) {
+        let mut bits = self.bits.get();
+        bits[point.index() >> 6] |= 1u64 << (point.index() & 63);
+        self.bits.set(bits);
     }
 
     /// Number of distinct points hit so far.
     pub fn hit_count(&self) -> usize {
-        self.hits.borrow().len()
+        self.bits
+            .get()
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
     }
 
     /// Total registered points.
@@ -180,58 +227,88 @@ impl Coverage {
         100.0 * self.hit_count() as f64 / ALL_POINTS.len() as f64
     }
 
-    /// Snapshot of the hit set (sorted).
+    #[inline]
+    fn contains(&self, index: usize) -> bool {
+        self.bits.get()[index >> 6] & (1u64 << (index & 63)) != 0
+    }
+
+    /// Snapshot of the hit set, in registry (= ordinal) order.
     pub fn hit_points(&self) -> Vec<&'static str> {
-        self.hits.borrow().iter().copied().collect()
+        ALL_POINTS
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.contains(*i))
+            .map(|(_, p)| *p)
+            .collect()
     }
 
     /// Points never exercised (useful when diagnosing oracle blind spots,
     /// e.g. DQE never reaching the join machinery).
     pub fn missed_points(&self) -> Vec<&'static str> {
-        let hits = self.hits.borrow();
-        ALL_POINTS.iter().copied().filter(|p| !hits.contains(p)).collect()
+        ALL_POINTS
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !self.contains(*i))
+            .map(|(_, p)| *p)
+            .collect()
     }
 
     /// Fold another accumulator's hits into this one.
     pub fn merge(&self, other: &Coverage) {
-        let mut mine = self.hits.borrow_mut();
-        for p in other.hits.borrow().iter() {
-            mine.insert(p);
+        let mut mine = self.bits.get();
+        let theirs = other.bits.get();
+        for (m, t) in mine.iter_mut().zip(theirs.iter()) {
+            *m |= *t;
         }
+        self.bits.set(mine);
     }
 
     pub fn reset(&self) {
-        self.hits.borrow_mut().clear();
+        self.bits.set([0; WORDS]);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::BTreeSet;
 
     #[test]
     fn registry_has_no_duplicates() {
         let set: BTreeSet<&str> = ALL_POINTS.iter().copied().collect();
-        assert_eq!(set.len(), ALL_POINTS.len(), "duplicate coverage point registered");
+        assert_eq!(
+            set.len(),
+            ALL_POINTS.len(),
+            "duplicate coverage point registered"
+        );
+    }
+
+    #[test]
+    fn point_ids_are_their_ordinals() {
+        assert_eq!(pt::PLAN_SEQ_SCAN.index(), 0);
+        assert_eq!(pt::EVAL_LITERAL.label(), "eval::literal");
+        assert_eq!(pt::AGG_EMPTY.index(), ALL_POINTS.len() - 1);
+        assert_eq!(ALL_POINTS[pt::EXEC_SORT.index()], "exec::sort");
     }
 
     #[test]
     fn hit_accumulates_and_percent_reports() {
         let cov = Coverage::new();
         assert_eq!(cov.hit_count(), 0);
-        cov.hit("eval::literal");
-        cov.hit("eval::literal");
-        cov.hit("exec::project");
+        cov.hit(pt::EVAL_LITERAL);
+        cov.hit(pt::EVAL_LITERAL);
+        cov.hit(pt::EXEC_PROJECT);
         assert_eq!(cov.hit_count(), 2);
         assert!(cov.percent() > 0.0 && cov.percent() < 100.0);
+        assert_eq!(cov.hit_points(), vec!["exec::project", "eval::literal"]);
     }
 
     #[test]
     fn merge_unions_hits() {
         let a = Coverage::new();
         let b = Coverage::new();
-        a.hit("eval::literal");
-        b.hit("exec::project");
+        a.hit(pt::EVAL_LITERAL);
+        b.hit(pt::EXEC_PROJECT);
         a.merge(&b);
         assert_eq!(a.hit_count(), 2);
         assert_eq!(b.hit_count(), 1);
@@ -240,16 +317,19 @@ mod tests {
     #[test]
     fn missed_points_complement_hits() {
         let cov = Coverage::new();
-        cov.hit("agg::avg");
+        cov.hit(pt::AGG_AVG);
         let missed = cov.missed_points();
         assert_eq!(missed.len(), ALL_POINTS.len() - 1);
         assert!(!missed.contains(&"agg::avg"));
     }
 
     #[test]
-    #[should_panic(expected = "not registered")]
-    #[cfg(debug_assertions)]
-    fn unknown_point_panics_in_debug() {
-        Coverage::new().hit("nope::nothing");
+    fn reset_clears_all_bits() {
+        let cov = Coverage::new();
+        cov.hit(pt::AGG_AVG);
+        cov.hit(pt::PLAN_SEQ_SCAN);
+        cov.reset();
+        assert_eq!(cov.hit_count(), 0);
+        assert_eq!(cov.missed_points().len(), ALL_POINTS.len());
     }
 }

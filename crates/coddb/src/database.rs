@@ -8,11 +8,11 @@
 use crate::ast::{InsertSource, Statement};
 use crate::bugs::{BugId, BugRegistry};
 use crate::catalog::Catalog;
-use crate::coverage::Coverage;
+use crate::coverage::{pt, Coverage};
 use crate::dialect::Dialect;
 use crate::error::{Error, Result};
 use crate::eval::{eval_expr, truthiness, Clause, ExprCtx};
-use crate::exec::{self, CteEnv, EngineCtx, EvalEnv, Frame, Schema, StmtKind};
+use crate::exec::{self, BindMode, CteEnv, EngineCtx, EvalEnv, Frame, Prepared, Schema, StmtKind};
 use crate::value::{Relation, Row, Value};
 
 /// Default execution fuel per statement (row-operations budget). Generated
@@ -52,6 +52,7 @@ pub struct Database {
     bugs: BugRegistry,
     coverage: Coverage,
     fuel_limit: u64,
+    bind_mode: BindMode,
     last_plan_fp: Option<u64>,
     queries_executed: u64,
 }
@@ -70,6 +71,7 @@ impl Database {
             bugs,
             coverage: Coverage::new(),
             fuel_limit: DEFAULT_FUEL,
+            bind_mode: BindMode::default(),
             last_plan_fp: None,
             queries_executed: 0,
         }
@@ -92,6 +94,32 @@ impl Database {
     }
     pub fn set_fuel_limit(&mut self, fuel: u64) {
         self.fuel_limit = fuel;
+    }
+
+    /// Select the bind-once pipeline (default) or the per-row rebinding
+    /// baseline; see [`BindMode`]. The baseline exists for benchmarking
+    /// the bind-once speedup on identical machinery.
+    pub fn set_bind_mode(&mut self, mode: BindMode) {
+        self.bind_mode = mode;
+    }
+
+    pub fn bind_mode(&self) -> BindMode {
+        self.bind_mode
+    }
+
+    /// Build the per-statement execution context.
+    fn engine_ctx(&self, optimize: bool, stmt: StmtKind) -> EngineCtx<'_> {
+        let mut ctx = EngineCtx::new(
+            &self.catalog,
+            self.dialect,
+            &self.bugs,
+            &self.coverage,
+            optimize,
+            stmt,
+            self.fuel_limit,
+        );
+        ctx.rebind_per_row = self.bind_mode == BindMode::PerRow;
+        ctx
     }
 
     /// Number of statements executed so far (Table 3 accounting).
@@ -134,7 +162,11 @@ impl Database {
     pub fn execute_with(&mut self, stmt: &Statement, optimize: bool) -> Result<ExecOutcome> {
         self.queries_executed += 1;
         match stmt {
-            Statement::CreateTable { name, columns, if_not_exists } => {
+            Statement::CreateTable {
+                name,
+                columns,
+                if_not_exists,
+            } => {
                 if !self.dialect.allows_untyped_columns()
                     && columns.iter().any(|c| c.ty == crate::value::DataType::Any)
                 {
@@ -143,35 +175,58 @@ impl Database {
                         self.dialect
                     )));
                 }
-                self.catalog.create_table(name, columns.clone(), *if_not_exists)?;
+                self.catalog
+                    .create_table(name, columns.clone(), *if_not_exists)?;
                 Ok(ExecOutcome::Ddl)
             }
             Statement::DropTable { name, if_exists } => {
                 self.catalog.drop_table(name, *if_exists)?;
                 Ok(ExecOutcome::Ddl)
             }
-            Statement::CreateView { name, columns, query } => {
-                self.catalog.create_view(name, columns.clone(), query.clone())?;
+            Statement::CreateView {
+                name,
+                columns,
+                query,
+            } => {
+                self.catalog
+                    .create_view(name, columns.clone(), query.clone())?;
                 Ok(ExecOutcome::Ddl)
             }
-            Statement::CreateIndex { name, table, expr, unique } => {
-                self.catalog.create_index(name, table, expr.clone(), *unique)?;
+            Statement::CreateIndex {
+                name,
+                table,
+                expr,
+                unique,
+            } => {
+                self.catalog
+                    .create_index(name, table, expr.clone(), *unique)?;
                 Ok(ExecOutcome::Ddl)
             }
             Statement::Select(q) => {
                 let rel = self.run_select(q, optimize)?;
                 Ok(ExecOutcome::Rows(rel))
             }
-            Statement::Insert { table, columns, source } => {
+            Statement::Insert {
+                table,
+                columns,
+                source,
+            } => {
                 let n = self.run_insert(table, columns, source, optimize)?;
                 Ok(ExecOutcome::Affected(n))
             }
-            Statement::Update { table, sets, where_clause } => {
+            Statement::Update {
+                table,
+                sets,
+                where_clause,
+            } => {
                 let w = self.prepare_dml_filter(where_clause.as_ref(), optimize)?;
                 let n = self.run_update(table, sets, w.as_ref())?;
                 Ok(ExecOutcome::Affected(n))
             }
-            Statement::Delete { table, where_clause } => {
+            Statement::Delete {
+                table,
+                where_clause,
+            } => {
                 let w = self.prepare_dml_filter(where_clause.as_ref(), optimize)?;
                 let n = self.run_delete(table, w.as_ref())?;
                 Ok(ExecOutcome::Affected(n))
@@ -181,11 +236,13 @@ impl Database {
 
     /// Run a SELECT with the optimizer on.
     pub fn query(&mut self, q: &crate::ast::Select) -> Result<Relation> {
+        self.queries_executed += 1;
         self.run_select(q, true)
     }
 
     /// Run a SELECT with the optimizer off (NoREC reference execution).
     pub fn query_unoptimized(&mut self, q: &crate::ast::Select) -> Result<Relation> {
+        self.queries_executed += 1;
         self.run_select(q, false)
     }
 
@@ -241,17 +298,11 @@ impl Database {
         }
     }
 
+    // Statement accounting happens in the callers (`execute_with`,
+    // `query`, `query_unoptimized`) so a SELECT through `execute()` is
+    // counted exactly once.
     fn run_select(&mut self, q: &crate::ast::Select, optimize: bool) -> Result<Relation> {
-        self.queries_executed += 1;
-        let ctx = EngineCtx::new(
-            &self.catalog,
-            self.dialect,
-            &self.bugs,
-            &self.coverage,
-            optimize,
-            StmtKind::Select,
-            self.fuel_limit,
-        );
+        let ctx = self.engine_ctx(optimize, StmtKind::Select);
         let (rel, fp) = exec::run_query(q, &ctx)?;
         self.last_plan_fp = Some(fp);
         Ok(rel)
@@ -286,16 +337,8 @@ impl Database {
         // Evaluate the source rows.
         let source_rows: Vec<Row> = match source {
             InsertSource::Values(rows) => {
-                self.coverage.hit("exec::insert_values");
-                let ctx = EngineCtx::new(
-                    &self.catalog,
-                    self.dialect,
-                    &self.bugs,
-                    &self.coverage,
-                    optimize,
-                    StmtKind::Insert,
-                    self.fuel_limit,
-                );
+                self.coverage.hit(pt::EXEC_INSERT_VALUES);
+                let ctx = self.engine_ctx(optimize, StmtKind::Insert);
                 let ctes = CteEnv::root();
                 let mut out = Vec::with_capacity(rows.len());
                 for row in rows {
@@ -315,7 +358,7 @@ impl Database {
                 out
             }
             InsertSource::Query(q) => {
-                self.coverage.hit("exec::insert_select");
+                self.coverage.hit(pt::EXEC_INSERT_SELECT);
                 // Bug hook: TidbInsertSelectVersion (Listing 6) — the
                 // SELECT's rows never reach the table when its WHERE calls
                 // VERSION().
@@ -323,20 +366,15 @@ impl Database {
                 crate::ast::visit::walk_select_exprs(q, &mut |e| {
                     if matches!(
                         e,
-                        crate::ast::Expr::Func { func: crate::ast::FuncName::Version, .. }
+                        crate::ast::Expr::Func {
+                            func: crate::ast::FuncName::Version,
+                            ..
+                        }
                     ) {
                         has_version = true;
                     }
                 });
-                let ctx = EngineCtx::new(
-                    &self.catalog,
-                    self.dialect,
-                    &self.bugs,
-                    &self.coverage,
-                    optimize,
-                    StmtKind::Insert,
-                    self.fuel_limit,
-                );
+                let ctx = self.engine_ctx(optimize, StmtKind::Insert);
                 let (rel, _) = exec::run_query(q, &ctx)?;
                 if has_version && self.bugs.active(BugId::TidbInsertSelectVersion) {
                     Vec::new()
@@ -359,10 +397,7 @@ impl Database {
             let mut new_row: Row = vec![Value::Null; col_count];
             for (v, &idx) in row.iter().zip(col_indices.iter()) {
                 let def = &col_defs[idx];
-                if self.dialect.strict_types()
-                    && !v.is_null()
-                    && !def.ty.accepts(v.data_type())
-                {
+                if self.dialect.strict_types() && !v.is_null() && !def.ty.accepts(v.data_type()) {
                     return Err(Error::Type(format!(
                         "cannot insert {} into column {} of type {}",
                         v.data_type(),
@@ -396,15 +431,7 @@ impl Database {
         let (matches, updates) = {
             let t = self.catalog.table(table)?;
             let schema = table_schema(t);
-            let ctx = EngineCtx::new(
-                &self.catalog,
-                self.dialect,
-                &self.bugs,
-                &self.coverage,
-                false,
-                StmtKind::Update,
-                self.fuel_limit,
-            );
+            let ctx = self.engine_ctx(false, StmtKind::Update);
             let ctes = CteEnv::root();
             let set_indices: Vec<usize> = sets
                 .iter()
@@ -415,16 +442,27 @@ impl Database {
                 })
                 .collect::<Result<_>>()?;
 
+            // Bind the WHERE predicate and every SET expression once per
+            // statement; the row loop evaluates the bound forms.
+            let pred = prepare_dml_where(where_clause, &schema)?;
+            let set_exprs: Vec<Prepared> = sets
+                .iter()
+                .map(|(_, e)| Prepared::new(e, &[&schema], 0))
+                .collect::<Result<_>>()?;
+
             let mut matches = Vec::new();
             let mut updates = Vec::new();
             for (i, row) in t.rows.iter().enumerate() {
                 ctx.consume_fuel(1)?;
-                if !row_matches(row, &schema, where_clause, &ctx, &ctes)? {
+                if !row_matches(row, &schema, pred.as_ref(), &ctx, &ctes)? {
                     continue;
                 }
-                let frames = [Frame { schema: &schema, row }];
-                let mut new_vals = Vec::with_capacity(sets.len());
-                for (_, e) in sets {
+                let frames = [Frame {
+                    schema: &schema,
+                    row,
+                }];
+                let mut new_vals = Vec::with_capacity(set_exprs.len());
+                for e in &set_exprs {
                     let env = EvalEnv {
                         ctx: &ctx,
                         scopes: &frames,
@@ -432,7 +470,7 @@ impl Database {
                         ctes: &ctes,
                         info: ExprCtx::new(Clause::SelectList),
                     };
-                    new_vals.push(eval_expr(e, env)?);
+                    new_vals.push(e.eval(env)?);
                 }
                 matches.push(i);
                 updates.push((set_indices.clone(), new_vals));
@@ -441,9 +479,9 @@ impl Database {
         };
 
         self.coverage.hit(if matches.is_empty() {
-            "exec::update_nomatch"
+            pt::EXEC_UPDATE_NOMATCH
         } else {
-            "exec::update_match"
+            pt::EXEC_UPDATE_MATCH
         });
         let t = self.catalog.table_mut(table)?;
         for (&i, (indices, vals)) in matches.iter().zip(updates.iter()) {
@@ -462,29 +500,22 @@ impl Database {
         let matches: Vec<usize> = {
             let t = self.catalog.table(table)?;
             let schema = table_schema(t);
-            let ctx = EngineCtx::new(
-                &self.catalog,
-                self.dialect,
-                &self.bugs,
-                &self.coverage,
-                false,
-                StmtKind::Delete,
-                self.fuel_limit,
-            );
+            let ctx = self.engine_ctx(false, StmtKind::Delete);
             let ctes = CteEnv::root();
+            let pred = prepare_dml_where(where_clause, &schema)?;
             let mut out = Vec::new();
             for (i, row) in t.rows.iter().enumerate() {
                 ctx.consume_fuel(1)?;
-                if row_matches(row, &schema, where_clause, &ctx, &ctes)? {
+                if row_matches(row, &schema, pred.as_ref(), &ctx, &ctes)? {
                     out.push(i);
                 }
             }
             out
         };
         self.coverage.hit(if matches.is_empty() {
-            "exec::delete_nomatch"
+            pt::EXEC_DELETE_NOMATCH
         } else {
-            "exec::delete_match"
+            pt::EXEC_DELETE_MATCH
         });
         let t = self.catalog.table_mut(table)?;
         for &i in matches.iter().rev() {
@@ -499,24 +530,29 @@ fn table_schema(t: &crate::catalog::TableDef) -> Schema {
         cols: t
             .columns
             .iter()
-            .map(|c| crate::exec::ColMeta {
-                table: Some(t.name.to_ascii_lowercase()),
-                name: c.name.to_ascii_lowercase(),
-                from_view: false,
-                from_cte: false,
-            })
+            .map(|c| crate::exec::ColMeta::new(Some(&t.name), &c.name))
             .collect(),
     }
+}
+
+/// Bind a DML WHERE clause once per statement.
+fn prepare_dml_where<'p>(
+    where_clause: Option<&'p crate::ast::Expr>,
+    schema: &Schema,
+) -> Result<Option<Prepared<'p>>> {
+    where_clause
+        .map(|w| Prepared::new(w, &[schema], 0))
+        .transpose()
 }
 
 fn row_matches(
     row: &[Value],
     schema: &Schema,
-    where_clause: Option<&crate::ast::Expr>,
+    pred: Option<&Prepared>,
     ctx: &EngineCtx,
     ctes: &CteEnv,
 ) -> Result<bool> {
-    let Some(pred) = where_clause else { return Ok(true) };
+    let Some(pred) = pred else { return Ok(true) };
     let frames = [Frame { schema, row }];
     let env = EvalEnv {
         ctx,
@@ -525,12 +561,18 @@ fn row_matches(
         ctes,
         info: ExprCtx::new(Clause::Where),
     };
-    let v = eval_expr(pred, env)?;
+    let v = pred.eval(env)?;
     let t = truthiness(&v, ctx)?;
     // Bug hook: CockroachAndNullTopConjunct applies to every statement's
     // WHERE filter.
     if t.is_none()
-        && matches!(pred, crate::ast::Expr::Binary { op: crate::ast::BinaryOp::And, .. })
+        && matches!(
+            pred.ast(),
+            crate::ast::Expr::Binary {
+                op: crate::ast::BinaryOp::And,
+                ..
+            }
+        )
         && ctx.bugs.active(BugId::CockroachAndNullTopConjunct)
     {
         return Ok(true);

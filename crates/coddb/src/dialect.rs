@@ -20,8 +20,13 @@ pub enum Dialect {
 }
 
 impl Dialect {
-    pub const ALL: [Dialect; 5] =
-        [Dialect::Sqlite, Dialect::Mysql, Dialect::Cockroach, Dialect::Duckdb, Dialect::Tidb];
+    pub const ALL: [Dialect; 5] = [
+        Dialect::Sqlite,
+        Dialect::Mysql,
+        Dialect::Cockroach,
+        Dialect::Duckdb,
+        Dialect::Tidb,
+    ];
 
     pub fn name(self) -> &'static str {
         match self {

@@ -5,6 +5,14 @@
 //! strict), subquery evaluation (delegated back to [`crate::exec`]), and
 //! most of the injected logic-bug trigger points.
 //!
+//! The evaluator operates on the *bound* expression form
+//! ([`crate::bind::BoundExpr`]): column references are `(scope hop,
+//! ordinal)` pairs resolved once per query by the binder, so
+//! [`eval_bound`] performs no name resolution — and no heap allocation
+//! for it — per row. [`eval_expr`] is the bind-and-evaluate convenience
+//! wrapper for expressions evaluated once per statement (and the per-row
+//! baseline behind [`crate::exec::BindMode::PerRow`]).
+//!
 //! Evaluation threads an [`ExprCtx`] carrying the *context* of the
 //! expression — clause, statement kind, whether rows arrived via an index
 //! scan, whether the FROM reads a CTE, and the subquery nesting depth.
@@ -14,7 +22,9 @@
 use std::cmp::Ordering;
 
 use crate::ast::{AggFunc, BinaryOp, Expr, FuncName, Quantifier, SelectBody, UnaryOp};
+use crate::bind::{Binder, BoundExpr};
 use crate::bugs::BugId;
+use crate::coverage::pt;
 use crate::error::{Error, Result};
 use crate::exec::{EngineCtx, EvalEnv, StmtKind};
 use crate::plan::PlanCtx;
@@ -51,13 +61,22 @@ pub struct ExprCtx {
 
 impl ExprCtx {
     pub fn new(clause: Clause) -> Self {
-        ExprCtx { clause, top_level: true, via_index: false, from_has_cte: false, depth: 0 }
+        ExprCtx {
+            clause,
+            top_level: true,
+            via_index: false,
+            from_has_cte: false,
+            depth: 0,
+        }
     }
 
     /// Context for child sub-expressions: everything is inherited except
     /// `top_level`.
     pub fn child(self) -> Self {
-        ExprCtx { top_level: false, ..self }
+        ExprCtx {
+            top_level: false,
+            ..self
+        }
     }
 }
 
@@ -68,11 +87,11 @@ pub type Bool3 = Option<bool>;
 pub fn truthiness(v: &Value, ctx: &EngineCtx) -> Result<Bool3> {
     match v {
         Value::Null => {
-            ctx.cov.hit("eval::truthy_null");
+            ctx.cov.hit(pt::EVAL_TRUTHY_NULL);
             Ok(None)
         }
         Value::Bool(b) => {
-            ctx.cov.hit("eval::truthy_bool");
+            ctx.cov.hit(pt::EVAL_TRUTHY_BOOL);
             Ok(Some(*b))
         }
         other => {
@@ -82,7 +101,7 @@ pub fn truthiness(v: &Value, ctx: &EngineCtx) -> Result<Bool3> {
                     other.data_type()
                 )));
             }
-            ctx.cov.hit("eval::truthy_numeric");
+            ctx.cov.hit(pt::EVAL_TRUTHY_NUMERIC);
             Ok(Some(other.coerce_f64() != 0.0))
         }
     }
@@ -108,7 +127,8 @@ fn not3(b: Bool3) -> Bool3 {
     b.map(|t| !t)
 }
 
-/// Evaluate a constant expression during planning.
+/// Evaluate a constant expression during planning. The expression is
+/// bound against an empty scope stack (constants reference no columns).
 pub fn eval_const(expr: &Expr, pctx: &PlanCtx) -> Result<Value> {
     let ctx = EngineCtx::new(
         pctx.catalog,
@@ -130,20 +150,51 @@ pub fn eval_const(expr: &Expr, pctx: &PlanCtx) -> Result<Value> {
     eval_expr(expr, env)
 }
 
-/// Evaluate an expression under the given environment.
+/// Bind and evaluate an AST expression in one step.
+///
+/// This is the *tree-walking* path: it re-resolves every column name on
+/// every call. The executor uses it only for expressions evaluated once
+/// per statement and as the per-row baseline behind
+/// [`crate::Database::set_bind_mode`]; hot loops bind once with
+/// [`Binder`] and then call [`eval_bound`] per row.
 pub fn eval_expr(expr: &Expr, env: EvalEnv) -> Result<Value> {
+    let schemas: Vec<&crate::exec::Schema> = env.scopes.iter().map(|f| f.schema).collect();
+    let mut binder = Binder::new(&schemas, env.info.depth);
+    let bound = binder.bind(expr)?;
+    eval_bound(&bound, env)
+}
+
+/// Evaluate a bound expression under the given environment.
+pub fn eval_bound(expr: &BoundExpr, env: EvalEnv) -> Result<Value> {
     let ctx = env.ctx;
     match expr {
-        Expr::Literal(v) => {
-            ctx.cov.hit("eval::literal");
+        BoundExpr::Literal(v) => {
+            ctx.cov.hit(pt::EVAL_LITERAL);
             Ok(v.clone())
         }
-        Expr::Column(c) => resolve_column(c, env),
-        Expr::Unary { op, expr } => {
-            let v = eval_expr(expr, env.child())?;
+        BoundExpr::Column(c) => {
+            // The binder resolved the name once; the per-row work is an
+            // optional bug-hook branch plus two indexed loads.
+            let (mut up, mut index) = (c.up as usize, c.index as usize);
+            if let Some((alt_up, alt_index)) = c.collision_alt {
+                if ctx.bugs.active(BugId::TidbCorrelatedNameCollision) {
+                    up = alt_up as usize;
+                    index = alt_index as usize;
+                }
+            }
+            ctx.cov.hit(if up == 0 {
+                pt::EVAL_COLUMN_LOCAL
+            } else {
+                pt::EVAL_COLUMN_OUTER
+            });
+            let frame = &env.scopes[env.scopes.len() - 1 - up];
+            Ok(frame.row[index].clone())
+        }
+        BoundExpr::Unary { op, expr } => {
+            let v = eval_bound(expr, env.child())?;
             match op {
                 UnaryOp::Neg => {
-                    ctx.cov.hit("eval::neg");
+                    ctx.cov.hit(pt::EVAL_NEG);
                     match v {
                         Value::Null => Ok(Value::Null),
                         Value::Int(i) => i
@@ -161,16 +212,27 @@ pub fn eval_expr(expr: &Expr, env: EvalEnv) -> Result<Value> {
                     }
                 }
                 UnaryOp::Not => {
-                    ctx.cov.hit("eval::not");
+                    ctx.cov.hit(pt::EVAL_NOT);
                     let b = truthiness(&v, ctx)?;
                     Ok(bool3_to_value(not3(b), ctx))
                 }
             }
         }
-        Expr::Binary { op, left, right } => eval_binary(*op, left, right, env),
-        Expr::Between { expr: e, low, high, negated } => {
-            ctx.cov.hit(if *negated { "eval::between_neg" } else { "eval::between" });
-            let v = eval_expr(e, env.child())?;
+        BoundExpr::Binary { op, left, right } => eval_binary(*op, left, right, env),
+        BoundExpr::Between {
+            expr: e,
+            low,
+            high,
+            negated,
+        } => {
+            ctx.cov.hit(if *negated {
+                pt::EVAL_BETWEEN_NEG
+            } else {
+                pt::EVAL_BETWEEN
+            });
+            let v = eval_bound(e, env.child())?;
+            let lo = eval_bound(low, env.child())?;
+            let hi = eval_bound(high, env.child())?;
             // Bug hook: SqliteBetweenTextAffinity — a top-level BETWEEN on
             // a TEXT value with numeric bounds wrongly applies numeric
             // affinity (SQLite's correct storage-class comparison places
@@ -182,23 +244,27 @@ pub fn eval_expr(expr: &Expr, env: EvalEnv) -> Result<Value> {
                 && !*negated
                 && matches!(v, Value::Text(_))
             {
-                let lo = eval_expr(low, env.child())?;
-                let hi = eval_expr(high, env.child())?;
                 if let (Some(lo), Some(hi)) = (lo.as_f64(), hi.as_f64()) {
                     let x = v.coerce_f64();
                     return Ok(bool3_to_value(Some(x >= lo && x <= hi), ctx));
                 }
             }
-            let lo = eval_expr(low, env.child())?;
-            let hi = eval_expr(high, env.child())?;
             let ge_low = compare(&v, &lo, ctx, env.info)?.map(|o| o != Ordering::Less);
             let le_high = compare(&v, &hi, ctx, env.info)?.map(|o| o != Ordering::Greater);
             let b = and3(ge_low, le_high);
             Ok(bool3_to_value(if *negated { not3(b) } else { b }, ctx))
         }
-        Expr::InList { expr: e, list, negated } => eval_in_list(e, list, *negated, env),
-        Expr::InSubquery { expr: e, query, negated } => {
-            let v = eval_expr(e, env.child())?;
+        BoundExpr::InList {
+            expr: e,
+            list,
+            negated,
+        } => eval_in_list(e, list, *negated, env),
+        BoundExpr::InSubquery {
+            expr: e,
+            query,
+            negated,
+        } => {
+            let v = eval_bound(e, env.child())?;
             let rel = crate::exec::exec_subquery(query, env)?;
             if !rel.rows.is_empty() && rel.columns.len() != 1 {
                 return Err(Error::SubqueryCardinality(
@@ -207,7 +273,7 @@ pub fn eval_expr(expr: &Expr, env: EvalEnv) -> Result<Value> {
             }
             // SQL: `x IN (empty set)` is FALSE even for NULL x.
             if rel.rows.is_empty() {
-                ctx.cov.hit("eval::in_subq_miss");
+                ctx.cov.hit(pt::EVAL_IN_SUBQ_MISS);
                 return Ok(bool3_to_value(Some(*negated), ctx));
             }
             let mut any_null = false;
@@ -223,18 +289,18 @@ pub fn eval_expr(expr: &Expr, env: EvalEnv) -> Result<Value> {
                 }
             }
             let b = if hit {
-                ctx.cov.hit("eval::in_subq_hit");
+                ctx.cov.hit(pt::EVAL_IN_SUBQ_HIT);
                 Some(true)
             } else if v.is_null() || any_null {
-                ctx.cov.hit("eval::in_subq_null");
+                ctx.cov.hit(pt::EVAL_IN_SUBQ_NULL);
                 None
             } else {
-                ctx.cov.hit("eval::in_subq_miss");
+                ctx.cov.hit(pt::EVAL_IN_SUBQ_MISS);
                 Some(false)
             };
             Ok(bool3_to_value(if *negated { not3(b) } else { b }, ctx))
         }
-        Expr::Exists { query, negated } => {
+        BoundExpr::Exists { query, negated } => {
             let rel = crate::exec::exec_subquery(query, env)?;
             let mut exists = !rel.rows.is_empty();
             // Bug hook: SqliteExistsJoinOnEmpty — an empty EXISTS inside a
@@ -245,45 +311,60 @@ pub fn eval_expr(expr: &Expr, env: EvalEnv) -> Result<Value> {
             {
                 exists = true;
             }
-            ctx.cov.hit(if exists { "eval::exists_true" } else { "eval::exists_false" });
+            ctx.cov.hit(if exists {
+                pt::EVAL_EXISTS_TRUE
+            } else {
+                pt::EVAL_EXISTS_FALSE
+            });
             let b = Some(exists != *negated);
             Ok(bool3_to_value(b, ctx))
         }
-        Expr::Scalar(query) => {
+        BoundExpr::Scalar {
+            query,
+            has_aggregate,
+        } => {
             // Bug hook: SqliteAggSubqueryIndexedWhere (Listing 1) — an
             // aggregate subquery with GROUP BY in the WHERE of an
-            // index-scanned query is misevaluated.
+            // index-scanned query is misevaluated. The trigger shape is
+            // precomputed by the binder.
             if ctx.bugs.active(BugId::SqliteAggSubqueryIndexedWhere)
                 && env.info.clause == Clause::Where
                 && env.info.via_index
-                && subquery_has_aggregate(query)
+                && *has_aggregate
             {
                 return Ok(Value::Int(1));
             }
             let rel = crate::exec::exec_subquery(query, env)?;
             if rel.rows.is_empty() {
-                ctx.cov.hit("eval::scalar_subq_empty");
+                ctx.cov.hit(pt::EVAL_SCALAR_SUBQ_EMPTY);
                 return Ok(Value::Null);
             }
             if rel.rows.len() > 1 {
-                return Err(Error::SubqueryCardinality("subquery returns more than 1 row".into()));
+                return Err(Error::SubqueryCardinality(
+                    "subquery returns more than 1 row".into(),
+                ));
             }
             if rel.columns.len() != 1 {
                 return Err(Error::SubqueryCardinality(
                     "operand should contain 1 column".into(),
                 ));
             }
-            ctx.cov.hit("eval::scalar_subq");
+            ctx.cov.hit(pt::EVAL_SCALAR_SUBQ);
             Ok(rel.rows[0][0].clone())
         }
-        Expr::Quantified { op, quantifier, expr: e, query } => {
+        BoundExpr::Quantified {
+            op,
+            quantifier,
+            expr: e,
+            query,
+        } => {
             if !ctx.dialect.supports_quantified() {
                 return Err(Error::Unsupported(format!(
                     "{} does not support ANY/ALL",
                     ctx.dialect
                 )));
             }
-            let v = eval_expr(e, env.child())?;
+            let v = eval_bound(e, env.child())?;
             let rel = crate::exec::exec_subquery(query, env)?;
             if !rel.rows.is_empty() && rel.columns.len() != 1 {
                 return Err(Error::SubqueryCardinality(
@@ -300,8 +381,8 @@ pub fn eval_expr(expr: &Expr, env: EvalEnv) -> Result<Value> {
                 quant = Quantifier::All;
             }
             ctx.cov.hit(match quant {
-                Quantifier::Any => "eval::quant_any",
-                Quantifier::All => "eval::quant_all",
+                Quantifier::Any => pt::EVAL_QUANT_ANY,
+                Quantifier::All => pt::EVAL_QUANT_ALL,
             });
             let mut any_null = false;
             let mut any_true = false;
@@ -340,92 +421,103 @@ pub fn eval_expr(expr: &Expr, env: EvalEnv) -> Result<Value> {
             };
             Ok(bool3_to_value(b, ctx))
         }
-        Expr::Case { operand, whens, else_expr } => {
+        BoundExpr::Case {
+            operand,
+            whens,
+            else_expr,
+            then_subquery,
+        } => {
             // Bug hook: TidbInternalCaseManyWhens.
             if ctx.bugs.active(BugId::TidbInternalCaseManyWhens) && whens.len() > 8 {
-                return Err(Error::Internal("CASE arm limit exceeded in plan cache".into()));
+                return Err(Error::Internal(
+                    "CASE arm limit exceeded in plan cache".into(),
+                ));
             }
             // Bug hook: DuckdbCaseSubqueryElse — a THEN arm containing a
-            // subquery makes the CASE take the ELSE arm.
+            // subquery makes the CASE take the ELSE arm (shape precomputed
+            // by the binder).
             if ctx.bugs.active(BugId::DuckdbCaseSubqueryElse)
                 && else_expr.is_some()
-                && whens.iter().any(|(_, t)| t.contains_subquery())
+                && *then_subquery
             {
-                ctx.cov.hit("eval::case_else");
-                return eval_expr(else_expr.as_ref().unwrap(), env.child());
+                ctx.cov.hit(pt::EVAL_CASE_ELSE);
+                return eval_bound(else_expr.as_ref().unwrap(), env.child());
             }
             match operand {
                 Some(op) => {
-                    ctx.cov.hit("eval::case_operand");
-                    let base = eval_expr(op, env.child())?;
+                    ctx.cov.hit(pt::EVAL_CASE_OPERAND);
+                    let base = eval_bound(op, env.child())?;
                     for (w, t) in whens {
-                        let wv = eval_expr(w, env.child())?;
+                        let wv = eval_bound(w, env.child())?;
                         if compare(&base, &wv, ctx, env.info)? == Some(Ordering::Equal) {
-                            return eval_expr(t, env.child());
+                            return eval_bound(t, env.child());
                         }
                     }
                 }
                 None => {
-                    ctx.cov.hit("eval::case_searched");
+                    ctx.cov.hit(pt::EVAL_CASE_SEARCHED);
                     for (w, t) in whens {
                         // Bug hook: CockroachCaseNullFromCte (Listing 7) —
                         // `WHEN NULL` takes the THEN branch when the query
                         // reads from a CTE.
                         if ctx.bugs.active(BugId::CockroachCaseNullFromCte)
                             && env.info.from_has_cte
-                            && matches!(w, Expr::Literal(Value::Null))
+                            && matches!(w, BoundExpr::Literal(Value::Null))
                         {
-                            return eval_expr(t, env.child());
+                            return eval_bound(t, env.child());
                         }
-                        let wv = eval_expr(w, env.child())?;
+                        let wv = eval_bound(w, env.child())?;
                         if truthiness(&wv, ctx)? == Some(true) {
-                            return eval_expr(t, env.child());
+                            return eval_bound(t, env.child());
                         }
                     }
                 }
             }
             match else_expr {
                 Some(e) => {
-                    ctx.cov.hit("eval::case_else");
-                    eval_expr(e, env.child())
+                    ctx.cov.hit(pt::EVAL_CASE_ELSE);
+                    eval_bound(e, env.child())
                 }
                 None => {
-                    ctx.cov.hit("eval::case_no_match");
+                    ctx.cov.hit(pt::EVAL_CASE_NO_MATCH);
                     Ok(Value::Null)
                 }
             }
         }
-        Expr::Func { func, args } => eval_func(*func, args, env),
-        Expr::Agg { .. } => match env.aggs {
+        BoundExpr::Func { func, args } => eval_func(*func, args, env),
+        BoundExpr::Agg { slot, .. } => match env.aggs {
             Some(aggs) => aggs
-                .iter()
-                .find(|(e, _)| e == expr)
-                .map(|(_, v)| v.clone())
+                .get(*slot as usize)
+                .cloned()
                 .ok_or_else(|| Error::Internal("aggregate value not precomputed".into())),
             None => Err(Error::Eval("misuse of aggregate function".into())),
         },
-        Expr::Cast { expr: e, ty } => {
-            let v = eval_expr(e, env.child())?;
+        BoundExpr::Cast { expr: e, ty } => {
+            let v = eval_bound(e, env.child())?;
             eval_cast(v, *ty, ctx)
         }
-        Expr::IsNull { expr: e, negated } => {
-            let v = eval_expr(e, env.child())?;
+        BoundExpr::IsNull { expr: e, negated } => {
+            let v = eval_bound(e, env.child())?;
             let mut b = v.is_null();
             // Bug hook: TidbIsNullTopLevelInverted.
             if ctx.bugs.active(BugId::TidbIsNullTopLevelInverted)
                 && env.info.top_level
                 && env.info.clause == Clause::Where
-                && !matches!(e.as_ref(), Expr::Literal(_))
+                && !matches!(e.as_ref(), BoundExpr::Literal(_))
             {
                 b = !b;
             }
             Ok(bool3_to_value(Some(b != *negated), ctx))
         }
-        Expr::Like { expr: e, pattern, negated } => {
-            let v = eval_expr(e, env.child())?;
-            let p = eval_expr(pattern, env.child())?;
+        BoundExpr::Like {
+            expr: e,
+            pattern,
+            negated,
+        } => {
+            let v = eval_bound(e, env.child())?;
+            let p = eval_bound(pattern, env.child())?;
             if v.is_null() || p.is_null() {
-                ctx.cov.hit("eval::like_null");
+                ctx.cov.hit(pt::EVAL_LIKE_NULL);
                 return Ok(Value::Null);
             }
             let text = value_to_text(&v, ctx, "LIKE")?;
@@ -449,7 +541,11 @@ pub fn eval_expr(expr: &Expr, env: EvalEnv) -> Result<Value> {
                 case_insensitive = false;
             }
             let mut matched = like_match(&text, &pat, case_insensitive);
-            ctx.cov.hit(if matched { "eval::like_match" } else { "eval::like_nomatch" });
+            ctx.cov.hit(if matched {
+                pt::EVAL_LIKE_MATCH
+            } else {
+                pt::EVAL_LIKE_NOMATCH
+            });
             let mut neg = *negated;
             // Bug hook: DuckdbNotLikeTopLevel — top-level NOT LIKE in WHERE
             // evaluates as plain LIKE.
@@ -468,70 +564,6 @@ pub fn eval_expr(expr: &Expr, env: EvalEnv) -> Result<Value> {
     }
 }
 
-/// The Listing-1 trigger shape: an *aggregate subquery* (the SQLite
-/// developers confirmed an aggregate subquery is a necessary condition for
-/// the modelled bug; the remaining conditions — GROUP-BY-by-sort inside
-/// the view, indexed expressions — are folded into the indexed-scan
-/// requirement at the call site).
-fn subquery_has_aggregate(q: &crate::ast::Select) -> bool {
-    let Some(core) = q.core() else { return false };
-    core.items.iter().any(|i| match i {
-        crate::ast::SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
-        _ => false,
-    })
-}
-
-fn resolve_column(c: &crate::ast::ColumnRef, env: EvalEnv) -> Result<Value> {
-    let ctx = env.ctx;
-    let want_table = c.table.as_deref().map(str::to_ascii_lowercase);
-    let want_col = c.column.to_ascii_lowercase();
-
-    let mut found: Option<(usize, usize)> = None; // (scope index from end, col index)
-    for (rev_idx, frame) in env.scopes.iter().rev().enumerate() {
-        let mut matches = frame.schema.cols.iter().enumerate().filter(|(_, col)| {
-            col.name == want_col
-                && match &want_table {
-                    Some(t) => col.table.as_deref() == Some(t.as_str()),
-                    None => true,
-                }
-        });
-        if let Some((idx, _)) = matches.next() {
-            if matches.next().is_some() {
-                return Err(Error::Catalog(format!("ambiguous column name: {}", c)));
-            }
-            found = Some((rev_idx, idx));
-            break;
-        }
-    }
-    let (mut rev_idx, mut col_idx) = found
-        .ok_or_else(|| Error::Catalog(format!("no such column: {}", c)))?;
-
-    // Bug hook: TidbCorrelatedNameCollision — a bare column that resolves
-    // in the subquery's own scope but shares its name with an outer column
-    // is wrongly bound to the outer row (the subquery is "misinterpreted
-    // as correlated").
-    if ctx.bugs.active(BugId::TidbCorrelatedNameCollision)
-        && want_table.is_none()
-        && rev_idx == 0
-        && env.scopes.len() > 1
-        && env.info.depth > 0
-    {
-        for (outer_rev, frame) in env.scopes.iter().rev().enumerate().skip(1) {
-            if let Some(idx) =
-                frame.schema.cols.iter().position(|col| col.name == want_col)
-            {
-                rev_idx = outer_rev;
-                col_idx = idx;
-                break;
-            }
-        }
-    }
-
-    ctx.cov.hit(if rev_idx == 0 { "eval::column_local" } else { "eval::column_outer" });
-    let frame = &env.scopes[env.scopes.len() - 1 - rev_idx];
-    Ok(frame.row[col_idx].clone())
-}
-
 fn and3(a: Bool3, b: Bool3) -> Bool3 {
     match (a, b) {
         (Some(false), _) | (_, Some(false)) => Some(false),
@@ -548,21 +580,21 @@ fn or3(a: Bool3, b: Bool3) -> Bool3 {
     }
 }
 
-fn eval_binary(op: BinaryOp, left: &Expr, right: &Expr, env: EvalEnv) -> Result<Value> {
+fn eval_binary(op: BinaryOp, left: &BoundExpr, right: &BoundExpr, env: EvalEnv) -> Result<Value> {
     let ctx = env.ctx;
     match op {
         BinaryOp::And => {
-            let lv = eval_expr(left, env.child())?;
+            let lv = eval_bound(left, env.child())?;
             let lb = truthiness(&lv, ctx)?;
             if lb == Some(false) {
-                ctx.cov.hit("eval::and_short");
+                ctx.cov.hit(pt::EVAL_AND_SHORT);
                 return Ok(bool3_to_value(Some(false), ctx));
             }
-            let rv = eval_expr(right, env.child())?;
+            let rv = eval_bound(right, env.child())?;
             let rb = truthiness(&rv, ctx)?;
             let b = and3(lb, rb);
             if b.is_none() {
-                ctx.cov.hit("eval::and_null");
+                ctx.cov.hit(pt::EVAL_AND_NULL);
             }
             Ok(bool3_to_value(b, ctx))
         }
@@ -575,36 +607,36 @@ fn eval_binary(op: BinaryOp, left: &Expr, right: &Expr, env: EvalEnv) -> Result<
                 && env.info.clause == Clause::Where
                 && ctx.stmt == StmtKind::Select
             {
-                if let Expr::Literal(v) = left {
+                if let BoundExpr::Literal(v) = left {
                     if matches!(v, Value::Bool(false) | Value::Int(0)) {
                         return Ok(bool3_to_value(Some(false), ctx));
                     }
                 }
             }
-            let lv = eval_expr(left, env.child())?;
+            let lv = eval_bound(left, env.child())?;
             let lb = truthiness(&lv, ctx)?;
             if lb == Some(true) {
-                ctx.cov.hit("eval::or_short");
+                ctx.cov.hit(pt::EVAL_OR_SHORT);
                 return Ok(bool3_to_value(Some(true), ctx));
             }
-            let rv = eval_expr(right, env.child())?;
+            let rv = eval_bound(right, env.child())?;
             let rb = truthiness(&rv, ctx)?;
             let b = or3(lb, rb);
             if b.is_none() {
-                ctx.cov.hit("eval::or_null");
+                ctx.cov.hit(pt::EVAL_OR_NULL);
             }
             Ok(bool3_to_value(b, ctx))
         }
         BinaryOp::Is | BinaryOp::IsNot => {
-            ctx.cov.hit("eval::is_op");
-            let lv = eval_expr(left, env.child())?;
-            let rv = eval_expr(right, env.child())?;
+            ctx.cov.hit(pt::EVAL_IS_OP);
+            let lv = eval_bound(left, env.child())?;
+            let rv = eval_bound(right, env.child())?;
             let same = lv.is_identical(&rv);
             Ok(bool3_to_value(Some(same == (op == BinaryOp::Is)), ctx))
         }
         _ if op.is_comparison() => {
-            let lv = eval_expr(left, env.child())?;
-            let rv = eval_expr(right, env.child())?;
+            let lv = eval_bound(left, env.child())?;
+            let rv = eval_bound(right, env.child())?;
             // Bug hook: DuckdbSubqueryBoolCoerce — a boolean result of a
             // scalar subquery is "coerced" before the comparison,
             // inverting it.
@@ -613,16 +645,16 @@ fn eval_binary(op: BinaryOp, left: &Expr, right: &Expr, env: EvalEnv) -> Result<
             let ord = compare_with_bugs(&lv, &rv, ctx, env)?;
             let b = ord.map(|o| cmp_matches(op, o));
             ctx.cov.hit(match b {
-                Some(true) => "eval::cmp_true",
-                Some(false) => "eval::cmp_false",
-                None => "eval::cmp_null",
+                Some(true) => pt::EVAL_CMP_TRUE,
+                Some(false) => pt::EVAL_CMP_FALSE,
+                None => pt::EVAL_CMP_NULL,
             });
             Ok(bool3_to_value(b, ctx))
         }
         BinaryOp::Concat => {
-            ctx.cov.hit("eval::concat");
-            let lv = eval_expr(left, env.child())?;
-            let rv = eval_expr(right, env.child())?;
+            ctx.cov.hit(pt::EVAL_CONCAT);
+            let lv = eval_bound(left, env.child())?;
+            let rv = eval_bound(right, env.child())?;
             if lv.is_null() || rv.is_null() {
                 return Ok(Value::Null);
             }
@@ -634,7 +666,9 @@ fn eval_binary(op: BinaryOp, left: &Expr, right: &Expr, env: EvalEnv) -> Result<
                     (Value::Text(_), Value::Real(_)) | (Value::Real(_), Value::Text(_))
                 )
             {
-                return Err(Error::Internal("affinity confusion in indexed expression".into()));
+                return Err(Error::Internal(
+                    "affinity confusion in indexed expression".into(),
+                ));
             }
             let l = value_to_text(&lv, ctx, "||")?;
             let r = value_to_text(&rv, ctx, "||")?;
@@ -642,15 +676,15 @@ fn eval_binary(op: BinaryOp, left: &Expr, right: &Expr, env: EvalEnv) -> Result<
         }
         _ => {
             debug_assert!(op.is_arithmetic());
-            let lv = eval_expr(left, env.child())?;
-            let rv = eval_expr(right, env.child())?;
+            let lv = eval_bound(left, env.child())?;
+            let rv = eval_bound(right, env.child())?;
             eval_arith(op, lv, rv, env)
         }
     }
 }
 
-fn coerce_subquery_bool(v: Value, e: &Expr, ctx: &EngineCtx) -> Value {
-    if ctx.bugs.active(BugId::DuckdbSubqueryBoolCoerce) && matches!(e, Expr::Scalar(_)) {
+fn coerce_subquery_bool(v: Value, e: &BoundExpr, ctx: &EngineCtx) -> Value {
+    if ctx.bugs.active(BugId::DuckdbSubqueryBoolCoerce) && matches!(e, BoundExpr::Scalar { .. }) {
         // The modelled bug mishandles the subquery's return type before a
         // comparison: booleans invert, integers come back sign-flipped.
         match v {
@@ -684,8 +718,7 @@ pub fn compare(a: &Value, b: &Value, ctx: &EngineCtx, _info: ExprCtx) -> Result<
         return Ok(None);
     }
     let (at, bt) = (a.data_type(), b.data_type());
-    let numeric =
-        |t: DataType| matches!(t, DataType::Int | DataType::Real | DataType::Bool);
+    let numeric = |t: DataType| matches!(t, DataType::Int | DataType::Real | DataType::Bool);
     if ctx.dialect.strict_types() {
         let compatible = at == bt || (numeric(at) && numeric(bt));
         if !compatible {
@@ -693,7 +726,10 @@ pub fn compare(a: &Value, b: &Value, ctx: &EngineCtx, _info: ExprCtx) -> Result<
         }
     }
     // MySQL-family numeric coercion of text.
-    if matches!(ctx.dialect, crate::dialect::Dialect::Mysql | crate::dialect::Dialect::Tidb) {
+    if matches!(
+        ctx.dialect,
+        crate::dialect::Dialect::Mysql | crate::dialect::Dialect::Tidb
+    ) {
         let is_text = |v: &Value| matches!(v, Value::Text(_));
         if (is_text(a) && numeric(bt)) || (numeric(at) && is_text(b)) {
             return Ok(Some(a.coerce_f64().total_cmp(&b.coerce_f64())));
@@ -702,7 +738,12 @@ pub fn compare(a: &Value, b: &Value, ctx: &EngineCtx, _info: ExprCtx) -> Result<
     Ok(a.sql_cmp(b))
 }
 
-fn compare_with_bugs(a: &Value, b: &Value, ctx: &EngineCtx, env: EvalEnv) -> Result<Option<Ordering>> {
+fn compare_with_bugs(
+    a: &Value,
+    b: &Value,
+    ctx: &EngineCtx,
+    env: EvalEnv,
+) -> Result<Option<Ordering>> {
     // MySQL dialect rule (not a bug): cross-type TEXT/number comparisons
     // are rejected in UPDATE/DELETE (§4.2: the DQE semantic-error case).
     let is_text = |v: &Value| matches!(v, Value::Text(_));
@@ -729,9 +770,9 @@ fn compare_with_bugs(a: &Value, b: &Value, ctx: &EngineCtx, env: EvalEnv) -> Res
     compare(a, b, ctx, env.info)
 }
 
-fn eval_in_list(e: &Expr, list: &[Expr], negated: bool, env: EvalEnv) -> Result<Value> {
+fn eval_in_list(e: &BoundExpr, list: &[BoundExpr], negated: bool, env: EvalEnv) -> Result<Value> {
     let ctx = env.ctx;
-    let v = eval_expr(e, env.child())?;
+    let v = eval_bound(e, env.child())?;
 
     // Bug hook: TidbInValueListWhere (Listing 10) — a top-level IN value
     // list in a WHERE filter evaluates to FALSE (in every statement kind,
@@ -746,14 +787,14 @@ fn eval_in_list(e: &Expr, list: &[Expr], negated: bool, env: EvalEnv) -> Result<
 
     // SQL: `x IN ()` over an empty list is FALSE even for NULL x.
     if list.is_empty() {
-        ctx.cov.hit("eval::in_list_miss");
+        ctx.cov.hit(pt::EVAL_IN_LIST_MISS);
         return Ok(bool3_to_value(Some(negated), ctx));
     }
     // Evaluate all items up front (lists are short); the Listing-9 bug
     // hook below is keyed on the item *values*.
     let mut items = Vec::with_capacity(list.len());
     for item in list {
-        items.push(eval_expr(item, env.child())?);
+        items.push(eval_bound(item, env.child())?);
     }
 
     // Bug hook: CockroachInBigIntValueList (Listing 9) — an IN list with an
@@ -787,13 +828,13 @@ fn eval_in_list(e: &Expr, list: &[Expr], negated: bool, env: EvalEnv) -> Result<
         }
     }
     let b = if hit {
-        ctx.cov.hit("eval::in_list_hit");
+        ctx.cov.hit(pt::EVAL_IN_LIST_HIT);
         Some(true)
     } else if any_null {
-        ctx.cov.hit("eval::in_list_null");
+        ctx.cov.hit(pt::EVAL_IN_LIST_NULL);
         None
     } else {
-        ctx.cov.hit("eval::in_list_miss");
+        ctx.cov.hit(pt::EVAL_IN_LIST_MISS);
         Some(false)
     };
     Ok(bool3_to_value(if negated { not3(b) } else { b }, ctx))
@@ -802,7 +843,7 @@ fn eval_in_list(e: &Expr, list: &[Expr], negated: bool, env: EvalEnv) -> Result<
 fn eval_arith(op: BinaryOp, lv: Value, rv: Value, env: EvalEnv) -> Result<Value> {
     let ctx = env.ctx;
     if lv.is_null() || rv.is_null() {
-        ctx.cov.hit("eval::arith_null");
+        ctx.cov.hit(pt::EVAL_ARITH_NULL);
         return Ok(Value::Null);
     }
     if ctx.dialect.strict_types() {
@@ -820,7 +861,7 @@ fn eval_arith(op: BinaryOp, lv: Value, rv: Value, env: EvalEnv) -> Result<Value>
     match op {
         BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul => {
             if both_int {
-                ctx.cov.hit("eval::arith_int");
+                ctx.cov.hit(pt::EVAL_ARITH_INT);
                 let a = lv.as_i64().unwrap();
                 let b = rv.as_i64().unwrap();
                 let r = match op {
@@ -831,7 +872,7 @@ fn eval_arith(op: BinaryOp, lv: Value, rv: Value, env: EvalEnv) -> Result<Value>
                 match r {
                     Some(v) => Ok(Value::Int(v)),
                     None => {
-                        ctx.cov.hit("eval::arith_overflow");
+                        ctx.cov.hit(pt::EVAL_ARITH_OVERFLOW);
                         // Bug hook: DuckdbInternalOverflowAddProj
                         // (Listing 11) — overflow in a projection raises an
                         // internal error instead of a clean one.
@@ -847,7 +888,7 @@ fn eval_arith(op: BinaryOp, lv: Value, rv: Value, env: EvalEnv) -> Result<Value>
                     }
                 }
             } else {
-                ctx.cov.hit("eval::arith_real");
+                ctx.cov.hit(pt::EVAL_ARITH_REAL);
                 let a = lv.coerce_f64();
                 let b = rv.coerce_f64();
                 let r = match op {
@@ -864,14 +905,14 @@ fn eval_arith(op: BinaryOp, lv: Value, rv: Value, env: EvalEnv) -> Result<Value>
                 return div_by_zero(ctx);
             }
             if both_int && !ctx.dialect.int_div_yields_real() {
-                ctx.cov.hit("eval::arith_int");
+                ctx.cov.hit(pt::EVAL_ARITH_INT);
                 let a = lv.as_i64().unwrap();
                 let b = rv.as_i64().unwrap();
                 a.checked_div(b)
                     .map(Value::Int)
                     .ok_or_else(|| Error::Eval("integer overflow in division".into()))
             } else {
-                ctx.cov.hit("eval::arith_real");
+                ctx.cov.hit(pt::EVAL_ARITH_REAL);
                 Ok(finite_or_null(lv.coerce_f64() / b_num))
             }
         }
@@ -887,7 +928,7 @@ fn eval_arith(op: BinaryOp, lv: Value, rv: Value, env: EvalEnv) -> Result<Value>
             if b == 0 {
                 return div_by_zero(ctx);
             }
-            ctx.cov.hit("eval::arith_int");
+            ctx.cov.hit(pt::EVAL_ARITH_INT);
             a.checked_rem(b)
                 .map(Value::Int)
                 .ok_or_else(|| Error::Eval("integer overflow in modulo".into()))
@@ -898,10 +939,10 @@ fn eval_arith(op: BinaryOp, lv: Value, rv: Value, env: EvalEnv) -> Result<Value>
 
 fn div_by_zero(ctx: &EngineCtx) -> Result<Value> {
     if ctx.dialect.div_by_zero_is_null() {
-        ctx.cov.hit("eval::div_zero_null");
+        ctx.cov.hit(pt::EVAL_DIV_ZERO_NULL);
         Ok(Value::Null)
     } else {
-        ctx.cov.hit("eval::div_zero_error");
+        ctx.cov.hit(pt::EVAL_DIV_ZERO_ERROR);
         Err(Error::Eval("division by zero".into()))
     }
 }
@@ -921,7 +962,10 @@ fn value_to_text(v: &Value, ctx: &EngineCtx, op: &str) -> Result<String> {
     match v {
         Value::Text(s) => Ok(s.clone()),
         other if !ctx.dialect.strict_types() => Ok(other.to_string()),
-        other => Err(Error::Type(format!("{op} expects TEXT, got {}", other.data_type()))),
+        other => Err(Error::Type(format!(
+            "{op} expects TEXT, got {}",
+            other.data_type()
+        ))),
     }
 }
 
@@ -931,7 +975,7 @@ fn eval_cast(v: Value, ty: DataType, ctx: &EngineCtx) -> Result<Value> {
     }
     match ty {
         DataType::Int => {
-            ctx.cov.hit("eval::cast_int");
+            ctx.cov.hit(pt::EVAL_CAST_INT);
             match &v {
                 Value::Int(i) => Ok(Value::Int(*i)),
                 Value::Bool(b) => Ok(Value::Int(*b as i64)),
@@ -959,7 +1003,7 @@ fn eval_cast(v: Value, ty: DataType, ctx: &EngineCtx) -> Result<Value> {
             }
         }
         DataType::Real => {
-            ctx.cov.hit("eval::cast_real");
+            ctx.cov.hit(pt::EVAL_CAST_REAL);
             match &v {
                 Value::Real(r) => Ok(Value::Real(*r)),
                 Value::Int(i) => Ok(Value::Real(*i as f64)),
@@ -978,11 +1022,11 @@ fn eval_cast(v: Value, ty: DataType, ctx: &EngineCtx) -> Result<Value> {
             }
         }
         DataType::Text => {
-            ctx.cov.hit("eval::cast_text");
+            ctx.cov.hit(pt::EVAL_CAST_TEXT);
             Ok(Value::Text(v.to_string()))
         }
         DataType::Bool => {
-            ctx.cov.hit("eval::cast_bool");
+            ctx.cov.hit(pt::EVAL_CAST_BOOL);
             match &v {
                 Value::Bool(b) => Ok(Value::Bool(*b)),
                 Value::Int(i) => Ok(Value::Bool(*i != 0)),
@@ -992,9 +1036,7 @@ fn eval_cast(v: Value, ty: DataType, ctx: &EngineCtx) -> Result<Value> {
                     match t.as_str() {
                         "true" | "t" | "1" => Ok(Value::Bool(true)),
                         "false" | "f" | "0" => Ok(Value::Bool(false)),
-                        _ if !ctx.dialect.strict_types() => {
-                            Ok(Value::Bool(v.coerce_f64() != 0.0))
-                        }
+                        _ if !ctx.dialect.strict_types() => Ok(Value::Bool(v.coerce_f64() != 0.0)),
                         _ => Err(Error::Eval(format!("could not parse {s:?} as BOOLEAN"))),
                     }
                 }
@@ -1005,7 +1047,7 @@ fn eval_cast(v: Value, ty: DataType, ctx: &EngineCtx) -> Result<Value> {
     }
 }
 
-fn eval_func(func: FuncName, args: &[Expr], env: EvalEnv) -> Result<Value> {
+fn eval_func(func: FuncName, args: &[BoundExpr], env: EvalEnv) -> Result<Value> {
     let ctx = env.ctx;
     let arity_err = |want: &str| {
         Err(Error::Eval(format!(
@@ -1019,8 +1061,8 @@ fn eval_func(func: FuncName, args: &[Expr], env: EvalEnv) -> Result<Value> {
             if args.len() != 1 {
                 return arity_err("1");
             }
-            ctx.cov.hit("eval::func_length");
-            let v = eval_expr(&args[0], env.child())?;
+            ctx.cov.hit(pt::EVAL_FUNC_LENGTH);
+            let v = eval_bound(&args[0], env.child())?;
             if v.is_null() {
                 return Ok(Value::Null);
             }
@@ -1031,18 +1073,19 @@ fn eval_func(func: FuncName, args: &[Expr], env: EvalEnv) -> Result<Value> {
             if args.len() != 1 {
                 return arity_err("1");
             }
-            ctx.cov.hit("eval::func_abs");
-            match eval_expr(&args[0], env.child())? {
+            ctx.cov.hit(pt::EVAL_FUNC_ABS);
+            match eval_bound(&args[0], env.child())? {
                 Value::Null => Ok(Value::Null),
                 Value::Int(i) => i
                     .checked_abs()
                     .map(Value::Int)
                     .ok_or_else(|| Error::Eval("integer overflow in ABS".into())),
                 Value::Real(r) => Ok(Value::Real(r.abs())),
-                other if !ctx.dialect.strict_types() => {
-                    Ok(Value::Real(other.coerce_f64().abs()))
-                }
-                other => Err(Error::Type(format!("ABS expects a number, got {}", other.data_type()))),
+                other if !ctx.dialect.strict_types() => Ok(Value::Real(other.coerce_f64().abs())),
+                other => Err(Error::Type(format!(
+                    "ABS expects a number, got {}",
+                    other.data_type()
+                ))),
             }
         }
         FuncName::Upper | FuncName::Lower => {
@@ -1050,11 +1093,11 @@ fn eval_func(func: FuncName, args: &[Expr], env: EvalEnv) -> Result<Value> {
                 return arity_err("1");
             }
             ctx.cov.hit(if func == FuncName::Upper {
-                "eval::func_upper"
+                pt::EVAL_FUNC_UPPER
             } else {
-                "eval::func_lower"
+                pt::EVAL_FUNC_LOWER
             });
-            let v = eval_expr(&args[0], env.child())?;
+            let v = eval_bound(&args[0], env.child())?;
             if v.is_null() {
                 return Ok(Value::Null);
             }
@@ -1069,9 +1112,9 @@ fn eval_func(func: FuncName, args: &[Expr], env: EvalEnv) -> Result<Value> {
             if args.is_empty() {
                 return arity_err(">=1");
             }
-            ctx.cov.hit("eval::func_coalesce");
+            ctx.cov.hit(pt::EVAL_FUNC_COALESCE);
             for a in args {
-                let v = eval_expr(a, env.child())?;
+                let v = eval_bound(a, env.child())?;
                 if !v.is_null() {
                     return Ok(v);
                 }
@@ -1082,9 +1125,9 @@ fn eval_func(func: FuncName, args: &[Expr], env: EvalEnv) -> Result<Value> {
             if args.len() != 2 {
                 return arity_err("2");
             }
-            ctx.cov.hit("eval::func_nullif");
-            let a = eval_expr(&args[0], env.child())?;
-            let b = eval_expr(&args[1], env.child())?;
+            ctx.cov.hit(pt::EVAL_FUNC_NULLIF);
+            let a = eval_bound(&args[0], env.child())?;
+            let b = eval_bound(&args[1], env.child())?;
             if compare(&a, &b, ctx, env.info)? == Some(Ordering::Equal) {
                 Ok(Value::Null)
             } else {
@@ -1095,20 +1138,20 @@ fn eval_func(func: FuncName, args: &[Expr], env: EvalEnv) -> Result<Value> {
             if args.len() != 3 {
                 return arity_err("3");
             }
-            ctx.cov.hit("eval::func_iif");
-            let c = eval_expr(&args[0], env.child())?;
+            ctx.cov.hit(pt::EVAL_FUNC_IIF);
+            let c = eval_bound(&args[0], env.child())?;
             if truthiness(&c, ctx)? == Some(true) {
-                eval_expr(&args[1], env.child())
+                eval_bound(&args[1], env.child())
             } else {
-                eval_expr(&args[2], env.child())
+                eval_bound(&args[2], env.child())
             }
         }
         FuncName::Typeof => {
             if args.len() != 1 {
                 return arity_err("1");
             }
-            ctx.cov.hit("eval::func_typeof");
-            let v = eval_expr(&args[0], env.child())?;
+            ctx.cov.hit(pt::EVAL_FUNC_TYPEOF);
+            let v = eval_bound(&args[0], env.child())?;
             let name = match v {
                 Value::Null => "null",
                 Value::Int(_) => "integer",
@@ -1122,20 +1165,20 @@ fn eval_func(func: FuncName, args: &[Expr], env: EvalEnv) -> Result<Value> {
             if !args.is_empty() {
                 return arity_err("0");
             }
-            ctx.cov.hit("eval::func_version");
+            ctx.cov.hit(pt::EVAL_FUNC_VERSION);
             Ok(Value::Text(ctx.dialect.version_string().into()))
         }
         FuncName::Round => {
             if args.is_empty() || args.len() > 2 {
                 return arity_err("1 or 2");
             }
-            ctx.cov.hit("eval::func_round");
-            let v = eval_expr(&args[0], env.child())?;
+            ctx.cov.hit(pt::EVAL_FUNC_ROUND);
+            let v = eval_bound(&args[0], env.child())?;
             if v.is_null() {
                 return Ok(Value::Null);
             }
             let p = if args.len() == 2 {
-                match eval_expr(&args[1], env.child())? {
+                match eval_bound(&args[1], env.child())? {
                     Value::Null => return Ok(Value::Null),
                     pv => pv.as_i64().unwrap_or(0),
                 }
@@ -1144,7 +1187,9 @@ fn eval_func(func: FuncName, args: &[Expr], env: EvalEnv) -> Result<Value> {
             };
             // Bug hook: TidbInternalRoundHuge.
             if ctx.bugs.active(BugId::TidbInternalRoundHuge) && p > 10 {
-                return Err(Error::Internal("ROUND precision exceeds decimal window".into()));
+                return Err(Error::Internal(
+                    "ROUND precision exceeds decimal window".into(),
+                ));
             }
             let x = match v.as_f64() {
                 Some(x) => x,
@@ -1164,8 +1209,8 @@ fn eval_func(func: FuncName, args: &[Expr], env: EvalEnv) -> Result<Value> {
             if args.len() != 1 {
                 return arity_err("1");
             }
-            ctx.cov.hit("eval::func_sign");
-            let v = eval_expr(&args[0], env.child())?;
+            ctx.cov.hit(pt::EVAL_FUNC_SIGN);
+            let v = eval_bound(&args[0], env.child())?;
             if v.is_null() {
                 return Ok(Value::Null);
             }
@@ -1191,9 +1236,9 @@ fn eval_func(func: FuncName, args: &[Expr], env: EvalEnv) -> Result<Value> {
             if args.len() != 2 {
                 return arity_err("2");
             }
-            ctx.cov.hit("eval::func_instr");
-            let a = eval_expr(&args[0], env.child())?;
-            let b = eval_expr(&args[1], env.child())?;
+            ctx.cov.hit(pt::EVAL_FUNC_INSTR);
+            let a = eval_bound(&args[0], env.child())?;
+            let b = eval_bound(&args[1], env.child())?;
             if a.is_null() || b.is_null() {
                 return Ok(Value::Null);
             }
@@ -1209,9 +1254,9 @@ fn eval_func(func: FuncName, args: &[Expr], env: EvalEnv) -> Result<Value> {
             if args.len() < 2 || args.len() > 3 {
                 return arity_err("2 or 3");
             }
-            ctx.cov.hit("eval::func_substr");
-            let s = eval_expr(&args[0], env.child())?;
-            let start = eval_expr(&args[1], env.child())?;
+            ctx.cov.hit(pt::EVAL_FUNC_SUBSTR);
+            let s = eval_bound(&args[0], env.child())?;
+            let start = eval_bound(&args[1], env.child())?;
             if s.is_null() || start.is_null() {
                 return Ok(Value::Null);
             }
@@ -1219,7 +1264,9 @@ fn eval_func(func: FuncName, args: &[Expr], env: EvalEnv) -> Result<Value> {
             let start = start.as_i64().unwrap_or(1);
             // Bug hook: TidbInternalSubstrNegative.
             if ctx.bugs.active(BugId::TidbInternalSubstrNegative) && start < 0 {
-                return Err(Error::Internal("negative SUBSTR offset underflows cursor".into()));
+                return Err(Error::Internal(
+                    "negative SUBSTR offset underflows cursor".into(),
+                ));
             }
             let chars: Vec<char> = text.chars().collect();
             let len = chars.len() as i64;
@@ -1232,7 +1279,7 @@ fn eval_func(func: FuncName, args: &[Expr], env: EvalEnv) -> Result<Value> {
                 0
             };
             let take = if args.len() == 3 {
-                match eval_expr(&args[2], env.child())? {
+                match eval_bound(&args[2], env.child())? {
                     Value::Null => return Ok(Value::Null),
                     v => v.as_i64().unwrap_or(0).max(0),
                 }
@@ -1286,8 +1333,10 @@ pub fn like_match(text: &str, pattern: &str, case_insensitive: bool) -> bool {
 // Aggregate computation (used by the executor's grouping stage).
 // ---------------------------------------------------------------------------
 
-/// Precomputed aggregate values for one group, keyed by the aggregate's AST.
-pub type AggValues = Vec<(Expr, Value)>;
+/// Precomputed aggregate values for one group, indexed by the slot the
+/// binder assigned to each distinct aggregate expression
+/// ([`crate::bind::AggSpec`]).
+pub type AggValues = Vec<Value>;
 
 /// Compute one aggregate over the values of its argument for a group.
 /// `values` holds the evaluated argument per row (empty for COUNT(*), which
@@ -1300,21 +1349,27 @@ pub fn compute_aggregate(
 ) -> Result<Value> {
     let ctx = env.ctx;
     if distinct {
-        ctx.cov.hit("agg::distinct");
+        ctx.cov.hit(pt::AGG_DISTINCT);
         values.sort_by(|a, b| a.total_cmp(b));
         values.dedup_by(|a, b| a.is_identical(b));
     }
     match func {
         AggFunc::CountStar => {
-            ctx.cov.hit("agg::count_star");
+            ctx.cov.hit(pt::AGG_COUNT_STAR);
             Ok(Value::Int(values.len() as i64))
         }
         AggFunc::Count => {
-            ctx.cov.hit("agg::count");
-            Ok(Value::Int(values.iter().filter(|v| !v.is_null()).count() as i64))
+            ctx.cov.hit(pt::AGG_COUNT);
+            Ok(Value::Int(
+                values.iter().filter(|v| !v.is_null()).count() as i64
+            ))
         }
         AggFunc::Min | AggFunc::Max => {
-            ctx.cov.hit(if func == AggFunc::Min { "agg::min" } else { "agg::max" });
+            ctx.cov.hit(if func == AggFunc::Min {
+                pt::AGG_MIN
+            } else {
+                pt::AGG_MAX
+            });
             let mut best: Option<Value> = None;
             for v in values {
                 if v.is_null() {
@@ -1337,14 +1392,14 @@ pub fn compute_aggregate(
                 });
             }
             if best.is_none() {
-                ctx.cov.hit("agg::empty");
+                ctx.cov.hit(pt::AGG_EMPTY);
             }
             Ok(best.unwrap_or(Value::Null))
         }
         AggFunc::Sum | AggFunc::Total | AggFunc::Avg => {
             let nonnull: Vec<&Value> = values.iter().filter(|v| !v.is_null()).collect();
             if nonnull.is_empty() {
-                ctx.cov.hit("agg::empty");
+                ctx.cov.hit(pt::AGG_EMPTY);
                 // Bug hook: TidbAvgDistinctNestedZero — AVG(DISTINCT) over
                 // empty input inside a nested subquery returns 0.
                 if func == AggFunc::Avg
@@ -1363,7 +1418,7 @@ pub fn compute_aggregate(
                 .iter()
                 .all(|v| matches!(v, Value::Int(_) | Value::Bool(_)));
             if func == AggFunc::Sum && all_int {
-                ctx.cov.hit("agg::sum_int");
+                ctx.cov.hit(pt::AGG_SUM_INT);
                 let mut acc: i64 = 0;
                 for v in &nonnull {
                     acc = acc
@@ -1396,7 +1451,7 @@ pub fn compute_aggregate(
                 && env.info.depth > 0
                 && ctx.bugs.active(BugId::CockroachAvgNestedReverse)
             {
-                ctx.cov.hit("agg::avg");
+                ctx.cov.hit(pt::AGG_AVG);
                 let mut acc: f32 = 0.0;
                 for x in reals.iter().rev() {
                     acc += *x as f32;
@@ -1407,15 +1462,15 @@ pub fn compute_aggregate(
             let sum: f64 = reals.iter().sum();
             match func {
                 AggFunc::Sum => {
-                    ctx.cov.hit("agg::sum_real");
+                    ctx.cov.hit(pt::AGG_SUM_REAL);
                     Ok(finite_or_null(sum))
                 }
                 AggFunc::Total => {
-                    ctx.cov.hit("agg::total");
+                    ctx.cov.hit(pt::AGG_TOTAL);
                     Ok(finite_or_null(sum))
                 }
                 AggFunc::Avg => {
-                    ctx.cov.hit("agg::avg");
+                    ctx.cov.hit(pt::AGG_AVG);
                     Ok(finite_or_null(sum / reals.len() as f64))
                 }
                 _ => unreachable!(),

@@ -12,14 +12,33 @@ use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use crate::ast::{AggFunc, Expr, JoinKind, Select, SelectItem, SetOp, SortOrder};
+use crate::bind::{Binder, BoundExpr};
 use crate::bugs::{BugId, BugRegistry};
 use crate::catalog::Catalog;
-use crate::coverage::Coverage;
+use crate::coverage::{pt, Coverage};
 use crate::dialect::Dialect;
 use crate::error::{Error, Result};
-use crate::eval::{compute_aggregate, eval_expr, truthiness, AggValues, Clause, ExprCtx};
+use crate::eval::{
+    compute_aggregate, eval_bound, eval_expr, truthiness, AggValues, Clause, ExprCtx,
+};
 use crate::plan::{self, BodyPlan, CorePlan, FromPlan, PlanCtx, SelectPlan};
 use crate::value::{OrdRow, OrdValue, Relation, Row, Value};
+
+/// How often clause expressions are bound during execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BindMode {
+    /// Bind once per operator instantiation, evaluate per row (default).
+    #[default]
+    PerQuery,
+    /// Re-bind (re-resolve every column name) for every row. This is the
+    /// tree-walking baseline the bind-once pipeline replaced; it exists so
+    /// benchmarks can compare the two on identical machinery. Note the
+    /// baseline allocates a fresh bound tree per row, which is more work
+    /// than the original by-name interpreter's per-ColumnRef allocation —
+    /// `bind_vs_walk` numbers measure bind-once vs. per-row binding, not
+    /// vs. the historical implementation bit for bit.
+    PerRow,
+}
 
 /// Which statement kind is executing (several mutants key on this).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,6 +57,9 @@ pub struct EngineCtx<'a> {
     pub cov: &'a Coverage,
     pub optimize: bool,
     pub stmt: StmtKind,
+    /// Baseline mode: re-bind clause expressions for every row (see
+    /// [`BindMode::PerRow`]).
+    pub rebind_per_row: bool,
     fuel: Cell<u64>,
 }
 
@@ -51,7 +73,16 @@ impl<'a> EngineCtx<'a> {
         stmt: StmtKind,
         fuel: u64,
     ) -> Self {
-        EngineCtx { catalog, dialect, bugs, cov, optimize, stmt, fuel: Cell::new(fuel) }
+        EngineCtx {
+            catalog,
+            dialect,
+            bugs,
+            cov,
+            optimize,
+            stmt,
+            rebind_per_row: false,
+            fuel: Cell::new(fuel),
+        }
     }
 
     /// Spend `n` units of row work; exceeding the budget is a hang.
@@ -87,6 +118,30 @@ pub struct ColMeta {
     pub from_view: bool,
     /// True when the column came from a CTE scan.
     pub from_cte: bool,
+}
+
+impl ColMeta {
+    /// Case-normalize names once, at schema construction — the binder and
+    /// the legacy by-name lookup both rely on `table`/`name` being
+    /// lowercase so per-lookup comparisons never allocate.
+    pub fn new(table: Option<&str>, name: &str) -> ColMeta {
+        ColMeta {
+            table: table.map(str::to_ascii_lowercase),
+            name: name.to_ascii_lowercase(),
+            from_view: false,
+            from_cte: false,
+        }
+    }
+
+    pub fn from_view(mut self, from_view: bool) -> ColMeta {
+        self.from_view = from_view;
+        self
+    }
+
+    pub fn from_cte(mut self, from_cte: bool) -> ColMeta {
+        self.from_cte = from_cte;
+        self
+    }
 }
 
 /// Schema of a relation in flight.
@@ -125,7 +180,10 @@ pub struct CteData {
 
 impl CteEnv<'static> {
     pub fn root() -> Self {
-        CteEnv { parent: None, entries: Vec::new() }
+        CteEnv {
+            parent: None,
+            entries: Vec::new(),
+        }
     }
 }
 
@@ -160,8 +218,73 @@ pub struct EvalEnv<'a> {
 impl<'a> EvalEnv<'a> {
     /// Environment for child sub-expressions (clears `top_level`).
     pub fn child(self) -> Self {
-        EvalEnv { info: self.info.child(), ..self }
+        EvalEnv {
+            info: self.info.child(),
+            ..self
+        }
     }
+}
+
+/// A clause expression compiled once per operator instantiation: the AST
+/// is kept (borrowed — operator inputs outlive their row loops) for the
+/// shape-sensitive bug hooks, the bound form is what the per-row loop
+/// evaluates.
+pub(crate) struct Prepared<'p> {
+    ast: &'p Expr,
+    bound: BoundExpr,
+}
+
+impl<'p> Prepared<'p> {
+    /// Bind `expr` against the scope stack (outermost schema first).
+    pub(crate) fn new(expr: &'p Expr, scopes: &[&Schema], depth: u32) -> Result<Prepared<'p>> {
+        let mut binder = Binder::new(scopes, depth);
+        Ok(Prepared {
+            bound: binder.bind(expr)?,
+            ast: expr,
+        })
+    }
+
+    pub(crate) fn ast(&self) -> &Expr {
+        self.ast
+    }
+
+    /// Evaluate for one row. In the default mode this is a bound-form
+    /// walk with zero name resolution; in [`BindMode::PerRow`] it re-binds
+    /// from the AST first (the tree-walking baseline).
+    #[inline]
+    pub(crate) fn eval(&self, env: EvalEnv) -> Result<Value> {
+        if env.ctx.rebind_per_row {
+            eval_expr(self.ast, env)
+        } else {
+            eval_bound(&self.bound, env)
+        }
+    }
+}
+
+/// Scope schemas for binding: the schemas of the outer frames plus the
+/// local schema, outermost first.
+fn bind_scopes<'a>(outer_scopes: &'a [Frame<'a>], local: &'a Schema) -> Vec<&'a Schema> {
+    let mut scopes: Vec<&Schema> = Vec::with_capacity(outer_scopes.len() + 1);
+    scopes.extend(outer_scopes.iter().map(|f| f.schema));
+    scopes.push(local);
+    scopes
+}
+
+/// A reusable frame stack: the outer frames plus one local slot that
+/// [`set_local_row`] repoints per row — no per-row allocation.
+fn frame_stack<'a>(outer_scopes: &'a [Frame<'a>], local: &'a Schema) -> Vec<Frame<'a>> {
+    let mut frames = Vec::with_capacity(outer_scopes.len() + 1);
+    frames.extend_from_slice(outer_scopes);
+    frames.push(Frame {
+        schema: local,
+        row: &[],
+    });
+    frames
+}
+
+#[inline]
+fn set_local_row<'a>(frames: &mut [Frame<'a>], schema: &'a Schema, row: &'a [Value]) {
+    *frames.last_mut().expect("frame stack has a local slot") = Frame { schema, row };
 }
 
 /// Execute a subquery from inside expression evaluation: plan it lazily
@@ -194,8 +317,11 @@ pub fn exec_select_plan(
     // Materialize CTEs in definition order; each sees its predecessors.
     let mut local: Vec<(String, Rc<CteData>)> = Vec::with_capacity(plan.ctes.len());
     for (name, columns, cte_plan) in &plan.ctes {
-        let env = CteEnv { parent: Some(outer_ctes), entries: local.clone() };
-        ctx.cov.hit("exec::cte_eval");
+        let env = CteEnv {
+            parent: Some(outer_ctes),
+            entries: local.clone(),
+        };
+        ctx.cov.hit(pt::EXEC_CTE_EVAL);
         let rel = exec_select_plan(cte_plan, ctx, &env, &[], depth)?;
         let cols = if columns.is_empty() {
             rel.columns.clone()
@@ -209,40 +335,64 @@ pub fn exec_select_plan(
             }
             columns.iter().map(|c| c.to_ascii_lowercase()).collect()
         };
-        local.push((name.clone(), Rc::new(CteData { columns: cols, rel, reads: Cell::new(0) })));
+        local.push((
+            name.clone(),
+            Rc::new(CteData {
+                columns: cols,
+                rel,
+                reads: Cell::new(0),
+            }),
+        ));
     }
-    let ctes = CteEnv { parent: Some(outer_ctes), entries: local };
+    let ctes = CteEnv {
+        parent: Some(outer_ctes),
+        entries: local,
+    };
 
     // Bug hook: TidbInternalSetOpOrderBy.
     if ctx.bugs.active(BugId::TidbInternalSetOpOrderBy)
         && matches!(plan.body, BodyPlan::SetOp { .. })
-        && plan.order_by.iter().any(|o| matches!(o.expr, Expr::Literal(Value::Int(_))))
+        && plan
+            .order_by
+            .iter()
+            .any(|o| matches!(o.expr, Expr::Literal(Value::Int(_))))
     {
-        return Err(Error::Internal("cannot resolve positional ORDER BY over set operation".into()));
+        return Err(Error::Internal(
+            "cannot resolve positional ORDER BY over set operation".into(),
+        ));
     }
 
     let (mut rel, pre_rows, pre_schema) = exec_body(&plan.body, ctx, &ctes, outer_scopes, depth)?;
 
     // ORDER BY.
     if !plan.order_by.is_empty() {
-        ctx.cov.hit("exec::sort");
-        sort_relation(&mut rel, pre_rows, pre_schema.as_ref(), plan, ctx, &ctes, outer_scopes, depth)?;
+        ctx.cov.hit(pt::EXEC_SORT);
+        sort_relation(
+            &mut rel,
+            pre_rows,
+            pre_schema.as_ref(),
+            plan,
+            ctx,
+            &ctes,
+            outer_scopes,
+            depth,
+        )?;
     }
 
     // OFFSET / LIMIT.
     if let Some(off) = &plan.offset {
-        ctx.cov.hit("exec::offset");
+        ctx.cov.hit(pt::EXEC_OFFSET);
         let n = eval_limit_operand(off, ctx, &ctes, outer_scopes, depth, "OFFSET")?;
         rel.rows.drain(..n.min(rel.rows.len()));
     }
     if let Some(lim) = &plan.limit {
-        ctx.cov.hit("exec::limit");
+        ctx.cov.hit(pt::EXEC_LIMIT);
         let n = eval_limit_operand(lim, ctx, &ctes, outer_scopes, depth, "LIMIT")?;
         rel.rows.truncate(n);
     }
 
     if rel.rows.is_empty() {
-        ctx.cov.hit("exec::empty_relation");
+        ctx.cov.hit(pt::EXEC_EMPTY_RELATION);
     }
     Ok(rel)
 }
@@ -260,7 +410,10 @@ fn eval_limit_operand(
         scopes: outer_scopes,
         aggs: None,
         ctes,
-        info: ExprCtx { depth, ..ExprCtx::new(Clause::Limit) },
+        info: ExprCtx {
+            depth,
+            ..ExprCtx::new(Clause::Limit)
+        },
     };
     let v = eval_expr(e, env)?;
     match v.as_i64() {
@@ -270,50 +423,113 @@ fn eval_limit_operand(
     }
 }
 
+/// How one ORDER BY item produces its sort key; decided once per sort.
+enum SortKey<'p> {
+    /// `ORDER BY 2` — positional reference into the output row.
+    Positional(usize),
+    /// A bare column naming an output column (alias match).
+    Output(usize),
+    /// An expression bound against the pre-projection scope.
+    Expr(Prepared<'p>),
+}
+
 #[allow(clippy::too_many_arguments)]
-fn sort_relation(
+fn sort_relation<'p>(
     rel: &mut Relation,
     pre_rows: Option<Vec<Row>>,
     pre_schema: Option<&Schema>,
-    plan: &SelectPlan,
+    plan: &'p SelectPlan,
     ctx: &EngineCtx,
     ctes: &CteEnv,
     outer_scopes: &[Frame],
     depth: u32,
 ) -> Result<()> {
+    if rel.rows.is_empty() {
+        return Ok(());
+    }
+
+    // Classify and bind each key once.
+    let mut key_sources: Vec<(SortKey, bool)> = Vec::with_capacity(plan.order_by.len());
+    for item in &plan.order_by {
+        let desc = item.order == SortOrder::Desc;
+        let prepare_expr = |e: &'p Expr| -> Result<SortKey<'p>> {
+            match pre_schema {
+                Some(schema) => {
+                    let scopes = bind_scopes(outer_scopes, schema);
+                    Ok(SortKey::Expr(Prepared::new(e, &scopes, depth)?))
+                }
+                None => Err(Error::Eval(format!(
+                    "cannot resolve ORDER BY expression {e}"
+                ))),
+            }
+        };
+        let src = match &item.expr {
+            Expr::Literal(Value::Int(k)) => {
+                ctx.cov.hit(pt::EXEC_SORT_POSITIONAL);
+                let idx = (*k - 1) as usize;
+                if *k < 1 || idx >= rel.columns.len() {
+                    return Err(Error::Eval(format!(
+                        "ORDER BY position {k} is out of range"
+                    )));
+                }
+                SortKey::Positional(idx)
+            }
+            Expr::Column(c) if c.table.is_none() => {
+                // Prefer an output-column (alias) match, then fall back
+                // to the pre-projection scope.
+                match rel
+                    .columns
+                    .iter()
+                    .position(|n| n.eq_ignore_ascii_case(&c.column))
+                {
+                    Some(idx) => SortKey::Output(idx),
+                    None => prepare_expr(&item.expr)?,
+                }
+            }
+            e => prepare_expr(e)?,
+        };
+        key_sources.push((src, desc));
+    }
+
     // Compute sort keys per output row.
     let mut keyed: Vec<(Vec<(OrdValue, bool)>, Row)> = Vec::with_capacity(rel.rows.len());
-    for (i, row) in rel.rows.iter().enumerate() {
-        let mut keys = Vec::with_capacity(plan.order_by.len());
-        for item in &plan.order_by {
-            let desc = item.order == SortOrder::Desc;
-            let v = match &item.expr {
-                Expr::Literal(Value::Int(k)) => {
-                    ctx.cov.hit("exec::sort_positional");
-                    let idx = (*k - 1) as usize;
-                    if *k < 1 || idx >= row.len() {
-                        return Err(Error::Eval(format!(
-                            "ORDER BY position {k} is out of range"
-                        )));
-                    }
-                    row[idx].clone()
-                }
-                Expr::Column(c) if c.table.is_none() => {
-                    // Prefer an output-column (alias) match, then fall back
-                    // to the pre-projection scope.
-                    let name = c.column.to_ascii_lowercase();
-                    if let Some(idx) = rel.columns.iter().position(|n| n.eq_ignore_ascii_case(&name))
-                    {
-                        row[idx].clone()
-                    } else {
-                        eval_order_expr(&item.expr, i, &pre_rows, pre_schema, ctx, ctes, outer_scopes, depth)?
-                    }
-                }
-                e => eval_order_expr(e, i, &pre_rows, pre_schema, ctx, ctes, outer_scopes, depth)?,
-            };
-            keys.push((OrdValue(v), desc));
+    {
+        let mut frames = match pre_schema {
+            Some(schema) => frame_stack(outer_scopes, schema),
+            None => Vec::new(),
+        };
+        for (i, row) in rel.rows.iter().enumerate() {
+            let mut keys = Vec::with_capacity(key_sources.len());
+            for (src, desc) in &key_sources {
+                let v = match src {
+                    SortKey::Positional(idx) | SortKey::Output(idx) => row[*idx].clone(),
+                    SortKey::Expr(prepared) => match (&pre_rows, pre_schema) {
+                        (Some(rows), Some(schema)) if i < rows.len() => {
+                            set_local_row(&mut frames, schema, &rows[i]);
+                            let env = EvalEnv {
+                                ctx,
+                                scopes: &frames,
+                                aggs: None,
+                                ctes,
+                                info: ExprCtx {
+                                    depth,
+                                    ..ExprCtx::new(Clause::OrderBy)
+                                },
+                            };
+                            prepared.eval(env)?
+                        }
+                        _ => {
+                            return Err(Error::Eval(format!(
+                                "cannot resolve ORDER BY expression {}",
+                                prepared.ast()
+                            )))
+                        }
+                    },
+                };
+                keys.push((OrdValue(v), *desc));
+            }
+            keyed.push((keys, row.clone()));
         }
-        keyed.push((keys, row.clone()));
     }
     keyed.sort_by(|(ka, _), (kb, _)| {
         for ((a, desc), (b, _)) in ka.iter().zip(kb.iter()) {
@@ -329,34 +545,6 @@ fn sort_relation(
     Ok(())
 }
 
-#[allow(clippy::too_many_arguments)]
-fn eval_order_expr(
-    e: &Expr,
-    row_idx: usize,
-    pre_rows: &Option<Vec<Row>>,
-    pre_schema: Option<&Schema>,
-    ctx: &EngineCtx,
-    ctes: &CteEnv,
-    outer_scopes: &[Frame],
-    depth: u32,
-) -> Result<Value> {
-    match (pre_rows, pre_schema) {
-        (Some(rows), Some(schema)) if row_idx < rows.len() => {
-            let mut frames = outer_scopes.to_vec();
-            frames.push(Frame { schema, row: &rows[row_idx] });
-            let env = EvalEnv {
-                ctx,
-                scopes: &frames,
-                aggs: None,
-                ctes,
-                info: ExprCtx { depth, ..ExprCtx::new(Clause::OrderBy) },
-            };
-            eval_expr(e, env)
-        }
-        _ => Err(Error::Eval(format!("cannot resolve ORDER BY expression {e}"))),
-    }
-}
-
 /// Execute a body plan; returns the output relation plus, when available,
 /// the pre-projection rows and schema (used by ORDER BY expressions).
 fn exec_body(
@@ -368,14 +556,19 @@ fn exec_body(
 ) -> Result<(Relation, Option<Vec<Row>>, Option<Schema>)> {
     match body {
         BodyPlan::Core(core) => exec_core(core, ctx, ctes, outer_scopes, depth),
-        BodyPlan::SetOp { op, all, left, right } => {
+        BodyPlan::SetOp {
+            op,
+            all,
+            left,
+            right,
+        } => {
             let (l, _, _) = exec_body(left, ctx, ctes, outer_scopes, depth)?;
             let (r, _, _) = exec_body(right, ctx, ctes, outer_scopes, depth)?;
             let rel = exec_set_op(*op, *all, l, r, ctx, left, right)?;
             Ok((rel, None, None))
         }
         BodyPlan::Values(rows) => {
-            ctx.cov.hit("exec::values_rows");
+            ctx.cov.hit(pt::EXEC_VALUES_ROWS);
             let mut out = Vec::with_capacity(rows.len());
             for row in rows {
                 ctx.consume_fuel(1)?;
@@ -386,7 +579,10 @@ fn exec_body(
                         scopes: outer_scopes,
                         aggs: None,
                         ctes,
-                        info: ExprCtx { depth, ..ExprCtx::new(Clause::SelectList) },
+                        info: ExprCtx {
+                            depth,
+                            ..ExprCtx::new(Clause::SelectList)
+                        },
                     };
                     vals.push(eval_expr(e, env)?);
                 }
@@ -452,26 +648,32 @@ fn exec_set_op(
         && (left.rows.iter().any(|r| r.iter().any(Value::is_null))
             || right.rows.iter().any(|r| r.iter().any(Value::is_null)))
     {
-        return Err(Error::Internal("NULL row reached INTERSECT hash table".into()));
+        return Err(Error::Internal(
+            "NULL row reached INTERSECT hash table".into(),
+        ));
     }
 
     ctx.consume_fuel((left.rows.len() + right.rows.len()) as u64)?;
-    let columns = if left.columns.is_empty() { right.columns.clone() } else { left.columns.clone() };
+    let columns = if left.columns.is_empty() {
+        right.columns.clone()
+    } else {
+        left.columns.clone()
+    };
     let rows = match (op, all) {
         (SetOp::Union, true) => {
-            ctx.cov.hit("exec::union_all");
+            ctx.cov.hit(pt::EXEC_UNION_ALL);
             let mut rows = left.rows;
             rows.extend(right.rows);
             rows
         }
         (SetOp::Union, false) => {
-            ctx.cov.hit("exec::union");
+            ctx.cov.hit(pt::EXEC_UNION);
             let mut rows = left.rows;
             rows.extend(right.rows);
             dedup_rows(rows)
         }
         (SetOp::Intersect, _) => {
-            ctx.cov.hit("exec::intersect");
+            ctx.cov.hit(pt::EXEC_INTERSECT);
             let rset: std::collections::BTreeSet<OrdRow> =
                 right.rows.into_iter().map(OrdRow).collect();
             let rows: Vec<Row> = left
@@ -482,7 +684,7 @@ fn exec_set_op(
             dedup_rows(rows)
         }
         (SetOp::Except, _) => {
-            ctx.cov.hit("exec::except");
+            ctx.cov.hit(pt::EXEC_EXCEPT);
             let rset: std::collections::BTreeSet<OrdRow> =
                 right.rows.into_iter().map(OrdRow).collect();
             let rows: Vec<Row> = left
@@ -538,7 +740,13 @@ fn exec_core(
         }
     }
 
-    let FromResult { schema, rows, via_index, has_cte, has_full_join } = match &core.from {
+    let FromResult {
+        schema,
+        rows,
+        via_index,
+        has_cte,
+        has_full_join,
+    } = match &core.from {
         Some(f) => exec_from(f, ctx, ctes, depth)?,
         None => FromResult {
             schema: Schema::default(),
@@ -558,17 +766,16 @@ fn exec_core(
     };
 
     // Bug hook: CockroachHangFullJoinHaving.
-    if ctx.bugs.active(BugId::CockroachHangFullJoinHaving)
-        && core.having.is_some()
-        && has_full_join
+    if ctx.bugs.active(BugId::CockroachHangFullJoinHaving) && core.having.is_some() && has_full_join
     {
         return Err(Error::Hang);
     }
 
-    // WHERE.
+    // WHERE: bound once against the FROM schema plus the outer scopes.
     let mut rows = rows;
     if let Some(pred) = &core.where_clause {
-        rows = apply_filter(rows, &schema, pred, ctx, ctes, outer_scopes, base_info)?;
+        let prepared = Prepared::new(pred, &bind_scopes(outer_scopes, &schema), depth)?;
+        rows = apply_filter(rows, &schema, &prepared, ctx, ctes, outer_scopes, base_info)?;
     }
 
     let has_aggregates = !core.group_by.is_empty()
@@ -579,41 +786,54 @@ fn exec_core(
         || core.having.as_ref().is_some_and(|h| h.contains_aggregate());
 
     if has_aggregates {
-        let (rel, reps) =
-            exec_grouped(core, rows, &schema, ctx, ctes, outer_scopes, base_info)?;
+        let (rel, reps) = exec_grouped(core, rows, &schema, ctx, ctes, outer_scopes, base_info)?;
         let rel = maybe_distinct(rel, core.distinct, ctx)?;
         return Ok((rel, Some(reps), Some(schema)));
     }
 
-    // Plain projection.
-    ctx.cov.hit("exec::project");
+    // Plain projection: every output expression is bound once, then the
+    // row loop is pure bound-form evaluation.
+    ctx.cov.hit(pt::EXEC_PROJECT);
     let (columns, exprs) = expand_items(core, &schema, has_full_join, ctx)?;
+    let scopes = bind_scopes(outer_scopes, &schema);
+    let prepared: Vec<Prepared> = exprs
+        .iter()
+        .map(|e| Prepared::new(e, &scopes, depth))
+        .collect::<Result<_>>()?;
     let mut out_rows = Vec::with_capacity(rows.len());
-    for row in &rows {
-        ctx.consume_fuel(1)?;
-        let mut frames = outer_scopes.to_vec();
-        frames.push(Frame { schema: &schema, row });
-        let mut out = Vec::with_capacity(exprs.len());
-        for e in &exprs {
-            let env = EvalEnv {
-                ctx,
-                scopes: &frames,
-                aggs: None,
-                ctes,
-                info: ExprCtx { clause: Clause::SelectList, ..base_info },
-            };
-            out.push(eval_expr(e, env)?);
+    {
+        let mut frames = frame_stack(outer_scopes, &schema);
+        for row in &rows {
+            ctx.consume_fuel(1)?;
+            set_local_row(&mut frames, &schema, row);
+            let mut out = Vec::with_capacity(prepared.len());
+            for p in &prepared {
+                let env = EvalEnv {
+                    ctx,
+                    scopes: &frames,
+                    aggs: None,
+                    ctes,
+                    info: ExprCtx {
+                        clause: Clause::SelectList,
+                        ..base_info
+                    },
+                };
+                out.push(p.eval(env)?);
+            }
+            out_rows.push(out);
         }
-        out_rows.push(out);
     }
-    let rel = Relation { columns, rows: out_rows };
+    let rel = Relation {
+        columns,
+        rows: out_rows,
+    };
     let rel = maybe_distinct(rel, core.distinct, ctx)?;
     Ok((rel, Some(rows), Some(schema)))
 }
 
 fn maybe_distinct(mut rel: Relation, distinct: bool, ctx: &EngineCtx) -> Result<Relation> {
     if distinct {
-        ctx.cov.hit("exec::distinct_dedup");
+        ctx.cov.hit(pt::EXEC_DISTINCT_DEDUP);
         ctx.consume_fuel(rel.rows.len() as u64)?;
         rel.rows = dedup_rows(rel.rows);
     }
@@ -633,7 +853,7 @@ fn expand_items(
     for item in &core.items {
         match item {
             SelectItem::Wildcard => {
-                ctx.cov.hit("exec::wildcard");
+                ctx.cov.hit(pt::EXEC_WILDCARD);
                 if schema.cols.is_empty() {
                     return Err(Error::Eval("SELECT * with no FROM clause".into()));
                 }
@@ -646,7 +866,7 @@ fn expand_items(
                 }
             }
             SelectItem::TableWildcard(t) => {
-                ctx.cov.hit("exec::wildcard");
+                ctx.cov.hit(pt::EXEC_WILDCARD);
                 // Bug hook: CockroachInternalFullJoinWildcard.
                 if ctx.bugs.active(BugId::CockroachInternalFullJoinWildcard) && has_full_join {
                     return Err(Error::Internal(
@@ -683,7 +903,9 @@ fn expand_items(
         }
     }
     if columns.is_empty() {
-        return Err(Error::Parse("SELECT requires at least one result column".into()));
+        return Err(Error::Parse(
+            "SELECT requires at least one result column".into(),
+        ));
     }
     Ok((columns, exprs))
 }
@@ -724,31 +946,41 @@ fn exec_grouped(
         }
     }
 
+    // Bind the group keys once.
+    let scopes = bind_scopes(outer_scopes, schema);
+    let group_preds: Vec<Prepared> = group_exprs
+        .iter()
+        .map(|g| Prepared::new(g, &scopes, base_info.depth))
+        .collect::<Result<_>>()?;
+
     // Partition rows into groups (BTreeMap keeps key order deterministic).
     let mut groups: BTreeMap<Vec<OrdValue>, Vec<usize>> = BTreeMap::new();
-    if group_exprs.is_empty() {
+    if group_preds.is_empty() {
         if rows.is_empty() {
-            ctx.cov.hit("exec::group_empty_input");
+            ctx.cov.hit(pt::EXEC_GROUP_EMPTY_INPUT);
         } else {
-            ctx.cov.hit("exec::group_single");
+            ctx.cov.hit(pt::EXEC_GROUP_SINGLE);
         }
         groups.insert(Vec::new(), (0..rows.len()).collect());
     } else {
-        ctx.cov.hit("exec::group_multi");
+        ctx.cov.hit(pt::EXEC_GROUP_MULTI);
+        let mut frames = frame_stack(outer_scopes, schema);
         for (i, row) in rows.iter().enumerate() {
             ctx.consume_fuel(1)?;
-            let mut frames = outer_scopes.to_vec();
-            frames.push(Frame { schema, row });
-            let mut key = Vec::with_capacity(group_exprs.len());
-            for g in &group_exprs {
+            set_local_row(&mut frames, schema, row);
+            let mut key = Vec::with_capacity(group_preds.len());
+            for g in &group_preds {
                 let env = EvalEnv {
                     ctx,
                     scopes: &frames,
                     aggs: None,
                     ctes,
-                    info: ExprCtx { clause: Clause::GroupBy, ..base_info },
+                    info: ExprCtx {
+                        clause: Clause::GroupBy,
+                        ..base_info
+                    },
                 };
-                key.push(OrdValue(eval_expr(g, env)?));
+                key.push(OrdValue(g.eval(env)?));
             }
             groups.entry(key).or_default().push(i);
         }
@@ -758,36 +990,24 @@ fn exec_grouped(
     // Bug hook: DuckdbInternalGroupByRealMany.
     if ctx.bugs.active(BugId::DuckdbInternalGroupByRealMany)
         && groups.len() > 2
-        && groups.keys().any(|k| k.iter().any(|v| matches!(v.0, Value::Real(_))))
+        && groups
+            .keys()
+            .any(|k| k.iter().any(|v| matches!(v.0, Value::Real(_))))
     {
-        return Err(Error::Internal("REAL group key misaligned in hash table".into()));
+        return Err(Error::Internal(
+            "REAL group key misaligned in hash table".into(),
+        ));
     }
 
     // Bug hook: TidbInternalHavingCorrelated — a subquery under HAVING.
     if ctx.bugs.active(BugId::TidbInternalHavingCorrelated) {
         if let Some(h) = &core.having {
             if h.contains_subquery() {
-                return Err(Error::Internal("failed to decorrelate subquery in HAVING".into()));
+                return Err(Error::Internal(
+                    "failed to decorrelate subquery in HAVING".into(),
+                ));
             }
         }
-    }
-
-    // Collect the distinct aggregate expressions to compute per group.
-    let mut agg_exprs: Vec<Expr> = Vec::new();
-    let mut collect_aggs = |e: &Expr| {
-        crate::ast::visit::walk_expr_shallow(e, &mut |sub| {
-            if matches!(sub, Expr::Agg { .. }) && !agg_exprs.contains(sub) {
-                agg_exprs.push(sub.clone());
-            }
-        });
-    };
-    for item in &core.items {
-        if let SelectItem::Expr { expr, .. } = item {
-            collect_aggs(expr);
-        }
-    }
-    if let Some(h) = &core.having {
-        collect_aggs(h);
     }
 
     let mut group_list: Vec<(Vec<OrdValue>, Vec<usize>)> = groups.into_iter().collect();
@@ -805,24 +1025,37 @@ fn exec_grouped(
         group_list.pop();
     }
 
+    // Bind projection items and HAVING through one binder so every
+    // distinct aggregate expression gets a single slot; the per-group
+    // value table is indexed by those slots. (These always evaluate the
+    // bound form — slot assignment belongs to this binder, so the per-row
+    // rebinding baseline does not apply here.)
     let (columns, proj_exprs) = expand_items_grouped(core)?;
+    let mut binder = Binder::new(&scopes, base_info.depth);
+    let bound_projs: Vec<BoundExpr> = proj_exprs
+        .iter()
+        .map(|e| binder.bind_aggregate(e))
+        .collect::<Result<_>>()?;
+    let bound_having = match &core.having {
+        Some(h) => Some(binder.bind_aggregate(h)?),
+        None => None,
+    };
+    let agg_specs = binder.into_agg_specs();
 
     let mut out_rows: Vec<Row> = Vec::with_capacity(group_list.len());
     let mut rep_rows: Vec<Row> = Vec::with_capacity(group_list.len());
     let empty_row: Row = vec![Value::Null; schema.cols.len()];
+    let mut frames = frame_stack(outer_scopes, schema);
 
     for (_key, members) in &group_list {
         ctx.consume_fuel(1 + members.len() as u64)?;
-        // Compute aggregates for this group.
-        let mut aggs: AggValues = Vec::with_capacity(agg_exprs.len());
-        for agg in &agg_exprs {
-            let Expr::Agg { func, arg, distinct } = agg else { unreachable!() };
+        // Compute aggregates for this group, one value per slot.
+        let mut aggs: AggValues = Vec::with_capacity(agg_specs.len());
+        for spec in &agg_specs {
             let mut values = Vec::with_capacity(members.len());
             for &ri in members {
-                let row = &rows[ri];
-                let mut frames = outer_scopes.to_vec();
-                frames.push(Frame { schema, row });
-                let v = match (func, arg) {
+                set_local_row(&mut frames, schema, &rows[ri]);
+                let v = match (spec.func, &spec.arg) {
                     (AggFunc::CountStar, _) => Value::Int(1),
                     (_, Some(a)) => {
                         let env = EvalEnv {
@@ -830,75 +1063,91 @@ fn exec_grouped(
                             scopes: &frames,
                             aggs: None,
                             ctes,
-                            info: ExprCtx { clause: Clause::SelectList, ..base_info },
+                            info: ExprCtx {
+                                clause: Clause::SelectList,
+                                ..base_info
+                            },
                         };
-                        eval_expr(a, env)?
+                        eval_bound(a, env)?
                     }
                     (_, None) => {
                         return Err(Error::Parse(format!(
                             "{}() requires an argument",
-                            func.sql_name()
+                            spec.func.sql_name()
                         )))
                     }
                 };
                 values.push(v);
             }
             let rep = members.first().map(|&i| &rows[i]).unwrap_or(&empty_row);
-            let mut frames = outer_scopes.to_vec();
-            frames.push(Frame { schema, row: rep });
+            set_local_row(&mut frames, schema, rep);
             let env = EvalEnv {
                 ctx,
                 scopes: &frames,
                 aggs: None,
                 ctes,
-                info: ExprCtx { clause: Clause::SelectList, ..base_info },
+                info: ExprCtx {
+                    clause: Clause::SelectList,
+                    ..base_info
+                },
             };
-            let v = compute_aggregate(*func, *distinct, values, env)?;
-            aggs.push((agg.clone(), v));
+            let v = compute_aggregate(spec.func, spec.distinct, values, env)?;
+            aggs.push(v);
         }
 
         // Representative row: bare columns take the group's first row
         // (SQLite "bare column in aggregate query" semantics).
-        let rep: Row = members.first().map(|&i| rows[i].clone()).unwrap_or_else(|| empty_row.clone());
+        let rep: &Row = members.first().map(|&i| &rows[i]).unwrap_or(&empty_row);
 
         // HAVING.
-        if let Some(h) = &core.having {
-            let mut frames = outer_scopes.to_vec();
-            frames.push(Frame { schema, row: &rep });
+        if let Some(h) = &bound_having {
+            set_local_row(&mut frames, schema, rep);
             let env = EvalEnv {
                 ctx,
                 scopes: &frames,
                 aggs: Some(&aggs),
                 ctes,
-                info: ExprCtx { clause: Clause::Having, top_level: true, ..base_info },
+                info: ExprCtx {
+                    clause: Clause::Having,
+                    top_level: true,
+                    ..base_info
+                },
             };
-            let hv = eval_expr(h, env)?;
+            let hv = eval_bound(h, env)?;
             if truthiness(&hv, ctx)? != Some(true) {
-                ctx.cov.hit("exec::having_drop");
+                ctx.cov.hit(pt::EXEC_HAVING_DROP);
                 continue;
             }
-            ctx.cov.hit("exec::having_pass");
+            ctx.cov.hit(pt::EXEC_HAVING_PASS);
         }
 
         // Projection.
-        let mut frames = outer_scopes.to_vec();
-        frames.push(Frame { schema, row: &rep });
-        let mut out = Vec::with_capacity(proj_exprs.len());
-        for e in &proj_exprs {
+        set_local_row(&mut frames, schema, rep);
+        let mut out = Vec::with_capacity(bound_projs.len());
+        for e in &bound_projs {
             let env = EvalEnv {
                 ctx,
                 scopes: &frames,
                 aggs: Some(&aggs),
                 ctes,
-                info: ExprCtx { clause: Clause::SelectList, ..base_info },
+                info: ExprCtx {
+                    clause: Clause::SelectList,
+                    ..base_info
+                },
             };
-            out.push(eval_expr(e, env)?);
+            out.push(eval_bound(e, env)?);
         }
         out_rows.push(out);
-        rep_rows.push(rep);
+        rep_rows.push(rep.clone());
     }
 
-    Ok((Relation { columns, rows: out_rows }, rep_rows))
+    Ok((
+        Relation {
+            columns,
+            rows: out_rows,
+        },
+        rep_rows,
+    ))
 }
 
 /// In grouped execution only explicit expressions are allowed (CoddDB
@@ -928,58 +1177,83 @@ fn expand_items_grouped(core: &CorePlan) -> Result<(Vec<String>, Vec<Expr>)> {
         }
     }
     if columns.is_empty() {
-        return Err(Error::Parse("SELECT requires at least one result column".into()));
+        return Err(Error::Parse(
+            "SELECT requires at least one result column".into(),
+        ));
     }
     Ok((columns, exprs))
 }
 
-/// Apply a WHERE filter, including the filter-site bug hooks.
+/// Apply a WHERE filter, including the filter-site bug hooks. The
+/// predicate is bound once by the caller; the per-row loop evaluates the
+/// bound form with a reused frame stack (no per-row allocation).
 #[allow(clippy::too_many_arguments)]
-pub fn apply_filter(
+pub(crate) fn apply_filter(
     rows: Vec<Row>,
     schema: &Schema,
-    pred: &Expr,
+    pred: &Prepared,
     ctx: &EngineCtx,
     ctes: &CteEnv,
     outer_scopes: &[Frame],
     info: ExprCtx,
 ) -> Result<Vec<Row>> {
-    let mut out = Vec::with_capacity(rows.len());
-    for row in rows {
-        ctx.consume_fuel(1)?;
-        let mut frames = outer_scopes.to_vec();
-        frames.push(Frame { schema, row: &row });
-        let env = EvalEnv { ctx, scopes: &frames, aggs: None, ctes, info };
-        let v = eval_expr(pred, env)?;
-        let t = truthiness(&v, ctx)?;
-
-        // Bug hook: SqliteIndexedCmpNullTrue — under an index scan a NULL
-        // comparison keeps the row.
-        if t.is_none()
-            && info.via_index
-            && matches!(pred, Expr::Binary { op, .. } if op.is_comparison())
-            && ctx.bugs.active(BugId::SqliteIndexedCmpNullTrue)
-        {
-            out.push(row);
-            continue;
+    // The comparison/AND shapes the filter-site mutants key on.
+    let cmp_shape = matches!(pred.ast(), Expr::Binary { op, .. } if op.is_comparison());
+    let and_shape = matches!(
+        pred.ast(),
+        Expr::Binary {
+            op: crate::ast::BinaryOp::And,
+            ..
         }
-        // Bug hook: CockroachAndNullTopConjunct — a top-level AND that
-        // evaluates to NULL keeps the row.
-        if t.is_none()
-            && matches!(pred, Expr::Binary { op: crate::ast::BinaryOp::And, .. })
-            && ctx.bugs.active(BugId::CockroachAndNullTopConjunct)
-        {
-            out.push(row);
-            continue;
-        }
+    );
 
-        match t {
-            Some(true) => {
-                ctx.cov.hit("exec::filter_pass");
-                out.push(row);
+    let mut keep = vec![false; rows.len()];
+    {
+        let mut frames = frame_stack(outer_scopes, schema);
+        for (i, row) in rows.iter().enumerate() {
+            ctx.consume_fuel(1)?;
+            set_local_row(&mut frames, schema, row);
+            let env = EvalEnv {
+                ctx,
+                scopes: &frames,
+                aggs: None,
+                ctes,
+                info,
+            };
+            let v = pred.eval(env)?;
+            let t = truthiness(&v, ctx)?;
+
+            // Bug hook: SqliteIndexedCmpNullTrue — under an index scan a
+            // NULL comparison keeps the row.
+            if t.is_none()
+                && info.via_index
+                && cmp_shape
+                && ctx.bugs.active(BugId::SqliteIndexedCmpNullTrue)
+            {
+                keep[i] = true;
+                continue;
             }
-            Some(false) => ctx.cov.hit("exec::filter_drop"),
-            None => ctx.cov.hit("exec::filter_null"),
+            // Bug hook: CockroachAndNullTopConjunct — a top-level AND that
+            // evaluates to NULL keeps the row.
+            if t.is_none() && and_shape && ctx.bugs.active(BugId::CockroachAndNullTopConjunct) {
+                keep[i] = true;
+                continue;
+            }
+
+            match t {
+                Some(true) => {
+                    ctx.cov.hit(pt::EXEC_FILTER_PASS);
+                    keep[i] = true;
+                }
+                Some(false) => ctx.cov.hit(pt::EXEC_FILTER_DROP),
+                None => ctx.cov.hit(pt::EXEC_FILTER_NULL),
+            }
+        }
+    }
+    let mut out = Vec::with_capacity(rows.len());
+    for (row, keep) in rows.into_iter().zip(keep) {
+        if keep {
+            out.push(row);
         }
     }
     Ok(out)
@@ -1014,12 +1288,7 @@ fn exec_from(from: &FromPlan, ctx: &EngineCtx, ctes: &CteEnv, depth: u32) -> Res
                 cols: t
                     .columns
                     .iter()
-                    .map(|c| ColMeta {
-                        table: Some(alias.clone()),
-                        name: c.name.to_ascii_lowercase(),
-                        from_view: false,
-                        from_cte: false,
-                    })
+                    .map(|c| ColMeta::new(Some(alias), &c.name))
                     .collect(),
             };
             Ok(FromResult {
@@ -1030,7 +1299,12 @@ fn exec_from(from: &FromPlan, ctx: &EngineCtx, ctes: &CteEnv, depth: u32) -> Res
                 has_full_join: false,
             })
         }
-        FromPlan::IndexScan { table, alias, index, reverse } => {
+        FromPlan::IndexScan {
+            table,
+            alias,
+            index,
+            reverse,
+        } => {
             let t = ctx.catalog.table(table)?;
             let idx = ctx
                 .catalog
@@ -1041,27 +1315,30 @@ fn exec_from(from: &FromPlan, ctx: &EngineCtx, ctes: &CteEnv, depth: u32) -> Res
                 cols: t
                     .columns
                     .iter()
-                    .map(|c| ColMeta {
-                        table: Some(alias.clone()),
-                        name: c.name.to_ascii_lowercase(),
-                        from_view: false,
-                        from_cte: false,
-                    })
+                    .map(|c| ColMeta::new(Some(alias), &c.name))
                     .collect(),
             };
-            // Evaluate the indexed expression per row and visit rows in
-            // index order — row-identical to a seq scan, different order.
+            // Evaluate the indexed expression (bound once) per row and
+            // visit rows in index order — row-identical to a seq scan,
+            // different order.
+            let prepared = Prepared::new(&idx.expr, &[&schema], depth)?;
             let mut keyed: Vec<(OrdValue, usize)> = Vec::with_capacity(t.rows.len());
             for (i, row) in t.rows.iter().enumerate() {
-                let frames = [Frame { schema: &schema, row }];
+                let frames = [Frame {
+                    schema: &schema,
+                    row,
+                }];
                 let env = EvalEnv {
                     ctx,
                     scopes: &frames,
                     aggs: None,
                     ctes,
-                    info: ExprCtx { depth, ..ExprCtx::new(Clause::IndexExpr) },
+                    info: ExprCtx {
+                        depth,
+                        ..ExprCtx::new(Clause::IndexExpr)
+                    },
                 };
-                let key = eval_expr(&idx.expr, env)?;
+                let key = prepared.eval(env)?;
                 keyed.push((OrdValue(key), i));
             }
             keyed.sort_by(|(a, ia), (b, ib)| a.cmp(b).then(ia.cmp(ib)));
@@ -1069,9 +1346,20 @@ fn exec_from(from: &FromPlan, ctx: &EngineCtx, ctes: &CteEnv, depth: u32) -> Res
                 keyed.reverse();
             }
             let rows = keyed.into_iter().map(|(_, i)| t.rows[i].clone()).collect();
-            Ok(FromResult { schema, rows, via_index: true, has_cte: false, has_full_join: false })
+            Ok(FromResult {
+                schema,
+                rows,
+                via_index: true,
+                has_cte: false,
+                has_full_join: false,
+            })
         }
-        FromPlan::Derived { plan, alias, columns, from_view } => {
+        FromPlan::Derived {
+            plan,
+            alias,
+            columns,
+            from_view,
+        } => {
             let rel = exec_select_plan(plan, ctx, ctes, &[], depth)?;
             let names: Vec<String> = if columns.is_empty() {
                 rel.columns.iter().map(|c| c.to_ascii_lowercase()).collect()
@@ -1087,13 +1375,8 @@ fn exec_from(from: &FromPlan, ctx: &EngineCtx, ctes: &CteEnv, depth: u32) -> Res
             };
             let schema = Schema {
                 cols: names
-                    .into_iter()
-                    .map(|name| ColMeta {
-                        table: Some(alias.clone()),
-                        name,
-                        from_view: *from_view,
-                        from_cte: false,
-                    })
+                    .iter()
+                    .map(|name| ColMeta::new(Some(alias), name).from_view(*from_view))
                     .collect(),
             };
             Ok(FromResult {
@@ -1104,8 +1387,12 @@ fn exec_from(from: &FromPlan, ctx: &EngineCtx, ctes: &CteEnv, depth: u32) -> Res
                 has_full_join: false,
             })
         }
-        FromPlan::ValuesScan { rows, alias, columns } => {
-            ctx.cov.hit("exec::values_rows");
+        FromPlan::ValuesScan {
+            rows,
+            alias,
+            columns,
+        } => {
+            ctx.cov.hit(pt::EXEC_VALUES_ROWS);
             let mut out = Vec::with_capacity(rows.len());
             for row in rows {
                 ctx.consume_fuel(1)?;
@@ -1116,7 +1403,10 @@ fn exec_from(from: &FromPlan, ctx: &EngineCtx, ctes: &CteEnv, depth: u32) -> Res
                         scopes: &[],
                         aggs: None,
                         ctes,
-                        info: ExprCtx { depth, ..ExprCtx::new(Clause::SelectList) },
+                        info: ExprCtx {
+                            depth,
+                            ..ExprCtx::new(Clause::SelectList)
+                        },
                     };
                     vals.push(eval_expr(e, env)?);
                 }
@@ -1136,13 +1426,8 @@ fn exec_from(from: &FromPlan, ctx: &EngineCtx, ctes: &CteEnv, depth: u32) -> Res
             };
             let schema = Schema {
                 cols: names
-                    .into_iter()
-                    .map(|name| ColMeta {
-                        table: Some(alias.clone()),
-                        name,
-                        from_view: false,
-                        from_cte: false,
-                    })
+                    .iter()
+                    .map(|name| ColMeta::new(Some(alias), name))
                     .collect(),
             };
             Ok(FromResult {
@@ -1158,7 +1443,7 @@ fn exec_from(from: &FromPlan, ctx: &EngineCtx, ctes: &CteEnv, depth: u32) -> Res
                 .lookup(name)
                 .ok_or_else(|| Error::Catalog(format!("no such CTE: {name}")))?;
             if data.reads.get() > 0 {
-                ctx.cov.hit("exec::cte_reuse");
+                ctx.cov.hit(pt::EXEC_CTE_REUSE);
             }
             data.reads.set(data.reads.get() + 1);
             ctx.consume_fuel(data.rel.rows.len() as u64)?;
@@ -1166,12 +1451,7 @@ fn exec_from(from: &FromPlan, ctx: &EngineCtx, ctes: &CteEnv, depth: u32) -> Res
                 cols: data
                     .columns
                     .iter()
-                    .map(|c| ColMeta {
-                        table: Some(alias.clone()),
-                        name: c.to_ascii_lowercase(),
-                        from_view: false,
-                        from_cte: true,
-                    })
+                    .map(|c| ColMeta::new(Some(alias), c).from_cte(true))
                     .collect(),
             };
             Ok(FromResult {
@@ -1182,12 +1462,21 @@ fn exec_from(from: &FromPlan, ctx: &EngineCtx, ctes: &CteEnv, depth: u32) -> Res
                 has_full_join: false,
             })
         }
-        FromPlan::Join { kind, on, left, right } => {
+        FromPlan::Join {
+            kind,
+            on,
+            left,
+            right,
+        } => {
             let l = exec_from(left, ctx, ctes, depth)?;
             let r = exec_from(right, ctx, ctes, depth)?;
             exec_join(*kind, on.as_ref(), l, r, ctx, ctes, depth)
         }
-        FromPlan::Filtered { input, pred, is_clause_root } => {
+        FromPlan::Filtered {
+            input,
+            pred,
+            is_clause_root,
+        } => {
             let mut res = exec_from(input, ctx, ctes, depth)?;
             // A pushed predicate is still the clause's top-level
             // expression only if it was the entire WHERE clause;
@@ -1199,7 +1488,8 @@ fn exec_from(from: &FromPlan, ctx: &EngineCtx, ctes: &CteEnv, depth: u32) -> Res
                 from_has_cte: res.has_cte,
                 depth,
             };
-            res.rows = apply_filter(res.rows, &res.schema, pred, ctx, ctes, &[], info)?;
+            let prepared = Prepared::new(pred, &[&res.schema], depth)?;
+            res.rows = apply_filter(res.rows, &res.schema, &prepared, ctx, ctes, &[], info)?;
             Ok(res)
         }
     }
@@ -1231,7 +1521,12 @@ fn exec_join(
     // here as Error::Crash instead of a process abort).
     if let Some(on_expr) = on {
         if ctx.bugs.active(BugId::DuckdbCrashIEJoinRange) {
-            if let Expr::Binary { op: crate::ast::BinaryOp::And, left: a, right: b } = on_expr {
+            if let Expr::Binary {
+                op: crate::ast::BinaryOp::And,
+                left: a,
+                right: b,
+            } = on_expr
+            {
                 if is_inequality(a) && is_inequality(b) {
                     return Err(Error::Crash(
                         "segmentation fault in IEJoin (index out of bounds)".into(),
@@ -1243,14 +1538,23 @@ fn exec_join(
             if let (Some(lrow), Some(rrow)) = (left.rows.first(), right.rows.first()) {
                 let mut combined = lrow.clone();
                 combined.extend(rrow.iter().cloned());
-                if let Expr::Binary { left: a, right: b, .. } = on_expr {
-                    let frames = [Frame { schema: &schema, row: &combined }];
+                if let Expr::Binary {
+                    left: a, right: b, ..
+                } = on_expr
+                {
+                    let frames = [Frame {
+                        schema: &schema,
+                        row: &combined,
+                    }];
                     let env = EvalEnv {
                         ctx,
                         scopes: &frames,
                         aggs: None,
                         ctes,
-                        info: ExprCtx { depth, ..ExprCtx::new(Clause::JoinOn) },
+                        info: ExprCtx {
+                            depth,
+                            ..ExprCtx::new(Clause::JoinOn)
+                        },
                     };
                     let av = eval_expr(a, env).unwrap_or(Value::Null);
                     let bv = eval_expr(b, env).unwrap_or(Value::Null);
@@ -1301,6 +1605,13 @@ fn exec_join(
         depth,
     };
 
+    // Bind the ON predicate once against the combined schema; the probe
+    // loop below evaluates the bound form per row pair.
+    let on_prepared = match on {
+        Some(pred) => Some(Prepared::new(pred, &[&schema], depth)?),
+        None => None,
+    };
+
     let mut rows: Vec<Row> = Vec::new();
     let mut right_matched = vec![false; right.rows.len()];
 
@@ -1313,28 +1624,36 @@ fn exec_join(
             let is_match = if on_forced_true {
                 true
             } else {
-                match on {
+                match &on_prepared {
                     None => true,
                     Some(pred) => {
-                        let frames = [Frame { schema: &schema, row: &combined }];
-                        let env =
-                            EvalEnv { ctx, scopes: &frames, aggs: None, ctes, info };
-                        let v = eval_expr(pred, env)?;
+                        let frames = [Frame {
+                            schema: &schema,
+                            row: &combined,
+                        }];
+                        let env = EvalEnv {
+                            ctx,
+                            scopes: &frames,
+                            aggs: None,
+                            ctes,
+                            info,
+                        };
+                        let v = pred.eval(env)?;
                         truthiness(&v, ctx)? == Some(true)
                     }
                 }
             };
             if is_match {
-                ctx.cov.hit("exec::join_probe_match");
+                ctx.cov.hit(pt::EXEC_JOIN_PROBE_MATCH);
                 matched = true;
                 right_matched[ri] = true;
                 rows.push(combined);
             } else {
-                ctx.cov.hit("exec::join_probe_miss");
+                ctx.cov.hit(pt::EXEC_JOIN_PROBE_MISS);
             }
         }
         if !matched && matches!(kind, JoinKind::Left | JoinKind::Full) {
-            ctx.cov.hit("exec::join_pad_left");
+            ctx.cov.hit(pt::EXEC_JOIN_PAD_LEFT);
             let mut padded = lrow.clone();
             padded.extend(std::iter::repeat_with(|| Value::Null).take(rw));
             rows.push(padded);
@@ -1343,7 +1662,7 @@ fn exec_join(
     if matches!(kind, JoinKind::Right | JoinKind::Full) {
         for (ri, rrow) in right.rows.iter().enumerate() {
             if !right_matched[ri] {
-                ctx.cov.hit("exec::join_pad_right");
+                ctx.cov.hit(pt::EXEC_JOIN_PAD_RIGHT);
                 let mut padded: Row = std::iter::repeat_with(|| Value::Null).take(lw).collect();
                 padded.extend(rrow.iter().cloned());
                 rows.push(padded);

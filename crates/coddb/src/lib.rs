@@ -8,6 +8,7 @@
 //! * a catalog with tables, views and expression indexes ([`catalog`]),
 //! * a planner with constant folding, predicate pushdown and index
 //!   selection, producing fingerprintable physical plans ([`plan`]),
+//! * a binding pass resolving names to ordinals once per query ([`bind`]),
 //! * an executor covering joins, grouping, subqueries (correlated and
 //!   non-correlated), CTEs, set operations and DML ([`exec`], [`eval`]),
 //! * five dialect profiles emulating the paper's target systems
@@ -17,8 +18,38 @@
 //!   ([`coverage`]).
 //!
 //! The public entry point is [`Database`].
+//!
+//! ## The bind → plan → exec phase contract
+//!
+//! A statement passes through three phases, each running **once per
+//! statement** so that per-row work stays allocation-free:
+//!
+//! 1. **plan** ([`plan::plan_select`]): the AST is lowered to a
+//!    [`plan::SelectPlan`] — views expanded, CTE references resolved and,
+//!    with the optimizer on, constant folding / predicate pushdown / index
+//!    selection applied. Plans still carry AST expressions ([`ast::Expr`]):
+//!    plan shapes are what [`plan::fingerprint`] hashes, and the
+//!    shape-sensitive bug mutants pattern-match them.
+//! 2. **bind** ([`bind::Binder`]): as the executor instantiates each
+//!    operator (and therefore knows the operator's input [`exec::Schema`]),
+//!    every clause expression is compiled to a [`bind::BoundExpr`]: column
+//!    names resolve to `(scope hop, ordinal)` pairs, aggregates get value
+//!    slots, and bug-hook trigger shapes are precomputed. Name-resolution
+//!    errors (unknown/ambiguous columns) surface here, once per query —
+//!    matching real engines, where name resolution is static.
+//! 3. **exec** ([`exec`]): row loops evaluate bound expressions via
+//!    [`eval::eval_bound`] against a reused frame stack — zero heap
+//!    allocation per row for name resolution. Subqueries are the one
+//!    deliberate exception: they are planned and bound lazily at
+//!    evaluation time (with the outer scopes in place), exactly as the
+//!    planner treats them.
+//!
+//! [`exec::BindMode::PerRow`] (via [`Database::set_bind_mode`]) re-binds
+//! every row instead — the tree-walking baseline kept for benchmarking
+//! the bind-once speedup on otherwise identical machinery.
 
 pub mod ast;
+pub mod bind;
 pub mod bugs;
 pub mod catalog;
 pub mod coverage;
@@ -36,4 +67,5 @@ pub use bugs::{BugId, BugKind, BugRegistry};
 pub use database::{Database, ExecOutcome};
 pub use dialect::Dialect;
 pub use error::{Error, Result, Severity};
+pub use exec::BindMode;
 pub use value::{DataType, Relation, Row, Value};

@@ -194,10 +194,10 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
                         Ok(v) => tokens.push(Token::Int(v)),
                         // Integer literals beyond i64 degrade to REAL,
                         // like SQLite.
-                        Err(_) => tokens.push(Token::Real(
-                            text.parse::<f64>()
-                                .map_err(|_| Error::Parse(format!("bad numeric literal {text}")))?,
-                        )),
+                        Err(_) => tokens
+                            .push(Token::Real(text.parse::<f64>().map_err(|_| {
+                                Error::Parse(format!("bad numeric literal {text}"))
+                            })?)),
                     }
                 }
             }

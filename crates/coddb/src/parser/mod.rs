@@ -84,7 +84,10 @@ impl Parser {
         if self.at_end() {
             Ok(())
         } else {
-            Err(Error::Parse(format!("trailing tokens at {:?}", self.peek())))
+            Err(Error::Parse(format!(
+                "trailing tokens at {:?}",
+                self.peek()
+            )))
         }
     }
 
@@ -105,7 +108,10 @@ impl Parser {
         if self.eat_kw(kw) {
             Ok(())
         } else {
-            Err(Error::Parse(format!("expected {kw}, found {:?}", self.peek())))
+            Err(Error::Parse(format!(
+                "expected {kw}, found {:?}",
+                self.peek()
+            )))
         }
     }
 
@@ -126,14 +132,19 @@ impl Parser {
         if self.eat_sym(s) {
             Ok(())
         } else {
-            Err(Error::Parse(format!("expected {s:?}, found {:?}", self.peek())))
+            Err(Error::Parse(format!(
+                "expected {s:?}, found {:?}",
+                self.peek()
+            )))
         }
     }
 
     fn parse_identifier(&mut self) -> Result<String> {
         match self.next()? {
             Token::Word(w) if !is_reserved(&w) => Ok(w),
-            other => Err(Error::Parse(format!("expected identifier, found {other:?}"))),
+            other => Err(Error::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -154,7 +165,9 @@ impl Parser {
             if self.eat_kw("INDEX") {
                 return self.parse_create_index(unique);
             }
-            return Err(Error::Parse("expected TABLE, VIEW or INDEX after CREATE".into()));
+            return Err(Error::Parse(
+                "expected TABLE, VIEW or INDEX after CREATE".into(),
+            ));
         }
         if self.eat_kw("DROP") {
             self.expect_kw("TABLE")?;
@@ -177,11 +190,20 @@ impl Parser {
         if self.eat_kw("DELETE") {
             self.expect_kw("FROM")?;
             let table = self.parse_identifier()?;
-            let where_clause =
-                if self.eat_kw("WHERE") { Some(self.parse_expr()?) } else { None };
-            return Ok(Statement::Delete { table, where_clause });
+            let where_clause = if self.eat_kw("WHERE") {
+                Some(self.parse_expr()?)
+            } else {
+                None
+            };
+            return Ok(Statement::Delete {
+                table,
+                where_clause,
+            });
         }
-        Err(Error::Parse(format!("unexpected statement start: {:?}", self.peek())))
+        Err(Error::Parse(format!(
+            "unexpected statement start: {:?}",
+            self.peek()
+        )))
     }
 
     fn parse_create_table(&mut self) -> Result<Statement> {
@@ -212,13 +234,21 @@ impl Parser {
             } else {
                 false
             };
-            columns.push(ColumnDef { name: col_name, ty, not_null });
+            columns.push(ColumnDef {
+                name: col_name,
+                ty,
+                not_null,
+            });
             if !self.eat_sym(Sym::Comma) {
                 break;
             }
         }
         self.expect_sym(Sym::RParen)?;
-        Ok(Statement::CreateTable { name, columns, if_not_exists })
+        Ok(Statement::CreateTable {
+            name,
+            columns,
+            if_not_exists,
+        })
     }
 
     fn parse_create_view(&mut self) -> Result<Statement> {
@@ -235,7 +265,11 @@ impl Parser {
         }
         self.expect_kw("AS")?;
         let query = self.parse_select()?;
-        Ok(Statement::CreateView { name, columns, query })
+        Ok(Statement::CreateView {
+            name,
+            columns,
+            query,
+        })
     }
 
     fn parse_create_index(&mut self, unique: bool) -> Result<Statement> {
@@ -245,7 +279,12 @@ impl Parser {
         self.expect_sym(Sym::LParen)?;
         let expr = self.parse_expr()?;
         self.expect_sym(Sym::RParen)?;
-        Ok(Statement::CreateIndex { name, table, expr, unique })
+        Ok(Statement::CreateIndex {
+            name,
+            table,
+            expr,
+            unique,
+        })
     }
 
     fn parse_insert(&mut self) -> Result<Statement> {
@@ -282,10 +321,18 @@ impl Parser {
         }
         if self.eat_kw("VALUES") {
             let rows = self.parse_value_rows()?;
-            return Ok(Statement::Insert { table, columns, source: InsertSource::Values(rows) });
+            return Ok(Statement::Insert {
+                table,
+                columns,
+                source: InsertSource::Values(rows),
+            });
         }
         let q = self.parse_select()?;
-        Ok(Statement::Insert { table, columns, source: InsertSource::Query(q) })
+        Ok(Statement::Insert {
+            table,
+            columns,
+            source: InsertSource::Query(q),
+        })
     }
 
     fn parse_value_rows(&mut self) -> Result<Vec<Vec<Expr>>> {
@@ -323,8 +370,16 @@ impl Parser {
                 break;
             }
         }
-        let where_clause = if self.eat_kw("WHERE") { Some(self.parse_expr()?) } else { None };
-        Ok(Statement::Update { table, sets, where_clause })
+        let where_clause = if self.eat_kw("WHERE") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Update {
+            table,
+            sets,
+            where_clause,
+        })
     }
 
     // -- SELECT -----------------------------------------------------------
@@ -348,7 +403,11 @@ impl Parser {
                 self.expect_sym(Sym::LParen)?;
                 let query = self.parse_select()?;
                 self.expect_sym(Sym::RParen)?;
-                with.push(Cte { name, columns, query });
+                with.push(Cte {
+                    name,
+                    columns,
+                    query,
+                });
                 if !self.eat_sym(Sym::Comma) {
                     break;
                 }
@@ -382,7 +441,13 @@ impl Parser {
                 offset = Some(self.parse_expr()?);
             }
         }
-        Ok(Select { with, body, order_by, limit, offset })
+        Ok(Select {
+            with,
+            body,
+            order_by,
+            limit,
+            offset,
+        })
     }
 
     fn parse_body(&mut self) -> Result<SelectBody> {
@@ -398,7 +463,12 @@ impl Parser {
                 break;
             };
             let right = self.parse_body_atom()?;
-            left = SelectBody::SetOp { op, all, left: Box::new(left), right: Box::new(right) };
+            left = SelectBody::SetOp {
+                op,
+                all,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -421,8 +491,16 @@ impl Parser {
                 break;
             }
         }
-        let from = if self.eat_kw("FROM") { Some(self.parse_table_expr()?) } else { None };
-        let where_clause = if self.eat_kw("WHERE") { Some(self.parse_expr()?) } else { None };
+        let from = if self.eat_kw("FROM") {
+            Some(self.parse_table_expr()?)
+        } else {
+            None
+        };
+        let where_clause = if self.eat_kw("WHERE") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
         let mut group_by = Vec::new();
         if self.eat_kw("GROUP") {
             self.expect_kw("BY")?;
@@ -433,8 +511,19 @@ impl Parser {
                 }
             }
         }
-        let having = if self.eat_kw("HAVING") { Some(self.parse_expr()?) } else { None };
-        Ok(SelectBody::Core(SelectCore { distinct, items, from, where_clause, group_by, having }))
+        let having = if self.eat_kw("HAVING") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        Ok(SelectBody::Core(SelectCore {
+            distinct,
+            items,
+            from,
+            where_clause,
+            group_by,
+            having,
+        }))
     }
 
     fn parse_select_item(&mut self) -> Result<SelectItem> {
@@ -499,9 +588,16 @@ impl Parser {
             };
             let Some(kind) = kind else { break };
             let right = self.parse_table_primary()?;
-            let on = if self.eat_kw("ON") { Some(self.parse_expr()?) } else { None };
+            let on = if self.eat_kw("ON") {
+                Some(self.parse_expr()?)
+            } else {
+                None
+            };
             if on.is_none() && !matches!(kind, JoinKind::Cross) {
-                return Err(Error::Parse(format!("{} requires an ON clause", kind.sql_name())));
+                return Err(Error::Parse(format!(
+                    "{} requires an ON clause",
+                    kind.sql_name()
+                )));
             }
             left = TableExpr::Join {
                 left: Box::new(left),
@@ -520,7 +616,10 @@ impl Parser {
                 self.expect_sym(Sym::RParen)?;
                 self.eat_kw("AS");
                 let alias = self.parse_identifier()?;
-                return Ok(TableExpr::Derived { query: Box::new(q), alias });
+                return Ok(TableExpr::Derived {
+                    query: Box::new(q),
+                    alias,
+                });
             }
             if self.eat_kw("VALUES") {
                 let rows = self.parse_value_rows()?;
@@ -537,7 +636,11 @@ impl Parser {
                     }
                     self.expect_sym(Sym::RParen)?;
                 }
-                return Ok(TableExpr::Values { rows, alias, columns });
+                return Ok(TableExpr::Values {
+                    rows,
+                    alias,
+                    columns,
+                });
             }
             // Parenthesized join tree.
             let inner = self.parse_table_expr()?;
@@ -563,7 +666,11 @@ impl Parser {
         } else {
             None
         };
-        Ok(TableExpr::Named { name, alias, indexed_by })
+        Ok(TableExpr::Named {
+            name,
+            alias,
+            indexed_by,
+        })
     }
 
     // -- expressions --------------------------------------------------------
@@ -607,18 +714,26 @@ impl Parser {
             if self.eat_kw("IS") {
                 let negated = self.eat_kw("NOT");
                 if self.eat_kw("NULL") {
-                    left = Expr::IsNull { expr: Box::new(left), negated };
+                    left = Expr::IsNull {
+                        expr: Box::new(left),
+                        negated,
+                    };
                 } else {
                     let right = self.parse_additive()?;
-                    let op = if negated { BinaryOp::IsNot } else { BinaryOp::Is };
+                    let op = if negated {
+                        BinaryOp::IsNot
+                    } else {
+                        BinaryOp::Is
+                    };
                     left = Expr::bin(op, left, right);
                 }
                 continue;
             }
             let negated = if self.peek_kw("NOT")
-                && self.peek_at(1).is_some_and(|t| {
-                    t.is_kw("BETWEEN") || t.is_kw("IN") || t.is_kw("LIKE")
-                }) {
+                && self
+                    .peek_at(1)
+                    .is_some_and(|t| t.is_kw("BETWEEN") || t.is_kw("IN") || t.is_kw("LIKE"))
+            {
                 self.pos += 1;
                 true
             } else {
@@ -641,7 +756,11 @@ impl Parser {
                 if self.peek_kw("SELECT") || self.peek_kw("WITH") || self.peek_kw("VALUES") {
                     let q = self.parse_select()?;
                     self.expect_sym(Sym::RParen)?;
-                    left = Expr::InSubquery { expr: Box::new(left), query: Box::new(q), negated };
+                    left = Expr::InSubquery {
+                        expr: Box::new(left),
+                        query: Box::new(q),
+                        negated,
+                    };
                 } else {
                     let mut list = Vec::new();
                     if !self.peek_sym(Sym::RParen) {
@@ -653,17 +772,27 @@ impl Parser {
                         }
                     }
                     self.expect_sym(Sym::RParen)?;
-                    left = Expr::InList { expr: Box::new(left), list, negated };
+                    left = Expr::InList {
+                        expr: Box::new(left),
+                        list,
+                        negated,
+                    };
                 }
                 continue;
             }
             if self.eat_kw("LIKE") {
                 let pattern = self.parse_additive()?;
-                left = Expr::Like { expr: Box::new(left), pattern: Box::new(pattern), negated };
+                left = Expr::Like {
+                    expr: Box::new(left),
+                    pattern: Box::new(pattern),
+                    negated,
+                };
                 continue;
             }
             if negated {
-                return Err(Error::Parse("expected BETWEEN, IN or LIKE after NOT".into()));
+                return Err(Error::Parse(
+                    "expected BETWEEN, IN or LIKE after NOT".into(),
+                ));
             }
             // Comparison, possibly quantified.
             let op = match self.peek() {
@@ -751,7 +880,10 @@ impl Parser {
                 }
                 _ => {
                     let e = self.parse_unary()?;
-                    return Ok(Expr::Unary { op: UnaryOp::Neg, expr: Box::new(e) });
+                    return Ok(Expr::Unary {
+                        op: UnaryOp::Neg,
+                        expr: Box::new(e),
+                    });
                 }
             }
         }
@@ -812,14 +944,20 @@ impl Parser {
             self.expect_sym(Sym::LParen)?;
             let q = self.parse_select()?;
             self.expect_sym(Sym::RParen)?;
-            return Ok(Expr::Exists { query: Box::new(q), negated: true });
+            return Ok(Expr::Exists {
+                query: Box::new(q),
+                negated: true,
+            });
         }
         if w.eq_ignore_ascii_case("EXISTS") {
             self.pos += 1;
             self.expect_sym(Sym::LParen)?;
             let q = self.parse_select()?;
             self.expect_sym(Sym::RParen)?;
-            return Ok(Expr::Exists { query: Box::new(q), negated: false });
+            return Ok(Expr::Exists {
+                query: Box::new(q),
+                negated: false,
+            });
         }
         if w.eq_ignore_ascii_case("CAST") {
             self.pos += 1;
@@ -833,7 +971,10 @@ impl Parser {
             let ty = DataType::parse(&ty_word)
                 .ok_or_else(|| Error::Parse(format!("unknown type {ty_word}")))?;
             self.expect_sym(Sym::RParen)?;
-            return Ok(Expr::Cast { expr: Box::new(e), ty });
+            return Ok(Expr::Cast {
+                expr: Box::new(e),
+                ty,
+            });
         }
         if w.eq_ignore_ascii_case("CASE") {
             self.pos += 1;
@@ -858,7 +999,11 @@ impl Parser {
                 None
             };
             self.expect_kw("END")?;
-            return Ok(Expr::Case { operand, whens, else_expr });
+            return Ok(Expr::Case {
+                operand,
+                whens,
+                else_expr,
+            });
         }
 
         // Function call or aggregate?
@@ -882,7 +1027,11 @@ impl Parser {
                         "MAX" => AggFunc::Max,
                         _ => AggFunc::Total,
                     };
-                    return Ok(Expr::Agg { func, arg: Some(Box::new(arg)), distinct });
+                    return Ok(Expr::Agg {
+                        func,
+                        arg: Some(Box::new(arg)),
+                        distinct,
+                    });
                 }
                 _ => {
                     let func = FuncName::parse(&upper)
@@ -909,21 +1058,78 @@ impl Parser {
         self.pos += 1;
         if self.eat_sym(Sym::Dot) {
             let col = self.parse_identifier()?;
-            return Ok(Expr::Column(ColumnRef { table: Some(w), column: col }));
+            return Ok(Expr::Column(ColumnRef {
+                table: Some(w),
+                column: col,
+            }));
         }
-        Ok(Expr::Column(ColumnRef { table: None, column: w }))
+        Ok(Expr::Column(ColumnRef {
+            table: None,
+            column: w,
+        }))
     }
 }
 
 /// Reserved words that cannot be bare identifiers/aliases.
 fn is_reserved(w: &str) -> bool {
     const RESERVED: &[&str] = &[
-        "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT", "OFFSET",
-        "AS", "DISTINCT", "ALL", "ANY", "AND", "OR", "NOT", "NULL", "TRUE", "FALSE", "IS",
-        "IN", "BETWEEN", "LIKE", "EXISTS", "CASE", "WHEN", "THEN", "ELSE", "END", "CAST",
-        "CREATE", "TABLE", "VIEW", "INDEX", "UNIQUE", "DROP", "IF", "INSERT", "INTO",
-        "VALUES", "UPDATE", "SET", "DELETE", "JOIN", "INNER", "LEFT", "RIGHT", "FULL",
-        "OUTER", "CROSS", "ON", "UNION", "INTERSECT", "EXCEPT", "WITH", "ASC", "DESC",
+        "SELECT",
+        "FROM",
+        "WHERE",
+        "GROUP",
+        "BY",
+        "HAVING",
+        "ORDER",
+        "LIMIT",
+        "OFFSET",
+        "AS",
+        "DISTINCT",
+        "ALL",
+        "ANY",
+        "AND",
+        "OR",
+        "NOT",
+        "NULL",
+        "TRUE",
+        "FALSE",
+        "IS",
+        "IN",
+        "BETWEEN",
+        "LIKE",
+        "EXISTS",
+        "CASE",
+        "WHEN",
+        "THEN",
+        "ELSE",
+        "END",
+        "CAST",
+        "CREATE",
+        "TABLE",
+        "VIEW",
+        "INDEX",
+        "UNIQUE",
+        "DROP",
+        "IF",
+        "INSERT",
+        "INTO",
+        "VALUES",
+        "UPDATE",
+        "SET",
+        "DELETE",
+        "JOIN",
+        "INNER",
+        "LEFT",
+        "RIGHT",
+        "FULL",
+        "OUTER",
+        "CROSS",
+        "ON",
+        "UNION",
+        "INTERSECT",
+        "EXCEPT",
+        "WITH",
+        "ASC",
+        "DESC",
         "INDEXED",
     ];
     RESERVED.iter().any(|r| w.eq_ignore_ascii_case(r))
@@ -1027,7 +1233,10 @@ mod tests {
         assert!(matches!(stmts[1], Statement::Delete { .. }));
         assert!(matches!(
             stmts[2],
-            Statement::Insert { source: InsertSource::Query(_), .. }
+            Statement::Insert {
+                source: InsertSource::Query(_),
+                ..
+            }
         ));
     }
 
@@ -1035,7 +1244,9 @@ mod tests {
     fn double_negative_literals() {
         let e = parse_expr("((-1314689763) + (-1947665992)) <= (FALSE)").unwrap();
         match e {
-            Expr::Binary { op: BinaryOp::Le, .. } => {}
+            Expr::Binary {
+                op: BinaryOp::Le, ..
+            } => {}
             other => panic!("unexpected {other:?}"),
         }
     }
@@ -1044,7 +1255,13 @@ mod tests {
     fn not_precedence() {
         // NOT binds looser than comparison: NOT a = b is NOT(a = b).
         let e = parse_expr("NOT c0 = 1").unwrap();
-        assert!(matches!(e, Expr::Unary { op: UnaryOp::Not, .. }));
+        assert!(matches!(
+            e,
+            Expr::Unary {
+                op: UnaryOp::Not,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -1058,8 +1275,20 @@ mod tests {
     fn set_ops_are_left_associative() {
         let s = parse_select("SELECT 1 UNION SELECT 2 UNION ALL SELECT 3").unwrap();
         match &s.body {
-            SelectBody::SetOp { op: SetOp::Union, all: true, left, .. } => {
-                assert!(matches!(**left, SelectBody::SetOp { op: SetOp::Union, all: false, .. }));
+            SelectBody::SetOp {
+                op: SetOp::Union,
+                all: true,
+                left,
+                ..
+            } => {
+                assert!(matches!(
+                    **left,
+                    SelectBody::SetOp {
+                        op: SetOp::Union,
+                        all: false,
+                        ..
+                    }
+                ));
             }
             other => panic!("unexpected {other:?}"),
         }

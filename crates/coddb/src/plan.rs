@@ -24,7 +24,7 @@ use crate::ast::{
 };
 use crate::bugs::{BugId, BugRegistry};
 use crate::catalog::{Catalog, RelationKind};
-use crate::coverage::Coverage;
+use crate::coverage::{pt, Coverage};
 use crate::dialect::Dialect;
 use crate::error::{Error, Result};
 use crate::value::Value;
@@ -46,7 +46,12 @@ pub enum FromPlan {
     /// Scan of a base table in index order (CoddDB indexes provide an
     /// ordering over an indexed expression; results are row-identical to a
     /// sequential scan but arrive in a different order).
-    IndexScan { table: String, alias: String, index: String, reverse: bool },
+    IndexScan {
+        table: String,
+        alias: String,
+        index: String,
+        reverse: bool,
+    },
     /// A derived table (or expanded view).
     Derived {
         plan: Box<SelectPlan>,
@@ -57,16 +62,29 @@ pub enum FromPlan {
         from_view: bool,
     },
     /// Table value constructor.
-    ValuesScan { rows: Vec<Vec<Expr>>, alias: String, columns: Vec<String> },
+    ValuesScan {
+        rows: Vec<Vec<Expr>>,
+        alias: String,
+        columns: Vec<String>,
+    },
     /// Reference to a materialized CTE.
     CteScan { name: String, alias: String },
     /// Nested-loop join.
-    Join { kind: JoinKind, on: Option<Expr>, left: Box<FromPlan>, right: Box<FromPlan> },
+    Join {
+        kind: JoinKind,
+        on: Option<Expr>,
+        left: Box<FromPlan>,
+        right: Box<FromPlan>,
+    },
     /// A filter pushed below its original position. `is_clause_root` is
     /// true when the pushed predicate is the *entire* original WHERE
     /// clause (it then still evaluates as the clause's top-level
     /// expression; fragments of a conjunction do not).
-    Filtered { input: Box<FromPlan>, pred: Expr, is_clause_root: bool },
+    Filtered {
+        input: Box<FromPlan>,
+        pred: Expr,
+        is_clause_root: bool,
+    },
 }
 
 /// Physical plan of one select core.
@@ -81,10 +99,16 @@ pub struct CorePlan {
 }
 
 /// Physical plan of a select body.
+#[allow(clippy::large_enum_variant)] // Core dominates; plans are built once per query
 #[derive(Debug, Clone, PartialEq)]
 pub enum BodyPlan {
     Core(CorePlan),
-    SetOp { op: SetOp, all: bool, left: Box<BodyPlan>, right: Box<BodyPlan> },
+    SetOp {
+        op: SetOp,
+        all: bool,
+        left: Box<BodyPlan>,
+        right: Box<BodyPlan>,
+    },
     Values(Vec<Vec<Expr>>),
 }
 
@@ -117,14 +141,23 @@ impl SelectPlan {
                 BodyPlan::Values(_) => 0,
             }
         }
-        body_joins(&self.body) + self.ctes.iter().map(|(_, _, p)| p.join_count()).sum::<usize>()
+        body_joins(&self.body)
+            + self
+                .ctes
+                .iter()
+                .map(|(_, _, p)| p.join_count())
+                .sum::<usize>()
     }
 }
 
 /// Plan a SELECT statement. `outer_ctes` holds the CTE names visible from
 /// enclosing queries (their materialized values live in the executor's CTE
 /// environment).
-pub fn plan_select(select: &Select, pctx: &PlanCtx, outer_ctes: &BTreeSet<String>) -> Result<SelectPlan> {
+pub fn plan_select(
+    select: &Select,
+    pctx: &PlanCtx,
+    outer_ctes: &BTreeSet<String>,
+) -> Result<SelectPlan> {
     let mut visible = outer_ctes.clone();
     let mut ctes = Vec::with_capacity(select.with.len());
     for cte in &select.with {
@@ -146,7 +179,12 @@ pub fn plan_select(select: &Select, pctx: &PlanCtx, outer_ctes: &BTreeSet<String
 fn plan_body(body: &SelectBody, pctx: &PlanCtx, ctes: &BTreeSet<String>) -> Result<BodyPlan> {
     match body {
         SelectBody::Core(core) => Ok(BodyPlan::Core(plan_core(core, pctx, ctes)?)),
-        SelectBody::SetOp { op, all, left, right } => Ok(BodyPlan::SetOp {
+        SelectBody::SetOp {
+            op,
+            all,
+            left,
+            right,
+        } => Ok(BodyPlan::SetOp {
             op: *op,
             all: *all,
             left: Box::new(plan_body(left, pctx, ctes)?),
@@ -158,7 +196,9 @@ fn plan_body(body: &SelectBody, pctx: &PlanCtx, ctes: &BTreeSet<String>) -> Resu
             }
             let arity = rows[0].len();
             if rows.iter().any(|r| r.len() != arity) {
-                return Err(Error::Eval("all VALUES rows must have the same arity".into()));
+                return Err(Error::Eval(
+                    "all VALUES rows must have the same arity".into(),
+                ));
             }
             Ok(BodyPlan::Values(rows.clone()))
         }
@@ -169,7 +209,7 @@ fn plan_core(core: &SelectCore, pctx: &PlanCtx, ctes: &BTreeSet<String>) -> Resu
     let mut from = match &core.from {
         Some(te) => Some(plan_table_expr(te, pctx, ctes)?),
         None => {
-            pctx.cov.hit("plan::no_from");
+            pctx.cov.hit(pt::PLAN_NO_FROM);
             None
         }
     };
@@ -179,7 +219,11 @@ fn plan_core(core: &SelectCore, pctx: &PlanCtx, ctes: &BTreeSet<String>) -> Resu
 
     if pctx.optimize {
         if let Some(w) = where_clause.take() {
-            where_clause = Some(fold_expr(w, pctx, from.is_some() && has_join(from.as_ref()))?);
+            where_clause = Some(fold_expr(
+                w,
+                pctx,
+                from.is_some() && has_join(from.as_ref()),
+            )?);
         }
         if let Some(h) = having.take() {
             having = Some(fold_expr(h, pctx, has_join(from.as_ref()))?);
@@ -191,18 +235,18 @@ fn plan_core(core: &SelectCore, pctx: &PlanCtx, ctes: &BTreeSet<String>) -> Resu
             let strict = pctx.dialect.strict_types();
             match v {
                 Value::Bool(true) => {
-                    pctx.cov.hit("plan::filter_true_elim");
+                    pctx.cov.hit(pt::PLAN_FILTER_TRUE_ELIM);
                     where_clause = None;
                 }
                 Value::Int(1) if !strict => {
-                    pctx.cov.hit("plan::filter_true_elim");
+                    pctx.cov.hit(pt::PLAN_FILTER_TRUE_ELIM);
                     where_clause = None;
                 }
                 Value::Bool(false) | Value::Null => {
-                    pctx.cov.hit("plan::filter_false");
+                    pctx.cov.hit(pt::PLAN_FILTER_FALSE);
                 }
                 Value::Int(0) if !strict => {
-                    pctx.cov.hit("plan::filter_false");
+                    pctx.cov.hit(pt::PLAN_FILTER_FALSE);
                 }
                 _ => {}
             }
@@ -255,21 +299,35 @@ fn has_join(from: Option<&FromPlan>) -> bool {
 
 fn plan_table_expr(te: &TableExpr, pctx: &PlanCtx, ctes: &BTreeSet<String>) -> Result<FromPlan> {
     match te {
-        TableExpr::Named { name, alias, indexed_by } => {
+        TableExpr::Named {
+            name,
+            alias,
+            indexed_by,
+        } => {
             let key = name.to_ascii_lowercase();
-            let alias_name = alias.clone().unwrap_or_else(|| name.clone()).to_ascii_lowercase();
+            let alias_name = alias
+                .clone()
+                .unwrap_or_else(|| name.clone())
+                .to_ascii_lowercase();
             if ctes.contains(&key) {
-                pctx.cov.hit("plan::cte_scan");
+                pctx.cov.hit(pt::PLAN_CTE_SCAN);
                 if indexed_by.is_some() {
-                    return Err(Error::Catalog(format!("cannot use INDEXED BY on CTE {name}")));
+                    return Err(Error::Catalog(format!(
+                        "cannot use INDEXED BY on CTE {name}"
+                    )));
                 }
-                return Ok(FromPlan::CteScan { name: key, alias: alias_name });
+                return Ok(FromPlan::CteScan {
+                    name: key,
+                    alias: alias_name,
+                });
             }
             match pctx.catalog.resolve_relation(name)? {
                 RelationKind::Table => {
-                    pctx.cov.hit("plan::seq_scan");
-                    let mut plan =
-                        FromPlan::SeqScan { table: key.clone(), alias: alias_name.clone() };
+                    pctx.cov.hit(pt::PLAN_SEQ_SCAN);
+                    let mut plan = FromPlan::SeqScan {
+                        table: key.clone(),
+                        alias: alias_name.clone(),
+                    };
                     if let Some(idx) = indexed_by {
                         // Validated/applied in force_indexed_by; keep the
                         // directive by eagerly resolving it here.
@@ -282,7 +340,7 @@ fn plan_table_expr(te: &TableExpr, pctx: &PlanCtx, ctes: &BTreeSet<String>) -> R
                                 "index {idx} does not belong to table {name}"
                             )));
                         }
-                        pctx.cov.hit("plan::index_forced");
+                        pctx.cov.hit(pt::PLAN_INDEX_FORCED);
                         plan = FromPlan::IndexScan {
                             table: key,
                             alias: alias_name,
@@ -293,9 +351,11 @@ fn plan_table_expr(te: &TableExpr, pctx: &PlanCtx, ctes: &BTreeSet<String>) -> R
                     Ok(plan)
                 }
                 RelationKind::View => {
-                    pctx.cov.hit("plan::view_expand");
+                    pctx.cov.hit(pt::PLAN_VIEW_EXPAND);
                     if indexed_by.is_some() {
-                        return Err(Error::Catalog(format!("cannot use INDEXED BY on view {name}")));
+                        return Err(Error::Catalog(format!(
+                            "cannot use INDEXED BY on view {name}"
+                        )));
                     }
                     let view = pctx.catalog.view(name).expect("resolved as view");
                     let sub = plan_select(&view.query, pctx, &BTreeSet::new())?;
@@ -309,7 +369,7 @@ fn plan_table_expr(te: &TableExpr, pctx: &PlanCtx, ctes: &BTreeSet<String>) -> R
             }
         }
         TableExpr::Derived { query, alias } => {
-            pctx.cov.hit("plan::derived");
+            pctx.cov.hit(pt::PLAN_DERIVED);
             let sub = plan_select(query, pctx, ctes)?;
             Ok(FromPlan::Derived {
                 plan: Box::new(sub),
@@ -318,14 +378,20 @@ fn plan_table_expr(te: &TableExpr, pctx: &PlanCtx, ctes: &BTreeSet<String>) -> R
                 from_view: false,
             })
         }
-        TableExpr::Values { rows, alias, columns } => {
-            pctx.cov.hit("plan::values_scan");
+        TableExpr::Values {
+            rows,
+            alias,
+            columns,
+        } => {
+            pctx.cov.hit(pt::PLAN_VALUES_SCAN);
             if rows.is_empty() {
                 return Err(Error::Parse("VALUES requires at least one row".into()));
             }
             let arity = rows[0].len();
             if rows.iter().any(|r| r.len() != arity) {
-                return Err(Error::Eval("all VALUES rows must have the same arity".into()));
+                return Err(Error::Eval(
+                    "all VALUES rows must have the same arity".into(),
+                ));
             }
             Ok(FromPlan::ValuesScan {
                 rows: rows.clone(),
@@ -333,13 +399,18 @@ fn plan_table_expr(te: &TableExpr, pctx: &PlanCtx, ctes: &BTreeSet<String>) -> R
                 columns: columns.iter().map(|c| c.to_ascii_lowercase()).collect(),
             })
         }
-        TableExpr::Join { left, right, kind, on } => {
+        TableExpr::Join {
+            left,
+            right,
+            kind,
+            on,
+        } => {
             pctx.cov.hit(match kind {
-                JoinKind::Inner => "plan::join_inner",
-                JoinKind::Left => "plan::join_left",
-                JoinKind::Right => "plan::join_right",
-                JoinKind::Full => "plan::join_full",
-                JoinKind::Cross => "plan::join_cross",
+                JoinKind::Inner => pt::PLAN_JOIN_INNER,
+                JoinKind::Left => pt::PLAN_JOIN_LEFT,
+                JoinKind::Right => pt::PLAN_JOIN_RIGHT,
+                JoinKind::Full => pt::PLAN_JOIN_FULL,
+                JoinKind::Cross => pt::PLAN_JOIN_CROSS,
             });
             Ok(FromPlan::Join {
                 kind: *kind,
@@ -369,7 +440,13 @@ fn fold_expr(expr: Expr, pctx: &PlanCtx, in_join_query: bool) -> Result<Expr> {
     // a NOT BETWEEN with a NULL bound to TRUE in join queries, although the
     // expression is not constant at all.
     if pctx.bugs.active(BugId::CockroachConstFoldNotBetweenNull) && in_join_query {
-        if let Expr::Between { negated: true, low, high, .. } = &expr {
+        if let Expr::Between {
+            negated: true,
+            low,
+            high,
+            ..
+        } = &expr
+        {
             let null_bound = matches!(low.as_ref(), Expr::Literal(Value::Null))
                 || matches!(high.as_ref(), Expr::Literal(Value::Null));
             if null_bound {
@@ -380,7 +457,12 @@ fn fold_expr(expr: Expr, pctx: &PlanCtx, in_join_query: bool) -> Result<Expr> {
     // Bug hook: CockroachInternalNegMod — folding `x % -k` raises an
     // internal error.
     if pctx.bugs.active(BugId::CockroachInternalNegMod) {
-        if let Expr::Binary { op: BinaryOp::Mod, right, .. } = &expr {
+        if let Expr::Binary {
+            op: BinaryOp::Mod,
+            right,
+            ..
+        } = &expr
+        {
             if matches!(right.as_ref(), Expr::Literal(Value::Int(k)) if *k < 0) {
                 return Err(Error::Internal(
                     "constant folding of % with negative modulus".into(),
@@ -394,21 +476,21 @@ fn fold_expr(expr: Expr, pctx: &PlanCtx, in_join_query: bool) -> Result<Expr> {
     // any subtree containing an IN list — keeping plan-time and run-time
     // behaviour consistent (NoREC therefore sees no asymmetry).
     if pctx.bugs.active(BugId::CockroachInBigIntValueList) && contains_in_list(&expr) {
-        pctx.cov.hit("plan::fold_skipped");
+        pctx.cov.hit(pt::PLAN_FOLD_SKIPPED);
         return map_children(expr, &mut |child| fold_expr(child, pctx, in_join_query));
     }
 
     if expr.is_constant() {
         match crate::eval::eval_const(&expr, pctx) {
             Ok(v) => {
-                pctx.cov.hit("plan::fold_const");
+                pctx.cov.hit(pt::PLAN_FOLD_CONST);
                 return Ok(Expr::Literal(v));
             }
             Err(e) if e.severity() == crate::error::Severity::BugSignal => return Err(e),
             Err(_) => {
                 // Expressions that error at fold time (overflow, strict type
                 // mismatch, ...) are left for runtime, like real planners do.
-                pctx.cov.hit("plan::fold_skipped");
+                pctx.cov.hit(pt::PLAN_FOLD_SKIPPED);
                 return Ok(expr);
             }
         }
@@ -438,22 +520,40 @@ fn truthy_literal(dialect: Dialect) -> Value {
 /// Rebuild an expression by transforming each immediate child.
 fn map_children(expr: Expr, f: &mut impl FnMut(Expr) -> Result<Expr>) -> Result<Expr> {
     Ok(match expr {
-        Expr::Unary { op, expr } => Expr::Unary { op, expr: Box::new(f(*expr)?) },
-        Expr::Binary { op, left, right } => {
-            Expr::Binary { op, left: Box::new(f(*left)?), right: Box::new(f(*right)?) }
-        }
-        Expr::Between { expr, low, high, negated } => Expr::Between {
+        Expr::Unary { op, expr } => Expr::Unary {
+            op,
+            expr: Box::new(f(*expr)?),
+        },
+        Expr::Binary { op, left, right } => Expr::Binary {
+            op,
+            left: Box::new(f(*left)?),
+            right: Box::new(f(*right)?),
+        },
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => Expr::Between {
             expr: Box::new(f(*expr)?),
             low: Box::new(f(*low)?),
             high: Box::new(f(*high)?),
             negated,
         },
-        Expr::InList { expr, list, negated } => Expr::InList {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => Expr::InList {
             expr: Box::new(f(*expr)?),
             list: list.into_iter().map(&mut *f).collect::<Result<_>>()?,
             negated,
         },
-        Expr::Case { operand, whens, else_expr } => Expr::Case {
+        Expr::Case {
+            operand,
+            whens,
+            else_expr,
+        } => Expr::Case {
             operand: match operand {
                 Some(o) => Some(Box::new(f(*o)?)),
                 None => None,
@@ -467,12 +567,23 @@ fn map_children(expr: Expr, f: &mut impl FnMut(Expr) -> Result<Expr>) -> Result<
                 None => None,
             },
         },
-        Expr::Func { func, args } => {
-            Expr::Func { func, args: args.into_iter().map(&mut *f).collect::<Result<_>>()? }
-        }
-        Expr::Cast { expr, ty } => Expr::Cast { expr: Box::new(f(*expr)?), ty },
-        Expr::IsNull { expr, negated } => Expr::IsNull { expr: Box::new(f(*expr)?), negated },
-        Expr::Like { expr, pattern, negated } => Expr::Like {
+        Expr::Func { func, args } => Expr::Func {
+            func,
+            args: args.into_iter().map(&mut *f).collect::<Result<_>>()?,
+        },
+        Expr::Cast { expr, ty } => Expr::Cast {
+            expr: Box::new(f(*expr)?),
+            ty,
+        },
+        Expr::IsNull { expr, negated } => Expr::IsNull {
+            expr: Box::new(f(*expr)?),
+            negated,
+        },
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => Expr::Like {
             expr: Box::new(f(*expr)?),
             pattern: Box::new(f(*pattern)?),
             negated,
@@ -495,7 +606,11 @@ fn map_children(expr: Expr, f: &mut impl FnMut(Expr) -> Result<Expr>) -> Result<
 /// Split a predicate into top-level conjuncts.
 pub fn split_conjuncts(expr: &Expr) -> Vec<Expr> {
     match expr {
-        Expr::Binary { op: BinaryOp::And, left, right } => {
+        Expr::Binary {
+            op: BinaryOp::And,
+            left,
+            right,
+        } => {
             let mut out = split_conjuncts(left);
             out.extend(split_conjuncts(right));
             out
@@ -545,7 +660,13 @@ fn refers_only_to(expr: &Expr, aliases: &BTreeSet<String>) -> bool {
 /// The `DuckdbPushdownLeftJoin` mutant "also" pushes below the null-padded
 /// right side of a LEFT JOIN, which is exactly the illegal rewrite.
 fn push_down(from: FromPlan, where_clause: Expr, pctx: &PlanCtx) -> (FromPlan, Option<Expr>) {
-    let FromPlan::Join { kind, on, left, right } = from else {
+    let FromPlan::Join {
+        kind,
+        on,
+        left,
+        right,
+    } = from
+    else {
         return (from, Some(where_clause));
     };
 
@@ -571,16 +692,16 @@ fn push_down(from: FromPlan, where_clause: Expr, pctx: &PlanCtx) -> (FromPlan, O
                 && pctx.bugs.active(BugId::DuckdbPushdownLeftJoin)
                 && !matches!(conj, Expr::Case { .. }));
         if push_left_legal && refers_only_to(&conj, &left_aliases) {
-            pctx.cov.hit("plan::pushdown_applied");
+            pctx.cov.hit(pt::PLAN_PUSHDOWN_APPLIED);
             left_preds.push(conj);
         } else if push_right_legal && refers_only_to(&conj, &right_aliases) {
-            pctx.cov.hit("plan::pushdown_applied");
+            pctx.cov.hit(pt::PLAN_PUSHDOWN_APPLIED);
             right_preds.push(conj);
         } else {
             if !matches!(kind, JoinKind::Inner | JoinKind::Cross)
                 && (refers_only_to(&conj, &left_aliases) || refers_only_to(&conj, &right_aliases))
             {
-                pctx.cov.hit("plan::pushdown_blocked_outer");
+                pctx.cov.hit(pt::PLAN_PUSHDOWN_BLOCKED_OUTER);
             }
             residual.push(conj);
         }
@@ -602,7 +723,15 @@ fn push_down(from: FromPlan, where_clause: Expr, pctx: &PlanCtx) -> (FromPlan, O
         }),
         None => right,
     };
-    (FromPlan::Join { kind, on, left, right }, conjoin(residual))
+    (
+        FromPlan::Join {
+            kind,
+            on,
+            left,
+            right,
+        },
+        conjoin(residual),
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -621,7 +750,7 @@ fn select_index(plan: FromPlan, where_clause: Option<&Expr>, pctx: &PlanCtx) -> 
     for conj in split_conjuncts(filter) {
         for index in pctx.catalog.indexes_for_table(table) {
             if let Some(reverse) = index_matches(&conj, &index.expr, alias) {
-                pctx.cov.hit("plan::index_scan");
+                pctx.cov.hit(pt::PLAN_INDEX_SCAN);
                 return Ok(FromPlan::IndexScan {
                     table: table.clone(),
                     alias: alias.clone(),
@@ -662,7 +791,10 @@ fn normalize_for_index(expr: &Expr, alias: &str) -> Expr {
     let mut e = expr.clone();
     fn rec(e: &mut Expr, alias: &str) {
         if let Expr::Column(c) = e {
-            if c.table.as_deref().is_some_and(|t| t.eq_ignore_ascii_case(alias)) {
+            if c.table
+                .as_deref()
+                .is_some_and(|t| t.eq_ignore_ascii_case(alias))
+            {
                 c.table = None;
             }
             c.column = c.column.to_ascii_lowercase();
@@ -676,7 +808,9 @@ fn normalize_for_index(expr: &Expr, alias: &str) -> Expr {
                 rec(left, alias);
                 rec(right, alias);
             }
-            Expr::Between { expr, low, high, .. } => {
+            Expr::Between {
+                expr, low, high, ..
+            } => {
                 rec(expr, alias);
                 rec(low, alias);
                 rec(high, alias);
@@ -687,7 +821,11 @@ fn normalize_for_index(expr: &Expr, alias: &str) -> Expr {
                     rec(i, alias);
                 }
             }
-            Expr::Case { operand, whens, else_expr } => {
+            Expr::Case {
+                operand,
+                whens,
+                else_expr,
+            } => {
                 if let Some(o) = operand {
                     rec(o, alias);
                 }
@@ -772,7 +910,11 @@ fn explain_body(body: &BodyPlan, indent: usize, out: &mut String) {
                 out.push_str(&format!(
                     "AGGREGATE (group by {} expr(s){})\n",
                     core.group_by.len(),
-                    if core.having.is_some() { ", having" } else { "" }
+                    if core.having.is_some() {
+                        ", having"
+                    } else {
+                        ""
+                    }
                 ));
             }
             if let Some(w) = &core.where_clause {
@@ -787,9 +929,18 @@ fn explain_body(body: &BodyPlan, indent: usize, out: &mut String) {
                 }
             }
         }
-        BodyPlan::SetOp { op, all, left, right } => {
+        BodyPlan::SetOp {
+            op,
+            all,
+            left,
+            right,
+        } => {
             pad(indent, out);
-            out.push_str(&format!("{}{}\n", op.sql_name(), if *all { " ALL" } else { "" }));
+            out.push_str(&format!(
+                "{}{}\n",
+                op.sql_name(),
+                if *all { " ALL" } else { "" }
+            ));
             explain_body(left, indent + 1, out);
             explain_body(right, indent + 1, out);
         }
@@ -806,14 +957,24 @@ fn explain_from(from: &FromPlan, indent: usize, out: &mut String) {
             pad(indent, out);
             out.push_str(&format!("SCAN {table} AS {alias}\n"));
         }
-        FromPlan::IndexScan { table, alias, index, reverse } => {
+        FromPlan::IndexScan {
+            table,
+            alias,
+            index,
+            reverse,
+        } => {
             pad(indent, out);
             out.push_str(&format!(
                 "INDEX SCAN {table} AS {alias} USING {index}{}\n",
                 if *reverse { " (reverse)" } else { "" }
             ));
         }
-        FromPlan::Derived { plan, alias, from_view, .. } => {
+        FromPlan::Derived {
+            plan,
+            alias,
+            from_view,
+            ..
+        } => {
             pad(indent, out);
             out.push_str(&format!(
                 "{} {alias}\n",
@@ -829,7 +990,12 @@ fn explain_from(from: &FromPlan, indent: usize, out: &mut String) {
             pad(indent, out);
             out.push_str(&format!("CTE SCAN {name} AS {alias}\n"));
         }
-        FromPlan::Join { kind, on, left, right } => {
+        FromPlan::Join {
+            kind,
+            on,
+            left,
+            right,
+        } => {
             pad(indent, out);
             out.push_str(&format!(
                 "NESTED LOOP {}{}\n",
@@ -921,7 +1087,12 @@ fn hash_body(body: &BodyPlan, h: &mut impl Hasher) {
                 hash_expr_shape(having, h);
             }
         }
-        BodyPlan::SetOp { op, all, left, right } => {
+        BodyPlan::SetOp {
+            op,
+            all,
+            left,
+            right,
+        } => {
             0xB1u8.hash(h);
             (*op as u8).hash(h);
             all.hash(h);
@@ -942,13 +1113,20 @@ fn hash_from(from: &FromPlan, h: &mut impl Hasher) {
             0xC0u8.hash(h);
             table.hash(h);
         }
-        FromPlan::IndexScan { table, index, reverse, .. } => {
+        FromPlan::IndexScan {
+            table,
+            index,
+            reverse,
+            ..
+        } => {
             0xC1u8.hash(h);
             table.hash(h);
             index.hash(h);
             reverse.hash(h);
         }
-        FromPlan::Derived { plan, from_view, .. } => {
+        FromPlan::Derived {
+            plan, from_view, ..
+        } => {
             0xC2u8.hash(h);
             from_view.hash(h);
             hash_select(plan, h);
@@ -961,7 +1139,12 @@ fn hash_from(from: &FromPlan, h: &mut impl Hasher) {
             0xC4u8.hash(h);
             name.hash(h);
         }
-        FromPlan::Join { kind, on, left, right } => {
+        FromPlan::Join {
+            kind,
+            on,
+            left,
+            right,
+        } => {
             0xC5u8.hash(h);
             (*kind as u8).hash(h);
             match on {
@@ -1011,7 +1194,12 @@ fn collect_plan_relevant<'a>(expr: &'a Expr, out: &mut Vec<(u8, &'a Select)>) {
         }
         Expr::Exists { query, .. } => out.push((2, query)),
         Expr::Scalar(query) => out.push((3, query)),
-        Expr::Quantified { quantifier, expr, query, .. } => {
+        Expr::Quantified {
+            quantifier,
+            expr,
+            query,
+            ..
+        } => {
             collect_plan_relevant(expr, out);
             out.push((4 + *quantifier as u8, query));
         }
@@ -1023,7 +1211,9 @@ fn collect_plan_relevant<'a>(expr: &'a Expr, out: &mut Vec<(u8, &'a Select)>) {
             collect_plan_relevant(left, out);
             collect_plan_relevant(right, out);
         }
-        Expr::Between { expr, low, high, .. } => {
+        Expr::Between {
+            expr, low, high, ..
+        } => {
             collect_plan_relevant(expr, out);
             collect_plan_relevant(low, out);
             collect_plan_relevant(high, out);
@@ -1034,7 +1224,11 @@ fn collect_plan_relevant<'a>(expr: &'a Expr, out: &mut Vec<(u8, &'a Select)>) {
                 collect_plan_relevant(e, out);
             }
         }
-        Expr::Case { operand, whens, else_expr } => {
+        Expr::Case {
+            operand,
+            whens,
+            else_expr,
+        } => {
             if let Some(o) = operand {
                 collect_plan_relevant(o, out);
             }
@@ -1074,7 +1268,9 @@ fn hash_select_shape(select: &Select, h: &mut impl Hasher) {
     }
     fn table(te: &crate::ast::TableExpr, h: &mut impl Hasher) {
         match te {
-            crate::ast::TableExpr::Named { name, indexed_by, .. } => {
+            crate::ast::TableExpr::Named {
+                name, indexed_by, ..
+            } => {
                 0u8.hash(h);
                 name.to_ascii_lowercase().hash(h);
                 indexed_by.is_some().hash(h);
@@ -1087,7 +1283,12 @@ fn hash_select_shape(select: &Select, h: &mut impl Hasher) {
                 2u8.hash(h);
                 rows.first().map(|r| r.len()).unwrap_or(0).hash(h);
             }
-            crate::ast::TableExpr::Join { left, right, kind, on } => {
+            crate::ast::TableExpr::Join {
+                left,
+                right,
+                kind,
+                on,
+            } => {
                 3u8.hash(h);
                 (*kind as u8).hash(h);
                 table(left, h);
@@ -1134,7 +1335,12 @@ fn hash_select_shape(select: &Select, h: &mut impl Hasher) {
                     hash_expr_shape(hv, h);
                 }
             }
-            SelectBody::SetOp { op, all, left, right } => {
+            SelectBody::SetOp {
+                op,
+                all,
+                left,
+                right,
+            } => {
                 1u8.hash(h);
                 (*op as u8).hash(h);
                 all.hash(h);
@@ -1163,18 +1369,38 @@ mod tests {
         cat.create_table(
             "t0",
             vec![
-                ColumnDef { name: "c0".into(), ty: DataType::Int, not_null: false },
-                ColumnDef { name: "c1".into(), ty: DataType::Int, not_null: false },
+                ColumnDef {
+                    name: "c0".into(),
+                    ty: DataType::Int,
+                    not_null: false,
+                },
+                ColumnDef {
+                    name: "c1".into(),
+                    ty: DataType::Int,
+                    not_null: false,
+                },
             ],
             false,
         )
         .unwrap();
-        cat.create_index("i0", "t0", Expr::bare_col("c0"), false).unwrap();
+        cat.create_index("i0", "t0", Expr::bare_col("c0"), false)
+            .unwrap();
         cat
     }
 
-    fn pctx<'a>(cat: &'a Catalog, bugs: &'a BugRegistry, cov: &'a Coverage, optimize: bool) -> PlanCtx<'a> {
-        PlanCtx { catalog: cat, dialect: Dialect::Sqlite, bugs, cov, optimize }
+    fn pctx<'a>(
+        cat: &'a Catalog,
+        bugs: &'a BugRegistry,
+        cov: &'a Coverage,
+        optimize: bool,
+    ) -> PlanCtx<'a> {
+        PlanCtx {
+            catalog: cat,
+            dialect: Dialect::Sqlite,
+            bugs,
+            cov,
+            optimize,
+        }
     }
 
     fn simple_select(where_clause: Option<Expr>) -> Select {
@@ -1200,7 +1426,10 @@ mod tests {
         let plan = plan_select(&sel, &ctx, &BTreeSet::new()).unwrap();
         match plan.body {
             BodyPlan::Core(c) => {
-                assert!(matches!(c.from, Some(FromPlan::IndexScan { reverse: true, .. })));
+                assert!(matches!(
+                    c.from,
+                    Some(FromPlan::IndexScan { reverse: true, .. })
+                ));
             }
             _ => panic!("expected core"),
         }
@@ -1248,30 +1477,55 @@ mod tests {
         let bugs = BugRegistry::none();
         let cov = Coverage::new();
         let ctx = pctx(&cat, &bugs, &cov, false);
-        let plan_of = |e: Expr| {
-            plan_select(&simple_select(Some(e)), &ctx, &BTreeSet::new()).unwrap()
-        };
+        let plan_of =
+            |e: Expr| plan_select(&simple_select(Some(e)), &ctx, &BTreeSet::new()).unwrap();
         // Scalar expression differences do NOT change the plan (a real
         // DBMS runs `c1 = 1` and `c1 < 999` with the same scan + filter).
         let a = plan_of(Expr::eq(Expr::col("t0", "c1"), Expr::lit(1i64)));
-        let b = plan_of(Expr::bin(BinaryOp::Lt, Expr::col("t0", "c1"), Expr::lit(999i64)));
-        assert_eq!(fingerprint(&a), fingerprint(&b), "scalar shape is not plan-relevant");
+        let b = plan_of(Expr::bin(
+            BinaryOp::Lt,
+            Expr::col("t0", "c1"),
+            Expr::lit(999i64),
+        ));
+        assert_eq!(
+            fingerprint(&a),
+            fingerprint(&b),
+            "scalar shape is not plan-relevant"
+        );
         // A subquery embeds a subplan and does change the fingerprint; two
         // structurally different subqueries differ from each other too.
         let sub1 = Select::scalar_probe(Expr::lit(1i64));
         let mut sub2 = Select::from_core(SelectCore {
-            items: vec![SelectItem::Expr { expr: Expr::count_star(), alias: None }],
+            items: vec![SelectItem::Expr {
+                expr: Expr::count_star(),
+                alias: None,
+            }],
             from: Some(TableExpr::named("t0")),
             ..SelectCore::default()
         });
         let c = plan_of(Expr::eq(Expr::Scalar(Box::new(sub1)), Expr::lit(1i64)));
-        let d = plan_of(Expr::eq(Expr::Scalar(Box::new(sub2.clone())), Expr::lit(1i64)));
-        assert_ne!(fingerprint(&a), fingerprint(&c), "subquery changes the plan");
-        assert_ne!(fingerprint(&c), fingerprint(&d), "different subplans differ");
+        let d = plan_of(Expr::eq(
+            Expr::Scalar(Box::new(sub2.clone())),
+            Expr::lit(1i64),
+        ));
+        assert_ne!(
+            fingerprint(&a),
+            fingerprint(&c),
+            "subquery changes the plan"
+        );
+        assert_ne!(
+            fingerprint(&c),
+            fingerprint(&d),
+            "different subplans differ"
+        );
         // Aggregation structure inside the subquery is plan-relevant.
         sub2.core_mut().unwrap().group_by = vec![Expr::col("t0", "c0")];
         let e = plan_of(Expr::eq(Expr::Scalar(Box::new(sub2)), Expr::lit(1i64)));
-        assert_ne!(fingerprint(&d), fingerprint(&e), "GROUP BY changes the subplan");
+        assert_ne!(
+            fingerprint(&d),
+            fingerprint(&e),
+            "GROUP BY changes the subplan"
+        );
     }
 
     #[test]
@@ -1279,7 +1533,11 @@ mod tests {
         let mut cat = setup();
         cat.create_table(
             "t1",
-            vec![ColumnDef { name: "c0".into(), ty: DataType::Int, not_null: false }],
+            vec![ColumnDef {
+                name: "c0".into(),
+                ty: DataType::Int,
+                not_null: false,
+            }],
             false,
         )
         .unwrap();
@@ -1319,7 +1577,11 @@ mod tests {
         let mut cat = setup();
         cat.create_table(
             "t1",
-            vec![ColumnDef { name: "c0".into(), ty: DataType::Int, not_null: false }],
+            vec![ColumnDef {
+                name: "c0".into(),
+                ty: DataType::Int,
+                not_null: false,
+            }],
             false,
         )
         .unwrap();
@@ -1369,6 +1631,9 @@ mod tests {
             }),
             ..SelectCore::default()
         });
-        assert!(matches!(plan_select(&sel, &ctx, &BTreeSet::new()), Err(Error::Catalog(_))));
+        assert!(matches!(
+            plan_select(&sel, &ctx, &BTreeSet::new()),
+            Err(Error::Catalog(_))
+        ));
     }
 }

@@ -310,11 +310,17 @@ pub struct Relation {
 
 impl Relation {
     pub fn new(columns: Vec<String>) -> Self {
-        Relation { columns, rows: Vec::new() }
+        Relation {
+            columns,
+            rows: Vec::new(),
+        }
     }
 
     pub fn single(value: Value) -> Self {
-        Relation { columns: vec!["v".into()], rows: vec![vec![value]] }
+        Relation {
+            columns: vec!["v".into()],
+            rows: vec![vec![value]],
+        }
     }
 
     pub fn is_empty(&self) -> bool {
@@ -373,7 +379,9 @@ impl Relation {
         let mut b: Vec<&Row> = other.rows.iter().collect();
         a.sort_by(|x, y| row_total_cmp(x, y));
         b.sort_by(|x, y| row_total_cmp(x, y));
-        a.iter().zip(b.iter()).all(|(x, y)| row_total_cmp(x, y) == Ordering::Equal)
+        a.iter()
+            .zip(b.iter())
+            .all(|(x, y)| row_total_cmp(x, y) == Ordering::Equal)
     }
 
     /// Canonical display for reports: `col1|col2` header then rows.
@@ -402,9 +410,18 @@ mod tests {
 
     #[test]
     fn numeric_cross_class_comparison() {
-        assert_eq!(Value::Int(2).sql_cmp(&Value::Real(2.0)), Some(Ordering::Equal));
-        assert_eq!(Value::Int(2).sql_cmp(&Value::Real(2.5)), Some(Ordering::Less));
-        assert_eq!(Value::Real(3.5).sql_cmp(&Value::Int(3)), Some(Ordering::Greater));
+        assert_eq!(
+            Value::Int(2).sql_cmp(&Value::Real(2.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Int(2).sql_cmp(&Value::Real(2.5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Real(3.5).sql_cmp(&Value::Int(3)),
+            Some(Ordering::Greater)
+        );
     }
 
     #[test]
@@ -412,7 +429,10 @@ mod tests {
         // NULL < BOOL < numeric < TEXT under the total order.
         assert_eq!(Value::Null.total_cmp(&Value::Bool(false)), Ordering::Less);
         assert_eq!(Value::Bool(true).total_cmp(&Value::Int(-5)), Ordering::Less);
-        assert_eq!(Value::Int(999).total_cmp(&Value::Text("a".into())), Ordering::Less);
+        assert_eq!(
+            Value::Int(999).total_cmp(&Value::Text("a".into())),
+            Ordering::Less
+        );
     }
 
     #[test]
@@ -450,7 +470,10 @@ mod tests {
             rows: vec![vec![Value::Int(2)], vec![Value::Int(1)]],
         };
         assert!(a.multiset_eq(&b));
-        let c = Relation { columns: vec!["c".into()], rows: vec![vec![Value::Int(2)]] };
+        let c = Relation {
+            columns: vec!["c".into()],
+            rows: vec![vec![Value::Int(2)]],
+        };
         assert!(!a.multiset_eq(&c));
     }
 
@@ -463,7 +486,10 @@ mod tests {
                 vec![Value::Int(2), Value::Null, Value::Int(2)],
             ],
         };
-        assert_eq!(r.column_types(), vec![DataType::Int, DataType::Any, DataType::Real]);
+        assert_eq!(
+            r.column_types(),
+            vec![DataType::Int, DataType::Any, DataType::Real]
+        );
     }
 
     #[test]

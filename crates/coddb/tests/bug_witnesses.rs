@@ -16,16 +16,24 @@ fn pair(bug: BugId, setup: &str) -> (Database, Database) {
     let dialect = bug.dialect();
     let mut clean = Database::new(dialect);
     let mut buggy = Database::with_bugs(dialect, BugRegistry::only(bug));
-    clean.execute_sql(setup).unwrap_or_else(|e| panic!("setup failed on clean: {e}"));
-    buggy.execute_sql(setup).unwrap_or_else(|e| panic!("setup failed on buggy: {e}"));
+    clean
+        .execute_sql(setup)
+        .unwrap_or_else(|e| panic!("setup failed on clean: {e}"));
+    buggy
+        .execute_sql(setup)
+        .unwrap_or_else(|e| panic!("setup failed on buggy: {e}"));
     (clean, buggy)
 }
 
 /// Assert that a logic bug makes `sql` return different results.
 fn assert_diverges(bug: BugId, setup: &str, sql: &str) {
     let (mut clean, mut buggy) = pair(bug, setup);
-    let c = clean.query_sql(sql).unwrap_or_else(|e| panic!("clean failed on {sql}: {e}"));
-    let b = buggy.query_sql(sql).unwrap_or_else(|e| panic!("buggy failed on {sql}: {e}"));
+    let c = clean
+        .query_sql(sql)
+        .unwrap_or_else(|e| panic!("clean failed on {sql}: {e}"));
+    let b = buggy
+        .query_sql(sql)
+        .unwrap_or_else(|e| panic!("buggy failed on {sql}: {e}"));
     assert!(
         !c.multiset_eq(&b),
         "{bug:?} did not diverge on {sql}\nclean: {c:?}\nbuggy: {b:?}"
@@ -39,7 +47,9 @@ fn assert_error(bug: BugId, setup: &str, sql: &str, want: fn(&Error) -> bool) {
     clean
         .execute_sql(sql)
         .unwrap_or_else(|e| panic!("clean failed on {sql}: {e}"));
-    let err = buggy.execute_sql(sql).expect_err("buggy engine should error");
+    let err = buggy
+        .execute_sql(sql)
+        .expect_err("buggy engine should error");
     assert!(want(&err), "{bug:?}: unexpected error {err}");
     assert_eq!(err.severity(), coddb::Severity::BugSignal);
 }
@@ -135,9 +145,12 @@ fn mysql_update_delete_cross_type_comparison_is_semantic_error() {
     // Not a mutant: a MySQL-dialect rule modelling the paper's §4.2
     // observation that DQE hits a semantic error where SELECT works.
     let mut db = Database::new(Dialect::Mysql);
-    db.execute_sql("CREATE TABLE t (v TEXT); INSERT INTO t VALUES ('2')").unwrap();
+    db.execute_sql("CREATE TABLE t (v TEXT); INSERT INTO t VALUES ('2')")
+        .unwrap();
     assert!(db.query_sql("SELECT * FROM t WHERE v > 5").is_ok());
-    let err = db.execute_sql("UPDATE t SET v = '3' WHERE v > 5").unwrap_err();
+    let err = db
+        .execute_sql("UPDATE t SET v = '3' WHERE v > 5")
+        .unwrap_err();
     assert!(matches!(err, Error::Type(_)), "{err}");
     let err = db.execute_sql("DELETE FROM t WHERE v > 5").unwrap_err();
     assert!(matches!(err, Error::Type(_)), "{err}");
@@ -203,7 +216,10 @@ fn cockroach_avg_nested_reverse() {
         "CREATE TABLE t (v REAL); INSERT INTO t VALUES (100000000.0), (7.0)",
     );
     let aux = "SELECT AVG(v) FROM t";
-    assert_eq!(clean.query_sql(aux).unwrap().rows, buggy.query_sql(aux).unwrap().rows);
+    assert_eq!(
+        clean.query_sql(aux).unwrap().rows,
+        buggy.query_sql(aux).unwrap().rows
+    );
 }
 
 #[test]
@@ -278,8 +294,10 @@ fn cockroach_internal_intersect_null() {
 #[test]
 fn cockroach_internal_cast_text_int() {
     let mut clean = Database::new(Dialect::Cockroach);
-    let mut buggy =
-        Database::with_bugs(Dialect::Cockroach, BugRegistry::only(BugId::CockroachInternalCastTextInt));
+    let mut buggy = Database::with_bugs(
+        Dialect::Cockroach,
+        BugRegistry::only(BugId::CockroachInternalCastTextInt),
+    );
     // Clean strict engine: an expected conversion error.
     let e = clean.query_sql("SELECT CAST('12abc' AS INT)").unwrap_err();
     assert_eq!(e.severity(), coddb::Severity::Expected);
@@ -365,8 +383,10 @@ fn duckdb_internal_overflow_add_proj() {
     // Listing 11 of the paper: an overflow in the projection surfaces as
     // an internal error instead of a clean one.
     let mut clean = Database::new(Dialect::Duckdb);
-    let mut buggy =
-        Database::with_bugs(Dialect::Duckdb, BugRegistry::only(BugId::DuckdbInternalOverflowAddProj));
+    let mut buggy = Database::with_bugs(
+        Dialect::Duckdb,
+        BugRegistry::only(BugId::DuckdbInternalOverflowAddProj),
+    );
     let sql = "SELECT 9223372036854775807 + 1";
     let e = clean.query_sql(sql).unwrap_err();
     assert_eq!(e.severity(), coddb::Severity::Expected);
@@ -374,7 +394,9 @@ fn duckdb_internal_overflow_add_proj() {
     assert!(matches!(e, Error::Internal(_)), "{e}");
     // In a WHERE clause the overflow is still the expected error — NoREC's
     // projection rewrite is what exposes the internal error (§4.2).
-    buggy.execute_sql("CREATE TABLE t (v INT); INSERT INTO t VALUES (1)").unwrap();
+    buggy
+        .execute_sql("CREATE TABLE t (v INT); INSERT INTO t VALUES (1)")
+        .unwrap();
     let e = buggy
         .query_sql("SELECT * FROM t WHERE (9223372036854775807 + 1) = v")
         .unwrap_err();
@@ -464,8 +486,20 @@ fn tidb_insert_select_version() {
     buggy.execute_sql(insert).unwrap();
     // VERSION() is a TEXT starting with a digit; numeric coercion makes it
     // >= 1, so the clean engine inserts the row. The buggy one drops it.
-    assert_eq!(clean.query_sql("SELECT COUNT(*) FROM ot0").unwrap().scalar(), Some(&Value::Int(1)));
-    assert_eq!(buggy.query_sql("SELECT COUNT(*) FROM ot0").unwrap().scalar(), Some(&Value::Int(0)));
+    assert_eq!(
+        clean
+            .query_sql("SELECT COUNT(*) FROM ot0")
+            .unwrap()
+            .scalar(),
+        Some(&Value::Int(1))
+    );
+    assert_eq!(
+        buggy
+            .query_sql("SELECT COUNT(*) FROM ot0")
+            .unwrap()
+            .scalar(),
+        Some(&Value::Int(0))
+    );
     // The auxiliary query (query A in Listing 6) is unaffected.
     assert_eq!(
         buggy
@@ -510,7 +544,10 @@ fn tidb_in_value_list_where() {
         "CREATE TABLE t0 (c0 INT); INSERT INTO t0 VALUES (1)",
     );
     let proj = "SELECT t0.c0 IN (1) FROM t0";
-    assert_eq!(clean.query_sql(proj).unwrap().rows, buggy.query_sql(proj).unwrap().rows);
+    assert_eq!(
+        clean.query_sql(proj).unwrap().rows,
+        buggy.query_sql(proj).unwrap().rows
+    );
 }
 
 #[test]
@@ -605,9 +642,13 @@ fn every_logic_bug_dialect_profile_runs_clean_without_mutants() {
     // workload, whatever the dialect quirks.
     for d in Dialect::ALL {
         let mut db = Database::new(d);
-        db.execute_sql("CREATE TABLE probe (a INT, b TEXT)").unwrap();
-        db.execute_sql("INSERT INTO probe VALUES (1, 'x'), (2, 'y')").unwrap();
-        let n = db.query_sql("SELECT COUNT(*) FROM probe WHERE a > 0").unwrap();
+        db.execute_sql("CREATE TABLE probe (a INT, b TEXT)")
+            .unwrap();
+        db.execute_sql("INSERT INTO probe VALUES (1, 'x'), (2, 'y')")
+            .unwrap();
+        let n = db
+            .query_sql("SELECT COUNT(*) FROM probe WHERE a > 0")
+            .unwrap();
         assert_eq!(n.scalar(), Some(&Value::Int(2)), "dialect {d}");
     }
 }

@@ -12,19 +12,26 @@ fn db() -> Database {
 }
 
 fn rows(db: &mut Database, sql: &str) -> Vec<Vec<Value>> {
-    db.query_sql(sql).unwrap_or_else(|e| panic!("query {sql:?} failed: {e}")).rows
+    db.query_sql(sql)
+        .unwrap_or_else(|e| panic!("query {sql:?} failed: {e}"))
+        .rows
 }
 
 fn scalar(db: &mut Database, sql: &str) -> Value {
-    let rel = db.query_sql(sql).unwrap_or_else(|e| panic!("query {sql:?} failed: {e}"));
-    rel.scalar().unwrap_or_else(|| panic!("not scalar: {rel:?}")).clone()
+    let rel = db
+        .query_sql(sql)
+        .unwrap_or_else(|e| panic!("query {sql:?} failed: {e}"));
+    rel.scalar()
+        .unwrap_or_else(|| panic!("not scalar: {rel:?}"))
+        .clone()
 }
 
 #[test]
 fn create_insert_select_roundtrip() {
     let mut db = db();
     db.execute_sql("CREATE TABLE t0 (c0 INT, c1 TEXT)").unwrap();
-    db.execute_sql("INSERT INTO t0 VALUES (1, 'a'), (2, 'b'), (NULL, 'c')").unwrap();
+    db.execute_sql("INSERT INTO t0 VALUES (1, 'a'), (2, 'b'), (NULL, 'c')")
+        .unwrap();
     assert_eq!(scalar(&mut db, "SELECT COUNT(*) FROM t0"), Value::Int(3));
     assert_eq!(scalar(&mut db, "SELECT COUNT(c0) FROM t0"), Value::Int(2));
     let r = rows(&mut db, "SELECT c1 FROM t0 WHERE c0 = 2");
@@ -34,13 +41,23 @@ fn create_insert_select_roundtrip() {
 #[test]
 fn where_null_semantics_drop_rows() {
     let mut db = db();
-    db.execute_sql("CREATE TABLE t (c INT); INSERT INTO t VALUES (1), (NULL), (3)").unwrap();
+    db.execute_sql("CREATE TABLE t (c INT); INSERT INTO t VALUES (1), (NULL), (3)")
+        .unwrap();
     // NULL comparisons are unknown, so only c=1 matches.
-    assert_eq!(scalar(&mut db, "SELECT COUNT(*) FROM t WHERE c < 2"), Value::Int(1));
+    assert_eq!(
+        scalar(&mut db, "SELECT COUNT(*) FROM t WHERE c < 2"),
+        Value::Int(1)
+    );
     // IS NULL finds the null row.
-    assert_eq!(scalar(&mut db, "SELECT COUNT(*) FROM t WHERE c IS NULL"), Value::Int(1));
+    assert_eq!(
+        scalar(&mut db, "SELECT COUNT(*) FROM t WHERE c IS NULL"),
+        Value::Int(1)
+    );
     // NOT (c < 2) keeps only c=3 (NULL still unknown).
-    assert_eq!(scalar(&mut db, "SELECT COUNT(*) FROM t WHERE NOT c < 2"), Value::Int(1));
+    assert_eq!(
+        scalar(&mut db, "SELECT COUNT(*) FROM t WHERE NOT c < 2"),
+        Value::Int(1)
+    );
 }
 
 #[test]
@@ -68,10 +85,16 @@ fn listing4_left_join_null_padding() {
          INSERT INTO t0 VALUES (0); INSERT INTO t1 VALUES (1)",
     )
     .unwrap();
-    let r = rows(&mut db, "SELECT * FROM t0 LEFT JOIN t1 ON t0.c0 = t1.c0 WHERE t1.c0 IS NULL");
+    let r = rows(
+        &mut db,
+        "SELECT * FROM t0 LEFT JOIN t1 ON t0.c0 = t1.c0 WHERE t1.c0 IS NULL",
+    );
     assert_eq!(r, vec![vec![Value::Int(0), Value::Null]]);
     // The paper's auxiliary query (Listing 4, query A).
-    let r = rows(&mut db, "SELECT t1.c0, t1.c0 IS NULL FROM t0 LEFT JOIN t1 ON t0.c0 = t1.c0");
+    let r = rows(
+        &mut db,
+        "SELECT t1.c0, t1.c0 IS NULL FROM t0 LEFT JOIN t1 ON t0.c0 = t1.c0",
+    );
     assert_eq!(r, vec![vec![Value::Null, Value::Int(1)]]);
     // The folded query (Listing 4, query F) produces the same result as O.
     let r = rows(
@@ -97,7 +120,10 @@ fn listing1_clean_engine_is_consistent() {
         "SELECT COUNT(*) FROM t0 INDEXED BY i0 WHERE \
          (SELECT COUNT(*) FROM v0 WHERE v0.c0 BETWEEN 0 AND 0)",
     );
-    let a = scalar(&mut db, "SELECT COUNT(*) FROM v0 WHERE v0.c0 BETWEEN 0 AND 0");
+    let a = scalar(
+        &mut db,
+        "SELECT COUNT(*) FROM v0 WHERE v0.c0 BETWEEN 0 AND 0",
+    );
     // v0 holds AVG = 1.0, not in [0,0]; the subquery counts 0 rows, so the
     // predicate is falsy and O must be 0 — on a clean engine O equals the
     // folded query.
@@ -115,7 +141,10 @@ fn group_by_having_and_aggregates() {
          INSERT INTO g VALUES (1, 10), (1, 20), (2, 5), (2, NULL), (3, 7)",
     )
     .unwrap();
-    let r = rows(&mut db, "SELECT k, COUNT(*), SUM(v) FROM g GROUP BY k ORDER BY k");
+    let r = rows(
+        &mut db,
+        "SELECT k, COUNT(*), SUM(v) FROM g GROUP BY k ORDER BY k",
+    );
     assert_eq!(
         r,
         vec![
@@ -124,10 +153,16 @@ fn group_by_having_and_aggregates() {
             vec![Value::Int(3), Value::Int(1), Value::Int(7)],
         ]
     );
-    let r = rows(&mut db, "SELECT k FROM g GROUP BY k HAVING COUNT(*) > 1 ORDER BY k");
+    let r = rows(
+        &mut db,
+        "SELECT k FROM g GROUP BY k HAVING COUNT(*) > 1 ORDER BY k",
+    );
     assert_eq!(r, vec![vec![Value::Int(1)], vec![Value::Int(2)]]);
     // Aggregate over empty input: one group with SUM NULL / COUNT 0.
-    let r = rows(&mut db, "SELECT COUNT(*), SUM(v), AVG(v) FROM g WHERE k > 99");
+    let r = rows(
+        &mut db,
+        "SELECT COUNT(*), SUM(v), AVG(v) FROM g WHERE k > 99",
+    );
     assert_eq!(r, vec![vec![Value::Int(0), Value::Null, Value::Null]]);
     // ... but grouped aggregation over empty input yields no rows.
     let r = rows(&mut db, "SELECT k, COUNT(*) FROM g WHERE k > 99 GROUP BY k");
@@ -137,10 +172,17 @@ fn group_by_having_and_aggregates() {
 #[test]
 fn avg_returns_real_and_total_returns_zero() {
     let mut db = db();
-    db.execute_sql("CREATE TABLE t (v INT); INSERT INTO t VALUES (1), (2)").unwrap();
+    db.execute_sql("CREATE TABLE t (v INT); INSERT INTO t VALUES (1), (2)")
+        .unwrap();
     assert_eq!(scalar(&mut db, "SELECT AVG(v) FROM t"), Value::Real(1.5));
-    assert_eq!(scalar(&mut db, "SELECT TOTAL(v) FROM t WHERE v > 10"), Value::Real(0.0));
-    assert_eq!(scalar(&mut db, "SELECT SUM(v) FROM t WHERE v > 10"), Value::Null);
+    assert_eq!(
+        scalar(&mut db, "SELECT TOTAL(v) FROM t WHERE v > 10"),
+        Value::Real(0.0)
+    );
+    assert_eq!(
+        scalar(&mut db, "SELECT SUM(v) FROM t WHERE v > 10"),
+        Value::Null
+    );
 }
 
 #[test]
@@ -152,7 +194,14 @@ fn set_operations() {
     )
     .unwrap();
     let union = rows(&mut db, "SELECT v FROM a UNION SELECT v FROM b ORDER BY 1");
-    assert_eq!(union, vec![vec![Value::Int(1)], vec![Value::Int(2)], vec![Value::Int(3)]]);
+    assert_eq!(
+        union,
+        vec![
+            vec![Value::Int(1)],
+            vec![Value::Int(2)],
+            vec![Value::Int(3)]
+        ]
+    );
     let union_all = rows(&mut db, "SELECT v FROM a UNION ALL SELECT v FROM b");
     assert_eq!(union_all.len(), 5);
     let inter = rows(&mut db, "SELECT v FROM a INTERSECT SELECT v FROM b");
@@ -164,16 +213,23 @@ fn set_operations() {
 #[test]
 fn ctes_and_derived_tables_and_values() {
     let mut db = db();
-    db.execute_sql("CREATE TABLE t (v INT); INSERT INTO t VALUES (5)").unwrap();
+    db.execute_sql("CREATE TABLE t (v INT); INSERT INTO t VALUES (5)")
+        .unwrap();
     assert_eq!(
-        scalar(&mut db, "WITH w AS (SELECT v + 1 AS u FROM t) SELECT u FROM w"),
+        scalar(
+            &mut db,
+            "WITH w AS (SELECT v + 1 AS u FROM t) SELECT u FROM w"
+        ),
         Value::Int(6)
     );
     assert_eq!(
         scalar(&mut db, "SELECT d.x FROM (SELECT v * 2 AS x FROM t) AS d"),
         Value::Int(10)
     );
-    let r = rows(&mut db, "SELECT * FROM (VALUES (1, 'a'), (2, 'b')) AS vt (n, s) ORDER BY n");
+    let r = rows(
+        &mut db,
+        "SELECT * FROM (VALUES (1, 'a'), (2, 'b')) AS vt (n, s) ORDER BY n",
+    );
     assert_eq!(r.len(), 2);
     assert_eq!(r[0], vec![Value::Int(1), Value::Text("a".into())]);
     // A CTE defined over VALUES.
@@ -204,7 +260,9 @@ fn indexed_by_does_not_change_results() {
     )
     .unwrap();
     let plain = db.query_sql("SELECT v FROM t WHERE v > 1").unwrap();
-    let forced = db.query_sql("SELECT v FROM t INDEXED BY iv WHERE v > 1").unwrap();
+    let forced = db
+        .query_sql("SELECT v FROM t INDEXED BY iv WHERE v > 1")
+        .unwrap();
     assert!(plain.multiset_eq(&forced));
 }
 
@@ -235,7 +293,9 @@ fn update_and_delete() {
     let mut db = db();
     db.execute_sql("CREATE TABLE t (k INT, v INT); INSERT INTO t VALUES (1,1),(2,2),(3,3)")
         .unwrap();
-    let out = db.execute_sql("UPDATE t SET v = v * 10 WHERE k >= 2").unwrap();
+    let out = db
+        .execute_sql("UPDATE t SET v = v * 10 WHERE k >= 2")
+        .unwrap();
     assert_eq!(out[0], ExecOutcome::Affected(2));
     assert_eq!(scalar(&mut db, "SELECT SUM(v) FROM t"), Value::Int(51));
     let out = db.execute_sql("DELETE FROM t WHERE v = 20").unwrap();
@@ -266,53 +326,99 @@ fn not_null_constraint_enforced() {
 #[test]
 fn strict_dialect_rejects_type_mismatches() {
     let mut db = Database::new(Dialect::Duckdb);
-    db.execute_sql("CREATE TABLE t (v INT); INSERT INTO t VALUES (1)").unwrap();
+    db.execute_sql("CREATE TABLE t (v INT); INSERT INTO t VALUES (1)")
+        .unwrap();
     // Non-boolean predicate.
-    assert!(matches!(db.query_sql("SELECT * FROM t WHERE 1"), Err(Error::Type(_))));
+    assert!(matches!(
+        db.query_sql("SELECT * FROM t WHERE 1"),
+        Err(Error::Type(_))
+    ));
     // Boolean predicate is fine.
-    assert_eq!(db.query_sql("SELECT * FROM t WHERE v > 0").unwrap().row_count(), 1);
+    assert_eq!(
+        db.query_sql("SELECT * FROM t WHERE v > 0")
+            .unwrap()
+            .row_count(),
+        1
+    );
     // TEXT vs INT comparison is rejected.
-    assert!(matches!(db.query_sql("SELECT * FROM t WHERE v > 'a'"), Err(Error::Type(_))));
+    assert!(matches!(
+        db.query_sql("SELECT * FROM t WHERE v > 'a'"),
+        Err(Error::Type(_))
+    ));
     // Untyped columns are rejected.
-    assert!(matches!(db.execute_sql("CREATE TABLE u (c0)"), Err(Error::Type(_))));
+    assert!(matches!(
+        db.execute_sql("CREATE TABLE u (c0)"),
+        Err(Error::Type(_))
+    ));
 }
 
 #[test]
 fn sqlite_flexible_typing_compares_by_class() {
     let mut db = db();
-    db.execute_sql("CREATE TABLE t (v); INSERT INTO t VALUES (1), ('abc')").unwrap();
+    db.execute_sql("CREATE TABLE t (v); INSERT INTO t VALUES (1), ('abc')")
+        .unwrap();
     // In SQLite any TEXT sorts above any number.
-    assert_eq!(scalar(&mut db, "SELECT COUNT(*) FROM t WHERE v > 999999"), Value::Int(1));
+    assert_eq!(
+        scalar(&mut db, "SELECT COUNT(*) FROM t WHERE v > 999999"),
+        Value::Int(1)
+    );
 }
 
 #[test]
 fn mysql_coerces_text_numerically() {
     let mut db = Database::new(Dialect::Mysql);
-    db.execute_sql("CREATE TABLE t (v TEXT); INSERT INTO t VALUES ('10'), ('2')").unwrap();
-    assert_eq!(scalar(&mut db, "SELECT COUNT(*) FROM t WHERE v > 5"), Value::Int(1));
+    db.execute_sql("CREATE TABLE t (v TEXT); INSERT INTO t VALUES ('10'), ('2')")
+        .unwrap();
+    assert_eq!(
+        scalar(&mut db, "SELECT COUNT(*) FROM t WHERE v > 5"),
+        Value::Int(1)
+    );
 }
 
 #[test]
 fn division_semantics_by_dialect() {
     let mut sqlite = Database::new(Dialect::Sqlite);
-    assert_eq!(sqlite.query_sql("SELECT 7 / 2").unwrap().scalar(), Some(&Value::Int(3)));
-    assert_eq!(sqlite.query_sql("SELECT 1 / 0").unwrap().scalar(), Some(&Value::Null));
+    assert_eq!(
+        sqlite.query_sql("SELECT 7 / 2").unwrap().scalar(),
+        Some(&Value::Int(3))
+    );
+    assert_eq!(
+        sqlite.query_sql("SELECT 1 / 0").unwrap().scalar(),
+        Some(&Value::Null)
+    );
 
     let mut duck = Database::new(Dialect::Duckdb);
-    assert_eq!(duck.query_sql("SELECT 7 / 2").unwrap().scalar(), Some(&Value::Real(3.5)));
-    assert!(matches!(duck.query_sql("SELECT 1 / 0"), Err(Error::Eval(_))));
+    assert_eq!(
+        duck.query_sql("SELECT 7 / 2").unwrap().scalar(),
+        Some(&Value::Real(3.5))
+    );
+    assert!(matches!(
+        duck.query_sql("SELECT 1 / 0"),
+        Err(Error::Eval(_))
+    ));
 }
 
 #[test]
 fn quantified_comparisons() {
     let mut db = Database::new(Dialect::Mysql);
-    db.execute_sql("CREATE TABLE t (v INT); INSERT INTO t VALUES (1), (2), (3)").unwrap();
-    assert_eq!(scalar(&mut db, "SELECT 2 = ANY (SELECT v FROM t)"), Value::Int(1));
-    assert_eq!(scalar(&mut db, "SELECT 9 = ANY (SELECT v FROM t)"), Value::Int(0));
-    assert_eq!(scalar(&mut db, "SELECT 0 < ALL (SELECT v FROM t)"), Value::Int(1));
+    db.execute_sql("CREATE TABLE t (v INT); INSERT INTO t VALUES (1), (2), (3)")
+        .unwrap();
+    assert_eq!(
+        scalar(&mut db, "SELECT 2 = ANY (SELECT v FROM t)"),
+        Value::Int(1)
+    );
+    assert_eq!(
+        scalar(&mut db, "SELECT 9 = ANY (SELECT v FROM t)"),
+        Value::Int(0)
+    );
+    assert_eq!(
+        scalar(&mut db, "SELECT 0 < ALL (SELECT v FROM t)"),
+        Value::Int(1)
+    );
     // SQLite profile rejects ANY/ALL (paper §3.3).
     let mut sq = Database::new(Dialect::Sqlite);
-    sq.execute_sql("CREATE TABLE t (v INT); INSERT INTO t VALUES (1)").unwrap();
+    sq.execute_sql("CREATE TABLE t (v INT); INSERT INTO t VALUES (1)")
+        .unwrap();
     assert!(matches!(
         sq.query_sql("SELECT 1 = ANY (SELECT v FROM t)"),
         Err(Error::Unsupported(_))
@@ -322,13 +428,29 @@ fn quantified_comparisons() {
 #[test]
 fn exists_and_in_subquery() {
     let mut db = db();
-    db.execute_sql("CREATE TABLE t (v INT); INSERT INTO t VALUES (1), (2)").unwrap();
-    assert_eq!(scalar(&mut db, "SELECT EXISTS (SELECT v FROM t WHERE v = 2)"), Value::Int(1));
-    assert_eq!(scalar(&mut db, "SELECT NOT EXISTS (SELECT v FROM t WHERE v = 9)"), Value::Int(1));
-    assert_eq!(scalar(&mut db, "SELECT 2 IN (SELECT v FROM t)"), Value::Int(1));
-    assert_eq!(scalar(&mut db, "SELECT 9 NOT IN (SELECT v FROM t)"), Value::Int(1));
+    db.execute_sql("CREATE TABLE t (v INT); INSERT INTO t VALUES (1), (2)")
+        .unwrap();
+    assert_eq!(
+        scalar(&mut db, "SELECT EXISTS (SELECT v FROM t WHERE v = 2)"),
+        Value::Int(1)
+    );
+    assert_eq!(
+        scalar(&mut db, "SELECT NOT EXISTS (SELECT v FROM t WHERE v = 9)"),
+        Value::Int(1)
+    );
+    assert_eq!(
+        scalar(&mut db, "SELECT 2 IN (SELECT v FROM t)"),
+        Value::Int(1)
+    );
+    assert_eq!(
+        scalar(&mut db, "SELECT 9 NOT IN (SELECT v FROM t)"),
+        Value::Int(1)
+    );
     // NULL semantics of IN.
-    assert_eq!(scalar(&mut db, "SELECT NULL IN (SELECT v FROM t)"), Value::Null);
+    assert_eq!(
+        scalar(&mut db, "SELECT NULL IN (SELECT v FROM t)"),
+        Value::Null
+    );
 }
 
 #[test]
@@ -351,7 +473,10 @@ fn scalar_subquery_cardinality_errors() {
     assert!(matches!(err, Error::SubqueryCardinality(_)), "{err}");
     // Empty scalar subquery is NULL, not an error.
     assert_eq!(
-        scalar(&mut db, "SELECT (SELECT t1.c0 FROM t1 WHERE t1.c0 > 99) IS NULL"),
+        scalar(
+            &mut db,
+            "SELECT (SELECT t1.c0 FROM t1 WHERE t1.c0 > 99) IS NULL"
+        ),
         Value::Int(1)
     );
 }
@@ -359,7 +484,8 @@ fn scalar_subquery_cardinality_errors() {
 #[test]
 fn order_by_limit_offset() {
     let mut db = db();
-    db.execute_sql("CREATE TABLE t (v INT); INSERT INTO t VALUES (3), (1), (2)").unwrap();
+    db.execute_sql("CREATE TABLE t (v INT); INSERT INTO t VALUES (3), (1), (2)")
+        .unwrap();
     let r = rows(&mut db, "SELECT v FROM t ORDER BY v DESC LIMIT 2");
     assert_eq!(r, vec![vec![Value::Int(3)], vec![Value::Int(2)]]);
     let r = rows(&mut db, "SELECT v FROM t ORDER BY v LIMIT 2 OFFSET 1");
@@ -368,7 +494,14 @@ fn order_by_limit_offset() {
     let r = rows(&mut db, "SELECT v, -v FROM t ORDER BY 2");
     assert_eq!(r[0][0], Value::Int(3));
     let r = rows(&mut db, "SELECT v FROM t ORDER BY v % 2, v");
-    assert_eq!(r, vec![vec![Value::Int(2)], vec![Value::Int(1)], vec![Value::Int(3)]]);
+    assert_eq!(
+        r,
+        vec![
+            vec![Value::Int(2)],
+            vec![Value::Int(1)],
+            vec![Value::Int(3)]
+        ]
+    );
 }
 
 #[test]
@@ -383,7 +516,9 @@ fn full_and_right_joins_pad_both_sides() {
     assert_eq!(full.len(), 3);
     let right = rows(&mut db, "SELECT * FROM l RIGHT JOIN r ON l.v = r.v");
     assert_eq!(right.len(), 2);
-    assert!(right.iter().any(|row| row[0] == Value::Null && row[1] == Value::Int(3)));
+    assert!(right
+        .iter()
+        .any(|row| row[0] == Value::Null && row[1] == Value::Int(3)));
 }
 
 #[test]
@@ -398,7 +533,10 @@ fn ambiguous_and_unknown_columns_error() {
         db.query_sql("SELECT v FROM a CROSS JOIN b"),
         Err(Error::Catalog(_))
     ));
-    assert!(matches!(db.query_sql("SELECT nope FROM a"), Err(Error::Catalog(_))));
+    assert!(matches!(
+        db.query_sql("SELECT nope FROM a"),
+        Err(Error::Catalog(_))
+    ));
 }
 
 #[test]
@@ -407,7 +545,10 @@ fn distinct_dedups() {
     db.execute_sql("CREATE TABLE t (v INT); INSERT INTO t VALUES (1), (1), (2), (NULL), (NULL)")
         .unwrap();
     assert_eq!(rows(&mut db, "SELECT DISTINCT v FROM t").len(), 3);
-    assert_eq!(scalar(&mut db, "SELECT COUNT(DISTINCT v) FROM t"), Value::Int(2));
+    assert_eq!(
+        scalar(&mut db, "SELECT COUNT(DISTINCT v) FROM t"),
+        Value::Int(2)
+    );
 }
 
 #[test]
@@ -430,33 +571,67 @@ fn case_expressions() {
         ]
     );
     // Operand form + missing ELSE yields NULL.
-    assert_eq!(scalar(&mut db, "SELECT CASE 5 WHEN 4 THEN 1 END IS NULL"), Value::Int(1));
+    assert_eq!(
+        scalar(&mut db, "SELECT CASE 5 WHEN 4 THEN 1 END IS NULL"),
+        Value::Int(1)
+    );
 }
 
 #[test]
 fn functions_behave() {
     let mut db = db();
-    assert_eq!(db.query_sql("SELECT LENGTH('abc')").unwrap().scalar(), Some(&Value::Int(3)));
-    assert_eq!(db.query_sql("SELECT ABS(-4)").unwrap().scalar(), Some(&Value::Int(4)));
     assert_eq!(
-        db.query_sql("SELECT UPPER('ab') || LOWER('CD')").unwrap().scalar(),
+        db.query_sql("SELECT LENGTH('abc')").unwrap().scalar(),
+        Some(&Value::Int(3))
+    );
+    assert_eq!(
+        db.query_sql("SELECT ABS(-4)").unwrap().scalar(),
+        Some(&Value::Int(4))
+    );
+    assert_eq!(
+        db.query_sql("SELECT UPPER('ab') || LOWER('CD')")
+            .unwrap()
+            .scalar(),
         Some(&Value::Text("ABcd".into()))
     );
     assert_eq!(
-        db.query_sql("SELECT COALESCE(NULL, NULL, 7)").unwrap().scalar(),
+        db.query_sql("SELECT COALESCE(NULL, NULL, 7)")
+            .unwrap()
+            .scalar(),
         Some(&Value::Int(7))
     );
-    assert_eq!(db.query_sql("SELECT NULLIF(3, 3)").unwrap().scalar(), Some(&Value::Null));
-    assert_eq!(db.query_sql("SELECT IIF(1 < 2, 'y', 'n')").unwrap().scalar(), Some(&Value::Text("y".into())));
+    assert_eq!(
+        db.query_sql("SELECT NULLIF(3, 3)").unwrap().scalar(),
+        Some(&Value::Null)
+    );
+    assert_eq!(
+        db.query_sql("SELECT IIF(1 < 2, 'y', 'n')")
+            .unwrap()
+            .scalar(),
+        Some(&Value::Text("y".into()))
+    );
     assert_eq!(
         db.query_sql("SELECT TYPEOF(1.5)").unwrap().scalar(),
         Some(&Value::Text("real".into()))
     );
-    assert_eq!(db.query_sql("SELECT ROUND(2.567, 1)").unwrap().scalar(), Some(&Value::Real(2.6)));
-    assert_eq!(db.query_sql("SELECT SIGN(-9)").unwrap().scalar(), Some(&Value::Int(-1)));
-    assert_eq!(db.query_sql("SELECT INSTR('hello', 'll')").unwrap().scalar(), Some(&Value::Int(3)));
     assert_eq!(
-        db.query_sql("SELECT SUBSTR('hello', 2, 3)").unwrap().scalar(),
+        db.query_sql("SELECT ROUND(2.567, 1)").unwrap().scalar(),
+        Some(&Value::Real(2.6))
+    );
+    assert_eq!(
+        db.query_sql("SELECT SIGN(-9)").unwrap().scalar(),
+        Some(&Value::Int(-1))
+    );
+    assert_eq!(
+        db.query_sql("SELECT INSTR('hello', 'll')")
+            .unwrap()
+            .scalar(),
+        Some(&Value::Int(3))
+    );
+    assert_eq!(
+        db.query_sql("SELECT SUBSTR('hello', 2, 3)")
+            .unwrap()
+            .scalar(),
         Some(&Value::Text("ell".into()))
     );
     assert_eq!(
@@ -471,7 +646,13 @@ fn functions_behave() {
 #[test]
 fn like_is_dialect_sensitive() {
     let mut sqlite = Database::new(Dialect::Sqlite);
-    assert_eq!(sqlite.query_sql("SELECT 'ABC' LIKE 'abc'").unwrap().scalar(), Some(&Value::Int(1)));
+    assert_eq!(
+        sqlite
+            .query_sql("SELECT 'ABC' LIKE 'abc'")
+            .unwrap()
+            .scalar(),
+        Some(&Value::Int(1))
+    );
     let mut duck = Database::new(Dialect::Duckdb);
     assert_eq!(
         duck.query_sql("SELECT 'ABC' LIKE 'abc'").unwrap().scalar(),
@@ -490,25 +671,31 @@ fn integer_overflow_is_a_clean_error() {
 #[test]
 fn group_by_positional_and_expression() {
     let mut db = db();
-    db.execute_sql("CREATE TABLE t (v INT); INSERT INTO t VALUES (1), (2), (3), (4)").unwrap();
+    db.execute_sql("CREATE TABLE t (v INT); INSERT INTO t VALUES (1), (2), (3), (4)")
+        .unwrap();
     // Listing-1 style: GROUP BY over a boolean expression.
     let r = rows(&mut db, "SELECT COUNT(*) FROM t GROUP BY v > 2 ORDER BY 1");
     assert_eq!(r, vec![vec![Value::Int(2)], vec![Value::Int(2)]]);
     // Positional.
-    let r = rows(&mut db, "SELECT v % 2, COUNT(*) FROM t GROUP BY 1 ORDER BY 1");
+    let r = rows(
+        &mut db,
+        "SELECT v % 2, COUNT(*) FROM t GROUP BY 1 ORDER BY 1",
+    );
     assert_eq!(r.len(), 2);
 }
 
 #[test]
 fn plan_fingerprints_differ_across_shapes() {
     let mut db = db();
-    db.execute_sql("CREATE TABLE t (v INT); INSERT INTO t VALUES (1)").unwrap();
+    db.execute_sql("CREATE TABLE t (v INT); INSERT INTO t VALUES (1)")
+        .unwrap();
     db.query_sql("SELECT * FROM t WHERE v = 1").unwrap();
     let fp1 = db.last_plan_fingerprint().unwrap();
     db.query_sql("SELECT * FROM t WHERE v = 2").unwrap();
     let fp2 = db.last_plan_fingerprint().unwrap();
     assert_eq!(fp1, fp2, "same shape, different constants");
-    db.query_sql("SELECT * FROM t WHERE v IN (SELECT v FROM t)").unwrap();
+    db.query_sql("SELECT * FROM t WHERE v IN (SELECT v FROM t)")
+        .unwrap();
     let fp3 = db.last_plan_fingerprint().unwrap();
     assert_ne!(fp1, fp3, "subquery changes the plan shape");
 }
@@ -516,7 +703,8 @@ fn plan_fingerprints_differ_across_shapes() {
 #[test]
 fn snapshot_restore_roundtrip() {
     let mut db = db();
-    db.execute_sql("CREATE TABLE t (v INT); INSERT INTO t VALUES (1)").unwrap();
+    db.execute_sql("CREATE TABLE t (v INT); INSERT INTO t VALUES (1)")
+        .unwrap();
     let snap = db.snapshot();
     db.execute_sql("DELETE FROM t").unwrap();
     assert_eq!(scalar(&mut db, "SELECT COUNT(*) FROM t"), Value::Int(0));
@@ -530,19 +718,24 @@ fn fuel_exhaustion_reports_hang() {
     db.execute_sql("CREATE TABLE t (v INT)").unwrap();
     for chunk in 0..10 {
         let vals: Vec<String> = (0..100).map(|i| format!("({})", chunk * 100 + i)).collect();
-        db.execute_sql(&format!("INSERT INTO t VALUES {}", vals.join(","))).unwrap();
+        db.execute_sql(&format!("INSERT INTO t VALUES {}", vals.join(",")))
+            .unwrap();
     }
     db.set_fuel_limit(1_000);
-    let err = db.query_sql("SELECT COUNT(*) FROM t AS a CROSS JOIN t AS b").unwrap_err();
+    let err = db
+        .query_sql("SELECT COUNT(*) FROM t AS a CROSS JOIN t AS b")
+        .unwrap_err();
     assert!(matches!(err, Error::Hang));
 }
 
 #[test]
 fn coverage_accumulates_over_queries() {
     let mut db = db();
-    db.execute_sql("CREATE TABLE t (v INT); INSERT INTO t VALUES (1)").unwrap();
+    db.execute_sql("CREATE TABLE t (v INT); INSERT INTO t VALUES (1)")
+        .unwrap();
     let before = db.coverage().hit_count();
-    db.query_sql("SELECT v FROM t WHERE v > 0 GROUP BY v HAVING COUNT(*) >= 1").unwrap();
+    db.query_sql("SELECT v FROM t WHERE v > 0 GROUP BY v HAVING COUNT(*) >= 1")
+        .unwrap();
     assert!(db.coverage().hit_count() > before);
     assert!(db.coverage().percent() > 0.0);
 }

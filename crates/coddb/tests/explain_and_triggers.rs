@@ -37,7 +37,10 @@ fn explain_shows_joins_subplans_and_ctes() {
         .explain_sql("SELECT COUNT(*) FROM a LEFT JOIN b ON a.x = b.y GROUP BY a.x")
         .unwrap();
     assert!(joined.contains("NESTED LOOP LEFT JOIN"), "{joined}");
-    assert!(joined.contains("AGGREGATE (group by 1 expr(s))"), "{joined}");
+    assert!(
+        joined.contains("AGGREGATE (group by 1 expr(s))"),
+        "{joined}"
+    );
     let view = db.explain_sql("SELECT * FROM w").unwrap();
     assert!(view.contains("VIEW w"), "{view}");
     let cte = db
@@ -74,8 +77,12 @@ fn assert_silent(bug: BugId, setup: &str, sql: &str) {
     let mut buggy = Database::with_bugs(bug.dialect(), BugRegistry::only(bug));
     clean.execute_sql(setup).unwrap();
     buggy.execute_sql(setup).unwrap();
-    let c = clean.query_sql(sql).unwrap_or_else(|e| panic!("clean {sql}: {e}"));
-    let b = buggy.query_sql(sql).unwrap_or_else(|e| panic!("buggy {sql}: {e}"));
+    let c = clean
+        .query_sql(sql)
+        .unwrap_or_else(|e| panic!("clean {sql}: {e}"));
+    let b = buggy
+        .query_sql(sql)
+        .unwrap_or_else(|e| panic!("buggy {sql}: {e}"));
     assert!(
         c.multiset_eq(&b),
         "{bug:?} fired outside its trigger context on {sql}\nclean: {c:?}\nbuggy: {b:?}"
@@ -86,9 +93,17 @@ fn assert_silent(bug: BugId, setup: &str, sql: &str) {
 fn like_case_fold_is_silent_in_projection_and_nested() {
     let setup = "CREATE TABLE t (s TEXT); INSERT INTO t VALUES ('ABC')";
     // Projection placement: not the WHERE top level.
-    assert_silent(BugId::SqliteLikeCaseFold, setup, "SELECT s LIKE 'abc' FROM t");
+    assert_silent(
+        BugId::SqliteLikeCaseFold,
+        setup,
+        "SELECT s LIKE 'abc' FROM t",
+    );
     // Nested under NOT: not top level.
-    assert_silent(BugId::SqliteLikeCaseFold, setup, "SELECT * FROM t WHERE NOT (s LIKE 'abc')");
+    assert_silent(
+        BugId::SqliteLikeCaseFold,
+        setup,
+        "SELECT * FROM t WHERE NOT (s LIKE 'abc')",
+    );
 }
 
 #[test]
@@ -99,7 +114,11 @@ fn in_value_list_bug_is_silent_when_nested() {
         setup,
         "SELECT * FROM t0 WHERE NOT (c0 NOT IN (1))",
     );
-    assert_silent(BugId::TidbInValueListWhere, setup, "SELECT c0 IN (1) FROM t0");
+    assert_silent(
+        BugId::TidbInValueListWhere,
+        setup,
+        "SELECT c0 IN (1) FROM t0",
+    );
 }
 
 #[test]
@@ -165,11 +184,29 @@ fn insert_version_bug_is_silent_for_plain_selects_and_values() {
     let mut buggy = Database::with_bugs(bug.dialect(), BugRegistry::only(bug));
     buggy.execute_sql(setup).unwrap();
     // INSERT ... SELECT without VERSION(): inserts normally.
-    buggy.execute_sql("INSERT INTO ot0 SELECT c0 FROM t0").unwrap();
-    assert_eq!(buggy.query_sql("SELECT COUNT(*) FROM ot0").unwrap().scalar().unwrap().as_i64(), Some(1));
+    buggy
+        .execute_sql("INSERT INTO ot0 SELECT c0 FROM t0")
+        .unwrap();
+    assert_eq!(
+        buggy
+            .query_sql("SELECT COUNT(*) FROM ot0")
+            .unwrap()
+            .scalar()
+            .unwrap()
+            .as_i64(),
+        Some(1)
+    );
     // Plain VALUES insert with VERSION() in an expression elsewhere: fine.
     buggy.execute_sql("INSERT INTO ot0 VALUES (2)").unwrap();
-    assert_eq!(buggy.query_sql("SELECT COUNT(*) FROM ot0").unwrap().scalar().unwrap().as_i64(), Some(2));
+    assert_eq!(
+        buggy
+            .query_sql("SELECT COUNT(*) FROM ot0")
+            .unwrap()
+            .scalar()
+            .unwrap()
+            .as_i64(),
+        Some(2)
+    );
 }
 
 #[test]
@@ -185,8 +222,16 @@ fn pushdown_bug_is_silent_without_a_left_join() {
 #[test]
 fn distinct_group_bug_needs_both_distinct_and_group_by() {
     let setup = "CREATE TABLE t (k INT); INSERT INTO t VALUES (1), (2), (2), (3)";
-    assert_silent(BugId::DuckdbDistinctGroupByDrop, setup, "SELECT DISTINCT k FROM t");
-    assert_silent(BugId::DuckdbDistinctGroupByDrop, setup, "SELECT k FROM t GROUP BY k");
+    assert_silent(
+        BugId::DuckdbDistinctGroupByDrop,
+        setup,
+        "SELECT DISTINCT k FROM t",
+    );
+    assert_silent(
+        BugId::DuckdbDistinctGroupByDrop,
+        setup,
+        "SELECT k FROM t GROUP BY k",
+    );
 }
 
 #[test]

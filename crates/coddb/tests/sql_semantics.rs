@@ -12,7 +12,9 @@ fn db() -> Database {
 
 fn scalar(db: &mut Database, sql: &str) -> Value {
     let rel = db.query_sql(sql).unwrap_or_else(|e| panic!("{sql}: {e}"));
-    rel.scalar().unwrap_or_else(|| panic!("not scalar: {sql}")).clone()
+    rel.scalar()
+        .unwrap_or_else(|| panic!("not scalar: {sql}"))
+        .clone()
 }
 
 // ---------------------------------------------------------------------------
@@ -32,10 +34,26 @@ fn and_or_not_truth_tables() {
         ("NULL", "NULL", Value::Null, Value::Null),
     ];
     for (a, b, and, or) in cases {
-        assert_eq!(scalar(&mut db, &format!("SELECT {a} AND {b}")), and, "{a} AND {b}");
-        assert_eq!(scalar(&mut db, &format!("SELECT {b} AND {a}")), and, "{b} AND {a}");
-        assert_eq!(scalar(&mut db, &format!("SELECT {a} OR {b}")), or, "{a} OR {b}");
-        assert_eq!(scalar(&mut db, &format!("SELECT {b} OR {a}")), or, "{b} OR {a}");
+        assert_eq!(
+            scalar(&mut db, &format!("SELECT {a} AND {b}")),
+            and,
+            "{a} AND {b}"
+        );
+        assert_eq!(
+            scalar(&mut db, &format!("SELECT {b} AND {a}")),
+            and,
+            "{b} AND {a}"
+        );
+        assert_eq!(
+            scalar(&mut db, &format!("SELECT {a} OR {b}")),
+            or,
+            "{a} OR {b}"
+        );
+        assert_eq!(
+            scalar(&mut db, &format!("SELECT {b} OR {a}")),
+            or,
+            "{b} OR {a}"
+        );
     }
     assert_eq!(scalar(&mut db, "SELECT NOT NULL"), Value::Null);
     assert_eq!(scalar(&mut db, "SELECT NOT 0"), Value::Int(1));
@@ -46,7 +64,10 @@ fn comparison_null_propagation() {
     let mut db = db();
     for op in ["=", "<>", "<", "<=", ">", ">="] {
         assert_eq!(scalar(&mut db, &format!("SELECT 1 {op} NULL")), Value::Null);
-        assert_eq!(scalar(&mut db, &format!("SELECT NULL {op} NULL")), Value::Null);
+        assert_eq!(
+            scalar(&mut db, &format!("SELECT NULL {op} NULL")),
+            Value::Null
+        );
     }
     // IS / IS NOT are null-safe.
     assert_eq!(scalar(&mut db, "SELECT NULL IS NULL"), Value::Int(1));
@@ -61,10 +82,16 @@ fn between_is_sugar_for_two_comparisons() {
     let mut db = db();
     assert_eq!(scalar(&mut db, "SELECT 5 BETWEEN 1 AND 9"), Value::Int(1));
     assert_eq!(scalar(&mut db, "SELECT 0 BETWEEN 1 AND 9"), Value::Int(0));
-    assert_eq!(scalar(&mut db, "SELECT 5 NOT BETWEEN 1 AND 9"), Value::Int(0));
+    assert_eq!(
+        scalar(&mut db, "SELECT 5 NOT BETWEEN 1 AND 9"),
+        Value::Int(0)
+    );
     // NULL bound makes the result unknown unless decided by the other arm.
     assert_eq!(scalar(&mut db, "SELECT 5 BETWEEN NULL AND 9"), Value::Null);
-    assert_eq!(scalar(&mut db, "SELECT 10 BETWEEN NULL AND 9"), Value::Int(0));
+    assert_eq!(
+        scalar(&mut db, "SELECT 10 BETWEEN NULL AND 9"),
+        Value::Int(0)
+    );
     assert_eq!(scalar(&mut db, "SELECT NULL BETWEEN 1 AND 9"), Value::Null);
 }
 
@@ -93,14 +120,18 @@ fn view_on_view_expands_recursively() {
          CREATE VIEW bigger (y) AS SELECT x FROM big WHERE x >= 3",
     )
     .unwrap();
-    assert_eq!(scalar(&mut db, "SELECT COUNT(*) FROM bigger"), Value::Int(2));
+    assert_eq!(
+        scalar(&mut db, "SELECT COUNT(*) FROM bigger"),
+        Value::Int(2)
+    );
     assert_eq!(scalar(&mut db, "SELECT MIN(y) FROM bigger"), Value::Int(3));
 }
 
 #[test]
 fn cte_chain_sees_previous_ctes() {
     let mut db = db();
-    db.execute_sql("CREATE TABLE t (v INT); INSERT INTO t VALUES (1), (2)").unwrap();
+    db.execute_sql("CREATE TABLE t (v INT); INSERT INTO t VALUES (1), (2)")
+        .unwrap();
     assert_eq!(
         scalar(
             &mut db,
@@ -115,7 +146,8 @@ fn cte_chain_sees_previous_ctes() {
 #[test]
 fn cte_shadows_table_of_same_name() {
     let mut db = db();
-    db.execute_sql("CREATE TABLE t (v INT); INSERT INTO t VALUES (100)").unwrap();
+    db.execute_sql("CREATE TABLE t (v INT); INSERT INTO t VALUES (100)")
+        .unwrap();
     assert_eq!(
         scalar(&mut db, "WITH t (v) AS (VALUES (1)) SELECT v FROM t"),
         Value::Int(1),
@@ -126,7 +158,8 @@ fn cte_shadows_table_of_same_name() {
 #[test]
 fn subquery_sees_outer_ctes() {
     let mut db = db();
-    db.execute_sql("CREATE TABLE t (v INT); INSERT INTO t VALUES (1), (2)").unwrap();
+    db.execute_sql("CREATE TABLE t (v INT); INSERT INTO t VALUES (1), (2)")
+        .unwrap();
     assert_eq!(
         scalar(
             &mut db,
@@ -140,20 +173,30 @@ fn subquery_sees_outer_ctes() {
 #[test]
 fn set_ops_with_empty_sides() {
     let mut db = db();
-    db.execute_sql("CREATE TABLE t (v INT); INSERT INTO t VALUES (1)").unwrap();
-    let q = db.query_sql("SELECT v FROM t WHERE v > 9 UNION SELECT v FROM t").unwrap();
+    db.execute_sql("CREATE TABLE t (v INT); INSERT INTO t VALUES (1)")
+        .unwrap();
+    let q = db
+        .query_sql("SELECT v FROM t WHERE v > 9 UNION SELECT v FROM t")
+        .unwrap();
     assert_eq!(q.row_count(), 1);
-    let q = db.query_sql("SELECT v FROM t EXCEPT SELECT v FROM t").unwrap();
+    let q = db
+        .query_sql("SELECT v FROM t EXCEPT SELECT v FROM t")
+        .unwrap();
     assert!(q.is_empty());
-    let q = db.query_sql("SELECT v FROM t INTERSECT SELECT v FROM t WHERE v > 9").unwrap();
+    let q = db
+        .query_sql("SELECT v FROM t INTERSECT SELECT v FROM t WHERE v > 9")
+        .unwrap();
     assert!(q.is_empty());
 }
 
 #[test]
 fn set_op_arity_mismatch_is_expected_error() {
     let mut db = db();
-    db.execute_sql("CREATE TABLE t (a INT, b INT); INSERT INTO t VALUES (1, 2)").unwrap();
-    let err = db.query_sql("SELECT a, b FROM t UNION SELECT a FROM t").unwrap_err();
+    db.execute_sql("CREATE TABLE t (a INT, b INT); INSERT INTO t VALUES (1, 2)")
+        .unwrap();
+    let err = db
+        .query_sql("SELECT a, b FROM t UNION SELECT a FROM t")
+        .unwrap_err();
     assert_eq!(err.severity(), coddb::Severity::Expected);
 }
 
@@ -161,7 +204,11 @@ fn set_op_arity_mismatch_is_expected_error() {
 fn union_dedup_treats_null_rows_as_identical() {
     let mut db = db();
     let q = db.query_sql("SELECT NULL UNION SELECT NULL").unwrap();
-    assert_eq!(q.row_count(), 1, "set-semantics UNION collapses NULL duplicates");
+    assert_eq!(
+        q.row_count(),
+        1,
+        "set-semantics UNION collapses NULL duplicates"
+    );
     let q = db.query_sql("SELECT NULL UNION ALL SELECT NULL").unwrap();
     assert_eq!(q.row_count(), 2);
 }
@@ -174,8 +221,14 @@ fn cross_join_with_on_acts_as_inner() {
          INSERT INTO a VALUES (1), (2); INSERT INTO b VALUES (2), (3)",
     )
     .unwrap();
-    let q = db.query_sql("SELECT * FROM a CROSS JOIN b ON a.v = b.v").unwrap();
-    assert_eq!(q.row_count(), 1, "Listing-8 style CROSS JOIN ... ON filters pairs");
+    let q = db
+        .query_sql("SELECT * FROM a CROSS JOIN b ON a.v = b.v")
+        .unwrap();
+    assert_eq!(
+        q.row_count(),
+        1,
+        "Listing-8 style CROSS JOIN ... ON filters pairs"
+    );
 }
 
 #[test]
@@ -186,9 +239,13 @@ fn join_on_null_condition_drops_pair() {
          INSERT INTO a VALUES (1); INSERT INTO b VALUES (NULL)",
     )
     .unwrap();
-    let inner = db.query_sql("SELECT * FROM a INNER JOIN b ON a.v = b.v").unwrap();
+    let inner = db
+        .query_sql("SELECT * FROM a INNER JOIN b ON a.v = b.v")
+        .unwrap();
     assert!(inner.is_empty(), "unknown ON is not a match");
-    let left = db.query_sql("SELECT * FROM a LEFT JOIN b ON a.v = b.v").unwrap();
+    let left = db
+        .query_sql("SELECT * FROM a LEFT JOIN b ON a.v = b.v")
+        .unwrap();
     assert_eq!(left.rows, vec![vec![Value::Int(1), Value::Null]]);
 }
 
@@ -216,10 +273,15 @@ fn table_wildcard_projects_one_side() {
 #[test]
 fn insert_with_column_subset_fills_nulls() {
     let mut db = db();
-    db.execute_sql("CREATE TABLE t (a INT, b TEXT, c REAL)").unwrap();
-    db.execute_sql("INSERT INTO t (c, a) VALUES (1.5, 7)").unwrap();
+    db.execute_sql("CREATE TABLE t (a INT, b TEXT, c REAL)")
+        .unwrap();
+    db.execute_sql("INSERT INTO t (c, a) VALUES (1.5, 7)")
+        .unwrap();
     let q = db.query_sql("SELECT a, b, c FROM t").unwrap();
-    assert_eq!(q.rows, vec![vec![Value::Int(7), Value::Null, Value::Real(1.5)]]);
+    assert_eq!(
+        q.rows,
+        vec![vec![Value::Int(7), Value::Null, Value::Real(1.5)]]
+    );
 }
 
 #[test]
@@ -228,7 +290,9 @@ fn insert_arity_mismatch_is_expected_error() {
     db.execute_sql("CREATE TABLE t (a INT, b INT)").unwrap();
     let err = db.execute_sql("INSERT INTO t VALUES (1)").unwrap_err();
     assert_eq!(err.severity(), coddb::Severity::Expected);
-    let err = db.execute_sql("INSERT INTO t (a) VALUES (1, 2)").unwrap_err();
+    let err = db
+        .execute_sql("INSERT INTO t (a) VALUES (1, 2)")
+        .unwrap_err();
     assert_eq!(err.severity(), coddb::Severity::Expected);
 }
 
@@ -252,7 +316,8 @@ fn update_sets_evaluate_against_pre_state() {
 #[test]
 fn delete_without_where_empties_table() {
     let mut db = db();
-    db.execute_sql("CREATE TABLE t (v INT); INSERT INTO t VALUES (1), (2), (3)").unwrap();
+    db.execute_sql("CREATE TABLE t (v INT); INSERT INTO t VALUES (1), (2), (3)")
+        .unwrap();
     let out = db.execute_sql("DELETE FROM t").unwrap();
     assert_eq!(out[0].affected(), Some(3));
     assert_eq!(scalar(&mut db, "SELECT COUNT(*) FROM t"), Value::Int(0));
@@ -276,7 +341,10 @@ fn drop_table_then_query_errors() {
     let mut db = db();
     db.execute_sql("CREATE TABLE t (v INT)").unwrap();
     db.execute_sql("DROP TABLE t").unwrap();
-    assert!(matches!(db.query_sql("SELECT * FROM t"), Err(Error::Catalog(_))));
+    assert!(matches!(
+        db.query_sql("SELECT * FROM t"),
+        Err(Error::Catalog(_))
+    ));
     assert!(db.execute_sql("DROP TABLE IF EXISTS t").is_ok());
 }
 
@@ -287,12 +355,21 @@ fn drop_table_then_query_errors() {
 #[test]
 fn cast_matrix_lenient() {
     let mut db = db();
-    assert_eq!(scalar(&mut db, "SELECT CAST('12abc' AS INT)"), Value::Int(12));
+    assert_eq!(
+        scalar(&mut db, "SELECT CAST('12abc' AS INT)"),
+        Value::Int(12)
+    );
     assert_eq!(scalar(&mut db, "SELECT CAST(3.9 AS INT)"), Value::Int(3));
     assert_eq!(scalar(&mut db, "SELECT CAST(7 AS REAL)"), Value::Real(7.0));
-    assert_eq!(scalar(&mut db, "SELECT CAST(42 AS TEXT)"), Value::Text("42".into()));
+    assert_eq!(
+        scalar(&mut db, "SELECT CAST(42 AS TEXT)"),
+        Value::Text("42".into())
+    );
     assert_eq!(scalar(&mut db, "SELECT CAST(NULL AS INT)"), Value::Null);
-    assert_eq!(scalar(&mut db, "SELECT CAST('true' AS BOOLEAN)"), Value::Bool(true));
+    assert_eq!(
+        scalar(&mut db, "SELECT CAST('true' AS BOOLEAN)"),
+        Value::Bool(true)
+    );
 }
 
 #[test]
@@ -301,7 +378,10 @@ fn cast_matrix_strict() {
     assert_eq!(scalar(&mut db, "SELECT CAST('12' AS INT)"), Value::Int(12));
     assert!(db.query_sql("SELECT CAST('12abc' AS INT)").is_err());
     assert!(db.query_sql("SELECT CAST('x' AS REAL)").is_err());
-    assert_eq!(scalar(&mut db, "SELECT CAST(0 AS BOOLEAN)"), Value::Bool(false));
+    assert_eq!(
+        scalar(&mut db, "SELECT CAST(0 AS BOOLEAN)"),
+        Value::Bool(false)
+    );
 }
 
 #[test]
@@ -341,8 +421,11 @@ fn null_propagation_through_functions() {
 #[test]
 fn aggregate_misuse_is_an_expected_error() {
     let mut db = db();
-    db.execute_sql("CREATE TABLE t (v INT); INSERT INTO t VALUES (1)").unwrap();
-    let err = db.query_sql("SELECT v FROM t WHERE COUNT(*) > 0").unwrap_err();
+    db.execute_sql("CREATE TABLE t (v INT); INSERT INTO t VALUES (1)")
+        .unwrap();
+    let err = db
+        .query_sql("SELECT v FROM t WHERE COUNT(*) > 0")
+        .unwrap_err();
     assert_eq!(err.severity(), coddb::Severity::Expected);
 }
 
@@ -353,9 +436,15 @@ fn aggregate_misuse_is_an_expected_error() {
 #[test]
 fn concat_requires_text_only_under_strict() {
     let mut lenient = Database::new(Dialect::Mysql);
-    assert_eq!(scalar(&mut lenient, "SELECT 1 || 2"), Value::Text("12".into()));
+    assert_eq!(
+        scalar(&mut lenient, "SELECT 1 || 2"),
+        Value::Text("12".into())
+    );
     let mut strict = Database::new(Dialect::Duckdb);
-    assert!(matches!(strict.query_sql("SELECT 1 || 2"), Err(Error::Type(_))));
+    assert!(matches!(
+        strict.query_sql("SELECT 1 || 2"),
+        Err(Error::Type(_))
+    ));
     assert_eq!(
         strict.query_sql("SELECT 'a' || 'b'").unwrap().scalar(),
         Some(&Value::Text("ab".into()))
@@ -391,28 +480,58 @@ fn mod_and_division_corners() {
     assert_eq!(scalar(&mut db, "SELECT 7 % 3"), Value::Int(1));
     assert_eq!(scalar(&mut db, "SELECT -7 % 3"), Value::Int(-1));
     assert_eq!(scalar(&mut db, "SELECT 7 % 0"), Value::Null, "SQLite: NULL");
-    assert_eq!(scalar(&mut db, "SELECT -9223372036854775807 - 1"), Value::Int(i64::MIN));
-    let err = db.query_sql("SELECT (-9223372036854775807 - 1) / -1").unwrap_err();
-    assert_eq!(err.severity(), coddb::Severity::Expected, "i64::MIN / -1 overflows");
+    assert_eq!(
+        scalar(&mut db, "SELECT -9223372036854775807 - 1"),
+        Value::Int(i64::MIN)
+    );
+    let err = db
+        .query_sql("SELECT (-9223372036854775807 - 1) / -1")
+        .unwrap_err();
+    assert_eq!(
+        err.severity(),
+        coddb::Severity::Expected,
+        "i64::MIN / -1 overflows"
+    );
 }
 
 #[test]
 fn order_by_desc_with_nulls_first_total_order() {
     let mut db = db();
-    db.execute_sql("CREATE TABLE t (v INT); INSERT INTO t VALUES (2), (NULL), (1)").unwrap();
+    db.execute_sql("CREATE TABLE t (v INT); INSERT INTO t VALUES (2), (NULL), (1)")
+        .unwrap();
     let asc = db.query_sql("SELECT v FROM t ORDER BY v").unwrap();
-    assert_eq!(asc.rows, vec![vec![Value::Null], vec![Value::Int(1)], vec![Value::Int(2)]]);
+    assert_eq!(
+        asc.rows,
+        vec![vec![Value::Null], vec![Value::Int(1)], vec![Value::Int(2)]]
+    );
     let desc = db.query_sql("SELECT v FROM t ORDER BY v DESC").unwrap();
-    assert_eq!(desc.rows, vec![vec![Value::Int(2)], vec![Value::Int(1)], vec![Value::Null]]);
+    assert_eq!(
+        desc.rows,
+        vec![vec![Value::Int(2)], vec![Value::Int(1)], vec![Value::Null]]
+    );
 }
 
 #[test]
 fn limit_negative_and_zero() {
     let mut db = db();
-    db.execute_sql("CREATE TABLE t (v INT); INSERT INTO t VALUES (1), (2)").unwrap();
-    assert_eq!(db.query_sql("SELECT v FROM t LIMIT 0").unwrap().row_count(), 0);
-    assert_eq!(db.query_sql("SELECT v FROM t LIMIT -1").unwrap().row_count(), 0);
-    assert_eq!(db.query_sql("SELECT v FROM t LIMIT 99").unwrap().row_count(), 2);
+    db.execute_sql("CREATE TABLE t (v INT); INSERT INTO t VALUES (1), (2)")
+        .unwrap();
+    assert_eq!(
+        db.query_sql("SELECT v FROM t LIMIT 0").unwrap().row_count(),
+        0
+    );
+    assert_eq!(
+        db.query_sql("SELECT v FROM t LIMIT -1")
+            .unwrap()
+            .row_count(),
+        0
+    );
+    assert_eq!(
+        db.query_sql("SELECT v FROM t LIMIT 99")
+            .unwrap()
+            .row_count(),
+        2
+    );
     assert!(db.query_sql("SELECT v FROM t LIMIT 'x'").is_err());
 }
 
@@ -434,18 +553,28 @@ fn group_by_group_key_appears_once_per_group() {
          INSERT INTO t VALUES ('a', 1), ('a', 2), ('b', 3), (NULL, 4), (NULL, 5)",
     )
     .unwrap();
-    let q = db.query_sql("SELECT k, SUM(v) FROM t GROUP BY k ORDER BY 2").unwrap();
+    let q = db
+        .query_sql("SELECT k, SUM(v) FROM t GROUP BY k ORDER BY 2")
+        .unwrap();
     // NULL forms its own group.
     assert_eq!(q.row_count(), 3);
-    assert!(q.rows.iter().any(|r| r[0] == Value::Null && r[1] == Value::Int(9)));
+    assert!(q
+        .rows
+        .iter()
+        .any(|r| r[0] == Value::Null && r[1] == Value::Int(9)));
 }
 
 #[test]
 fn having_without_group_by_filters_single_group() {
     let mut db = db();
-    db.execute_sql("CREATE TABLE t (v INT); INSERT INTO t VALUES (1), (2)").unwrap();
-    let q = db.query_sql("SELECT COUNT(*) FROM t HAVING COUNT(*) > 5").unwrap();
+    db.execute_sql("CREATE TABLE t (v INT); INSERT INTO t VALUES (1), (2)")
+        .unwrap();
+    let q = db
+        .query_sql("SELECT COUNT(*) FROM t HAVING COUNT(*) > 5")
+        .unwrap();
     assert!(q.is_empty());
-    let q = db.query_sql("SELECT COUNT(*) FROM t HAVING COUNT(*) = 2").unwrap();
+    let q = db
+        .query_sql("SELECT COUNT(*) FROM t HAVING COUNT(*) = 2")
+        .unwrap();
     assert_eq!(q.rows, vec![vec![Value::Int(2)]]);
 }

@@ -68,7 +68,11 @@ pub struct CoddTest {
 
 impl Default for CoddTest {
     fn default() -> Self {
-        CoddTest { config: GenConfig::default(), relation_prob: 0.2, require_subquery: false }
+        CoddTest {
+            config: GenConfig::default(),
+            relation_prob: 0.2,
+            require_subquery: false,
+        }
     }
 }
 
@@ -84,13 +88,21 @@ impl CoddTest {
 
     /// "CODDTest & Subquery": only subquery-bearing expressions (Table 3).
     pub fn subqueries_only() -> Self {
-        CoddTest { config: GenConfig::default(), relation_prob: 0.25, require_subquery: true }
+        CoddTest {
+            config: GenConfig::default(),
+            relation_prob: 0.25,
+            require_subquery: true,
+        }
     }
 
     /// Custom generator configuration (Figures 2/3 MaxDepth sweeps).
     pub fn with_config(config: GenConfig) -> Self {
         let relation_prob = if config.allow_subqueries { 0.2 } else { 0.0 };
-        CoddTest { config, relation_prob, require_subquery: false }
+        CoddTest {
+            config,
+            relation_prob,
+            require_subquery: false,
+        }
     }
 
     // -- folding (step ③) -------------------------------------------------
@@ -132,7 +144,11 @@ impl CoddTest {
     ) -> Result<Fold, TestOutcome> {
         let target = node.clone();
         match node {
-            Expr::InSubquery { expr, query, negated } => {
+            Expr::InSubquery {
+                expr,
+                query,
+                negated,
+            } => {
                 let aux_sql = query.to_string();
                 let rel = run_query(s, query, "auxiliary", &aux_sql)?;
                 let replacement = if rel.rows.is_empty() {
@@ -141,13 +157,26 @@ impl CoddTest {
                 } else {
                     Expr::InList {
                         expr: expr.clone(),
-                        list: rel.rows.iter().map(|r| Expr::Literal(r[0].clone())).collect(),
+                        list: rel
+                            .rows
+                            .iter()
+                            .map(|r| Expr::Literal(r[0].clone()))
+                            .collect(),
                         negated: *negated,
                     }
                 };
-                Ok(Fold { target, replacement, aux: vec![("auxiliary".into(), aux_sql)] })
+                Ok(Fold {
+                    target,
+                    replacement,
+                    aux: vec![("auxiliary".into(), aux_sql)],
+                })
             }
-            Expr::Quantified { op, quantifier, expr, query } => {
+            Expr::Quantified {
+                op,
+                quantifier,
+                expr,
+                query,
+            } => {
                 let aux_sql = query.to_string();
                 let rel = run_query(s, query, "auxiliary", &aux_sql)?;
                 let replacement = if rel.rows.is_empty() {
@@ -157,8 +186,11 @@ impl CoddTest {
                     // Fold the subquery into a table value constructor
                     // (flexible dialects would use the UNION encoding the
                     // paper describes; CoddDB accepts VALUES everywhere).
-                    let rows: Vec<Vec<Expr>> =
-                        rel.rows.iter().map(|r| vec![Expr::Literal(r[0].clone())]).collect();
+                    let rows: Vec<Vec<Expr>> = rel
+                        .rows
+                        .iter()
+                        .map(|r| vec![Expr::Literal(r[0].clone())])
+                        .collect();
                     Expr::Quantified {
                         op: *op,
                         quantifier: *quantifier,
@@ -172,7 +204,11 @@ impl CoddTest {
                         }),
                     }
                 };
-                Ok(Fold { target, replacement, aux: vec![("auxiliary".into(), aux_sql)] })
+                Ok(Fold {
+                    target,
+                    replacement,
+                    aux: vec![("auxiliary".into(), aux_sql)],
+                })
             }
             Expr::Exists { query, negated } => {
                 let aux_sql = query.to_string();
@@ -191,9 +227,7 @@ impl CoddTest {
                     Some(v) => v.clone(),
                     None if rel.rows.is_empty() => Value::Null,
                     None => {
-                        return Err(TestOutcome::Skipped(
-                            "auxiliary subquery not scalar".into(),
-                        ))
+                        return Err(TestOutcome::Skipped("auxiliary subquery not scalar".into()))
                     }
                 };
                 Ok(Fold {
@@ -238,7 +272,10 @@ impl CoddTest {
                 alias: None,
             })
             .collect();
-        items.push(SelectItem::Expr { expr: phi.expr.clone(), alias: None });
+        items.push(SelectItem::Expr {
+            expr: phi.expr.clone(),
+            alias: None,
+        });
         let aux = Select::from_core(SelectCore {
             items,
             from: Some(aux_from.clone()),
@@ -262,9 +299,10 @@ impl CoddTest {
         let mut seen: Vec<&[Value]> = Vec::new();
         for row in &rel.rows {
             let key = &row[..nkeys];
-            if seen.iter().any(|k| {
-                k.iter().zip(key.iter()).all(|(a, b)| a.is_identical(b))
-            }) {
+            if seen
+                .iter()
+                .any(|k| k.iter().zip(key.iter()).all(|(a, b)| a.is_identical(b)))
+            {
                 continue;
             }
             seen.push(key);
@@ -286,7 +324,11 @@ impl CoddTest {
 
         Ok(Fold {
             target: phi.expr.clone(),
-            replacement: Expr::Case { operand: None, whens, else_expr: None },
+            replacement: Expr::Case {
+                operand: None,
+                whens,
+                else_expr: None,
+            },
             aux: vec![("auxiliary".into(), aux_sql)],
         })
     }
@@ -336,7 +378,11 @@ impl CoddTest {
         if rng.random_bool(0.7) {
             return phi.clone();
         }
-        let cfg = GenConfig { allow_subqueries: false, max_depth: 1, ..self.config.clone() };
+        let cfg = GenConfig {
+            allow_subqueries: false,
+            max_depth: 1,
+            ..self.config.clone()
+        };
         let mut extra_gen = ExprGen::new(dialect, &cfg, schema, &from.scope);
         let extra = extra_gen.gen_predicate(rng, 1);
         match rng.random_range(0..3) {
@@ -380,8 +426,11 @@ impl CoddTest {
             Placement::JoinOn => cross_version(&from.table_expr),
             _ => from.table_expr.clone(),
         };
-        let aliases: Vec<String> =
-            from.relations.iter().map(|(a, _)| a.to_ascii_lowercase()).collect();
+        let aliases: Vec<String> = from
+            .relations
+            .iter()
+            .map(|(a, _)| a.to_ascii_lowercase())
+            .collect();
         let fold = match self.fold(s, &phi, Some(&aux_from), &aliases, dialect, rng) {
             Ok(f) => f,
             Err(outcome) => return outcome,
@@ -396,14 +445,26 @@ impl CoddTest {
             }
             Placement::JoinOn => {
                 let p = self.compose_predicate(rng, &phi.expr, &from, schema, dialect);
-                let TableExpr::Join { left, right, kind, .. } = from.table_expr.clone() else {
+                let TableExpr::Join {
+                    left, right, kind, ..
+                } = from.table_expr.clone()
+                else {
                     return TestOutcome::Skipped("join placement without join".into());
                 };
                 // CROSS JOIN takes the predicate as an INNER ON (SQLite
                 // accepts this; Listing 8 uses it).
-                let kind = if kind == JoinKind::Cross { JoinKind::Inner } else { kind };
+                let kind = if kind == JoinKind::Cross {
+                    JoinKind::Inner
+                } else {
+                    kind
+                };
                 let joined = FromContext {
-                    table_expr: TableExpr::Join { left, right, kind, on: Some(p) },
+                    table_expr: TableExpr::Join {
+                        left,
+                        right,
+                        kind,
+                        on: Some(p),
+                    },
                     ..from.clone()
                 };
                 let original = build_random_query(rng, &joined, None);
@@ -425,8 +486,14 @@ impl CoddTest {
                     // class of its own (DuckDB, Table 1).
                     distinct: rng.random_bool(0.3),
                     items: vec![
-                        SelectItem::Expr { expr: key.clone(), alias: Some("k".into()) },
-                        SelectItem::Expr { expr: Expr::count_star(), alias: None },
+                        SelectItem::Expr {
+                            expr: key.clone(),
+                            alias: Some("k".into()),
+                        },
+                        SelectItem::Expr {
+                            expr: Expr::count_star(),
+                            alias: None,
+                        },
                     ],
                     from: Some(from.table_expr.clone()),
                     group_by: vec![key],
@@ -437,7 +504,10 @@ impl CoddTest {
             Placement::Having => {
                 let key = &from.scope[rng.random_range(0..from.scope.len())];
                 let original = Select::from_core(SelectCore {
-                    items: vec![SelectItem::Expr { expr: Expr::count_star(), alias: None }],
+                    items: vec![SelectItem::Expr {
+                        expr: Expr::count_star(),
+                        alias: None,
+                    }],
                     from: Some(from.table_expr.clone()),
                     group_by: vec![Expr::col(key.table.clone(), key.column.clone())],
                     having: Some(phi.expr.clone()),
@@ -516,7 +586,10 @@ impl CoddTest {
                     sets: vec![(first_col.clone(), Expr::bare_col(first_col.clone()))],
                     where_clause: Some(pred),
                 },
-                _ => Statement::Delete { table: table.clone(), where_clause: Some(pred) },
+                _ => Statement::Delete {
+                    table: table.clone(),
+                    where_clause: Some(pred),
+                },
             }
         };
         let original = build(phi.clone());
@@ -581,12 +654,18 @@ impl CoddTest {
                 .map(|c| {
                     Expr::bin(
                         BinaryOp::Ge,
-                        Expr::Func { func: coddb::ast::FuncName::Version, args: vec![] },
+                        Expr::Func {
+                            func: coddb::ast::FuncName::Version,
+                            args: vec![],
+                        },
                         Expr::col(c.table.clone(), c.column.clone()),
                     )
                 })
         } else if rng.random_bool(0.6) {
-            let cfg = GenConfig { allow_subqueries: false, ..self.config.clone() };
+            let cfg = GenConfig {
+                allow_subqueries: false,
+                ..self.config.clone()
+            };
             let mut gen = ExprGen::new(dialect, &cfg, schema, &scope);
             Some(gen.gen_predicate(rng, 2))
         } else {
@@ -630,10 +709,17 @@ impl CoddTest {
         let rel_scope: Vec<sqlgen::ColumnInfo> = columns
             .iter()
             .zip(types.iter())
-            .map(|(c, ty)| sqlgen::ColumnInfo { table: "rel0".into(), column: c.clone(), ty: *ty })
+            .map(|(c, ty)| sqlgen::ColumnInfo {
+                table: "rel0".into(),
+                column: c.clone(),
+                ty: *ty,
+            })
             .collect();
         let outer_pred = if rng.random_bool(0.5) {
-            let cfg = GenConfig { allow_subqueries: false, ..self.config.clone() };
+            let cfg = GenConfig {
+                allow_subqueries: false,
+                ..self.config.clone()
+            };
             let mut gen = ExprGen::new(dialect, &cfg, schema, &rel_scope);
             let p = gen.gen_predicate(rng, 2);
             // Sometimes wrap in the Listing-7 shape: a searched CASE with
@@ -706,7 +792,9 @@ impl CoddTest {
                     ("folded-relation-mode".into(), mode_name(f_mode).into()),
                     (
                         "outer-predicate".into(),
-                        outer_pred.map(|p| p.to_string()).unwrap_or_else(|| "<none>".into()),
+                        outer_pred
+                            .map(|p| p.to_string())
+                            .unwrap_or_else(|| "<none>".into()),
                     ),
                 ],
                 detail: format!(
@@ -739,10 +827,15 @@ impl CoddTest {
         let proj_alias = if self_join { "ra" } else { name };
         let items: Vec<SelectItem> = columns
             .iter()
-            .map(|c| SelectItem::Expr { expr: Expr::col(proj_alias, c.clone()), alias: None })
+            .map(|c| SelectItem::Expr {
+                expr: Expr::col(proj_alias, c.clone()),
+                alias: None,
+            })
             .collect();
         // Requalify the outer predicate for this side's projection alias.
-        let pred = outer_pred.as_ref().map(|p| requalify(p.clone(), proj_alias));
+        let pred = outer_pred
+            .as_ref()
+            .map(|p| requalify(p.clone(), proj_alias));
         let from_of = |name: &str| -> TableExpr {
             if self_join {
                 TableExpr::Join {
@@ -770,8 +863,11 @@ impl CoddTest {
                         not_null: false,
                     })
                     .collect();
-                let create =
-                    Statement::CreateTable { name: name.into(), columns: defs, if_not_exists: false };
+                let create = Statement::CreateTable {
+                    name: name.into(),
+                    columns: defs,
+                    if_not_exists: false,
+                };
                 let insert = Statement::Insert {
                     table: name.into(),
                     columns: Vec::new(),
@@ -786,7 +882,10 @@ impl CoddTest {
                     where_clause: pred,
                     ..SelectCore::default()
                 });
-                let drop = Statement::DropTable { name: name.into(), if_exists: true };
+                let drop = Statement::DropTable {
+                    name: name.into(),
+                    if_exists: true,
+                };
                 let run = |s: &mut Session| -> coddb::Result<Relation> {
                     s.execute(&create)?;
                     s.execute(&insert)?;
@@ -895,7 +994,9 @@ fn requalify(mut p: Expr, alias: &str) -> Expr {
                 rec(left, alias);
                 rec(right, alias);
             }
-            Expr::Between { expr, low, high, .. } => {
+            Expr::Between {
+                expr, low, high, ..
+            } => {
                 rec(expr, alias);
                 rec(low, alias);
                 rec(high, alias);
@@ -906,7 +1007,11 @@ fn requalify(mut p: Expr, alias: &str) -> Expr {
                     rec(i, alias);
                 }
             }
-            Expr::Case { operand, whens, else_expr } => {
+            Expr::Case {
+                operand,
+                whens,
+                else_expr,
+            } => {
                 if let Some(o) = operand {
                     rec(o, alias);
                 }
@@ -998,12 +1103,7 @@ fn bool_literal(b: bool, dialect: Dialect) -> Expr {
 }
 
 /// Run a query, mapping errors into test outcomes.
-fn run_query(
-    s: &mut Session,
-    q: &Select,
-    label: &str,
-    sql: &str,
-) -> Result<Relation, TestOutcome> {
+fn run_query(s: &mut Session, q: &Select, label: &str, sql: &str) -> Result<Relation, TestOutcome> {
     s.query(q)
         .map_err(|e| error_outcome(ORACLE_NAME, &e, vec![(label.to_string(), sql.to_string())]))
 }
@@ -1025,8 +1125,7 @@ impl Oracle for CoddTest {
         schema: &SchemaInfo,
         rng: &mut dyn rand::Rng,
     ) -> TestOutcome {
-        let relation_mode =
-            self.relation_prob > 0.0 && rng.random_bool(self.relation_prob);
+        let relation_mode = self.relation_prob > 0.0 && rng.random_bool(self.relation_prob);
         if relation_mode {
             self.relation_test(session, schema, rng)
         } else {
@@ -1107,7 +1206,11 @@ mod tests {
             on: Some(Expr::lit(true)),
         };
         match cross_version(&join) {
-            TableExpr::Join { kind: JoinKind::Cross, on: None, .. } => {}
+            TableExpr::Join {
+                kind: JoinKind::Cross,
+                on: None,
+                ..
+            } => {}
             other => panic!("unexpected {other:?}"),
         }
     }

@@ -8,7 +8,9 @@
 //! single-table, subquery-free predicates (no JOIN support, which the
 //! paper cites for DQE's lower branch coverage).
 
-use coddb::ast::{ColumnDef, Expr, InsertSource, Select, SelectCore, SelectItem, Statement, TableExpr};
+use coddb::ast::{
+    ColumnDef, Expr, InsertSource, Select, SelectCore, SelectItem, Statement, TableExpr,
+};
 use coddb::value::{DataType, Value};
 use rand::RngExt;
 use sqlgen::expr::ExprGen;
@@ -30,7 +32,10 @@ pub struct Dqe {
 impl Default for Dqe {
     fn default() -> Self {
         Dqe {
-            config: GenConfig { allow_joins: false, ..GenConfig::expressions_only() },
+            config: GenConfig {
+                allow_joins: false,
+                ..GenConfig::expressions_only()
+            },
             table: None,
         }
     }
@@ -47,25 +52,44 @@ impl Dqe {
     ) -> Result<TableInfo, TestOutcome> {
         let dialect = s.dialect();
         let n_cols = rng.random_range(1..=3);
-        let mut defs = vec![ColumnDef { name: "id".into(), ty: DataType::Int, not_null: true }];
+        let mut defs = vec![ColumnDef {
+            name: "id".into(),
+            ty: DataType::Int,
+            not_null: true,
+        }];
         let mut data_cols = Vec::new();
         for i in 0..n_cols {
             let mut ty = random_column_type(rng, dialect);
             if ty == DataType::Any {
                 ty = DataType::Int;
             }
-            defs.push(ColumnDef { name: format!("c{i}"), ty, not_null: false });
+            defs.push(ColumnDef {
+                name: format!("c{i}"),
+                ty,
+                not_null: false,
+            });
             data_cols.push((format!("c{i}"), ty));
         }
-        defs.push(ColumnDef { name: "modified".into(), ty: DataType::Int, not_null: false });
+        defs.push(ColumnDef {
+            name: "modified".into(),
+            ty: DataType::Int,
+            not_null: false,
+        });
 
-        let _ = s.execute(&Statement::DropTable { name: TABLE.into(), if_exists: true });
+        let _ = s.execute(&Statement::DropTable {
+            name: TABLE.into(),
+            if_exists: true,
+        });
         if let Err(e) = s.execute(&Statement::CreateTable {
             name: TABLE.into(),
             columns: defs,
             if_not_exists: false,
         }) {
-            return Err(error_outcome(ORACLE_NAME, &e, vec![("create".into(), TABLE.into())]));
+            return Err(error_outcome(
+                ORACLE_NAME,
+                &e,
+                vec![("create".into(), TABLE.into())],
+            ));
         }
         // One INSERT per row, mirroring the published tool's row-at-a-time
         // staging (part of why DQE executes the most statements per test).
@@ -81,7 +105,11 @@ impl Dqe {
                 columns: Vec::new(),
                 source: InsertSource::Values(vec![row]),
             }) {
-                return Err(error_outcome(ORACLE_NAME, &e, vec![("insert".into(), TABLE.into())]));
+                return Err(error_outcome(
+                    ORACLE_NAME,
+                    &e,
+                    vec![("insert".into(), TABLE.into())],
+                ));
             }
         }
         let info = TableInfo {
@@ -94,13 +122,12 @@ impl Dqe {
         Ok(info)
     }
 
-    fn select_ids(
-        &self,
-        s: &mut Session,
-        where_clause: Option<Expr>,
-    ) -> coddb::Result<Vec<i64>> {
+    fn select_ids(&self, s: &mut Session, where_clause: Option<Expr>) -> coddb::Result<Vec<i64>> {
         let q = Select::from_core(SelectCore {
-            items: vec![SelectItem::Expr { expr: Expr::col(TABLE, "id"), alias: None }],
+            items: vec![SelectItem::Expr {
+                expr: Expr::col(TABLE, "id"),
+                alias: None,
+            }],
             from: Some(TableExpr::named(TABLE)),
             where_clause,
             ..SelectCore::default()
@@ -139,7 +166,10 @@ impl Oracle for Dqe {
             sets: vec![("modified".into(), Expr::lit(1i64))],
             where_clause: Some(p.clone()),
         };
-        let delete = Statement::Delete { table: TABLE.into(), where_clause: Some(p.clone()) };
+        let delete = Statement::Delete {
+            table: TABLE.into(),
+            where_clause: Some(p.clone()),
+        };
         let case = vec![
             ("select".into(), select_sql),
             ("update".into(), update.to_string()),
@@ -187,9 +217,11 @@ impl Oracle for Dqe {
                 let remaining = self.select_ids(s, None);
                 s.db.restore(snapshot);
                 match remaining {
-                    Ok(rem) => {
-                        all_ids.iter().copied().filter(|id| !rem.contains(id)).collect::<Vec<_>>()
-                    }
+                    Ok(rem) => all_ids
+                        .iter()
+                        .copied()
+                        .filter(|id| !rem.contains(id))
+                        .collect::<Vec<_>>(),
                     Err(e) => return error_outcome(ORACLE_NAME, &e, case),
                 }
             }
@@ -261,7 +293,10 @@ mod tests {
                 break;
             }
         }
-        assert!(found, "DQE should detect the SELECT-only OR short-circuit bug");
+        assert!(
+            found,
+            "DQE should detect the SELECT-only OR short-circuit bug"
+        );
     }
 
     #[test]
@@ -278,7 +313,10 @@ mod tests {
         for seed in 0..400u64 {
             let mut rng = StdRng::seed_from_u64(seed);
             let outcome = oracle.run_one(&mut session, &schema, &mut rng);
-            assert!(!outcome.is_bug(), "DQE unexpectedly detected a consistent WHERE bug");
+            assert!(
+                !outcome.is_bug(),
+                "DQE unexpectedly detected a consistent WHERE bug"
+            );
         }
     }
 }

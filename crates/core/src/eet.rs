@@ -25,11 +25,14 @@ pub struct Eet {
     config: GenConfig,
 }
 
+#[allow(clippy::derivable_impls)]
 impl Default for Eet {
     fn default() -> Self {
         // EET transforms expressions of arbitrary queries, including ones
         // with subqueries.
-        Eet { config: GenConfig::default() }
+        Eet {
+            config: GenConfig::default(),
+        }
     }
 }
 // (kept as an explicit impl: the default carries a semantic choice)
@@ -38,7 +41,10 @@ impl Default for Eet {
 fn tautology(q: Expr) -> Expr {
     Expr::or(
         Expr::or(q.clone(), Expr::not(q.clone())),
-        Expr::IsNull { expr: Box::new(q), negated: false },
+        Expr::IsNull {
+            expr: Box::new(q),
+            negated: false,
+        },
     )
 }
 
@@ -46,7 +52,10 @@ fn tautology(q: Expr) -> Expr {
 fn contradiction(q: Expr) -> Expr {
     Expr::and(
         Expr::and(q.clone(), Expr::not(q.clone())),
-        Expr::IsNull { expr: Box::new(q), negated: true },
+        Expr::IsNull {
+            expr: Box::new(q),
+            negated: true,
+        },
     )
 }
 
@@ -135,14 +144,11 @@ mod tests {
         for p in vals {
             for q in vals {
                 db.execute_sql("DELETE FROM t").unwrap();
-                db.execute_sql(&format!("INSERT INTO t VALUES ({p}, {q})")).unwrap();
+                db.execute_sql(&format!("INSERT INTO t VALUES ({p}, {q})"))
+                    .unwrap();
                 let base = db.query_sql("SELECT COUNT(*) FROM t WHERE p").unwrap();
                 for choice in 0..3 {
-                    let tp = transform(
-                        &Expr::bare_col("p"),
-                        Expr::bare_col("q"),
-                        choice,
-                    );
+                    let tp = transform(&Expr::bare_col("p"), Expr::bare_col("q"), choice);
                     let tr = db
                         .query_sql(&format!("SELECT COUNT(*) FROM t WHERE {tp}"))
                         .unwrap();

@@ -117,7 +117,12 @@ pub struct Session<'a> {
 
 impl<'a> Session<'a> {
     pub fn new(db: &'a mut Database) -> Self {
-        Session { db, ok_queries: 0, err_queries: 0, plans: BTreeSet::new() }
+        Session {
+            db,
+            ok_queries: 0,
+            err_queries: 0,
+            plans: BTreeSet::new(),
+        }
     }
 
     fn track<T>(&mut self, r: &coddb::Result<T>) {
@@ -228,7 +233,10 @@ mod tests {
             ReportKind::from_error(&Error::Internal("x".into())),
             Some(ReportKind::InternalError)
         );
-        assert_eq!(ReportKind::from_error(&Error::Crash("x".into())), Some(ReportKind::Crash));
+        assert_eq!(
+            ReportKind::from_error(&Error::Crash("x".into())),
+            Some(ReportKind::Crash)
+        );
         assert_eq!(ReportKind::from_error(&Error::Hang), Some(ReportKind::Hang));
         assert_eq!(ReportKind::from_error(&Error::Eval("x".into())), None);
     }
@@ -236,7 +244,8 @@ mod tests {
     #[test]
     fn session_tallies_queries() {
         let mut db = Database::new(coddb::Dialect::Sqlite);
-        db.execute_sql("CREATE TABLE t (v INT); INSERT INTO t VALUES (1)").unwrap();
+        db.execute_sql("CREATE TABLE t (v INT); INSERT INTO t VALUES (1)")
+            .unwrap();
         let mut s = Session::new(&mut db);
         let q = coddb::parser::parse_select("SELECT * FROM t").unwrap();
         s.query(&q).unwrap();
@@ -259,7 +268,15 @@ mod tests {
 
     #[test]
     fn oracle_factory_knows_all_names() {
-        for name in ["codd", "codd-expression", "codd-subquery", "norec", "tlp", "dqe", "eet"] {
+        for name in [
+            "codd",
+            "codd-expression",
+            "codd-subquery",
+            "norec",
+            "tlp",
+            "dqe",
+            "eet",
+        ] {
             assert!(make_oracle(name).is_some(), "{name}");
         }
         assert!(make_oracle("nope").is_none());

@@ -27,7 +27,9 @@ pub struct NoRec {
 impl Default for NoRec {
     fn default() -> Self {
         // NoREC does not support subqueries (§1 of the CODDTest paper).
-        NoRec { config: GenConfig::expressions_only() }
+        NoRec {
+            config: GenConfig::expressions_only(),
+        }
     }
 }
 
@@ -53,7 +55,10 @@ impl Oracle for NoRec {
         // Reference query: SELECT p FROM ... executed unoptimized; count
         // the TRUE rows host-side.
         let reference = Select::from_core(SelectCore {
-            items: vec![SelectItem::Expr { expr: p.clone(), alias: None }],
+            items: vec![SelectItem::Expr {
+                expr: p.clone(),
+                alias: None,
+            }],
             from: Some(from.table_expr.clone()),
             ..SelectCore::default()
         });
@@ -72,8 +77,11 @@ impl Oracle for NoRec {
         };
 
         let optimized_count = o_rel.scalar().and_then(|v| v.as_i64()).unwrap_or(-1);
-        let reference_count =
-            r_rel.rows.iter().filter(|row| value_is_true(&row[0])).count() as i64;
+        let reference_count = r_rel
+            .rows
+            .iter()
+            .filter(|row| value_is_true(&row[0]))
+            .count() as i64;
 
         if optimized_count == reference_count {
             TestOutcome::Pass

@@ -50,15 +50,22 @@ pub fn still_failing(case: &ReducibleCase, dialect: Dialect, bugs: &BugRegistry)
         let f = db.query(&case.folded).ok()?;
         Some((o, f))
     };
-    let Some((bo, bf)) = run(bugs.clone()) else { return false };
-    let Some((co, cf)) = run(BugRegistry::none()) else { return false };
+    let Some((bo, bf)) = run(bugs.clone()) else {
+        return false;
+    };
+    let Some((co, cf)) = run(BugRegistry::none()) else {
+        return false;
+    };
     !bo.multiset_eq(&bf) && co.multiset_eq(&cf)
 }
 
 /// Reduce a failing case to a (locally) minimal one. The result is
 /// guaranteed to still fail.
 pub fn reduce(case: &ReducibleCase, dialect: Dialect, bugs: &BugRegistry) -> ReducibleCase {
-    assert!(still_failing(case, dialect, bugs), "cannot reduce a passing case");
+    assert!(
+        still_failing(case, dialect, bugs),
+        "cannot reduce a passing case"
+    );
     let mut current = case.clone();
 
     // Phase 1: drop setup statements (greedy, repeated until fixpoint).
@@ -82,11 +89,7 @@ pub fn reduce(case: &ReducibleCase, dialect: Dialect, bugs: &BugRegistry) -> Red
 
     // Phase 2: shrink the original query's WHERE expression; mirror every
     // accepted shrink in the folded query when the same subtree exists.
-    if let Some(where_clause) = current
-        .original
-        .core()
-        .and_then(|c| c.where_clause.clone())
-    {
+    if let Some(where_clause) = current.original.core().and_then(|c| c.where_clause.clone()) {
         let shrunk = shrink_expr(&where_clause, &mut |e| {
             let mut candidate = current.clone();
             if let Some(core) = candidate.original.core_mut() {
@@ -112,12 +115,14 @@ fn shrink_candidates(e: &Expr) -> Vec<Expr> {
             out.push((**left).clone());
             out.push((**right).clone());
         }
-        Expr::Unary { expr, .. }
-        | Expr::Cast { expr, .. }
-        | Expr::IsNull { expr, .. } => out.push((**expr).clone()),
+        Expr::Unary { expr, .. } | Expr::Cast { expr, .. } | Expr::IsNull { expr, .. } => {
+            out.push((**expr).clone())
+        }
         Expr::Between { expr, .. } => out.push((**expr).clone()),
         Expr::InList { expr, .. } => out.push((**expr).clone()),
-        Expr::Case { whens, else_expr, .. } => {
+        Expr::Case {
+            whens, else_expr, ..
+        } => {
             for (_, t) in whens {
                 out.push(t.clone());
             }
@@ -178,7 +183,11 @@ mod tests {
         )
         .unwrap();
         let folded = parse_select("SELECT COUNT(*) FROM t0 INDEXED BY i0 WHERE 0").unwrap();
-        ReducibleCase { setup, original, folded }
+        ReducibleCase {
+            setup,
+            original,
+            folded,
+        }
     }
 
     #[test]
@@ -188,7 +197,10 @@ mod tests {
         assert!(still_failing(&case, Dialect::Sqlite, &bugs));
         let reduced = reduce(&case, Dialect::Sqlite, &bugs);
         assert!(still_failing(&reduced, Dialect::Sqlite, &bugs));
-        assert!(reduced.setup.len() < case.setup.len(), "unrelated table should be dropped");
+        assert!(
+            reduced.setup.len() < case.setup.len(),
+            "unrelated table should be dropped"
+        );
         let rendered: Vec<String> = reduced.setup.iter().map(|s| s.to_string()).collect();
         assert!(
             rendered.iter().all(|s| !s.contains("unrelated")),
@@ -219,7 +231,11 @@ mod tests {
         // the check only demands a column reference to stay present.
         let e = Expr::and(
             Expr::lit(1i64),
-            Expr::bin(coddb::ast::BinaryOp::Gt, Expr::bare_col("x"), Expr::lit(0i64)),
+            Expr::bin(
+                coddb::ast::BinaryOp::Gt,
+                Expr::bare_col("x"),
+                Expr::lit(0i64),
+            ),
         );
         let shrunk = shrink_expr(&e, &mut |c| {
             let mut has_col = false;

@@ -95,7 +95,10 @@ impl CampaignResult {
 
     /// Distinct mutants attributed across all findings.
     pub fn unique_attributed_bugs(&self) -> BTreeSet<BugId> {
-        self.findings.iter().flat_map(|f| f.attributed.iter().copied()).collect()
+        self.findings
+            .iter()
+            .flat_map(|f| f.attributed.iter().copied())
+            .collect()
     }
 
     /// Findings grouped by report kind.
@@ -209,7 +212,9 @@ pub fn rerun_test(
     test_idx: u64,
     bugs: &BugRegistry,
 ) -> bool {
-    let Some(mut oracle) = make_oracle(oracle_name) else { return false };
+    let Some(mut oracle) = make_oracle(oracle_name) else {
+        return false;
+    };
     let mut srng = StdRng::seed_from_u64(state_seed(cfg.seed, state_idx));
     let (stmts, schema) = generate_state(&mut srng, cfg.dialect, &cfg.gen);
     let mut db = Database::with_bugs(cfg.dialect, bugs.clone());
@@ -237,8 +242,13 @@ pub fn attribute_bugs(result: &mut CampaignResult, cfg: &CampaignConfig, oracle_
     let enabled: Vec<BugId> = cfg.bugs.enabled().collect();
     for finding in &mut result.findings {
         for &bug in &enabled {
-            if rerun_test(oracle_name, cfg, finding.state_idx, finding.test_idx, &BugRegistry::only(bug))
-            {
+            if rerun_test(
+                oracle_name,
+                cfg,
+                finding.state_idx,
+                finding.test_idx,
+                &BugRegistry::only(bug),
+            ) {
                 finding.attributed.push(bug);
             }
         }
@@ -288,23 +298,38 @@ mod tests {
     #[test]
     fn clean_campaign_finds_no_bugs() {
         let mut oracle = make_oracle("codd").unwrap();
-        let cfg = CampaignConfig { tests: 120, ..CampaignConfig::new(Dialect::Sqlite) };
+        let cfg = CampaignConfig {
+            tests: 120,
+            ..CampaignConfig::new(Dialect::Sqlite)
+        };
         let result = run_campaign(oracle.as_mut(), &cfg);
         assert_eq!(result.tests_run, 120);
         assert!(result.findings.is_empty(), "{:#?}", result.findings);
         assert!(result.successful_queries > 0);
         assert!(result.unique_plans > 0);
         assert!(result.coverage_percent > 20.0);
-        assert!(result.qpt() >= 2.0, "CODDTest runs >= 3 queries per test, qpt={}", result.qpt());
+        assert!(
+            result.qpt() >= 2.0,
+            "CODDTest runs >= 3 queries per test, qpt={}",
+            result.qpt()
+        );
     }
 
     #[test]
     fn campaigns_are_deterministic() {
         let run = || {
             let mut oracle = make_oracle("norec").unwrap();
-            let cfg = CampaignConfig { tests: 60, ..CampaignConfig::new(Dialect::Mysql) };
+            let cfg = CampaignConfig {
+                tests: 60,
+                ..CampaignConfig::new(Dialect::Mysql)
+            };
             let r = run_campaign(oracle.as_mut(), &cfg);
-            (r.tests_run, r.successful_queries, r.unsuccessful_queries, r.unique_plans)
+            (
+                r.tests_run,
+                r.successful_queries,
+                r.unsuccessful_queries,
+                r.unique_plans,
+            )
         };
         assert_eq!(run(), run());
     }
@@ -321,12 +346,19 @@ mod tests {
             ..CampaignConfig::new(Dialect::Tidb)
         };
         let mut result = run_campaign(oracle.as_mut(), &cfg);
-        assert!(!result.findings.is_empty(), "CODDTest failed to find {bug:?}");
+        assert!(
+            !result.findings.is_empty(),
+            "CODDTest failed to find {bug:?}"
+        );
         attribute_bugs(&mut result, &cfg, "codd");
         assert!(
             result.unique_attributed_bugs().contains(&bug),
             "attribution failed: {:?}",
-            result.findings.iter().map(|f| &f.attributed).collect::<Vec<_>>()
+            result
+                .findings
+                .iter()
+                .map(|f| &f.attributed)
+                .collect::<Vec<_>>()
         );
     }
 

@@ -6,9 +6,7 @@
 //! (`COUNT`/`SUM`/`MIN`/`MAX`), `DISTINCT` and `HAVING` — the scope the
 //! CODDTest paper credits it with. Like NoREC, it has no subquery support.
 
-use coddb::ast::{
-    AggFunc, Expr, Select, SelectBody, SelectCore, SelectItem, SetOp, TableExpr,
-};
+use coddb::ast::{AggFunc, Expr, Select, SelectBody, SelectCore, SelectItem, SetOp, TableExpr};
 use coddb::value::{Relation, Value};
 use rand::RngExt;
 use sqlgen::expr::ExprGen;
@@ -26,7 +24,9 @@ pub struct Tlp {
 
 impl Default for Tlp {
     fn default() -> Self {
-        Tlp { config: GenConfig::expressions_only() }
+        Tlp {
+            config: GenConfig::expressions_only(),
+        }
     }
 }
 
@@ -35,7 +35,10 @@ fn partitions(p: &Expr) -> [Expr; 3] {
     [
         p.clone(),
         Expr::not(p.clone()),
-        Expr::IsNull { expr: Box::new(p.clone()), negated: false },
+        Expr::IsNull {
+            expr: Box::new(p.clone()),
+            negated: false,
+        },
     ]
 }
 
@@ -135,10 +138,13 @@ impl Tlp {
     ) -> TestOutcome {
         // Pick an aggregate over a column (COUNT also works over any).
         let col = &from.scope[rng.random_range(0..from.scope.len())];
-        let func = [AggFunc::Count, AggFunc::Sum, AggFunc::Min, AggFunc::Max]
-            [rng.random_range(0..4)];
+        let func =
+            [AggFunc::Count, AggFunc::Sum, AggFunc::Min, AggFunc::Max][rng.random_range(0..4)];
         if matches!(func, AggFunc::Sum)
-            && !matches!(col.ty, coddb::DataType::Int | coddb::DataType::Real | coddb::DataType::Any)
+            && !matches!(
+                col.ty,
+                coddb::DataType::Int | coddb::DataType::Real | coddb::DataType::Any
+            )
         {
             return TestOutcome::Skipped("SUM needs a numeric column".into());
         }
@@ -149,7 +155,10 @@ impl Tlp {
         };
         let base = |w: Option<Expr>| {
             Select::from_core(SelectCore {
-                items: vec![SelectItem::Expr { expr: agg.clone(), alias: None }],
+                items: vec![SelectItem::Expr {
+                    expr: agg.clone(),
+                    alias: None,
+                }],
                 from: Some(from.table_expr.clone()),
                 where_clause: w,
                 ..SelectCore::default()
@@ -183,8 +192,11 @@ impl Tlp {
                     // Accumulate host-side in i128: if the combined sum
                     // exceeds i64, the whole-table SUM would have errored
                     // (and the test been skipped) anyway.
-                    let total: i128 =
-                        nonnull.iter().filter_map(|v| v.as_i64()).map(i128::from).sum();
+                    let total: i128 = nonnull
+                        .iter()
+                        .filter_map(|v| v.as_i64())
+                        .map(i128::from)
+                        .sum();
                     match i64::try_from(total) {
                         Ok(v) => Value::Int(v),
                         Err(_) => return TestOutcome::Skipped("partition SUM overflow".into()),
@@ -238,7 +250,10 @@ impl Tlp {
             let key = Expr::col(col.table.clone(), col.column.clone());
             Select::from_core(SelectCore {
                 distinct: true,
-                items: vec![SelectItem::Expr { expr: key.clone(), alias: None }],
+                items: vec![SelectItem::Expr {
+                    expr: key.clone(),
+                    alias: None,
+                }],
                 from: Some(from.table_expr.clone()),
                 where_clause: w,
                 group_by: if with_group_by { vec![key] } else { Vec::new() },
@@ -303,7 +318,10 @@ impl Tlp {
         );
         let base = |h: Option<Expr>| {
             Select::from_core(SelectCore {
-                items: vec![SelectItem::Expr { expr: key_expr.clone(), alias: None }],
+                items: vec![SelectItem::Expr {
+                    expr: key_expr.clone(),
+                    alias: None,
+                }],
                 from: Some(from.table_expr.clone()),
                 group_by: vec![key_expr.clone()],
                 having: h,
@@ -406,7 +424,11 @@ mod tests {
 
     #[test]
     fn partition_shapes() {
-        let p = Expr::bin(coddb::ast::BinaryOp::Gt, Expr::bare_col("c"), Expr::lit(1i64));
+        let p = Expr::bin(
+            coddb::ast::BinaryOp::Gt,
+            Expr::bare_col("c"),
+            Expr::lit(1i64),
+        );
         let [a, b, c] = partitions(&p);
         assert_eq!(a.to_string(), "(c > 1)");
         assert_eq!(b.to_string(), "(NOT (c > 1))");
@@ -424,7 +446,8 @@ mod tests {
             Dialect::Tidb,
             coddb::bugs::BugRegistry::only(coddb::BugId::TidbInValueListWhere),
         );
-        db.execute_sql("CREATE TABLE t0 (c0 INT); INSERT INTO t0 VALUES (1), (2), (3)").unwrap();
+        db.execute_sql("CREATE TABLE t0 (c0 INT); INSERT INTO t0 VALUES (1), (2), (3)")
+            .unwrap();
         let schema = SchemaInfo {
             tables: vec![sqlgen::TableInfo {
                 name: "t0".into(),

@@ -63,7 +63,10 @@ fn rerun_test_is_deterministic() {
     };
     let mut oracle = make_oracle("codd").unwrap();
     let result = run_campaign(oracle.as_mut(), &cfg);
-    let finding = result.findings.first().expect("campaign finds the mysql bug");
+    let finding = result
+        .findings
+        .first()
+        .expect("campaign finds the mysql bug");
     for _ in 0..3 {
         assert!(
             rerun_test("codd", &cfg, finding.state_idx, finding.test_idx, &cfg.bugs),
@@ -85,7 +88,10 @@ fn campaign_skips_are_bounded() {
     // Skipped tests (expected errors, empty joins) must stay a modest
     // fraction — otherwise an oracle is wasting its budget.
     for name in ["codd", "norec", "tlp", "eet"] {
-        let cfg = CampaignConfig { tests: 400, ..CampaignConfig::new(Dialect::Sqlite) };
+        let cfg = CampaignConfig {
+            tests: 400,
+            ..CampaignConfig::new(Dialect::Sqlite)
+        };
         let mut oracle = make_oracle(name).unwrap();
         let result = run_campaign(oracle.as_mut(), &cfg);
         let skip_rate = result.skipped as f64 / result.tests_run as f64;
@@ -98,7 +104,10 @@ fn codd_subquery_config_emits_subquery_rich_queries() {
     // The codd-subquery configuration must actually produce more
     // subquery-heavy plans than codd-expression.
     let run = |name: &str| {
-        let cfg = CampaignConfig { tests: 500, ..CampaignConfig::new(Dialect::Sqlite) };
+        let cfg = CampaignConfig {
+            tests: 500,
+            ..CampaignConfig::new(Dialect::Sqlite)
+        };
         let mut oracle = make_oracle(name).unwrap();
         run_campaign(oracle.as_mut(), &cfg).unique_plans
     };
@@ -116,11 +125,17 @@ fn eet_detects_shape_sensitive_bugs() {
     // catches exactly the top-level-sensitive mutants (its transformed
     // query evaluates the same rows through a different root).
     let hit = detects_bug("eet", BugId::TidbIsNullTopLevelInverted, 3000, 2);
-    assert!(hit.is_some(), "EET should catch the top-level IS NULL inversion");
+    assert!(
+        hit.is_some(),
+        "EET should catch the top-level IS NULL inversion"
+    );
     // Conversely, a corruption that fires identically in both the plain
     // and the transformed predicate stays invisible to EET.
     let miss = detects_bug("eet", BugId::DuckdbCaseSubqueryElse, 2000, 2);
-    assert!(miss.is_none(), "value-consistent CASE corruption is EET-invisible");
+    assert!(
+        miss.is_none(),
+        "value-consistent CASE corruption is EET-invisible"
+    );
 }
 
 #[test]
@@ -138,18 +153,33 @@ fn reducer_handles_multiple_mutants() {
     let folded =
         coddb::parser::parse_select("SELECT c FROM t WHERE c IN (0, 862827606027206657)").unwrap();
     let bugs = BugRegistry::only(BugId::CockroachInBigIntValueList);
-    let case = ReducibleCase { setup, original, folded };
+    let case = ReducibleCase {
+        setup,
+        original,
+        folded,
+    };
     assert!(still_failing(&case, Dialect::Cockroach, &bugs));
     let reduced = reduce(&case, Dialect::Cockroach, &bugs);
     assert!(still_failing(&reduced, Dialect::Cockroach, &bugs));
     let rendered: Vec<String> = reduced.setup.iter().map(|s| s.to_string()).collect();
-    assert!(rendered.iter().all(|s| !s.contains("noise")), "{rendered:?}");
+    assert!(
+        rendered.iter().all(|s| !s.contains("noise")),
+        "{rendered:?}"
+    );
     assert!(reduced.size() <= case.size());
 }
 
 #[test]
 fn oracle_names_match_factory_keys() {
-    for name in ["codd", "codd-expression", "codd-subquery", "norec", "tlp", "dqe", "eet"] {
+    for name in [
+        "codd",
+        "codd-expression",
+        "codd-subquery",
+        "norec",
+        "tlp",
+        "dqe",
+        "eet",
+    ] {
         let oracle = make_oracle(name).unwrap();
         assert_eq!(oracle.name(), name);
     }
@@ -188,7 +218,8 @@ fn fuel_exhaustion_reports_cleanly() {
     let mut db = Database::new(Dialect::Sqlite);
     db.execute_sql("CREATE TABLE t0 (c0 INT)").unwrap();
     let rows: Vec<String> = (0..200).map(|i| format!("({i})")).collect();
-    db.execute_sql(&format!("INSERT INTO t0 VALUES {}", rows.join(","))).unwrap();
+    db.execute_sql(&format!("INSERT INTO t0 VALUES {}", rows.join(",")))
+        .unwrap();
     db.set_fuel_limit(2_000);
     let schema = sqlgen::SchemaInfo {
         tables: vec![sqlgen::TableInfo {
@@ -206,9 +237,17 @@ fn fuel_exhaustion_reports_cleanly() {
     for seed in 0..40u64 {
         let mut rng = StdRng::seed_from_u64(seed);
         if let TestOutcome::Bug(r) = oracle.run_one(&mut session, &schema, &mut rng) {
-            assert_eq!(r.kind, ReportKind::Hang, "only hangs expected: {}", r.to_display());
+            assert_eq!(
+                r.kind,
+                ReportKind::Hang,
+                "only hangs expected: {}",
+                r.to_display()
+            );
             hangs += 1;
         }
     }
-    assert!(hangs > 0, "the tiny fuel budget should trip on join-heavy tests");
+    assert!(
+        hangs > 0,
+        "the tiny fuel budget should trip on join-heavy tests"
+    );
 }

@@ -50,7 +50,13 @@ impl<'a> ExprGen<'a> {
         schema: &'a SchemaInfo,
         scope: &'a [ColumnInfo],
     ) -> Self {
-        ExprGen { dialect, config, schema, scope, refs: Vec::new() }
+        ExprGen {
+            dialect,
+            config,
+            schema,
+            scope,
+            refs: Vec::new(),
+        }
     }
 
     /// Generate the expression φ that will undergo constant folding, with
@@ -169,7 +175,11 @@ impl<'a> ExprGen<'a> {
                         r = lit;
                     }
                 }
-                let op = if rng.random() { BinaryOp::And } else { BinaryOp::Or };
+                let op = if rng.random() {
+                    BinaryOp::And
+                } else {
+                    BinaryOp::Or
+                };
                 Expr::bin(op, l, r)
             }
             37..=42 => Expr::not(self.gen_bool(rng, depth - 1)),
@@ -184,7 +194,11 @@ impl<'a> ExprGen<'a> {
                 // BETWEEN over numerics. Flexible dialects occasionally
                 // range-test a TEXT operand against numeric bounds (legal
                 // under storage-class comparison; an affinity bug nest).
-                let ty = if rng.random() { DataType::Int } else { DataType::Real };
+                let ty = if rng.random() {
+                    DataType::Int
+                } else {
+                    DataType::Real
+                };
                 let operand_ty = if !self.dialect.strict_types() && rng.random_bool(0.25) {
                     DataType::Text
                 } else {
@@ -203,7 +217,11 @@ impl<'a> ExprGen<'a> {
                 let expr = self.gen_expr(rng, ty, depth - 1);
                 let n = rng.random_range(1..=3);
                 let list = (0..n).map(|_| self.gen_expr(rng, ty, depth - 1)).collect();
-                Expr::InList { expr: Box::new(expr), list, negated: rng.random_bool(0.3) }
+                Expr::InList {
+                    expr: Box::new(expr),
+                    list,
+                    negated: rng.random_bool(0.3),
+                }
             }
             66..=71 => {
                 // LIKE with a literal pattern.
@@ -220,7 +238,15 @@ impl<'a> ExprGen<'a> {
                 let ty = self.comparison_type(rng);
                 let l = self.gen_expr(rng, ty, depth - 1);
                 let r = self.gen_expr(rng, ty, depth - 1);
-                Expr::bin(if rng.random() { BinaryOp::Is } else { BinaryOp::IsNot }, l, r)
+                Expr::bin(
+                    if rng.random() {
+                        BinaryOp::Is
+                    } else {
+                        BinaryOp::IsNot
+                    },
+                    l,
+                    r,
+                )
             }
             77..=82 => {
                 // CASE returning boolean. Conditions are sometimes bare
@@ -242,7 +268,10 @@ impl<'a> ExprGen<'a> {
             83..=88 if subqueries => {
                 // EXISTS.
                 let q = self.gen_row_subquery(rng, None, depth.saturating_sub(1));
-                Expr::Exists { query: Box::new(q), negated: rng.random_bool(0.3) }
+                Expr::Exists {
+                    query: Box::new(q),
+                    negated: rng.random_bool(0.3),
+                }
             }
             89..=94 if subqueries => {
                 // expr IN (subquery).
@@ -263,7 +292,11 @@ impl<'a> ExprGen<'a> {
                     [rng.random_range(0..4)];
                 Expr::Quantified {
                     op,
-                    quantifier: if rng.random() { Quantifier::Any } else { Quantifier::All },
+                    quantifier: if rng.random() {
+                        Quantifier::Any
+                    } else {
+                        Quantifier::All
+                    },
                     expr: Box::new(expr),
                     query: Box::new(q),
                 }
@@ -332,7 +365,11 @@ impl<'a> ExprGen<'a> {
             35..=59 => {
                 let op = [BinaryOp::Add, BinaryOp::Sub, BinaryOp::Mul, BinaryOp::Mod]
                     [rng.random_range(0..4)];
-                Expr::bin(op, self.gen_int(rng, depth - 1), self.gen_int(rng, depth - 1))
+                Expr::bin(
+                    op,
+                    self.gen_int(rng, depth - 1),
+                    self.gen_int(rng, depth - 1),
+                )
             }
             60..=66 => {
                 // Fold negation of literals (the parser normalizes `-k`
@@ -385,9 +422,11 @@ impl<'a> ExprGen<'a> {
             90..=93 => {
                 // Cross-type casts (TEXT→INT under strict typing is an
                 // expected-error path; a known internal-error nest).
-                let src = [DataType::Int, DataType::Real, DataType::Text]
-                    [rng.random_range(0..3)];
-                Expr::Cast { expr: Box::new(self.gen_expr(rng, src, depth - 1)), ty: DataType::Int }
+                let src = [DataType::Int, DataType::Real, DataType::Text][rng.random_range(0..3)];
+                Expr::Cast {
+                    expr: Box::new(self.gen_expr(rng, src, depth - 1)),
+                    ty: DataType::Int,
+                }
             }
             94..=99 if self.config.allow_subqueries => {
                 let q = self.gen_count_subquery(rng, depth.saturating_sub(1));
@@ -406,7 +445,11 @@ impl<'a> ExprGen<'a> {
             0..=39 => self.leaf(rng, DataType::Real),
             40..=64 => {
                 let op = [BinaryOp::Add, BinaryOp::Sub, BinaryOp::Mul][rng.random_range(0..3)];
-                Expr::bin(op, self.gen_real(rng, depth - 1), self.gen_real(rng, depth - 1))
+                Expr::bin(
+                    op,
+                    self.gen_real(rng, depth - 1),
+                    self.gen_real(rng, depth - 1),
+                )
             }
             65..=74 => {
                 // Precision mostly small, occasionally oversized (an
@@ -441,7 +484,11 @@ impl<'a> ExprGen<'a> {
         match roll {
             0..=49 => self.leaf(rng, DataType::Text),
             50..=64 => Expr::Func {
-                func: if rng.random() { FuncName::Upper } else { FuncName::Lower },
+                func: if rng.random() {
+                    FuncName::Upper
+                } else {
+                    FuncName::Lower
+                },
                 args: vec![self.gen_text(rng, depth - 1)],
             },
             65..=79 => Expr::bin(
@@ -510,8 +557,12 @@ impl<'a> ExprGen<'a> {
         let Some(second) = self.gen_row_core(rng, ty, depth, second_distinct) else {
             return Select::from_core(first);
         };
-        let op = [coddb::ast::SetOp::Union, coddb::ast::SetOp::Union, coddb::ast::SetOp::Intersect,
-            coddb::ast::SetOp::Except][rng.random_range(0..4)];
+        let op = [
+            coddb::ast::SetOp::Union,
+            coddb::ast::SetOp::Union,
+            coddb::ast::SetOp::Intersect,
+            coddb::ast::SetOp::Except,
+        ][rng.random_range(0..4)];
         let all = op == coddb::ast::SetOp::Union && rng.random_bool(0.4);
         let mut q = Select {
             with: Vec::new(),
@@ -559,7 +610,10 @@ impl<'a> ExprGen<'a> {
         let where_clause = self.gen_inner_predicate(rng, &inner_scope, depth);
         Some(SelectCore {
             distinct,
-            items: vec![SelectItem::Expr { expr: item, alias: None }],
+            items: vec![SelectItem::Expr {
+                expr: item,
+                alias: None,
+            }],
             from: Some(TableExpr::named(table.name.clone())),
             where_clause,
             ..SelectCore::default()
@@ -569,10 +623,19 @@ impl<'a> ExprGen<'a> {
     /// A scalar subquery (exactly one row, one column), built with an
     /// aggregate or `LIMIT 1` — the two paper-sanctioned ways of forcing a
     /// scalar (§3.3).
-    pub fn gen_scalar_subquery(&mut self, rng: &mut (impl Rng + ?Sized), depth: u32) -> (Select, DataType) {
+    pub fn gen_scalar_subquery(
+        &mut self,
+        rng: &mut (impl Rng + ?Sized),
+        depth: u32,
+    ) -> (Select, DataType) {
         if rng.random_bool(0.7) {
-            let func = [AggFunc::Count, AggFunc::Min, AggFunc::Max, AggFunc::Avg, AggFunc::Sum]
-                [rng.random_range(0..5)];
+            let func = [
+                AggFunc::Count,
+                AggFunc::Min,
+                AggFunc::Max,
+                AggFunc::Avg,
+                AggFunc::Sum,
+            ][rng.random_range(0..5)];
             self.gen_agg_subquery(rng, func, depth)
         } else {
             // LIMIT 1 with a full ORDER BY keeps the result deterministic.
@@ -611,7 +674,10 @@ impl<'a> ExprGen<'a> {
         let table = table.clone();
         let inner_scope = table.columns_as(&table.name);
         Select::from_core(SelectCore {
-            items: vec![SelectItem::Expr { expr: Expr::count_star(), alias: None }],
+            items: vec![SelectItem::Expr {
+                expr: Expr::count_star(),
+                alias: None,
+            }],
             from: Some(TableExpr::named(table.name.clone())),
             where_clause: self.gen_inner_predicate(rng, &inner_scope, depth),
             ..SelectCore::default()
@@ -652,15 +718,26 @@ impl<'a> ExprGen<'a> {
                     arg: Some(Box::new(arg_ref)),
                     distinct: rng.random_bool(0.2),
                 },
-                if arg_col.ty == DataType::Real { DataType::Real } else { DataType::Int },
+                if arg_col.ty == DataType::Real {
+                    DataType::Real
+                } else {
+                    DataType::Int
+                },
             ),
             AggFunc::Min | AggFunc::Max => (
-                Expr::Agg { func, arg: Some(Box::new(arg_ref)), distinct: false },
+                Expr::Agg {
+                    func,
+                    arg: Some(Box::new(arg_ref)),
+                    distinct: false,
+                },
                 arg_col.ty,
             ),
         };
         let q = Select::from_core(SelectCore {
-            items: vec![SelectItem::Expr { expr: agg, alias: None }],
+            items: vec![SelectItem::Expr {
+                expr: agg,
+                alias: None,
+            }],
             from: Some(TableExpr::named(table.name.clone())),
             where_clause: self.gen_inner_predicate(rng, &inner_scope, depth),
             ..SelectCore::default()
@@ -688,10 +765,7 @@ impl<'a> ExprGen<'a> {
                 let candidates: Vec<&ColumnInfo> = self
                     .scope
                     .iter()
-                    .filter(|o| {
-                        compatible(o.ty, inner.ty)
-                            || !self.dialect.strict_types()
-                    })
+                    .filter(|o| compatible(o.ty, inner.ty) || !self.dialect.strict_types())
                     .collect();
                 if candidates.is_empty() {
                     continue;
@@ -784,7 +858,10 @@ mod tests {
                     ),
                 }
             }
-            assert!(interesting > 20, "{dialect}: too few valid predicates ({interesting}/60)");
+            assert!(
+                interesting > 20,
+                "{dialect}: too few valid predicates ({interesting}/60)"
+            );
         }
     }
 
@@ -799,7 +876,11 @@ mod tests {
             let (q, _) = gen.gen_scalar_subquery(&mut rng, 2);
             match db.query(&q) {
                 Ok(rel) => {
-                    assert!(rel.rows.len() <= 1, "scalar subquery returned {} rows", rel.rows.len());
+                    assert!(
+                        rel.rows.len() <= 1,
+                        "scalar subquery returned {} rows",
+                        rel.rows.len()
+                    );
                     assert_eq!(rel.columns.len(), 1);
                 }
                 Err(e) => assert_eq!(e.severity(), coddb::Severity::Expected),
@@ -817,7 +898,11 @@ mod tests {
             let scope = t.columns_as(&t.name);
             let mut gen = ExprGen::new(Dialect::Sqlite, &cfg, &schema, &scope);
             let phi = gen.gen_phi(&mut rng);
-            assert!(!phi.expr.contains_subquery(), "subquery leaked: {}", phi.expr);
+            assert!(
+                !phi.expr.contains_subquery(),
+                "subquery leaked: {}",
+                phi.expr
+            );
         }
     }
 
@@ -835,7 +920,10 @@ mod tests {
         let schema = SchemaInfo::default();
         let scope: Vec<ColumnInfo> = Vec::new();
         let avg_len = |d: u32| {
-            let cfg = GenConfig { allow_subqueries: false, ..GenConfig::with_max_depth(d) };
+            let cfg = GenConfig {
+                allow_subqueries: false,
+                ..GenConfig::with_max_depth(d)
+            };
             let mut total = 0u64;
             for seed in 0..120u64 {
                 let mut rng = StdRng::seed_from_u64(seed);
@@ -844,6 +932,9 @@ mod tests {
             }
             total
         };
-        assert!(avg_len(7) > avg_len(1), "MaxDepth must scale expression size");
+        assert!(
+            avg_len(7) > avg_len(1),
+            "MaxDepth must scale expression size"
+        );
     }
 }

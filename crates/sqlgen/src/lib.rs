@@ -58,12 +58,18 @@ impl GenConfig {
     /// The "CODDTest & Expression" configuration of Table 3 (no
     /// subqueries).
     pub fn expressions_only() -> Self {
-        GenConfig { allow_subqueries: false, ..GenConfig::default() }
+        GenConfig {
+            allow_subqueries: false,
+            ..GenConfig::default()
+        }
     }
 
     /// Configuration with a specific `MaxDepth` (Figures 2 and 3).
     pub fn with_max_depth(max_depth: u32) -> Self {
-        GenConfig { max_depth, ..GenConfig::default() }
+        GenConfig {
+            max_depth,
+            ..GenConfig::default()
+        }
     }
 }
 
@@ -90,7 +96,11 @@ impl TableInfo {
     pub fn columns_as(&self, alias: &str) -> Vec<ColumnInfo> {
         self.columns
             .iter()
-            .map(|(c, ty)| ColumnInfo { table: alias.to_string(), column: c.clone(), ty: *ty })
+            .map(|(c, ty)| ColumnInfo {
+                table: alias.to_string(),
+                column: c.clone(),
+                ty: *ty,
+            })
             .collect()
     }
 }
@@ -111,7 +121,9 @@ impl SchemaInfo {
     }
 
     pub fn table(&self, name: &str) -> Option<&TableInfo> {
-        self.tables.iter().find(|t| t.name.eq_ignore_ascii_case(name))
+        self.tables
+            .iter()
+            .find(|t| t.name.eq_ignore_ascii_case(name))
     }
 
     /// Names of indexes on the given table.

@@ -7,9 +7,7 @@
 //! [`build_projection_query`] wrap a predicate into the original-query
 //! shapes used by the oracles.
 
-use coddb::ast::{
-    BinaryOp, Expr, JoinKind, Select, SelectCore, SelectItem, TableExpr,
-};
+use coddb::ast::{BinaryOp, Expr, JoinKind, Select, SelectCore, SelectItem, TableExpr};
 use coddb::value::DataType;
 use coddb::Dialect;
 use rand::{Rng, RngExt};
@@ -56,7 +54,11 @@ pub fn gen_from_context(
             None
         };
         return FromContext {
-            table_expr: TableExpr::Named { name: first.name.clone(), alias: None, indexed_by },
+            table_expr: TableExpr::Named {
+                name: first.name.clone(),
+                alias: None,
+                indexed_by,
+            },
             scope: first.columns_as(&alias),
             relations: vec![(alias, first.name.clone())],
             has_join: false,
@@ -78,16 +80,28 @@ pub fn gen_from_context(
     };
     let left = TableExpr::Named {
         name: first.name.clone(),
-        alias: if a1 == first.name { None } else { Some(a1.clone()) },
+        alias: if a1 == first.name {
+            None
+        } else {
+            Some(a1.clone())
+        },
         indexed_by: None,
     };
     let right = TableExpr::Named {
         name: second.name.clone(),
-        alias: if a2 == second.name { None } else { Some(a2.clone()) },
+        alias: if a2 == second.name {
+            None
+        } else {
+            Some(a2.clone())
+        },
         indexed_by: None,
     };
-    let kind =
-        [JoinKind::Inner, JoinKind::Left, JoinKind::Cross, JoinKind::Full][rng.random_range(0..4)];
+    let kind = [
+        JoinKind::Inner,
+        JoinKind::Left,
+        JoinKind::Cross,
+        JoinKind::Full,
+    ][rng.random_range(0..4)];
 
     let mut scope = first.columns_as(&a1);
     scope.extend(second.columns_as(&a2));
@@ -95,11 +109,20 @@ pub fn gen_from_context(
     let on = if kind == JoinKind::Cross {
         None
     } else {
-        Some(gen_join_condition(rng, &first.columns_as(&a1), &second.columns_as(&a2), dialect))
+        Some(gen_join_condition(
+            rng,
+            &first.columns_as(&a1),
+            &second.columns_as(&a2),
+            dialect,
+        ))
     };
 
-    let mut table_expr =
-        TableExpr::Join { left: Box::new(left), right: Box::new(right), kind, on };
+    let mut table_expr = TableExpr::Join {
+        left: Box::new(left),
+        right: Box::new(right),
+        kind,
+        on,
+    };
     let mut relations = vec![(a1, first.name.clone()), (a2, second.name.clone())];
 
     // Occasionally chain one or two more tables (deep join pipelines are
@@ -125,7 +148,13 @@ pub fn gen_from_context(
         extra += 1;
     }
 
-    FromContext { table_expr, scope, relations, has_join: true, join_kind: Some(kind) }
+    FromContext {
+        table_expr,
+        scope,
+        relations,
+        has_join: true,
+        join_kind: Some(kind),
+    }
 }
 
 /// An equality/comparison join condition over compatible column pairs, or
@@ -142,26 +171,36 @@ pub fn gen_join_condition(
             let ok = l.ty == r.ty
                 || (matches!(l.ty, DataType::Int | DataType::Real)
                     && matches!(r.ty, DataType::Int | DataType::Real))
-                || (!dialect.strict_types()
-                    && (l.ty == DataType::Any || r.ty == DataType::Any));
+                || (!dialect.strict_types() && (l.ty == DataType::Any || r.ty == DataType::Any));
             if ok {
                 pairs.push((l.clone(), r.clone()));
             }
         }
     }
     if pairs.is_empty() || rng.random_bool(0.15) {
-        return if dialect.strict_types() { Expr::lit(true) } else { Expr::lit(1i64) };
+        return if dialect.strict_types() {
+            Expr::lit(true)
+        } else {
+            Expr::lit(1i64)
+        };
     }
     let (l, r) = pairs[rng.random_range(0..pairs.len())].clone();
     let op = [BinaryOp::Eq, BinaryOp::Eq, BinaryOp::Lt, BinaryOp::Ge][rng.random_range(0..4)];
-    Expr::bin(op, Expr::col(l.table, l.column), Expr::col(r.table, r.column))
+    Expr::bin(
+        op,
+        Expr::col(l.table, l.column),
+        Expr::col(r.table, r.column),
+    )
 }
 
 /// `SELECT COUNT(*) FROM <from> WHERE <pred>` — the original-query shape
 /// used by NoREC and (often) CODDTest.
 pub fn build_count_query(from: &FromContext, where_clause: Option<Expr>) -> Select {
     Select::from_core(SelectCore {
-        items: vec![SelectItem::Expr { expr: Expr::count_star(), alias: None }],
+        items: vec![SelectItem::Expr {
+            expr: Expr::count_star(),
+            alias: None,
+        }],
         from: Some(from.table_expr.clone()),
         where_clause,
         ..SelectCore::default()
@@ -256,7 +295,10 @@ mod tests {
     #[test]
     fn self_join_gets_distinct_aliases() {
         // Force generation until a self join appears; aliases must differ.
-        let cfg = GenConfig { max_tables: 1, ..GenConfig::default() };
+        let cfg = GenConfig {
+            max_tables: 1,
+            ..GenConfig::default()
+        };
         let mut seen_self_join = false;
         for seed in 0..200u64 {
             let mut rng = StdRng::seed_from_u64(seed);
@@ -274,7 +316,11 @@ mod tests {
     fn count_query_shape() {
         let from = FromContext {
             table_expr: TableExpr::named("t0"),
-            scope: vec![ColumnInfo { table: "t0".into(), column: "c0".into(), ty: DataType::Int }],
+            scope: vec![ColumnInfo {
+                table: "t0".into(),
+                column: "c0".into(),
+                ty: DataType::Int,
+            }],
             relations: vec![("t0".into(), "t0".into())],
             has_join: false,
             join_kind: None,

@@ -6,9 +6,7 @@
 //! apply constant folding"). Returns both the statements and a
 //! [`SchemaInfo`] the expression/query generators consult.
 
-use coddb::ast::{
-    BinaryOp, ColumnDef, Expr, Select, SelectCore, SelectItem, Statement, TableExpr,
-};
+use coddb::ast::{BinaryOp, ColumnDef, Expr, Select, SelectCore, SelectItem, Statement, TableExpr};
 use coddb::value::{DataType, Value};
 use coddb::Dialect;
 use rand::{Rng, RngExt};
@@ -22,7 +20,10 @@ pub fn generate_state(
     config: &GenConfig,
 ) -> (Vec<Statement>, SchemaInfo) {
     let mut stmts = Vec::new();
-    let mut schema = SchemaInfo { dialect: Some(dialect), ..SchemaInfo::default() };
+    let mut schema = SchemaInfo {
+        dialect: Some(dialect),
+        ..SchemaInfo::default()
+    };
 
     let n_tables = rng.random_range(1..=config.max_tables.max(1));
     for ti in 0..n_tables {
@@ -34,9 +35,17 @@ pub fn generate_state(
             let ty = random_column_type(rng, dialect);
             let col = format!("c{ci}");
             columns.push((col.clone(), ty));
-            defs.push(ColumnDef { name: col, ty, not_null: false });
+            defs.push(ColumnDef {
+                name: col,
+                ty,
+                not_null: false,
+            });
         }
-        stmts.push(Statement::CreateTable { name: name.clone(), columns: defs, if_not_exists: false });
+        stmts.push(Statement::CreateTable {
+            name: name.clone(),
+            columns: defs,
+            if_not_exists: false,
+        });
 
         // Insert 1..=max_rows rows (never zero).
         let n_rows = rng.random_range(1..=config.max_rows.max(1));
@@ -66,7 +75,11 @@ pub fn generate_state(
             let expr = if let (Some((tc, _)), Some((rc, _)), true) =
                 (text_col, real_col, rng.random_bool(0.25))
             {
-                Expr::bin(BinaryOp::Concat, Expr::bare_col(tc.clone()), Expr::bare_col(rc.clone()))
+                Expr::bin(
+                    BinaryOp::Concat,
+                    Expr::bare_col(tc.clone()),
+                    Expr::bare_col(rc.clone()),
+                )
             } else if matches!(ty, DataType::Int | DataType::Real | DataType::Any)
                 && rng.random_bool(0.4)
             {
@@ -87,7 +100,12 @@ pub fn generate_state(
             schema.indexes.push((idx_name, name.clone()));
         }
 
-        schema.tables.push(TableInfo { name, columns, is_view: false, row_count: n_rows });
+        schema.tables.push(TableInfo {
+            name,
+            columns,
+            is_view: false,
+            row_count: n_rows,
+        });
     }
 
     // Maybe a view over one of the tables: either a simple projection or

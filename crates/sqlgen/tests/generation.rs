@@ -32,7 +32,11 @@ fn multi_join_chains_have_unique_aliases_and_execute() {
             let mut aliases: Vec<&String> = from.relations.iter().map(|(a, _)| a).collect();
             aliases.sort();
             aliases.dedup();
-            assert_eq!(aliases.len(), from.relations.len(), "duplicate alias in chain");
+            assert_eq!(
+                aliases.len(),
+                from.relations.len(),
+                "duplicate alias in chain"
+            );
         }
         let q = build_random_query(&mut rng, &from, None);
         match db.query(&q) {
@@ -60,19 +64,32 @@ fn set_op_subqueries_execute_and_stay_single_column() {
             Err(e) => assert_eq!(e.severity(), Severity::Expected, "{q}: {e}"),
         }
     }
-    assert!(setops >= 20, "set-op subqueries should occur (got {setops})");
+    assert!(
+        setops >= 20,
+        "set-op subqueries should occur (got {setops})"
+    );
 }
 
 #[test]
 fn indexed_by_hints_reference_real_indexes() {
-    let cfg = GenConfig { index_probability: 1.0, ..GenConfig::default() };
+    let cfg = GenConfig {
+        index_probability: 1.0,
+        ..GenConfig::default()
+    };
     let mut hinted = 0;
     for seed in 0..200u64 {
         let (mut db, schema, mut rng) = load(seed, Dialect::Sqlite, &cfg);
         let from = gen_from_context(&mut rng, &schema, &cfg, Dialect::Sqlite);
-        if let coddb::ast::TableExpr::Named { indexed_by: Some(idx), .. } = &from.table_expr {
+        if let coddb::ast::TableExpr::Named {
+            indexed_by: Some(idx),
+            ..
+        } = &from.table_expr
+        {
             hinted += 1;
-            assert!(db.catalog().index(idx).is_some(), "hint references unknown index {idx}");
+            assert!(
+                db.catalog().index(idx).is_some(),
+                "hint references unknown index {idx}"
+            );
             let q = build_random_query(&mut rng, &from, None);
             db.query(&q).unwrap_or_else(|e| panic!("{q}: {e}"));
         }
@@ -110,7 +127,11 @@ fn strict_dialects_never_get_untyped_or_quantified_where_unsupported() {
                 has_quantified = true;
             }
         });
-        assert!(!has_quantified, "ANY/ALL generated for SQLite: {}", phi.expr);
+        assert!(
+            !has_quantified,
+            "ANY/ALL generated for SQLite: {}",
+            phi.expr
+        );
     }
 }
 
@@ -125,14 +146,18 @@ fn generated_expressions_render_and_reparse() {
         let mut gen = ExprGen::new(dialect, &cfg, &schema, &scope);
         let phi = gen.gen_phi(&mut rng);
         let rendered = phi.expr.to_string();
-        let reparsed = coddb::parser::parse_expr(&rendered)
-            .unwrap_or_else(|e| panic!("{rendered}: {e}"));
+        let reparsed =
+            coddb::parser::parse_expr(&rendered).unwrap_or_else(|e| panic!("{rendered}: {e}"));
         // The parser normalizes a few sugar forms (e.g. `-86` becomes a
         // literal); after one normalization the round trip is exact.
         let normalized = reparsed.to_string();
-        let reparsed2 = coddb::parser::parse_expr(&normalized)
-            .unwrap_or_else(|e| panic!("{normalized}: {e}"));
-        assert_eq!(reparsed2.to_string(), normalized, "round trip not idempotent");
+        let reparsed2 =
+            coddb::parser::parse_expr(&normalized).unwrap_or_else(|e| panic!("{normalized}: {e}"));
+        assert_eq!(
+            reparsed2.to_string(),
+            normalized,
+            "round trip not idempotent"
+        );
     }
 }
 
@@ -141,7 +166,10 @@ fn dependent_expressions_really_depend_only_on_their_refs() {
     // Evaluate φ twice against rows that agree on {cᵢ} but differ
     // elsewhere: the results must agree (the CASE-mapping soundness
     // argument of §3.2).
-    let cfg = GenConfig { allow_subqueries: false, ..GenConfig::default() };
+    let cfg = GenConfig {
+        allow_subqueries: false,
+        ..GenConfig::default()
+    };
     for seed in 0..150u64 {
         let (mut db, schema, mut rng) = load(seed, Dialect::Sqlite, &cfg);
         let t = schema
@@ -162,21 +190,38 @@ fn dependent_expressions_really_depend_only_on_their_refs() {
             .columns
             .iter()
             .find(|(c, _)| !phi.refs.iter().any(|r| r.column.eq_ignore_ascii_case(c)));
-        let Some((other_col, _)) = other else { continue };
+        let Some((other_col, _)) = other else {
+            continue;
+        };
         db.execute_sql("DROP TABLE IF EXISTS probe").unwrap();
         let defs: Vec<String> = t.columns.iter().map(|(c, _)| c.to_string()).collect();
-        db.execute_sql(&format!("CREATE TABLE probe ({})", defs.join(", "))).unwrap();
+        db.execute_sql(&format!("CREATE TABLE probe ({})", defs.join(", ")))
+            .unwrap();
         let row = |marker: i64| {
             let vals: Vec<String> = t
                 .columns
                 .iter()
-                .map(|(c, _)| if c == other_col { marker.to_string() } else { "1".to_string() })
+                .map(|(c, _)| {
+                    if c == other_col {
+                        marker.to_string()
+                    } else {
+                        "1".to_string()
+                    }
+                })
                 .collect();
             format!("({})", vals.join(", "))
         };
-        db.execute_sql(&format!("INSERT INTO probe VALUES {}, {}", row(10), row(20))).unwrap();
+        db.execute_sql(&format!(
+            "INSERT INTO probe VALUES {}, {}",
+            row(10),
+            row(20)
+        ))
+        .unwrap();
         // Requalify φ to the probe table.
-        let sql = phi.expr.to_string().replace(&format!("{}.", t.name), "probe.");
+        let sql = phi
+            .expr
+            .to_string()
+            .replace(&format!("{}.", t.name), "probe.");
         let rel = match db.query_sql(&format!("SELECT {sql} FROM probe")) {
             Ok(r) => r,
             Err(e) => {

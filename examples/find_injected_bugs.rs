@@ -24,10 +24,14 @@ fn parse_dialect(s: &str) -> Option<Dialect> {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let dialect = args.get(1).and_then(|s| parse_dialect(s)).unwrap_or(Dialect::Duckdb);
+    let dialect = args
+        .get(1)
+        .and_then(|s| parse_dialect(s))
+        .unwrap_or(Dialect::Duckdb);
     let tests: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(8_000);
 
-    println!("hunting the {} profile's {} injected bugs with CODDTest ({tests} tests)\n",
+    println!(
+        "hunting the {} profile's {} injected bugs with CODDTest ({tests} tests)\n",
         dialect,
         BugId::for_dialect(dialect).len(),
     );
@@ -64,7 +68,11 @@ fn main() {
     println!("attributing findings to mutants (re-running each under isolation)...");
     attribute_bugs(&mut result, &cfg, "codd");
     let unique = result.unique_attributed_bugs();
-    println!("\nuncovered {} of {} mutants:", unique.len(), BugId::for_dialect(dialect).len());
+    println!(
+        "\nuncovered {} of {} mutants:",
+        unique.len(),
+        BugId::for_dialect(dialect).len()
+    );
     for b in BugId::for_dialect(dialect) {
         let mark = if unique.contains(&b) { "✓" } else { "✗" };
         println!("  {mark} [{:<14}] {}", b.kind().label(), b.name());

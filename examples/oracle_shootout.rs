@@ -14,8 +14,10 @@ use coddb::Dialect;
 use coddtest::runner::{attribute_bugs, run_campaign, CampaignConfig};
 
 fn main() {
-    let tests: u64 =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(6_000);
+    let tests: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(6_000);
     let dialect = Dialect::Tidb;
     println!("oracle shootout on the {dialect} profile ({tests} tests each)\n");
 
@@ -52,14 +54,19 @@ fn main() {
             "  {:<40} [{:<14}] {}",
             bug.name(),
             bug.kind().label(),
-            if finders.is_empty() { "— undetected —".to_string() } else { finders.join(", ") }
+            if finders.is_empty() {
+                "— undetected —".to_string()
+            } else {
+                finders.join(", ")
+            }
         );
     }
 
     let codd = &sets[0].1;
-    let union_rest: BTreeSet<BugId> =
-        sets[1..].iter().flat_map(|(_, s)| s.iter().copied()).collect();
-    let exclusive: Vec<&str> =
-        codd.difference(&union_rest).map(|b| b.name()).collect();
+    let union_rest: BTreeSet<BugId> = sets[1..]
+        .iter()
+        .flat_map(|(_, s)| s.iter().copied())
+        .collect();
+    let exclusive: Vec<&str> = codd.difference(&union_rest).map(|b| b.name()).collect();
     println!("\nbugs only CODDTest found here: {exclusive:?}");
 }

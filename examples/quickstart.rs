@@ -31,7 +31,10 @@ fn main() {
     let mut result = run_campaign(oracle.as_mut(), &cfg);
 
     let Some(finding) = result.findings.first() else {
-        println!("no bug found within {} tests — try a larger budget", cfg.tests);
+        println!(
+            "no bug found within {} tests — try a larger budget",
+            cfg.tests
+        );
         return;
     };
     println!(
@@ -45,7 +48,10 @@ fn main() {
     //    test under each enabled mutant in isolation).
     attribute_bugs(&mut result, &cfg, "codd");
     let attributed = &result.findings[0].attributed;
-    println!("attributed to mutant(s): {:?}\n", attributed.iter().map(|b| b.name()).collect::<Vec<_>>());
+    println!(
+        "attributed to mutant(s): {:?}\n",
+        attributed.iter().map(|b| b.name()).collect::<Vec<_>>()
+    );
 
     // 4. Reduce the paper's own bug-inducing test case with the built-in
     //    delta-debugging reducer.
@@ -65,9 +71,17 @@ fn main() {
     .unwrap();
     let folded =
         coddb::parser::parse_select("SELECT COUNT(*) FROM t0 INDEXED BY i0 WHERE 0").unwrap();
-    let case = coddtest::reduce::ReducibleCase { setup, original, folded };
+    let case = coddtest::reduce::ReducibleCase {
+        setup,
+        original,
+        folded,
+    };
     let reduced = coddtest::reduce::reduce(&case, Dialect::Sqlite, &cfg.bugs);
-    println!("reduced test case ({} -> {} setup statements):", case.setup.len(), reduced.setup.len());
+    println!(
+        "reduced test case ({} -> {} setup statements):",
+        case.setup.len(),
+        reduced.setup.len()
+    );
     for s in &reduced.setup {
         println!("  {s};");
     }

@@ -24,7 +24,10 @@ fn parse_dialect(s: &str) -> Option<Dialect> {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let dialect = args.first().and_then(|s| parse_dialect(s)).unwrap_or(Dialect::Sqlite);
+    let dialect = args
+        .first()
+        .and_then(|s| parse_dialect(s))
+        .unwrap_or(Dialect::Sqlite);
     let mut bugs = BugRegistry::none();
     for arg in args.iter().skip(1) {
         match BugId::ALL.iter().find(|b| b.name() == arg) {
@@ -33,7 +36,10 @@ fn main() {
         }
     }
     let mut db = Database::with_bugs(dialect, bugs);
-    println!("CoddDB shell — {} profile. End statements with ';'. `.quit` exits.", dialect);
+    println!(
+        "CoddDB shell — {} profile. End statements with ';'. `.quit` exits.",
+        dialect
+    );
 
     let stdin = std::io::stdin();
     let mut buffer = String::new();

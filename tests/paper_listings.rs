@@ -35,7 +35,10 @@ fn listing1_sqlite_aggregate_subquery() {
 
     let clean = run_case(Dialect::Sqlite, BugRegistry::none(), setup, &[o, a, f]);
     assert_eq!(clean[1].scalar(), Some(&Value::Int(0)), "A = 0");
-    assert!(clean[0].multiset_eq(&clean[2]), "metamorphic relation holds when clean");
+    assert!(
+        clean[0].multiset_eq(&clean[2]),
+        "metamorphic relation holds when clean"
+    );
 
     let buggy = run_case(
         Dialect::Sqlite,
@@ -43,10 +46,17 @@ fn listing1_sqlite_aggregate_subquery() {
         setup,
         &[o, a, f],
     );
-    assert_eq!(buggy[0].scalar(), Some(&Value::Int(1)), "O = 1 (the paper's wrong answer)");
+    assert_eq!(
+        buggy[0].scalar(),
+        Some(&Value::Int(1)),
+        "O = 1 (the paper's wrong answer)"
+    );
     assert_eq!(buggy[1].scalar(), Some(&Value::Int(0)), "A = 0");
     assert_eq!(buggy[2].scalar(), Some(&Value::Int(0)), "F = 0");
-    assert!(!buggy[0].multiset_eq(&buggy[2]), "CODDTest observes the discrepancy");
+    assert!(
+        !buggy[0].multiset_eq(&buggy[2]),
+        "CODDTest observes the discrepancy"
+    );
 }
 
 /// Figure 1 of the paper, end to end: the dependent expression
@@ -96,7 +106,11 @@ fn listing2_correlated_subquery_case_fold() {
                    WHEN x.classID = 1 THEN 85 \
                    WHEN x.classID = 2 THEN 83 END)";
     let out = run_case(Dialect::Sqlite, BugRegistry::none(), setup, &[o, a, f]);
-    assert_eq!(out[0].rows, vec![vec![Value::Int(0)]], "student 0 beats the class average");
+    assert_eq!(
+        out[0].rows,
+        vec![vec![Value::Int(0)]],
+        "student 0 beats the class average"
+    );
     assert_eq!(out[1].row_count(), 3, "A maps each outer row");
     assert!(out[0].multiset_eq(&out[2]), "folded CASE query agrees");
 }
@@ -115,8 +129,16 @@ fn listing4_left_join_mapping() {
     let f = "SELECT * FROM t0 LEFT JOIN t1 ON t0.c0 = t1.c0 WHERE \
              CASE WHEN t1.c0 IS NULL THEN 1 END";
     let out = run_case(Dialect::Sqlite, BugRegistry::none(), setup, &[o, a, f]);
-    assert_eq!(out[0].rows, vec![vec![Value::Int(0), Value::Null]], "0|NULL");
-    assert_eq!(out[1].rows, vec![vec![Value::Null, Value::Int(1)]], "NULL|1");
+    assert_eq!(
+        out[0].rows,
+        vec![vec![Value::Int(0), Value::Null]],
+        "0|NULL"
+    );
+    assert_eq!(
+        out[1].rows,
+        vec![vec![Value::Null, Value::Int(1)]],
+        "NULL|1"
+    );
     assert!(out[0].multiset_eq(&out[2]));
 }
 
@@ -131,10 +153,16 @@ fn listing5_subquery_cardinality() {
     .unwrap();
     let more_rows =
         db.query_sql("SELECT t0.c0, (SELECT t1.c0 FROM t1 WHERE t1.c0 > t0.c0) FROM t0");
-    assert!(matches!(more_rows, Err(coddb::Error::SubqueryCardinality(_))));
+    assert!(matches!(
+        more_rows,
+        Err(coddb::Error::SubqueryCardinality(_))
+    ));
     let more_cols =
         db.query_sql("SELECT t0.c0, (SELECT t1.c0, t1.c0 FROM t1 WHERE t1.c0 = 2) FROM t0");
-    assert!(matches!(more_cols, Err(coddb::Error::SubqueryCardinality(_))));
+    assert!(matches!(
+        more_cols,
+        Err(coddb::Error::SubqueryCardinality(_))
+    ));
 }
 
 /// Listing 6: the TiDB INSERT..SELECT VERSION() bug, detected through the
@@ -156,8 +184,10 @@ fn listing6_insert_select_version() {
         "clean engine inserts the row"
     );
 
-    let mut buggy =
-        Database::with_bugs(Dialect::Tidb, BugRegistry::only(BugId::TidbInsertSelectVersion));
+    let mut buggy = Database::with_bugs(
+        Dialect::Tidb,
+        BugRegistry::only(BugId::TidbInsertSelectVersion),
+    );
     buggy.execute_sql(setup).unwrap();
     buggy.execute_sql(insert).unwrap();
     // O: empty result (the paper's wrong answer).
@@ -172,7 +202,10 @@ fn listing6_insert_select_version() {
     );
     // F: the folded relation (a derived table from constants).
     assert_eq!(
-        buggy.query_sql("SELECT * FROM (SELECT 1) AS ft0").unwrap().row_count(),
+        buggy
+            .query_sql("SELECT * FROM (SELECT 1) AS ft0")
+            .unwrap()
+            .row_count(),
         1
     );
 }
@@ -199,8 +232,10 @@ fn listing7_case_null_cte() {
     assert!(co.multiset_eq(&cf), "clean engine agrees");
     assert_eq!(co.row_count(), 0, "NOT BETWEEN v AND v is never true");
 
-    let mut buggy =
-        Database::with_bugs(Dialect::Cockroach, BugRegistry::only(BugId::CockroachCaseNullFromCte));
+    let mut buggy = Database::with_bugs(
+        Dialect::Cockroach,
+        BugRegistry::only(BugId::CockroachCaseNullFromCte),
+    );
     buggy.execute_sql(setup).unwrap();
     buggy.execute_sql(folded_setup).unwrap();
     let bo = buggy.query_sql(o).unwrap();
@@ -217,11 +252,19 @@ fn listing7_case_null_cte() {
     let probe_cte = buggy
         .query_sql("WITH t2 AS (SELECT 5 AS b) SELECT CASE WHEN NULL THEN 1 ELSE 0 END FROM t2")
         .unwrap();
-    assert_eq!(probe_cte.scalar(), Some(&Value::Int(1)), "WHEN NULL takes THEN via CTE");
+    assert_eq!(
+        probe_cte.scalar(),
+        Some(&Value::Int(1)),
+        "WHEN NULL takes THEN via CTE"
+    );
     let probe_tbl = buggy
         .query_sql("SELECT CASE WHEN NULL THEN 1 ELSE 0 END FROM ft2")
         .unwrap();
-    assert_eq!(probe_tbl.scalar(), Some(&Value::Int(0)), "correct without CTE");
+    assert_eq!(
+        probe_tbl.scalar(),
+        Some(&Value::Int(0)),
+        "correct without CTE"
+    );
 }
 
 /// Listing 8: the SQLite JOIN-ON EXISTS bug. Folding the empty EXISTS to a
@@ -247,7 +290,11 @@ fn listing8_exists_in_join_on() {
     let clean = run_case(Dialect::Sqlite, BugRegistry::none(), setup, &[o, a, f]);
     assert!(clean[1].is_empty(), "A: empty result");
     assert!(clean[0].multiset_eq(&clean[2]), "clean engine agrees");
-    assert_eq!(clean[0].rows, vec![vec![Value::Null, Value::Int(-1)]], "padded row");
+    assert_eq!(
+        clean[0].rows,
+        vec![vec![Value::Null, Value::Int(-1)]],
+        "padded row"
+    );
 
     let buggy = run_case(
         Dialect::Sqlite,
@@ -298,7 +345,11 @@ fn listing10_in_list_where_vs_projection() {
         &[where_q, proj_q],
     );
     assert!(buggy[0].is_empty(), "WHERE: the paper's empty result");
-    assert_eq!(buggy[1].rows, vec![vec![Value::Int(1)]], "projection stays correct");
+    assert_eq!(
+        buggy[1].rows,
+        vec![vec![Value::Int(1)]],
+        "projection stays correct"
+    );
 }
 
 /// Listing 11: the DuckDB overflow internal error, reachable through

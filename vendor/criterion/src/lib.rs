@@ -1,0 +1,198 @@
+//! Offline stand-in for the `criterion` bench harness (see
+//! `vendor/README.md`).
+//!
+//! Implements the subset of the criterion API the workspace benches use:
+//! warmup, a fixed measurement window, and a mean-ns/iter report printed
+//! per benchmark. Not statistically rigorous — the checked-in perf
+//! trajectory comes from `crates/bench/src/bin/bench_engine.rs`, which
+//! does its own timing — but good enough to compare alternatives locally.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+const WARMUP: Duration = Duration::from_millis(50);
+const WINDOW: Duration = Duration::from_millis(300);
+
+/// Harness entry point; also carries an optional substring filter taken
+/// from the CLI (`cargo bench -- <filter>`).
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // First non-flag CLI argument filters benchmark names, as with the
+        // real harness. Flags (e.g. `--bench` added by cargo) are skipped.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// Throughput annotation; reported alongside timing when set.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// A benchmark identifier (`BenchmarkId::from_parameter(p)`).
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        self.run(&id.into().0, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run(&id.0, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(&mut self) {}
+
+    fn run(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id);
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher { ns_per_iter: None };
+        f(&mut bencher);
+        match bencher.ns_per_iter {
+            Some(ns) => {
+                let mut line = format!("{full:<45} {:>12.1} ns/iter", ns);
+                if let Some(tp) = self.throughput {
+                    let (amount, unit) = match tp {
+                        Throughput::Bytes(n) => (n as f64, "MB/s"),
+                        Throughput::Elements(n) => (n as f64, "Melem/s"),
+                    };
+                    let per_sec = amount / (ns * 1e-9) / 1e6;
+                    line.push_str(&format!("   {per_sec:>10.1} {unit}"));
+                }
+                println!("{line}");
+            }
+            None => println!("{full:<45} (no measurement)"),
+        }
+    }
+}
+
+/// Accepts `&str`/`String` benchmark names.
+pub struct BenchId(String);
+
+impl From<&str> for BenchId {
+    fn from(s: &str) -> Self {
+        BenchId(s.to_string())
+    }
+}
+impl From<String> for BenchId {
+    fn from(s: String) -> Self {
+        BenchId(s)
+    }
+}
+impl From<BenchmarkId> for BenchId {
+    fn from(id: BenchmarkId) -> Self {
+        BenchId(id.0)
+    }
+}
+
+pub struct Bencher {
+    ns_per_iter: Option<f64>,
+}
+
+impl Bencher {
+    /// Warm up, then measure batches until the window elapses; records the
+    /// mean time per iteration.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP {
+            std::hint::black_box(f());
+            warm_iters += 1;
+        }
+        // Pick a batch size that keeps the clock overhead negligible.
+        let per_iter = WARMUP.as_nanos() as u64 / warm_iters.max(1);
+        let batch = (1_000_000 / per_iter.max(1)).clamp(1, 10_000);
+
+        let mut total_iters: u64 = 0;
+        let start = Instant::now();
+        while start.elapsed() < WINDOW {
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            total_iters += batch;
+        }
+        let elapsed = start.elapsed();
+        self.ns_per_iter = Some(elapsed.as_nanos() as f64 / total_iters.max(1) as f64);
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_ids_format() {
+        assert_eq!(BenchmarkId::new("a", 3).0, "a/3");
+        assert_eq!(BenchmarkId::from_parameter("x").0, "x");
+    }
+}

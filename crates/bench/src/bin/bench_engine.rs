@@ -1,37 +1,55 @@
 //! Perf-trajectory runner: times the engine benchmark shapes in both
 //! bind modes and writes `BENCH_engine.json` so successive PRs can track
 //! the execution pipeline's speed (and the bind-once speedup) over time.
+//! Join shapes are additionally timed with the nested loop forced,
+//! recording the hash join's speedup over the bound nested-loop baseline.
 //!
 //! Run with: `cargo run --release -p coddtest-bench --bin bench_engine`
-//! (optionally `-- --out <path>`).
+//! (optionally `-- --out <path>`; `-- --quick` shrinks the measurement
+//! windows for CI smoke runs, which are about compilation + execution
+//! health, not stable numbers).
 
 use std::time::{Duration, Instant};
 
 use coddb::ast::Select;
-use coddb::{BindMode, Database};
-use coddtest_bench::{engine_setup as setup, QUERY_SHAPES};
+use coddb::{BindMode, Database, JoinMode};
+use coddtest_bench::{engine_setup as setup, is_join_shape, QUERY_SHAPES};
+
+struct Windows {
+    warmup: Duration,
+    window: Duration,
+    runs: usize,
+}
+
+const FULL: Windows = Windows {
+    warmup: Duration::from_millis(60),
+    window: Duration::from_millis(120),
+    runs: 5,
+};
+
+const QUICK: Windows = Windows {
+    warmup: Duration::from_millis(5),
+    window: Duration::from_millis(15),
+    runs: 3,
+};
 
 /// Median-of-runs ns/iter: warm up, then take the median of several
 /// fixed-duration measurement windows (robust against scheduler noise).
-fn measure(db: &mut Database, q: &Select) -> f64 {
-    const WARMUP: Duration = Duration::from_millis(60);
-    const WINDOW: Duration = Duration::from_millis(120);
-    const RUNS: usize = 5;
-
+fn measure(db: &mut Database, q: &Select, w: &Windows) -> f64 {
     let warm_start = Instant::now();
     let mut warm_iters = 0u64;
-    while warm_start.elapsed() < WARMUP {
+    while warm_start.elapsed() < w.warmup {
         std::hint::black_box(db.query(q).unwrap());
         warm_iters += 1;
     }
-    let per_iter = (WARMUP.as_nanos() as u64 / warm_iters.max(1)).max(1);
+    let per_iter = (w.warmup.as_nanos() as u64 / warm_iters.max(1)).max(1);
     let batch = (200_000 / per_iter).clamp(1, 5_000);
 
-    let mut samples = Vec::with_capacity(RUNS);
-    for _ in 0..RUNS {
+    let mut samples = Vec::with_capacity(w.runs);
+    for _ in 0..w.runs {
         let mut iters = 0u64;
         let start = Instant::now();
-        while start.elapsed() < WINDOW {
+        while start.elapsed() < w.window {
             for _ in 0..batch {
                 std::hint::black_box(db.query(q).unwrap());
             }
@@ -40,7 +58,7 @@ fn measure(db: &mut Database, q: &Select) -> f64 {
         samples.push(start.elapsed().as_nanos() as f64 / iters as f64);
     }
     samples.sort_by(|a, b| a.total_cmp(b));
-    samples[RUNS / 2]
+    samples[w.runs / 2]
 }
 
 fn main() {
@@ -52,6 +70,11 @@ fn main() {
         .map(String::as_str)
         .unwrap_or("BENCH_engine.json")
         .to_string();
+    let windows = if args.iter().any(|a| a == "--quick") {
+        QUICK
+    } else {
+        FULL
+    };
 
     let mut entries = Vec::new();
     for (name, sql) in QUERY_SHAPES {
@@ -59,19 +82,35 @@ fn main() {
 
         let mut bound_db = setup();
         bound_db.set_bind_mode(BindMode::PerQuery);
-        let bound_ns = measure(&mut bound_db, &q);
+        let bound_ns = measure(&mut bound_db, &q, &windows);
 
         let mut walk_db = setup();
         walk_db.set_bind_mode(BindMode::PerRow);
-        let walk_ns = measure(&mut walk_db, &q);
+        let walk_ns = measure(&mut walk_db, &q, &windows);
 
         let speedup = walk_ns / bound_ns;
+        let mut extra = String::new();
+        let mut extra_log = String::new();
+        if is_join_shape(name) {
+            // The bound nested loop isolates the hash join's contribution
+            // from the bind-once speedup.
+            let mut nested_db = setup();
+            nested_db.set_bind_mode(BindMode::PerQuery);
+            nested_db.set_join_mode(JoinMode::NestedLoop);
+            let nested_ns = measure(&mut nested_db, &q, &windows);
+            let hash_speedup = nested_ns / bound_ns;
+            extra = format!(
+                ",\n      \"bound_nested_loop_ns_per_iter\": {nested_ns:.0},\n      \"hash_vs_nested_speedup\": {hash_speedup:.2}"
+            );
+            extra_log =
+                format!("   nested {nested_ns:>12.0} ns/iter   hash speedup {hash_speedup:>5.2}x");
+        }
         println!(
-            "{name:<24} bound {bound_ns:>12.0} ns/iter   walk {walk_ns:>12.0} ns/iter   speedup {speedup:>5.2}x"
+            "{name:<24} bound {bound_ns:>12.0} ns/iter   walk {walk_ns:>12.0} ns/iter   speedup {speedup:>5.2}x{extra_log}"
         );
         entries.push(format!(
-            "    {:?}: {{\n      \"bound_ns_per_iter\": {:.0},\n      \"walk_ns_per_iter\": {:.0},\n      \"speedup\": {:.2}\n    }}",
-            name, bound_ns, walk_ns, speedup
+            "    {:?}: {{\n      \"bound_ns_per_iter\": {:.0},\n      \"walk_ns_per_iter\": {:.0},\n      \"speedup\": {:.2}{}\n    }}",
+            name, bound_ns, walk_ns, speedup, extra
         ));
     }
 

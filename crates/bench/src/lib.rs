@@ -36,10 +36,26 @@ pub const QUERY_SHAPES: &[(&str, &str)] = &[
         "SELECT COUNT(*) FROM t0 WHERE c0 IN (SELECT c0 FROM t1 WHERE c0 > 5)",
     ),
     (
+        "subquery_cached",
+        "SELECT COUNT(*) FROM t0 WHERE c2 < (SELECT AVG(c0) FROM t1) \
+         AND c0 <> (SELECT MAX(c0) FROM t1)",
+    ),
+    (
         "set_op",
         "SELECT c0 FROM t0 WHERE c0 < 30 UNION SELECT c0 FROM t1",
     ),
+    (
+        "join_large",
+        "SELECT COUNT(*) FROM t2 INNER JOIN t3 ON t2.c0 = t3.c0",
+    ),
 ];
+
+/// Shapes whose dominant operator is a join — `bench_engine` additionally
+/// times these with [`coddb::JoinMode::NestedLoop`] forced, recording the
+/// hash-join speedup over the bound nested loop.
+pub fn is_join_shape(name: &str) -> bool {
+    name.starts_with("join")
+}
 
 /// The database state the engine benchmark shapes run against.
 pub fn engine_setup() -> Database {
@@ -61,6 +77,40 @@ pub fn engine_setup() -> Database {
     let rows: Vec<String> = (0..40).map(|i| format!("({i}, 'x{i}')")).collect();
     db.execute_sql(&format!("INSERT INTO t1 VALUES {}", rows.join(",")))
         .unwrap();
+    // Scaled build/probe sides for the `join_large` shape: 600 x 400 rows
+    // (240k probed pairs for the nested loop), with duplicate keys and a
+    // sprinkling of NULL keys to exercise the hash join's chaining and
+    // NULL-never-matches paths.
+    db.execute_sql("CREATE TABLE t2 (c0 INT); CREATE TABLE t3 (c0 INT)")
+        .unwrap();
+    for chunk in 0..6 {
+        let rows: Vec<String> = (0..100)
+            .map(|i| {
+                let v = chunk * 100 + i;
+                if v % 97 == 0 {
+                    "(NULL)".to_string()
+                } else {
+                    format!("({})", v % 500)
+                }
+            })
+            .collect();
+        db.execute_sql(&format!("INSERT INTO t2 VALUES {}", rows.join(",")))
+            .unwrap();
+    }
+    for chunk in 0..4 {
+        let rows: Vec<String> = (0..100)
+            .map(|i| {
+                let v = chunk * 100 + i;
+                if v % 89 == 0 {
+                    "(NULL)".to_string()
+                } else {
+                    format!("({v})")
+                }
+            })
+            .collect();
+        db.execute_sql(&format!("INSERT INTO t3 VALUES {}", rows.join(",")))
+            .unwrap();
+    }
     db
 }
 

@@ -137,6 +137,34 @@ pub enum BoundExpr {
     },
 }
 
+/// Bind the recognized hash-join key pairs of a join: each left-side key
+/// expression resolves against the left input's schema and each
+/// right-side expression against the right input's, yielding the bound
+/// column ordinals the executor's build/probe loops evaluate once per
+/// *row* (instead of once per row pair, as the nested loop does).
+///
+/// Aggregate calls are illegal in ON clauses, so keys bind through
+/// [`Binder::bind`] — exactly the rule the nested-loop path applies to
+/// the whole ON predicate.
+pub fn bind_join_keys(
+    keys: &[(Expr, Expr)],
+    left: &Schema,
+    right: &Schema,
+    depth: u32,
+) -> Result<(Vec<BoundExpr>, Vec<BoundExpr>)> {
+    let lscopes: [&Schema; 1] = [left];
+    let rscopes: [&Schema; 1] = [right];
+    let mut lbinder = Binder::new(&lscopes, depth);
+    let mut rbinder = Binder::new(&rscopes, depth);
+    let mut lbound = Vec::with_capacity(keys.len());
+    let mut rbound = Vec::with_capacity(keys.len());
+    for (l, r) in keys {
+        lbound.push(lbinder.bind(l)?);
+        rbound.push(rbinder.bind(r)?);
+    }
+    Ok((lbound, rbound))
+}
+
 /// The Listing-1 trigger shape: does the subquery project an aggregate?
 pub fn subquery_has_aggregate(q: &Select) -> bool {
     let Some(core) = q.core() else { return false };

@@ -1,0 +1,140 @@
+//! Per-statement plan / binding / result caches.
+//!
+//! A statement owns one [`StmtCaches`] (inside [`crate::exec::EngineCtx`],
+//! which [`crate::Database`] rebuilds per statement — so every cache is
+//! invalidated at statement boundaries, and DML between statements can
+//! never leak stale results). Three layers:
+//!
+//! 1. **Subquery plans** ([`SubqEntry::plan`]): `exec::exec_subquery`
+//!    previously re-planned a subquery on every evaluation — once per
+//!    outer row for correlated predicates. Plans are now compiled once
+//!    per statement, keyed by the subquery AST's heap address and
+//!    verified against a stored AST clone (the allocator may reuse an
+//!    address within a statement; a stale hit must never be trusted).
+//! 2. **Bindings**: clause expressions that live inside a retained plan
+//!    (or the statement AST) are bound once per statement instead of once
+//!    per operator instantiation — see `exec::Prepared` and the
+//!    projection / grouped-binding entries here. Pointer-keyed caching is
+//!    sound because every plan whose expressions serve as keys is kept
+//!    alive for the whole statement: the statement AST and catalog
+//!    outlive execution, subquery plans are owned by this cache, and
+//!    replaced subquery entries are parked in `retired` rather than
+//!    dropped, so a key's address is never freed (hence never reused)
+//!    mid-statement.
+//! 3. **Results** ([`SubqEntry::result`]): a subquery that read no outer
+//!    column during a full evaluation is non-correlated — its output is a
+//!    deterministic function of table state, which cannot change within a
+//!    statement — so the whole result relation is memoized. Correlation
+//!    is observed at runtime (`EngineCtx::min_frame_read`), which also
+//!    keeps the `TidbCorrelatedNameCollision` mutant honest: when the
+//!    mutant redirects a binding to an outer frame, the read is tracked
+//!    and memoization is off.
+//!
+//! The caches are bypassed entirely in [`crate::exec::BindMode::PerRow`]
+//! (the benchmarking baseline re-binds per row by design).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::ast::{Expr, Select};
+use crate::bind::{AggSpec, BoundExpr};
+use crate::plan::SelectPlan;
+use crate::value::Relation;
+
+/// One cached subquery: the compiled plan plus, once an evaluation proves
+/// the subquery non-correlated, the memoized result relation.
+pub(crate) struct SubqEntry {
+    /// AST identity check for the pointer key (see module docs).
+    pub ast: Select,
+    /// CTE names visible when the plan was compiled. A plan is a function
+    /// of the AST *and* this set (a name may resolve to a CTE scan in one
+    /// scope and a base table in another), so a hit must match both.
+    pub cte_names: std::collections::BTreeSet<String>,
+    pub plan: Rc<SelectPlan>,
+    pub result: RefCell<Option<Rc<Relation>>>,
+}
+
+/// Compiled projection of a non-aggregated select core: expanded output
+/// columns plus each item's expression (owned here — `expand_items`
+/// builds temporaries) and its bound form.
+pub(crate) struct ProjBindings {
+    pub columns: Vec<String>,
+    pub exprs: Vec<Expr>,
+    pub bound: Vec<Rc<BoundExpr>>,
+}
+
+/// Compiled grouped execution state: resolved group keys, projection and
+/// HAVING bound through one binder, and the aggregate slot table.
+pub(crate) struct GroupedBindings {
+    pub group_exprs: Vec<Expr>,
+    pub group_bound: Vec<Rc<BoundExpr>>,
+    pub columns: Vec<String>,
+    pub bound_projs: Vec<BoundExpr>,
+    pub bound_having: Option<BoundExpr>,
+    pub agg_specs: Vec<AggSpec>,
+}
+
+/// A pointer-keyed binding cache (see [`get_or_build`]).
+pub(crate) type PtrCache<T> = RefCell<HashMap<usize, Rc<T>>>;
+
+/// The single get-or-build used by every pointer-keyed binding cache.
+/// `cacheable` must come from `EngineCtx::bindings_cacheable` — it owns
+/// the soundness gate (depth > 0, so the site re-executes and its plan is
+/// retained; never the PerRow baseline, whose plans are not retained and
+/// whose addresses may be reused mid-statement).
+pub(crate) fn get_or_build<T>(
+    map: &PtrCache<T>,
+    cacheable: bool,
+    key: usize,
+    build: impl FnOnce() -> crate::error::Result<Rc<T>>,
+) -> crate::error::Result<Rc<T>> {
+    if !cacheable {
+        return build();
+    }
+    if let Some(v) = map.borrow().get(&key).cloned() {
+        return Ok(v);
+    }
+    let v = build()?;
+    map.borrow_mut().insert(key, Rc::clone(&v));
+    Ok(v)
+}
+
+/// All per-statement caches. Single-threaded by design, like the rest of
+/// the engine context.
+#[derive(Default)]
+pub(crate) struct StmtCaches {
+    subq: RefCell<HashMap<usize, Rc<SubqEntry>>>,
+    /// Clause expressions, keyed by AST node address.
+    pub bound: PtrCache<BoundExpr>,
+    /// Plain projections, keyed by core-plan address.
+    pub proj: PtrCache<ProjBindings>,
+    /// Grouped-execution state, keyed by core-plan address.
+    pub grouped: PtrCache<GroupedBindings>,
+    /// Hash-join key bindings (left-side, right-side), keyed by the
+    /// plan's `hash_keys` buffer address.
+    pub join_keys: PtrCache<(Vec<BoundExpr>, Vec<BoundExpr>)>,
+    /// Graveyard for replaced subquery entries (address-stability, see
+    /// module docs).
+    retired: RefCell<Vec<Rc<SubqEntry>>>,
+}
+
+impl StmtCaches {
+    /// Verified lookup: the entry counts only if the stored AST still
+    /// matches what lives at the key address.
+    pub fn subq_get(&self, key: usize, ast: &Select) -> Option<Rc<SubqEntry>> {
+        let entry = self.subq.borrow().get(&key).cloned()?;
+        if entry.ast == *ast {
+            Some(entry)
+        } else {
+            None
+        }
+    }
+
+    /// Insert a fresh entry; a replaced entry is retired, not dropped.
+    pub fn subq_insert(&self, key: usize, entry: Rc<SubqEntry>) {
+        if let Some(old) = self.subq.borrow_mut().insert(key, entry) {
+            self.retired.borrow_mut().push(old);
+        }
+    }
+}

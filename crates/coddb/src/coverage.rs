@@ -76,6 +76,7 @@ coverage_points! {
     PLAN_FILTER_TRUE_ELIM = "plan::filter_true_elim";
     PLAN_FILTER_FALSE = "plan::filter_false";
     PLAN_NO_FROM = "plan::no_from";
+    PLAN_HASH_JOIN = "plan::hash_join_keys";
     // --- executor ------------------------------------------------------
     EXEC_FILTER_PASS = "exec::filter_pass";
     EXEC_FILTER_DROP = "exec::filter_drop";
@@ -106,6 +107,11 @@ coverage_points! {
     EXEC_JOIN_PROBE_MISS = "exec::join_probe_miss";
     EXEC_JOIN_PAD_LEFT = "exec::join_pad_left";
     EXEC_JOIN_PAD_RIGHT = "exec::join_pad_right";
+    EXEC_HASH_JOIN_BUILD = "exec::hash_join_build";
+    EXEC_HASH_JOIN_NULL_KEY = "exec::hash_join_null_key";
+    EXEC_HASH_JOIN_FALLBACK = "exec::hash_join_fallback";
+    EXEC_SUBQ_PLAN_HIT = "exec::subq_plan_cache_hit";
+    EXEC_SUBQ_RESULT_HIT = "exec::subq_result_memo_hit";
     EXEC_VALUES_ROWS = "exec::values_rows";
     EXEC_CTE_EVAL = "exec::cte_eval";
     EXEC_CTE_REUSE = "exec::cte_reuse";

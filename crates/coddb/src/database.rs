@@ -12,7 +12,9 @@ use crate::coverage::{pt, Coverage};
 use crate::dialect::Dialect;
 use crate::error::{Error, Result};
 use crate::eval::{eval_expr, truthiness, Clause, ExprCtx};
-use crate::exec::{self, BindMode, CteEnv, EngineCtx, EvalEnv, Frame, Prepared, Schema, StmtKind};
+use crate::exec::{
+    self, BindMode, CteEnv, EngineCtx, EvalEnv, Frame, JoinMode, Prepared, Schema, StmtKind,
+};
 use crate::value::{Relation, Row, Value};
 
 /// Default execution fuel per statement (row-operations budget). Generated
@@ -53,6 +55,7 @@ pub struct Database {
     coverage: Coverage,
     fuel_limit: u64,
     bind_mode: BindMode,
+    join_mode: JoinMode,
     last_plan_fp: Option<u64>,
     queries_executed: u64,
 }
@@ -72,6 +75,7 @@ impl Database {
             coverage: Coverage::new(),
             fuel_limit: DEFAULT_FUEL,
             bind_mode: BindMode::default(),
+            join_mode: JoinMode::default(),
             last_plan_fp: None,
             queries_executed: 0,
         }
@@ -107,6 +111,18 @@ impl Database {
         self.bind_mode
     }
 
+    /// Select the physical join strategy: [`JoinMode::Auto`] (default)
+    /// hash-joins recognized equality keys, [`JoinMode::NestedLoop`]
+    /// forces the nested loop everywhere — kept for differential testing
+    /// of the two paths and as a benchmarking baseline.
+    pub fn set_join_mode(&mut self, mode: JoinMode) {
+        self.join_mode = mode;
+    }
+
+    pub fn join_mode(&self) -> JoinMode {
+        self.join_mode
+    }
+
     /// Build the per-statement execution context.
     fn engine_ctx(&self, optimize: bool, stmt: StmtKind) -> EngineCtx<'_> {
         let mut ctx = EngineCtx::new(
@@ -119,6 +135,7 @@ impl Database {
             self.fuel_limit,
         );
         ctx.rebind_per_row = self.bind_mode == BindMode::PerRow;
+        ctx.force_nested_loop = self.join_mode == JoinMode::NestedLoop;
         ctx
     }
 
@@ -444,10 +461,10 @@ impl Database {
 
             // Bind the WHERE predicate and every SET expression once per
             // statement; the row loop evaluates the bound forms.
-            let pred = prepare_dml_where(where_clause, &schema)?;
+            let pred = prepare_dml_where(where_clause, &schema, &ctx)?;
             let set_exprs: Vec<Prepared> = sets
                 .iter()
-                .map(|(_, e)| Prepared::new(e, &[&schema], 0))
+                .map(|(_, e)| Prepared::new(e, &[&schema], 0, &ctx))
                 .collect::<Result<_>>()?;
 
             let mut matches = Vec::new();
@@ -502,7 +519,7 @@ impl Database {
             let schema = table_schema(t);
             let ctx = self.engine_ctx(false, StmtKind::Delete);
             let ctes = CteEnv::root();
-            let pred = prepare_dml_where(where_clause, &schema)?;
+            let pred = prepare_dml_where(where_clause, &schema, &ctx)?;
             let mut out = Vec::new();
             for (i, row) in t.rows.iter().enumerate() {
                 ctx.consume_fuel(1)?;
@@ -539,9 +556,10 @@ fn table_schema(t: &crate::catalog::TableDef) -> Schema {
 fn prepare_dml_where<'p>(
     where_clause: Option<&'p crate::ast::Expr>,
     schema: &Schema,
+    ctx: &EngineCtx,
 ) -> Result<Option<Prepared<'p>>> {
     where_clause
-        .map(|w| Prepared::new(w, &[schema], 0))
+        .map(|w| Prepared::new(w, &[schema], 0, ctx))
         .transpose()
 }
 

@@ -187,7 +187,15 @@ pub fn eval_bound(expr: &BoundExpr, env: EvalEnv) -> Result<Value> {
             } else {
                 pt::EVAL_COLUMN_OUTER
             });
-            let frame = &env.scopes[env.scopes.len() - 1 - up];
+            let fi = env.scopes.len() - 1 - up;
+            // Correlation detector for subquery result memoization: record
+            // the lowest frame this evaluation reaches (a read below the
+            // enclosing subquery's scope floor disables memoization —
+            // including reads the name-collision mutant redirects).
+            if fi < ctx.min_frame_read.get() {
+                ctx.min_frame_read.set(fi);
+            }
+            let frame = &env.scopes[fi];
             Ok(frame.row[index].clone())
         }
         BoundExpr::Unary { op, expr } => {

@@ -1,19 +1,26 @@
 //! Plan execution.
 //!
-//! A straightforward materializing executor: each operator produces a
-//! vector of rows. Correlated subqueries receive the outer row scopes as a
-//! stack of [`Frame`]s; CTEs are materialized once per SELECT and shared
+//! A materializing executor: each operator produces a vector of rows.
+//! Joins with planner-recognized equality keys run as build/probe hash
+//! joins over bound key ordinals ([`hash_join`]), falling back to the
+//! nested loop for non-equi predicates, mutant-forced ON rewrites, and
+//! runtime key-class mixes where hash equality cannot reproduce SQL `=`.
+//! Correlated subqueries receive the outer row scopes as a stack of
+//! [`Frame`]s; their plans and bindings are compiled once per statement
+//! and non-correlated results are memoized ([`exec_subquery`],
+//! [`crate::cache`]). CTEs are materialized once per SELECT and shared
 //! through a chained [`CteEnv`]. A fuel counter bounds total row work so
 //! that injected hang bugs (and any accidental blow-ups) surface as
 //! [`Error::Hang`] instead of wedging a campaign.
 
-use std::cell::Cell;
-use std::collections::BTreeMap;
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 
 use crate::ast::{AggFunc, Expr, JoinKind, Select, SelectItem, SetOp, SortOrder};
-use crate::bind::{Binder, BoundExpr};
+use crate::bind::{bind_join_keys, Binder, BoundExpr};
 use crate::bugs::{BugId, BugRegistry};
+use crate::cache::{get_or_build, GroupedBindings, ProjBindings, StmtCaches, SubqEntry};
 use crate::catalog::Catalog;
 use crate::coverage::{pt, Coverage};
 use crate::dialect::Dialect;
@@ -40,6 +47,18 @@ pub enum BindMode {
     PerRow,
 }
 
+/// Physical join strategy selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JoinMode {
+    /// Hash join on recognized equality keys, nested loop otherwise
+    /// (default).
+    #[default]
+    Auto,
+    /// Force the nested loop everywhere — kept for differential testing
+    /// of the hash-join path and as a benchmarking baseline.
+    NestedLoop,
+}
+
 /// Which statement kind is executing (several mutants key on this).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StmtKind {
@@ -60,7 +79,15 @@ pub struct EngineCtx<'a> {
     /// Baseline mode: re-bind clause expressions for every row (see
     /// [`BindMode::PerRow`]).
     pub rebind_per_row: bool,
+    /// Force nested-loop joins (see [`JoinMode::NestedLoop`]).
+    pub force_nested_loop: bool,
     fuel: Cell<u64>,
+    /// Per-statement plan / binding / result caches.
+    pub(crate) caches: StmtCaches,
+    /// Lowest absolute frame index any column evaluation has read since
+    /// the last [`exec_subquery`] reset — the runtime correlation
+    /// detector behind subquery result memoization.
+    pub(crate) min_frame_read: Cell<usize>,
 }
 
 impl<'a> EngineCtx<'a> {
@@ -81,7 +108,10 @@ impl<'a> EngineCtx<'a> {
             optimize,
             stmt,
             rebind_per_row: false,
+            force_nested_loop: false,
             fuel: Cell::new(fuel),
+            caches: StmtCaches::default(),
+            min_frame_read: Cell::new(usize::MAX),
         }
     }
 
@@ -94,6 +124,31 @@ impl<'a> EngineCtx<'a> {
         }
         self.fuel.set(left - n);
         Ok(())
+    }
+
+    /// May a binding built at this subquery depth enter the pointer-keyed
+    /// caches? Depth-0 operators execute exactly once per statement (only
+    /// `exec_subquery` re-enters execution, and it bumps the depth), so
+    /// caching them is pure overhead — and the PerRow baseline's plans
+    /// are not retained, so their addresses must never become keys.
+    pub(crate) fn bindings_cacheable(&self, depth: u32) -> bool {
+        depth > 0 && !self.rebind_per_row
+    }
+
+    /// Run `f` with the correlation tracker suspended. FROM-clause
+    /// internals (join keys and ON predicates, pushed filters, index
+    /// expressions, derived tables, CTE bodies) evaluate on *rootless*
+    /// frame stacks that do not contain the enclosing subquery's outer
+    /// frames — their frame indexes start at 0, so counting them would
+    /// falsely mark the subquery correlated. They also *cannot* read
+    /// outer frames (not in scope), so dropping their observations is
+    /// exact; any nested subquery inside re-arms the tracker for its own
+    /// scope before its own memoization decision.
+    pub(crate) fn untracked<T>(&self, f: impl FnOnce() -> T) -> T {
+        let prev = self.min_frame_read.replace(usize::MAX);
+        let out = f();
+        self.min_frame_read.set(prev);
+        out
     }
 
     pub fn plan_ctx(&self) -> PlanCtx<'a> {
@@ -203,6 +258,23 @@ impl<'a> CteEnv<'a> {
         out.extend(self.entries.iter().map(|(n, _)| n.clone()));
         out
     }
+
+    /// True when no CTE is visible anywhere up the chain (the common
+    /// case — lets cache verification skip name comparison entirely).
+    pub fn is_empty_chain(&self) -> bool {
+        self.entries.is_empty() && self.parent.is_none_or(|p| p.is_empty_chain())
+    }
+
+    /// Is `name` visible in this environment?
+    fn contains(&self, name: &str) -> bool {
+        self.entries.iter().any(|(n, _)| n == name) || self.parent.is_some_and(|p| p.contains(name))
+    }
+
+    /// Is every visible name contained in `names`?
+    fn names_subset_of(&self, names: &std::collections::BTreeSet<String>) -> bool {
+        self.entries.iter().all(|(n, _)| names.contains(n))
+            && self.parent.is_none_or(|p| p.names_subset_of(names))
+    }
 }
 
 /// Evaluation environment handed to the expression evaluator.
@@ -225,23 +297,47 @@ impl<'a> EvalEnv<'a> {
     }
 }
 
-/// A clause expression compiled once per operator instantiation: the AST
-/// is kept (borrowed — operator inputs outlive their row loops) for the
+/// A clause expression compiled once per *statement*: the AST is kept
+/// (borrowed — operator inputs outlive their row loops) for the
 /// shape-sensitive bug hooks, the bound form is what the per-row loop
-/// evaluates.
+/// evaluates. The bound form is shared through the per-statement binding
+/// cache, so a subquery's clause expressions are not re-bound for every
+/// outer-row re-instantiation of its operators.
 pub(crate) struct Prepared<'p> {
     ast: &'p Expr,
-    bound: BoundExpr,
+    bound: Rc<BoundExpr>,
 }
 
 impl<'p> Prepared<'p> {
-    /// Bind `expr` against the scope stack (outermost schema first).
-    pub(crate) fn new(expr: &'p Expr, scopes: &[&Schema], depth: u32) -> Result<Prepared<'p>> {
-        let mut binder = Binder::new(scopes, depth);
-        Ok(Prepared {
-            bound: binder.bind(expr)?,
-            ast: expr,
-        })
+    /// Bind `expr` against the scope stack (outermost schema first),
+    /// reusing the statement's binding cache when possible. Cache keys
+    /// are expression addresses: sound because every expression routed
+    /// through here lives for the whole statement (statement AST, catalog
+    /// index expressions, the executing plan, or a plan retained by the
+    /// subquery cache — see [`crate::cache`]), and because a given
+    /// expression site always binds against the same scope schemas within
+    /// one statement.
+    pub(crate) fn new(
+        expr: &'p Expr,
+        scopes: &[&Schema],
+        depth: u32,
+        ctx: &EngineCtx,
+    ) -> Result<Prepared<'p>> {
+        let bound = get_or_build(
+            &ctx.caches.bound,
+            ctx.bindings_cacheable(depth),
+            expr as *const Expr as usize,
+            || {
+                let mut binder = Binder::new(scopes, depth);
+                Ok(Rc::new(binder.bind(expr)?))
+            },
+        )?;
+        Ok(Prepared { bound, ast: expr })
+    }
+
+    /// Wrap an already-bound form (used by the cached projection path).
+    pub(crate) fn from_bound(ast: &'p Expr, bound: Rc<BoundExpr>) -> Prepared<'p> {
+        Prepared { ast, bound }
     }
 
     pub(crate) fn ast(&self) -> &Expr {
@@ -287,12 +383,83 @@ fn set_local_row<'a>(frames: &mut [Frame<'a>], schema: &'a Schema, row: &'a [Val
     *frames.last_mut().expect("frame stack has a local slot") = Frame { schema, row };
 }
 
-/// Execute a subquery from inside expression evaluation: plan it lazily
-/// and run it with the current scopes as outer context.
-pub fn exec_subquery(query: &Select, env: EvalEnv) -> Result<Relation> {
-    let pctx = env.ctx.plan_ctx();
-    let plan = plan::plan_select(query, &pctx, &env.ctes.names())?;
-    exec_select_plan(&plan, env.ctx, env.ctes, env.scopes, env.info.depth + 1)
+/// Execute a subquery from inside expression evaluation, with the current
+/// scopes as outer context.
+///
+/// The subquery's plan is compiled once per statement (keyed by AST
+/// identity, verified structurally — see [`crate::cache`]). Additionally,
+/// an evaluation that reads no outer column proves the subquery
+/// non-correlated, so its full result relation is memoized and every
+/// later evaluation within the statement returns the shared relation.
+/// Both caches are bypassed in the [`BindMode::PerRow`] baseline.
+pub fn exec_subquery(query: &Select, env: EvalEnv) -> Result<Rc<Relation>> {
+    let ctx = env.ctx;
+    if ctx.rebind_per_row {
+        // Baseline: plan + bind + execute from scratch on every call.
+        let pctx = ctx.plan_ctx();
+        let plan = plan::plan_select(query, &pctx, &env.ctes.names())?;
+        let rel = exec_select_plan(&plan, ctx, env.ctes, env.scopes, env.info.depth + 1)?;
+        return Ok(Rc::new(rel));
+    }
+
+    let key = query as *const Select as usize;
+    let entry = match ctx
+        .caches
+        .subq_get(key, query)
+        .filter(|e| cte_env_matches(&e.cte_names, env.ctes))
+    {
+        Some(entry) => {
+            ctx.cov.hit(pt::EXEC_SUBQ_PLAN_HIT);
+            entry
+        }
+        None => {
+            let pctx = ctx.plan_ctx();
+            let cte_names = env.ctes.names();
+            let plan = Rc::new(plan::plan_select(query, &pctx, &cte_names)?);
+            let entry = Rc::new(SubqEntry {
+                ast: query.clone(),
+                cte_names,
+                plan,
+                result: RefCell::new(None),
+            });
+            ctx.caches.subq_insert(key, Rc::clone(&entry));
+            entry
+        }
+    };
+
+    if let Some(rel) = entry.result.borrow().clone() {
+        ctx.cov.hit(pt::EXEC_SUBQ_RESULT_HIT);
+        return Ok(rel);
+    }
+
+    // Execute, observing whether any frame below this subquery's scope
+    // floor is read (column evaluation tracks the minimum frame index it
+    // touches — including reads redirected by the name-collision mutant).
+    let floor = env.scopes.len();
+    let prev_min = ctx.min_frame_read.replace(usize::MAX);
+    let out = exec_select_plan(&entry.plan, ctx, env.ctes, env.scopes, env.info.depth + 1);
+    let observed = ctx.min_frame_read.get();
+    // Propagate reads to the enclosing subquery's detector.
+    ctx.min_frame_read.set(prev_min.min(observed));
+    let rel = Rc::new(out?);
+    if observed >= floor {
+        // No outer column read: a deterministic function of table state,
+        // which cannot change within the statement — memoize.
+        *entry.result.borrow_mut() = Some(Rc::clone(&rel));
+    }
+    Ok(rel)
+}
+
+/// Does the CTE-name snapshot a cached subquery plan was compiled under
+/// still describe the current environment? Compares name *sets* (chain
+/// shadowing collapses, exactly like [`CteEnv::names`]) without
+/// allocating — this runs on every subquery evaluation, including
+/// result-memo hits of per-outer-row correlated subqueries.
+fn cte_env_matches(names: &std::collections::BTreeSet<String>, env: &CteEnv) -> bool {
+    if names.is_empty() {
+        return env.is_empty_chain();
+    }
+    env.names_subset_of(names) && names.iter().all(|n| env.contains(n))
 }
 
 /// Plan and execute a top-level SELECT; returns the result and the plan
@@ -322,7 +489,7 @@ pub fn exec_select_plan(
             entries: local.clone(),
         };
         ctx.cov.hit(pt::EXEC_CTE_EVAL);
-        let rel = exec_select_plan(cte_plan, ctx, &env, &[], depth)?;
+        let rel = ctx.untracked(|| exec_select_plan(cte_plan, ctx, &env, &[], depth))?;
         let cols = if columns.is_empty() {
             rel.columns.clone()
         } else {
@@ -456,7 +623,7 @@ fn sort_relation<'p>(
             match pre_schema {
                 Some(schema) => {
                     let scopes = bind_scopes(outer_scopes, schema);
-                    Ok(SortKey::Expr(Prepared::new(e, &scopes, depth)?))
+                    Ok(SortKey::Expr(Prepared::new(e, &scopes, depth, ctx)?))
                 }
                 None => Err(Error::Eval(format!(
                     "cannot resolve ORDER BY expression {e}"
@@ -747,7 +914,7 @@ fn exec_core(
         has_cte,
         has_full_join,
     } = match &core.from {
-        Some(f) => exec_from(f, ctx, ctes, depth)?,
+        Some(f) => ctx.untracked(|| exec_from(f, ctx, ctes, depth))?,
         None => FromResult {
             schema: Schema::default(),
             rows: vec![Vec::new()],
@@ -774,7 +941,7 @@ fn exec_core(
     // WHERE: bound once against the FROM schema plus the outer scopes.
     let mut rows = rows;
     if let Some(pred) = &core.where_clause {
-        let prepared = Prepared::new(pred, &bind_scopes(outer_scopes, &schema), depth)?;
+        let prepared = Prepared::new(pred, &bind_scopes(outer_scopes, &schema), depth, ctx)?;
         rows = apply_filter(rows, &schema, &prepared, ctx, ctes, outer_scopes, base_info)?;
     }
 
@@ -791,15 +958,19 @@ fn exec_core(
         return Ok((rel, Some(reps), Some(schema)));
     }
 
-    // Plain projection: every output expression is bound once, then the
-    // row loop is pure bound-form evaluation.
+    // Plain projection: every output expression is expanded and bound
+    // once per statement (the per-statement cache makes re-instantiation
+    // of a subquery's projection free), then the row loop is pure
+    // bound-form evaluation.
     ctx.cov.hit(pt::EXEC_PROJECT);
-    let (columns, exprs) = expand_items(core, &schema, has_full_join, ctx)?;
-    let scopes = bind_scopes(outer_scopes, &schema);
-    let prepared: Vec<Prepared> = exprs
+    let proj = projection_bindings(core, &schema, has_full_join, ctx, outer_scopes, depth)?;
+    let columns = proj.columns.clone();
+    let prepared: Vec<Prepared> = proj
+        .exprs
         .iter()
-        .map(|e| Prepared::new(e, &scopes, depth))
-        .collect::<Result<_>>()?;
+        .zip(proj.bound.iter())
+        .map(|(e, b)| Prepared::from_bound(e, Rc::clone(b)))
+        .collect();
     let mut out_rows = Vec::with_capacity(rows.len());
     {
         let mut frames = frame_stack(outer_scopes, &schema);
@@ -923,35 +1094,17 @@ fn exec_grouped(
     outer_scopes: &[Frame],
     base_info: ExprCtx,
 ) -> Result<(Relation, Vec<Row>)> {
-    // Resolve positional GROUP BY entries to projection expressions.
-    let mut group_exprs: Vec<Expr> = Vec::with_capacity(core.group_by.len());
-    for g in &core.group_by {
-        match g {
-            Expr::Literal(Value::Int(k)) => {
-                let idx = (*k - 1) as usize;
-                let item = core
-                    .items
-                    .get(idx)
-                    .ok_or_else(|| Error::Eval(format!("GROUP BY position {k} out of range")))?;
-                match item {
-                    SelectItem::Expr { expr, .. } => group_exprs.push(expr.clone()),
-                    _ => {
-                        return Err(Error::Eval(
-                            "GROUP BY position must reference an expression".into(),
-                        ))
-                    }
-                }
-            }
-            other => group_exprs.push(other.clone()),
-        }
-    }
-
-    // Bind the group keys once.
-    let scopes = bind_scopes(outer_scopes, schema);
-    let group_preds: Vec<Prepared> = group_exprs
+    // Group keys, projection, HAVING and aggregate slots are resolved and
+    // bound once per statement (cached across re-instantiations of a
+    // subquery's grouping operator).
+    let gb = grouped_bindings(core, schema, ctx, outer_scopes, base_info.depth)?;
+    let group_exprs = &gb.group_exprs;
+    let group_preds: Vec<Prepared> = gb
+        .group_exprs
         .iter()
-        .map(|g| Prepared::new(g, &scopes, base_info.depth))
-        .collect::<Result<_>>()?;
+        .zip(gb.group_bound.iter())
+        .map(|(e, b)| Prepared::from_bound(e, Rc::clone(b)))
+        .collect();
 
     // Partition rows into groups (BTreeMap keeps key order deterministic).
     let mut groups: BTreeMap<Vec<OrdValue>, Vec<usize>> = BTreeMap::new();
@@ -1025,22 +1178,10 @@ fn exec_grouped(
         group_list.pop();
     }
 
-    // Bind projection items and HAVING through one binder so every
-    // distinct aggregate expression gets a single slot; the per-group
-    // value table is indexed by those slots. (These always evaluate the
-    // bound form — slot assignment belongs to this binder, so the per-row
-    // rebinding baseline does not apply here.)
-    let (columns, proj_exprs) = expand_items_grouped(core)?;
-    let mut binder = Binder::new(&scopes, base_info.depth);
-    let bound_projs: Vec<BoundExpr> = proj_exprs
-        .iter()
-        .map(|e| binder.bind_aggregate(e))
-        .collect::<Result<_>>()?;
-    let bound_having = match &core.having {
-        Some(h) => Some(binder.bind_aggregate(h)?),
-        None => None,
-    };
-    let agg_specs = binder.into_agg_specs();
+    let columns = gb.columns.clone();
+    let bound_projs = &gb.bound_projs;
+    let bound_having = &gb.bound_having;
+    let agg_specs = &gb.agg_specs;
 
     let mut out_rows: Vec<Row> = Vec::with_capacity(group_list.len());
     let mut rep_rows: Vec<Row> = Vec::with_capacity(group_list.len());
@@ -1051,7 +1192,7 @@ fn exec_grouped(
         ctx.consume_fuel(1 + members.len() as u64)?;
         // Compute aggregates for this group, one value per slot.
         let mut aggs: AggValues = Vec::with_capacity(agg_specs.len());
-        for spec in &agg_specs {
+        for spec in agg_specs {
             let mut values = Vec::with_capacity(members.len());
             for &ri in members {
                 set_local_row(&mut frames, schema, &rows[ri]);
@@ -1100,7 +1241,7 @@ fn exec_grouped(
         let rep: &Row = members.first().map(|&i| &rows[i]).unwrap_or(&empty_row);
 
         // HAVING.
-        if let Some(h) = &bound_having {
+        if let Some(h) = bound_having {
             set_local_row(&mut frames, schema, rep);
             let env = EvalEnv {
                 ctx,
@@ -1124,7 +1265,7 @@ fn exec_grouped(
         // Projection.
         set_local_row(&mut frames, schema, rep);
         let mut out = Vec::with_capacity(bound_projs.len());
-        for e in &bound_projs {
+        for e in bound_projs {
             let env = EvalEnv {
                 ctx,
                 scopes: &frames,
@@ -1182,6 +1323,113 @@ fn expand_items_grouped(core: &CorePlan) -> Result<(Vec<String>, Vec<Expr>)> {
         ));
     }
     Ok((columns, exprs))
+}
+
+/// Expand and bind a plain projection, once per statement. Keyed by the
+/// core plan's address (stable: the executing plan lives for the whole
+/// statement, and subquery plans are retained by the statement cache).
+/// The [`BindMode::PerRow`] baseline rebuilds from scratch every call —
+/// its plans are not retained, so their addresses must not become keys.
+fn projection_bindings(
+    core: &CorePlan,
+    schema: &Schema,
+    has_full_join: bool,
+    ctx: &EngineCtx,
+    outer_scopes: &[Frame],
+    depth: u32,
+) -> Result<Rc<ProjBindings>> {
+    let key = core as *const CorePlan as usize;
+    get_or_build(&ctx.caches.proj, ctx.bindings_cacheable(depth), key, || {
+        let (columns, exprs) = expand_items(core, schema, has_full_join, ctx)?;
+        let scopes = bind_scopes(outer_scopes, schema);
+        let bound = exprs
+            .iter()
+            .map(|e| {
+                let mut binder = Binder::new(&scopes, depth);
+                Ok(Rc::new(binder.bind(e)?))
+            })
+            .collect::<Result<_>>()?;
+        Ok(Rc::new(ProjBindings {
+            columns,
+            exprs,
+            bound,
+        }))
+    })
+}
+
+/// Resolve and bind the grouped-execution state (group keys, projection,
+/// HAVING, aggregate slots), once per statement — same keying rules as
+/// [`projection_bindings`].
+fn grouped_bindings(
+    core: &CorePlan,
+    schema: &Schema,
+    ctx: &EngineCtx,
+    outer_scopes: &[Frame],
+    depth: u32,
+) -> Result<Rc<GroupedBindings>> {
+    let key = core as *const CorePlan as usize;
+    get_or_build(
+        &ctx.caches.grouped,
+        ctx.bindings_cacheable(depth),
+        key,
+        || {
+            // Resolve positional GROUP BY entries to projection expressions.
+            let mut group_exprs: Vec<Expr> = Vec::with_capacity(core.group_by.len());
+            for g in &core.group_by {
+                match g {
+                    Expr::Literal(Value::Int(k)) => {
+                        let idx = (*k - 1) as usize;
+                        let item = core.items.get(idx).ok_or_else(|| {
+                            Error::Eval(format!("GROUP BY position {k} out of range"))
+                        })?;
+                        match item {
+                            SelectItem::Expr { expr, .. } => group_exprs.push(expr.clone()),
+                            _ => {
+                                return Err(Error::Eval(
+                                    "GROUP BY position must reference an expression".into(),
+                                ))
+                            }
+                        }
+                    }
+                    other => group_exprs.push(other.clone()),
+                }
+            }
+            let scopes = bind_scopes(outer_scopes, schema);
+            // Group keys bind in non-aggregate scope (aggregates are illegal
+            // in GROUP BY), each through its own binder like any clause root.
+            let group_bound = group_exprs
+                .iter()
+                .map(|g| {
+                    let mut binder = Binder::new(&scopes, depth);
+                    Ok(Rc::new(binder.bind(g)?))
+                })
+                .collect::<Result<_>>()?;
+            // Bind projection items and HAVING through one binder so every
+            // distinct aggregate expression gets a single slot; the per-group
+            // value table is indexed by those slots. (These always evaluate
+            // the bound form — slot assignment belongs to this binder, so the
+            // per-row rebinding baseline does not apply here.)
+            let (columns, proj_exprs) = expand_items_grouped(core)?;
+            let mut binder = Binder::new(&scopes, depth);
+            let bound_projs: Vec<BoundExpr> = proj_exprs
+                .iter()
+                .map(|e| binder.bind_aggregate(e))
+                .collect::<Result<_>>()?;
+            let bound_having = match &core.having {
+                Some(h) => Some(binder.bind_aggregate(h)?),
+                None => None,
+            };
+            let agg_specs = binder.into_agg_specs();
+            Ok(Rc::new(GroupedBindings {
+                group_exprs,
+                group_bound,
+                columns,
+                bound_projs,
+                bound_having,
+                agg_specs,
+            }))
+        },
+    )
 }
 
 /// Apply a WHERE filter, including the filter-site bug hooks. The
@@ -1321,7 +1569,7 @@ fn exec_from(from: &FromPlan, ctx: &EngineCtx, ctes: &CteEnv, depth: u32) -> Res
             // Evaluate the indexed expression (bound once) per row and
             // visit rows in index order — row-identical to a seq scan,
             // different order.
-            let prepared = Prepared::new(&idx.expr, &[&schema], depth)?;
+            let prepared = Prepared::new(&idx.expr, &[&schema], depth, ctx)?;
             let mut keyed: Vec<(OrdValue, usize)> = Vec::with_capacity(t.rows.len());
             for (i, row) in t.rows.iter().enumerate() {
                 let frames = [Frame {
@@ -1465,12 +1713,24 @@ fn exec_from(from: &FromPlan, ctx: &EngineCtx, ctes: &CteEnv, depth: u32) -> Res
         FromPlan::Join {
             kind,
             on,
+            hash_keys,
+            residual,
             left,
             right,
         } => {
             let l = exec_from(left, ctx, ctes, depth)?;
             let r = exec_from(right, ctx, ctes, depth)?;
-            exec_join(*kind, on.as_ref(), l, r, ctx, ctes, depth)
+            exec_join(
+                *kind,
+                on.as_ref(),
+                hash_keys,
+                residual.as_ref(),
+                l,
+                r,
+                ctx,
+                ctes,
+                depth,
+            )
         }
         FromPlan::Filtered {
             input,
@@ -1488,7 +1748,7 @@ fn exec_from(from: &FromPlan, ctx: &EngineCtx, ctes: &CteEnv, depth: u32) -> Res
                 from_has_cte: res.has_cte,
                 depth,
             };
-            let prepared = Prepared::new(pred, &[&res.schema], depth)?;
+            let prepared = Prepared::new(pred, &[&res.schema], depth, ctx)?;
             res.rows = apply_filter(res.rows, &res.schema, &prepared, ctx, ctes, &[], info)?;
             Ok(res)
         }
@@ -1504,9 +1764,12 @@ fn is_inequality(e: &Expr) -> bool {
     )
 }
 
+#[allow(clippy::too_many_arguments)]
 fn exec_join(
     kind: JoinKind,
     on: Option<&Expr>,
+    hash_keys: &[(Expr, Expr)],
+    residual: Option<&Expr>,
     left: FromResult,
     right: FromResult,
     ctx: &EngineCtx,
@@ -1605,10 +1868,30 @@ fn exec_join(
         depth,
     };
 
+    // Hash path: the planner recognized equality keys. Falls through to
+    // the nested loop when the mutant above forces the ON true (the
+    // nested loop implements that), when nested loops are forced for
+    // differential testing / the per-row baseline, or when the key
+    // values' storage classes break hash-key transitivity at runtime.
+    if !hash_keys.is_empty() && !on_forced_true && !ctx.force_nested_loop && !ctx.rebind_per_row {
+        if let Some(rows) = hash_join(
+            kind, hash_keys, residual, &left, &right, &schema, ctx, ctes, depth, info,
+        )? {
+            return Ok(FromResult {
+                schema,
+                rows,
+                via_index: left.via_index || right.via_index,
+                has_cte: left.has_cte || right.has_cte,
+                has_full_join: kind == JoinKind::Full || left.has_full_join || right.has_full_join,
+            });
+        }
+        ctx.cov.hit(pt::EXEC_HASH_JOIN_FALLBACK);
+    }
+
     // Bind the ON predicate once against the combined schema; the probe
     // loop below evaluates the bound form per row pair.
     let on_prepared = match on {
-        Some(pred) => Some(Prepared::new(pred, &[&schema], depth)?),
+        Some(pred) => Some(Prepared::new(pred, &[&schema], depth, ctx)?),
         None => None,
     };
 
@@ -1677,4 +1960,289 @@ fn exec_join(
         has_cte: left.has_cte || right.has_cte,
         has_full_join: kind == JoinKind::Full || left.has_full_join || right.has_full_join,
     })
+}
+
+// ---------------------------------------------------------------------------
+// Hash join
+// ---------------------------------------------------------------------------
+
+/// The largest magnitude at which every i64 is exactly representable as
+/// f64 (2^53). Above it, SQL's int↔real comparison — which goes through
+/// f64 — stops being transitive, so hash keying is unsound and the join
+/// falls back to the nested loop.
+const MAX_EXACT_INT: u64 = 1 << 53;
+
+/// A join-key value normalized so that `JoinKey` equality coincides with
+/// SQL `=` (when [`KeyClassStats::hashable`] holds for the key column).
+/// NULL has no key: a NULL never equals anything, so NULL-keyed rows skip
+/// the table entirely (and surface only as outer-join padding).
+#[derive(PartialEq, Eq, Hash)]
+enum JoinKey {
+    Int(i64),
+    Real(u64),
+    Text(String),
+    Bool(bool),
+}
+
+fn join_key(v: &Value) -> Option<JoinKey> {
+    match v {
+        Value::Null => None,
+        Value::Int(i) => Some(JoinKey::Int(*i)),
+        Value::Bool(b) => Some(JoinKey::Bool(*b)),
+        Value::Text(s) => Some(JoinKey::Text(s.clone())),
+        Value::Real(r) => {
+            // An integral real keys with the ints it compares equal to.
+            // The bit-exact round trip keeps -0.0 (not SQL-equal to
+            // integer 0 under `total_cmp`) and out-of-range reals (not
+            // equal to the saturated int) on distinct keys.
+            let i = *r as i64;
+            if (i as f64).to_bits() == r.to_bits() {
+                Some(JoinKey::Int(i))
+            } else {
+                Some(JoinKey::Real(r.to_bits()))
+            }
+        }
+    }
+}
+
+/// Storage classes observed across both sides of one key column. The
+/// hash table is usable only when per-pair comparison is guaranteed to
+/// agree with key equality in every dialect: text mixed with any other
+/// class coerces pairwise (MySQL-family) or errors (strict dialects), and
+/// reals mixed with over-2^53 ints compare with f64 rounding — all
+/// non-transitive, all delegated to the nested loop.
+#[derive(Default)]
+struct KeyClassStats {
+    text: bool,
+    boolean: bool,
+    int: bool,
+    real: bool,
+    big_int: bool,
+    null: bool,
+}
+
+impl KeyClassStats {
+    fn note(&mut self, v: &Value) {
+        match v {
+            Value::Null => self.null = true,
+            Value::Int(i) => {
+                self.int = true;
+                if i.unsigned_abs() > MAX_EXACT_INT {
+                    self.big_int = true;
+                }
+            }
+            Value::Real(_) => self.real = true,
+            Value::Text(_) => self.text = true,
+            Value::Bool(_) => self.boolean = true,
+        }
+    }
+
+    fn hashable(&self) -> bool {
+        if self.text && (self.int || self.real || self.boolean) {
+            return false;
+        }
+        !(self.real && self.big_int)
+    }
+}
+
+/// Build/probe hash join over the bound key ordinals: build a `Value`-keyed
+/// table on the right input, probe it with the left input, and evaluate
+/// the residual ON conjuncts per key-matching candidate. Emits rows in
+/// the exact order of the nested loop (left-major, right index ascending)
+/// so the two strategies are row-for-row interchangeable. Returns
+/// `Ok(None)` when runtime key classes force the nested-loop fallback.
+#[allow(clippy::too_many_arguments)]
+fn hash_join(
+    kind: JoinKind,
+    hash_keys: &[(Expr, Expr)],
+    residual: Option<&Expr>,
+    left: &FromResult,
+    right: &FromResult,
+    schema: &Schema,
+    ctx: &EngineCtx,
+    ctes: &CteEnv,
+    depth: u32,
+    info: ExprCtx,
+) -> Result<Option<Vec<Row>>> {
+    let lw = left.schema.cols.len();
+    let rw = right.schema.cols.len();
+    let nkeys = hash_keys.len();
+    // Key bindings are per-statement state: a join inside a correlated
+    // subquery re-executes per outer row, but its keys bind once. The
+    // `hash_keys` buffer lives in the (retained) plan, so its address is
+    // a sound cache key under the same rules as `Prepared::new`.
+    let bound_keys = get_or_build(
+        &ctx.caches.join_keys,
+        ctx.bindings_cacheable(depth),
+        hash_keys.as_ptr() as usize,
+        || {
+            Ok(Rc::new(bind_join_keys(
+                hash_keys,
+                &left.schema,
+                &right.schema,
+                depth,
+            )?))
+        },
+    )?;
+    let (lbound, rbound) = (&bound_keys.0, &bound_keys.1);
+
+    // Key expressions evaluate once per row (not per pair), in the same
+    // context the nested loop hands to ON sub-expressions.
+    let key_info = info.child();
+
+    // A key-expression evaluation error aborts the hash strategy and
+    // delegates to the nested loop, which reproduces the nested-loop
+    // error semantics exactly: per probed pair, in left-major order —
+    // and *no* error at all when the opposite side is empty.
+    let mut stats: Vec<KeyClassStats> = (0..nkeys).map(|_| KeyClassStats::default()).collect();
+    let eval_keys = |rows: &[Row],
+                     side_schema: &Schema,
+                     bound: &[BoundExpr],
+                     stats: &mut [KeyClassStats]|
+     -> Option<Vec<Vec<Value>>> {
+        let mut out = Vec::with_capacity(rows.len());
+        let mut frames = frame_stack(&[], side_schema);
+        for row in rows {
+            set_local_row(&mut frames, side_schema, row);
+            let mut keys = Vec::with_capacity(bound.len());
+            for (k, b) in bound.iter().enumerate() {
+                let env = EvalEnv {
+                    ctx,
+                    scopes: &frames,
+                    aggs: None,
+                    ctes,
+                    info: key_info,
+                };
+                match eval_bound(b, env) {
+                    Ok(v) => {
+                        stats[k].note(&v);
+                        keys.push(v);
+                    }
+                    Err(_) => return None,
+                }
+            }
+            out.push(keys);
+        }
+        Some(out)
+    };
+    let Some(rvals) = eval_keys(&right.rows, &right.schema, rbound, &mut stats) else {
+        return Ok(None);
+    };
+    let Some(lvals) = eval_keys(&left.rows, &left.schema, lbound, &mut stats) else {
+        return Ok(None);
+    };
+    if stats.iter().any(|s| !s.hashable()) {
+        return Ok(None);
+    }
+    // Skip-exactness (see `recognize_hash_join`): a NULL key does not
+    // short-circuit the ON conjunction, so with a residual present the
+    // nested loop would still evaluate it on NULL-keyed pairs — pairs the
+    // hash join never visits. Delegate those joins to the nested loop.
+    if residual.is_some() && stats.iter().any(|s| s.null) {
+        return Ok(None);
+    }
+
+    // Fuel is charged only once the hash path commits — a fallback must
+    // not leave JoinMode::Auto with less fuel than the nested loop alone
+    // would have.
+    ctx.consume_fuel((left.rows.len() + right.rows.len()) as u64)?;
+
+    // Build on the right side; duplicate keys chain in row order.
+    ctx.cov.hit(pt::EXEC_HASH_JOIN_BUILD);
+    let mut table: HashMap<Vec<JoinKey>, Vec<usize>> = HashMap::with_capacity(right.rows.len());
+    let mut saw_null_key = false;
+    'build: for (ri, keys) in rvals.iter().enumerate() {
+        let mut norm = Vec::with_capacity(nkeys);
+        for v in keys {
+            match join_key(v) {
+                Some(k) => norm.push(k),
+                None => {
+                    saw_null_key = true;
+                    continue 'build;
+                }
+            }
+        }
+        table.entry(norm).or_default().push(ri);
+    }
+
+    // Residual ON conjuncts, bound once against the combined schema.
+    // Fragments of the original conjunction are never the clause root.
+    let residual_prepared = match residual {
+        Some(pred) => Some(Prepared::new(pred, &[schema], depth, ctx)?),
+        None => None,
+    };
+    let residual_info = info.child();
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut right_matched = vec![false; right.rows.len()];
+    for (li, lrow) in left.rows.iter().enumerate() {
+        let mut matched = false;
+        let mut norm = Vec::with_capacity(nkeys);
+        let mut has_null = false;
+        for v in &lvals[li] {
+            match join_key(v) {
+                Some(k) => norm.push(k),
+                None => {
+                    has_null = true;
+                    break;
+                }
+            }
+        }
+        if has_null {
+            saw_null_key = true;
+        } else if let Some(candidates) = table.get(&norm) {
+            for &ri in candidates {
+                ctx.consume_fuel(1)?;
+                let mut combined = lrow.clone();
+                combined.extend(right.rows[ri].iter().cloned());
+                let keep = match &residual_prepared {
+                    None => true,
+                    Some(pred) => {
+                        let frames = [Frame {
+                            schema,
+                            row: &combined,
+                        }];
+                        let env = EvalEnv {
+                            ctx,
+                            scopes: &frames,
+                            aggs: None,
+                            ctes,
+                            info: residual_info,
+                        };
+                        let v = pred.eval(env)?;
+                        truthiness(&v, ctx)? == Some(true)
+                    }
+                };
+                if keep {
+                    ctx.cov.hit(pt::EXEC_JOIN_PROBE_MATCH);
+                    matched = true;
+                    right_matched[ri] = true;
+                    rows.push(combined);
+                }
+            }
+        }
+        if !matched {
+            ctx.cov.hit(pt::EXEC_JOIN_PROBE_MISS);
+            if matches!(kind, JoinKind::Left | JoinKind::Full) {
+                ctx.cov.hit(pt::EXEC_JOIN_PAD_LEFT);
+                let mut padded = lrow.clone();
+                padded.extend(std::iter::repeat_with(|| Value::Null).take(rw));
+                rows.push(padded);
+            }
+        }
+    }
+    if saw_null_key {
+        ctx.cov.hit(pt::EXEC_HASH_JOIN_NULL_KEY);
+    }
+    if matches!(kind, JoinKind::Right | JoinKind::Full) {
+        for (ri, rrow) in right.rows.iter().enumerate() {
+            if !right_matched[ri] {
+                ctx.cov.hit(pt::EXEC_JOIN_PAD_RIGHT);
+                let mut padded: Row = std::iter::repeat_with(|| Value::Null).take(lw).collect();
+                padded.extend(rrow.iter().cloned());
+                rows.push(padded);
+            }
+        }
+    }
+    Ok(Some(rows))
 }

@@ -1,3 +1,6 @@
+// The coverage-point registry macro recurses once per registered point.
+#![recursion_limit = "512"]
+
 //! # CoddDB — the device-under-test substrate for the CODDTest reproduction
 //!
 //! An in-memory relational SQL engine built from scratch:
@@ -6,11 +9,15 @@
 //! * a full AST with renderer and recursive-descent parser ([`ast`],
 //!   [`parser`]),
 //! * a catalog with tables, views and expression indexes ([`catalog`]),
-//! * a planner with constant folding, predicate pushdown and index
-//!   selection, producing fingerprintable physical plans ([`plan`]),
+//! * a planner with constant folding, predicate pushdown, index
+//!   selection and equi-join key recognition, producing fingerprintable
+//!   physical plans ([`plan`]),
 //! * a binding pass resolving names to ordinals once per query ([`bind`]),
-//! * an executor covering joins, grouping, subqueries (correlated and
-//!   non-correlated), CTEs, set operations and DML ([`exec`], [`eval`]),
+//! * an executor covering joins (build/probe hash joins on bound key
+//!   ordinals, with a nested-loop fallback), grouping, subqueries
+//!   (correlated and non-correlated, behind a per-statement
+//!   plan/bind/result cache), CTEs, set operations and DML
+//!   ([`exec`], [`eval`]),
 //! * five dialect profiles emulating the paper's target systems
 //!   ([`dialect`]),
 //! * 45 injectable bug mutants mirroring the paper's Table 1 ([`bugs`]),
@@ -39,18 +46,29 @@
 //!    matching real engines, where name resolution is static.
 //! 3. **exec** ([`exec`]): row loops evaluate bound expressions via
 //!    [`eval::eval_bound`] against a reused frame stack — zero heap
-//!    allocation per row for name resolution. Subqueries are the one
-//!    deliberate exception: they are planned and bound lazily at
-//!    evaluation time (with the outer scopes in place), exactly as the
-//!    planner treats them.
+//!    allocation per row for name resolution. Joins with recognized
+//!    equality keys run as build/probe hash joins over the bound key
+//!    ordinals (SQL NULL-key semantics; duplicates chain; the nested
+//!    loop remains for non-equi predicates, runtime mixed-class keys,
+//!    and differential testing via [`Database::set_join_mode`]).
+//!    Subqueries are planned and bound lazily at evaluation time (with
+//!    the outer scopes in place) — but only **once per statement**: a
+//!    per-statement cache keyed by subquery AST identity reuses the
+//!    compiled plan and bindings across evaluations, and memoizes the
+//!    full result relation for subqueries that provably read no outer
+//!    column. All caches die at the statement boundary, so DML can
+//!    never leak stale results.
 //!
 //! [`exec::BindMode::PerRow`] (via [`Database::set_bind_mode`]) re-binds
 //! every row instead — the tree-walking baseline kept for benchmarking
-//! the bind-once speedup on otherwise identical machinery.
+//! the bind-once speedup on otherwise identical machinery. It bypasses
+//! the per-statement caches and the hash join, so it also preserves the
+//! pre-cache execution profile as a comparison point.
 
 pub mod ast;
 pub mod bind;
 pub mod bugs;
+mod cache;
 pub mod catalog;
 pub mod coverage;
 pub mod dialect;
@@ -67,5 +85,5 @@ pub use bugs::{BugId, BugKind, BugRegistry};
 pub use database::{Database, ExecOutcome};
 pub use dialect::Dialect;
 pub use error::{Error, Result, Severity};
-pub use exec::BindMode;
+pub use exec::{BindMode, JoinMode};
 pub use value::{DataType, Relation, Row, Value};

@@ -69,10 +69,23 @@ pub enum FromPlan {
     },
     /// Reference to a materialized CTE.
     CteScan { name: String, alias: String },
-    /// Nested-loop join.
+    /// Join of two FROM subtrees. The executor picks the physical
+    /// strategy: when `hash_keys` is non-empty it builds a hash table on
+    /// the bound key ordinals (build side = right input) and probes it
+    /// with the left input; otherwise — and whenever the key values mix
+    /// storage classes in a way that breaks hash-key transitivity — it
+    /// runs the classic nested loop over `on`.
     Join {
         kind: JoinKind,
         on: Option<Expr>,
+        /// Equi-join key pairs recognized from the ON conjunction: each
+        /// `(left, right)` expression reads only its own input side.
+        /// Non-empty keys select the hash-join strategy in the executor.
+        hash_keys: Vec<(Expr, Expr)>,
+        /// ON conjuncts not covered by `hash_keys`, evaluated per
+        /// key-matching candidate pair. Always `None` when `hash_keys`
+        /// is empty (the executor then evaluates `on` itself).
+        residual: Option<Expr>,
         left: Box<FromPlan>,
         right: Box<FromPlan>,
     },
@@ -412,11 +425,23 @@ fn plan_table_expr(te: &TableExpr, pctx: &PlanCtx, ctes: &BTreeSet<String>) -> R
                 JoinKind::Full => pt::PLAN_JOIN_FULL,
                 JoinKind::Cross => pt::PLAN_JOIN_CROSS,
             });
+            let left = Box::new(plan_table_expr(left, pctx, ctes)?);
+            let right = Box::new(plan_table_expr(right, pctx, ctes)?);
+            // Equi-key recognition runs with and without the optimizer:
+            // the hash join is an execution strategy with semantics
+            // identical to the nested loop, so NoREC's unoptimized
+            // reference execution must take the same path.
+            let (hash_keys, residual) = match on {
+                Some(pred) => recognize_hash_join(pred, &left, &right, pctx),
+                None => (Vec::new(), None),
+            };
             Ok(FromPlan::Join {
                 kind: *kind,
                 on: on.clone(),
-                left: Box::new(plan_table_expr(left, pctx, ctes)?),
-                right: Box::new(plan_table_expr(right, pctx, ctes)?),
+                hash_keys,
+                residual,
+                left,
+                right,
             })
         }
     }
@@ -600,6 +625,76 @@ fn map_children(expr: Expr, f: &mut impl FnMut(Expr) -> Result<Expr>) -> Result<
 }
 
 // ---------------------------------------------------------------------------
+// Equi-join recognition
+// ---------------------------------------------------------------------------
+
+/// Split an ON predicate into hash-join key pairs plus a residual.
+///
+/// A conjunct `l = r` becomes a key pair when one side reads only the
+/// left input's aliases and the other only the right input's (sides are
+/// swapped into `(left, right)` order; equality is symmetric). Constant
+/// sides qualify too — they hash to a single bucket, which is still
+/// correct. Conjuncts with subqueries, aggregates or bare column
+/// references stay in the residual, evaluated per key-matching pair.
+///
+/// Skip-exactness: the hash join never evaluates the residual on pairs
+/// whose keys mismatch, so it must be provable that the nested loop
+/// would not have evaluated it (and hence surfaced its errors or
+/// subquery side effects) either. AND short-circuits only on FALSE, in
+/// conjunct order — therefore key recognition stops at the first
+/// residual conjunct (keys form a prefix: a false key short-circuits
+/// everything after it), residuals containing subqueries veto the
+/// rewrite entirely, and the executor falls back at runtime when a
+/// residual coexists with NULL key values (a NULL key does not
+/// short-circuit, so the nested loop would still reach the residual).
+fn recognize_hash_join(
+    on: &Expr,
+    left: &FromPlan,
+    right: &FromPlan,
+    pctx: &PlanCtx,
+) -> (Vec<(Expr, Expr)>, Option<Expr>) {
+    let mut left_aliases = BTreeSet::new();
+    let mut right_aliases = BTreeSet::new();
+    collect_aliases(left, &mut left_aliases);
+    collect_aliases(right, &mut right_aliases);
+    // An alias visible on both sides makes side attribution ambiguous
+    // (the nested loop's combined-schema binding would reject such a
+    // reference; per-side binding would silently pick one) — bail out.
+    if !left_aliases.is_disjoint(&right_aliases) {
+        return (Vec::new(), None);
+    }
+
+    let mut keys = Vec::new();
+    let mut rest = Vec::new();
+    for conj in split_conjuncts(on) {
+        // Keys must form a prefix of the conjunction (see doc comment).
+        if rest.is_empty() {
+            if let Expr::Binary {
+                op: BinaryOp::Eq,
+                left: l,
+                right: r,
+            } = &conj
+            {
+                if refers_only_to(l, &left_aliases) && refers_only_to(r, &right_aliases) {
+                    keys.push((l.as_ref().clone(), r.as_ref().clone()));
+                    continue;
+                }
+                if refers_only_to(l, &right_aliases) && refers_only_to(r, &left_aliases) {
+                    keys.push((r.as_ref().clone(), l.as_ref().clone()));
+                    continue;
+                }
+            }
+        }
+        rest.push(conj);
+    }
+    if keys.is_empty() || rest.iter().any(|e| e.contains_subquery()) {
+        return (Vec::new(), None);
+    }
+    pctx.cov.hit(pt::PLAN_HASH_JOIN);
+    (keys, conjoin(rest))
+}
+
+// ---------------------------------------------------------------------------
 // Predicate pushdown
 // ---------------------------------------------------------------------------
 
@@ -663,6 +758,8 @@ fn push_down(from: FromPlan, where_clause: Expr, pctx: &PlanCtx) -> (FromPlan, O
     let FromPlan::Join {
         kind,
         on,
+        hash_keys,
+        residual,
         left,
         right,
     } = from
@@ -677,7 +774,7 @@ fn push_down(from: FromPlan, where_clause: Expr, pctx: &PlanCtx) -> (FromPlan, O
 
     let mut left_preds = Vec::new();
     let mut right_preds = Vec::new();
-    let mut residual = Vec::new();
+    let mut residual_preds = Vec::new();
 
     let push_left_legal = matches!(kind, JoinKind::Inner | JoinKind::Cross);
     let conjuncts = split_conjuncts(&where_clause);
@@ -703,7 +800,7 @@ fn push_down(from: FromPlan, where_clause: Expr, pctx: &PlanCtx) -> (FromPlan, O
             {
                 pctx.cov.hit(pt::PLAN_PUSHDOWN_BLOCKED_OUTER);
             }
-            residual.push(conj);
+            residual_preds.push(conj);
         }
     }
 
@@ -727,10 +824,12 @@ fn push_down(from: FromPlan, where_clause: Expr, pctx: &PlanCtx) -> (FromPlan, O
         FromPlan::Join {
             kind,
             on,
+            hash_keys,
+            residual,
             left,
             right,
         },
-        conjoin(residual),
+        conjoin(residual_preds),
     )
 }
 
@@ -993,12 +1092,19 @@ fn explain_from(from: &FromPlan, indent: usize, out: &mut String) {
         FromPlan::Join {
             kind,
             on,
+            hash_keys,
             left,
             right,
+            ..
         } => {
             pad(indent, out);
+            let strategy = if hash_keys.is_empty() {
+                "NESTED LOOP".to_string()
+            } else {
+                format!("HASH ({} key(s))", hash_keys.len())
+            };
             out.push_str(&format!(
-                "NESTED LOOP {}{}\n",
+                "{strategy} {}{}\n",
                 kind.sql_name(),
                 on.as_ref().map(|o| format!(" ON {o}")).unwrap_or_default()
             ));
@@ -1144,6 +1250,7 @@ fn hash_from(from: &FromPlan, h: &mut impl Hasher) {
             on,
             left,
             right,
+            ..
         } => {
             0xC5u8.hash(h);
             (*kind as u8).hash(h);

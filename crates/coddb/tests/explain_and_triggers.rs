@@ -36,11 +36,16 @@ fn explain_shows_joins_subplans_and_ctes() {
     let joined = db
         .explain_sql("SELECT COUNT(*) FROM a LEFT JOIN b ON a.x = b.y GROUP BY a.x")
         .unwrap();
-    assert!(joined.contains("NESTED LOOP LEFT JOIN"), "{joined}");
+    assert!(joined.contains("HASH (1 key(s)) LEFT JOIN"), "{joined}");
     assert!(
         joined.contains("AGGREGATE (group by 1 expr(s))"),
         "{joined}"
     );
+    // Non-equi ON predicates keep the nested loop.
+    let nested = db
+        .explain_sql("SELECT COUNT(*) FROM a INNER JOIN b ON a.x < b.y")
+        .unwrap();
+    assert!(nested.contains("NESTED LOOP INNER JOIN"), "{nested}");
     let view = db.explain_sql("SELECT * FROM w").unwrap();
     assert!(view.contains("VIEW w"), "{view}");
     let cte = db

@@ -1,0 +1,156 @@
+//! The per-statement subquery plan/bind/result cache: correlated
+//! subqueries must re-evaluate per outer row (plan reused, result not),
+//! non-correlated results are memoized within a statement but never
+//! survive a statement boundary or DML, and the caches must not swallow
+//! the context-sensitive mutants (notably the name-collision binding
+//! redirect, which turns a seemingly non-correlated subquery correlated).
+
+use coddb::bugs::BugRegistry;
+use coddb::{BindMode, BugId, Database, Dialect};
+
+fn setup() -> Database {
+    let mut db = Database::new(Dialect::Sqlite);
+    db.execute_sql(
+        "CREATE TABLE outer_t (a INT);
+         CREATE TABLE inner_t (b INT);
+         INSERT INTO outer_t VALUES (1), (2), (3), (4);
+         INSERT INTO inner_t VALUES (10), (20), (30)",
+    )
+    .unwrap();
+    db
+}
+
+#[test]
+fn noncorrelated_subquery_memoizes_within_a_statement() {
+    let mut db = setup();
+    let rel = db
+        .query_sql("SELECT a FROM outer_t WHERE a * 10 <= (SELECT MAX(b) FROM inner_t)")
+        .unwrap();
+    assert_eq!(rel.rows.len(), 3, "{rel:?}");
+    let hits = db.coverage().hit_points();
+    assert!(
+        hits.contains(&"exec::subq_result_memo_hit"),
+        "4 outer rows must share one subquery evaluation: {hits:?}"
+    );
+    assert!(hits.contains(&"exec::subq_plan_cache_hit"), "{hits:?}");
+}
+
+#[test]
+fn correlated_subquery_reevaluates_per_outer_row() {
+    let mut db = setup();
+    // The subquery's value depends on the outer row; memoizing it would
+    // collapse every row to the first row's answer.
+    let rel = db
+        .query_sql(
+            "SELECT a, (SELECT COUNT(*) FROM inner_t WHERE b > a * 10) FROM outer_t ORDER BY a",
+        )
+        .unwrap();
+    let counts: Vec<i64> = rel.rows.iter().map(|r| r[1].as_i64().unwrap()).collect();
+    assert_eq!(counts, vec![2, 1, 0, 0], "{rel:?}");
+    assert!(
+        !db.coverage()
+            .hit_points()
+            .contains(&"exec::subq_result_memo_hit"),
+        "a correlated subquery must never hit the result memo"
+    );
+    // The *plan* is still reused across outer rows.
+    assert!(db
+        .coverage()
+        .hit_points()
+        .contains(&"exec::subq_plan_cache_hit"));
+}
+
+#[test]
+fn memoized_results_do_not_survive_dml() {
+    let mut db = setup();
+    let q = "SELECT COUNT(*) FROM outer_t WHERE a * 10 <= (SELECT MAX(b) FROM inner_t)";
+    assert_eq!(db.query_sql(q).unwrap().scalar().unwrap().as_i64(), Some(3));
+    // DML between statements changes the subquery's source table; the
+    // next statement must see fresh data (caches are per-statement).
+    db.execute_sql("DELETE FROM inner_t WHERE b > 15").unwrap();
+    assert_eq!(db.query_sql(q).unwrap().scalar().unwrap().as_i64(), Some(1));
+    db.execute_sql("INSERT INTO inner_t VALUES (40)").unwrap();
+    assert_eq!(db.query_sql(q).unwrap().scalar().unwrap().as_i64(), Some(4));
+}
+
+#[test]
+fn conditionally_correlated_subquery_is_not_memoized() {
+    // The outer reference hides behind a short-circuiting AND: the first
+    // inner rows never touch it, but full evaluation does — the runtime
+    // detector must still see the read and keep per-row evaluation.
+    let mut db = setup();
+    let rel = db
+        .query_sql(
+            "SELECT a, (SELECT COUNT(*) FROM inner_t WHERE b >= 10 AND b > a * 10)
+             FROM outer_t ORDER BY a",
+        )
+        .unwrap();
+    let counts: Vec<i64> = rel.rows.iter().map(|r| r[1].as_i64().unwrap()).collect();
+    assert_eq!(counts, vec![2, 1, 0, 0], "{rel:?}");
+}
+
+#[test]
+fn name_collision_mutant_still_fires_through_the_cache() {
+    // Under TidbCorrelatedNameCollision a bare column that shadows an
+    // outer name is bound to the outer row — turning a non-correlated
+    // subquery correlated at runtime. The tracker follows the redirected
+    // read, so the mutant's per-row effect must not be memoized away.
+    let setup = "CREATE TABLE t0 (c0 INT); CREATE TABLE t1 (c0 INT);
+         INSERT INTO t0 VALUES (100), (200);
+         INSERT INTO t1 VALUES (7)";
+    let sql = "SELECT (SELECT MAX(c0) FROM t1) FROM t0 ORDER BY 1";
+    let bug = BugId::TidbCorrelatedNameCollision;
+
+    let mut clean = Database::new(bug.dialect());
+    clean.execute_sql(setup).unwrap();
+    let c = clean.query_sql(sql).unwrap();
+    assert_eq!(
+        c.rows.iter().map(|r| r[0].as_i64()).collect::<Vec<_>>(),
+        vec![Some(7), Some(7)]
+    );
+
+    let mut buggy = Database::with_bugs(bug.dialect(), BugRegistry::only(bug));
+    buggy.execute_sql(setup).unwrap();
+    let b = buggy.query_sql(sql).unwrap();
+    assert_eq!(
+        b.rows.iter().map(|r| r[0].as_i64()).collect::<Vec<_>>(),
+        vec![Some(100), Some(200)],
+        "the mutant must read each outer row, not a memoized first answer"
+    );
+}
+
+#[test]
+fn per_row_baseline_bypasses_every_cache() {
+    let mut db = setup();
+    db.set_bind_mode(BindMode::PerRow);
+    let rel = db
+        .query_sql("SELECT COUNT(*) FROM outer_t WHERE a * 10 <= (SELECT MAX(b) FROM inner_t)")
+        .unwrap();
+    assert_eq!(rel.scalar().unwrap().as_i64(), Some(3));
+    let hits = db.coverage().hit_points();
+    assert!(
+        !hits.contains(&"exec::subq_result_memo_hit"),
+        "the per-row rebinding baseline must not use the caches: {hits:?}"
+    );
+    assert!(!hits.contains(&"exec::subq_plan_cache_hit"), "{hits:?}");
+}
+
+#[test]
+fn memoized_and_unmemoized_results_agree() {
+    // Differential: the same statement with caches (PerQuery) and without
+    // (PerRow baseline) must agree on a cache-heavy workload.
+    let queries = [
+        "SELECT a FROM outer_t WHERE a IN (SELECT b / 10 FROM inner_t) ORDER BY a",
+        "SELECT a, (SELECT COUNT(*) FROM inner_t) FROM outer_t ORDER BY a",
+        "SELECT a FROM outer_t WHERE EXISTS (SELECT 1 FROM inner_t WHERE b = a * 10) ORDER BY a",
+        "SELECT a FROM outer_t WHERE a < (SELECT AVG(b) FROM inner_t WHERE b >= a) ORDER BY a",
+    ];
+    for sql in queries {
+        let mut cached = setup();
+        let mut baseline = setup();
+        baseline.set_bind_mode(BindMode::PerRow);
+        let c = cached.query_sql(sql).unwrap();
+        let b = baseline.query_sql(sql).unwrap();
+        assert_eq!(c.rows, b.rows, "cache changed semantics of {sql}");
+    }
+}

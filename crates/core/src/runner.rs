@@ -153,7 +153,8 @@ pub fn run_campaign(oracle: &mut dyn Oracle, cfg: &CampaignConfig) -> CampaignRe
     let coverage = coddb::coverage::Coverage::new();
 
     let mut state_idx = 0u64;
-    'outer: while result.tests_run < cfg.tests {
+    let mut stop = false;
+    while !stop && result.tests_run < cfg.tests {
         // Fresh state.
         let mut srng = StdRng::seed_from_u64(state_seed(cfg.seed, state_idx));
         let (stmts, schema) = generate_state(&mut srng, cfg.dialect, &cfg.gen);
@@ -181,15 +182,16 @@ pub fn run_campaign(oracle: &mut dyn Oracle, cfg: &CampaignConfig) -> CampaignRe
                         attributed: Vec::new(),
                     });
                     if cfg.stop_on_first_bug {
-                        result.successful_queries += session.ok_queries;
-                        result.unsuccessful_queries += session.err_queries;
-                        plans.extend(session.plans.iter().copied());
-                        coverage.merge(db.coverage());
-                        break 'outer;
+                        stop = true;
+                        break;
                     }
                 }
             }
         }
+        // Single per-state accumulation point: each state's database owns
+        // its own coverage bitset, folded in via `Coverage::merge` — the
+        // same shape a parallel runner will use to combine per-thread
+        // accumulators.
         result.successful_queries += session.ok_queries;
         result.unsuccessful_queries += session.err_queries;
         plans.extend(session.plans.iter().copied());

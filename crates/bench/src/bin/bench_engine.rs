@@ -12,8 +12,8 @@
 use std::time::{Duration, Instant};
 
 use coddb::ast::Select;
-use coddb::{BindMode, Database, JoinMode};
-use coddtest_bench::{engine_setup as setup, is_join_shape, QUERY_SHAPES};
+use coddb::{BindMode, Database, JoinMode, ScanMode};
+use coddtest_bench::{engine_setup as setup, is_join_shape, is_scan_shape, QUERY_SHAPES};
 
 struct Windows {
     warmup: Duration,
@@ -91,6 +91,22 @@ fn main() {
         let speedup = walk_ns / bound_ns;
         let mut extra = String::new();
         let mut extra_log = String::new();
+        if is_scan_shape(name) {
+            // The cloning-scan baseline isolates the zero-copy pipeline's
+            // contribution: same bind-once machinery, rows deep-cloned and
+            // FROM results rematerialized per instantiation.
+            let mut cloning_db = setup();
+            cloning_db.set_bind_mode(BindMode::PerQuery);
+            cloning_db.set_scan_mode(ScanMode::Cloning);
+            let cloning_ns = measure(&mut cloning_db, &q, &windows);
+            let scan_speedup = cloning_ns / bound_ns;
+            extra = format!(
+                ",\n      \"cloning_scan_ns_per_iter\": {cloning_ns:.0},\n      \"shared_vs_cloning_speedup\": {scan_speedup:.2}"
+            );
+            extra_log = format!(
+                "   cloning {cloning_ns:>12.0} ns/iter   shared speedup {scan_speedup:>5.2}x"
+            );
+        }
         if is_join_shape(name) {
             // The bound nested loop isolates the hash join's contribution
             // from the bind-once speedup.

@@ -48,6 +48,18 @@ pub const QUERY_SHAPES: &[(&str, &str)] = &[
         "join_large",
         "SELECT COUNT(*) FROM t2 INNER JOIN t3 ON t2.c0 = t3.c0",
     ),
+    // Wide rows: before shared rows, every scanned row deep-cloned 10
+    // values (two of them TEXT) into the pipeline per query.
+    (
+        "seq_filter_wide",
+        "SELECT COUNT(*) FROM t4 WHERE c0 % 3 = 1 AND c9 > 10.0",
+    ),
+    // Few distinct outer keys: the keyed subquery memo executes the
+    // correlated subquery once per key (6), not once per outer row (240).
+    (
+        "subquery_correlated_lowcard",
+        "SELECT COUNT(*) FROM t5 WHERE t5.v < (SELECT AVG(t0.c0) FROM t0 WHERE t0.c0 % 6 = t5.grp)",
+    ),
 ];
 
 /// Shapes whose dominant operator is a join — `bench_engine` additionally
@@ -55,6 +67,16 @@ pub const QUERY_SHAPES: &[(&str, &str)] = &[
 /// hash-join speedup over the bound nested loop.
 pub fn is_join_shape(name: &str) -> bool {
     name.starts_with("join")
+}
+
+/// Shapes dominated by scan traffic — `bench_engine` additionally times
+/// these with [`coddb::ScanMode::Cloning`] forced, recording the
+/// zero-copy pipeline's speedup over per-row deep cloning.
+pub fn is_scan_shape(name: &str) -> bool {
+    matches!(
+        name,
+        "seq_filter" | "seq_filter_wide" | "subquery_correlated" | "subquery_correlated_lowcard"
+    )
 }
 
 /// The database state the engine benchmark shapes run against.
@@ -109,6 +131,45 @@ pub fn engine_setup() -> Database {
             })
             .collect();
         db.execute_sql(&format!("INSERT INTO t3 VALUES {}", rows.join(",")))
+            .unwrap();
+    }
+    // Wide table for the `seq_filter_wide` shape: 10 columns (TEXT among
+    // them), 300 rows — per-row cloning cost scales with row width, row
+    // sharing does not.
+    db.execute_sql(
+        "CREATE TABLE t4 (c0 INT, c1 TEXT, c2 REAL, c3 INT, c4 TEXT, \
+         c5 REAL, c6 INT, c7 INT, c8 REAL, c9 REAL)",
+    )
+    .unwrap();
+    for chunk in 0..3 {
+        let rows: Vec<String> = (0..100)
+            .map(|i| {
+                let v = chunk * 100 + i;
+                format!(
+                    "({v}, 'name{v}', {v}.25, {}, 'tag{}', {}.5, {}, {}, {}.75, {v}.5)",
+                    v * 2,
+                    v % 17,
+                    v % 7,
+                    v % 3,
+                    v + 1,
+                    v % 13
+                )
+            })
+            .collect();
+        db.execute_sql(&format!("INSERT INTO t4 VALUES {}", rows.join(",")))
+            .unwrap();
+    }
+    // Low-cardinality correlated outer for `subquery_correlated_lowcard`:
+    // 240 rows over 6 distinct grouping keys.
+    db.execute_sql("CREATE TABLE t5 (grp INT, v INT)").unwrap();
+    for chunk in 0..2 {
+        let rows: Vec<String> = (0..120)
+            .map(|i| {
+                let v = chunk * 120 + i;
+                format!("({}, {})", v % 6, v % 150)
+            })
+            .collect();
+        db.execute_sql(&format!("INSERT INTO t5 VALUES {}", rows.join(",")))
             .unwrap();
     }
     db

@@ -323,8 +323,14 @@ mod tests {
         let mut cat = Catalog::new();
         cat.create_table("t", vec![col("c", DataType::Int)], false)
             .unwrap();
-        cat.table_mut("t").unwrap().rows.push(vec![Value::Int(1)]);
-        cat.table_mut("t").unwrap().rows.push(vec![Value::Int(2)]);
+        cat.table_mut("t")
+            .unwrap()
+            .rows
+            .push(vec![Value::Int(1)].into());
+        cat.table_mut("t")
+            .unwrap()
+            .rows
+            .push(vec![Value::Int(2)].into());
         assert_eq!(cat.total_rows(), 2);
     }
 }

@@ -112,6 +112,7 @@ coverage_points! {
     EXEC_HASH_JOIN_FALLBACK = "exec::hash_join_fallback";
     EXEC_SUBQ_PLAN_HIT = "exec::subq_plan_cache_hit";
     EXEC_SUBQ_RESULT_HIT = "exec::subq_result_memo_hit";
+    EXEC_SUBQ_KEYED_HIT = "exec::subq_keyed_memo_hit";
     EXEC_VALUES_ROWS = "exec::values_rows";
     EXEC_CTE_EVAL = "exec::cte_eval";
     EXEC_CTE_REUSE = "exec::cte_reuse";

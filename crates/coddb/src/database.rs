@@ -13,7 +13,8 @@ use crate::dialect::Dialect;
 use crate::error::{Error, Result};
 use crate::eval::{eval_expr, truthiness, Clause, ExprCtx};
 use crate::exec::{
-    self, BindMode, CteEnv, EngineCtx, EvalEnv, Frame, JoinMode, Prepared, Schema, StmtKind,
+    self, BindMode, CteEnv, EngineCtx, EvalEnv, Frame, JoinMode, Prepared, ScanMode, Schema,
+    StmtKind,
 };
 use crate::value::{Relation, Row, Value};
 
@@ -56,8 +57,11 @@ pub struct Database {
     fuel_limit: u64,
     bind_mode: BindMode,
     join_mode: JoinMode,
+    scan_mode: ScanMode,
     last_plan_fp: Option<u64>,
     queries_executed: u64,
+    subq_memo_hits: u64,
+    subq_memo_misses: u64,
 }
 
 impl Database {
@@ -76,8 +80,11 @@ impl Database {
             fuel_limit: DEFAULT_FUEL,
             bind_mode: BindMode::default(),
             join_mode: JoinMode::default(),
+            scan_mode: ScanMode::default(),
             last_plan_fp: None,
             queries_executed: 0,
+            subq_memo_hits: 0,
+            subq_memo_misses: 0,
         }
     }
 
@@ -123,6 +130,27 @@ impl Database {
         self.join_mode
     }
 
+    /// Select how scans hand rows to the pipeline: [`ScanMode::Shared`]
+    /// (default) is zero-copy, [`ScanMode::Cloning`] deep-clones every
+    /// scanned row and rematerializes FROM subtrees per instantiation —
+    /// the pre-shared-row pipeline, kept for differential testing
+    /// (mirroring [`Database::set_join_mode`]) and as a baseline.
+    pub fn set_scan_mode(&mut self, mode: ScanMode) {
+        self.scan_mode = mode;
+    }
+
+    pub fn scan_mode(&self) -> ScanMode {
+        self.scan_mode
+    }
+
+    /// Subquery result-memo accounting accumulated across statements:
+    /// `(hits, misses)`. A hit is a full-result or keyed-memo reuse; a
+    /// miss is an actual subquery execution through the cached path (the
+    /// [`BindMode::PerRow`] baseline counts nothing).
+    pub fn subquery_memo_stats(&self) -> (u64, u64) {
+        (self.subq_memo_hits, self.subq_memo_misses)
+    }
+
     /// Build the per-statement execution context.
     fn engine_ctx(&self, optimize: bool, stmt: StmtKind) -> EngineCtx<'_> {
         let mut ctx = EngineCtx::new(
@@ -136,7 +164,15 @@ impl Database {
         );
         ctx.rebind_per_row = self.bind_mode == BindMode::PerRow;
         ctx.force_nested_loop = self.join_mode == JoinMode::NestedLoop;
+        ctx.clone_scans = self.scan_mode == ScanMode::Cloning;
         ctx
+    }
+
+    /// Fold a finished statement context's memo accounting into the
+    /// database-lifetime counters.
+    fn absorb_memo_stats(&mut self, hits: u64, misses: u64) {
+        self.subq_memo_hits += hits;
+        self.subq_memo_misses += misses;
     }
 
     /// Number of statements executed so far (Table 3 accounting).
@@ -273,7 +309,13 @@ impl Database {
             optimize: true,
         };
         let plan = crate::plan::plan_select(q, &pctx, &std::collections::BTreeSet::new())?;
-        Ok(crate::plan::explain(&plan))
+        // Subqueries are annotated with their predicted memo strategy; the
+        // PerRow baseline bypasses every cache, so it annotates NONE.
+        Ok(crate::plan::explain_with_memo(
+            &plan,
+            self.bind_mode != BindMode::PerRow,
+            Some(&self.catalog),
+        ))
     }
 
     /// Parse and explain a single SELECT.
@@ -320,7 +362,11 @@ impl Database {
     // counted exactly once.
     fn run_select(&mut self, q: &crate::ast::Select, optimize: bool) -> Result<Relation> {
         let ctx = self.engine_ctx(optimize, StmtKind::Select);
-        let (rel, fp) = exec::run_query(q, &ctx)?;
+        let res = exec::run_query(q, &ctx);
+        let (hits, misses) = (ctx.subq_memo_hits.get(), ctx.subq_memo_misses.get());
+        drop(ctx);
+        self.absorb_memo_stats(hits, misses);
+        let (rel, fp) = res?;
         self.last_plan_fp = Some(fp);
         Ok(rel)
     }
@@ -352,7 +398,7 @@ impl Database {
         };
 
         // Evaluate the source rows.
-        let source_rows: Vec<Row> = match source {
+        let (source_rows, memo_hits, memo_misses): (Vec<Row>, u64, u64) = match source {
             InsertSource::Values(rows) => {
                 self.coverage.hit(pt::EXEC_INSERT_VALUES);
                 let ctx = self.engine_ctx(optimize, StmtKind::Insert);
@@ -370,9 +416,9 @@ impl Database {
                         };
                         vals.push(eval_expr(e, env)?);
                     }
-                    out.push(vals);
+                    out.push(Row::new(vals));
                 }
-                out
+                (out, ctx.subq_memo_hits.get(), ctx.subq_memo_misses.get())
             }
             InsertSource::Query(q) => {
                 self.coverage.hit(pt::EXEC_INSERT_SELECT);
@@ -393,13 +439,15 @@ impl Database {
                 });
                 let ctx = self.engine_ctx(optimize, StmtKind::Insert);
                 let (rel, _) = exec::run_query(q, &ctx)?;
-                if has_version && self.bugs.active(BugId::TidbInsertSelectVersion) {
+                let rows = if has_version && self.bugs.active(BugId::TidbInsertSelectVersion) {
                     Vec::new()
                 } else {
                     rel.rows
-                }
+                };
+                (rows, ctx.subq_memo_hits.get(), ctx.subq_memo_misses.get())
             }
         };
+        self.absorb_memo_stats(memo_hits, memo_misses);
 
         // Type-check and write.
         let mut staged = Vec::with_capacity(source_rows.len());
@@ -411,7 +459,7 @@ impl Database {
                     row.len()
                 )));
             }
-            let mut new_row: Row = vec![Value::Null; col_count];
+            let mut new_row: Vec<Value> = vec![Value::Null; col_count];
             for (v, &idx) in row.iter().zip(col_indices.iter()) {
                 let def = &col_defs[idx];
                 if self.dialect.strict_types() && !v.is_null() && !def.ty.accepts(v.data_type()) {
@@ -432,7 +480,7 @@ impl Database {
                     )));
                 }
             }
-            staged.push(new_row);
+            staged.push(Row::new(new_row));
         }
         let n = staged.len();
         self.catalog.table_mut(table)?.rows.extend(staged);
@@ -445,7 +493,7 @@ impl Database {
         sets: &[(String, crate::ast::Expr)],
         where_clause: Option<&crate::ast::Expr>,
     ) -> Result<usize> {
-        let (matches, updates) = {
+        let (matches, updates, memo_hits, memo_misses) = {
             let t = self.catalog.table(table)?;
             let schema = table_schema(t);
             let ctx = self.engine_ctx(false, StmtKind::Update);
@@ -492,8 +540,10 @@ impl Database {
                 matches.push(i);
                 updates.push((set_indices.clone(), new_vals));
             }
-            (matches, updates)
+            let stats = (ctx.subq_memo_hits.get(), ctx.subq_memo_misses.get());
+            (matches, updates, stats.0, stats.1)
         };
+        self.absorb_memo_stats(memo_hits, memo_misses);
 
         self.coverage.hit(if matches.is_empty() {
             pt::EXEC_UPDATE_NOMATCH
@@ -503,7 +553,9 @@ impl Database {
         let t = self.catalog.table_mut(table)?;
         for (&i, (indices, vals)) in matches.iter().zip(updates.iter()) {
             for (&ci, v) in indices.iter().zip(vals.iter()) {
-                t.rows[i][ci] = v.clone();
+                // Copy-on-write: snapshots or in-flight shared relations
+                // holding this row keep their original values.
+                t.rows[i].set(ci, v.clone());
             }
         }
         Ok(matches.len())
@@ -514,7 +566,7 @@ impl Database {
         table: &str,
         where_clause: Option<&crate::ast::Expr>,
     ) -> Result<usize> {
-        let matches: Vec<usize> = {
+        let (matches, memo_hits, memo_misses) = {
             let t = self.catalog.table(table)?;
             let schema = table_schema(t);
             let ctx = self.engine_ctx(false, StmtKind::Delete);
@@ -527,8 +579,9 @@ impl Database {
                     out.push(i);
                 }
             }
-            out
+            (out, ctx.subq_memo_hits.get(), ctx.subq_memo_misses.get())
         };
+        self.absorb_memo_stats(memo_hits, memo_misses);
         self.coverage.hit(if matches.is_empty() {
             pt::EXEC_DELETE_NOMATCH
         } else {

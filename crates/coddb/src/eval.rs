@@ -188,13 +188,11 @@ pub fn eval_bound(expr: &BoundExpr, env: EvalEnv) -> Result<Value> {
                 pt::EVAL_COLUMN_OUTER
             });
             let fi = env.scopes.len() - 1 - up;
-            // Correlation detector for subquery result memoization: record
-            // the lowest frame this evaluation reaches (a read below the
-            // enclosing subquery's scope floor disables memoization —
-            // including reads the name-collision mutant redirects).
-            if fi < ctx.min_frame_read.get() {
-                ctx.min_frame_read.set(fi);
-            }
+            // Correlation detector for subquery result memoization: a read
+            // below the enclosing subquery's scope floor is an outer read
+            // and joins the memo key's slot set — including reads the
+            // name-collision mutant redirects.
+            ctx.note_column_read(fi, index);
             let frame = &env.scopes[fi];
             Ok(frame.row[index].clone())
         }
@@ -704,7 +702,7 @@ fn coerce_subquery_bool(v: Value, e: &BoundExpr, ctx: &EngineCtx) -> Value {
     v
 }
 
-fn cmp_matches(op: BinaryOp, ord: Ordering) -> bool {
+pub(crate) fn cmp_matches(op: BinaryOp, ord: Ordering) -> bool {
     match op {
         BinaryOp::Eq => ord == Ordering::Equal,
         BinaryOp::Ne => ord != Ordering::Equal,

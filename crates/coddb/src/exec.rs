@@ -1,17 +1,25 @@
 //! Plan execution.
 //!
-//! A materializing executor: each operator produces a vector of rows.
-//! Joins with planner-recognized equality keys run as build/probe hash
-//! joins over bound key ordinals ([`hash_join`]), falling back to the
-//! nested loop for non-equi predicates, mutant-forced ON rewrites, and
-//! runtime key-class mixes where hash equality cannot reproduce SQL `=`.
+//! A materializing executor: each operator produces a vector of shared
+//! copy-on-write rows ([`Row`]). Scans are zero-copy — a base-table,
+//! index or CTE scan hands out refcount bumps to storage instead of
+//! cloning values ([`ScanMode::Cloning`] restores the deep-cloning
+//! baseline for differential testing) — and cacheable FROM subtrees are
+//! materialized once per statement and reused across a correlated
+//! subquery's re-instantiations ([`exec_from`]). Joins with
+//! planner-recognized equality keys run as build/probe hash joins over
+//! bound key ordinals ([`hash_join`]), falling back to the nested loop
+//! for non-equi predicates, mutant-forced ON rewrites, and runtime
+//! key-class mixes where hash equality cannot reproduce SQL `=`.
 //! Correlated subqueries receive the outer row scopes as a stack of
-//! [`Frame`]s; their plans and bindings are compiled once per statement
-//! and non-correlated results are memoized ([`exec_subquery`],
-//! [`crate::cache`]). CTEs are materialized once per SELECT and shared
-//! through a chained [`CteEnv`]. A fuel counter bounds total row work so
-//! that injected hang bugs (and any accidental blow-ups) surface as
-//! [`Error::Hang`] instead of wedging a campaign.
+//! [`Frame`]s; their plans and bindings are compiled once per statement,
+//! non-correlated results are memoized whole, and correlated results are
+//! memoized per outer key — the runtime detector records exactly which
+//! outer slots an evaluation read, and those slots' values key the memo
+//! ([`exec_subquery`], [`crate::cache`]). CTEs are materialized once per
+//! SELECT and shared through a chained [`CteEnv`]. A fuel counter bounds
+//! total row work so that injected hang bugs (and any accidental
+//! blow-ups) surface as [`Error::Hang`] instead of wedging a campaign.
 
 use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, HashMap};
@@ -59,6 +67,21 @@ pub enum JoinMode {
     NestedLoop,
 }
 
+/// How scans hand rows to the operator pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScanMode {
+    /// Zero-copy: scans hand out refcount bumps to table / CTE storage
+    /// (rows are [`Row`]-shared), and FROM subtrees re-instantiated by
+    /// correlated subqueries reuse their materialized result (default).
+    #[default]
+    Shared,
+    /// Deep-clone every scanned row and rematerialize FROM subtrees on
+    /// every instantiation — the pre-shared-row pipeline, kept for
+    /// differential testing of the zero-copy path
+    /// (`coddb/tests/scan_differential.rs`) and as a baseline.
+    Cloning,
+}
+
 /// Which statement kind is executing (several mutants key on this).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StmtKind {
@@ -81,13 +104,24 @@ pub struct EngineCtx<'a> {
     pub rebind_per_row: bool,
     /// Force nested-loop joins (see [`JoinMode::NestedLoop`]).
     pub force_nested_loop: bool,
+    /// Baseline mode: deep-clone scanned rows (see [`ScanMode::Cloning`]).
+    pub clone_scans: bool,
     fuel: Cell<u64>,
     /// Per-statement plan / binding / result caches.
     pub(crate) caches: StmtCaches,
-    /// Lowest absolute frame index any column evaluation has read since
-    /// the last [`exec_subquery`] reset — the runtime correlation
-    /// detector behind subquery result memoization.
-    pub(crate) min_frame_read: Cell<usize>,
+    /// The innermost executing subquery's scope floor: frames strictly
+    /// below it belong to outer queries. Column evaluation records every
+    /// read below the floor in [`Self::outer_reads`] — the runtime
+    /// correlation detector behind subquery result memoization. 0 (the
+    /// top level, and [`Self::untracked`] regions) disables recording.
+    pub(crate) outer_floor: Cell<usize>,
+    /// Outer slots `(absolute frame index, column ordinal)` read since
+    /// the innermost [`exec_subquery`] swap — deduplicated, tiny.
+    pub(crate) outer_reads: RefCell<Vec<(u32, u32)>>,
+    /// Statement-scoped subquery memo accounting (full + keyed hits vs.
+    /// executions), surfaced through `Database::subquery_memo_stats`.
+    pub(crate) subq_memo_hits: Cell<u64>,
+    pub(crate) subq_memo_misses: Cell<u64>,
 }
 
 impl<'a> EngineCtx<'a> {
@@ -109,9 +143,29 @@ impl<'a> EngineCtx<'a> {
             stmt,
             rebind_per_row: false,
             force_nested_loop: false,
+            clone_scans: false,
             fuel: Cell::new(fuel),
             caches: StmtCaches::default(),
-            min_frame_read: Cell::new(usize::MAX),
+            outer_floor: Cell::new(0),
+            outer_reads: RefCell::new(Vec::new()),
+            subq_memo_hits: Cell::new(0),
+            subq_memo_misses: Cell::new(0),
+        }
+    }
+
+    /// Record a column read at absolute frame index `fi`: below the
+    /// current subquery's scope floor it is an outer read and enters the
+    /// correlation detector's slot set. The floor comparison is the whole
+    /// hot-path cost — outside subqueries the floor is 0 and nothing
+    /// records.
+    #[inline]
+    pub(crate) fn note_column_read(&self, fi: usize, index: usize) {
+        if fi < self.outer_floor.get() {
+            let mut reads = self.outer_reads.borrow_mut();
+            let slot = (fi as u32, index as u32);
+            if !reads.contains(&slot) {
+                reads.push(slot);
+            }
         }
     }
 
@@ -145,9 +199,9 @@ impl<'a> EngineCtx<'a> {
     /// exact; any nested subquery inside re-arms the tracker for its own
     /// scope before its own memoization decision.
     pub(crate) fn untracked<T>(&self, f: impl FnOnce() -> T) -> T {
-        let prev = self.min_frame_read.replace(usize::MAX);
+        let prev = self.outer_floor.replace(0);
         let out = f();
-        self.min_frame_read.set(prev);
+        self.outer_floor.set(prev);
         out
     }
 
@@ -344,6 +398,10 @@ impl<'p> Prepared<'p> {
         self.ast
     }
 
+    pub(crate) fn bound(&self) -> &BoundExpr {
+        &self.bound
+    }
+
     /// Evaluate for one row. In the default mode this is a bound-form
     /// walk with zero name resolution; in [`BindMode::PerRow`] it re-binds
     /// from the AST first (the tree-walking baseline).
@@ -387,11 +445,22 @@ fn set_local_row<'a>(frames: &mut [Frame<'a>], schema: &'a Schema, row: &'a [Val
 /// scopes as outer context.
 ///
 /// The subquery's plan is compiled once per statement (keyed by AST
-/// identity, verified structurally — see [`crate::cache`]). Additionally,
-/// an evaluation that reads no outer column proves the subquery
-/// non-correlated, so its full result relation is memoized and every
-/// later evaluation within the statement returns the shared relation.
-/// Both caches are bypassed in the [`BindMode::PerRow`] baseline.
+/// identity, verified structurally — see [`crate::cache`]). Result
+/// memoization is two-tier, driven by the runtime correlation detector:
+///
+/// * an evaluation that reads **no** outer column proves the subquery
+///   non-correlated — its full result relation is memoized and every
+///   later evaluation within the statement returns the shared relation;
+/// * an evaluation that reads outer columns records exactly **which**
+///   slots it read, and the result is memoized keyed by those slots'
+///   values — a correlated subquery over K distinct outer keys executes
+///   K times, not once per outer row. A keyed hit is sound because a
+///   deterministic execution that agrees with the cached one on every
+///   value it actually read must follow the identical path (including
+///   reads redirected by the name-collision mutant, which the detector
+///   tracks at the load site and therefore folds into the key).
+///
+/// All caches are bypassed in the [`BindMode::PerRow`] baseline.
 pub fn exec_subquery(query: &Select, env: EvalEnv) -> Result<Rc<Relation>> {
     let ctx = env.ctx;
     if ctx.rebind_per_row {
@@ -416,12 +485,7 @@ pub fn exec_subquery(query: &Select, env: EvalEnv) -> Result<Rc<Relation>> {
             let pctx = ctx.plan_ctx();
             let cte_names = env.ctes.names();
             let plan = Rc::new(plan::plan_select(query, &pctx, &cte_names)?);
-            let entry = Rc::new(SubqEntry {
-                ast: query.clone(),
-                cte_names,
-                plan,
-                result: RefCell::new(None),
-            });
+            let entry = Rc::new(SubqEntry::new(query.clone(), cte_names, plan));
             ctx.caches.subq_insert(key, Rc::clone(&entry));
             entry
         }
@@ -429,23 +493,44 @@ pub fn exec_subquery(query: &Select, env: EvalEnv) -> Result<Rc<Relation>> {
 
     if let Some(rel) = entry.result.borrow().clone() {
         ctx.cov.hit(pt::EXEC_SUBQ_RESULT_HIT);
+        ctx.subq_memo_hits.set(ctx.subq_memo_hits.get() + 1);
         return Ok(rel);
     }
 
-    // Execute, observing whether any frame below this subquery's scope
-    // floor is read (column evaluation tracks the minimum frame index it
-    // touches — including reads redirected by the name-collision mutant).
+    // Keyed memo: a previous execution read exactly some outer slot set;
+    // if the current outer rows carry the same values in those slots, the
+    // cached result is the answer. The slots the cached execution read
+    // still count as reads for the *enclosing* subquery's detector.
+    if let Some(rel) = entry.keyed_lookup(env.scopes, |fi, ci| {
+        ctx.note_column_read(fi as usize, ci as usize)
+    }) {
+        ctx.cov.hit(pt::EXEC_SUBQ_KEYED_HIT);
+        ctx.subq_memo_hits.set(ctx.subq_memo_hits.get() + 1);
+        return Ok(rel);
+    }
+
+    // Execute, recording every read below this subquery's scope floor
+    // (column evaluation tracks the frames it touches — including reads
+    // redirected by the name-collision mutant).
     let floor = env.scopes.len();
-    let prev_min = ctx.min_frame_read.replace(usize::MAX);
+    let prev_floor = ctx.outer_floor.replace(floor);
+    let prev_reads = ctx.outer_reads.take();
     let out = exec_select_plan(&entry.plan, ctx, env.ctes, env.scopes, env.info.depth + 1);
-    let observed = ctx.min_frame_read.get();
-    // Propagate reads to the enclosing subquery's detector.
-    ctx.min_frame_read.set(prev_min.min(observed));
+    let observed = ctx.outer_reads.replace(prev_reads);
+    ctx.outer_floor.set(prev_floor);
+    // Propagate outer reads to the enclosing subquery's detector (its
+    // floor check drops reads that are local to it).
+    for &(fi, ci) in &observed {
+        ctx.note_column_read(fi as usize, ci as usize);
+    }
     let rel = Rc::new(out?);
-    if observed >= floor {
+    ctx.subq_memo_misses.set(ctx.subq_memo_misses.get() + 1);
+    if observed.is_empty() {
         // No outer column read: a deterministic function of table state,
-        // which cannot change within the statement — memoize.
+        // which cannot change within the statement — memoize fully.
         *entry.result.borrow_mut() = Some(Rc::clone(&rel));
+    } else {
+        entry.keyed_insert(observed, env.scopes, Rc::clone(&rel));
     }
     Ok(rel)
 }
@@ -529,7 +614,7 @@ pub fn exec_select_plan(
         ));
     }
 
-    let (mut rel, pre_rows, pre_schema) = exec_body(&plan.body, ctx, &ctes, outer_scopes, depth)?;
+    let (mut rel, pre_rows, pre_from) = exec_body(&plan.body, ctx, &ctes, outer_scopes, depth)?;
 
     // ORDER BY.
     if !plan.order_by.is_empty() {
@@ -537,7 +622,7 @@ pub fn exec_select_plan(
         sort_relation(
             &mut rel,
             pre_rows,
-            pre_schema.as_ref(),
+            pre_from.as_ref().map(|f| &f.schema),
             plan,
             ctx,
             &ctes,
@@ -712,15 +797,18 @@ fn sort_relation<'p>(
     Ok(())
 }
 
-/// Execute a body plan; returns the output relation plus, when available,
-/// the pre-projection rows and schema (used by ORDER BY expressions).
+/// A body's output: the relation plus, when available, the pre-projection
+/// rows and FROM result (whose schema ORDER BY expressions bind against).
+type BodyOutput = (Relation, Option<Vec<Row>>, Option<Rc<FromResult>>);
+
+/// Execute a body plan.
 fn exec_body(
     body: &BodyPlan,
     ctx: &EngineCtx,
     ctes: &CteEnv,
     outer_scopes: &[Frame],
     depth: u32,
-) -> Result<(Relation, Option<Vec<Row>>, Option<Schema>)> {
+) -> Result<BodyOutput> {
     match body {
         BodyPlan::Core(core) => exec_core(core, ctx, ctes, outer_scopes, depth),
         BodyPlan::SetOp {
@@ -753,7 +841,7 @@ fn exec_body(
                     };
                     vals.push(eval_expr(e, env)?);
                 }
-                out.push(vals);
+                out.push(Row::new(vals));
             }
             let arity = rows.first().map(|r| r.len()).unwrap_or(0);
             let columns = (1..=arity).map(|i| format!("column{i}")).collect();
@@ -876,8 +964,11 @@ fn dedup_rows(rows: Vec<Row>) -> Vec<Row> {
     out
 }
 
-/// Result of executing a FROM clause.
-struct FromResult {
+/// Result of executing a FROM clause. Shared (behind `Rc`) across
+/// operator re-instantiations via the per-statement FROM-result cache —
+/// rows are [`Row`]-shared, so a reuse is a refcount bump per row.
+#[derive(Clone)]
+pub(crate) struct FromResult {
     schema: Schema,
     rows: Vec<Row>,
     via_index: bool,
@@ -891,7 +982,7 @@ fn exec_core(
     ctes: &CteEnv,
     outer_scopes: &[Frame],
     depth: u32,
-) -> Result<(Relation, Option<Vec<Row>>, Option<Schema>)> {
+) -> Result<BodyOutput> {
     // Hang hooks keyed on FROM shape.
     if let Some(from) = &core.from {
         if ctx.bugs.active(BugId::CockroachHangCteReuse) {
@@ -907,22 +998,21 @@ fn exec_core(
         }
     }
 
-    let FromResult {
-        schema,
-        rows,
-        via_index,
-        has_cte,
-        has_full_join,
-    } = match &core.from {
+    let fr: Rc<FromResult> = match &core.from {
         Some(f) => ctx.untracked(|| exec_from(f, ctx, ctes, depth))?,
-        None => FromResult {
+        None => Rc::new(FromResult {
             schema: Schema::default(),
-            rows: vec![Vec::new()],
+            rows: vec![Row::new(Vec::new())],
             via_index: false,
             has_cte: false,
             has_full_join: false,
-        },
+        }),
     };
+    let schema = &fr.schema;
+    let (via_index, has_cte, has_full_join) = (fr.via_index, fr.has_cte, fr.has_full_join);
+    // Shared rows: pulling the input out of a (possibly cached) result is
+    // a refcount bump per row, never a value copy.
+    let rows = fr.rows.clone();
 
     let base_info = ExprCtx {
         clause: Clause::Where,
@@ -941,8 +1031,8 @@ fn exec_core(
     // WHERE: bound once against the FROM schema plus the outer scopes.
     let mut rows = rows;
     if let Some(pred) = &core.where_clause {
-        let prepared = Prepared::new(pred, &bind_scopes(outer_scopes, &schema), depth, ctx)?;
-        rows = apply_filter(rows, &schema, &prepared, ctx, ctes, outer_scopes, base_info)?;
+        let prepared = Prepared::new(pred, &bind_scopes(outer_scopes, schema), depth, ctx)?;
+        rows = apply_filter(rows, schema, &prepared, ctx, ctes, outer_scopes, base_info)?;
     }
 
     let has_aggregates = !core.group_by.is_empty()
@@ -953,9 +1043,9 @@ fn exec_core(
         || core.having.as_ref().is_some_and(|h| h.contains_aggregate());
 
     if has_aggregates {
-        let (rel, reps) = exec_grouped(core, rows, &schema, ctx, ctes, outer_scopes, base_info)?;
+        let (rel, reps) = exec_grouped(core, rows, schema, ctx, ctes, outer_scopes, base_info)?;
         let rel = maybe_distinct(rel, core.distinct, ctx)?;
-        return Ok((rel, Some(reps), Some(schema)));
+        return Ok((rel, Some(reps), Some(fr)));
     }
 
     // Plain projection: every output expression is expanded and bound
@@ -963,7 +1053,7 @@ fn exec_core(
     // of a subquery's projection free), then the row loop is pure
     // bound-form evaluation.
     ctx.cov.hit(pt::EXEC_PROJECT);
-    let proj = projection_bindings(core, &schema, has_full_join, ctx, outer_scopes, depth)?;
+    let proj = projection_bindings(core, schema, has_full_join, ctx, outer_scopes, depth)?;
     let columns = proj.columns.clone();
     let prepared: Vec<Prepared> = proj
         .exprs
@@ -973,10 +1063,10 @@ fn exec_core(
         .collect();
     let mut out_rows = Vec::with_capacity(rows.len());
     {
-        let mut frames = frame_stack(outer_scopes, &schema);
+        let mut frames = frame_stack(outer_scopes, schema);
         for row in &rows {
             ctx.consume_fuel(1)?;
-            set_local_row(&mut frames, &schema, row);
+            set_local_row(&mut frames, schema, row);
             let mut out = Vec::with_capacity(prepared.len());
             for p in &prepared {
                 let env = EvalEnv {
@@ -991,7 +1081,7 @@ fn exec_core(
                 };
                 out.push(p.eval(env)?);
             }
-            out_rows.push(out);
+            out_rows.push(Row::new(out));
         }
     }
     let rel = Relation {
@@ -999,7 +1089,7 @@ fn exec_core(
         rows: out_rows,
     };
     let rel = maybe_distinct(rel, core.distinct, ctx)?;
-    Ok((rel, Some(rows), Some(schema)))
+    Ok((rel, Some(rows), Some(fr)))
 }
 
 fn maybe_distinct(mut rel: Relation, distinct: bool, ctx: &EngineCtx) -> Result<Relation> {
@@ -1185,7 +1275,7 @@ fn exec_grouped(
 
     let mut out_rows: Vec<Row> = Vec::with_capacity(group_list.len());
     let mut rep_rows: Vec<Row> = Vec::with_capacity(group_list.len());
-    let empty_row: Row = vec![Value::Null; schema.cols.len()];
+    let empty_row = Row::new(vec![Value::Null; schema.cols.len()]);
     let mut frames = frame_stack(outer_scopes, schema);
 
     for (_key, members) in &group_list {
@@ -1278,7 +1368,7 @@ fn exec_grouped(
             };
             out.push(eval_bound(e, env)?);
         }
-        out_rows.push(out);
+        out_rows.push(Row::new(out));
         rep_rows.push(rep.clone());
     }
 
@@ -1432,6 +1522,195 @@ fn grouped_bindings(
     )
 }
 
+/// Is a bound expression invariant across the rows of the local frame —
+/// no local column loads, no aggregate slots, and no subqueries (whose
+/// bodies this walker does not analyze)? An invariant expression
+/// evaluates to the same value (or the same error) for every row of one
+/// operator instantiation.
+fn row_invariant(e: &BoundExpr) -> bool {
+    match e {
+        BoundExpr::Literal(_) => true,
+        BoundExpr::Column(c) => c.up > 0,
+        BoundExpr::Unary { expr, .. }
+        | BoundExpr::Cast { expr, .. }
+        | BoundExpr::IsNull { expr, .. } => row_invariant(expr),
+        BoundExpr::Binary { left, right, .. } => row_invariant(left) && row_invariant(right),
+        BoundExpr::Between {
+            expr, low, high, ..
+        } => row_invariant(expr) && row_invariant(low) && row_invariant(high),
+        BoundExpr::InList { expr, list, .. } => {
+            row_invariant(expr) && list.iter().all(row_invariant)
+        }
+        BoundExpr::InSubquery { .. }
+        | BoundExpr::Exists { .. }
+        | BoundExpr::Scalar { .. }
+        | BoundExpr::Quantified { .. }
+        | BoundExpr::Agg { .. } => false,
+        BoundExpr::Case {
+            operand,
+            whens,
+            else_expr,
+            ..
+        } => {
+            operand.as_deref().is_none_or(row_invariant)
+                && whens
+                    .iter()
+                    .all(|(w, t)| row_invariant(w) && row_invariant(t))
+                && else_expr.as_deref().is_none_or(row_invariant)
+        }
+        BoundExpr::Func { args, .. } => args.iter().all(row_invariant),
+        BoundExpr::Like { expr, pattern, .. } => row_invariant(expr) && row_invariant(pattern),
+    }
+}
+
+/// Short-circuit filter for `column <cmp> row-invariant` predicates (and
+/// the flipped orientation) — the dominant shape of correlated subquery
+/// filters, where the invariant side reads only outer columns.
+///
+/// The invariant side is evaluated **once**; each row then classifies by
+/// a direct [`Value::sql_cmp`], skipping the per-row interpreter walk.
+/// Exactness:
+///
+/// * For operand pairs that never mix TEXT with another storage class,
+///   [`crate::eval::compare`] reduces to `sql_cmp` — a pure function with
+///   no dialect coercion, no errors and no mutant hooks. Any TEXT /
+///   non-TEXT mix among non-NULL operands falls back to the per-row loop
+///   (which then reproduces MySQL-family coercion, strict-dialect type
+///   errors and the `MysqlTextIntCompareWhere` hook bit for bit).
+/// * The `SqliteIndexedCmpNullTrue` filter-site hook is gated off here;
+///   `CockroachAndNullTopConjunct` needs an AND root, never a bare
+///   comparison; `DuckdbSubqueryBoolCoerce` needs a subquery operand,
+///   which `row_invariant` excludes; local columns with a recorded
+///   collision alternative are rejected (the name-collision mutant may
+///   redirect their loads).
+/// * Coverage parity: one representative row per outcome class
+///   (pass/drop/null) re-runs the full per-row evaluation, firing exactly
+///   the (idempotent) coverage bits the plain loop would; fuel is charged
+///   identically (one unit per row).
+///
+/// Returns `None` when the predicate does not fit — caller runs the
+/// per-row loop.
+#[allow(clippy::too_many_arguments)]
+fn apply_cmp_filter_fast(
+    rows: &[Row],
+    schema: &Schema,
+    pred: &Prepared,
+    ctx: &EngineCtx,
+    ctes: &CteEnv,
+    outer_scopes: &[Frame],
+    info: ExprCtx,
+) -> Result<Option<Vec<Row>>> {
+    use crate::eval::cmp_matches;
+
+    if ctx.rebind_per_row || rows.is_empty() {
+        return Ok(None);
+    }
+    if info.via_index && ctx.bugs.active(BugId::SqliteIndexedCmpNullTrue) {
+        return Ok(None);
+    }
+    let BoundExpr::Binary { op, left, right } = pred.bound() else {
+        return Ok(None);
+    };
+    if !op.is_comparison() {
+        return Ok(None);
+    }
+    // Orient: which side is the local column, which is row-invariant?
+    let local_col = |e: &BoundExpr| match e {
+        BoundExpr::Column(c) if c.up == 0 && c.collision_alt.is_none() => Some(c.index as usize),
+        _ => None,
+    };
+    let (ord, invariant, col_is_left) = match (local_col(left), local_col(right)) {
+        (Some(ord), _) if row_invariant(right) => (ord, &**right, true),
+        (_, Some(ord)) if row_invariant(left) => (ord, &**left, false),
+        _ => return Ok(None),
+    };
+
+    // Evaluate the invariant side once. Errors surface exactly as the
+    // per-row loop's first row would (rows is non-empty); its coverage
+    // bits and outer-read records are the same every row, so once is
+    // enough.
+    let mut frames = frame_stack(outer_scopes, schema);
+    set_local_row(&mut frames, schema, &rows[0]);
+    let env = EvalEnv {
+        ctx,
+        scopes: &frames,
+        aggs: None,
+        ctes,
+        info,
+    };
+    let inv_val = eval_bound(invariant, env.child())?;
+
+    // Any TEXT / non-TEXT mix among non-NULL operands leaves `sql_cmp`
+    // territory (coercion, strict errors, mutants) — exact path instead.
+    // This pre-pass runs before fuel is charged so a fallback consumes
+    // exactly what the per-row loop will.
+    let inv_null = inv_val.is_null();
+    let inv_text = matches!(inv_val, Value::Text(_));
+    if !inv_null {
+        for row in rows {
+            let v = &row[ord];
+            if !v.is_null() && matches!(v, Value::Text(_)) != inv_text {
+                return Ok(None);
+            }
+        }
+    }
+
+    ctx.consume_fuel(rows.len() as u64)?;
+    let mut out: Vec<Row> = Vec::new();
+    // Representative row per outcome class: pass, drop, null.
+    let mut reps: [Option<usize>; 3] = [None; 3];
+    for (i, row) in rows.iter().enumerate() {
+        let v = &row[ord];
+        let class = if inv_null || v.is_null() {
+            2
+        } else {
+            let o = if col_is_left {
+                v.sql_cmp(&inv_val)
+            } else {
+                inv_val.sql_cmp(v)
+            };
+            match o {
+                Some(o) if cmp_matches(*op, o) => 0,
+                _ => 1,
+            }
+        };
+        if reps[class].is_none() {
+            reps[class] = Some(i);
+        }
+        if class == 0 {
+            out.push(row.clone());
+        }
+    }
+
+    // Fire the authentic per-row coverage bits once per outcome class by
+    // running the real evaluation on a representative row (bits are
+    // idempotent, and within a class every row takes the identical path).
+    for (class, rep) in reps.iter().enumerate() {
+        let Some(ri) = *rep else { continue };
+        set_local_row(&mut frames, schema, &rows[ri]);
+        let env = EvalEnv {
+            ctx,
+            scopes: &frames,
+            aggs: None,
+            ctes,
+            info,
+        };
+        let v = pred.eval(env)?;
+        let t = truthiness(&v, ctx)?;
+        ctx.cov.hit(match t {
+            Some(true) => pt::EXEC_FILTER_PASS,
+            Some(false) => pt::EXEC_FILTER_DROP,
+            None => pt::EXEC_FILTER_NULL,
+        });
+        debug_assert_eq!(
+            t,
+            [Some(true), Some(false), None][class],
+            "fast filter classification diverged from evaluation"
+        );
+    }
+    Ok(Some(out))
+}
+
 /// Apply a WHERE filter, including the filter-site bug hooks. The
 /// predicate is bound once by the caller; the per-row loop evaluates the
 /// bound form with a reused frame stack (no per-row allocation).
@@ -1445,6 +1724,9 @@ pub(crate) fn apply_filter(
     outer_scopes: &[Frame],
     info: ExprCtx,
 ) -> Result<Vec<Row>> {
+    if let Some(out) = apply_cmp_filter_fast(&rows, schema, pred, ctx, ctes, outer_scopes, info)? {
+        return Ok(out);
+    }
     // The comparison/AND shapes the filter-site mutants key on.
     let cmp_shape = matches!(pred.ast(), Expr::Binary { op, .. } if op.is_comparison());
     let and_shape = matches!(
@@ -1527,7 +1809,72 @@ fn count_joins(from: &FromPlan) -> usize {
     }
 }
 
-fn exec_from(from: &FromPlan, ctx: &EngineCtx, ctes: &CteEnv, depth: u32) -> Result<FromResult> {
+/// May this FROM subtree's materialized result be shared across operator
+/// re-instantiations? Conservative: base-table scans, joins and pushed
+/// filters qualify; CTE scans are excluded (an external CTE's read
+/// counter — and its `exec::cte_reuse` coverage — must advance per
+/// instantiation), and derived tables, VALUES and subquery-bearing
+/// predicates are excluded because they may reach CTEs or arbitrary
+/// nested evaluation the walker does not analyze.
+fn from_result_cacheable(from: &FromPlan, ctx: &EngineCtx) -> bool {
+    match from {
+        FromPlan::SeqScan { .. } => true,
+        FromPlan::IndexScan { index, .. } => ctx
+            .catalog
+            .index(index)
+            .is_some_and(|i| !i.expr.contains_subquery()),
+        FromPlan::Derived { .. } | FromPlan::ValuesScan { .. } | FromPlan::CteScan { .. } => false,
+        FromPlan::Join {
+            on,
+            hash_keys,
+            residual,
+            left,
+            right,
+            ..
+        } => {
+            from_result_cacheable(left, ctx)
+                && from_result_cacheable(right, ctx)
+                && !on.as_ref().is_some_and(Expr::contains_subquery)
+                && !residual.as_ref().is_some_and(Expr::contains_subquery)
+                && !hash_keys
+                    .iter()
+                    .any(|(l, r)| l.contains_subquery() || r.contains_subquery())
+        }
+        FromPlan::Filtered { input, pred, .. } => {
+            from_result_cacheable(input, ctx) && !pred.contains_subquery()
+        }
+    }
+}
+
+/// Execute a FROM subtree. FROM internals evaluate on rootless frame
+/// stacks (no outer columns in scope), so the result is a deterministic
+/// function of table state — for cacheable subtrees (see
+/// [`from_result_cacheable`]) it is materialized once per statement and
+/// shared across the per-outer-key re-instantiations of a correlated
+/// subquery. [`ScanMode::Cloning`] disables the cache along with row
+/// sharing.
+fn exec_from(
+    from: &FromPlan,
+    ctx: &EngineCtx,
+    ctes: &CteEnv,
+    depth: u32,
+) -> Result<Rc<FromResult>> {
+    let cacheable =
+        ctx.bindings_cacheable(depth) && !ctx.clone_scans && from_result_cacheable(from, ctx);
+    get_or_build(
+        &ctx.caches.from_results,
+        cacheable,
+        from as *const FromPlan as usize,
+        || Ok(Rc::new(exec_from_uncached(from, ctx, ctes, depth)?)),
+    )
+}
+
+fn exec_from_uncached(
+    from: &FromPlan,
+    ctx: &EngineCtx,
+    ctes: &CteEnv,
+    depth: u32,
+) -> Result<FromResult> {
     match from {
         FromPlan::SeqScan { table, alias } => {
             let t = ctx.catalog.table(table)?;
@@ -1539,9 +1886,17 @@ fn exec_from(from: &FromPlan, ctx: &EngineCtx, ctes: &CteEnv, depth: u32) -> Res
                     .map(|c| ColMeta::new(Some(alias), &c.name))
                     .collect(),
             };
+            // Zero-copy scan: hand out shared references to table
+            // storage (the Cloning baseline deep-copies, as the pipeline
+            // did before rows were shared).
+            let rows = if ctx.clone_scans {
+                t.rows.iter().map(Row::deep_clone).collect()
+            } else {
+                t.rows.clone()
+            };
             Ok(FromResult {
                 schema,
-                rows: t.rows.clone(),
+                rows,
                 via_index: false,
                 has_cte: false,
                 has_full_join: false,
@@ -1593,7 +1948,16 @@ fn exec_from(from: &FromPlan, ctx: &EngineCtx, ctes: &CteEnv, depth: u32) -> Res
             if *reverse {
                 keyed.reverse();
             }
-            let rows = keyed.into_iter().map(|(_, i)| t.rows[i].clone()).collect();
+            let rows = keyed
+                .into_iter()
+                .map(|(_, i)| {
+                    if ctx.clone_scans {
+                        t.rows[i].deep_clone()
+                    } else {
+                        t.rows[i].clone()
+                    }
+                })
+                .collect();
             Ok(FromResult {
                 schema,
                 rows,
@@ -1658,7 +2022,7 @@ fn exec_from(from: &FromPlan, ctx: &EngineCtx, ctes: &CteEnv, depth: u32) -> Res
                     };
                     vals.push(eval_expr(e, env)?);
                 }
-                out.push(vals);
+                out.push(Row::new(vals));
             }
             let arity = rows.first().map(|r| r.len()).unwrap_or(0);
             let names: Vec<String> = if columns.is_empty() {
@@ -1702,9 +2066,14 @@ fn exec_from(from: &FromPlan, ctx: &EngineCtx, ctes: &CteEnv, depth: u32) -> Res
                     .map(|c| ColMeta::new(Some(alias), c).from_cte(true))
                     .collect(),
             };
+            let rows = if ctx.clone_scans {
+                data.rel.rows.iter().map(Row::deep_clone).collect()
+            } else {
+                data.rel.rows.clone()
+            };
             Ok(FromResult {
                 schema,
-                rows: data.rel.rows.clone(),
+                rows,
                 via_index: false,
                 has_cte: true,
                 has_full_join: false,
@@ -1725,8 +2094,8 @@ fn exec_from(from: &FromPlan, ctx: &EngineCtx, ctes: &CteEnv, depth: u32) -> Res
                 on.as_ref(),
                 hash_keys,
                 residual.as_ref(),
-                l,
-                r,
+                &l,
+                &r,
                 ctx,
                 ctes,
                 depth,
@@ -1737,7 +2106,12 @@ fn exec_from(from: &FromPlan, ctx: &EngineCtx, ctes: &CteEnv, depth: u32) -> Res
             pred,
             is_clause_root,
         } => {
-            let mut res = exec_from(input, ctx, ctes, depth)?;
+            let input_res = exec_from(input, ctx, ctes, depth)?;
+            // An uncached input is uniquely owned and moves out; a cached
+            // (shared) one clones, which for shared rows is a refcount
+            // bump per row plus the schema.
+            let mut res =
+                Rc::try_unwrap(input_res).unwrap_or_else(|shared| FromResult::clone(&shared));
             // A pushed predicate is still the clause's top-level
             // expression only if it was the entire WHERE clause;
             // conjunction fragments are not.
@@ -1749,7 +2123,8 @@ fn exec_from(from: &FromPlan, ctx: &EngineCtx, ctes: &CteEnv, depth: u32) -> Res
                 depth,
             };
             let prepared = Prepared::new(pred, &[&res.schema], depth, ctx)?;
-            res.rows = apply_filter(res.rows, &res.schema, &prepared, ctx, ctes, &[], info)?;
+            let rows = std::mem::take(&mut res.rows);
+            res.rows = apply_filter(rows, &res.schema, &prepared, ctx, ctes, &[], info)?;
             Ok(res)
         }
     }
@@ -1764,14 +2139,39 @@ fn is_inequality(e: &Expr) -> bool {
     )
 }
 
+/// Concatenate two row halves into a fresh output row.
+fn concat_row(l: &[Value], r: &[Value]) -> Row {
+    let mut out = Vec::with_capacity(l.len() + r.len());
+    out.extend_from_slice(l);
+    out.extend_from_slice(r);
+    Row::new(out)
+}
+
+/// A row padded with NULLs on the right (unmatched left row of an outer
+/// join).
+fn pad_right(l: &[Value], n: usize) -> Row {
+    let mut out = Vec::with_capacity(l.len() + n);
+    out.extend_from_slice(l);
+    out.extend(std::iter::repeat_with(|| Value::Null).take(n));
+    Row::new(out)
+}
+
+/// A row padded with NULLs on the left (unmatched right row).
+fn pad_left(n: usize, r: &[Value]) -> Row {
+    let mut out = Vec::with_capacity(n + r.len());
+    out.extend(std::iter::repeat_with(|| Value::Null).take(n));
+    out.extend_from_slice(r);
+    Row::new(out)
+}
+
 #[allow(clippy::too_many_arguments)]
 fn exec_join(
     kind: JoinKind,
     on: Option<&Expr>,
     hash_keys: &[(Expr, Expr)],
     residual: Option<&Expr>,
-    left: FromResult,
-    right: FromResult,
+    left: &FromResult,
+    right: &FromResult,
     ctx: &EngineCtx,
     ctes: &CteEnv,
     depth: u32,
@@ -1799,8 +2199,7 @@ fn exec_join(
         }
         if ctx.bugs.active(BugId::DuckdbCrashIEJoinTypes) && is_inequality(on_expr) {
             if let (Some(lrow), Some(rrow)) = (left.rows.first(), right.rows.first()) {
-                let mut combined = lrow.clone();
-                combined.extend(rrow.iter().cloned());
+                let combined = concat_row(lrow, rrow);
                 if let Expr::Binary {
                     left: a, right: b, ..
                 } = on_expr
@@ -1875,7 +2274,7 @@ fn exec_join(
     // values' storage classes break hash-key transitivity at runtime.
     if !hash_keys.is_empty() && !on_forced_true && !ctx.force_nested_loop && !ctx.rebind_per_row {
         if let Some(rows) = hash_join(
-            kind, hash_keys, residual, &left, &right, &schema, ctx, ctes, depth, info,
+            kind, hash_keys, residual, left, right, &schema, ctx, ctes, depth, info,
         )? {
             return Ok(FromResult {
                 schema,
@@ -1902,8 +2301,7 @@ fn exec_join(
         let mut matched = false;
         for (ri, rrow) in right.rows.iter().enumerate() {
             ctx.consume_fuel(1)?;
-            let mut combined = lrow.clone();
-            combined.extend(rrow.iter().cloned());
+            let combined = concat_row(lrow, rrow);
             let is_match = if on_forced_true {
                 true
             } else {
@@ -1937,18 +2335,14 @@ fn exec_join(
         }
         if !matched && matches!(kind, JoinKind::Left | JoinKind::Full) {
             ctx.cov.hit(pt::EXEC_JOIN_PAD_LEFT);
-            let mut padded = lrow.clone();
-            padded.extend(std::iter::repeat_with(|| Value::Null).take(rw));
-            rows.push(padded);
+            rows.push(pad_right(lrow, rw));
         }
     }
     if matches!(kind, JoinKind::Right | JoinKind::Full) {
         for (ri, rrow) in right.rows.iter().enumerate() {
             if !right_matched[ri] {
                 ctx.cov.hit(pt::EXEC_JOIN_PAD_RIGHT);
-                let mut padded: Row = std::iter::repeat_with(|| Value::Null).take(lw).collect();
-                padded.extend(rrow.iter().cloned());
-                rows.push(padded);
+                rows.push(pad_left(lw, rrow));
             }
         }
     }
@@ -2193,8 +2587,7 @@ fn hash_join(
         } else if let Some(candidates) = table.get(&norm) {
             for &ri in candidates {
                 ctx.consume_fuel(1)?;
-                let mut combined = lrow.clone();
-                combined.extend(right.rows[ri].iter().cloned());
+                let combined = concat_row(lrow, &right.rows[ri]);
                 let keep = match &residual_prepared {
                     None => true,
                     Some(pred) => {
@@ -2225,9 +2618,7 @@ fn hash_join(
             ctx.cov.hit(pt::EXEC_JOIN_PROBE_MISS);
             if matches!(kind, JoinKind::Left | JoinKind::Full) {
                 ctx.cov.hit(pt::EXEC_JOIN_PAD_LEFT);
-                let mut padded = lrow.clone();
-                padded.extend(std::iter::repeat_with(|| Value::Null).take(rw));
-                rows.push(padded);
+                rows.push(pad_right(lrow, rw));
             }
         }
     }
@@ -2238,9 +2629,7 @@ fn hash_join(
         for (ri, rrow) in right.rows.iter().enumerate() {
             if !right_matched[ri] {
                 ctx.cov.hit(pt::EXEC_JOIN_PAD_RIGHT);
-                let mut padded: Row = std::iter::repeat_with(|| Value::Null).take(lw).collect();
-                padded.extend(rrow.iter().cloned());
-                rows.push(padded);
+                rows.push(pad_left(lw, rrow));
             }
         }
     }

@@ -46,24 +46,48 @@
 //!    matching real engines, where name resolution is static.
 //! 3. **exec** ([`exec`]): row loops evaluate bound expressions via
 //!    [`eval::eval_bound`] against a reused frame stack — zero heap
-//!    allocation per row for name resolution. Joins with recognized
+//!    allocation per row for name resolution. Rows themselves are
+//!    **shared, copy-on-write** ([`value::Row`] is `Rc<[Value]>`-backed):
+//!    scans hand out refcount bumps to table / CTE storage instead of
+//!    cloning, joins and projections freeze freshly built value vectors
+//!    into shared slices, and DML writes copy only when a snapshot or
+//!    in-flight relation still holds the row. Joins with recognized
 //!    equality keys run as build/probe hash joins over the bound key
 //!    ordinals (SQL NULL-key semantics; duplicates chain; the nested
 //!    loop remains for non-equi predicates, runtime mixed-class keys,
 //!    and differential testing via [`Database::set_join_mode`]).
-//!    Subqueries are planned and bound lazily at evaluation time (with
-//!    the outer scopes in place) — but only **once per statement**: a
-//!    per-statement cache keyed by subquery AST identity reuses the
-//!    compiled plan and bindings across evaluations, and memoizes the
-//!    full result relation for subqueries that provably read no outer
-//!    column. All caches die at the statement boundary, so DML can
-//!    never leak stale results.
+//!    `column <cmp> row-invariant` filters classify rows by direct value
+//!    comparison after evaluating the invariant side once (exact: any
+//!    TEXT/non-TEXT mix or hooked context falls back to the per-row
+//!    interpreter). Subqueries are planned and bound lazily at
+//!    evaluation time (with the outer scopes in place) — but only
+//!    **once per statement**: a per-statement cache keyed by subquery
+//!    AST identity reuses the compiled plan and bindings across
+//!    evaluations, and result memoization is two-tier, driven by a
+//!    runtime correlation detector that records exactly which outer
+//!    slots an evaluation read. No outer reads → the full result
+//!    relation is memoized; outer reads → results are **memoized per
+//!    outer key** (the values of precisely those slots), so a
+//!    correlated subquery over K distinct outer keys executes K times,
+//!    not once per outer row — `EXPLAIN` annotates the predicted
+//!    strategy (`MEMO(full)` / `MEMO(keyed: n slots)` / `NONE`) and
+//!    [`Database::subquery_memo_stats`] counts hits and misses.
+//!    Cacheable FROM subtrees (no CTE scans, derived tables or embedded
+//!    subqueries) also materialize once per statement and are shared
+//!    across a correlated subquery's re-instantiations. All caches die
+//!    at the statement boundary, so DML can never leak stale results.
 //!
 //! [`exec::BindMode::PerRow`] (via [`Database::set_bind_mode`]) re-binds
 //! every row instead — the tree-walking baseline kept for benchmarking
 //! the bind-once speedup on otherwise identical machinery. It bypasses
 //! the per-statement caches and the hash join, so it also preserves the
-//! pre-cache execution profile as a comparison point.
+//! pre-cache execution profile as a comparison point. Orthogonally,
+//! [`exec::ScanMode::Cloning`] (via [`Database::set_scan_mode`]) deep-
+//! clones every scanned row and rematerializes FROM subtrees per
+//! instantiation — the pre-shared-row pipeline, kept for differential
+//! testing (`coddb/tests/scan_differential.rs` checks byte-identical
+//! results and identical coverage bitsets) and as the cloning baseline
+//! in `BENCH_engine.json`.
 
 pub mod ast;
 pub mod bind;
@@ -85,5 +109,5 @@ pub use bugs::{BugId, BugKind, BugRegistry};
 pub use database::{Database, ExecOutcome};
 pub use dialect::Dialect;
 pub use error::{Error, Result, Severity};
-pub use exec::{BindMode, JoinMode};
+pub use exec::{BindMode, JoinMode, ScanMode};
 pub use value::{DataType, Relation, Row, Value};

@@ -961,10 +961,300 @@ fn normalize_for_index(expr: &Expr, alias: &str) -> Expr {
 /// output). The text intentionally shows what the fingerprint hashes:
 /// access paths, join kinds, aggregation and subplan structure.
 pub fn explain(plan: &SelectPlan) -> String {
+    explain_with_memo(plan, true, None)
+}
+
+/// How EXPLAIN renders: whether subquery memoization is enabled (the
+/// `BindMode::PerRow` baseline bypasses every cache and annotates
+/// `NONE`), and the catalog — when present, bare column references
+/// classify against the actual columns of the subquery's relations.
+#[derive(Clone, Copy)]
+struct ExplainCtx<'a> {
+    memo: bool,
+    catalog: Option<&'a Catalog>,
+}
+
+/// [`explain`], annotating every subquery with its predicted result-memo
+/// strategy (`MEMO(full)` / `MEMO(keyed: n slots)` / `NONE`). The
+/// prediction is the static mirror of the runtime correlation detector:
+/// column references that cannot resolve against any relation named
+/// inside the subquery are outer slots and become the memo key (the
+/// runtime detector — which also sees mutant-redirected reads — stays
+/// authoritative).
+pub fn explain_with_memo(
+    plan: &SelectPlan,
+    memo_enabled: bool,
+    catalog: Option<&Catalog>,
+) -> String {
     let mut out = String::new();
-    explain_select(plan, 0, &mut out);
+    let ectx = ExplainCtx {
+        memo: memo_enabled,
+        catalog,
+    };
+    explain_select(plan, 0, ectx, &mut out);
     out.pop(); // trailing newline
     out
+}
+
+/// The output column names a SELECT is statically known to produce.
+/// Sets `unknown` when enumeration is incomplete (wildcards).
+fn select_output_columns(
+    q: &Select,
+    out: &mut std::collections::BTreeSet<String>,
+    unknown: &mut bool,
+) {
+    fn body_cols(
+        b: &crate::ast::SelectBody,
+        out: &mut std::collections::BTreeSet<String>,
+        unknown: &mut bool,
+    ) {
+        match b {
+            crate::ast::SelectBody::Core(core) => {
+                for item in &core.items {
+                    match item {
+                        SelectItem::Expr { expr, alias } => {
+                            let name = match alias {
+                                Some(a) => a.to_ascii_lowercase(),
+                                None => match expr {
+                                    Expr::Column(c) => c.column.to_ascii_lowercase(),
+                                    other => other.to_string().to_ascii_lowercase(),
+                                },
+                            };
+                            out.insert(name);
+                        }
+                        _ => *unknown = true,
+                    }
+                }
+            }
+            crate::ast::SelectBody::SetOp { left, .. } => body_cols(left, out, unknown),
+            crate::ast::SelectBody::Values(rows) => {
+                let arity = rows.first().map(|r| r.len()).unwrap_or(0);
+                out.extend((1..=arity).map(|i| format!("column{i}")));
+            }
+        }
+    }
+    body_cols(&q.body, out, unknown);
+}
+
+/// Collect the column names every relation inside `q` contributes —
+/// what bare references can resolve against locally. Sets `unknown`
+/// when some relation's columns cannot be enumerated statically.
+fn local_columns(
+    q: &Select,
+    catalog: &Catalog,
+    out: &mut std::collections::BTreeSet<String>,
+    unknown: &mut bool,
+) {
+    for cte in &q.with {
+        if cte.columns.is_empty() {
+            select_output_columns(&cte.query, out, unknown);
+        } else {
+            out.extend(cte.columns.iter().map(|c| c.to_ascii_lowercase()));
+        }
+        local_columns(&cte.query, catalog, out, unknown);
+    }
+    fn from_cols(
+        te: &crate::ast::TableExpr,
+        catalog: &Catalog,
+        out: &mut std::collections::BTreeSet<String>,
+        unknown: &mut bool,
+    ) {
+        match te {
+            crate::ast::TableExpr::Named { name, .. } => {
+                if let Ok(t) = catalog.table(name) {
+                    out.extend(t.column_names().iter().map(|c| c.to_ascii_lowercase()));
+                } else if let Some(v) = catalog.view(name) {
+                    if v.columns.is_empty() {
+                        select_output_columns(&v.query, out, unknown);
+                    } else {
+                        out.extend(v.columns.iter().map(|c| c.to_ascii_lowercase()));
+                    }
+                } else {
+                    // A CTE reference (columns collected from `with`
+                    // above / the enclosing query) or a missing relation.
+                    *unknown = true;
+                }
+            }
+            crate::ast::TableExpr::Derived { query, .. } => {
+                select_output_columns(query, out, unknown);
+                local_columns(query, catalog, out, unknown);
+            }
+            crate::ast::TableExpr::Values { rows, columns, .. } => {
+                if columns.is_empty() {
+                    let arity = rows.first().map(|r| r.len()).unwrap_or(0);
+                    out.extend((1..=arity).map(|i| format!("column{i}")));
+                } else {
+                    out.extend(columns.iter().map(|c| c.to_ascii_lowercase()));
+                }
+            }
+            crate::ast::TableExpr::Join { left, right, .. } => {
+                from_cols(left, catalog, out, unknown);
+                from_cols(right, catalog, out, unknown);
+            }
+        }
+    }
+    fn body_from_cols(
+        b: &crate::ast::SelectBody,
+        catalog: &Catalog,
+        out: &mut std::collections::BTreeSet<String>,
+        unknown: &mut bool,
+    ) {
+        match b {
+            crate::ast::SelectBody::Core(core) => {
+                if let Some(f) = &core.from {
+                    from_cols(f, catalog, out, unknown);
+                }
+            }
+            crate::ast::SelectBody::SetOp { left, right, .. } => {
+                body_from_cols(left, catalog, out, unknown);
+                body_from_cols(right, catalog, out, unknown);
+            }
+            crate::ast::SelectBody::Values(_) => {}
+        }
+    }
+    body_from_cols(&q.body, catalog, out, unknown);
+    crate::ast::visit::walk_select_exprs(q, &mut |e| {
+        if let Expr::InSubquery { query, .. }
+        | Expr::Exists { query, .. }
+        | Expr::Scalar(query)
+        | Expr::Quantified { query, .. } = e
+        {
+            let mut nested_unknown = false;
+            body_from_cols(&query.body, catalog, out, &mut nested_unknown);
+            if nested_unknown {
+                *unknown = true;
+            }
+        }
+    });
+}
+
+/// Collect every relation name or alias defined anywhere inside a
+/// subquery (its FROM trees, CTE names, and nested subqueries) — the
+/// names local column references can resolve against.
+fn local_aliases(q: &Select, out: &mut std::collections::BTreeSet<String>) {
+    for cte in &q.with {
+        out.insert(cte.name.to_ascii_lowercase());
+        local_aliases(&cte.query, out);
+    }
+    fn from_aliases(te: &crate::ast::TableExpr, out: &mut std::collections::BTreeSet<String>) {
+        match te {
+            crate::ast::TableExpr::Named { name, alias, .. } => {
+                out.insert(
+                    alias
+                        .as_deref()
+                        .unwrap_or(name.as_str())
+                        .to_ascii_lowercase(),
+                );
+            }
+            crate::ast::TableExpr::Derived { alias, query } => {
+                out.insert(alias.to_ascii_lowercase());
+                local_aliases(query, out);
+            }
+            crate::ast::TableExpr::Values { alias, .. } => {
+                out.insert(alias.to_ascii_lowercase());
+            }
+            crate::ast::TableExpr::Join { left, right, .. } => {
+                from_aliases(left, out);
+                from_aliases(right, out);
+            }
+        }
+    }
+    fn body_aliases(b: &crate::ast::SelectBody, out: &mut std::collections::BTreeSet<String>) {
+        match b {
+            crate::ast::SelectBody::Core(core) => {
+                if let Some(f) = &core.from {
+                    from_aliases(f, out);
+                }
+            }
+            crate::ast::SelectBody::SetOp { left, right, .. } => {
+                body_aliases(left, out);
+                body_aliases(right, out);
+            }
+            crate::ast::SelectBody::Values(_) => {}
+        }
+    }
+    body_aliases(&q.body, out);
+    // Nested subqueries introduce their own scopes; their aliases are
+    // still "inside" q for the purpose of q's outer slots.
+    crate::ast::visit::walk_select_exprs(q, &mut |e| {
+        if let Expr::InSubquery { query, .. }
+        | Expr::Exists { query, .. }
+        | Expr::Scalar(query)
+        | Expr::Quantified { query, .. } = e
+        {
+            let mut nested = std::collections::BTreeSet::new();
+            body_aliases(&query.body, &mut nested);
+            for cte in &query.with {
+                nested.insert(cte.name.to_ascii_lowercase());
+            }
+            out.extend(nested);
+        }
+    });
+}
+
+/// Statically count a subquery's outer slots: distinct qualified column
+/// references whose qualifier names no relation inside the subquery,
+/// plus bare references that name no column of any local relation (when
+/// the catalog lets those columns be enumerated — and every bare
+/// reference for FROM-less probes). The runtime detector — which also
+/// sees reads the name-collision mutant redirects — is authoritative;
+/// this is the planner's prediction for EXPLAIN.
+fn static_outer_slots(q: &Select, catalog: Option<&Catalog>) -> usize {
+    let mut aliases = std::collections::BTreeSet::new();
+    local_aliases(q, &mut aliases);
+    // Bare references resolve against the local columns when these are
+    // statically enumerable; otherwise they are assumed local.
+    let mut cols = std::collections::BTreeSet::new();
+    let mut cols_unknown = catalog.is_none();
+    if let Some(catalog) = catalog {
+        local_columns(q, catalog, &mut cols, &mut cols_unknown);
+    }
+    let mut outer: std::collections::BTreeSet<(String, String)> = std::collections::BTreeSet::new();
+    crate::ast::visit::walk_select_exprs(q, &mut |e| {
+        if let Expr::Column(c) = e {
+            let col = c.column.to_ascii_lowercase();
+            match &c.table {
+                Some(t) => {
+                    let t = t.to_ascii_lowercase();
+                    if !aliases.contains(&t) {
+                        outer.insert((t, col));
+                    }
+                }
+                None => {
+                    if aliases.is_empty() || (!cols_unknown && !cols.contains(&col)) {
+                        outer.insert((String::new(), col));
+                    }
+                }
+            }
+        }
+    });
+    outer.len()
+}
+
+/// The EXPLAIN annotation line for one subquery.
+fn memo_note(q: &Select, ectx: ExplainCtx) -> String {
+    if !ectx.memo {
+        return "SUBQUERY NONE".into();
+    }
+    match static_outer_slots(q, ectx.catalog) {
+        0 => "SUBQUERY MEMO(full)".into(),
+        n => format!("SUBQUERY MEMO(keyed: {n} slots)"),
+    }
+}
+
+/// Append one annotation line per subquery directly inside `e`.
+fn memo_notes(e: &Expr, indent: usize, ectx: ExplainCtx, out: &mut String) {
+    crate::ast::visit::walk_expr_shallow(e, &mut |node| {
+        if let Expr::InSubquery { query, .. }
+        | Expr::Exists { query, .. }
+        | Expr::Scalar(query)
+        | Expr::Quantified { query, .. } = node
+        {
+            pad(indent, out);
+            out.push_str(&memo_note(query, ectx));
+            out.push('\n');
+        }
+    });
 }
 
 fn pad(indent: usize, out: &mut String) {
@@ -973,11 +1263,11 @@ fn pad(indent: usize, out: &mut String) {
     }
 }
 
-fn explain_select(plan: &SelectPlan, indent: usize, out: &mut String) {
+fn explain_select(plan: &SelectPlan, indent: usize, ectx: ExplainCtx, out: &mut String) {
     for (name, _, cte) in &plan.ctes {
         pad(indent, out);
         out.push_str(&format!("MATERIALIZE CTE {name}\n"));
-        explain_select(cte, indent + 1, out);
+        explain_select(cte, indent + 1, ectx, out);
     }
     if !plan.order_by.is_empty() {
         pad(indent, out);
@@ -987,10 +1277,10 @@ fn explain_select(plan: &SelectPlan, indent: usize, out: &mut String) {
         pad(indent, out);
         out.push_str("LIMIT/OFFSET\n");
     }
-    explain_body(&plan.body, indent, out);
+    explain_body(&plan.body, indent, ectx, out);
 }
 
-fn explain_body(body: &BodyPlan, indent: usize, out: &mut String) {
+fn explain_body(body: &BodyPlan, indent: usize, ectx: ExplainCtx, out: &mut String) {
     match body {
         BodyPlan::Core(core) => {
             pad(indent, out);
@@ -1004,6 +1294,11 @@ fn explain_body(body: &BodyPlan, indent: usize, out: &mut String) {
                 label.push_str(" DISTINCT");
             }
             out.push_str(&format!("{label} ({} item(s))\n", core.items.len()));
+            for item in &core.items {
+                if let SelectItem::Expr { expr, .. } = item {
+                    memo_notes(expr, indent + 1, ectx, out);
+                }
+            }
             if agg {
                 pad(indent + 1, out);
                 out.push_str(&format!(
@@ -1015,13 +1310,17 @@ fn explain_body(body: &BodyPlan, indent: usize, out: &mut String) {
                         ""
                     }
                 ));
+                if let Some(h) = &core.having {
+                    memo_notes(h, indent + 2, ectx, out);
+                }
             }
             if let Some(w) = &core.where_clause {
                 pad(indent + 1, out);
                 out.push_str(&format!("FILTER {w}\n"));
+                memo_notes(w, indent + 2, ectx, out);
             }
             match &core.from {
-                Some(f) => explain_from(f, indent + 1, out),
+                Some(f) => explain_from(f, indent + 1, ectx, out),
                 None => {
                     pad(indent + 1, out);
                     out.push_str("SINGLE ROW\n");
@@ -1040,8 +1339,8 @@ fn explain_body(body: &BodyPlan, indent: usize, out: &mut String) {
                 op.sql_name(),
                 if *all { " ALL" } else { "" }
             ));
-            explain_body(left, indent + 1, out);
-            explain_body(right, indent + 1, out);
+            explain_body(left, indent + 1, ectx, out);
+            explain_body(right, indent + 1, ectx, out);
         }
         BodyPlan::Values(rows) => {
             pad(indent, out);
@@ -1050,7 +1349,7 @@ fn explain_body(body: &BodyPlan, indent: usize, out: &mut String) {
     }
 }
 
-fn explain_from(from: &FromPlan, indent: usize, out: &mut String) {
+fn explain_from(from: &FromPlan, indent: usize, ectx: ExplainCtx, out: &mut String) {
     match from {
         FromPlan::SeqScan { table, alias } => {
             pad(indent, out);
@@ -1079,7 +1378,7 @@ fn explain_from(from: &FromPlan, indent: usize, out: &mut String) {
                 "{} {alias}\n",
                 if *from_view { "VIEW" } else { "DERIVED" }
             ));
-            explain_select(plan, indent + 1, out);
+            explain_select(plan, indent + 1, ectx, out);
         }
         FromPlan::ValuesScan { rows, alias, .. } => {
             pad(indent, out);
@@ -1108,13 +1407,17 @@ fn explain_from(from: &FromPlan, indent: usize, out: &mut String) {
                 kind.sql_name(),
                 on.as_ref().map(|o| format!(" ON {o}")).unwrap_or_default()
             ));
-            explain_from(left, indent + 1, out);
-            explain_from(right, indent + 1, out);
+            if let Some(on) = on {
+                memo_notes(on, indent + 1, ectx, out);
+            }
+            explain_from(left, indent + 1, ectx, out);
+            explain_from(right, indent + 1, ectx, out);
         }
         FromPlan::Filtered { input, pred, .. } => {
             pad(indent, out);
             out.push_str(&format!("PUSHED FILTER {pred}\n"));
-            explain_from(input, indent + 1, out);
+            memo_notes(pred, indent + 1, ectx, out);
+            explain_from(input, indent + 1, ectx, out);
         }
     }
 }

@@ -12,6 +12,7 @@
 
 use std::cmp::Ordering;
 use std::fmt;
+use std::rc::Rc;
 
 /// Column / expression data types.
 ///
@@ -271,8 +272,99 @@ impl Ord for OrdValue {
     }
 }
 
-/// A row is a flat vector of values.
-pub type Row = Vec<Value>;
+/// A row in flight: a shared, copy-on-write slice of values.
+///
+/// Rows are `Rc<[Value]>`-backed so that the operator pipeline is
+/// zero-copy for scans: `exec_from` hands out refcount bumps to table
+/// storage instead of deep-cloning every row, joins and projections
+/// freeze freshly built `Vec<Value>`s into shared slices, and DML writes
+/// go through [`Row::set`], which copies only when the storage is still
+/// shared (e.g. with a [`crate::Database::snapshot`]). Reads deref to
+/// `&[Value]`; there is deliberately no `DerefMut` — every mutation is a
+/// copy-on-write [`Row::set`].
+#[derive(Debug, Clone)]
+pub struct Row(Rc<[Value]>);
+
+impl Row {
+    /// Freeze a freshly built value vector into a shareable row.
+    pub fn new(values: Vec<Value>) -> Row {
+        Row(values.into())
+    }
+
+    pub fn as_slice(&self) -> &[Value] {
+        &self.0
+    }
+
+    pub fn to_vec(&self) -> Vec<Value> {
+        self.0.to_vec()
+    }
+
+    /// Copy-on-write write: in-place when this row is the sole owner of
+    /// its storage, otherwise the slice is copied first (never disturbing
+    /// other owners — snapshots, in-flight relations, memoized results).
+    pub fn set(&mut self, index: usize, value: Value) {
+        match Rc::get_mut(&mut self.0) {
+            Some(slice) => slice[index] = value,
+            None => {
+                let mut buf = self.0.to_vec();
+                buf[index] = value;
+                self.0 = buf.into();
+            }
+        }
+    }
+
+    /// A deep copy with fresh storage (the [`crate::exec::ScanMode::Cloning`]
+    /// differential baseline re-clones rows the way the pipeline did
+    /// before rows were shared).
+    pub fn deep_clone(&self) -> Row {
+        Row(self.0.to_vec().into())
+    }
+
+    /// Do `self` and `other` share the same storage?
+    pub fn shares_storage_with(&self, other: &Row) -> bool {
+        Rc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+impl std::ops::Deref for Row {
+    type Target = [Value];
+    #[inline]
+    fn deref(&self) -> &[Value] {
+        &self.0
+    }
+}
+
+impl From<Vec<Value>> for Row {
+    fn from(values: Vec<Value>) -> Row {
+        Row::new(values)
+    }
+}
+
+impl FromIterator<Value> for Row {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Row {
+        Row(Rc::from_iter(iter))
+    }
+}
+
+impl PartialEq for Row {
+    fn eq(&self, other: &Row) -> bool {
+        self.0 == other.0
+    }
+}
+
+/// Rows compare against plain value vectors so tests and oracles can
+/// state expected results as `vec![vec![...]]` literals.
+impl PartialEq<Vec<Value>> for Row {
+    fn eq(&self, other: &Vec<Value>) -> bool {
+        *self.0 == other[..]
+    }
+}
+
+impl PartialEq<Row> for Vec<Value> {
+    fn eq(&self, other: &Row) -> bool {
+        self[..] == *other.0
+    }
+}
 
 /// Ordering wrapper over whole rows.
 #[derive(Debug, Clone, PartialEq)]
@@ -319,7 +411,15 @@ impl Relation {
     pub fn single(value: Value) -> Self {
         Relation {
             columns: vec!["v".into()],
-            rows: vec![vec![value]],
+            rows: vec![Row::new(vec![value])],
+        }
+    }
+
+    /// Build a relation from plain value vectors (test / oracle helper).
+    pub fn from_rows(columns: Vec<String>, rows: Vec<Vec<Value>>) -> Self {
+        Relation {
+            columns,
+            rows: rows.into_iter().map(Row::new).collect(),
         }
     }
 
@@ -382,6 +482,14 @@ impl Relation {
         a.iter()
             .zip(b.iter())
             .all(|(x, y)| row_total_cmp(x, y) == Ordering::Equal)
+    }
+
+    /// Deep-copy every row into fresh storage (differential baselines).
+    pub fn deep_clone(&self) -> Relation {
+        Relation {
+            columns: self.columns.clone(),
+            rows: self.rows.iter().map(Row::deep_clone).collect(),
+        }
     }
 
     /// Canonical display for reports: `col1|col2` header then rows.
@@ -461,35 +569,47 @@ mod tests {
 
     #[test]
     fn multiset_equality_ignores_order() {
-        let a = Relation {
-            columns: vec!["c".into()],
-            rows: vec![vec![Value::Int(1)], vec![Value::Int(2)]],
-        };
-        let b = Relation {
-            columns: vec!["c".into()],
-            rows: vec![vec![Value::Int(2)], vec![Value::Int(1)]],
-        };
+        let a = Relation::from_rows(
+            vec!["c".into()],
+            vec![vec![Value::Int(1)], vec![Value::Int(2)]],
+        );
+        let b = Relation::from_rows(
+            vec!["c".into()],
+            vec![vec![Value::Int(2)], vec![Value::Int(1)]],
+        );
         assert!(a.multiset_eq(&b));
-        let c = Relation {
-            columns: vec!["c".into()],
-            rows: vec![vec![Value::Int(2)]],
-        };
+        let c = Relation::from_rows(vec!["c".into()], vec![vec![Value::Int(2)]]);
         assert!(!a.multiset_eq(&c));
     }
 
     #[test]
     fn column_type_inference() {
-        let r = Relation {
-            columns: vec!["a".into(), "b".into(), "c".into()],
-            rows: vec![
+        let r = Relation::from_rows(
+            vec!["a".into(), "b".into(), "c".into()],
+            vec![
                 vec![Value::Int(1), Value::Null, Value::Real(1.5)],
                 vec![Value::Int(2), Value::Null, Value::Int(2)],
             ],
-        };
+        );
         assert_eq!(
             r.column_types(),
             vec![DataType::Int, DataType::Any, DataType::Real]
         );
+    }
+
+    #[test]
+    fn row_copy_on_write_preserves_other_owners() {
+        let a = Row::new(vec![Value::Int(1), Value::Int(2)]);
+        let mut b = a.clone();
+        assert!(a.shares_storage_with(&b));
+        b.set(0, Value::Int(9));
+        assert!(!a.shares_storage_with(&b));
+        assert_eq!(a, vec![Value::Int(1), Value::Int(2)]);
+        assert_eq!(b, vec![Value::Int(9), Value::Int(2)]);
+        // A sole owner writes in place without reallocating.
+        let mut c = Row::new(vec![Value::Int(5)]);
+        c.set(0, Value::Int(6));
+        assert_eq!(c, vec![Value::Int(6)]);
     }
 
     #[test]

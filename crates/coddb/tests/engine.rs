@@ -15,6 +15,9 @@ fn rows(db: &mut Database, sql: &str) -> Vec<Vec<Value>> {
     db.query_sql(sql)
         .unwrap_or_else(|e| panic!("query {sql:?} failed: {e}"))
         .rows
+        .iter()
+        .map(|r| r.to_vec())
+        .collect()
 }
 
 fn scalar(db: &mut Database, sql: &str) -> Value {

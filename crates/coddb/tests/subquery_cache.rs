@@ -120,6 +120,154 @@ fn name_collision_mutant_still_fires_through_the_cache() {
 }
 
 #[test]
+fn correlated_subquery_memoizes_per_outer_key() {
+    // 8 outer rows but only 3 distinct keys: the subquery must execute
+    // once per key (keyed memo), not once per row — and the per-key
+    // answers must still be exact.
+    let mut db = Database::new(Dialect::Sqlite);
+    db.execute_sql(
+        "CREATE TABLE outer_t (grp INT);
+         CREATE TABLE inner_t (b INT);
+         INSERT INTO outer_t VALUES (1), (2), (3), (1), (2), (1), (3), (2);
+         INSERT INTO inner_t VALUES (10), (20), (25), (30)",
+    )
+    .unwrap();
+    let rel = db
+        .query_sql("SELECT grp, (SELECT COUNT(*) FROM inner_t WHERE b > grp * 10) FROM outer_t")
+        .unwrap();
+    let counts: Vec<(i64, i64)> = rel
+        .rows
+        .iter()
+        .map(|r| (r[0].as_i64().unwrap(), r[1].as_i64().unwrap()))
+        .collect();
+    assert_eq!(
+        counts,
+        vec![
+            (1, 3),
+            (2, 2),
+            (3, 0),
+            (1, 3),
+            (2, 2),
+            (1, 3),
+            (3, 0),
+            (2, 2)
+        ],
+        "{rel:?}"
+    );
+    let hits = db.coverage().hit_points();
+    assert!(
+        hits.contains(&"exec::subq_keyed_memo_hit"),
+        "repeated outer keys must reuse the keyed memo: {hits:?}"
+    );
+    // 3 distinct keys -> 3 executions (misses), 5 keyed hits.
+    assert_eq!(db.subquery_memo_stats(), (5, 3));
+}
+
+#[test]
+fn keyed_memo_does_not_survive_statements_or_dml() {
+    let mut db = Database::new(Dialect::Sqlite);
+    db.execute_sql(
+        "CREATE TABLE outer_t (grp INT);
+         CREATE TABLE inner_t (b INT);
+         INSERT INTO outer_t VALUES (1), (1), (2);
+         INSERT INTO inner_t VALUES (10), (20)",
+    )
+    .unwrap();
+    let q = "SELECT grp, (SELECT COUNT(*) FROM inner_t WHERE b > grp * 10) FROM outer_t";
+    let first = db.query_sql(q).unwrap();
+    assert_eq!(
+        first.rows.iter().map(|r| r[1].as_i64()).collect::<Vec<_>>(),
+        vec![Some(1), Some(1), Some(0)]
+    );
+    // DML invalidates by construction: caches die with the statement.
+    db.execute_sql("INSERT INTO inner_t VALUES (30), (40)")
+        .unwrap();
+    let second = db.query_sql(q).unwrap();
+    assert_eq!(
+        second
+            .rows
+            .iter()
+            .map(|r| r[1].as_i64())
+            .collect::<Vec<_>>(),
+        vec![Some(3), Some(3), Some(2)],
+        "a later statement must see fresh table state, not stale keyed memos"
+    );
+}
+
+#[test]
+fn name_collision_mutant_widens_the_memo_key() {
+    // Repeated outer values under TidbCorrelatedNameCollision: the
+    // redirected read joins the memo key, so equal outer values may share
+    // one execution — and must still produce the redirected per-row
+    // answer, while distinct values must not collapse.
+    let setup = "CREATE TABLE t0 (c0 INT); CREATE TABLE t1 (c0 INT);
+         INSERT INTO t0 VALUES (100), (100), (200);
+         INSERT INTO t1 VALUES (7)";
+    let sql = "SELECT (SELECT MAX(c0) FROM t1) FROM t0 ORDER BY 1";
+    let bug = BugId::TidbCorrelatedNameCollision;
+
+    let mut buggy = Database::with_bugs(bug.dialect(), BugRegistry::only(bug));
+    buggy.execute_sql(setup).unwrap();
+    let b = buggy.query_sql(sql).unwrap();
+    assert_eq!(
+        b.rows.iter().map(|r| r[0].as_i64()).collect::<Vec<_>>(),
+        vec![Some(100), Some(100), Some(200)],
+        "the widened key must keep the mutant's per-row redirection exact"
+    );
+}
+
+#[test]
+fn memo_counters_accumulate_across_statements() {
+    let mut db = setup();
+    assert_eq!(db.subquery_memo_stats(), (0, 0));
+    // Non-correlated: 1 execution, 3 result-memo hits (4 outer rows).
+    db.query_sql("SELECT a FROM outer_t WHERE a * 10 <= (SELECT MAX(b) FROM inner_t)")
+        .unwrap();
+    assert_eq!(db.subquery_memo_stats(), (3, 1));
+    // Correlated over 4 distinct keys: 4 more executions, no hits.
+    db.query_sql("SELECT a, (SELECT COUNT(*) FROM inner_t WHERE b > a * 10) FROM outer_t")
+        .unwrap();
+    assert_eq!(db.subquery_memo_stats(), (3, 5));
+    // The PerRow baseline bypasses the caches and counts nothing.
+    db.set_bind_mode(BindMode::PerRow);
+    db.query_sql("SELECT a FROM outer_t WHERE a * 10 <= (SELECT MAX(b) FROM inner_t)")
+        .unwrap();
+    assert_eq!(db.subquery_memo_stats(), (3, 5));
+}
+
+#[test]
+fn explain_prints_the_memo_strategy() {
+    let mut db = setup();
+    let keyed = db
+        .explain_sql(
+            "SELECT a FROM outer_t WHERE a < (SELECT MAX(b) FROM inner_t WHERE b > outer_t.a)",
+        )
+        .unwrap();
+    assert!(
+        keyed.contains("SUBQUERY MEMO(keyed: 1 slots)"),
+        "one outer slot expected:\n{keyed}"
+    );
+    // A *bare* outer reference classifies too: `a` is no column of
+    // inner_t, so it must count as an outer slot.
+    let bare = db
+        .explain_sql("SELECT a FROM outer_t WHERE a < (SELECT MAX(b) FROM inner_t WHERE b > a)")
+        .unwrap();
+    assert!(
+        bare.contains("SUBQUERY MEMO(keyed: 1 slots)"),
+        "bare outer reference must be a keyed slot:\n{bare}"
+    );
+    let full = db
+        .explain_sql("SELECT a FROM outer_t WHERE a < (SELECT MAX(b) FROM inner_t)")
+        .unwrap();
+    assert!(full.contains("SUBQUERY MEMO(full)"), "{full}");
+    db.set_bind_mode(BindMode::PerRow);
+    let none = db
+        .explain_sql("SELECT a FROM outer_t WHERE a < (SELECT MAX(b) FROM inner_t)")
+        .unwrap();
+    assert!(none.contains("SUBQUERY NONE"), "{none}");
+}
+
+#[test]
 fn per_row_baseline_bypasses_every_cache() {
     let mut db = setup();
     db.set_bind_mode(BindMode::PerRow);

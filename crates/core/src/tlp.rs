@@ -7,7 +7,7 @@
 //! CODDTest paper credits it with. Like NoREC, it has no subquery support.
 
 use coddb::ast::{AggFunc, Expr, Select, SelectBody, SelectCore, SelectItem, SetOp, TableExpr};
-use coddb::value::{Relation, Value};
+use coddb::value::{Relation, Row, Value};
 use rand::RngExt;
 use sqlgen::expr::ExprGen;
 use sqlgen::query::{gen_from_context, FromContext};
@@ -284,7 +284,7 @@ impl Tlp {
         }
         let combined = Relation {
             columns: whole_rel.columns.clone(),
-            rows: seen.into_iter().map(|v| vec![v]).collect(),
+            rows: seen.into_iter().map(|v| Row::new(vec![v])).collect(),
         };
         if whole_rel.multiset_eq(&combined) {
             TestOutcome::Pass

@@ -77,7 +77,7 @@ proptest! {
     fn multiset_eq_is_permutation_invariant(rows in prop::collection::vec(
         prop::collection::vec(arb_value(), 2), 0..8), seed in any::<u64>())
     {
-        let a = Relation { columns: vec!["x".into(), "y".into()], rows: rows.clone() };
+        let a = Relation::from_rows(vec!["x".into(), "y".into()], rows.clone());
         let mut shuffled = rows.clone();
         // Deterministic shuffle from the seed.
         let mut s = seed;
@@ -85,7 +85,7 @@ proptest! {
             s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
             shuffled.swap(i, (s as usize) % (i + 1));
         }
-        let b = Relation { columns: vec!["x".into(), "y".into()], rows: shuffled };
+        let b = Relation::from_rows(vec!["x".into(), "y".into()], shuffled);
         prop_assert!(a.multiset_eq(&b));
         // Removing a row breaks equality.
         if !rows.is_empty() {
@@ -190,10 +190,7 @@ proptest! {
     fn column_type_inference_accepts_any_row(rows in prop::collection::vec(
         prop::collection::vec(arb_value(), 3), 1..6))
     {
-        let rel = Relation {
-            columns: vec!["a".into(), "b".into(), "c".into()],
-            rows,
-        };
+        let rel = Relation::from_rows(vec!["a".into(), "b".into(), "c".into()], rows);
         let types = rel.column_types();
         prop_assert_eq!(types.len(), 3);
         // Every non-null value must be storable in the inferred type.

@@ -1,19 +1,25 @@
 //! Perf-trajectory runner: times the engine benchmark shapes in both
 //! bind modes and writes `BENCH_engine.json` so successive PRs can track
 //! the execution pipeline's speed (and the bind-once speedup) over time.
-//! Join shapes are additionally timed with the nested loop forced,
-//! recording the hash join's speedup over the bound nested-loop baseline.
+//! Join shapes are additionally timed with the nested loop forced
+//! (hash-join speedup), scan shapes with cloning scans forced (zero-copy
+//! speedup), and vectorization-dominated shapes with row-at-a-time
+//! evaluation forced (`vectorized_vs_row_speedup`).
 //!
 //! Run with: `cargo run --release -p coddtest-bench --bin bench_engine`
 //! (optionally `-- --out <path>`; `-- --quick` shrinks the measurement
 //! windows for CI smoke runs, which are about compilation + execution
-//! health, not stable numbers).
+//! health, not stable numbers; `-- --shapes a,b,c` measures only the
+//! named shapes — unknown names are an error, which is what lets CI
+//! catch a silently renamed or dropped shape).
 
 use std::time::{Duration, Instant};
 
 use coddb::ast::Select;
-use coddb::{BindMode, Database, JoinMode, ScanMode};
-use coddtest_bench::{engine_setup as setup, is_join_shape, is_scan_shape, QUERY_SHAPES};
+use coddb::{BindMode, Database, EvalMode, JoinMode, ScanMode};
+use coddtest_bench::{
+    engine_setup as setup, is_join_shape, is_scan_shape, is_vec_shape, QUERY_SHAPES,
+};
 
 struct Windows {
     warmup: Duration,
@@ -75,9 +81,29 @@ fn main() {
     } else {
         FULL
     };
+    // --shapes a,b,c: measure a subset; unknown names abort (shape-drop
+    // guard — a renamed shape must not silently vanish from the output).
+    let shape_filter: Option<Vec<String>> = args
+        .iter()
+        .position(|a| a == "--shapes")
+        .and_then(|i| args.get(i + 1))
+        .map(|csv| csv.split(',').map(|s| s.trim().to_string()).collect());
+    if let Some(filter) = &shape_filter {
+        for want in filter {
+            if !QUERY_SHAPES.iter().any(|(name, _)| name == want) {
+                eprintln!("bench_engine: unknown shape in --shapes: {want}");
+                std::process::exit(1);
+            }
+        }
+    }
 
     let mut entries = Vec::new();
     for (name, sql) in QUERY_SHAPES {
+        if let Some(filter) = &shape_filter {
+            if !filter.iter().any(|f| f == name) {
+                continue;
+            }
+        }
         let q = coddb::parser::parse_select(sql).unwrap();
 
         let mut bound_db = setup();
@@ -100,12 +126,12 @@ fn main() {
             cloning_db.set_scan_mode(ScanMode::Cloning);
             let cloning_ns = measure(&mut cloning_db, &q, &windows);
             let scan_speedup = cloning_ns / bound_ns;
-            extra = format!(
+            extra.push_str(&format!(
                 ",\n      \"cloning_scan_ns_per_iter\": {cloning_ns:.0},\n      \"shared_vs_cloning_speedup\": {scan_speedup:.2}"
-            );
-            extra_log = format!(
+            ));
+            extra_log.push_str(&format!(
                 "   cloning {cloning_ns:>12.0} ns/iter   shared speedup {scan_speedup:>5.2}x"
-            );
+            ));
         }
         if is_join_shape(name) {
             // The bound nested loop isolates the hash join's contribution
@@ -115,11 +141,27 @@ fn main() {
             nested_db.set_join_mode(JoinMode::NestedLoop);
             let nested_ns = measure(&mut nested_db, &q, &windows);
             let hash_speedup = nested_ns / bound_ns;
-            extra = format!(
+            extra.push_str(&format!(
                 ",\n      \"bound_nested_loop_ns_per_iter\": {nested_ns:.0},\n      \"hash_vs_nested_speedup\": {hash_speedup:.2}"
-            );
-            extra_log =
-                format!("   nested {nested_ns:>12.0} ns/iter   hash speedup {hash_speedup:>5.2}x");
+            ));
+            extra_log.push_str(&format!(
+                "   nested {nested_ns:>12.0} ns/iter   hash speedup {hash_speedup:>5.2}x"
+            ));
+        }
+        if is_vec_shape(name) {
+            // The row-at-a-time interpreter isolates the chunked
+            // evaluator's contribution on otherwise identical machinery.
+            let mut row_db = setup();
+            row_db.set_bind_mode(BindMode::PerQuery);
+            row_db.set_eval_mode(EvalMode::RowAtATime);
+            let row_ns = measure(&mut row_db, &q, &windows);
+            let vec_speedup = row_ns / bound_ns;
+            extra.push_str(&format!(
+                ",\n      \"row_eval_ns_per_iter\": {row_ns:.0},\n      \"vectorized_vs_row_speedup\": {vec_speedup:.2}"
+            ));
+            extra_log.push_str(&format!(
+                "   row-eval {row_ns:>12.0} ns/iter   vec speedup {vec_speedup:>5.2}x"
+            ));
         }
         println!(
             "{name:<24} bound {bound_ns:>12.0} ns/iter   walk {walk_ns:>12.0} ns/iter   speedup {speedup:>5.2}x{extra_log}"

@@ -60,6 +60,19 @@ pub const QUERY_SHAPES: &[(&str, &str)] = &[
         "subquery_correlated_lowcard",
         "SELECT COUNT(*) FROM t5 WHERE t5.v < (SELECT AVG(t0.c0) FROM t0 WHERE t0.c0 % 6 = t5.grp)",
     ),
+    // Highly selective predicate: the vectorized AND evaluates its right
+    // arm over a thin selection vector (~4 of 200 lanes).
+    (
+        "seq_filter_selective",
+        "SELECT COUNT(*) FROM t0 WHERE c0 % 50 = 7 AND c2 > 10.0",
+    ),
+    // Wide grouped aggregation: five aggregates over the 10-column table,
+    // exercising batched aggregate-argument evaluation per slot.
+    (
+        "group_agg_wide",
+        "SELECT c0 % 5, COUNT(*), AVG(c2), SUM(c3), MIN(c8), MAX(c9) \
+         FROM t4 GROUP BY c0 % 5",
+    ),
 ];
 
 /// Shapes whose dominant operator is a join — `bench_engine` additionally
@@ -76,6 +89,17 @@ pub fn is_scan_shape(name: &str) -> bool {
     matches!(
         name,
         "seq_filter" | "seq_filter_wide" | "subquery_correlated" | "subquery_correlated_lowcard"
+    )
+}
+
+/// Shapes dominated by vectorizable clause evaluation — `bench_engine`
+/// additionally times these with [`coddb::EvalMode::RowAtATime`] forced,
+/// recording the chunked evaluator's speedup over the row-at-a-time
+/// interpreter on otherwise identical machinery.
+pub fn is_vec_shape(name: &str) -> bool {
+    matches!(
+        name,
+        "seq_filter" | "seq_filter_selective" | "seq_filter_wide" | "group_agg" | "group_agg_wide"
     )
 }
 

@@ -13,8 +13,8 @@ use crate::dialect::Dialect;
 use crate::error::{Error, Result};
 use crate::eval::{eval_expr, truthiness, Clause, ExprCtx};
 use crate::exec::{
-    self, BindMode, CteEnv, EngineCtx, EvalEnv, Frame, JoinMode, Prepared, ScanMode, Schema,
-    StmtKind,
+    self, BindMode, CteEnv, EngineCtx, EvalEnv, EvalMode, Frame, JoinMode, Prepared, ScanMode,
+    Schema, StmtKind,
 };
 use crate::value::{Relation, Row, Value};
 
@@ -58,10 +58,12 @@ pub struct Database {
     bind_mode: BindMode,
     join_mode: JoinMode,
     scan_mode: ScanMode,
+    eval_mode: EvalMode,
     last_plan_fp: Option<u64>,
     queries_executed: u64,
     subq_memo_hits: u64,
     subq_memo_misses: u64,
+    fuel_used: u64,
 }
 
 impl Database {
@@ -81,10 +83,12 @@ impl Database {
             bind_mode: BindMode::default(),
             join_mode: JoinMode::default(),
             scan_mode: ScanMode::default(),
+            eval_mode: EvalMode::default(),
             last_plan_fp: None,
             queries_executed: 0,
             subq_memo_hits: 0,
             subq_memo_misses: 0,
+            fuel_used: 0,
         }
     }
 
@@ -143,6 +147,27 @@ impl Database {
         self.scan_mode
     }
 
+    /// Select how clause expressions evaluate over operator input rows:
+    /// [`EvalMode::Vectorized`] (default) runs classified-vectorizable
+    /// expressions chunk-at-a-time through [`crate::vec_eval`],
+    /// [`EvalMode::RowAtATime`] forces the row-at-a-time interpreter
+    /// everywhere — kept for differential testing of the vectorized path
+    /// (mirroring [`Database::set_scan_mode`]) and as a baseline.
+    pub fn set_eval_mode(&mut self, mode: EvalMode) {
+        self.eval_mode = mode;
+    }
+
+    pub fn eval_mode(&self) -> EvalMode {
+        self.eval_mode
+    }
+
+    /// Total execution fuel consumed by statements so far (row-work
+    /// units). The vectorized and row-at-a-time evaluation modes must
+    /// account fuel identically — `eval_differential.rs` asserts it.
+    pub fn fuel_used(&self) -> u64 {
+        self.fuel_used
+    }
+
     /// Subquery result-memo accounting accumulated across statements:
     /// `(hits, misses)`. A hit is a full-result or keyed-memo reuse; a
     /// miss is an actual subquery execution through the cached path (the
@@ -165,6 +190,7 @@ impl Database {
         ctx.rebind_per_row = self.bind_mode == BindMode::PerRow;
         ctx.force_nested_loop = self.join_mode == JoinMode::NestedLoop;
         ctx.clone_scans = self.scan_mode == ScanMode::Cloning;
+        ctx.vectorize = self.eval_mode == EvalMode::Vectorized;
         ctx
     }
 
@@ -309,12 +335,25 @@ impl Database {
             optimize: true,
         };
         let plan = crate::plan::plan_select(q, &pctx, &std::collections::BTreeSet::new())?;
-        // Subqueries are annotated with their predicted memo strategy; the
-        // PerRow baseline bypasses every cache, so it annotates NONE.
-        Ok(crate::plan::explain_with_memo(
+        // Subqueries are annotated with their predicted memo strategy (the
+        // PerRow baseline bypasses every cache, so it annotates NONE), and
+        // each clause with its predicted evaluation mode: [VEC] or
+        // [ROW(<reason>)].
+        let vec = if self.bind_mode == BindMode::PerRow {
+            crate::plan::VecNote::Disabled("per-row bind mode")
+        } else if self.eval_mode == EvalMode::RowAtATime {
+            crate::plan::VecNote::Disabled("row-at-a-time eval mode")
+        } else {
+            crate::plan::VecNote::Predict {
+                bugs: &self.bugs,
+                dialect: self.dialect,
+            }
+        };
+        Ok(crate::plan::explain_full(
             &plan,
             self.bind_mode != BindMode::PerRow,
             Some(&self.catalog),
+            vec,
         ))
     }
 
@@ -364,7 +403,9 @@ impl Database {
         let ctx = self.engine_ctx(optimize, StmtKind::Select);
         let res = exec::run_query(q, &ctx);
         let (hits, misses) = (ctx.subq_memo_hits.get(), ctx.subq_memo_misses.get());
+        let used = self.fuel_limit - ctx.fuel_left();
         drop(ctx);
+        self.fuel_used += used;
         self.absorb_memo_stats(hits, misses);
         let (rel, fp) = res?;
         self.last_plan_fp = Some(fp);
@@ -397,28 +438,40 @@ impl Database {
             (indices, defs.len(), defs)
         };
 
-        // Evaluate the source rows.
-        let (source_rows, memo_hits, memo_misses): (Vec<Row>, u64, u64) = match source {
+        // Evaluate the source rows. Fuel and memo accounting must survive
+        // an erroring source (like `run_select`): the fallible work runs
+        // in an inner closure so the counters are read before `?`
+        // propagates.
+        let (res, memo_hits, memo_misses, fuel): (Result<Vec<Row>>, u64, u64, u64) = match source {
             InsertSource::Values(rows) => {
                 self.coverage.hit(pt::EXEC_INSERT_VALUES);
                 let ctx = self.engine_ctx(optimize, StmtKind::Insert);
                 let ctes = CteEnv::root();
-                let mut out = Vec::with_capacity(rows.len());
-                for row in rows {
-                    let mut vals = Vec::with_capacity(row.len());
-                    for e in row {
-                        let env = EvalEnv {
-                            ctx: &ctx,
-                            scopes: &[],
-                            aggs: None,
-                            ctes: &ctes,
-                            info: ExprCtx::new(Clause::SelectList),
-                        };
-                        vals.push(eval_expr(e, env)?);
+                let res = (|| {
+                    let mut out = Vec::with_capacity(rows.len());
+                    for row in rows {
+                        let mut vals = Vec::with_capacity(row.len());
+                        for e in row {
+                            let env = EvalEnv {
+                                ctx: &ctx,
+                                scopes: &[],
+                                aggs: None,
+                                ctes: &ctes,
+                                info: ExprCtx::new(Clause::SelectList),
+                            };
+                            vals.push(eval_expr(e, env)?);
+                        }
+                        out.push(Row::new(vals));
                     }
-                    out.push(Row::new(vals));
-                }
-                (out, ctx.subq_memo_hits.get(), ctx.subq_memo_misses.get())
+                    Ok(out)
+                })();
+                let used = self.fuel_limit - ctx.fuel_left();
+                (
+                    res,
+                    ctx.subq_memo_hits.get(),
+                    ctx.subq_memo_misses.get(),
+                    used,
+                )
             }
             InsertSource::Query(q) => {
                 self.coverage.hit(pt::EXEC_INSERT_SELECT);
@@ -438,16 +491,25 @@ impl Database {
                     }
                 });
                 let ctx = self.engine_ctx(optimize, StmtKind::Insert);
-                let (rel, _) = exec::run_query(q, &ctx)?;
-                let rows = if has_version && self.bugs.active(BugId::TidbInsertSelectVersion) {
-                    Vec::new()
-                } else {
-                    rel.rows
-                };
-                (rows, ctx.subq_memo_hits.get(), ctx.subq_memo_misses.get())
+                let res = exec::run_query(q, &ctx).map(|(rel, _)| {
+                    if has_version && self.bugs.active(BugId::TidbInsertSelectVersion) {
+                        Vec::new()
+                    } else {
+                        rel.rows
+                    }
+                });
+                let used = self.fuel_limit - ctx.fuel_left();
+                (
+                    res,
+                    ctx.subq_memo_hits.get(),
+                    ctx.subq_memo_misses.get(),
+                    used,
+                )
             }
         };
         self.absorb_memo_stats(memo_hits, memo_misses);
+        self.fuel_used += fuel;
+        let source_rows = res?;
 
         // Type-check and write.
         let mut staged = Vec::with_capacity(source_rows.len());
@@ -493,57 +555,66 @@ impl Database {
         sets: &[(String, crate::ast::Expr)],
         where_clause: Option<&crate::ast::Expr>,
     ) -> Result<usize> {
-        let (matches, updates, memo_hits, memo_misses) = {
+        // Fuel and memo accounting must survive an erroring statement
+        // (just like `run_select`): the fallible work runs in an inner
+        // closure so the counters are read before `?` propagates.
+        let (res, memo_hits, memo_misses, fuel) = {
             let t = self.catalog.table(table)?;
             let schema = table_schema(t);
             let ctx = self.engine_ctx(false, StmtKind::Update);
             let ctes = CteEnv::root();
-            let set_indices: Vec<usize> = sets
-                .iter()
-                .map(|(c, _)| {
-                    t.column_index(c).ok_or_else(|| {
-                        Error::Catalog(format!("no such column {c} in table {table}"))
+            let res = (|| {
+                let set_indices: Vec<usize> = sets
+                    .iter()
+                    .map(|(c, _)| {
+                        t.column_index(c).ok_or_else(|| {
+                            Error::Catalog(format!("no such column {c} in table {table}"))
+                        })
                     })
-                })
-                .collect::<Result<_>>()?;
+                    .collect::<Result<_>>()?;
 
-            // Bind the WHERE predicate and every SET expression once per
-            // statement; the row loop evaluates the bound forms.
-            let pred = prepare_dml_where(where_clause, &schema, &ctx)?;
-            let set_exprs: Vec<Prepared> = sets
-                .iter()
-                .map(|(_, e)| Prepared::new(e, &[&schema], 0, &ctx))
-                .collect::<Result<_>>()?;
+                // Bind the WHERE predicate and every SET expression once
+                // per statement; the row loop evaluates the bound forms.
+                let pred = prepare_dml_where(where_clause, &schema, &ctx)?;
+                let set_exprs: Vec<Prepared> = sets
+                    .iter()
+                    .map(|(_, e)| Prepared::new(e, &[&schema], 0, &ctx))
+                    .collect::<Result<_>>()?;
 
-            let mut matches = Vec::new();
-            let mut updates = Vec::new();
-            for (i, row) in t.rows.iter().enumerate() {
-                ctx.consume_fuel(1)?;
-                if !row_matches(row, &schema, pred.as_ref(), &ctx, &ctes)? {
-                    continue;
+                let mut matches = Vec::new();
+                let mut updates = Vec::new();
+                for (i, row) in t.rows.iter().enumerate() {
+                    ctx.consume_fuel(1)?;
+                    if !row_matches(row, &schema, pred.as_ref(), &ctx, &ctes)? {
+                        continue;
+                    }
+                    let frames = [Frame {
+                        schema: &schema,
+                        row,
+                    }];
+                    let mut new_vals = Vec::with_capacity(set_exprs.len());
+                    for e in &set_exprs {
+                        let env = EvalEnv {
+                            ctx: &ctx,
+                            scopes: &frames,
+                            aggs: None,
+                            ctes: &ctes,
+                            info: ExprCtx::new(Clause::SelectList),
+                        };
+                        new_vals.push(e.eval(env)?);
+                    }
+                    matches.push(i);
+                    updates.push((set_indices.clone(), new_vals));
                 }
-                let frames = [Frame {
-                    schema: &schema,
-                    row,
-                }];
-                let mut new_vals = Vec::with_capacity(set_exprs.len());
-                for e in &set_exprs {
-                    let env = EvalEnv {
-                        ctx: &ctx,
-                        scopes: &frames,
-                        aggs: None,
-                        ctes: &ctes,
-                        info: ExprCtx::new(Clause::SelectList),
-                    };
-                    new_vals.push(e.eval(env)?);
-                }
-                matches.push(i);
-                updates.push((set_indices.clone(), new_vals));
-            }
+                Ok((matches, updates))
+            })();
             let stats = (ctx.subq_memo_hits.get(), ctx.subq_memo_misses.get());
-            (matches, updates, stats.0, stats.1)
+            let used = self.fuel_limit - ctx.fuel_left();
+            (res, stats.0, stats.1, used)
         };
         self.absorb_memo_stats(memo_hits, memo_misses);
+        self.fuel_used += fuel;
+        let (matches, updates) = res?;
 
         self.coverage.hit(if matches.is_empty() {
             pt::EXEC_UPDATE_NOMATCH
@@ -566,22 +637,33 @@ impl Database {
         table: &str,
         where_clause: Option<&crate::ast::Expr>,
     ) -> Result<usize> {
-        let (matches, memo_hits, memo_misses) = {
+        let (res, memo_hits, memo_misses, fuel) = {
             let t = self.catalog.table(table)?;
             let schema = table_schema(t);
             let ctx = self.engine_ctx(false, StmtKind::Delete);
             let ctes = CteEnv::root();
-            let pred = prepare_dml_where(where_clause, &schema, &ctx)?;
-            let mut out = Vec::new();
-            for (i, row) in t.rows.iter().enumerate() {
-                ctx.consume_fuel(1)?;
-                if row_matches(row, &schema, pred.as_ref(), &ctx, &ctes)? {
-                    out.push(i);
+            let res = (|| {
+                let pred = prepare_dml_where(where_clause, &schema, &ctx)?;
+                let mut out = Vec::new();
+                for (i, row) in t.rows.iter().enumerate() {
+                    ctx.consume_fuel(1)?;
+                    if row_matches(row, &schema, pred.as_ref(), &ctx, &ctes)? {
+                        out.push(i);
+                    }
                 }
-            }
-            (out, ctx.subq_memo_hits.get(), ctx.subq_memo_misses.get())
+                Ok(out)
+            })();
+            let used = self.fuel_limit - ctx.fuel_left();
+            (
+                res,
+                ctx.subq_memo_hits.get(),
+                ctx.subq_memo_misses.get(),
+                used,
+            )
         };
         self.absorb_memo_stats(memo_hits, memo_misses);
+        self.fuel_used += fuel;
+        let matches = res?;
         self.coverage.hit(if matches.is_empty() {
             pt::EXEC_DELETE_NOMATCH
         } else {

@@ -123,7 +123,7 @@ pub fn bool3_to_value(b: Bool3, ctx: &EngineCtx) -> Value {
     }
 }
 
-fn not3(b: Bool3) -> Bool3 {
+pub(crate) fn not3(b: Bool3) -> Bool3 {
     b.map(|t| !t)
 }
 
@@ -570,7 +570,7 @@ pub fn eval_bound(expr: &BoundExpr, env: EvalEnv) -> Result<Value> {
     }
 }
 
-fn and3(a: Bool3, b: Bool3) -> Bool3 {
+pub(crate) fn and3(a: Bool3, b: Bool3) -> Bool3 {
     match (a, b) {
         (Some(false), _) | (_, Some(false)) => Some(false),
         (Some(true), Some(true)) => Some(true),
@@ -578,7 +578,7 @@ fn and3(a: Bool3, b: Bool3) -> Bool3 {
     }
 }
 
-fn or3(a: Bool3, b: Bool3) -> Bool3 {
+pub(crate) fn or3(a: Bool3, b: Bool3) -> Bool3 {
     match (a, b) {
         (Some(true), _) | (_, Some(true)) => Some(true),
         (Some(false), Some(false)) => Some(false),
@@ -1403,8 +1403,20 @@ pub fn compute_aggregate(
             Ok(best.unwrap_or(Value::Null))
         }
         AggFunc::Sum | AggFunc::Total | AggFunc::Avg => {
-            let nonnull: Vec<&Value> = values.iter().filter(|v| !v.is_null()).collect();
-            if nonnull.is_empty() {
+            // One counting pass instead of materializing the non-NULL
+            // subset: the value order seen by every later loop (and so
+            // every error and overflow site) is unchanged.
+            let mut nonnull_count = 0usize;
+            let mut all_int = true;
+            for v in &values {
+                if !v.is_null() {
+                    nonnull_count += 1;
+                    if !matches!(v, Value::Int(_) | Value::Bool(_)) {
+                        all_int = false;
+                    }
+                }
+            }
+            if nonnull_count == 0 {
                 ctx.cov.hit(pt::AGG_EMPTY);
                 // Bug hook: TidbAvgDistinctNestedZero — AVG(DISTINCT) over
                 // empty input inside a nested subquery returns 0.
@@ -1420,13 +1432,10 @@ pub fn compute_aggregate(
                     _ => Value::Null,
                 });
             }
-            let all_int = nonnull
-                .iter()
-                .all(|v| matches!(v, Value::Int(_) | Value::Bool(_)));
             if func == AggFunc::Sum && all_int {
                 ctx.cov.hit(pt::AGG_SUM_INT);
                 let mut acc: i64 = 0;
-                for v in &nonnull {
+                for v in values.iter().filter(|v| !v.is_null()) {
                     acc = acc
                         .checked_add(v.as_i64().unwrap())
                         .ok_or_else(|| Error::Eval("integer overflow in SUM".into()))?;
@@ -1436,8 +1445,8 @@ pub fn compute_aggregate(
             // Real accumulation: fold over *sorted* values so that the
             // result is a deterministic function of the input multiset
             // regardless of scan order.
-            let mut reals: Vec<f64> = Vec::with_capacity(nonnull.len());
-            for v in &nonnull {
+            let mut reals: Vec<f64> = Vec::with_capacity(nonnull_count);
+            for v in values.iter().filter(|v| !v.is_null()) {
                 match v.as_f64() {
                     Some(x) => reals.push(x),
                     None if !ctx.dialect.strict_types() => reals.push(v.coerce_f64()),

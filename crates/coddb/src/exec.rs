@@ -82,6 +82,20 @@ pub enum ScanMode {
     Cloning,
 }
 
+/// How clause expressions are evaluated over operator input rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvalMode {
+    /// Chunk-at-a-time vectorized kernels ([`crate::vec_eval`]) for
+    /// classified-vectorizable expressions, with an exact per-chunk
+    /// row-at-a-time fallback (default).
+    #[default]
+    Vectorized,
+    /// Row-at-a-time interpretation everywhere — kept for differential
+    /// testing of the vectorized path (`coddb/tests/eval_differential.rs`)
+    /// and as the `vectorized_vs_row` benchmarking baseline.
+    RowAtATime,
+}
+
 /// Which statement kind is executing (several mutants key on this).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StmtKind {
@@ -106,6 +120,11 @@ pub struct EngineCtx<'a> {
     pub force_nested_loop: bool,
     /// Baseline mode: deep-clone scanned rows (see [`ScanMode::Cloning`]).
     pub clone_scans: bool,
+    /// Vectorized chunk evaluation enabled (see [`EvalMode`]).
+    pub vectorize: bool,
+    /// Reusable buffers for the vectorized kernels — one pool per
+    /// statement, so chunk evaluation allocates O(1) buffers total.
+    pub(crate) vec_pool: RefCell<crate::vec_eval::Pool>,
     fuel: Cell<u64>,
     /// Per-statement plan / binding / result caches.
     pub(crate) caches: StmtCaches,
@@ -144,6 +163,8 @@ impl<'a> EngineCtx<'a> {
             rebind_per_row: false,
             force_nested_loop: false,
             clone_scans: false,
+            vectorize: true,
+            vec_pool: RefCell::new(crate::vec_eval::Pool::default()),
             fuel: Cell::new(fuel),
             caches: StmtCaches::default(),
             outer_floor: Cell::new(0),
@@ -167,6 +188,22 @@ impl<'a> EngineCtx<'a> {
                 reads.push(slot);
             }
         }
+    }
+
+    /// May vectorized chunk evaluation run? The per-row rebinding
+    /// baseline re-binds from the AST every row, which the kernels
+    /// (which walk the bound form) would not reproduce.
+    #[inline]
+    pub(crate) fn vec_enabled(&self) -> bool {
+        self.vectorize && !self.rebind_per_row
+    }
+
+    /// Fuel still available (the chunked paths check the budget covers a
+    /// whole chunk before charging it, so exhaustion mid-chunk falls back
+    /// to the per-row loop and hangs at exactly the scalar row).
+    #[inline]
+    pub(crate) fn fuel_left(&self) -> u64 {
+        self.fuel.get()
     }
 
     /// Spend `n` units of row work; exceeding the budget is a hang.
@@ -1063,25 +1100,53 @@ fn exec_core(
         .collect();
     let mut out_rows = Vec::with_capacity(rows.len());
     {
+        let proj_info = ExprCtx {
+            clause: Clause::SelectList,
+            ..base_info
+        };
+        let use_vec = ctx.vec_enabled()
+            && !rows.is_empty()
+            && prepared
+                .iter()
+                .all(|p| crate::vec_eval::classify(p.bound(), ctx).is_ok());
+        let bounds: Vec<&BoundExpr> = prepared.iter().map(|p| p.bound()).collect();
         let mut frames = frame_stack(outer_scopes, schema);
-        for row in &rows {
-            ctx.consume_fuel(1)?;
-            set_local_row(&mut frames, schema, row);
-            let mut out = Vec::with_capacity(prepared.len());
-            for p in &prepared {
-                let env = EvalEnv {
+        let mut start = 0usize;
+        while start < rows.len() {
+            let end = (start + crate::vec_eval::CHUNK).min(rows.len());
+            let chunk = &rows[start..end];
+            if use_vec
+                && ctx.fuel_left() >= chunk.len() as u64
+                && crate::vec_eval::project_chunk(
+                    &bounds,
+                    chunk,
+                    outer_scopes,
                     ctx,
-                    scopes: &frames,
-                    aggs: None,
-                    ctes,
-                    info: ExprCtx {
-                        clause: Clause::SelectList,
-                        ..base_info
-                    },
-                };
-                out.push(p.eval(env)?);
+                    proj_info,
+                    &mut out_rows,
+                )
+            {
+                ctx.consume_fuel(chunk.len() as u64)?;
+                start = end;
+                continue;
             }
-            out_rows.push(Row::new(out));
+            for row in chunk {
+                ctx.consume_fuel(1)?;
+                set_local_row(&mut frames, schema, row);
+                let mut out = Vec::with_capacity(prepared.len());
+                for p in &prepared {
+                    let env = EvalEnv {
+                        ctx,
+                        scopes: &frames,
+                        aggs: None,
+                        ctes,
+                        info: proj_info,
+                    };
+                    out.push(p.eval(env)?);
+                }
+                out_rows.push(Row::new(out));
+            }
+            start = end;
         }
     }
     let rel = Relation {
@@ -1171,6 +1236,26 @@ fn expand_items(
     Ok((columns, exprs))
 }
 
+/// How each aggregate argument evaluates inside the group loop when
+/// vectorized evaluation is enabled. Decided once per statement, applied
+/// per group — batching is **per group** so that coverage merges exactly
+/// when the row-at-a-time walk would have evaluated that group's
+/// members (a mid-loop error in `compute_aggregate` or HAVING must not
+/// leave bits from groups the scalar walk never reaches).
+enum BatchedArg {
+    /// Non-distinct `COUNT(*)`: member count, no value vector.
+    CountStarFast,
+    /// `COUNT(DISTINCT *)`: the dummy-1 vector the scalar loop builds.
+    CountStarValues,
+    /// Bare local column: gather members' values straight from the rows.
+    ColRef(usize),
+    /// Classified-vectorizable argument: the group's member rows form
+    /// one chunk, with per-group scratch merge and per-group fallback.
+    Vectorized,
+    /// Row-at-a-time member loop (unclassified, or `RowAtATime` mode).
+    Scalar,
+}
+
 /// Grouped execution: grouping, aggregate computation, HAVING, projection.
 /// Returns the output relation and one representative pre-projection row
 /// per output row (for ORDER BY expressions).
@@ -1197,7 +1282,36 @@ fn exec_grouped(
         .collect();
 
     // Partition rows into groups (BTreeMap keeps key order deterministic).
+    // Single-key vectorized grouping fills `single_groups` instead (bare
+    // `OrdValue` keys, no per-row key-vector allocation), and while every
+    // key seen is an INT it uses `int_groups` (plain `i64` keys — the
+    // common GROUP BY shape, ~2.5x cheaper to probe). The first non-INT
+    // key migrates `int_groups` into `single_groups` (INT ordering and
+    // first-seen key retention are identical across the three maps, so
+    // the resulting group list is bit-identical whichever map served).
     let mut groups: BTreeMap<Vec<OrdValue>, Vec<usize>> = BTreeMap::new();
+    let mut single_groups: BTreeMap<OrdValue, Vec<usize>> = BTreeMap::new();
+    let mut int_groups: BTreeMap<i64, Vec<usize>> = BTreeMap::new();
+    let mut int_ok = true;
+    fn single_key_insert(
+        v: Value,
+        idx: usize,
+        int_ok: &mut bool,
+        int_groups: &mut BTreeMap<i64, Vec<usize>>,
+        single_groups: &mut BTreeMap<OrdValue, Vec<usize>>,
+    ) {
+        if *int_ok {
+            if let Value::Int(k) = v {
+                int_groups.entry(k).or_default().push(idx);
+                return;
+            }
+            *int_ok = false;
+            for (k, m) in std::mem::take(int_groups) {
+                single_groups.insert(OrdValue(Value::Int(k)), m);
+            }
+        }
+        single_groups.entry(OrdValue(v)).or_default().push(idx);
+    }
     if group_preds.is_empty() {
         if rows.is_empty() {
             ctx.cov.hit(pt::EXEC_GROUP_EMPTY_INPUT);
@@ -1207,35 +1321,117 @@ fn exec_grouped(
         groups.insert(Vec::new(), (0..rows.len()).collect());
     } else {
         ctx.cov.hit(pt::EXEC_GROUP_MULTI);
+        let key_info = ExprCtx {
+            clause: Clause::GroupBy,
+            ..base_info
+        };
+        let use_vec = ctx.vec_enabled()
+            && !rows.is_empty()
+            && group_preds
+                .iter()
+                .all(|g| crate::vec_eval::classify(g.bound(), ctx).is_ok());
         let mut frames = frame_stack(outer_scopes, schema);
-        for (i, row) in rows.iter().enumerate() {
-            ctx.consume_fuel(1)?;
-            set_local_row(&mut frames, schema, row);
-            let mut key = Vec::with_capacity(group_preds.len());
-            for g in &group_preds {
-                let env = EvalEnv {
-                    ctx,
-                    scopes: &frames,
-                    aggs: None,
-                    ctes,
-                    info: ExprCtx {
-                        clause: Clause::GroupBy,
-                        ..base_info
-                    },
-                };
-                key.push(OrdValue(g.eval(env)?));
+        // Reused across chunks: one value column per group expression.
+        let mut key_cols: Vec<Vec<Value>> = vec![Vec::new(); group_preds.len()];
+        // Single-key grouping keys the map by a bare `OrdValue`, skipping
+        // the per-row key-vector allocation (the dominant grouping cost);
+        // the singleton wrapper is rebuilt once per *group* when the
+        // group list materializes.
+        let single = use_vec && group_preds.len() == 1;
+        let mut start = 0usize;
+        while start < rows.len() {
+            let end = (start + crate::vec_eval::CHUNK).min(rows.len());
+            let chunk = &rows[start..end];
+            let mut vectorized = false;
+            if use_vec && ctx.fuel_left() >= chunk.len() as u64 {
+                // One scratch accumulator for every key expression of the
+                // chunk — merged only when all of them succeed.
+                let scratch = Coverage::new();
+                key_cols.iter_mut().for_each(Vec::clear);
+                vectorized = group_preds.iter().zip(key_cols.iter_mut()).all(|(g, col)| {
+                    crate::vec_eval::eval_chunk_into(
+                        g.bound(),
+                        chunk,
+                        outer_scopes,
+                        ctx,
+                        key_info,
+                        &scratch,
+                        col,
+                    )
+                });
+                if vectorized {
+                    ctx.cov.merge(&scratch);
+                    ctx.consume_fuel(chunk.len() as u64)?;
+                    if single {
+                        for (lane, v) in key_cols[0].drain(..).enumerate() {
+                            single_key_insert(
+                                v,
+                                start + lane,
+                                &mut int_ok,
+                                &mut int_groups,
+                                &mut single_groups,
+                            );
+                        }
+                    } else {
+                        for lane in 0..chunk.len() {
+                            let mut key = Vec::with_capacity(group_preds.len());
+                            for col in &mut key_cols {
+                                key.push(OrdValue(std::mem::replace(&mut col[lane], Value::Null)));
+                            }
+                            groups.entry(key).or_default().push(start + lane);
+                        }
+                    }
+                }
             }
-            groups.entry(key).or_default().push(i);
+            if !vectorized {
+                for (i, row) in chunk.iter().enumerate() {
+                    ctx.consume_fuel(1)?;
+                    set_local_row(&mut frames, schema, row);
+                    if single {
+                        let env = EvalEnv {
+                            ctx,
+                            scopes: &frames,
+                            aggs: None,
+                            ctes,
+                            info: key_info,
+                        };
+                        let v = group_preds[0].eval(env)?;
+                        single_key_insert(
+                            v,
+                            start + i,
+                            &mut int_ok,
+                            &mut int_groups,
+                            &mut single_groups,
+                        );
+                        continue;
+                    }
+                    let mut key = Vec::with_capacity(group_preds.len());
+                    for g in &group_preds {
+                        let env = EvalEnv {
+                            ctx,
+                            scopes: &frames,
+                            aggs: None,
+                            ctes,
+                            info: key_info,
+                        };
+                        key.push(OrdValue(g.eval(env)?));
+                    }
+                    groups.entry(key).or_default().push(start + i);
+                }
+            }
+            start = end;
         }
         // Grouping over an empty input with GROUP BY yields no groups.
     }
 
-    // Bug hook: DuckdbInternalGroupByRealMany.
+    // Bug hook: DuckdbInternalGroupByRealMany (`int_groups` keys are
+    // INTs by construction and can never satisfy the REAL condition).
     if ctx.bugs.active(BugId::DuckdbInternalGroupByRealMany)
-        && groups.len() > 2
-        && groups
+        && groups.len() + single_groups.len() + int_groups.len() > 2
+        && (groups
             .keys()
             .any(|k| k.iter().any(|v| matches!(v.0, Value::Real(_))))
+            || single_groups.keys().any(|k| matches!(k.0, Value::Real(_))))
     {
         return Err(Error::Internal(
             "REAL group key misaligned in hash table".into(),
@@ -1253,7 +1449,22 @@ fn exec_grouped(
         }
     }
 
-    let mut group_list: Vec<(Vec<OrdValue>, Vec<usize>)> = groups.into_iter().collect();
+    // A singleton `OrdValue` (or plain `i64`) orders exactly like its
+    // one-element key vector, so every source yields the identical group
+    // order.
+    let mut group_list: Vec<(Vec<OrdValue>, Vec<usize>)> = if !int_groups.is_empty() {
+        int_groups
+            .into_iter()
+            .map(|(k, m)| (vec![OrdValue(Value::Int(k))], m))
+            .collect()
+    } else if !single_groups.is_empty() {
+        single_groups
+            .into_iter()
+            .map(|(k, m)| (vec![k], m))
+            .collect()
+    } else {
+        groups.into_iter().collect()
+    };
 
     // Bug hook: DuckdbDistinctGroupByDrop — DISTINCT + GROUP BY drops the
     // last group. The rewrite rule pattern-matches plain grouping
@@ -1273,6 +1484,40 @@ fn exec_grouped(
     let bound_having = &gb.bound_having;
     let agg_specs = &gb.agg_specs;
 
+    // Batched aggregate-argument evaluation mode, decided once per spec.
+    // Evaluation itself happens per group inside the loop below, so its
+    // coverage merges exactly when the scalar walk evaluates that
+    // group's members, and a dropped group (`DuckdbDistinctGroupByDrop`)
+    // or a mid-loop error leaves later groups untouched in both modes.
+    // Argument evaluation charges no fuel in either path (the group
+    // loop's per-group charge is unchanged).
+    let spec_modes: Vec<BatchedArg> = agg_specs
+        .iter()
+        .map(|spec| {
+            if !ctx.vec_enabled() {
+                return BatchedArg::Scalar;
+            }
+            if spec.func == AggFunc::CountStar {
+                return if spec.distinct {
+                    BatchedArg::CountStarValues
+                } else {
+                    BatchedArg::CountStarFast
+                };
+            }
+            match &spec.arg {
+                Some(arg) if crate::vec_eval::classify(arg, ctx).is_ok() => {
+                    if let BoundExpr::Column(c) = arg {
+                        if c.up == 0 {
+                            return BatchedArg::ColRef(c.index as usize);
+                        }
+                    }
+                    BatchedArg::Vectorized
+                }
+                _ => BatchedArg::Scalar,
+            }
+        })
+        .collect();
+
     let mut out_rows: Vec<Row> = Vec::with_capacity(group_list.len());
     let mut rep_rows: Vec<Row> = Vec::with_capacity(group_list.len());
     let empty_row = Row::new(vec![Value::Null; schema.cols.len()]);
@@ -1280,36 +1525,96 @@ fn exec_grouped(
 
     for (_key, members) in &group_list {
         ctx.consume_fuel(1 + members.len() as u64)?;
-        // Compute aggregates for this group, one value per slot.
+        // Compute aggregates for this group, one value per slot. The
+        // group's member rows form one chunk for vectorized arguments,
+        // built lazily (shared refcount bumps) and reused across specs.
+        let mut member_chunk: Option<Vec<Row>> = None;
         let mut aggs: AggValues = Vec::with_capacity(agg_specs.len());
-        for spec in agg_specs {
-            let mut values = Vec::with_capacity(members.len());
-            for &ri in members {
-                set_local_row(&mut frames, schema, &rows[ri]);
-                let v = match (spec.func, &spec.arg) {
-                    (AggFunc::CountStar, _) => Value::Int(1),
-                    (_, Some(a)) => {
-                        let env = EvalEnv {
-                            ctx,
-                            scopes: &frames,
-                            aggs: None,
-                            ctes,
-                            info: ExprCtx {
-                                clause: Clause::SelectList,
-                                ..base_info
-                            },
+        for (si, spec) in agg_specs.iter().enumerate() {
+            let mut values: Option<Vec<Value>> = match &spec_modes[si] {
+                // Non-distinct COUNT(*) needs only the member count —
+                // `compute_aggregate`'s arm hits one bit and returns
+                // the length, reproduced here without the value vec.
+                BatchedArg::CountStarFast => {
+                    ctx.cov.hit(pt::AGG_COUNT_STAR);
+                    aggs.push(Value::Int(members.len() as i64));
+                    continue;
+                }
+                BatchedArg::CountStarValues => Some(vec![Value::Int(1); members.len()]),
+                BatchedArg::ColRef(idx) => {
+                    // The scalar loop hits the column's coverage point
+                    // (and records the correlation read) once per
+                    // member; once per non-empty group is the same
+                    // bitset and the same deduplicated slot set.
+                    if !members.is_empty() {
+                        ctx.cov.hit(pt::EVAL_COLUMN_LOCAL);
+                        ctx.note_column_read(outer_scopes.len(), *idx);
+                    }
+                    Some(members.iter().map(|&ri| rows[ri][*idx].clone()).collect())
+                }
+                BatchedArg::Vectorized if !members.is_empty() => {
+                    let chunk = member_chunk.get_or_insert_with(|| {
+                        members.iter().map(|&ri| rows[ri].clone()).collect()
+                    });
+                    let arg = spec.arg.as_ref().expect("vectorized spec has an argument");
+                    let scratch = Coverage::new();
+                    let mut out = Vec::with_capacity(members.len());
+                    let arg_info = ExprCtx {
+                        clause: Clause::SelectList,
+                        ..base_info
+                    };
+                    if crate::vec_eval::eval_chunk_into(
+                        arg,
+                        chunk,
+                        outer_scopes,
+                        ctx,
+                        arg_info,
+                        &scratch,
+                        &mut out,
+                    ) {
+                        ctx.cov.merge(&scratch);
+                        Some(out)
+                    } else {
+                        // An erroring lane: this spec re-runs its member
+                        // loop row-at-a-time (exact error and coverage).
+                        None
+                    }
+                }
+                BatchedArg::Vectorized | BatchedArg::Scalar => None,
+            };
+            let values = match values.take() {
+                Some(v) => v,
+                None => {
+                    let mut values = Vec::with_capacity(members.len());
+                    for &ri in members {
+                        set_local_row(&mut frames, schema, &rows[ri]);
+                        let v = match (spec.func, &spec.arg) {
+                            (AggFunc::CountStar, _) => Value::Int(1),
+                            (_, Some(a)) => {
+                                let env = EvalEnv {
+                                    ctx,
+                                    scopes: &frames,
+                                    aggs: None,
+                                    ctes,
+                                    info: ExprCtx {
+                                        clause: Clause::SelectList,
+                                        ..base_info
+                                    },
+                                };
+                                eval_bound(a, env)?
+                            }
+                            (_, None) => {
+                                return Err(Error::Parse(format!(
+                                    "{}() requires an argument",
+                                    spec.func.sql_name()
+                                )))
+                            }
                         };
-                        eval_bound(a, env)?
+                        values.push(v);
                     }
-                    (_, None) => {
-                        return Err(Error::Parse(format!(
-                            "{}() requires an argument",
-                            spec.func.sql_name()
-                        )))
-                    }
-                };
-                values.push(v);
-            }
+                    values
+                }
+            };
             let rep = members.first().map(|&i| &rows[i]).unwrap_or(&empty_row);
             set_local_row(&mut frames, schema, rep);
             let env = EvalEnv {
@@ -1712,8 +2017,11 @@ fn apply_cmp_filter_fast(
 }
 
 /// Apply a WHERE filter, including the filter-site bug hooks. The
-/// predicate is bound once by the caller; the per-row loop evaluates the
-/// bound form with a reused frame stack (no per-row allocation).
+/// predicate is bound once by the caller; classified-vectorizable
+/// predicates evaluate chunk-at-a-time through [`crate::vec_eval`]
+/// (exact per-chunk fallback to the row loop on any erroring lane,
+/// active filter-site mutant, or insufficient fuel); everything else
+/// runs the per-row loop with a reused frame stack.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn apply_filter(
     rows: Vec<Row>,
@@ -1737,47 +2045,85 @@ pub(crate) fn apply_filter(
         }
     );
 
+    // Vectorize only when no filter-site mutant can fire (the chunk
+    // kernels do not model the keep-on-NULL hooks) and the predicate
+    // classifies as vectorizable under the active mutant set.
+    let use_vec = ctx.vec_enabled()
+        && !rows.is_empty()
+        && !(info.via_index && cmp_shape && ctx.bugs.active(BugId::SqliteIndexedCmpNullTrue))
+        && !(and_shape && ctx.bugs.active(BugId::CockroachAndNullTopConjunct))
+        && crate::vec_eval::classify(pred.bound(), ctx).is_ok();
+
     let mut keep = vec![false; rows.len()];
     {
         let mut frames = frame_stack(outer_scopes, schema);
-        for (i, row) in rows.iter().enumerate() {
-            ctx.consume_fuel(1)?;
-            set_local_row(&mut frames, schema, row);
-            let env = EvalEnv {
-                ctx,
-                scopes: &frames,
-                aggs: None,
-                ctes,
-                info,
-            };
-            let v = pred.eval(env)?;
-            let t = truthiness(&v, ctx)?;
-
-            // Bug hook: SqliteIndexedCmpNullTrue — under an index scan a
-            // NULL comparison keeps the row.
-            if t.is_none()
-                && info.via_index
-                && cmp_shape
-                && ctx.bugs.active(BugId::SqliteIndexedCmpNullTrue)
+        let mut start = 0usize;
+        while start < rows.len() {
+            let end = (start + crate::vec_eval::CHUNK).min(rows.len());
+            let chunk = &rows[start..end];
+            // The budget must cover the whole chunk up front: a fuel
+            // exhaustion must hang at exactly the row the per-row loop
+            // would reach, so short-budget chunks take the scalar loop.
+            if use_vec
+                && ctx.fuel_left() >= chunk.len() as u64
+                && crate::vec_eval::filter_chunk(
+                    pred.bound(),
+                    chunk,
+                    outer_scopes,
+                    ctx,
+                    info,
+                    &mut keep[start..end],
+                )
             {
-                keep[i] = true;
+                ctx.consume_fuel(chunk.len() as u64)?;
+                start = end;
                 continue;
             }
-            // Bug hook: CockroachAndNullTopConjunct — a top-level AND that
-            // evaluates to NULL keeps the row.
-            if t.is_none() && and_shape && ctx.bugs.active(BugId::CockroachAndNullTopConjunct) {
-                keep[i] = true;
-                continue;
+            // Row-at-a-time (fallback) loop for this chunk. A failed
+            // vectorized attempt may have set some keep flags: reset.
+            for k in &mut keep[start..end] {
+                *k = false;
             }
+            for (i, row) in chunk.iter().enumerate() {
+                ctx.consume_fuel(1)?;
+                set_local_row(&mut frames, schema, row);
+                let env = EvalEnv {
+                    ctx,
+                    scopes: &frames,
+                    aggs: None,
+                    ctes,
+                    info,
+                };
+                let v = pred.eval(env)?;
+                let t = truthiness(&v, ctx)?;
 
-            match t {
-                Some(true) => {
-                    ctx.cov.hit(pt::EXEC_FILTER_PASS);
-                    keep[i] = true;
+                // Bug hook: SqliteIndexedCmpNullTrue — under an index scan
+                // a NULL comparison keeps the row.
+                if t.is_none()
+                    && info.via_index
+                    && cmp_shape
+                    && ctx.bugs.active(BugId::SqliteIndexedCmpNullTrue)
+                {
+                    keep[start + i] = true;
+                    continue;
                 }
-                Some(false) => ctx.cov.hit(pt::EXEC_FILTER_DROP),
-                None => ctx.cov.hit(pt::EXEC_FILTER_NULL),
+                // Bug hook: CockroachAndNullTopConjunct — a top-level AND
+                // that evaluates to NULL keeps the row.
+                if t.is_none() && and_shape && ctx.bugs.active(BugId::CockroachAndNullTopConjunct) {
+                    keep[start + i] = true;
+                    continue;
+                }
+
+                match t {
+                    Some(true) => {
+                        ctx.cov.hit(pt::EXEC_FILTER_PASS);
+                        keep[start + i] = true;
+                    }
+                    Some(false) => ctx.cov.hit(pt::EXEC_FILTER_DROP),
+                    None => ctx.cov.hit(pt::EXEC_FILTER_NULL),
+                }
             }
+            start = end;
         }
     }
     let mut out = Vec::with_capacity(rows.len());

@@ -26,10 +26,10 @@
 //!
 //! The public entry point is [`Database`].
 //!
-//! ## The bind → plan → exec phase contract
+//! ## The plan → bind → vectorize → exec phase contract
 //!
-//! A statement passes through three phases, each running **once per
-//! statement** so that per-row work stays allocation-free:
+//! A statement passes through four stages, the first three running
+//! **once per statement** so that per-row work stays allocation-free:
 //!
 //! 1. **plan** ([`plan::plan_select`]): the AST is lowered to a
 //!    [`plan::SelectPlan`] — views expanded, CTE references resolved and,
@@ -44,7 +44,26 @@
 //!    slots, and bug-hook trigger shapes are precomputed. Name-resolution
 //!    errors (unknown/ambiguous columns) surface here, once per query —
 //!    matching real engines, where name resolution is static.
-//! 3. **exec** ([`exec`]): row loops evaluate bound expressions via
+//! 3. **vectorize** ([`vec_eval`]): each bound clause expression is
+//!    classified as chunk-vectorizable or not. Vectorizable filters,
+//!    projections, group keys and aggregate arguments then evaluate
+//!    **column-at-a-time over fixed-size row chunks** (1024 rows),
+//!    with selection vectors keeping `AND`/`OR`/`CASE`/`COALESCE`/`IIF`
+//!    laziness exact and per-chunk scratch coverage merged only on
+//!    success. The fallback taxonomy — evaluated row-at-a-time exactly
+//!    as before — is: (a) subqueries and aggregate slots (they re-enter
+//!    the executor), (b) any shape a currently *active* mutant hooks
+//!    (the hook must run on the authentic interpreter), (c) MySQL
+//!    UPDATE/DELETE comparisons (a per-pair dialect rule), (d) chunks
+//!    containing a lane whose evaluation errors (the rerun raises the
+//!    exact scalar error with exact coverage and fuel), and (e) chunks
+//!    the fuel budget cannot cover whole. `EXPLAIN` annotates each
+//!    clause `[VEC]` or `[ROW(<reason>)]` with the planner's static
+//!    prediction; [`Database::set_eval_mode`]`(`[`EvalMode::RowAtATime`]`)`
+//!    disables the stage wholesale for differential testing
+//!    (`coddb/tests/eval_differential.rs`: byte-identical results,
+//!    coverage bitsets and fuel across modes, dialects and mutants).
+//! 4. **exec** ([`exec`]): row loops evaluate bound expressions via
 //!    [`eval::eval_bound`] against a reused frame stack — zero heap
 //!    allocation per row for name resolution. Rows themselves are
 //!    **shared, copy-on-write** ([`value::Row`] is `Rc<[Value]>`-backed):
@@ -102,6 +121,7 @@ pub mod exec;
 pub mod parser;
 pub mod plan;
 pub mod value;
+pub mod vec_eval;
 
 mod database;
 
@@ -109,5 +129,5 @@ pub use bugs::{BugId, BugKind, BugRegistry};
 pub use database::{Database, ExecOutcome};
 pub use dialect::Dialect;
 pub use error::{Error, Result, Severity};
-pub use exec::{BindMode, JoinMode, ScanMode};
+pub use exec::{BindMode, EvalMode, JoinMode, ScanMode};
 pub use value::{DataType, Relation, Row, Value};

@@ -964,14 +964,35 @@ pub fn explain(plan: &SelectPlan) -> String {
     explain_with_memo(plan, true, None)
 }
 
+/// How EXPLAIN annotates clause vectorization.
+#[derive(Clone, Copy)]
+pub enum VecNote<'a> {
+    /// No vectorization annotations (bare [`explain`]).
+    Off,
+    /// Vectorized evaluation disabled wholesale (per-row bind mode or
+    /// [`crate::exec::EvalMode::RowAtATime`]); every clause annotates
+    /// `ROW(<reason>)`.
+    Disabled(&'static str),
+    /// Classify each clause expression against the active mutant set —
+    /// the static mirror of [`crate::vec_eval::classify`]. Runtime
+    /// conditions (erroring lanes, fuel exhaustion) can still fall back
+    /// per chunk; the annotation is the planner's prediction.
+    Predict {
+        bugs: &'a BugRegistry,
+        dialect: Dialect,
+    },
+}
+
 /// How EXPLAIN renders: whether subquery memoization is enabled (the
 /// `BindMode::PerRow` baseline bypasses every cache and annotates
-/// `NONE`), and the catalog — when present, bare column references
-/// classify against the actual columns of the subquery's relations.
+/// `NONE`), the catalog — when present, bare column references
+/// classify against the actual columns of the subquery's relations —
+/// and the vectorization annotation mode.
 #[derive(Clone, Copy)]
 struct ExplainCtx<'a> {
     memo: bool,
     catalog: Option<&'a Catalog>,
+    vec: VecNote<'a>,
 }
 
 /// [`explain`], annotating every subquery with its predicted result-memo
@@ -986,14 +1007,70 @@ pub fn explain_with_memo(
     memo_enabled: bool,
     catalog: Option<&Catalog>,
 ) -> String {
+    explain_full(plan, memo_enabled, catalog, VecNote::Off)
+}
+
+/// [`explain_with_memo`], additionally annotating each clause expression
+/// `[VEC]` or `[ROW(<reason>)]` per the vectorization prediction.
+pub fn explain_full(
+    plan: &SelectPlan,
+    memo_enabled: bool,
+    catalog: Option<&Catalog>,
+    vec: VecNote,
+) -> String {
     let mut out = String::new();
     let ectx = ExplainCtx {
         memo: memo_enabled,
         catalog,
+        vec,
     };
     explain_select(plan, 0, ectx, &mut out);
     out.pop(); // trailing newline
     out
+}
+
+/// The `[VEC]` / `[ROW(<reason>)]` suffix for one clause expression.
+///
+/// Depth 0 is correct for every clause EXPLAIN renders: derived tables
+/// and CTE bodies execute at the enclosing statement's subquery depth,
+/// and expression subqueries — the only depth>0 contexts — surface as
+/// one-line memo notes whose internal clauses are never rendered.
+fn vec_note(e: &Expr, ectx: ExplainCtx) -> String {
+    match ectx.vec {
+        VecNote::Off => String::new(),
+        VecNote::Disabled(reason) => format!(" [ROW({reason})]"),
+        VecNote::Predict { bugs, dialect } => {
+            match crate::vec_eval::classify_ast(e, bugs, dialect, crate::exec::StmtKind::Select, 0)
+            {
+                Ok(()) => " [VEC]".into(),
+                Err(reason) => format!(" [ROW({reason})]"),
+            }
+        }
+    }
+}
+
+/// Vectorization suffix for a clause made of several expressions (a
+/// projection's items, an aggregation's group keys): `[VEC]` only when
+/// every expression classifies, else the first fallback reason.
+fn vec_note_all<'e>(exprs: impl Iterator<Item = &'e Expr>, ectx: ExplainCtx) -> String {
+    match ectx.vec {
+        VecNote::Off => String::new(),
+        VecNote::Disabled(reason) => format!(" [ROW({reason})]"),
+        VecNote::Predict { bugs, dialect } => {
+            for e in exprs {
+                if let Err(reason) = crate::vec_eval::classify_ast(
+                    e,
+                    bugs,
+                    dialect,
+                    crate::exec::StmtKind::Select,
+                    0,
+                ) {
+                    return format!(" [ROW({reason})]");
+                }
+            }
+            " [VEC]".into()
+        }
+    }
 }
 
 /// The output column names a SELECT is statically known to produce.
@@ -1293,7 +1370,23 @@ fn explain_body(body: &BodyPlan, indent: usize, ectx: ExplainCtx, out: &mut Stri
             if core.distinct {
                 label.push_str(" DISTINCT");
             }
-            out.push_str(&format!("{label} ({} item(s))\n", core.items.len()));
+            // Aggregated cores project per group (row-at-a-time by
+            // design); the vectorization note then sits on AGGREGATE.
+            let proj_note = if agg {
+                String::new()
+            } else {
+                vec_note_all(
+                    core.items.iter().filter_map(|i| match i {
+                        SelectItem::Expr { expr, .. } => Some(expr),
+                        _ => None,
+                    }),
+                    ectx,
+                )
+            };
+            out.push_str(&format!(
+                "{label} ({} item(s)){proj_note}\n",
+                core.items.len()
+            ));
             for item in &core.items {
                 if let SelectItem::Expr { expr, .. } = item {
                     memo_notes(expr, indent + 1, ectx, out);
@@ -1302,13 +1395,14 @@ fn explain_body(body: &BodyPlan, indent: usize, ectx: ExplainCtx, out: &mut Stri
             if agg {
                 pad(indent + 1, out);
                 out.push_str(&format!(
-                    "AGGREGATE (group by {} expr(s){})\n",
+                    "AGGREGATE (group by {} expr(s){}){}\n",
                     core.group_by.len(),
                     if core.having.is_some() {
                         ", having"
                     } else {
                         ""
-                    }
+                    },
+                    vec_note_all(core.group_by.iter(), ectx)
                 ));
                 if let Some(h) = &core.having {
                     memo_notes(h, indent + 2, ectx, out);
@@ -1316,7 +1410,7 @@ fn explain_body(body: &BodyPlan, indent: usize, ectx: ExplainCtx, out: &mut Stri
             }
             if let Some(w) = &core.where_clause {
                 pad(indent + 1, out);
-                out.push_str(&format!("FILTER {w}\n"));
+                out.push_str(&format!("FILTER {w}{}\n", vec_note(w, ectx)));
                 memo_notes(w, indent + 2, ectx, out);
             }
             match &core.from {
@@ -1415,7 +1509,7 @@ fn explain_from(from: &FromPlan, indent: usize, ectx: ExplainCtx, out: &mut Stri
         }
         FromPlan::Filtered { input, pred, .. } => {
             pad(indent, out);
-            out.push_str(&format!("PUSHED FILTER {pred}\n"));
+            out.push_str(&format!("PUSHED FILTER {pred}{}\n", vec_note(pred, ectx)));
             memo_notes(pred, indent + 1, ectx, out);
             explain_from(input, indent + 1, ectx, out);
         }

@@ -1,0 +1,1868 @@
+//! Vectorized (chunk-at-a-time) batch expression evaluation.
+//!
+//! The bind-once pipeline compiles clause expressions to [`BoundExpr`]
+//! once per statement; this module evaluates them **column-at-a-time over
+//! fixed-size row chunks** ([`CHUNK`] rows) instead of row-at-a-time
+//! through per-row [`crate::exec::Frame`] indirection. Each kernel walks
+//! one expression node once per chunk and loops over the active lanes in
+//! a tight loop, amortizing interpreter dispatch, environment
+//! construction and coverage bookkeeping across the whole chunk.
+//!
+//! ## Exactness contract
+//!
+//! The vectorized path must be indistinguishable from the row-at-a-time
+//! interpreter ([`crate::eval::eval_bound`]): byte-identical results,
+//! identical coverage bitsets, exact fuel accounting, and every injected
+//! mutant still firing. Three mechanisms enforce that:
+//!
+//! 1. **Classification** ([`classify`]): an expression takes the
+//!    vectorized path only when no lane can diverge from the scalar
+//!    walk. Subqueries and aggregate slots are never vectorized (their
+//!    evaluation re-enters the executor), and any shape a currently
+//!    *active* mutant hooks falls back row-at-a-time, so the mutant's
+//!    context-sensitive branch runs on the authentic interpreter.
+//!    [`classify_ast`] is the planner-side mirror used by `EXPLAIN`'s
+//!    `VEC` / `ROW(<reason>)` clause annotations (static prediction;
+//!    the runtime classifier is authoritative).
+//! 2. **Selection vectors**: `AND`/`OR`, `CASE`, `COALESCE` and `IIF`
+//!    evaluate lazy operands only over the lanes that reach them —
+//!    exactly the rows the scalar short-circuit would evaluate — so an
+//!    erroring branch that scalar evaluation skips is skipped here too,
+//!    and coverage points fire for a node iff at least one lane reaches
+//!    it (coverage bits are idempotent, so per-class chunk hits equal
+//!    the union of per-row hits).
+//! 3. **Error masking + whole-chunk fallback**: kernels record coverage
+//!    into a *scratch* accumulator and abort the chunk on the first lane
+//!    whose scalar evaluation would error. The caller then re-runs the
+//!    entire chunk row-at-a-time: the first erroring row raises the
+//!    exact scalar error, rows before it fire their authentic coverage
+//!    bits, and rows after it fire nothing — matching the scalar loop's
+//!    abort point bit for bit. The scratch accumulator is merged into
+//!    the real one only when the whole chunk succeeds.
+//!
+//! Fuel is charged by the executor per chunk (after checking the budget
+//! covers the chunk, so exhaustion falls back to the per-row loop and
+//! hangs at exactly the row the scalar pipeline would).
+//!
+//! The lane helpers (`truth_lane`, `arith_lane`, `cast_lane`, ...)
+//! mirror their [`crate::eval`] counterparts; keep them in sync —
+//! `coddb/tests/eval_differential.rs` cross-checks the two paths over
+//! NULL-heavy data, erroring expressions, all dialects and every mutant.
+
+use std::cmp::Ordering;
+
+use crate::ast::{BinaryOp, Expr, FuncName, UnaryOp};
+use crate::bind::{BoundColumn, BoundExpr};
+use crate::bugs::{BugId, BugRegistry};
+use crate::coverage::{pt, Coverage};
+use crate::dialect::Dialect;
+use crate::eval::{and3, cmp_matches, compare, like_match, not3, or3, Bool3, ExprCtx};
+use crate::exec::{EngineCtx, Frame, StmtKind};
+use crate::value::{DataType, Row, Value};
+
+/// Rows per chunk fed to the vectorized kernels.
+pub(crate) const CHUNK: usize = 1024;
+
+// ---------------------------------------------------------------------------
+// Classification: which expressions may take the vectorized path.
+// ---------------------------------------------------------------------------
+
+/// One shared table of per-shape mutant gates, consumed by both the
+/// bound-form classifier (authoritative, [`classify`]) and the AST
+/// mirror behind `EXPLAIN` ([`classify_ast`]) — new hook gates belong
+/// HERE so the two walkers cannot drift. A gate rejects its shape only
+/// while the hooking mutant is *active*: an inactive hook is a dead
+/// branch the kernels need not model.
+mod gates {
+    use super::*;
+
+    pub(super) fn binary(
+        op: BinaryOp,
+        bugs: &BugRegistry,
+        dialect: Dialect,
+        stmt: StmtKind,
+    ) -> Result<(), &'static str> {
+        if op == BinaryOp::Or && bugs.active(BugId::CockroachOrShortCircuitFalse) {
+            return Err("mutant-hooked OR");
+        }
+        if op.is_comparison() {
+            if bugs.active(BugId::MysqlTextIntCompareWhere) {
+                return Err("mutant-hooked comparison");
+            }
+            // MySQL rejects cross-type TEXT/number comparisons in UPDATE
+            // and DELETE (the DQE semantic-error dialect rule) — a
+            // per-pair runtime decision the kernels do not model.
+            if dialect == Dialect::Mysql && matches!(stmt, StmtKind::Update | StmtKind::Delete) {
+                return Err("dialect DML comparison");
+            }
+        }
+        if op == BinaryOp::Concat && bugs.active(BugId::SqliteInternalConcatIndexedExpr) {
+            return Err("mutant-hooked concat");
+        }
+        if op == BinaryOp::Add && bugs.active(BugId::DuckdbInternalOverflowAddProj) {
+            return Err("mutant-hooked addition");
+        }
+        Ok(())
+    }
+
+    pub(super) fn between(bugs: &BugRegistry) -> Result<(), &'static str> {
+        if bugs.active(BugId::SqliteBetweenTextAffinity) {
+            return Err("mutant-hooked BETWEEN");
+        }
+        Ok(())
+    }
+
+    pub(super) fn in_list(bugs: &BugRegistry) -> Result<(), &'static str> {
+        if bugs.active(BugId::TidbInValueListWhere)
+            || bugs.active(BugId::CockroachInBigIntValueList)
+        {
+            return Err("mutant-hooked IN list");
+        }
+        Ok(())
+    }
+
+    pub(super) fn case(bugs: &BugRegistry) -> Result<(), &'static str> {
+        if bugs.active(BugId::TidbInternalCaseManyWhens)
+            || bugs.active(BugId::CockroachCaseNullFromCte)
+            || bugs.active(BugId::DuckdbCaseSubqueryElse)
+        {
+            return Err("mutant-hooked CASE");
+        }
+        Ok(())
+    }
+
+    pub(super) fn func(func: FuncName, bugs: &BugRegistry) -> Result<(), &'static str> {
+        match func {
+            FuncName::Round if bugs.active(BugId::TidbInternalRoundHuge) => {
+                Err("mutant-hooked ROUND")
+            }
+            FuncName::Substr if bugs.active(BugId::TidbInternalSubstrNegative) => {
+                Err("mutant-hooked SUBSTR")
+            }
+            _ => Ok(()),
+        }
+    }
+
+    pub(super) fn cast(bugs: &BugRegistry) -> Result<(), &'static str> {
+        if bugs.active(BugId::CockroachInternalCastTextInt) {
+            return Err("mutant-hooked CAST");
+        }
+        Ok(())
+    }
+
+    pub(super) fn is_null(bugs: &BugRegistry) -> Result<(), &'static str> {
+        if bugs.active(BugId::TidbIsNullTopLevelInverted) {
+            return Err("mutant-hooked IS NULL");
+        }
+        Ok(())
+    }
+
+    pub(super) fn like(bugs: &BugRegistry) -> Result<(), &'static str> {
+        if bugs.active(BugId::TidbInternalLikeEscape)
+            || bugs.active(BugId::DuckdbHangLikePercents)
+            || bugs.active(BugId::SqliteLikeCaseFold)
+            || bugs.active(BugId::DuckdbNotLikeTopLevel)
+        {
+            return Err("mutant-hooked LIKE");
+        }
+        Ok(())
+    }
+}
+
+/// Is the bound expression vectorizable under the current engine state?
+/// `Err` carries the fallback reason (see [`gates`] for the mutant
+/// table; subqueries and aggregate slots are rejected unconditionally
+/// because their evaluation re-enters the executor).
+pub(crate) fn classify(e: &BoundExpr, ctx: &EngineCtx) -> Result<(), &'static str> {
+    let bugs = ctx.bugs;
+    match e {
+        BoundExpr::Literal(_) => Ok(()),
+        BoundExpr::Column(c) => {
+            if c.collision_alt.is_some() && bugs.active(BugId::TidbCorrelatedNameCollision) {
+                Err("name-collision mutant")
+            } else {
+                Ok(())
+            }
+        }
+        BoundExpr::Unary { expr, .. } => classify(expr, ctx),
+        BoundExpr::Binary { op, left, right } => {
+            gates::binary(*op, bugs, ctx.dialect, ctx.stmt)?;
+            classify(left, ctx)?;
+            classify(right, ctx)
+        }
+        BoundExpr::Between {
+            expr, low, high, ..
+        } => {
+            gates::between(bugs)?;
+            classify(expr, ctx)?;
+            classify(low, ctx)?;
+            classify(high, ctx)
+        }
+        BoundExpr::InList { expr, list, .. } => {
+            gates::in_list(bugs)?;
+            classify(expr, ctx)?;
+            list.iter().try_for_each(|i| classify(i, ctx))
+        }
+        BoundExpr::InSubquery { .. }
+        | BoundExpr::Exists { .. }
+        | BoundExpr::Scalar { .. }
+        | BoundExpr::Quantified { .. } => Err("subquery"),
+        BoundExpr::Agg { .. } => Err("aggregate"),
+        BoundExpr::Case {
+            operand,
+            whens,
+            else_expr,
+            ..
+        } => {
+            gates::case(bugs)?;
+            if let Some(o) = operand {
+                classify(o, ctx)?;
+            }
+            for (w, t) in whens {
+                classify(w, ctx)?;
+                classify(t, ctx)?;
+            }
+            else_expr.as_deref().map_or(Ok(()), |e| classify(e, ctx))
+        }
+        BoundExpr::Func { func, args } => {
+            gates::func(*func, bugs)?;
+            args.iter().try_for_each(|a| classify(a, ctx))
+        }
+        BoundExpr::Cast { expr, .. } => {
+            gates::cast(bugs)?;
+            classify(expr, ctx)
+        }
+        BoundExpr::IsNull { expr, .. } => {
+            gates::is_null(bugs)?;
+            classify(expr, ctx)
+        }
+        BoundExpr::Like { expr, pattern, .. } => {
+            gates::like(bugs)?;
+            classify(expr, ctx)?;
+            classify(pattern, ctx)
+        }
+    }
+}
+
+/// Planner-side mirror of [`classify`] over the unbound AST, used by
+/// `EXPLAIN`'s `VEC` / `ROW(<reason>)` clause annotations. Both walkers
+/// consume the same [`gates`] table; the runtime classifier (which sees
+/// bind-time facts like collision-alt columns) stays authoritative —
+/// this is the static prediction.
+pub fn classify_ast(
+    e: &Expr,
+    bugs: &BugRegistry,
+    dialect: Dialect,
+    stmt: StmtKind,
+    depth: u32,
+) -> Result<(), &'static str> {
+    let rec = |e: &Expr| classify_ast(e, bugs, dialect, stmt, depth);
+    match e {
+        Expr::Literal(_) => Ok(()),
+        Expr::Column(_) => {
+            // The binder records collision alternatives only inside
+            // subqueries; a bare column there may be mutant-redirected.
+            if depth > 0 && bugs.active(BugId::TidbCorrelatedNameCollision) {
+                Err("name-collision mutant")
+            } else {
+                Ok(())
+            }
+        }
+        Expr::Unary { expr, .. } => rec(expr),
+        Expr::Binary { op, left, right } => {
+            gates::binary(*op, bugs, dialect, stmt)?;
+            rec(left)?;
+            rec(right)
+        }
+        Expr::Between {
+            expr, low, high, ..
+        } => {
+            gates::between(bugs)?;
+            rec(expr)?;
+            rec(low)?;
+            rec(high)
+        }
+        Expr::InList { expr, list, .. } => {
+            gates::in_list(bugs)?;
+            rec(expr)?;
+            list.iter().try_for_each(rec)
+        }
+        Expr::InSubquery { .. }
+        | Expr::Exists { .. }
+        | Expr::Scalar(_)
+        | Expr::Quantified { .. } => Err("subquery"),
+        Expr::Agg { .. } => Err("aggregate"),
+        Expr::Case {
+            operand,
+            whens,
+            else_expr,
+        } => {
+            gates::case(bugs)?;
+            if let Some(o) = operand {
+                rec(o)?;
+            }
+            for (w, t) in whens {
+                rec(w)?;
+                rec(t)?;
+            }
+            else_expr.as_deref().map_or(Ok(()), rec)
+        }
+        Expr::Func { func, args } => {
+            gates::func(*func, bugs)?;
+            args.iter().try_for_each(rec)
+        }
+        Expr::Cast { expr, .. } => {
+            gates::cast(bugs)?;
+            rec(expr)
+        }
+        Expr::IsNull { expr, .. } => {
+            gates::is_null(bugs)?;
+            rec(expr)
+        }
+        Expr::Like { expr, pattern, .. } => {
+            gates::like(bugs)?;
+            rec(expr)?;
+            rec(pattern)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Chunk evaluation machinery.
+// ---------------------------------------------------------------------------
+
+/// A lane whose scalar evaluation would error: the chunk aborts and the
+/// caller re-runs it row-at-a-time (which raises the exact error at the
+/// exact row, with exact coverage and fuel).
+struct Abort;
+
+/// Columnar result of one expression node over a chunk's active lanes.
+enum Col {
+    /// Lane-invariant (literals, outer-scope columns).
+    Const(Value),
+    /// One value per lane; only active lanes are meaningful.
+    Dense(Vec<Value>),
+}
+
+impl Col {
+    #[inline]
+    fn get(&self, lane: u32) -> &Value {
+        match self {
+            Col::Const(v) => v,
+            Col::Dense(vs) => &vs[lane as usize],
+        }
+    }
+}
+
+/// A kernel operand: either a fused local-column read (values come
+/// straight from the chunk's rows, no materialized copy) or a
+/// materialized column. Fusing is exact — a local column load has no
+/// error path, and its coverage hit / correlation-detector record fire
+/// when the operand is built.
+enum Operand {
+    ColRef(usize),
+    Mat(Col),
+}
+
+impl Operand {
+    #[inline]
+    fn get<'v>(&'v self, rows: &'v [Row], lane: u32) -> &'v Value {
+        match self {
+            Operand::ColRef(i) => &rows[lane as usize][*i],
+            Operand::Mat(c) => c.get(lane),
+        }
+    }
+
+    fn konst(&self) -> Option<&Value> {
+        match self {
+            Operand::Mat(Col::Const(v)) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Reusable buffers: one pool per statement (held by the engine context),
+/// so the vectorized pipeline allocates O(1) buffers per operator rather
+/// than O(chunks) — `coddb/tests/no_per_row_alloc.rs` pins this down.
+#[derive(Default)]
+pub(crate) struct Pool {
+    vals: Vec<Vec<Value>>,
+    sels: Vec<Vec<u32>>,
+    b3s: Vec<Vec<Bool3>>,
+}
+
+impl Pool {
+    fn vals(&mut self, len: usize) -> Vec<Value> {
+        let mut v = self.vals.pop().unwrap_or_default();
+        v.clear();
+        v.resize(len, Value::Null);
+        v
+    }
+    fn sel(&mut self) -> Vec<u32> {
+        let mut s = self.sels.pop().unwrap_or_default();
+        s.clear();
+        s
+    }
+    fn b3s(&mut self, len: usize) -> Vec<Bool3> {
+        let mut b = self.b3s.pop().unwrap_or_default();
+        b.clear();
+        b.resize(len, None);
+        b
+    }
+    fn give(&mut self, col: Col) {
+        if let Col::Dense(v) = col {
+            self.vals.push(v);
+        }
+    }
+    fn give_vals(&mut self, v: Vec<Value>) {
+        self.vals.push(v);
+    }
+    fn give_sel(&mut self, s: Vec<u32>) {
+        self.sels.push(s);
+    }
+    fn give_b3(&mut self, b: Vec<Bool3>) {
+        self.b3s.push(b);
+    }
+}
+
+/// Truthiness coverage classes observed across a chunk; fired once per
+/// class present (idempotent bits make that equal to per-row hits).
+#[derive(Default)]
+struct TruthFlags {
+    null: bool,
+    boolean: bool,
+    numeric: bool,
+}
+
+impl TruthFlags {
+    fn fire(&self, cov: &Coverage) {
+        if self.null {
+            cov.hit(pt::EVAL_TRUTHY_NULL);
+        }
+        if self.boolean {
+            cov.hit(pt::EVAL_TRUTHY_BOOL);
+        }
+        if self.numeric {
+            cov.hit(pt::EVAL_TRUTHY_NUMERIC);
+        }
+    }
+}
+
+/// Per-lane [`crate::eval::truthiness`]: same classes, strict-dialect
+/// type errors become chunk aborts.
+#[inline]
+fn truth_lane(v: &Value, strict: bool, tf: &mut TruthFlags) -> Result<Bool3, Abort> {
+    match v {
+        Value::Null => {
+            tf.null = true;
+            Ok(None)
+        }
+        Value::Bool(b) => {
+            tf.boolean = true;
+            Ok(Some(*b))
+        }
+        other => {
+            if strict {
+                return Err(Abort);
+            }
+            tf.numeric = true;
+            Ok(Some(other.coerce_f64() != 0.0))
+        }
+    }
+}
+
+/// Per-lane [`crate::eval::bool3_to_value`].
+#[inline]
+fn b3_value(b: Bool3, strict: bool) -> Value {
+    match b {
+        None => Value::Null,
+        Some(t) => {
+            if strict {
+                Value::Bool(t)
+            } else {
+                Value::Int(t as i64)
+            }
+        }
+    }
+}
+
+/// Per-lane `value_to_text` (strict dialects reject non-TEXT operands).
+#[inline]
+fn to_text_lane(v: &Value, strict: bool) -> Result<String, Abort> {
+    match v {
+        Value::Text(s) => Ok(s.clone()),
+        other if !strict => Ok(other.to_string()),
+        _ => Err(Abort),
+    }
+}
+
+/// Mirror of `eval.rs::finite_or_null`.
+#[inline]
+fn finite_or_null(r: f64) -> Value {
+    if r.is_finite() {
+        Value::Real(r)
+    } else {
+        Value::Null
+    }
+}
+
+/// Coverage classes of the arithmetic kernel.
+#[derive(Default)]
+struct ArithFlags {
+    null: bool,
+    int: bool,
+    real: bool,
+    div_zero_null: bool,
+}
+
+impl ArithFlags {
+    fn fire(&self, cov: &Coverage) {
+        if self.null {
+            cov.hit(pt::EVAL_ARITH_NULL);
+        }
+        if self.int {
+            cov.hit(pt::EVAL_ARITH_INT);
+        }
+        if self.real {
+            cov.hit(pt::EVAL_ARITH_REAL);
+        }
+        if self.div_zero_null {
+            cov.hit(pt::EVAL_DIV_ZERO_NULL);
+        }
+    }
+}
+
+/// Per-lane comparison. Numeric/numeric pairs reduce to
+/// [`Value::sql_cmp`] in **every** dialect (strict dialects accept
+/// numeric-numeric operands, MySQL-family coercion only touches TEXT),
+/// so the hot lanes skip [`compare`]'s dialect dispatch; everything
+/// else delegates to it bit for bit.
+#[inline]
+fn cmp_lane(
+    a: &Value,
+    b: &Value,
+    ctx: &EngineCtx,
+    info: ExprCtx,
+) -> Result<Option<Ordering>, Abort> {
+    match (a, b) {
+        (Value::Null, _) | (_, Value::Null) => Ok(None),
+        (Value::Int(x), Value::Int(y)) => Ok(Some(x.cmp(y))),
+        (Value::Int(x), Value::Real(y)) => Ok(Some((*x as f64).total_cmp(y))),
+        (Value::Real(x), Value::Int(y)) => Ok(Some(x.total_cmp(&(*y as f64)))),
+        (Value::Real(x), Value::Real(y)) => Ok(Some(x.total_cmp(y))),
+        _ => compare(a, b, ctx, info).map_err(|_| Abort),
+    }
+}
+
+/// Per-lane mirror of `eval.rs::eval_arith`, minus the mutant hooks
+/// (classification keeps hooked shapes off this path). Every scalar
+/// error condition — strict type errors, overflow, erroring division by
+/// zero — aborts the chunk. The Int/Int arm is the generic path
+/// specialized (both operands numeric, `both_int` true, identical
+/// checked semantics) without the per-lane type dispatch.
+fn arith_lane(
+    op: BinaryOp,
+    lv: &Value,
+    rv: &Value,
+    strict: bool,
+    int_div_real: bool,
+    div0_null: bool,
+    flags: &mut ArithFlags,
+) -> Result<Value, Abort> {
+    if let (Value::Int(a), Value::Int(b)) = (lv, rv) {
+        let (a, b) = (*a, *b);
+        match op {
+            BinaryOp::Add => {
+                flags.int = true;
+                return a.checked_add(b).map(Value::Int).ok_or(Abort);
+            }
+            BinaryOp::Sub => {
+                flags.int = true;
+                return a.checked_sub(b).map(Value::Int).ok_or(Abort);
+            }
+            BinaryOp::Mul => {
+                flags.int = true;
+                return a.checked_mul(b).map(Value::Int).ok_or(Abort);
+            }
+            BinaryOp::Div => {
+                if b == 0 {
+                    if div0_null {
+                        flags.div_zero_null = true;
+                        return Ok(Value::Null);
+                    }
+                    return Err(Abort);
+                }
+                if !int_div_real {
+                    flags.int = true;
+                    return a.checked_div(b).map(Value::Int).ok_or(Abort);
+                }
+                flags.real = true;
+                return Ok(finite_or_null(a as f64 / b as f64));
+            }
+            BinaryOp::Mod => {
+                if b == 0 {
+                    if div0_null {
+                        flags.div_zero_null = true;
+                        return Ok(Value::Null);
+                    }
+                    return Err(Abort);
+                }
+                flags.int = true;
+                return a.checked_rem(b).map(Value::Int).ok_or(Abort);
+            }
+            _ => return Err(Abort),
+        }
+    }
+    if lv.is_null() || rv.is_null() {
+        flags.null = true;
+        return Ok(Value::Null);
+    }
+    if strict {
+        let numeric = |v: &Value| matches!(v, Value::Int(_) | Value::Real(_));
+        if !numeric(lv) || !numeric(rv) {
+            return Err(Abort);
+        }
+    }
+    let both_int = matches!(lv, Value::Int(_) | Value::Bool(_))
+        && matches!(rv, Value::Int(_) | Value::Bool(_));
+    match op {
+        BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul => {
+            if both_int {
+                flags.int = true;
+                let a = lv.as_i64().unwrap();
+                let b = rv.as_i64().unwrap();
+                let r = match op {
+                    BinaryOp::Add => a.checked_add(b),
+                    BinaryOp::Sub => a.checked_sub(b),
+                    _ => a.checked_mul(b),
+                };
+                // Overflow errors (and their EVAL_ARITH_OVERFLOW hit)
+                // surface through the row-at-a-time rerun.
+                r.map(Value::Int).ok_or(Abort)
+            } else {
+                flags.real = true;
+                let a = lv.coerce_f64();
+                let b = rv.coerce_f64();
+                let r = match op {
+                    BinaryOp::Add => a + b,
+                    BinaryOp::Sub => a - b,
+                    _ => a * b,
+                };
+                Ok(finite_or_null(r))
+            }
+        }
+        BinaryOp::Div => {
+            let b_num = rv.coerce_f64();
+            if b_num == 0.0 {
+                if div0_null {
+                    flags.div_zero_null = true;
+                    return Ok(Value::Null);
+                }
+                return Err(Abort);
+            }
+            if both_int && !int_div_real {
+                flags.int = true;
+                let a = lv.as_i64().unwrap();
+                let b = rv.as_i64().unwrap();
+                a.checked_div(b).map(Value::Int).ok_or(Abort)
+            } else {
+                flags.real = true;
+                Ok(finite_or_null(lv.coerce_f64() / b_num))
+            }
+        }
+        BinaryOp::Mod => {
+            let a = lv
+                .as_i64()
+                .or_else(|| Some(lv.coerce_f64() as i64))
+                .unwrap();
+            let b = rv
+                .as_i64()
+                .or_else(|| Some(rv.coerce_f64() as i64))
+                .unwrap();
+            if b == 0 {
+                if div0_null {
+                    flags.div_zero_null = true;
+                    return Ok(Value::Null);
+                }
+                return Err(Abort);
+            }
+            flags.int = true;
+            a.checked_rem(b).map(Value::Int).ok_or(Abort)
+        }
+        _ => Err(Abort),
+    }
+}
+
+/// Per-lane mirror of `eval.rs::eval_cast` (null in → null out before any
+/// coverage; strict parse failures abort; the `CockroachInternalCastTextInt`
+/// hook is classification-rejected).
+fn cast_lane(
+    v: &Value,
+    ty: DataType,
+    strict: bool,
+    hit_nonnull: &mut bool,
+) -> Result<Value, Abort> {
+    if v.is_null() {
+        return Ok(Value::Null);
+    }
+    *hit_nonnull = true;
+    match ty {
+        DataType::Int => match v {
+            Value::Int(i) => Ok(Value::Int(*i)),
+            Value::Bool(b) => Ok(Value::Int(*b as i64)),
+            Value::Real(r) => Ok(Value::Int(*r as i64)),
+            Value::Text(s) => {
+                if strict {
+                    s.trim().parse::<i64>().map(Value::Int).map_err(|_| Abort)
+                } else {
+                    Ok(Value::Int(v.coerce_f64() as i64))
+                }
+            }
+            Value::Null => unreachable!(),
+        },
+        DataType::Real => match v {
+            Value::Real(r) => Ok(Value::Real(*r)),
+            Value::Int(i) => Ok(Value::Real(*i as f64)),
+            Value::Bool(b) => Ok(Value::Real(*b as i64 as f64)),
+            Value::Text(s) => {
+                if strict {
+                    s.trim().parse::<f64>().map(Value::Real).map_err(|_| Abort)
+                } else {
+                    Ok(Value::Real(v.coerce_f64()))
+                }
+            }
+            Value::Null => unreachable!(),
+        },
+        DataType::Text => Ok(Value::Text(v.to_string())),
+        DataType::Bool => match v {
+            Value::Bool(b) => Ok(Value::Bool(*b)),
+            Value::Int(i) => Ok(Value::Bool(*i != 0)),
+            Value::Real(r) => Ok(Value::Bool(*r != 0.0)),
+            Value::Text(s) => {
+                let t = s.trim().to_ascii_lowercase();
+                match t.as_str() {
+                    "true" | "t" | "1" => Ok(Value::Bool(true)),
+                    "false" | "f" | "0" => Ok(Value::Bool(false)),
+                    _ if !strict => Ok(Value::Bool(v.coerce_f64() != 0.0)),
+                    _ => Err(Abort),
+                }
+            }
+            Value::Null => unreachable!(),
+        },
+        DataType::Any => Ok(v.clone()),
+    }
+}
+
+/// One chunk's evaluation state: the chunk rows, the (fixed) outer
+/// scopes, the scratch coverage accumulator and the statement's buffer
+/// pool.
+struct ChunkEval<'a, 'e> {
+    ctx: &'e EngineCtx<'a>,
+    cov: &'e Coverage,
+    rows: &'e [Row],
+    outer: &'e [Frame<'e>],
+    info: ExprCtx,
+    pool: &'e mut Pool,
+}
+
+impl<'a, 'e> ChunkEval<'a, 'e> {
+    fn strict(&self) -> bool {
+        self.ctx.dialect.strict_types()
+    }
+
+    /// Evaluate `e` over the active lanes. `sel` must be non-empty: a
+    /// node is entered only when at least one lane reaches it, which is
+    /// what keeps per-node coverage hits equal to the scalar union.
+    fn eval(&mut self, e: &BoundExpr, sel: &[u32]) -> Result<Col, Abort> {
+        debug_assert!(!sel.is_empty(), "kernels require at least one active lane");
+        match e {
+            BoundExpr::Literal(v) => {
+                self.cov.hit(pt::EVAL_LITERAL);
+                Ok(Col::Const(v.clone()))
+            }
+            BoundExpr::Column(c) => self.load_column(c, sel),
+            BoundExpr::Unary { op, expr } => self.unary(*op, expr, sel),
+            BoundExpr::Binary { op, left, right } => self.binary(*op, left, right, sel),
+            BoundExpr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => self.between(expr, low, high, *negated, sel),
+            BoundExpr::InList {
+                expr,
+                list,
+                negated,
+            } => self.in_list(expr, list, *negated, sel),
+            BoundExpr::Case {
+                operand,
+                whens,
+                else_expr,
+                ..
+            } => self.case(operand.as_deref(), whens, else_expr.as_deref(), sel),
+            BoundExpr::Func { func, args } => self.func(*func, args, sel),
+            BoundExpr::Cast { expr, ty } => {
+                let input = self.eval(expr, sel)?;
+                let strict = self.strict();
+                let mut nonnull = false;
+                let out = self.map1(input, sel, |v| cast_lane(v, *ty, strict, &mut nonnull))?;
+                if nonnull {
+                    match ty {
+                        DataType::Int => self.cov.hit(pt::EVAL_CAST_INT),
+                        DataType::Real => self.cov.hit(pt::EVAL_CAST_REAL),
+                        DataType::Text => self.cov.hit(pt::EVAL_CAST_TEXT),
+                        DataType::Bool => self.cov.hit(pt::EVAL_CAST_BOOL),
+                        DataType::Any => {}
+                    }
+                }
+                Ok(out)
+            }
+            BoundExpr::IsNull { expr, negated } => {
+                let input = self.eval(expr, sel)?;
+                let strict = self.strict();
+                let negated = *negated;
+                self.map1(input, sel, |v| {
+                    Ok(b3_value(Some(v.is_null() != negated), strict))
+                })
+            }
+            BoundExpr::Like {
+                expr,
+                pattern,
+                negated,
+            } => self.like(expr, pattern, *negated, sel),
+            // Classification keeps these off the vectorized path.
+            BoundExpr::InSubquery { .. }
+            | BoundExpr::Exists { .. }
+            | BoundExpr::Scalar { .. }
+            | BoundExpr::Quantified { .. }
+            | BoundExpr::Agg { .. } => {
+                debug_assert!(false, "unclassified expression reached the vectorized path");
+                Err(Abort)
+            }
+        }
+    }
+
+    fn load_column(&mut self, c: &BoundColumn, sel: &[u32]) -> Result<Col, Abort> {
+        let (up, index) = (c.up as usize, c.index as usize);
+        let nscopes = self.outer.len() + 1;
+        let fi = nscopes - 1 - up;
+        self.cov.hit(if up == 0 {
+            pt::EVAL_COLUMN_LOCAL
+        } else {
+            pt::EVAL_COLUMN_OUTER
+        });
+        // The correlation detector dedups slots, so recording once per
+        // chunk equals recording once per row. Recording on the real
+        // context is sound even if the chunk later aborts: the scalar
+        // rerun re-records the same slots (or the statement errors).
+        self.ctx.note_column_read(fi, index);
+        if up == 0 {
+            let mut out = self.pool.vals(self.rows.len());
+            for &lane in sel {
+                out[lane as usize] = self.rows[lane as usize][index].clone();
+            }
+            Ok(Col::Dense(out))
+        } else {
+            // Outer frames are fixed across the chunk: lane-invariant.
+            Ok(Col::Const(self.outer[fi].row[index].clone()))
+        }
+    }
+
+    fn unary(&mut self, op: UnaryOp, expr: &BoundExpr, sel: &[u32]) -> Result<Col, Abort> {
+        let input = self.eval(expr, sel)?;
+        let strict = self.strict();
+        match op {
+            UnaryOp::Neg => {
+                self.cov.hit(pt::EVAL_NEG);
+                self.map1(input, sel, |v| match v {
+                    Value::Null => Ok(Value::Null),
+                    Value::Int(i) => i.checked_neg().map(Value::Int).ok_or(Abort),
+                    Value::Real(r) => Ok(Value::Real(-r)),
+                    other => {
+                        if strict {
+                            Err(Abort)
+                        } else {
+                            Ok(Value::Real(-other.coerce_f64()))
+                        }
+                    }
+                })
+            }
+            UnaryOp::Not => {
+                self.cov.hit(pt::EVAL_NOT);
+                let mut tf = TruthFlags::default();
+                let out = self.map1(input, sel, |v| {
+                    let b = truth_lane(v, strict, &mut tf)?;
+                    Ok(b3_value(not3(b), strict))
+                })?;
+                tf.fire(self.cov);
+                Ok(out)
+            }
+        }
+    }
+
+    fn binary(
+        &mut self,
+        op: BinaryOp,
+        left: &BoundExpr,
+        right: &BoundExpr,
+        sel: &[u32],
+    ) -> Result<Col, Abort> {
+        match op {
+            BinaryOp::And | BinaryOp::Or => self.and_or(op, left, right, sel),
+            BinaryOp::Is | BinaryOp::IsNot => {
+                self.cov.hit(pt::EVAL_IS_OP);
+                let l = self.eval(left, sel)?;
+                let r = self.eval(right, sel)?;
+                let strict = self.strict();
+                self.map2(l, r, sel, |a, b| {
+                    let same = a.is_identical(b);
+                    Ok(b3_value(Some(same == (op == BinaryOp::Is)), strict))
+                })
+            }
+            _ if op.is_comparison() => {
+                let lop = self.operand(left, sel)?;
+                let rop = self.operand(right, sel)?;
+                let strict = self.strict();
+                let (ctx, info) = (self.ctx, self.info);
+                let (mut t, mut f, mut n) = (false, false, false);
+                let out = if let (Some(a), Some(b)) = (lop.konst(), rop.konst()) {
+                    let ord = cmp_lane(a, b, ctx, info)?;
+                    let b3 = ord.map(|o| cmp_matches(op, o));
+                    match b3 {
+                        Some(true) => t = true,
+                        Some(false) => f = true,
+                        None => n = true,
+                    }
+                    Col::Const(b3_value(b3, strict))
+                } else {
+                    let mut out = self.pool.vals(self.rows.len());
+                    for &lane in sel {
+                        let a = lop.get(self.rows, lane);
+                        let b = rop.get(self.rows, lane);
+                        let ord = cmp_lane(a, b, ctx, info)?;
+                        let b3 = ord.map(|o| cmp_matches(op, o));
+                        match b3 {
+                            Some(true) => t = true,
+                            Some(false) => f = true,
+                            None => n = true,
+                        }
+                        out[lane as usize] = b3_value(b3, strict);
+                    }
+                    Col::Dense(out)
+                };
+                if t {
+                    self.cov.hit(pt::EVAL_CMP_TRUE);
+                }
+                if f {
+                    self.cov.hit(pt::EVAL_CMP_FALSE);
+                }
+                if n {
+                    self.cov.hit(pt::EVAL_CMP_NULL);
+                }
+                self.release_operand(lop);
+                self.release_operand(rop);
+                Ok(out)
+            }
+            BinaryOp::Concat => {
+                self.cov.hit(pt::EVAL_CONCAT);
+                let l = self.eval(left, sel)?;
+                let r = self.eval(right, sel)?;
+                let strict = self.strict();
+                self.map2(l, r, sel, |a, b| {
+                    if a.is_null() || b.is_null() {
+                        return Ok(Value::Null);
+                    }
+                    let ls = to_text_lane(a, strict)?;
+                    let rs = to_text_lane(b, strict)?;
+                    Ok(Value::Text(format!("{ls}{rs}")))
+                })
+            }
+            _ => {
+                debug_assert!(op.is_arithmetic());
+                let lop = self.operand(left, sel)?;
+                let rop = self.operand(right, sel)?;
+                let strict = self.strict();
+                let int_div_real = self.ctx.dialect.int_div_yields_real();
+                let div0_null = self.ctx.dialect.div_by_zero_is_null();
+                let mut flags = ArithFlags::default();
+                let out = if let (Some(a), Some(b)) = (lop.konst(), rop.konst()) {
+                    Col::Const(arith_lane(
+                        op,
+                        a,
+                        b,
+                        strict,
+                        int_div_real,
+                        div0_null,
+                        &mut flags,
+                    )?)
+                } else {
+                    let mut out = self.pool.vals(self.rows.len());
+                    for &lane in sel {
+                        let a = lop.get(self.rows, lane);
+                        let b = rop.get(self.rows, lane);
+                        out[lane as usize] =
+                            arith_lane(op, a, b, strict, int_div_real, div0_null, &mut flags)?;
+                    }
+                    Col::Dense(out)
+                };
+                flags.fire(self.cov);
+                self.release_operand(lop);
+                self.release_operand(rop);
+                Ok(out)
+            }
+        }
+    }
+
+    /// `AND` / `OR` with exact short-circuit laziness: the right operand
+    /// evaluates only over lanes the scalar walk would reach.
+    fn and_or(
+        &mut self,
+        op: BinaryOp,
+        left: &BoundExpr,
+        right: &BoundExpr,
+        sel: &[u32],
+    ) -> Result<Col, Abort> {
+        let is_and = op == BinaryOp::And;
+        let strict = self.strict();
+        let l = self.eval(left, sel)?;
+        let mut tf = TruthFlags::default();
+        let mut lb = self.pool.b3s(self.rows.len());
+        let mut rhs_sel = self.pool.sel();
+        let mut shorted = false;
+        for &lane in sel {
+            let t = truth_lane(l.get(lane), strict, &mut tf)?;
+            lb[lane as usize] = t;
+            let short = t == Some(!is_and);
+            if short {
+                shorted = true;
+            } else {
+                rhs_sel.push(lane);
+            }
+        }
+        self.pool.give(l);
+        if shorted {
+            self.cov.hit(if is_and {
+                pt::EVAL_AND_SHORT
+            } else {
+                pt::EVAL_OR_SHORT
+            });
+        }
+        let mut out = self.pool.vals(self.rows.len());
+        let mut saw_null = false;
+        if !rhs_sel.is_empty() {
+            let r = self.eval(right, &rhs_sel)?;
+            for &lane in &rhs_sel {
+                let rb = truth_lane(r.get(lane), strict, &mut tf)?;
+                let b = if is_and {
+                    and3(lb[lane as usize], rb)
+                } else {
+                    or3(lb[lane as usize], rb)
+                };
+                if b.is_none() {
+                    saw_null = true;
+                }
+                out[lane as usize] = b3_value(b, strict);
+            }
+            self.pool.give(r);
+        }
+        if shorted {
+            let short_val = b3_value(Some(!is_and), strict);
+            for &lane in sel {
+                if lb[lane as usize] == Some(!is_and) {
+                    out[lane as usize] = short_val.clone();
+                }
+            }
+        }
+        tf.fire(self.cov);
+        if saw_null {
+            self.cov.hit(if is_and {
+                pt::EVAL_AND_NULL
+            } else {
+                pt::EVAL_OR_NULL
+            });
+        }
+        self.pool.give_b3(lb);
+        self.pool.give_sel(rhs_sel);
+        Ok(Col::Dense(out))
+    }
+
+    fn between(
+        &mut self,
+        expr: &BoundExpr,
+        low: &BoundExpr,
+        high: &BoundExpr,
+        negated: bool,
+        sel: &[u32],
+    ) -> Result<Col, Abort> {
+        self.cov.hit(if negated {
+            pt::EVAL_BETWEEN_NEG
+        } else {
+            pt::EVAL_BETWEEN
+        });
+        let v = self.operand(expr, sel)?;
+        let lo = self.operand(low, sel)?;
+        let hi = self.operand(high, sel)?;
+        let strict = self.strict();
+        let (ctx, info) = (self.ctx, self.info);
+        let mut out = self.pool.vals(self.rows.len());
+        for &lane in sel {
+            let x = v.get(self.rows, lane);
+            let ge = cmp_lane(x, lo.get(self.rows, lane), ctx, info)?.map(|o| o != Ordering::Less);
+            let le =
+                cmp_lane(x, hi.get(self.rows, lane), ctx, info)?.map(|o| o != Ordering::Greater);
+            let b = and3(ge, le);
+            out[lane as usize] = b3_value(if negated { not3(b) } else { b }, strict);
+        }
+        self.release_operand(v);
+        self.release_operand(lo);
+        self.release_operand(hi);
+        Ok(Col::Dense(out))
+    }
+
+    fn in_list(
+        &mut self,
+        expr: &BoundExpr,
+        list: &[BoundExpr],
+        negated: bool,
+        sel: &[u32],
+    ) -> Result<Col, Abort> {
+        let strict = self.strict();
+        let v = self.operand(expr, sel)?;
+        if list.is_empty() {
+            self.cov.hit(pt::EVAL_IN_LIST_MISS);
+            self.release_operand(v);
+            return Ok(Col::Const(b3_value(Some(negated), strict)));
+        }
+        // Like the scalar walk, every item evaluates before comparison.
+        let mut items = Vec::with_capacity(list.len());
+        for item in list {
+            items.push(self.eval(item, sel)?);
+        }
+        let (ctx, info) = (self.ctx, self.info);
+        let (mut hit_f, mut null_f, mut miss_f) = (false, false, false);
+        let mut out = self.pool.vals(self.rows.len());
+        for &lane in sel {
+            let lv = v.get(self.rows, lane);
+            let mut any_null = lv.is_null();
+            let mut hit = false;
+            if !lv.is_null() {
+                for item in &items {
+                    match cmp_lane(lv, item.get(lane), ctx, info)? {
+                        Some(Ordering::Equal) => {
+                            hit = true;
+                            break;
+                        }
+                        None => any_null = true,
+                        _ => {}
+                    }
+                }
+            }
+            let b = if hit {
+                hit_f = true;
+                Some(true)
+            } else if any_null {
+                null_f = true;
+                None
+            } else {
+                miss_f = true;
+                Some(false)
+            };
+            out[lane as usize] = b3_value(if negated { not3(b) } else { b }, strict);
+        }
+        if hit_f {
+            self.cov.hit(pt::EVAL_IN_LIST_HIT);
+        }
+        if null_f {
+            self.cov.hit(pt::EVAL_IN_LIST_NULL);
+        }
+        if miss_f {
+            self.cov.hit(pt::EVAL_IN_LIST_MISS);
+        }
+        self.release_operand(v);
+        for item in items {
+            self.pool.give(item);
+        }
+        Ok(Col::Dense(out))
+    }
+
+    fn case(
+        &mut self,
+        operand: Option<&BoundExpr>,
+        whens: &[(BoundExpr, BoundExpr)],
+        else_expr: Option<&BoundExpr>,
+        sel: &[u32],
+    ) -> Result<Col, Abort> {
+        let strict = self.strict();
+        let mut out = self.pool.vals(self.rows.len());
+        let mut active = self.pool.sel();
+        active.extend_from_slice(sel);
+        let mut next = self.pool.sel();
+        let mut matched = self.pool.sel();
+        let mut tf = TruthFlags::default();
+        let base = match operand {
+            Some(o) => {
+                self.cov.hit(pt::EVAL_CASE_OPERAND);
+                Some(self.eval(o, sel)?)
+            }
+            None => {
+                self.cov.hit(pt::EVAL_CASE_SEARCHED);
+                None
+            }
+        };
+        let (ctx, info) = (self.ctx, self.info);
+        for (w, t) in whens {
+            if active.is_empty() {
+                break;
+            }
+            let wv = self.eval(w, &active)?;
+            next.clear();
+            matched.clear();
+            for &lane in &active {
+                let is_match = match &base {
+                    Some(b) => {
+                        cmp_lane(b.get(lane), wv.get(lane), ctx, info)? == Some(Ordering::Equal)
+                    }
+                    None => truth_lane(wv.get(lane), strict, &mut tf)? == Some(true),
+                };
+                if is_match {
+                    matched.push(lane);
+                } else {
+                    next.push(lane);
+                }
+            }
+            self.pool.give(wv);
+            if !matched.is_empty() {
+                let tv = self.eval(t, &matched)?;
+                self.scatter(tv, &matched, &mut out);
+            }
+            std::mem::swap(&mut active, &mut next);
+        }
+        if let Some(b) = base {
+            self.pool.give(b);
+        }
+        if !active.is_empty() {
+            match else_expr {
+                Some(e) => {
+                    self.cov.hit(pt::EVAL_CASE_ELSE);
+                    let ev = self.eval(e, &active)?;
+                    self.scatter(ev, &active, &mut out);
+                }
+                // Unmatched lanes stay NULL.
+                None => self.cov.hit(pt::EVAL_CASE_NO_MATCH),
+            }
+        }
+        tf.fire(self.cov);
+        self.pool.give_sel(active);
+        self.pool.give_sel(next);
+        self.pool.give_sel(matched);
+        Ok(Col::Dense(out))
+    }
+
+    fn like(
+        &mut self,
+        expr: &BoundExpr,
+        pattern: &BoundExpr,
+        negated: bool,
+        sel: &[u32],
+    ) -> Result<Col, Abort> {
+        let v = self.eval(expr, sel)?;
+        let p = self.eval(pattern, sel)?;
+        let strict = self.strict();
+        let ci = self.ctx.dialect.like_case_insensitive();
+        let (mut null_f, mut match_f, mut nomatch_f) = (false, false, false);
+        let out = self.map2(v, p, sel, |a, b| {
+            if a.is_null() || b.is_null() {
+                null_f = true;
+                return Ok(Value::Null);
+            }
+            let text = to_text_lane(a, strict)?;
+            let pat = to_text_lane(b, strict)?;
+            let mut m = like_match(&text, &pat, ci);
+            if m {
+                match_f = true;
+            } else {
+                nomatch_f = true;
+            }
+            if negated {
+                m = !m;
+            }
+            Ok(b3_value(Some(m), strict))
+        })?;
+        if null_f {
+            self.cov.hit(pt::EVAL_LIKE_NULL);
+        }
+        if match_f {
+            self.cov.hit(pt::EVAL_LIKE_MATCH);
+        }
+        if nomatch_f {
+            self.cov.hit(pt::EVAL_LIKE_NOMATCH);
+        }
+        Ok(out)
+    }
+
+    fn func(&mut self, func: FuncName, args: &[BoundExpr], sel: &[u32]) -> Result<Col, Abort> {
+        let strict = self.strict();
+        // Arity errors surface through the row-at-a-time rerun.
+        let arity_ok = match func {
+            FuncName::Length
+            | FuncName::Abs
+            | FuncName::Upper
+            | FuncName::Lower
+            | FuncName::Typeof
+            | FuncName::Sign => args.len() == 1,
+            FuncName::Nullif | FuncName::Instr => args.len() == 2,
+            FuncName::Iif => args.len() == 3,
+            FuncName::Coalesce => !args.is_empty(),
+            FuncName::Version => args.is_empty(),
+            FuncName::Round => !args.is_empty() && args.len() <= 2,
+            FuncName::Substr => args.len() == 2 || args.len() == 3,
+        };
+        if !arity_ok {
+            return Err(Abort);
+        }
+        match func {
+            FuncName::Length => {
+                self.cov.hit(pt::EVAL_FUNC_LENGTH);
+                let v = self.eval(&args[0], sel)?;
+                self.map1(v, sel, |v| {
+                    if v.is_null() {
+                        return Ok(Value::Null);
+                    }
+                    let s = to_text_lane(v, strict)?;
+                    Ok(Value::Int(s.chars().count() as i64))
+                })
+            }
+            FuncName::Abs => {
+                self.cov.hit(pt::EVAL_FUNC_ABS);
+                let v = self.eval(&args[0], sel)?;
+                self.map1(v, sel, |v| match v {
+                    Value::Null => Ok(Value::Null),
+                    Value::Int(i) => i.checked_abs().map(Value::Int).ok_or(Abort),
+                    Value::Real(r) => Ok(Value::Real(r.abs())),
+                    other if !strict => Ok(Value::Real(other.coerce_f64().abs())),
+                    _ => Err(Abort),
+                })
+            }
+            FuncName::Upper | FuncName::Lower => {
+                self.cov.hit(if func == FuncName::Upper {
+                    pt::EVAL_FUNC_UPPER
+                } else {
+                    pt::EVAL_FUNC_LOWER
+                });
+                let v = self.eval(&args[0], sel)?;
+                self.map1(v, sel, |v| {
+                    if v.is_null() {
+                        return Ok(Value::Null);
+                    }
+                    let s = to_text_lane(v, strict)?;
+                    Ok(Value::Text(if func == FuncName::Upper {
+                        s.to_uppercase()
+                    } else {
+                        s.to_lowercase()
+                    }))
+                })
+            }
+            FuncName::Coalesce => {
+                self.cov.hit(pt::EVAL_FUNC_COALESCE);
+                let mut out = self.pool.vals(self.rows.len());
+                let mut active = self.pool.sel();
+                active.extend_from_slice(sel);
+                let mut next = self.pool.sel();
+                for a in args {
+                    if active.is_empty() {
+                        break;
+                    }
+                    let v = self.eval(a, &active)?;
+                    next.clear();
+                    for &lane in &active {
+                        let val = v.get(lane);
+                        if val.is_null() {
+                            next.push(lane);
+                        } else {
+                            out[lane as usize] = val.clone();
+                        }
+                    }
+                    self.pool.give(v);
+                    std::mem::swap(&mut active, &mut next);
+                }
+                self.pool.give_sel(active);
+                self.pool.give_sel(next);
+                Ok(Col::Dense(out))
+            }
+            FuncName::Nullif => {
+                self.cov.hit(pt::EVAL_FUNC_NULLIF);
+                let a = self.eval(&args[0], sel)?;
+                let b = self.eval(&args[1], sel)?;
+                let (ctx, info) = (self.ctx, self.info);
+                self.map2(a, b, sel, |a, b| {
+                    if cmp_lane(a, b, ctx, info)? == Some(Ordering::Equal) {
+                        Ok(Value::Null)
+                    } else {
+                        Ok(a.clone())
+                    }
+                })
+            }
+            FuncName::Iif => {
+                self.cov.hit(pt::EVAL_FUNC_IIF);
+                let c = self.eval(&args[0], sel)?;
+                let mut tf = TruthFlags::default();
+                let mut then_sel = self.pool.sel();
+                let mut else_sel = self.pool.sel();
+                for &lane in sel {
+                    if truth_lane(c.get(lane), strict, &mut tf)? == Some(true) {
+                        then_sel.push(lane);
+                    } else {
+                        else_sel.push(lane);
+                    }
+                }
+                self.pool.give(c);
+                tf.fire(self.cov);
+                let mut out = self.pool.vals(self.rows.len());
+                if !then_sel.is_empty() {
+                    let tv = self.eval(&args[1], &then_sel)?;
+                    self.scatter(tv, &then_sel, &mut out);
+                }
+                if !else_sel.is_empty() {
+                    let ev = self.eval(&args[2], &else_sel)?;
+                    self.scatter(ev, &else_sel, &mut out);
+                }
+                self.pool.give_sel(then_sel);
+                self.pool.give_sel(else_sel);
+                Ok(Col::Dense(out))
+            }
+            FuncName::Typeof => {
+                self.cov.hit(pt::EVAL_FUNC_TYPEOF);
+                let v = self.eval(&args[0], sel)?;
+                self.map1(v, sel, |v| {
+                    Ok(Value::Text(
+                        match v {
+                            Value::Null => "null",
+                            Value::Int(_) => "integer",
+                            Value::Real(_) => "real",
+                            Value::Text(_) => "text",
+                            Value::Bool(_) => "boolean",
+                        }
+                        .into(),
+                    ))
+                })
+            }
+            FuncName::Version => {
+                self.cov.hit(pt::EVAL_FUNC_VERSION);
+                Ok(Col::Const(Value::Text(
+                    self.ctx.dialect.version_string().into(),
+                )))
+            }
+            FuncName::Round => {
+                self.cov.hit(pt::EVAL_FUNC_ROUND);
+                let v = self.eval(&args[0], sel)?;
+                // The precision argument evaluates only for lanes whose
+                // value is non-NULL (the scalar walk returns early).
+                let mut live = self.pool.sel();
+                for &lane in sel {
+                    if !v.get(lane).is_null() {
+                        live.push(lane);
+                    }
+                }
+                let p = if args.len() == 2 && !live.is_empty() {
+                    Some(self.eval(&args[1], &live)?)
+                } else {
+                    None
+                };
+                let mut out = self.pool.vals(self.rows.len());
+                for &lane in &live {
+                    let pv = match &p {
+                        Some(pc) => match pc.get(lane) {
+                            Value::Null => {
+                                out[lane as usize] = Value::Null;
+                                continue;
+                            }
+                            pv => pv.as_i64().unwrap_or(0),
+                        },
+                        None => 0,
+                    };
+                    let x = match v.get(lane).as_f64() {
+                        Some(x) => x,
+                        None if !strict => v.get(lane).coerce_f64(),
+                        None => return Err(Abort),
+                    };
+                    let pv = pv.clamp(-15, 15);
+                    let factor = 10f64.powi(pv as i32);
+                    out[lane as usize] = finite_or_null((x * factor).round() / factor);
+                }
+                self.pool.give(v);
+                if let Some(pc) = p {
+                    self.pool.give(pc);
+                }
+                self.pool.give_sel(live);
+                Ok(Col::Dense(out))
+            }
+            FuncName::Sign => {
+                self.cov.hit(pt::EVAL_FUNC_SIGN);
+                let v = self.eval(&args[0], sel)?;
+                self.map1(v, sel, |v| {
+                    if v.is_null() {
+                        return Ok(Value::Null);
+                    }
+                    let x = match v.as_f64() {
+                        Some(x) => x,
+                        None if !strict => v.coerce_f64(),
+                        None => return Err(Abort),
+                    };
+                    Ok(Value::Int(if x > 0.0 {
+                        1
+                    } else if x < 0.0 {
+                        -1
+                    } else {
+                        0
+                    }))
+                })
+            }
+            FuncName::Instr => {
+                self.cov.hit(pt::EVAL_FUNC_INSTR);
+                let a = self.eval(&args[0], sel)?;
+                let b = self.eval(&args[1], sel)?;
+                self.map2(a, b, sel, |a, b| {
+                    if a.is_null() || b.is_null() {
+                        return Ok(Value::Null);
+                    }
+                    let hay = to_text_lane(a, strict)?;
+                    let needle = to_text_lane(b, strict)?;
+                    let pos = hay
+                        .find(&needle)
+                        .map(|byte| hay[..byte].chars().count() as i64 + 1)
+                        .unwrap_or(0);
+                    Ok(Value::Int(pos))
+                })
+            }
+            FuncName::Substr => {
+                self.cov.hit(pt::EVAL_FUNC_SUBSTR);
+                let s = self.eval(&args[0], sel)?;
+                let start = self.eval(&args[1], sel)?;
+                // The length argument evaluates only for lanes where
+                // neither the string nor the start is NULL.
+                let mut live = self.pool.sel();
+                for &lane in sel {
+                    if !s.get(lane).is_null() && !start.get(lane).is_null() {
+                        live.push(lane);
+                    }
+                }
+                let take_col = if args.len() == 3 && !live.is_empty() {
+                    Some(self.eval(&args[2], &live)?)
+                } else {
+                    None
+                };
+                let mut out = self.pool.vals(self.rows.len());
+                for &lane in &live {
+                    let text = to_text_lane(s.get(lane), strict)?;
+                    let st = start.get(lane).as_i64().unwrap_or(1);
+                    let chars: Vec<char> = text.chars().collect();
+                    let len = chars.len() as i64;
+                    let begin = if st > 0 {
+                        st - 1
+                    } else if st < 0 {
+                        (len + st).max(0)
+                    } else {
+                        0
+                    };
+                    let take = match &take_col {
+                        Some(tc) => match tc.get(lane) {
+                            Value::Null => {
+                                out[lane as usize] = Value::Null;
+                                continue;
+                            }
+                            tv => tv.as_i64().unwrap_or(0).max(0),
+                        },
+                        None => len,
+                    };
+                    let begin = begin.clamp(0, len) as usize;
+                    let end = (begin + take as usize).min(chars.len());
+                    out[lane as usize] = Value::Text(chars[begin..end].iter().collect());
+                }
+                self.pool.give(s);
+                self.pool.give(start);
+                if let Some(tc) = take_col {
+                    self.pool.give(tc);
+                }
+                self.pool.give_sel(live);
+                Ok(Col::Dense(out))
+            }
+        }
+    }
+
+    /// Build a kernel operand: local columns fuse into direct row reads
+    /// (their coverage hit and correlation record fire here, once —
+    /// identical to the materialized load), everything else evaluates.
+    fn operand(&mut self, e: &BoundExpr, sel: &[u32]) -> Result<Operand, Abort> {
+        if let BoundExpr::Column(c) = e {
+            if c.up == 0 {
+                let index = c.index as usize;
+                self.cov.hit(pt::EVAL_COLUMN_LOCAL);
+                self.ctx.note_column_read(self.outer.len(), index);
+                return Ok(Operand::ColRef(index));
+            }
+        }
+        Ok(Operand::Mat(self.eval(e, sel)?))
+    }
+
+    fn release_operand(&mut self, op: Operand) {
+        if let Operand::Mat(c) = op {
+            self.pool.give(c);
+        }
+    }
+
+    /// Apply a fallible per-lane map to one column.
+    fn map1(
+        &mut self,
+        input: Col,
+        sel: &[u32],
+        mut f: impl FnMut(&Value) -> Result<Value, Abort>,
+    ) -> Result<Col, Abort> {
+        match input {
+            Col::Const(v) => Ok(Col::Const(f(&v)?)),
+            Col::Dense(vs) => {
+                let mut out = self.pool.vals(self.rows.len());
+                for &lane in sel {
+                    out[lane as usize] = f(&vs[lane as usize])?;
+                }
+                self.pool.give_vals(vs);
+                Ok(Col::Dense(out))
+            }
+        }
+    }
+
+    /// Apply a fallible per-lane map to a pair of columns.
+    fn map2(
+        &mut self,
+        l: Col,
+        r: Col,
+        sel: &[u32],
+        mut f: impl FnMut(&Value, &Value) -> Result<Value, Abort>,
+    ) -> Result<Col, Abort> {
+        if let (Col::Const(a), Col::Const(b)) = (&l, &r) {
+            return Ok(Col::Const(f(a, b)?));
+        }
+        let mut out = self.pool.vals(self.rows.len());
+        for &lane in sel {
+            out[lane as usize] = f(l.get(lane), r.get(lane))?;
+        }
+        self.pool.give(l);
+        self.pool.give(r);
+        Ok(Col::Dense(out))
+    }
+
+    /// Move a column's values into `out` at the given lanes.
+    fn scatter(&mut self, src: Col, lanes: &[u32], out: &mut [Value]) {
+        match src {
+            Col::Const(v) => {
+                for &lane in lanes {
+                    out[lane as usize] = v.clone();
+                }
+            }
+            Col::Dense(mut vs) => {
+                for &lane in lanes {
+                    out[lane as usize] = std::mem::replace(&mut vs[lane as usize], Value::Null);
+                }
+                self.pool.give_vals(vs);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Chunk drivers (called from the executor).
+// ---------------------------------------------------------------------------
+
+/// Vectorized WHERE filter over one chunk: sets `keep[lane]` for passing
+/// lanes and fires the exact filter/truthiness coverage. `false` means
+/// the chunk must re-run row-at-a-time (an erroring lane, or a strict
+/// truthiness error); nothing has been merged into the real coverage and
+/// `keep` contents are unspecified in that case.
+pub(crate) fn filter_chunk(
+    pred: &BoundExpr,
+    rows: &[Row],
+    outer: &[Frame],
+    ctx: &EngineCtx,
+    info: ExprCtx,
+    keep: &mut [bool],
+) -> bool {
+    debug_assert_eq!(rows.len(), keep.len());
+    let scratch = Coverage::new();
+    let mut pool = ctx.vec_pool.borrow_mut();
+    let mut sel = pool.sel();
+    sel.extend(0..rows.len() as u32);
+    let mut ce = ChunkEval {
+        ctx,
+        cov: &scratch,
+        rows,
+        outer,
+        info,
+        pool: &mut pool,
+    };
+    let Ok(col) = ce.eval(pred, &sel) else {
+        return false;
+    };
+    let strict = ctx.dialect.strict_types();
+    let mut tf = TruthFlags::default();
+    let (mut pass, mut dropped, mut nul) = (false, false, false);
+    for &lane in &sel {
+        let Ok(t) = truth_lane(col.get(lane), strict, &mut tf) else {
+            return false;
+        };
+        match t {
+            Some(true) => {
+                pass = true;
+                keep[lane as usize] = true;
+            }
+            Some(false) => dropped = true,
+            None => nul = true,
+        }
+    }
+    tf.fire(&scratch);
+    if pass {
+        scratch.hit(pt::EXEC_FILTER_PASS);
+    }
+    if dropped {
+        scratch.hit(pt::EXEC_FILTER_DROP);
+    }
+    if nul {
+        scratch.hit(pt::EXEC_FILTER_NULL);
+    }
+    pool.give(col);
+    pool.give_sel(sel);
+    ctx.cov.merge(&scratch);
+    true
+}
+
+/// Vectorized projection over one chunk: evaluates every output
+/// expression column-at-a-time, then assembles output rows. On success
+/// the chunk's rows are appended to `out_rows` and coverage merged; on
+/// `false` nothing was appended and the caller re-runs the chunk
+/// row-at-a-time.
+pub(crate) fn project_chunk(
+    bounds: &[&BoundExpr],
+    rows: &[Row],
+    outer: &[Frame],
+    ctx: &EngineCtx,
+    info: ExprCtx,
+    out_rows: &mut Vec<Row>,
+) -> bool {
+    let scratch = Coverage::new();
+    let mut pool = ctx.vec_pool.borrow_mut();
+    let mut sel = pool.sel();
+    sel.extend(0..rows.len() as u32);
+    let mut ce = ChunkEval {
+        ctx,
+        cov: &scratch,
+        rows,
+        outer,
+        info,
+        pool: &mut pool,
+    };
+    let mut cols = Vec::with_capacity(bounds.len());
+    for b in bounds {
+        match ce.eval(b, &sel) {
+            Ok(c) => cols.push(c),
+            Err(Abort) => return false,
+        }
+    }
+    for lane in 0..rows.len() {
+        let mut vals = Vec::with_capacity(cols.len());
+        for c in &mut cols {
+            vals.push(match c {
+                Col::Const(v) => v.clone(),
+                Col::Dense(vs) => std::mem::replace(&mut vs[lane], Value::Null),
+            });
+        }
+        out_rows.push(Row::new(vals));
+    }
+    for c in cols {
+        pool.give(c);
+    }
+    pool.give_sel(sel);
+    ctx.cov.merge(&scratch);
+    true
+}
+
+/// Evaluate one bound expression over a chunk, appending one value per
+/// row to `out` in row order. Coverage goes to `scratch` — the caller
+/// decides when (whether) to merge, which lets grouped execution make
+/// its aggregate-argument pre-evaluation all-or-nothing.
+pub(crate) fn eval_chunk_into(
+    bound: &BoundExpr,
+    rows: &[Row],
+    outer: &[Frame],
+    ctx: &EngineCtx,
+    info: ExprCtx,
+    scratch: &Coverage,
+    out: &mut Vec<Value>,
+) -> bool {
+    let mut pool = ctx.vec_pool.borrow_mut();
+    let mut sel = pool.sel();
+    sel.extend(0..rows.len() as u32);
+    let mut ce = ChunkEval {
+        ctx,
+        cov: scratch,
+        rows,
+        outer,
+        info,
+        pool: &mut pool,
+    };
+    let ok = match ce.eval(bound, &sel) {
+        Ok(Col::Const(v)) => {
+            out.extend(std::iter::repeat_with(|| v.clone()).take(rows.len()));
+            true
+        }
+        Ok(Col::Dense(mut vs)) => {
+            out.append(&mut vs);
+            pool.give_vals(vs);
+            true
+        }
+        Err(Abort) => false,
+    };
+    pool.give_sel(sel);
+    ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bugs::BugRegistry;
+
+    #[test]
+    fn classify_ast_rejects_subqueries_and_hooked_shapes() {
+        let bugs = BugRegistry::none();
+        let d = Dialect::Sqlite;
+        let ok = Expr::and(
+            Expr::eq(Expr::bare_col("a"), Expr::lit(1i64)),
+            Expr::bin(BinaryOp::Gt, Expr::bare_col("b"), Expr::lit(2i64)),
+        );
+        assert!(classify_ast(&ok, &bugs, d, StmtKind::Select, 0).is_ok());
+        assert_eq!(
+            classify_ast(&Expr::count_star(), &bugs, d, StmtKind::Select, 0),
+            Err("aggregate")
+        );
+        let mut hooked = BugRegistry::none();
+        hooked.enable(BugId::TidbInValueListWhere);
+        let in_list = Expr::InList {
+            expr: Box::new(Expr::bare_col("a")),
+            list: vec![Expr::lit(1i64)],
+            negated: false,
+        };
+        assert!(classify_ast(&in_list, &bugs, d, StmtKind::Select, 0).is_ok());
+        assert_eq!(
+            classify_ast(&in_list, &hooked, d, StmtKind::Select, 0),
+            Err("mutant-hooked IN list")
+        );
+    }
+
+    #[test]
+    fn classify_ast_rejects_mysql_dml_comparisons() {
+        let bugs = BugRegistry::none();
+        let cmp = Expr::eq(Expr::bare_col("a"), Expr::lit(1i64));
+        assert!(classify_ast(&cmp, &bugs, Dialect::Mysql, StmtKind::Select, 0).is_ok());
+        assert_eq!(
+            classify_ast(&cmp, &bugs, Dialect::Mysql, StmtKind::Update, 0),
+            Err("dialect DML comparison")
+        );
+    }
+}

@@ -71,6 +71,49 @@ fn explain_shows_pushed_filters() {
     assert!(plan.contains("PUSHED FILTER"), "{plan}");
 }
 
+#[test]
+fn explain_annotates_clause_vectorization() {
+    let mut db = Database::new(Dialect::Sqlite);
+    db.execute_sql("CREATE TABLE t (v INT, s TEXT); INSERT INTO t VALUES (1, 'x')")
+        .unwrap();
+    // A vectorizable filter and projection.
+    let plan = db
+        .explain_sql("SELECT v + 1 FROM t WHERE v % 2 = 1 AND s LIKE 'x%'")
+        .unwrap();
+    assert!(
+        plan.contains("FILTER (((v % 2) = 1) AND (s LIKE 'x%')) [VEC]"),
+        "{plan}"
+    );
+    assert!(plan.contains("PROJECT (1 item(s)) [VEC]"), "{plan}");
+    // Subqueries fall back row-at-a-time.
+    let sub = db
+        .explain_sql("SELECT v FROM t WHERE v IN (SELECT v FROM t)")
+        .unwrap();
+    assert!(sub.contains("[ROW(subquery)]"), "{sub}");
+    // Aggregate group keys annotate on the AGGREGATE line.
+    let agg = db
+        .explain_sql("SELECT v % 3, COUNT(*) FROM t GROUP BY v % 3")
+        .unwrap();
+    assert!(
+        agg.contains("AGGREGATE (group by 1 expr(s)) [VEC]"),
+        "{agg}"
+    );
+    // An active mutant hooking a shape forces its fallback.
+    let mut hooked = Database::with_bugs(
+        Dialect::Tidb,
+        BugRegistry::only(BugId::TidbInValueListWhere),
+    );
+    hooked.execute_sql("CREATE TABLE t (v INT)").unwrap();
+    let plan = hooked
+        .explain_sql("SELECT v FROM t WHERE v IN (1, 2)")
+        .unwrap();
+    assert!(plan.contains("[ROW(mutant-hooked IN list)]"), "{plan}");
+    // Disabled eval mode annotates every clause.
+    db.set_eval_mode(coddb::EvalMode::RowAtATime);
+    let plan = db.explain_sql("SELECT v FROM t WHERE v > 0").unwrap();
+    assert!(plan.contains("[ROW(row-at-a-time eval mode)]"), "{plan}");
+}
+
 // ---------------------------------------------------------------------------
 // Negative trigger tests: mutants are silent outside their context.
 // ---------------------------------------------------------------------------

@@ -174,8 +174,63 @@ fn scan_path_allocates_nothing_per_row() {
     );
 }
 
+/// The vectorized filter path must allocate O(chunks), not O(rows): its
+/// kernel buffers come from a per-statement pool that is recycled across
+/// chunks, so a 4x larger table (4x the chunks) must not cost
+/// proportionally more allocations. The predicate here is
+/// classified-vectorizable (AND/OR selection vectors, arithmetic and
+/// comparison kernels) and runs through the public query API under the
+/// default [`coddb::EvalMode::Vectorized`].
+fn vectorized_filter_allocates_o_chunks_not_o_rows() {
+    let build = |n: i64| {
+        let mut db = Database::new(Dialect::Sqlite);
+        db.execute_sql("CREATE TABLE t (c0 INT, c1 TEXT, c2 REAL)")
+            .unwrap();
+        for chunk in (0..n).collect::<Vec<_>>().chunks(500) {
+            let rows: Vec<String> = chunk
+                .iter()
+                .map(|v| format!("({v}, 'r{v}', {v}.5)"))
+                .collect();
+            db.execute_sql(&format!("INSERT INTO t VALUES {}", rows.join(",")))
+                .unwrap();
+        }
+        db
+    };
+    // Or + And + arithmetic + comparisons: several kernel nodes, so a
+    // per-node-per-chunk buffer leak would multiply visibly.
+    let sql = "SELECT COUNT(*) FROM t WHERE (c0 % 3 = 1 OR c0 % 5 = 2) AND c2 + 1.5 > 12.0";
+    let expected = |n: i64| {
+        (0..n)
+            .filter(|v| (v % 3 == 1 || v % 5 == 2) && (*v as f64 + 0.5) + 1.5 > 12.0)
+            .count() as i64
+    };
+    let measure = |db: &mut Database, expected: i64| {
+        let q = coddb::parser::parse_select(sql).unwrap();
+        let warm = db.query(&q).unwrap();
+        assert_eq!(warm.scalar().unwrap().as_i64(), Some(expected));
+        let before = ALLOCATIONS.load(Ordering::Relaxed);
+        let rel = db.query(&q).unwrap();
+        let after = ALLOCATIONS.load(Ordering::Relaxed);
+        assert_eq!(rel.scalar().unwrap().as_i64(), Some(expected));
+        after - before
+    };
+    let mut small = build(5_000); // 5 chunks of 1024
+    let mut large = build(20_000); // 20 chunks
+    let small_allocs = measure(&mut small, expected(5_000));
+    let large_allocs = measure(&mut large, expected(20_000));
+    // 15 extra chunks x several kernel nodes: an O(rows) — or even an
+    // unpooled O(chunks x nodes) — implementation would add hundreds of
+    // allocations; the pooled pipeline adds a constant few.
+    assert!(
+        large_allocs <= small_allocs + 16,
+        "vectorized filter must allocate O(chunks) with pooled buffers: \
+         {small_allocs} allocs at 5k rows vs {large_allocs} at 20k"
+    );
+}
+
 #[test]
 fn hot_row_loops_allocate_nothing_per_row() {
     expression_path_allocates_nothing_per_row();
     scan_path_allocates_nothing_per_row();
+    vectorized_filter_allocates_o_chunks_not_o_rows();
 }

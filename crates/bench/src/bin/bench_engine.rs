@@ -16,10 +16,18 @@
 use std::time::{Duration, Instant};
 
 use coddb::ast::Select;
-use coddb::{BindMode, Database, EvalMode, JoinMode, ScanMode};
+use coddb::{BindMode, Database, Dialect, EvalMode, JoinMode, ScanMode};
+use coddtest::make_oracle;
+use coddtest::runner::{run_campaign, run_campaign_parallel, CampaignConfig};
 use coddtest_bench::{
-    engine_setup as setup, is_join_shape, is_scan_shape, is_vec_shape, QUERY_SHAPES,
+    engine_setup as setup, is_join_shape, is_scan_shape, is_vec_shape, CAMPAIGN_PARALLEL_SHAPE,
+    QUERY_SHAPES,
 };
+
+/// Worker threads for the `campaign_parallel` shape (the evaluation's
+/// reference point: the differential suite proves byte-identical results,
+/// this records the wall-clock win).
+const CAMPAIGN_THREADS: usize = 4;
 
 struct Windows {
     warmup: Duration,
@@ -67,6 +75,19 @@ fn measure(db: &mut Database, q: &Select, w: &Windows) -> f64 {
     samples[w.runs / 2]
 }
 
+/// Median-of-runs wall clock for a one-shot workload (a whole campaign,
+/// not a repeatable query), in nanoseconds.
+fn measure_campaign(runs: usize, mut work: impl FnMut()) -> f64 {
+    let mut samples = Vec::with_capacity(runs);
+    for _ in 0..runs.max(1) {
+        let start = Instant::now();
+        work();
+        samples.push(start.elapsed().as_nanos() as f64);
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let out_path = args
@@ -76,11 +97,8 @@ fn main() {
         .map(String::as_str)
         .unwrap_or("BENCH_engine.json")
         .to_string();
-    let windows = if args.iter().any(|a| a == "--quick") {
-        QUICK
-    } else {
-        FULL
-    };
+    let quick = args.iter().any(|a| a == "--quick");
+    let windows = if quick { QUICK } else { FULL };
     // --shapes a,b,c: measure a subset; unknown names abort (shape-drop
     // guard — a renamed shape must not silently vanish from the output).
     let shape_filter: Option<Vec<String>> = args
@@ -90,7 +108,8 @@ fn main() {
         .map(|csv| csv.split(',').map(|s| s.trim().to_string()).collect());
     if let Some(filter) = &shape_filter {
         for want in filter {
-            if !QUERY_SHAPES.iter().any(|(name, _)| name == want) {
+            if !QUERY_SHAPES.iter().any(|(name, _)| name == want) && want != CAMPAIGN_PARALLEL_SHAPE
+            {
                 eprintln!("bench_engine: unknown shape in --shapes: {want}");
                 std::process::exit(1);
             }
@@ -169,6 +188,41 @@ fn main() {
         entries.push(format!(
             "    {:?}: {{\n      \"bound_ns_per_iter\": {:.0},\n      \"walk_ns_per_iter\": {:.0},\n      \"speedup\": {:.2}{}\n    }}",
             name, bound_ns, walk_ns, speedup, extra
+        ));
+    }
+
+    // campaign_parallel: whole-campaign wall clock, sequential runner vs
+    // the 4-thread parallel runner (same oracle, same seed — the
+    // differential suite proves the results byte-identical, so this is a
+    // pure scheduling measurement). Speedup tracks available cores: a
+    // single-core runner records ~1.0x, which is why the core count is
+    // part of the record.
+    let run_campaign_shape = shape_filter
+        .as_ref()
+        .is_none_or(|f| f.iter().any(|s| s == CAMPAIGN_PARALLEL_SHAPE));
+    if run_campaign_shape {
+        let cfg = CampaignConfig {
+            tests: if quick { 120 } else { 600 },
+            ..CampaignConfig::new(Dialect::Sqlite)
+        };
+        let runs = windows.runs;
+        let serial_ns = measure_campaign(runs, || {
+            let mut oracle = make_oracle("codd").unwrap();
+            std::hint::black_box(run_campaign(oracle.as_mut(), &cfg));
+        });
+        let parallel_ns = measure_campaign(runs, || {
+            std::hint::black_box(run_campaign_parallel("codd", &cfg, CAMPAIGN_THREADS).unwrap());
+        });
+        let speedup = serial_ns / parallel_ns;
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        println!(
+            "{CAMPAIGN_PARALLEL_SHAPE:<24} serial {serial_ns:>12.0} ns/iter   parallel {parallel_ns:>12.0} ns/iter   speedup {speedup:>5.2}x ({CAMPAIGN_THREADS} threads, {cores} core(s))"
+        );
+        entries.push(format!(
+            "    {:?}: {{\n      \"serial_ns_per_iter\": {:.0},\n      \"parallel_ns_per_iter\": {:.0},\n      \"parallel_vs_serial_speedup\": {:.2},\n      \"threads\": {},\n      \"cores\": {}\n    }}",
+            CAMPAIGN_PARALLEL_SHAPE, serial_ns, parallel_ns, speedup, CAMPAIGN_THREADS, cores
         ));
     }
 

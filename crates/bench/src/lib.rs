@@ -75,6 +75,13 @@ pub const QUERY_SHAPES: &[(&str, &str)] = &[
     ),
 ];
 
+/// The campaign-runner shape: `bench_engine` times a whole `codd` campaign
+/// through `run_campaign` vs `run_campaign_parallel` and records
+/// `parallel_vs_serial_speedup` (plus the thread and core counts — the
+/// speedup is core-bound) in `BENCH_engine.json`. Not a SQL shape, so it
+/// lives outside [`QUERY_SHAPES`].
+pub const CAMPAIGN_PARALLEL_SHAPE: &str = "campaign_parallel";
+
 /// Shapes whose dominant operator is a join — `bench_engine` additionally
 /// times these with [`coddb::JoinMode::NestedLoop`] forced, recording the
 /// hash-join speedup over the bound nested loop.

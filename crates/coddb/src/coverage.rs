@@ -262,10 +262,27 @@ impl Coverage {
 
     /// Fold another accumulator's hits into this one.
     pub fn merge(&self, other: &Coverage) {
-        let mut mine = self.bits.get();
         let theirs = other.bits.get();
-        for (m, t) in mine.iter_mut().zip(theirs.iter()) {
-            *m |= *t;
+        self.merge_words(&theirs);
+    }
+
+    /// Snapshot the raw bitset words. `Coverage` itself is `Cell`-based and
+    /// not `Send`; a snapshot is plain data that can cross threads and be
+    /// folded back in with [`Coverage::merge_words`] — the transport format
+    /// the parallel campaign runner's per-state shards use.
+    pub fn snapshot(&self) -> Vec<u64> {
+        self.bits.get().to_vec()
+    }
+
+    /// Fold a [`Coverage::snapshot`] back into this accumulator. Exactly
+    /// equivalent to [`Coverage::merge`] with the accumulator the snapshot
+    /// was taken from (word count mismatches would mean the snapshot came
+    /// from a different point registry — rejected loudly).
+    pub fn merge_words(&self, words: &[u64]) {
+        assert_eq!(words.len(), WORDS, "coverage snapshot has wrong word count");
+        let mut mine = self.bits.get();
+        for (m, w) in mine.iter_mut().zip(words.iter()) {
+            *m |= *w;
         }
         self.bits.set(mine);
     }
@@ -328,6 +345,33 @@ mod tests {
         let missed = cov.missed_points();
         assert_eq!(missed.len(), ALL_POINTS.len() - 1);
         assert!(!missed.contains(&"agg::avg"));
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_merge_words() {
+        let a = Coverage::new();
+        a.hit(pt::EVAL_LITERAL);
+        a.hit(pt::AGG_EMPTY);
+        let words = a.snapshot();
+        assert_eq!(words.len(), WORDS);
+
+        let b = Coverage::new();
+        b.hit(pt::EXEC_PROJECT);
+        b.merge_words(&words);
+        assert_eq!(b.hit_count(), 3);
+        assert!(b.hit_points().contains(&"agg::empty"));
+
+        // merge_words == merge with the snapshot's source accumulator.
+        let c = Coverage::new();
+        c.hit(pt::EXEC_PROJECT);
+        c.merge(&a);
+        assert_eq!(b.snapshot(), c.snapshot());
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong word count")]
+    fn merge_words_rejects_wrong_length() {
+        Coverage::new().merge_words(&[0u64]);
     }
 
     #[test]

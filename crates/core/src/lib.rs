@@ -125,6 +125,13 @@ impl<'a> Session<'a> {
         }
     }
 
+    /// Total queries this session has tallied (successful + expected-error).
+    /// The campaign runner samples this around each test to attribute query
+    /// counts to the test's outcome (the Table 3 QPT accounting).
+    pub fn queries_issued(&self) -> u64 {
+        self.ok_queries + self.err_queries
+    }
+
     fn track<T>(&mut self, r: &coddb::Result<T>) {
         match r {
             Ok(_) => {

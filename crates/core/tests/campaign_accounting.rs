@@ -1,0 +1,196 @@
+//! Regression tests for the campaign accounting fixes:
+//!
+//! 1. a non-matching-kind finding no longer ends a kind-filtered campaign
+//!    early (a crash-first symptom cannot mask a logic mutant),
+//! 2. `CampaignResult::qpt` excludes queries issued by `Skipped` tests
+//!    from the numerator (its denominator never counted those tests),
+//! 3. per-outcome query tallies partition the session totals.
+//!
+//! (The third accounting fix — merging a setup-failed state's coverage and
+//! error tallies — is covered by unit tests next to `merge_shard` in
+//! `runner.rs`, because no current mutant can make a generated setup
+//! statement fail end-to-end.)
+
+use coddb::bugs::{BugId, BugRegistry};
+use coddb::{BugKind, Dialect};
+use coddtest::runner::{run_campaign, CampaignConfig};
+use coddtest::{make_oracle, BugReport, Oracle, ReportKind, Session, TestOutcome};
+use sqlgen::SchemaInfo;
+
+/// The masking scenario from the issue, with real mutants: under the
+/// DuckDB profile with the IEJoin crash mutant and the NOT-LIKE logic
+/// mutant both active (campaign seed 1), the campaign's first finding is a
+/// crash at state 1 / test 3, while the first logic finding only appears
+/// at state 3 / test 12.
+fn masking_cfg() -> CampaignConfig {
+    let mut bugs = BugRegistry::none();
+    bugs.enable(BugId::DuckdbCrashIEJoinTypes);
+    bugs.enable(BugId::DuckdbNotLikeTopLevel);
+    CampaignConfig {
+        bugs,
+        tests: 200,
+        seed: 1,
+        stop_on_first_bug: true,
+        ..CampaignConfig::new(Dialect::Duckdb)
+    }
+}
+
+/// Without a kind filter, `stop_on_first_bug` halts on the crash — the
+/// pre-fix behaviour that left the budget unspent.
+#[test]
+fn crash_first_finding_halts_unfiltered_campaign() {
+    let mut oracle = make_oracle("codd").unwrap();
+    let result = run_campaign(oracle.as_mut(), &masking_cfg());
+    assert_eq!(result.findings.len(), 1);
+    assert_eq!(result.findings[0].report.kind, ReportKind::Crash);
+    assert_eq!(
+        (result.findings[0].state_idx, result.findings[0].test_idx),
+        (1, 3)
+    );
+}
+
+/// With `stop_kind` (what `detects_bug` now sets), the same campaign runs
+/// past the crash findings and stops at the first *logic* finding — the
+/// mutant is detected with the same budget.
+#[test]
+fn stop_kind_runs_past_mismatched_kind_findings() {
+    let cfg = CampaignConfig {
+        stop_kind: Some(BugKind::Logic),
+        ..masking_cfg()
+    };
+    let mut oracle = make_oracle("codd").unwrap();
+    let result = run_campaign(oracle.as_mut(), &cfg);
+    let last = result.findings.last().expect("harvests the logic finding");
+    assert_eq!(last.report.kind, ReportKind::LogicDiscrepancy);
+    assert_eq!((last.state_idx, last.test_idx), (3, 12));
+    // The crash findings before it are still recorded, not dropped.
+    assert!(result
+        .findings
+        .iter()
+        .take(result.findings.len() - 1)
+        .all(|f| f.report.kind == ReportKind::Crash));
+    assert!(result.findings.len() >= 2);
+}
+
+/// A scripted oracle with a fixed per-test query/outcome pattern: each
+/// `run_one` issues `queries` successful queries, then reports `outcome`.
+struct Scripted {
+    /// (queries to issue, outcome kind) per test, cycled.
+    script: Vec<(u64, ScriptOutcome)>,
+    calls: usize,
+}
+
+#[derive(Clone, Copy)]
+enum ScriptOutcome {
+    Pass,
+    Skip,
+    Bug,
+}
+
+impl Oracle for Scripted {
+    fn name(&self) -> &'static str {
+        "scripted"
+    }
+
+    fn run_one(
+        &mut self,
+        session: &mut Session,
+        _schema: &SchemaInfo,
+        _rng: &mut dyn rand::Rng,
+    ) -> TestOutcome {
+        let (queries, outcome) = self.script[self.calls % self.script.len()];
+        self.calls += 1;
+        let q = coddb::parser::parse_select("SELECT 1").unwrap();
+        for _ in 0..queries {
+            session.query(&q).unwrap();
+        }
+        match outcome {
+            ScriptOutcome::Pass => TestOutcome::Pass,
+            ScriptOutcome::Skip => TestOutcome::Skipped("scripted".into()),
+            ScriptOutcome::Bug => TestOutcome::Bug(BugReport {
+                oracle: "scripted",
+                kind: ReportKind::LogicDiscrepancy,
+                queries: vec![("q".into(), "SELECT 1".into())],
+                detail: "scripted".into(),
+            }),
+        }
+    }
+}
+
+/// Skipped tests issue many queries but complete no test: QPT must count
+/// neither those queries (numerator) nor those tests (denominator).
+#[test]
+fn qpt_excludes_skipped_test_queries() {
+    // Pattern per state (10 tests): 5x (2 queries, Pass), 5x (7 queries,
+    // Skip). Pre-fix QPT: (5*2 + 5*7) / 5 = 9.0. Correct QPT: 10/5 = 2.0.
+    let mut oracle = Scripted {
+        script: vec![(2, ScriptOutcome::Pass), (7, ScriptOutcome::Skip)],
+        calls: 0,
+    };
+    let cfg = CampaignConfig {
+        tests: 40,
+        tests_per_state: 10,
+        ..CampaignConfig::new(Dialect::Sqlite)
+    };
+    let result = run_campaign(&mut oracle, &cfg);
+    assert_eq!(result.tests_run, 40);
+    assert_eq!(result.passed, 20);
+    assert_eq!(result.skipped, 20);
+    assert_eq!(result.passed_queries, 40);
+    assert_eq!(result.skipped_queries, 140);
+    assert_eq!(result.finding_queries, 0);
+    assert_eq!(result.qpt(), 2.0, "QPT inflated by skipped tests' queries");
+}
+
+/// Findings count as completed tests: their queries stay in the QPT
+/// numerator and the finding in the denominator.
+#[test]
+fn qpt_counts_finding_tests() {
+    let mut oracle = Scripted {
+        script: vec![
+            (3, ScriptOutcome::Pass),
+            (9, ScriptOutcome::Skip),
+            (3, ScriptOutcome::Bug),
+        ],
+        calls: 0,
+    };
+    let cfg = CampaignConfig {
+        tests: 30,
+        tests_per_state: 6,
+        ..CampaignConfig::new(Dialect::Sqlite)
+    };
+    let result = run_campaign(&mut oracle, &cfg);
+    assert_eq!(result.passed, 10);
+    assert_eq!(result.skipped, 10);
+    assert_eq!(result.findings.len(), 10);
+    assert_eq!(result.qpt(), 3.0);
+    // The per-outcome tallies partition the session totals exactly.
+    assert_eq!(
+        result.passed_queries + result.skipped_queries + result.finding_queries,
+        result.successful_queries + result.unsuccessful_queries
+    );
+}
+
+/// Real-oracle invariant across dialects and mutant profiles: per-outcome
+/// query counts always partition the Table 3 totals (minus setup errors,
+/// which belong to no test).
+#[test]
+fn per_outcome_tallies_partition_totals() {
+    for dialect in Dialect::ALL {
+        for bugs in [BugRegistry::none(), BugRegistry::all_for_dialect(dialect)] {
+            let cfg = CampaignConfig {
+                bugs,
+                tests: 60,
+                ..CampaignConfig::new(dialect)
+            };
+            let mut oracle = make_oracle("codd").unwrap();
+            let result = run_campaign(oracle.as_mut(), &cfg);
+            assert_eq!(
+                result.passed_queries + result.skipped_queries + result.finding_queries,
+                result.successful_queries + result.unsuccessful_queries,
+                "{dialect:?}: setup errors cannot appear without setup failures"
+            );
+            assert_eq!(result.setup_failures, 0, "{dialect:?}");
+        }
+    }
+}

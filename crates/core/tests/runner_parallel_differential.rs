@@ -1,0 +1,207 @@
+//! Differential suite for the parallel campaign runner: at every thread
+//! count, `run_campaign_parallel` must be *byte-identical* to
+//! `run_campaign` — findings coordinates and order, unique plans, the
+//! coverage bitset, and every counter — across all dialects, with and
+//! without injected mutants, and under `stop_on_first_bug`.
+
+use coddb::bugs::{BugId, BugRegistry};
+use coddb::Dialect;
+use coddtest::make_oracle;
+use coddtest::runner::{run_campaign, run_campaign_parallel, CampaignConfig, CampaignResult};
+
+const THREADS: &[usize] = &[1, 2, 4];
+
+/// Everything except `elapsed` (wall-clock) must match exactly.
+fn assert_identical(seq: &CampaignResult, par: &CampaignResult, label: &str) {
+    assert_eq!(seq.oracle, par.oracle, "{label}: oracle");
+    assert_eq!(seq.tests_run, par.tests_run, "{label}: tests_run");
+    assert_eq!(seq.passed, par.passed, "{label}: passed");
+    assert_eq!(seq.skipped, par.skipped, "{label}: skipped");
+    assert_eq!(
+        seq.successful_queries, par.successful_queries,
+        "{label}: successful_queries"
+    );
+    assert_eq!(
+        seq.unsuccessful_queries, par.unsuccessful_queries,
+        "{label}: unsuccessful_queries"
+    );
+    assert_eq!(
+        seq.passed_queries, par.passed_queries,
+        "{label}: passed_queries"
+    );
+    assert_eq!(
+        seq.skipped_queries, par.skipped_queries,
+        "{label}: skipped_queries"
+    );
+    assert_eq!(
+        seq.finding_queries, par.finding_queries,
+        "{label}: finding_queries"
+    );
+    assert_eq!(
+        seq.setup_failures, par.setup_failures,
+        "{label}: setup_failures"
+    );
+    assert_eq!(seq.unique_plans, par.unique_plans, "{label}: unique_plans");
+    assert_eq!(
+        seq.coverage_percent.to_bits(),
+        par.coverage_percent.to_bits(),
+        "{label}: coverage_percent ({} vs {})",
+        seq.coverage_percent,
+        par.coverage_percent
+    );
+    assert_eq!(
+        seq.findings.len(),
+        par.findings.len(),
+        "{label}: findings count"
+    );
+    for (i, (s, p)) in seq.findings.iter().zip(par.findings.iter()).enumerate() {
+        assert_eq!(
+            (s.state_idx, s.test_idx),
+            (p.state_idx, p.test_idx),
+            "{label}: finding #{i} coordinates"
+        );
+        assert_eq!(s.report.kind, p.report.kind, "{label}: finding #{i} kind");
+        assert_eq!(
+            s.report.oracle, p.report.oracle,
+            "{label}: finding #{i} oracle"
+        );
+        assert_eq!(
+            s.report.queries, p.report.queries,
+            "{label}: finding #{i} queries"
+        );
+        assert_eq!(
+            s.report.detail, p.report.detail,
+            "{label}: finding #{i} detail"
+        );
+    }
+}
+
+fn differential(oracle_name: &str, cfg: &CampaignConfig, label: &str) -> CampaignResult {
+    let mut oracle = make_oracle(oracle_name).unwrap();
+    let seq = run_campaign(oracle.as_mut(), cfg);
+    for &threads in THREADS {
+        let par = run_campaign_parallel(oracle_name, cfg, threads).expect("known oracle name");
+        assert_identical(&seq, &par, &format!("{label} threads={threads}"));
+    }
+    seq
+}
+
+#[test]
+fn clean_campaigns_identical_across_dialects() {
+    for dialect in Dialect::ALL {
+        let cfg = CampaignConfig {
+            tests: 80,
+            tests_per_state: 10,
+            ..CampaignConfig::new(dialect)
+        };
+        let seq = differential("codd", &cfg, &format!("clean {dialect:?}"));
+        assert_eq!(seq.tests_run, 80);
+        assert!(seq.findings.is_empty(), "clean {dialect:?} found bugs");
+    }
+}
+
+#[test]
+fn mutant_campaigns_identical_across_dialects() {
+    for dialect in Dialect::ALL {
+        let cfg = CampaignConfig {
+            bugs: BugRegistry::all_for_dialect(dialect),
+            tests: 80,
+            tests_per_state: 10,
+            ..CampaignConfig::new(dialect)
+        };
+        differential("codd", &cfg, &format!("mutants {dialect:?}"));
+    }
+}
+
+/// Oracles with very different session patterns (NoREC's unoptimized
+/// reference queries, DQE's per-test table staging and snapshot/restore,
+/// TLP's partition unions) all shard and merge identically.
+#[test]
+fn other_oracles_identical() {
+    for oracle_name in ["norec", "tlp", "dqe", "eet"] {
+        let cfg = CampaignConfig {
+            tests: 60,
+            tests_per_state: 10,
+            ..CampaignConfig::new(Dialect::Sqlite)
+        };
+        differential(oracle_name, &cfg, oracle_name);
+    }
+}
+
+/// A budget that does not divide evenly by `tests_per_state` exercises the
+/// parallel merge's boundary-state recomputation: the worker shard for the
+/// last state runs a full batch, but only the remainder may count.
+#[test]
+fn budget_boundary_state_identical() {
+    let cfg = CampaignConfig {
+        tests: 73,
+        tests_per_state: 20,
+        ..CampaignConfig::new(Dialect::Cockroach)
+    };
+    let seq = differential("codd", &cfg, "boundary");
+    assert_eq!(seq.tests_run, 73);
+}
+
+/// A campaign smaller than one state's batch: the single worker shard is
+/// capped at the whole budget and no recomputation is needed.
+#[test]
+fn budget_smaller_than_one_state_identical() {
+    let cfg = CampaignConfig {
+        tests: 7,
+        tests_per_state: 20,
+        ..CampaignConfig::new(Dialect::Sqlite)
+    };
+    let seq = differential("codd", &cfg, "tiny");
+    assert_eq!(seq.tests_run, 7);
+}
+
+/// `stop_on_first_bug` picks the same earliest `(state_idx, test_idx)`
+/// finding at every thread count.
+#[test]
+fn stop_on_first_bug_picks_same_earliest_finding() {
+    let cfg = CampaignConfig {
+        bugs: BugRegistry::all_for_dialect(Dialect::Tidb),
+        tests: 400,
+        stop_on_first_bug: true,
+        ..CampaignConfig::new(Dialect::Tidb)
+    };
+    let seq = differential("codd", &cfg, "stop_on_first_bug");
+    assert!(
+        !seq.findings.is_empty(),
+        "TiDB mutant campaign should stop on a finding"
+    );
+    // The campaign stopped at the finding, not at budget exhaustion.
+    assert!(seq.tests_run < 400);
+}
+
+/// Same, with a kind filter: the campaign runs *past* non-matching
+/// findings and every thread count stops at the same first logic finding.
+#[test]
+fn stop_kind_picks_same_earliest_matching_finding() {
+    let mut bugs = BugRegistry::none();
+    bugs.enable(BugId::DuckdbCrashIEJoinTypes);
+    bugs.enable(BugId::DuckdbNotLikeTopLevel);
+    let cfg = CampaignConfig {
+        bugs,
+        tests: 200,
+        seed: 1,
+        stop_on_first_bug: true,
+        stop_kind: Some(coddb::BugKind::Logic),
+        ..CampaignConfig::new(Dialect::Duckdb)
+    };
+    let seq = differential("codd", &cfg, "stop_kind");
+    let last = seq.findings.last().expect("stops on a logic finding");
+    assert_eq!(last.report.kind, coddtest::ReportKind::LogicDiscrepancy);
+    assert!(
+        seq.findings
+            .iter()
+            .any(|f| f.report.kind == coddtest::ReportKind::Crash),
+        "non-matching findings before the stop are still recorded"
+    );
+}
+
+#[test]
+fn unknown_oracle_name_is_none() {
+    let cfg = CampaignConfig::new(Dialect::Sqlite);
+    assert!(run_campaign_parallel("no-such-oracle", &cfg, 2).is_none());
+}

@@ -16,12 +16,14 @@
 use std::time::{Duration, Instant};
 
 use coddb::ast::Select;
+use coddb::bugs::BugRegistry;
+use coddb::wal::StorageMode;
 use coddb::{BindMode, Database, Dialect, EvalMode, JoinMode, ScanMode};
 use coddtest::make_oracle;
 use coddtest::runner::{run_campaign, run_campaign_parallel, CampaignConfig};
 use coddtest_bench::{
     engine_setup as setup, is_join_shape, is_scan_shape, is_vec_shape, CAMPAIGN_PARALLEL_SHAPE,
-    QUERY_SHAPES,
+    QUERY_SHAPES, RECOVERY_REPLAY_SHAPE, WAL_COMMIT_SHAPE,
 };
 
 /// Worker threads for the `campaign_parallel` shape (the evaluation's
@@ -108,7 +110,10 @@ fn main() {
         .map(|csv| csv.split(',').map(|s| s.trim().to_string()).collect());
     if let Some(filter) = &shape_filter {
         for want in filter {
-            if !QUERY_SHAPES.iter().any(|(name, _)| name == want) && want != CAMPAIGN_PARALLEL_SHAPE
+            if !QUERY_SHAPES.iter().any(|(name, _)| name == want)
+                && want != CAMPAIGN_PARALLEL_SHAPE
+                && want != WAL_COMMIT_SHAPE
+                && want != RECOVERY_REPLAY_SHAPE
             {
                 eprintln!("bench_engine: unknown shape in --shapes: {want}");
                 std::process::exit(1);
@@ -223,6 +228,90 @@ fn main() {
         entries.push(format!(
             "    {:?}: {{\n      \"serial_ns_per_iter\": {:.0},\n      \"parallel_ns_per_iter\": {:.0},\n      \"parallel_vs_serial_speedup\": {:.2},\n      \"threads\": {},\n      \"cores\": {}\n    }}",
             CAMPAIGN_PARALLEL_SHAPE, serial_ns, parallel_ns, speedup, CAMPAIGN_THREADS, cores
+        ));
+    }
+
+    // wal_commit: per-statement cost of durable execution (encode + frame +
+    // append + commit marker) against the identical volatile run — the
+    // storage layer's logging overhead, isolated from query execution.
+    let run_wal_shape = shape_filter
+        .as_ref()
+        .is_none_or(|f| f.iter().any(|s| s == WAL_COMMIT_SHAPE));
+    if run_wal_shape {
+        let dml = coddb::parser::parse_statements(
+            "INSERT INTO w VALUES (1, 'x'), (2, 'y'), (3, 'z');
+             UPDATE w SET b = 'z' WHERE a >= 2;
+             DELETE FROM w WHERE a < 10",
+        )
+        .unwrap();
+        let batch = if quick { 300 } else { 3_000 };
+        let total_stmts = (batch * dml.len()) as f64;
+        let run_mode = |mode: StorageMode| {
+            measure_campaign(windows.runs, || {
+                let mut db = Database::new(Dialect::Sqlite);
+                db.execute_sql("CREATE TABLE w (a INT, b TEXT)").unwrap();
+                db.set_storage_mode(mode);
+                for _ in 0..batch {
+                    for s in &dml {
+                        std::hint::black_box(db.execute(s).unwrap());
+                    }
+                }
+            }) / total_stmts
+        };
+        let durable_ns = run_mode(StorageMode::Durable);
+        let volatile_ns = run_mode(StorageMode::Volatile);
+        let overhead = durable_ns / volatile_ns;
+        println!(
+            "{WAL_COMMIT_SHAPE:<24} durable {durable_ns:>12.0} ns/iter   volatile {volatile_ns:>12.0} ns/iter   overhead {overhead:>5.2}x"
+        );
+        entries.push(format!(
+            "    {:?}: {{\n      \"wal_commit_ns_per_iter\": {:.0},\n      \"volatile_ns_per_iter\": {:.0},\n      \"durable_overhead\": {:.2}\n    }}",
+            WAL_COMMIT_SHAPE, durable_ns, volatile_ns, overhead
+        ));
+    }
+
+    // recovery_replay: scan + replay of a fixed durable log image into a
+    // fresh engine — the crash-recovery path the differential oracle
+    // exercises, timed end to end.
+    let run_recovery_shape = shape_filter
+        .as_ref()
+        .is_none_or(|f| f.iter().any(|s| s == RECOVERY_REPLAY_SHAPE));
+    if run_recovery_shape {
+        let mut db = Database::new(Dialect::Sqlite);
+        db.set_storage_mode(StorageMode::Durable);
+        db.execute_sql("CREATE TABLE r0 (a INT, b TEXT); CREATE TABLE r1 (a INT)")
+            .unwrap();
+        for i in 0..120 {
+            db.execute_sql(&format!(
+                "INSERT INTO r0 VALUES ({i}, 'row{i}'), ({}, 'alt{i}');
+                 INSERT INTO r1 VALUES ({});
+                 UPDATE r0 SET b = 'u{i}' WHERE a = {i};
+                 DELETE FROM r1 WHERE a < {}",
+                i + 1000,
+                i * 3,
+                i * 3 - 30
+            ))
+            .unwrap();
+        }
+        let image = db.wal().expect("durable").image().to_vec();
+        let batch = if quick { 10 } else { 60 };
+        let replay_ns = measure_campaign(windows.runs, || {
+            for _ in 0..batch {
+                std::hint::black_box(
+                    coddb::recovery::recover(&image, Dialect::Sqlite, &BugRegistry::none())
+                        .unwrap(),
+                );
+            }
+        }) / batch as f64;
+        println!(
+            "{RECOVERY_REPLAY_SHAPE:<24} replay {replay_ns:>12.0} ns/iter   image {} bytes",
+            image.len()
+        );
+        entries.push(format!(
+            "    {:?}: {{\n      \"recovery_replay_ns_per_iter\": {:.0},\n      \"image_bytes\": {}\n    }}",
+            RECOVERY_REPLAY_SHAPE,
+            replay_ns,
+            image.len()
         ));
     }
 

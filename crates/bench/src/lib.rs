@@ -82,6 +82,14 @@ pub const QUERY_SHAPES: &[(&str, &str)] = &[
 /// lives outside [`QUERY_SHAPES`].
 pub const CAMPAIGN_PARALLEL_SHAPE: &str = "campaign_parallel";
 
+/// The durable-storage shapes: `bench_engine` times per-statement WAL
+/// commit overhead (`wal_commit_ns_per_iter`, against a volatile baseline)
+/// and full log replay (`recovery_replay_ns_per_iter`) so the storage
+/// layer's cost rides the same checked-in trajectory as the query shapes.
+/// Not SQL shapes, so they live outside [`QUERY_SHAPES`].
+pub const WAL_COMMIT_SHAPE: &str = "wal_commit";
+pub const RECOVERY_REPLAY_SHAPE: &str = "recovery_replay";
+
 /// Shapes whose dominant operator is a join — `bench_engine` additionally
 /// times these with [`coddb::JoinMode::NestedLoop`] forced, recording the
 /// hash-join speedup over the bound nested loop.

@@ -505,10 +505,87 @@ impl BugId {
     }
 }
 
-/// The set of currently enabled mutants.
+/// Injectable recovery-path mutants, seeded into `crate::recovery` the way
+/// [`BugId`] mutants are seeded into the planner/executor. They live in a
+/// separate enum because [`BugId::ALL`] reproduces the paper's Table 1/2
+/// counts exactly (45 bugs); the recovery mutants model the crash-safety
+/// bug class the paper's logic oracles cannot see, hunted by the `recover`
+/// differential oracle instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RecoveryBugId {
+    /// Log scan accepts records whose checksum does not match, replaying
+    /// corrupted payloads instead of truncating at the damage.
+    SkipChecksumVerify,
+    /// Log scan treats a torn tail (a partial frame at end of log) as a
+    /// complete record instead of truncating it.
+    TornTailAsComplete,
+    /// Replay applies effect records that were never followed by a commit
+    /// marker (replays past the committed prefix).
+    ReplayUncommitted,
+    /// Replay applies each commit's buffered effects in reverse order
+    /// (visible as reordered rows for multi-row statements).
+    ReorderCommitEffects,
+    /// Replay ignores the final commit marker in the log, losing the last
+    /// committed statement.
+    DropLastCommit,
+}
+
+impl RecoveryBugId {
+    /// Every recovery mutant, in a stable order.
+    pub const ALL: [RecoveryBugId; 5] = [
+        RecoveryBugId::SkipChecksumVerify,
+        RecoveryBugId::TornTailAsComplete,
+        RecoveryBugId::ReplayUncommitted,
+        RecoveryBugId::ReorderCommitEffects,
+        RecoveryBugId::DropLastCommit,
+    ];
+
+    /// The dominant symptom category: a wrong-data recovery is a logic
+    /// bug, a replay that chokes on damage it should have truncated is an
+    /// internal error. (Some mutants can surface either way depending on
+    /// where the fault plan strikes; the `recover` oracle reports whatever
+    /// it observes.)
+    pub fn kind(self) -> BugKind {
+        match self {
+            RecoveryBugId::TornTailAsComplete => BugKind::InternalError,
+            _ => BugKind::Logic,
+        }
+    }
+
+    /// Short stable identifier, e.g. for report keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            RecoveryBugId::SkipChecksumVerify => "recovery-skip-checksum-verify",
+            RecoveryBugId::TornTailAsComplete => "recovery-torn-tail-as-complete",
+            RecoveryBugId::ReplayUncommitted => "recovery-replay-uncommitted",
+            RecoveryBugId::ReorderCommitEffects => "recovery-reorder-commit-effects",
+            RecoveryBugId::DropLastCommit => "recovery-drop-last-commit",
+        }
+    }
+
+    /// Human-readable description (one line).
+    pub fn description(self) -> &'static str {
+        match self {
+            RecoveryBugId::SkipChecksumVerify => {
+                "log scan skips checksum verification, replaying corrupt records"
+            }
+            RecoveryBugId::TornTailAsComplete => "log scan treats a torn tail as a complete record",
+            RecoveryBugId::ReplayUncommitted => "replay applies uncommitted effect records",
+            RecoveryBugId::ReorderCommitEffects => {
+                "replay applies a commit's effects in reverse order"
+            }
+            RecoveryBugId::DropLastCommit => "replay ignores the final commit marker",
+        }
+    }
+}
+
+/// The set of currently enabled mutants — engine mutants ([`BugId`]) and
+/// recovery mutants ([`RecoveryBugId`]) side by side, so one registry
+/// describes a whole campaign's buggy build.
 #[derive(Debug, Clone, Default)]
 pub struct BugRegistry {
     active: BTreeSet<BugId>,
+    recovery: BTreeSet<RecoveryBugId>,
 }
 
 impl BugRegistry {
@@ -548,11 +625,47 @@ impl BugRegistry {
     }
 
     pub fn is_empty(&self) -> bool {
-        self.active.is_empty()
+        self.active.is_empty() && self.recovery.is_empty()
     }
 
     pub fn enabled(&self) -> impl Iterator<Item = BugId> + '_ {
         self.active.iter().copied()
+    }
+
+    // --- recovery mutants -----------------------------------------------
+
+    /// Enable exactly one recovery mutant (the per-bug probe
+    /// configuration, mirroring [`BugRegistry::only`]).
+    pub fn only_recovery(bug: RecoveryBugId) -> Self {
+        let mut reg = Self::default();
+        reg.enable_recovery(bug);
+        reg
+    }
+
+    /// Enable every recovery mutant.
+    pub fn all_recovery() -> Self {
+        let mut reg = Self::default();
+        for b in RecoveryBugId::ALL {
+            reg.enable_recovery(b);
+        }
+        reg
+    }
+
+    pub fn enable_recovery(&mut self, bug: RecoveryBugId) {
+        self.recovery.insert(bug);
+    }
+
+    pub fn disable_recovery(&mut self, bug: RecoveryBugId) {
+        self.recovery.remove(&bug);
+    }
+
+    #[inline]
+    pub fn recovery_active(&self, bug: RecoveryBugId) -> bool {
+        self.recovery.contains(&bug)
+    }
+
+    pub fn enabled_recovery(&self) -> impl Iterator<Item = RecoveryBugId> + '_ {
+        self.recovery.iter().copied()
     }
 }
 
@@ -632,6 +745,44 @@ mod tests {
         let reg = BugRegistry::all_for_dialect(Dialect::Duckdb);
         assert_eq!(reg.enabled().count(), 12);
         assert!(reg.enabled().all(|b| b.dialect() == Dialect::Duckdb));
+    }
+
+    #[test]
+    fn recovery_mutants_are_separate_from_the_table1_scheme() {
+        // Table 1/2 invariants stay untouched by the recovery mutants.
+        assert_eq!(BugId::ALL.len(), 45);
+        assert_eq!(RecoveryBugId::ALL.len(), 5);
+        let mut names = BTreeSet::new();
+        for b in RecoveryBugId::ALL {
+            assert!(!b.name().is_empty());
+            assert!(!b.description().is_empty());
+            assert!(names.insert(b.name()), "duplicate name {}", b.name());
+        }
+        // No overlap with engine-mutant names.
+        for b in BugId::ALL {
+            assert!(!names.contains(b.name()));
+        }
+    }
+
+    #[test]
+    fn registry_tracks_recovery_mutants_independently() {
+        let mut reg = BugRegistry::none();
+        assert!(reg.is_empty());
+        reg.enable_recovery(RecoveryBugId::DropLastCommit);
+        assert!(!reg.is_empty(), "recovery mutants count as active bugs");
+        assert!(reg.recovery_active(RecoveryBugId::DropLastCommit));
+        assert!(!reg.recovery_active(RecoveryBugId::SkipChecksumVerify));
+        assert!(!reg.active(BugId::SqliteLikeCaseFold));
+        reg.disable_recovery(RecoveryBugId::DropLastCommit);
+        assert!(reg.is_empty());
+
+        let only = BugRegistry::only_recovery(RecoveryBugId::ReplayUncommitted);
+        assert_eq!(only.enabled().count(), 0);
+        assert_eq!(
+            only.enabled_recovery().collect::<Vec<_>>(),
+            vec![RecoveryBugId::ReplayUncommitted]
+        );
+        assert_eq!(BugRegistry::all_recovery().enabled_recovery().count(), 5);
     }
 
     #[test]

@@ -17,6 +17,7 @@ use crate::exec::{
     Schema, StmtKind,
 };
 use crate::value::{Relation, Row, Value};
+use crate::wal::{FaultPlan, StorageMode, Wal, WalRecord};
 
 /// Default execution fuel per statement (row-operations budget). Generated
 /// workloads stay far below this; injected hang bugs exhaust it.
@@ -64,6 +65,9 @@ pub struct Database {
     subq_memo_hits: u64,
     subq_memo_misses: u64,
     fuel_used: u64,
+    /// Attached write-ahead log; `Some` iff the storage mode is
+    /// [`StorageMode::Durable`].
+    wal: Option<Wal>,
 }
 
 impl Database {
@@ -89,6 +93,7 @@ impl Database {
             subq_memo_hits: 0,
             subq_memo_misses: 0,
             fuel_used: 0,
+            wal: None,
         }
     }
 
@@ -176,6 +181,117 @@ impl Database {
         (self.subq_memo_hits, self.subq_memo_misses)
     }
 
+    /// Current storage mode: [`StorageMode::Durable`] iff a WAL is
+    /// attached.
+    pub fn storage_mode(&self) -> StorageMode {
+        if self.wal.is_some() {
+            StorageMode::Durable
+        } else {
+            StorageMode::Volatile
+        }
+    }
+
+    /// Switch storage modes. Entering `Durable` attaches a fresh WAL
+    /// (under a no-fault plan) that logs every subsequent DML/DDL effect;
+    /// the in-memory catalog remains the baseline store either way,
+    /// mirroring how the bind/join/scan/eval mode switches keep one
+    /// behavioural baseline per axis. Returning to `Volatile` drops the
+    /// log.
+    pub fn set_storage_mode(&mut self, mode: StorageMode) {
+        match mode {
+            StorageMode::Durable => {
+                if self.wal.is_none() {
+                    self.wal = Some(Wal::new(FaultPlan::none()));
+                }
+            }
+            StorageMode::Volatile => self.wal = None,
+        }
+    }
+
+    /// Install the crash plan on the attached WAL. A no-op in volatile
+    /// mode; call [`Database::set_storage_mode`] first.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        if let Some(w) = self.wal.as_mut() {
+            w.set_plan(plan);
+        }
+    }
+
+    /// The attached write-ahead log, when in durable mode.
+    pub fn wal(&self) -> Option<&Wal> {
+        self.wal.as_ref()
+    }
+
+    /// Mutable catalog access for the recovery replayer (same-crate
+    /// only): replay applies logged DML effects physically, bypassing the
+    /// executor.
+    pub(crate) fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    /// Render the full logical state — catalog shape plus every stored
+    /// row — as a deterministic, byte-comparable string. The
+    /// crash-recovery oracle compares a recovered engine against a
+    /// never-crashed reference with this; `Real` values print as raw
+    /// IEEE-754 bits so the comparison is exact rather than
+    /// lossy-decimal.
+    pub fn dump_state(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for t in self.catalog.tables() {
+            let cols: Vec<String> = t
+                .columns
+                .iter()
+                .map(|c| {
+                    format!(
+                        "{} {}{}",
+                        c.name,
+                        c.ty,
+                        if c.not_null { " NOT NULL" } else { "" }
+                    )
+                })
+                .collect();
+            let _ = writeln!(out, "table {} ({})", t.name, cols.join(", "));
+            for row in &t.rows {
+                let vals: Vec<String> = row.iter().map(dump_value).collect();
+                let _ = writeln!(out, "  [{}]", vals.join(", "));
+            }
+        }
+        for name in self.catalog.view_names() {
+            let v = self.catalog.view(name).expect("listed view");
+            let _ = writeln!(
+                out,
+                "view {} ({}) AS {}",
+                v.name,
+                v.columns.join(", "),
+                v.query
+            );
+        }
+        for name in self.catalog.index_names() {
+            let i = self.catalog.index(name).expect("listed index");
+            let _ = writeln!(
+                out,
+                "index {} ON {} ({}){}",
+                i.name,
+                i.table,
+                i.expr,
+                if i.unique { " UNIQUE" } else { "" }
+            );
+        }
+        out
+    }
+
+    /// Log a completed DDL statement and its durability point. DDL records
+    /// carry the statement's SQL text (the Display round-trip); replay
+    /// re-parses and re-executes it against the recovered catalog.
+    fn wal_log_ddl(&mut self, stmt: &Statement) {
+        if let Some(w) = self.wal.as_mut() {
+            w.append(&WalRecord::Ddl {
+                sql: stmt.to_string(),
+            });
+            w.commit_statement();
+        }
+    }
+
     /// Build the per-statement execution context.
     fn engine_ctx(&self, optimize: bool, stmt: StmtKind) -> EngineCtx<'_> {
         let mut ctx = EngineCtx::new(
@@ -256,10 +372,12 @@ impl Database {
                 }
                 self.catalog
                     .create_table(name, columns.clone(), *if_not_exists)?;
+                self.wal_log_ddl(stmt);
                 Ok(ExecOutcome::Ddl)
             }
             Statement::DropTable { name, if_exists } => {
                 self.catalog.drop_table(name, *if_exists)?;
+                self.wal_log_ddl(stmt);
                 Ok(ExecOutcome::Ddl)
             }
             Statement::CreateView {
@@ -269,6 +387,7 @@ impl Database {
             } => {
                 self.catalog
                     .create_view(name, columns.clone(), query.clone())?;
+                self.wal_log_ddl(stmt);
                 Ok(ExecOutcome::Ddl)
             }
             Statement::CreateIndex {
@@ -279,6 +398,7 @@ impl Database {
             } => {
                 self.catalog
                     .create_index(name, table, expr.clone(), *unique)?;
+                self.wal_log_ddl(stmt);
                 Ok(ExecOutcome::Ddl)
             }
             Statement::Select(q) => {
@@ -545,6 +665,18 @@ impl Database {
             staged.push(Row::new(new_row));
         }
         let n = staged.len();
+        // Validation is complete: log each staged row, then the statement's
+        // durability point. A zero-row INSERT still logs its commit marker
+        // so the committed-statement count stays aligned with execution.
+        if let Some(w) = self.wal.as_mut() {
+            for row in &staged {
+                w.append(&WalRecord::InsertRow {
+                    table: table.to_string(),
+                    row: row.to_vec(),
+                });
+            }
+            w.commit_statement();
+        }
         self.catalog.table_mut(table)?.rows.extend(staged);
         Ok(n)
     }
@@ -621,6 +753,17 @@ impl Database {
         } else {
             pt::EXEC_UPDATE_MATCH
         });
+        if let Some(w) = self.wal.as_mut() {
+            for (&i, (indices, vals)) in matches.iter().zip(updates.iter()) {
+                w.append(&WalRecord::UpdateRow {
+                    table: table.to_string(),
+                    row_idx: i as u64,
+                    cols: indices.iter().map(|&c| c as u32).collect(),
+                    vals: vals.clone(),
+                });
+            }
+            w.commit_statement();
+        }
         let t = self.catalog.table_mut(table)?;
         for (&i, (indices, vals)) in matches.iter().zip(updates.iter()) {
             for (&ci, v) in indices.iter().zip(vals.iter()) {
@@ -669,11 +812,33 @@ impl Database {
         } else {
             pt::EXEC_DELETE_MATCH
         });
+        if let Some(w) = self.wal.as_mut() {
+            if !matches.is_empty() {
+                w.append(&WalRecord::DeleteRows {
+                    table: table.to_string(),
+                    rows: matches.iter().map(|&i| i as u64).collect(),
+                });
+            }
+            w.commit_statement();
+        }
         let t = self.catalog.table_mut(table)?;
         for &i in matches.iter().rev() {
             t.rows.remove(i);
         }
         Ok(matches.len())
+    }
+}
+
+/// Exact single-value rendering for [`Database::dump_state`]: `Real`
+/// prints its raw bit pattern, so two states compare equal iff they are
+/// bit-identical.
+fn dump_value(v: &Value) -> String {
+    match v {
+        Value::Null => "NULL".into(),
+        Value::Int(n) => format!("i{n}"),
+        Value::Real(r) => format!("r{:016x}", r.to_bits()),
+        Value::Text(s) => format!("{s:?}"),
+        Value::Bool(b) => b.to_string(),
     }
 }
 

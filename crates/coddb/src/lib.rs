@@ -21,8 +21,14 @@
 //! * five dialect profiles emulating the paper's target systems
 //!   ([`dialect`]),
 //! * 45 injectable bug mutants mirroring the paper's Table 1 ([`bugs`]),
+//!   plus a separate scheme of recovery-path mutants
+//!   ([`bugs::RecoveryBugId`]),
 //! * a branch-point coverage registry for the Table 3 metric
-//!   ([`coverage`]).
+//!   ([`coverage`]),
+//! * a durable storage layer: a checksummed redo log written through a
+//!   simulated disk with deterministic crash injection ([`wal`]) and a
+//!   recovery replayer that reconstructs exactly the committed prefix
+//!   ([`recovery`]).
 //!
 //! The public entry point is [`Database`].
 //!
@@ -107,6 +113,35 @@
 //! testing (`coddb/tests/scan_differential.rs` checks byte-identical
 //! results and identical coverage bitsets) and as the cloning baseline
 //! in `BENCH_engine.json`.
+//!
+//! ## The storage / WAL / recovery layer
+//!
+//! [`Database::set_storage_mode`]`(`[`wal::StorageMode::Durable`]`)`
+//! attaches a write-ahead log following the same differential-mode
+//! pattern as the mode switches above: the in-memory catalog remains the
+//! baseline store, and the WAL additionally records every DML/DDL
+//! *effect* — per-row inserts, per-row update images, delete row sets,
+//! DDL statement text — each statement sealed by a commit marker. Frames
+//! are length-prefixed and checksummed ([`wal::Wal`]), written through an
+//! in-memory byte-file model ([`wal::SimDisk`]) whose [`wal::FaultPlan`]
+//! can deterministically crash the engine before a write (the record is
+//! lost), mid-record (a torn tail survives), or after the write but
+//! before the durability point (the commit marker is lost). Recovery
+//! ([`recovery::recover`]) scans the surviving image — truncating at the
+//! first torn or checksum-damaged frame — and replays effects per
+//! statement at their commit markers, discarding uncommitted work: the
+//! recovered state must be **byte-identical** ([`Database::dump_state`])
+//! to a never-crashed engine that executed only the committed prefix.
+//!
+//! **Fault-injection determinism contract:** crash points are data, not
+//! chance. [`wal::FaultPlan::seeded`]`(seed, total_ops)` derives the
+//! crash op and fault mode purely from its arguments, so a `FaultPlan`
+//! seed reproduces a crash scenario exactly the way `state_seed` /
+//! `test_seed` reproduce a campaign test — fault seeds are part of the
+//! same stable reproduction contract, and findings carry them for
+//! replay. The recovery-path mutants ([`bugs::RecoveryBugId`]) hook the
+//! scan and replay phases so campaigns hunt recovery bugs the way they
+//! hunt optimizer bugs — without disturbing the Table 1 scheme.
 
 pub mod ast;
 pub mod bind;
@@ -120,14 +155,17 @@ pub mod eval;
 pub mod exec;
 pub mod parser;
 pub mod plan;
+pub mod recovery;
 pub mod value;
 pub mod vec_eval;
+pub mod wal;
 
 mod database;
 
-pub use bugs::{BugId, BugKind, BugRegistry};
+pub use bugs::{BugId, BugKind, BugRegistry, RecoveryBugId};
 pub use database::{Database, ExecOutcome};
 pub use dialect::Dialect;
 pub use error::{Error, Result, Severity};
 pub use exec::{BindMode, EvalMode, JoinMode, ScanMode};
 pub use value::{DataType, Relation, Row, Value};
+pub use wal::{FaultMode, FaultPlan, StorageMode, Wal};

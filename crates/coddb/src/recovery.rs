@@ -1,0 +1,450 @@
+//! Crash recovery: replay a WAL image into a fresh store.
+//!
+//! Recovery is two-phase, like a real redo-only WAL:
+//!
+//! 1. **Scan** ([`scan_log`]) walks the surviving byte image frame by
+//!    frame, verifying each record's length and checksum. The scan stops —
+//!    truncating the log — at the first incomplete header, truncated
+//!    payload, or checksum mismatch: everything past the damage is, by the
+//!    fault model, the torn tail of the crashing write.
+//! 2. **Replay** ([`replay`]) buffers effect records per statement and
+//!    applies them to a fresh [`Database`] only when the statement's
+//!    commit marker is reached. Effects whose commit never became durable
+//!    are discarded — recovery reconstructs *exactly* the committed
+//!    prefix, byte-identical to a never-crashed engine that executed only
+//!    those statements.
+//!
+//! The [`RecoveryBugId`] mutants are seeded into these two phases the way
+//! [`crate::bugs::BugId`] mutants are seeded into the planner/executor, so
+//! campaigns can hunt recovery bugs the way they hunt optimizer bugs.
+
+use crate::bugs::{BugRegistry, RecoveryBugId};
+use crate::database::Database;
+use crate::dialect::Dialect;
+use crate::error::{Error, Result};
+use crate::value::Row;
+use crate::wal::{checksum, decode_record, WalRecord, FRAME_HEADER};
+
+/// Parse the surviving log image into the sequence of intact records,
+/// truncating at the first sign of damage.
+pub fn scan_log(image: &[u8], bugs: &BugRegistry) -> Result<Vec<WalRecord>> {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while pos < image.len() {
+        if image.len() - pos < FRAME_HEADER {
+            // Dangling header bytes: the tail of a write that died before
+            // even its length prefix was complete.
+            if bugs.recovery_active(RecoveryBugId::TornTailAsComplete) {
+                return Err(Error::Internal(format!(
+                    "wal scan: {} dangling tail byte(s) decoded as a record",
+                    image.len() - pos
+                )));
+            }
+            break;
+        }
+        let len = u32::from_le_bytes(image[pos..pos + 4].try_into().unwrap()) as usize;
+        let stored_sum = u32::from_le_bytes(image[pos + 4..pos + 8].try_into().unwrap());
+        let body_start = pos + FRAME_HEADER;
+        if image.len() - body_start < len {
+            // Torn payload: the final frame is shorter than its own length
+            // prefix claims.
+            if bugs.recovery_active(RecoveryBugId::TornTailAsComplete) {
+                let partial = &image[body_start..];
+                out.push(decode_record(partial).map_err(|e| {
+                    Error::Internal(format!("wal scan: torn tail decoded as complete: {e}"))
+                })?);
+            }
+            break;
+        }
+        let payload = &image[body_start..body_start + len];
+        if checksum(payload) != stored_sum
+            && !bugs.recovery_active(RecoveryBugId::SkipChecksumVerify)
+        {
+            // Checksum mismatch: the crashing write landed full-length but
+            // damaged. Truncate here.
+            break;
+        }
+        let rec = decode_record(payload)
+            .map_err(|e| Error::Internal(format!("wal scan: undecodable record: {e}")))?;
+        out.push(rec);
+        pos = body_start + len;
+    }
+    Ok(out)
+}
+
+/// Apply one effect record to the recovered store. DML effects are
+/// physical; DDL re-executes its logged SQL against the recovered catalog.
+fn apply_effect(db: &mut Database, rec: &WalRecord) -> Result<()> {
+    match rec {
+        WalRecord::Ddl { sql } => {
+            let stmts = crate::parser::parse_statements(sql)
+                .map_err(|e| Error::Internal(format!("wal replay: DDL does not re-parse: {e}")))?;
+            for s in &stmts {
+                db.execute(s).map_err(|e| {
+                    Error::Internal(format!("wal replay: DDL does not re-execute: {e}"))
+                })?;
+            }
+            Ok(())
+        }
+        WalRecord::InsertRow { table, row } => {
+            let t = db.catalog_mut().table_mut(table)?;
+            t.rows.push(Row::new(row.clone()));
+            Ok(())
+        }
+        WalRecord::UpdateRow {
+            table,
+            row_idx,
+            cols,
+            vals,
+        } => {
+            let t = db.catalog_mut().table_mut(table)?;
+            let i = *row_idx as usize;
+            if i >= t.rows.len() {
+                return Err(Error::Internal(format!(
+                    "wal replay: update of row {i} but table {table} has {} rows",
+                    t.rows.len()
+                )));
+            }
+            for (c, v) in cols.iter().zip(vals.iter()) {
+                let ci = *c as usize;
+                if ci >= t.columns.len() {
+                    return Err(Error::Internal(format!(
+                        "wal replay: update of column {ci} but table {table} has {} columns",
+                        t.columns.len()
+                    )));
+                }
+                t.rows[i].set(ci, v.clone());
+            }
+            Ok(())
+        }
+        WalRecord::DeleteRows { table, rows } => {
+            let t = db.catalog_mut().table_mut(table)?;
+            for &r in rows.iter().rev() {
+                let i = r as usize;
+                if i >= t.rows.len() {
+                    return Err(Error::Internal(format!(
+                        "wal replay: delete of row {i} but table {table} has {} rows",
+                        t.rows.len()
+                    )));
+                }
+                t.rows.remove(i);
+            }
+            Ok(())
+        }
+        WalRecord::Commit { .. } => Err(Error::Internal(
+            "wal replay: commit marker reached apply_effect".into(),
+        )),
+    }
+}
+
+/// Replay scanned records into a fresh database: effects buffer per
+/// statement and apply at their commit marker; uncommitted effects are
+/// discarded.
+pub fn replay(records: &[WalRecord], dialect: Dialect, bugs: &BugRegistry) -> Result<Database> {
+    let mut db = Database::new(dialect);
+    let last_commit = records
+        .iter()
+        .rposition(|r| matches!(r, WalRecord::Commit { .. }));
+    let mut pending: Vec<&WalRecord> = Vec::new();
+    for (i, rec) in records.iter().enumerate() {
+        match rec {
+            WalRecord::Commit { .. } => {
+                if bugs.recovery_active(RecoveryBugId::DropLastCommit) && Some(i) == last_commit {
+                    // Mutant: the final durability point vanishes; its
+                    // effects stay pending (i.e. uncommitted).
+                    continue;
+                }
+                if bugs.recovery_active(RecoveryBugId::ReorderCommitEffects) {
+                    pending.reverse();
+                }
+                for e in pending.drain(..) {
+                    apply_effect(&mut db, e)?;
+                }
+            }
+            effect => pending.push(effect),
+        }
+    }
+    if bugs.recovery_active(RecoveryBugId::ReplayUncommitted) {
+        for e in pending.drain(..) {
+            apply_effect(&mut db, e)?;
+        }
+    }
+    Ok(db)
+}
+
+/// Recover a database from a surviving WAL image: scan, then replay.
+pub fn recover(image: &[u8], dialect: Dialect, bugs: &BugRegistry) -> Result<Database> {
+    let records = scan_log(image, bugs)?;
+    replay(&records, dialect, bugs)
+}
+
+/// The crash-recovery differential, shared by the `recover` oracle and the
+/// reducer: execute `script` on a durable engine under `plan`, recover the
+/// surviving image, and compare against a never-crashed engine that
+/// executed only the committed prefix. Returns `Some(detail)` when
+/// recovery diverges (wrong state or a recovery error), `None` when it is
+/// byte-identical.
+///
+/// Both executions run under the same `bugs` registry, so injected
+/// *engine* mutants corrupt both sides identically and cancel out; only
+/// *recovery* mutants (or a genuine recovery defect) can produce a
+/// divergence.
+pub fn recovery_divergence(
+    script: &[crate::ast::Statement],
+    plan: &crate::wal::FaultPlan,
+    dialect: Dialect,
+    bugs: &BugRegistry,
+) -> Option<String> {
+    let durable_run = |plan: crate::wal::FaultPlan, stop_at: Option<u64>| -> Database {
+        let mut db = Database::with_bugs(dialect, bugs.clone());
+        db.set_storage_mode(crate::wal::StorageMode::Durable);
+        db.set_fault_plan(plan);
+        for s in script {
+            if let Some(c) = stop_at {
+                if db.wal().map(|w| w.committed_statements()) == Some(c) {
+                    break;
+                }
+            }
+            let _ = db.execute(s);
+        }
+        db
+    };
+
+    let faulted = durable_run(plan.clone(), None);
+    let committed = faulted.wal().expect("durable").committed_statements();
+    let image = faulted.wal().expect("durable").image().to_vec();
+
+    let recovered = match recover(&image, dialect, bugs) {
+        Ok(db) => db,
+        Err(e) => return Some(format!("recovery failed: {e}")),
+    };
+
+    let reference = durable_run(crate::wal::FaultPlan::none(), Some(committed));
+    let got_committed = reference.wal().expect("durable").committed_statements();
+    if got_committed != committed {
+        return Some(format!(
+            "reference run reached {got_committed} commits, expected {committed}"
+        ));
+    }
+    let want = reference.dump_state();
+    let got = recovered.dump_state();
+    if want != got {
+        return Some(format!(
+            "recovered state diverges from the committed prefix \
+             (committed={committed}, {}):\n--- expected ---\n{want}\n--- recovered ---\n{got}",
+            plan.describe()
+        ));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wal::{encode_record, FaultMode, FaultPlan, StorageMode, Wal};
+
+    fn durable_db() -> Database {
+        let mut db = Database::new(Dialect::Sqlite);
+        db.set_storage_mode(StorageMode::Durable);
+        db
+    }
+
+    fn run_sql(db: &mut Database, sql: &str) {
+        db.execute_sql(sql).unwrap();
+    }
+
+    #[test]
+    fn clean_log_recovers_byte_identically() {
+        let mut db = durable_db();
+        run_sql(
+            &mut db,
+            "CREATE TABLE t (a INT, b TEXT);
+             INSERT INTO t VALUES (1, 'x'), (2, 'y'), (3, 'z');
+             CREATE INDEX i ON t (a);
+             CREATE VIEW v (n) AS SELECT COUNT(*) FROM t;
+             UPDATE t SET b = 'q' WHERE a > 1;
+             DELETE FROM t WHERE a = 2",
+        );
+        let image = db.wal().unwrap().image().to_vec();
+        let rec = recover(&image, Dialect::Sqlite, &BugRegistry::none()).unwrap();
+        assert_eq!(rec.dump_state(), db.dump_state());
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_replayed() {
+        let mut db = durable_db();
+        run_sql(
+            &mut db,
+            "CREATE TABLE t (a INT); INSERT INTO t VALUES (1), (2)",
+        );
+        let mut image = db.wal().unwrap().image().to_vec();
+        // Append half of another frame by hand.
+        let extra = {
+            let mut w = Wal::new(FaultPlan {
+                crash_op: 0,
+                mode: FaultMode::Torn { keep_sel: 11 },
+            });
+            w.append(&WalRecord::InsertRow {
+                table: "t".into(),
+                row: vec![crate::value::Value::Int(9)],
+            });
+            w.image().to_vec()
+        };
+        image.extend_from_slice(&extra);
+        let rec = recover(&image, Dialect::Sqlite, &BugRegistry::none()).unwrap();
+        assert_eq!(rec.dump_state(), db.dump_state());
+    }
+
+    #[test]
+    fn checksum_mismatch_truncates_the_log() {
+        let mut db = durable_db();
+        run_sql(&mut db, "CREATE TABLE t (a INT); INSERT INTO t VALUES (1)");
+        let committed_image = db.wal().unwrap().image().to_vec();
+        // A corrupted full-length frame after the good prefix.
+        let mut image = committed_image.clone();
+        let mut w = Wal::new(FaultPlan {
+            crash_op: 0,
+            mode: FaultMode::Corrupt { byte_sel: 3 },
+        });
+        w.append(&WalRecord::InsertRow {
+            table: "t".into(),
+            row: vec![crate::value::Value::Int(7)],
+        });
+        image.extend_from_slice(w.image());
+        let rec = recover(&image, Dialect::Sqlite, &BugRegistry::none()).unwrap();
+        let reference = recover(&committed_image, Dialect::Sqlite, &BugRegistry::none()).unwrap();
+        assert_eq!(rec.dump_state(), reference.dump_state());
+    }
+
+    #[test]
+    fn uncommitted_effects_are_discarded() {
+        // Effects with no commit marker: build the image by hand.
+        let mut w = Wal::new(FaultPlan::none());
+        w.append(&WalRecord::Ddl {
+            sql: "CREATE TABLE t (a INT)".into(),
+        });
+        w.commit_statement();
+        w.append(&WalRecord::InsertRow {
+            table: "t".into(),
+            row: vec![crate::value::Value::Int(1)],
+        });
+        // ... crash before the commit marker.
+        let rec = recover(w.image(), Dialect::Sqlite, &BugRegistry::none()).unwrap();
+        assert_eq!(rec.catalog().table("t").unwrap().rows.len(), 0);
+
+        // The ReplayUncommitted mutant applies them anyway.
+        let buggy = recover(
+            w.image(),
+            Dialect::Sqlite,
+            &BugRegistry::only_recovery(RecoveryBugId::ReplayUncommitted),
+        )
+        .unwrap();
+        assert_eq!(buggy.catalog().table("t").unwrap().rows.len(), 1);
+    }
+
+    #[test]
+    fn reorder_mutant_reverses_multi_row_inserts() {
+        let mut db = durable_db();
+        run_sql(
+            &mut db,
+            "CREATE TABLE t (a INT); INSERT INTO t VALUES (1), (2), (3)",
+        );
+        let image = db.wal().unwrap().image().to_vec();
+        let buggy = recover(
+            &image,
+            Dialect::Sqlite,
+            &BugRegistry::only_recovery(RecoveryBugId::ReorderCommitEffects),
+        )
+        .unwrap();
+        let vals: Vec<_> = buggy.catalog().table("t").unwrap().rows.clone();
+        assert_eq!(
+            vals.iter().map(|r| r[0].clone()).collect::<Vec<_>>(),
+            vec![
+                crate::value::Value::Int(3),
+                crate::value::Value::Int(2),
+                crate::value::Value::Int(1)
+            ]
+        );
+    }
+
+    #[test]
+    fn drop_last_commit_mutant_loses_the_final_statement() {
+        let mut db = durable_db();
+        run_sql(
+            &mut db,
+            "CREATE TABLE t (a INT); INSERT INTO t VALUES (1); INSERT INTO t VALUES (2)",
+        );
+        let image = db.wal().unwrap().image().to_vec();
+        let buggy = recover(
+            &image,
+            Dialect::Sqlite,
+            &BugRegistry::only_recovery(RecoveryBugId::DropLastCommit),
+        )
+        .unwrap();
+        assert_eq!(buggy.catalog().table("t").unwrap().rows.len(), 1);
+    }
+
+    #[test]
+    fn skip_checksum_mutant_accepts_corrupt_records() {
+        // A corrupted frame: clean scan truncates, mutant scan accepts
+        // (decoding either garbage or an error — both are wrong).
+        let mut w = Wal::new(FaultPlan {
+            crash_op: 2,
+            mode: FaultMode::Corrupt { byte_sel: 9 },
+        });
+        w.append(&WalRecord::Ddl {
+            sql: "CREATE TABLE t (a INT)".into(),
+        });
+        w.commit_statement();
+        w.append(&WalRecord::InsertRow {
+            table: "t".into(),
+            row: vec![crate::value::Value::Int(5)],
+        });
+        let clean = scan_log(w.image(), &BugRegistry::none()).unwrap();
+        assert_eq!(clean.len(), 2, "corrupt record truncated");
+        let buggy = scan_log(
+            w.image(),
+            &BugRegistry::only_recovery(RecoveryBugId::SkipChecksumVerify),
+        );
+        match buggy {
+            Ok(recs) => assert_ne!(
+                recs.get(2),
+                Some(&encode_record(&clean[0])).map(|_| &clean[0])
+            ),
+            Err(e) => assert!(e.to_string().contains("wal scan")),
+        }
+    }
+
+    #[test]
+    fn divergence_helper_is_clean_on_a_correct_engine() {
+        let script = crate::parser::parse_statements(
+            "CREATE TABLE t (a INT);
+             INSERT INTO t VALUES (1), (2), (3);
+             UPDATE t SET a = a * 10 WHERE a >= 2;
+             DELETE FROM t WHERE a = 20",
+        )
+        .unwrap();
+        // Every crash point, every mode.
+        let mut db = Database::new(Dialect::Sqlite);
+        db.set_storage_mode(StorageMode::Durable);
+        for s in &script {
+            db.execute(s).unwrap();
+        }
+        let total = db.wal().unwrap().ops();
+        assert!(total > 0);
+        for op in 0..total {
+            for mode in [
+                FaultMode::Lost,
+                FaultMode::Torn { keep_sel: 5 },
+                FaultMode::Corrupt { byte_sel: 2 },
+            ] {
+                let plan = FaultPlan { crash_op: op, mode };
+                assert_eq!(
+                    recovery_divergence(&script, &plan, Dialect::Sqlite, &BugRegistry::none()),
+                    None,
+                    "divergence at {plan:?}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,720 @@
+//! Write-ahead log over a simulated disk with deterministic fault injection.
+//!
+//! The durable storage layer follows the engine's differential-mode
+//! pattern (`set_bind_mode` / `set_scan_mode` / ...): when a [`Database`]
+//! runs with [`StorageMode::Durable`], every DML/DDL *effect* is appended
+//! to a [`Wal`] as a checksummed, length-prefixed redo record, followed by
+//! a commit marker per statement — while the in-memory catalog remains the
+//! byte-exact baseline. [`crate::recovery`] replays the log into a fresh
+//! store and must reconstruct exactly the committed prefix.
+//!
+//! # Record framing
+//!
+//! Each record is framed as `[u32 len][u32 fnv1a(payload)][payload]`, all
+//! little-endian. The payload starts with a one-byte tag followed by the
+//! record's fields; values serialize with `Real` as raw IEEE-754 bits so
+//! recovery is bit-exact.
+//!
+//! # Fault model
+//!
+//! [`SimDisk`] is an in-memory byte file. Writes pass through a
+//! [`FaultPlan`]: a deterministic, seeded choice of *which* append dies
+//! (`crash_op`, counted in records) and *how* ([`FaultMode`]):
+//!
+//! * [`FaultMode::Lost`] — the write never reaches the disk (a crash
+//!   *before* the write; at a commit record this is a crash after the
+//!   effects but before the durability point),
+//! * [`FaultMode::Torn`] — a proper prefix of the frame lands (a torn
+//!   tail, mid-record crash),
+//! * [`FaultMode::Corrupt`] — the full frame lands with one payload bit
+//!   flipped (a latent media error the recovery checksum must catch).
+//!
+//! Everything appended before `crash_op` is durable; nothing after it is.
+//! The fault plan's seed is part of the stable reproduction contract, like
+//! `state_seed`/`test_seed` in the campaign runner: the same
+//! `(script, fault_seed)` pair rebuilds the same log image in any build.
+//!
+//! [`Database`]: crate::Database
+
+use crate::value::Value;
+
+/// How a [`Database`](crate::Database) persists effects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StorageMode {
+    /// In-memory only (the default): no WAL, no recovery surface.
+    #[default]
+    Volatile,
+    /// Every DML/DDL effect is redo-logged through the simulated disk;
+    /// the in-memory catalog stays the baseline.
+    Durable,
+}
+
+/// How the crashing write manifests on the simulated disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// The write never reaches the disk.
+    Lost,
+    /// A proper prefix of the frame lands; `keep_sel` deterministically
+    /// selects how many bytes (at least 1, never the whole frame).
+    Torn { keep_sel: u64 },
+    /// The whole frame lands with one payload bit flipped; `byte_sel`
+    /// deterministically selects the byte.
+    Corrupt { byte_sel: u64 },
+}
+
+/// A deterministic crash schedule: the `crash_op`-th append (0-based) dies
+/// per `mode`; every earlier append is durable, every later one is lost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Index of the append that crashes. `u64::MAX` (or any index the run
+    /// never reaches) means the process survives the whole script.
+    pub crash_op: u64,
+    pub mode: FaultMode,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FaultPlan {
+    /// A plan that never crashes.
+    pub fn none() -> FaultPlan {
+        FaultPlan {
+            crash_op: u64::MAX,
+            mode: FaultMode::Lost,
+        }
+    }
+
+    /// Does this plan ever fire (assuming enough appends happen)?
+    pub fn crashes(&self) -> bool {
+        self.crash_op != u64::MAX
+    }
+
+    /// Deterministically derive a plan from a seed, given the total number
+    /// of appends a fault-free run performs (measure it with a dry run
+    /// under [`FaultPlan::none`]). `crash_op` is drawn from `0..=total_ops`
+    /// — the `total_ops` case never fires, so seeded campaigns also
+    /// exercise clean full-log recovery.
+    pub fn seeded(seed: u64, total_ops: u64) -> FaultPlan {
+        if total_ops == 0 {
+            return FaultPlan::none();
+        }
+        let mut s = seed;
+        let crash_op = splitmix64(&mut s) % (total_ops + 1);
+        let mode = match splitmix64(&mut s) % 3 {
+            0 => FaultMode::Lost,
+            1 => FaultMode::Torn {
+                keep_sel: splitmix64(&mut s),
+            },
+            _ => FaultMode::Corrupt {
+                byte_sel: splitmix64(&mut s),
+            },
+        };
+        if crash_op == total_ops {
+            return FaultPlan::none();
+        }
+        FaultPlan { crash_op, mode }
+    }
+
+    /// Human-readable summary for reports.
+    pub fn describe(&self) -> String {
+        if !self.crashes() {
+            return "no crash".to_string();
+        }
+        let mode = match self.mode {
+            FaultMode::Lost => "lost write".to_string(),
+            FaultMode::Torn { keep_sel } => format!("torn write (keep_sel={keep_sel})"),
+            FaultMode::Corrupt { byte_sel } => format!("corrupt write (byte_sel={byte_sel})"),
+        };
+        format!("crash at op {}: {mode}", self.crash_op)
+    }
+}
+
+/// An in-memory byte-file model of the durable medium. Only the [`Wal`]
+/// writes to it; everything it holds is, by definition, what survived the
+/// crash.
+#[derive(Debug, Clone, Default)]
+pub struct SimDisk {
+    data: Vec<u8>,
+}
+
+impl SimDisk {
+    pub fn new() -> SimDisk {
+        SimDisk::default()
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        self.data.extend_from_slice(bytes);
+    }
+
+    /// The surviving byte image (what recovery gets to read).
+    pub fn contents(&self) -> &[u8] {
+        &self.data
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// One redo record. DML effects are *physical* (the rows/cells the engine
+/// actually wrote), so replay needs no re-evaluation and reproduces the
+/// committed state byte-for-byte even under injected engine mutants; DDL
+/// is logged as rendered SQL and re-executed against the recovered
+/// catalog.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// A completed DDL statement, as SQL text.
+    Ddl { sql: String },
+    /// One row appended to `table` (a multi-row INSERT logs one record
+    /// per row, giving the fault plan per-row crash points).
+    InsertRow { table: String, row: Vec<Value> },
+    /// One row's cell updates: `cols[i]` receives `vals[i]`.
+    UpdateRow {
+        table: String,
+        row_idx: u64,
+        cols: Vec<u32>,
+        vals: Vec<Value>,
+    },
+    /// Rows removed from `table`, as ascending pre-delete indices.
+    DeleteRows { table: String, rows: Vec<u64> },
+    /// Durability point of statement `stmt_idx`: all effects logged since
+    /// the previous commit become visible to recovery.
+    Commit { stmt_idx: u64 },
+}
+
+const TAG_DDL: u8 = 1;
+const TAG_INSERT: u8 = 2;
+const TAG_UPDATE: u8 = 3;
+const TAG_DELETE: u8 = 4;
+const TAG_COMMIT: u8 = 5;
+
+const VTAG_NULL: u8 = 0;
+const VTAG_INT: u8 = 1;
+const VTAG_REAL: u8 = 2;
+const VTAG_TEXT: u8 = 3;
+const VTAG_BOOL_FALSE: u8 = 4;
+const VTAG_BOOL_TRUE: u8 = 5;
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => out.push(VTAG_NULL),
+        Value::Int(i) => {
+            out.push(VTAG_INT);
+            put_u64(out, *i as u64);
+        }
+        Value::Real(r) => {
+            out.push(VTAG_REAL);
+            put_u64(out, r.to_bits());
+        }
+        Value::Text(s) => {
+            out.push(VTAG_TEXT);
+            put_str(out, s);
+        }
+        Value::Bool(false) => out.push(VTAG_BOOL_FALSE),
+        Value::Bool(true) => out.push(VTAG_BOOL_TRUE),
+    }
+}
+
+fn put_values(out: &mut Vec<u8>, vals: &[Value]) {
+    put_u32(out, vals.len() as u32);
+    for v in vals {
+        put_value(out, v);
+    }
+}
+
+/// Serialize a record to its (unframed) payload bytes.
+pub fn encode_record(rec: &WalRecord) -> Vec<u8> {
+    let mut out = Vec::new();
+    match rec {
+        WalRecord::Ddl { sql } => {
+            out.push(TAG_DDL);
+            put_str(&mut out, sql);
+        }
+        WalRecord::InsertRow { table, row } => {
+            out.push(TAG_INSERT);
+            put_str(&mut out, table);
+            put_values(&mut out, row);
+        }
+        WalRecord::UpdateRow {
+            table,
+            row_idx,
+            cols,
+            vals,
+        } => {
+            out.push(TAG_UPDATE);
+            put_str(&mut out, table);
+            put_u64(&mut out, *row_idx);
+            put_u32(&mut out, cols.len() as u32);
+            for c in cols {
+                put_u32(&mut out, *c);
+            }
+            put_values(&mut out, vals);
+        }
+        WalRecord::DeleteRows { table, rows } => {
+            out.push(TAG_DELETE);
+            put_str(&mut out, table);
+            put_u32(&mut out, rows.len() as u32);
+            for r in rows {
+                put_u64(&mut out, *r);
+            }
+        }
+        WalRecord::Commit { stmt_idx } => {
+            out.push(TAG_COMMIT);
+            put_u64(&mut out, *stmt_idx);
+        }
+    }
+    out
+}
+
+/// Bounds-checked payload reader: a corrupted or torn payload must decode
+/// to a clean error, never panic or read out of range.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.buf.len() - self.pos < n {
+            return Err(format!(
+                "payload truncated: need {n} bytes at offset {}, have {}",
+                self.pos,
+                self.buf.len() - self.pos
+            ));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Result<String, String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| "string is not UTF-8".to_string())
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.u8()? {
+            VTAG_NULL => Ok(Value::Null),
+            VTAG_INT => Ok(Value::Int(self.u64()? as i64)),
+            VTAG_REAL => Ok(Value::Real(f64::from_bits(self.u64()?))),
+            VTAG_TEXT => Ok(Value::Text(self.str()?)),
+            VTAG_BOOL_FALSE => Ok(Value::Bool(false)),
+            VTAG_BOOL_TRUE => Ok(Value::Bool(true)),
+            t => Err(format!("unknown value tag {t}")),
+        }
+    }
+
+    fn values(&mut self) -> Result<Vec<Value>, String> {
+        let n = self.u32()? as usize;
+        let mut out = Vec::new();
+        for _ in 0..n {
+            out.push(self.value()?);
+        }
+        Ok(out)
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+/// Deserialize a payload produced by [`encode_record`]. Errors (rather
+/// than panics) on anything malformed — recovery surfaces them as
+/// internal errors when a mutant lets a bad payload through.
+pub fn decode_record(payload: &[u8]) -> Result<WalRecord, String> {
+    let mut r = Reader::new(payload);
+    let rec = match r.u8()? {
+        TAG_DDL => WalRecord::Ddl { sql: r.str()? },
+        TAG_INSERT => WalRecord::InsertRow {
+            table: r.str()?,
+            row: r.values()?,
+        },
+        TAG_UPDATE => {
+            let table = r.str()?;
+            let row_idx = r.u64()?;
+            let ncols = r.u32()? as usize;
+            let mut cols = Vec::new();
+            for _ in 0..ncols {
+                cols.push(r.u32()?);
+            }
+            WalRecord::UpdateRow {
+                table,
+                row_idx,
+                cols,
+                vals: r.values()?,
+            }
+        }
+        TAG_DELETE => {
+            let table = r.str()?;
+            let n = r.u32()? as usize;
+            let mut rows = Vec::new();
+            for _ in 0..n {
+                rows.push(r.u64()?);
+            }
+            WalRecord::DeleteRows { table, rows }
+        }
+        TAG_COMMIT => WalRecord::Commit { stmt_idx: r.u64()? },
+        t => return Err(format!("unknown record tag {t}")),
+    };
+    if !r.done() {
+        return Err(format!(
+            "trailing garbage: {} bytes past record end",
+            payload.len() - r.pos
+        ));
+    }
+    Ok(rec)
+}
+
+/// FNV-1a over the payload — cheap, dependency-free, and a single flipped
+/// bit always changes it.
+pub fn checksum(payload: &[u8]) -> u32 {
+    let mut h: u32 = 0x811C_9DC5;
+    for &b in payload {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// Size of the `[len][checksum]` frame header.
+pub const FRAME_HEADER: usize = 8;
+
+/// The write-ahead log: an append-only sequence of framed records on a
+/// [`SimDisk`], with the fault plan applied per append. The writer also
+/// tracks the ground truth the recovery differential compares against:
+/// how many commit markers became durable (`committed_statements`) —
+/// deliberately computed at append time, independent of anything
+/// `recovery.rs` later parses out of the image.
+#[derive(Debug, Clone)]
+pub struct Wal {
+    disk: SimDisk,
+    plan: FaultPlan,
+    /// Appends attempted while the simulated process was alive.
+    ops: u64,
+    /// Commit markers durably written (the committed-prefix length).
+    committed: u64,
+    /// Statements whose commit marker was *attempted* (durable or not);
+    /// numbers the next commit record.
+    stmts_logged: u64,
+    crashed: bool,
+}
+
+impl Wal {
+    pub fn new(plan: FaultPlan) -> Wal {
+        Wal {
+            disk: SimDisk::new(),
+            plan,
+            ops: 0,
+            committed: 0,
+            stmts_logged: 0,
+            crashed: false,
+        }
+    }
+
+    /// Replace the fault plan (counters keep running). Call before any
+    /// appends to schedule the crash for a whole run.
+    pub fn set_plan(&mut self, plan: FaultPlan) {
+        self.plan = plan;
+    }
+
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Total appends attempted before the crash (equals the run's total
+    /// record count when no crash fires — the dry-run measurement
+    /// [`FaultPlan::seeded`] needs).
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Commit markers that became durable: the number of statements a
+    /// correct recovery must reconstruct, exactly.
+    pub fn committed_statements(&self) -> u64 {
+        self.committed
+    }
+
+    /// Has the fault plan fired? Once crashed, the WAL silently drops all
+    /// further appends (the simulated process is dead; the in-memory
+    /// engine lives on as the differential baseline).
+    pub fn crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// The surviving log image.
+    pub fn image(&self) -> &[u8] {
+        self.disk.contents()
+    }
+
+    /// Append one record through the fault plan.
+    pub fn append(&mut self, rec: &WalRecord) {
+        if self.crashed {
+            return;
+        }
+        let op = self.ops;
+        self.ops += 1;
+        let payload = encode_record(rec);
+        let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
+        put_u32(&mut frame, payload.len() as u32);
+        put_u32(&mut frame, checksum(&payload));
+        frame.extend_from_slice(&payload);
+
+        if op < self.plan.crash_op {
+            self.disk.write(&frame);
+            if matches!(rec, WalRecord::Commit { .. }) {
+                self.committed += 1;
+            }
+            return;
+        }
+        // This append is the crash point: the simulated process dies
+        // during the write. Nothing from this op counts as durable.
+        self.crashed = true;
+        match self.plan.mode {
+            FaultMode::Lost => {}
+            FaultMode::Torn { keep_sel } => {
+                let keep = 1 + (keep_sel as usize) % (frame.len() - 1);
+                self.disk.write(&frame[..keep]);
+            }
+            FaultMode::Corrupt { byte_sel } => {
+                let i = FRAME_HEADER + (byte_sel as usize) % payload.len();
+                frame[i] ^= 0x40;
+                self.disk.write(&frame);
+            }
+        }
+    }
+
+    /// Append the commit marker for the statement whose effects were just
+    /// logged.
+    pub fn commit_statement(&mut self) {
+        let stmt_idx = self.stmts_logged;
+        self.stmts_logged += 1;
+        self.append(&WalRecord::Commit { stmt_idx });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord::Ddl {
+                sql: "CREATE TABLE t (c INT)".into(),
+            },
+            WalRecord::InsertRow {
+                table: "t".into(),
+                row: vec![
+                    Value::Null,
+                    Value::Int(-7),
+                    Value::Real(2.5),
+                    Value::Text("héllo %_".into()),
+                    Value::Bool(true),
+                    Value::Bool(false),
+                ],
+            },
+            WalRecord::UpdateRow {
+                table: "t".into(),
+                row_idx: 3,
+                cols: vec![0, 2],
+                vals: vec![Value::Int(1), Value::Real(-0.0)],
+            },
+            WalRecord::DeleteRows {
+                table: "t".into(),
+                rows: vec![0, 5, 9],
+            },
+            WalRecord::Commit { stmt_idx: 42 },
+        ]
+    }
+
+    #[test]
+    fn records_round_trip() {
+        for rec in sample_records() {
+            let payload = encode_record(&rec);
+            let back = decode_record(&payload).unwrap();
+            assert_eq!(back, rec);
+        }
+    }
+
+    #[test]
+    fn real_values_round_trip_bit_exact() {
+        for bits in [0u64, f64::NAN.to_bits(), (-0.0f64).to_bits(), 0x7FF8_0123] {
+            let rec = WalRecord::InsertRow {
+                table: "t".into(),
+                row: vec![Value::Real(f64::from_bits(bits))],
+            };
+            match decode_record(&encode_record(&rec)).unwrap() {
+                WalRecord::InsertRow { row, .. } => match row[0] {
+                    Value::Real(r) => assert_eq!(r.to_bits(), bits),
+                    ref other => panic!("unexpected {other:?}"),
+                },
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_payload_decodes_to_error() {
+        for rec in sample_records() {
+            let payload = encode_record(&rec);
+            for cut in 0..payload.len() {
+                assert!(
+                    decode_record(&payload[..cut]).is_err(),
+                    "prefix of len {cut} of {rec:?} decoded"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn checksum_detects_every_single_bit_flip() {
+        let payload = encode_record(&sample_records()[1]);
+        let sum = checksum(&payload);
+        for i in 0..payload.len() {
+            for bit in 0..8 {
+                let mut flipped = payload.clone();
+                flipped[i] ^= 1 << bit;
+                assert_ne!(checksum(&flipped), sum, "flip at byte {i} bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn fault_plan_none_never_crashes() {
+        let mut wal = Wal::new(FaultPlan::none());
+        for rec in sample_records() {
+            wal.append(&rec);
+        }
+        assert!(!wal.crashed());
+        assert_eq!(wal.ops(), 5);
+        assert_eq!(wal.committed_statements(), 1);
+    }
+
+    #[test]
+    fn lost_fault_drops_the_op_and_everything_after() {
+        let mut wal = Wal::new(FaultPlan {
+            crash_op: 2,
+            mode: FaultMode::Lost,
+        });
+        let recs = sample_records();
+        let mut clean = Wal::new(FaultPlan::none());
+        for rec in &recs[..2] {
+            clean.append(rec);
+        }
+        for rec in &recs {
+            wal.append(rec);
+        }
+        assert!(wal.crashed());
+        assert_eq!(wal.image(), clean.image(), "durable prefix is ops 0..2");
+        assert_eq!(wal.committed_statements(), 0, "the commit op never landed");
+    }
+
+    #[test]
+    fn torn_fault_writes_a_proper_prefix() {
+        let recs = sample_records();
+        for keep_sel in 0..64u64 {
+            let mut wal = Wal::new(FaultPlan {
+                crash_op: 1,
+                mode: FaultMode::Torn { keep_sel },
+            });
+            let mut clean = Wal::new(FaultPlan::none());
+            clean.append(&recs[0]);
+            let full = clean.image().len();
+            for rec in &recs {
+                wal.append(rec);
+            }
+            let torn_len = wal.image().len() - full;
+            let frame_len = FRAME_HEADER + encode_record(&recs[1]).len();
+            assert!(torn_len >= 1 && torn_len < frame_len, "torn_len={torn_len}");
+            assert_eq!(&wal.image()[..full], clean.image());
+        }
+    }
+
+    #[test]
+    fn corrupt_fault_lands_full_length_but_fails_checksum() {
+        let recs = sample_records();
+        for byte_sel in 0..32u64 {
+            let mut wal = Wal::new(FaultPlan {
+                crash_op: 0,
+                mode: FaultMode::Corrupt { byte_sel },
+            });
+            wal.append(&recs[1]);
+            let payload_len = encode_record(&recs[1]).len();
+            assert_eq!(wal.image().len(), FRAME_HEADER + payload_len);
+            let stored = u32::from_le_bytes(wal.image()[4..8].try_into().unwrap());
+            assert_ne!(checksum(&wal.image()[8..]), stored);
+        }
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_in_range() {
+        for seed in 0..200u64 {
+            let a = FaultPlan::seeded(seed, 10);
+            let b = FaultPlan::seeded(seed, 10);
+            assert_eq!(a, b);
+            assert!(!a.crashes() || a.crash_op < 10);
+        }
+        assert!(!FaultPlan::seeded(99, 0).crashes());
+        // All three modes (and the no-crash case) occur over a seed sweep.
+        let mut lost = 0;
+        let mut torn = 0;
+        let mut corrupt = 0;
+        let mut none = 0;
+        for seed in 0..200u64 {
+            match FaultPlan::seeded(seed, 10) {
+                p if !p.crashes() => none += 1,
+                FaultPlan {
+                    mode: FaultMode::Lost,
+                    ..
+                } => lost += 1,
+                FaultPlan {
+                    mode: FaultMode::Torn { .. },
+                    ..
+                } => torn += 1,
+                FaultPlan {
+                    mode: FaultMode::Corrupt { .. },
+                    ..
+                } => corrupt += 1,
+            }
+        }
+        assert!(lost > 0 && torn > 0 && corrupt > 0 && none > 0);
+    }
+}

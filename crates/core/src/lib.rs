@@ -8,6 +8,9 @@
 //!   per-row CASE mapping), plus the §3.4 relation-folding extension.
 //! * [`norec`], [`tlp`], [`dqe`], [`eet`] — the state-of-the-art baseline
 //!   oracles the paper compares against.
+//! * [`recover`] — the crash-recovery differential oracle over coddb's
+//!   durable storage layer: seeded crash injection, recovery, and a
+//!   byte-exact committed-prefix comparison.
 //! * [`runner`] — deterministic test campaigns with the Table 3 metrics
 //!   (tests, successful/unsuccessful queries, QPT, unique query plans,
 //!   branch coverage) and bug attribution for the Table 1/2 harnesses.
@@ -21,6 +24,7 @@ pub mod codd;
 pub mod dqe;
 pub mod eet;
 pub mod norec;
+pub mod recover;
 pub mod reduce;
 pub mod runner;
 pub mod tlp;
@@ -226,6 +230,8 @@ pub fn make_oracle(name: &str) -> Option<Box<dyn Oracle>> {
         "tlp" => Some(Box::new(tlp::Tlp::default())),
         "dqe" => Some(Box::new(dqe::Dqe::default())),
         "eet" => Some(Box::new(eet::Eet::default())),
+        "recover" => Some(Box::new(recover::Recover)),
+        "panic-probe" => Some(Box::new(recover::PanicProbe)),
         _ => None,
     }
 }
@@ -283,6 +289,8 @@ mod tests {
             "tlp",
             "dqe",
             "eet",
+            "recover",
+            "panic-probe",
         ] {
             assert!(make_oracle(name).is_some(), "{name}");
         }

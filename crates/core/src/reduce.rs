@@ -9,10 +9,18 @@
 //!    and folded queries still disagree,
 //! 2. **expression shrinking** — replace sub-expressions of the original
 //!    query's predicate with simpler nodes while the discrepancy persists.
+//!
+//! Crash-recovery findings reduce through the same discipline
+//! ([`reduce_recovery`]): drop script statements and simplify the
+//! [`FaultPlan`] while the case still *recovers incorrectly* — the
+//! recovered state diverges from the committed prefix — under the given
+//! mutants and recovers correctly on a clean engine.
 
 use coddb::ast::{Expr, Select, Statement};
 use coddb::bugs::BugRegistry;
+use coddb::recovery::recovery_divergence;
 use coddb::value::Value;
+use coddb::wal::{FaultMode, FaultPlan};
 use coddb::{Database, Dialect};
 
 /// A reducible CODDTest case: setup + the disagreeing query pair.
@@ -103,6 +111,128 @@ pub fn reduce(case: &ReducibleCase, dialect: Dialect, bugs: &BugRegistry) -> Red
     }
 
     debug_assert!(still_failing(&current, dialect, bugs));
+    current
+}
+
+/// A reducible crash-recovery case: the executed script and the fault
+/// plan that crashed it.
+#[derive(Debug, Clone)]
+pub struct RecoveryCase {
+    pub script: Vec<Statement>,
+    pub plan: FaultPlan,
+}
+
+impl RecoveryCase {
+    /// Total size proxy: statement count plus a small penalty for a crash
+    /// plan more complex than a clean lost write.
+    pub fn size(&self) -> usize {
+        let mode_cost = match self.plan.mode {
+            _ if !self.plan.crashes() => 0,
+            FaultMode::Lost => 1,
+            FaultMode::Torn { .. } | FaultMode::Corrupt { .. } => 2,
+        };
+        self.script.len() * 100 + mode_cost
+    }
+}
+
+/// Does the case still *recover incorrectly* — mirror of [`still_failing`]
+/// for crash-recovery findings?
+///
+/// 1. under `bugs`, recovery of the crashed script diverges from the
+///    committed prefix, and
+/// 2. on a clean engine the same scenario recovers exactly (otherwise the
+///    shrink produced a script that fails for an unrelated reason).
+pub fn recovery_still_failing(case: &RecoveryCase, dialect: Dialect, bugs: &BugRegistry) -> bool {
+    recovery_divergence(&case.script, &case.plan, dialect, bugs).is_some()
+        && recovery_divergence(&case.script, &case.plan, dialect, &BugRegistry::none()).is_none()
+}
+
+/// Fault plans simpler than `plan`, most-simple first: no crash at all,
+/// then a plain lost write at an earlier operation, then the same fault
+/// mode moved earlier, then the same crash point downgraded to a lost
+/// write.
+fn simpler_plans(plan: &FaultPlan) -> Vec<FaultPlan> {
+    if !plan.crashes() {
+        // A non-crashing plan is already minimal.
+        return Vec::new();
+    }
+    let mut out = vec![FaultPlan::none()];
+    for op in 0..plan.crash_op {
+        out.push(FaultPlan {
+            crash_op: op,
+            mode: FaultMode::Lost,
+        });
+    }
+    if !matches!(plan.mode, FaultMode::Lost) {
+        for op in 0..plan.crash_op {
+            out.push(FaultPlan {
+                crash_op: op,
+                mode: plan.mode,
+            });
+        }
+        out.push(FaultPlan {
+            crash_op: plan.crash_op,
+            mode: FaultMode::Lost,
+        });
+    }
+    out
+}
+
+/// Reduce a failing crash-recovery case to a (locally) minimal one,
+/// shrinking both the script and the fault plan. The result is guaranteed
+/// to still recover incorrectly.
+pub fn reduce_recovery(case: &RecoveryCase, dialect: Dialect, bugs: &BugRegistry) -> RecoveryCase {
+    assert!(
+        recovery_still_failing(case, dialect, bugs),
+        "cannot reduce a passing case"
+    );
+    let mut current = case.clone();
+    // Statement removal shifts every later operation index, which can move
+    // the crash out from under the divergence — and a simpler plan can
+    // make more statements droppable. So the two phases alternate to a
+    // joint fixpoint rather than running once each.
+    loop {
+        let mut changed = false;
+
+        // Phase 1: drop script statements (greedy, to fixpoint).
+        loop {
+            let mut progressed = false;
+            let mut i = 0;
+            while i < current.script.len() {
+                let mut candidate = current.clone();
+                candidate.script.remove(i);
+                if recovery_still_failing(&candidate, dialect, bugs) {
+                    current = candidate;
+                    progressed = true;
+                } else {
+                    i += 1;
+                }
+            }
+            if !progressed {
+                break;
+            }
+            changed = true;
+        }
+
+        // Phase 2: simplify the fault plan (first — i.e. simplest —
+        // candidate that still fails wins).
+        for plan in simpler_plans(&current.plan) {
+            let candidate = RecoveryCase {
+                script: current.script.clone(),
+                plan,
+            };
+            if recovery_still_failing(&candidate, dialect, bugs) {
+                current = candidate;
+                changed = true;
+                break;
+            }
+        }
+
+        if !changed {
+            break;
+        }
+    }
+    debug_assert!(recovery_still_failing(&current, dialect, bugs));
     current
 }
 
@@ -223,6 +353,96 @@ mod tests {
     fn reducing_a_passing_case_panics() {
         let case = listing1_case();
         reduce(&case, Dialect::Sqlite, &BugRegistry::none());
+    }
+
+    /// A crash-recovery case under the replay-uncommitted mutant: the
+    /// corrupted final commit leaves an uncommitted INSERT in the image,
+    /// which the mutant wrongly applies. Reduction must shrink both axes —
+    /// the script to the one statement whose effect the mutant leaks, and
+    /// the fault plan from a corrupt write deep in the log to a plain lost
+    /// write at the earliest divergent operation — while the case keeps
+    /// recovering incorrectly at its fault point.
+    #[test]
+    fn recovery_reduction_shrinks_script_and_fault_plan() {
+        let bugs = BugRegistry::only_recovery(coddb::RecoveryBugId::ReplayUncommitted);
+        let case = RecoveryCase {
+            script: parse_statements(
+                "CREATE TABLE t (a INT);
+                 INSERT INTO t VALUES (1);
+                 INSERT INTO t VALUES (2)",
+            )
+            .unwrap(),
+            // Op 5 is the final INSERT's commit marker: it lands corrupted,
+            // so the INSERT's effect record survives uncommitted.
+            plan: FaultPlan {
+                crash_op: 5,
+                mode: FaultMode::Corrupt { byte_sel: 0 },
+            },
+        };
+        assert!(recovery_still_failing(&case, Dialect::Sqlite, &bugs));
+        let reduced = reduce_recovery(&case, Dialect::Sqlite, &bugs);
+        assert!(recovery_still_failing(&reduced, Dialect::Sqlite, &bugs));
+        assert_eq!(
+            reduced.script.len(),
+            1,
+            "only one statement is needed to leak an uncommitted effect: {:?}",
+            reduced
+                .script
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(
+            reduced.plan,
+            FaultPlan {
+                crash_op: 1,
+                mode: FaultMode::Lost,
+            },
+            "the corrupt write should downgrade to the earliest lost commit"
+        );
+        assert!(reduced.size() < case.size());
+    }
+
+    /// The drop-last-commit mutant diverges with no crash at all; the
+    /// reducer keeps the (already minimal) no-crash plan and strips the
+    /// script down to a single statement.
+    #[test]
+    fn recovery_reduction_drops_unrelated_statements() {
+        let bugs = BugRegistry::only_recovery(coddb::RecoveryBugId::DropLastCommit);
+        let case = RecoveryCase {
+            script: parse_statements(
+                "CREATE TABLE t (a INT);
+                 INSERT INTO t VALUES (1);
+                 CREATE TABLE unrelated (x INT);
+                 INSERT INTO unrelated VALUES (9)",
+            )
+            .unwrap(),
+            plan: FaultPlan::none(),
+        };
+        assert!(recovery_still_failing(&case, Dialect::Sqlite, &bugs));
+        let reduced = reduce_recovery(&case, Dialect::Sqlite, &bugs);
+        assert!(recovery_still_failing(&reduced, Dialect::Sqlite, &bugs));
+        assert_eq!(
+            reduced.script.len(),
+            1,
+            "one committed statement suffices: {:?}",
+            reduced
+                .script
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+        );
+        assert!(!reduced.plan.crashes(), "the no-crash plan is minimal");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot reduce a passing case")]
+    fn reducing_a_passing_recovery_case_panics() {
+        let case = RecoveryCase {
+            script: parse_statements("CREATE TABLE t (a INT)").unwrap(),
+            plan: FaultPlan::none(),
+        };
+        reduce_recovery(&case, Dialect::Sqlite, &BugRegistry::none());
     }
 
     #[test]

@@ -68,7 +68,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
-use coddb::bugs::{BugId, BugKind, BugRegistry};
+use coddb::bugs::{BugId, BugKind, BugRegistry, RecoveryBugId};
 use coddb::coverage::Coverage;
 use coddb::{Database, Dialect, Severity};
 use rand::rngs::StdRng;
@@ -100,6 +100,13 @@ pub struct CampaignConfig {
     /// [`detects_bug`] uses this so a crash-first symptom cannot mask a
     /// logic mutant by halting the campaign on a non-matching finding.
     pub stop_kind: Option<BugKind>,
+    /// Cap on *consecutive* setup failures before the campaign gives up on
+    /// generating further states. Without it, a mutant configuration that
+    /// breaks every generated setup would spin forever: failed states
+    /// consume no test budget, so the campaign loop never terminates.
+    /// Hitting the cap records a synthetic internal-error finding (with
+    /// the failing state range) and ends the run. Clamped to at least 1.
+    pub max_setup_retries: u64,
 }
 
 impl CampaignConfig {
@@ -113,6 +120,7 @@ impl CampaignConfig {
             seed: 0xC0DD,
             stop_on_first_bug: false,
             stop_kind: None,
+            max_setup_retries: 64,
         }
     }
 }
@@ -126,6 +134,10 @@ pub struct Finding {
     /// Injected mutants that reproduce this finding (filled by
     /// [`attribute_bugs`]).
     pub attributed: Vec<BugId>,
+    /// Injected recovery-path mutants that reproduce this finding (filled
+    /// by [`attribute_bugs`]; the recovery scheme is separate from the
+    /// Table 1 scheme, so attributions are too).
+    pub attributed_recovery: Vec<RecoveryBugId>,
 }
 
 /// Aggregated campaign results (one row of Table 3).
@@ -276,6 +288,18 @@ impl StateShard {
     }
 }
 
+/// Best-effort rendering of a caught panic payload (panics carry `&str`
+/// or `String` in practice).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "<non-string panic payload>"
+    }
+}
+
 /// Does a finding of `kind` end a campaign under this configuration?
 fn finding_stops(cfg: &CampaignConfig, kind: &ReportKind) -> bool {
     cfg.stop_on_first_bug
@@ -313,6 +337,7 @@ fn run_state(
         return shard;
     }
 
+    let oracle_label = oracle.name();
     let mut session = Session::new(&mut db);
     for test_idx in 0..max_tests {
         if let Some(cancel) = cancel {
@@ -323,7 +348,38 @@ fn run_state(
         }
         let queries_before = session.queries_issued();
         let mut trng = StdRng::seed_from_u64(test_seed(cfg.seed, state_idx, test_idx));
-        let outcome = oracle.run_one(&mut session, &schema, &mut trng);
+        // Panic isolation: a panicking engine or oracle bug becomes a
+        // counted `Crash`-kind finding with its reproduction coordinates
+        // instead of tearing down the whole campaign. Determinism holds
+        // because both runners share this function: the same seed panics
+        // at the same test either way.
+        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            oracle.run_one(&mut session, &schema, &mut trng)
+        }));
+        let outcome = match run {
+            Ok(outcome) => outcome,
+            Err(payload) => {
+                let test_queries = session.queries_issued() - queries_before;
+                shard.tests_run += 1;
+                shard.finding_queries += test_queries;
+                let report = BugReport {
+                    oracle: oracle_label,
+                    kind: ReportKind::Crash,
+                    queries: Vec::new(),
+                    detail: format!(
+                        "oracle panicked: {} (repro: state_seed={:#x}, test_seed={:#x})",
+                        panic_message(payload.as_ref()),
+                        state_seed(cfg.seed, state_idx),
+                        test_seed(cfg.seed, state_idx, test_idx),
+                    ),
+                };
+                shard.stopped = finding_stops(cfg, &report.kind);
+                shard.findings.push((test_idx, report));
+                // The unwound engine may hold a half-applied statement;
+                // nothing further from this state is trustworthy.
+                break;
+            }
+        };
         let test_queries = session.queries_issued() - queries_before;
         shard.tests_run += 1;
         match outcome {
@@ -378,6 +434,7 @@ fn merge_shard(
             state_idx: shard.state_idx,
             test_idx,
             attributed: Vec::new(),
+            attributed_recovery: Vec::new(),
         });
     }
     result.successful_queries += shard.ok_queries;
@@ -409,10 +466,41 @@ fn drive_campaign(
 
     let mut state_idx = 0u64;
     let mut stop = false;
+    let mut consecutive_setup_failures = 0u64;
     while !stop && result.tests_run < cfg.tests {
         let max_tests = cfg.tests_per_state.max(1).min(cfg.tests - result.tests_run);
         let shard = shard_for(state_idx, max_tests);
+        let setup_failed = shard.setup_failed;
         stop = merge_shard(&mut result, &mut plans, &coverage, shard);
+        if setup_failed {
+            // Graceful budget degradation: a configuration whose generated
+            // setups keep failing is abandoned with a recorded finding
+            // instead of being retried forever (failed states consume no
+            // budget, so the loop alone would never terminate).
+            consecutive_setup_failures += 1;
+            if consecutive_setup_failures >= cfg.max_setup_retries.max(1) {
+                let first = state_idx + 1 - consecutive_setup_failures;
+                result.findings.push(Finding {
+                    report: BugReport {
+                        oracle: "campaign",
+                        kind: ReportKind::InternalError,
+                        queries: Vec::new(),
+                        detail: format!(
+                            "state setup failed {consecutive_setup_failures} consecutive \
+                             times (states {first}..={state_idx}); abandoning the \
+                             remaining test budget"
+                        ),
+                    },
+                    state_idx,
+                    test_idx: 0,
+                    attributed: Vec::new(),
+                    attributed_recovery: Vec::new(),
+                });
+                stop = true;
+            }
+        } else {
+            consecutive_setup_failures = 0;
+        }
         state_idx += 1;
     }
 
@@ -654,13 +742,35 @@ pub fn attribute_bugs_parallel(
     oracle_name: &str,
     threads: usize,
 ) {
-    let enabled: Vec<BugId> = cfg.bugs.enabled().collect();
+    /// One mutant to replay a finding under — engine (Table 1) and
+    /// recovery-path schemes attribute through the same machinery but
+    /// stay in separate result lists.
+    #[derive(Clone, Copy)]
+    enum Mutant {
+        Engine(BugId),
+        Recovery(RecoveryBugId),
+    }
+    impl Mutant {
+        fn registry(self) -> BugRegistry {
+            match self {
+                Mutant::Engine(b) => BugRegistry::only(b),
+                Mutant::Recovery(b) => BugRegistry::only_recovery(b),
+            }
+        }
+    }
+
+    let enabled: Vec<Mutant> = cfg
+        .bugs
+        .enabled()
+        .map(Mutant::Engine)
+        .chain(cfg.bugs.enabled_recovery().map(Mutant::Recovery))
+        .collect();
     let coords: Vec<(u64, u64)> = result
         .findings
         .iter()
         .map(|f| (f.state_idx, f.test_idx))
         .collect();
-    let jobs: Vec<(usize, BugId)> = coords
+    let jobs: Vec<(usize, Mutant)> = coords
         .iter()
         .enumerate()
         .flat_map(|(fi, _)| enabled.iter().map(move |&bug| (fi, bug)))
@@ -679,13 +789,7 @@ pub fn attribute_bugs_parallel(
                     break;
                 };
                 let (state_idx, test_idx) = coords[fi];
-                if rerun_test(
-                    oracle_name,
-                    cfg,
-                    state_idx,
-                    test_idx,
-                    &BugRegistry::only(bug),
-                ) {
+                if rerun_test(oracle_name, cfg, state_idx, test_idx, &bug.registry()) {
                     hits[j].store(true, Ordering::Relaxed);
                 }
             });
@@ -693,7 +797,10 @@ pub fn attribute_bugs_parallel(
     });
     for (j, &(fi, bug)) in jobs.iter().enumerate() {
         if hits[j].load(Ordering::Relaxed) {
-            result.findings[fi].attributed.push(bug);
+            match bug {
+                Mutant::Engine(b) => result.findings[fi].attributed.push(b),
+                Mutant::Recovery(b) => result.findings[fi].attributed_recovery.push(b),
+            }
         }
     }
 }
@@ -893,6 +1000,145 @@ mod tests {
         assert!(
             db.coverage().hit_count() > 0,
             "statements before the failure left coverage behind"
+        );
+    }
+
+    /// Regression for panic isolation: a panicking oracle surfaces as
+    /// counted `Crash`-kind findings carrying `(state_seed, test_seed)`
+    /// repro coordinates — in both runners, byte-identically — instead of
+    /// aborting the campaign.
+    #[test]
+    fn panicking_oracle_becomes_counted_crash_findings() {
+        // Silence the default hook's backtrace spam for the injected
+        // panics (worker threads aren't under test output capture).
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let cfg = CampaignConfig {
+            tests: 200,
+            ..CampaignConfig::new(Dialect::Sqlite)
+        };
+        let mut oracle = make_oracle("panic-probe").unwrap();
+        let seq = run_campaign(oracle.as_mut(), &cfg);
+        let par = run_campaign_parallel("panic-probe", &cfg, 4).unwrap();
+        std::panic::set_hook(prev);
+
+        assert!(!seq.findings.is_empty(), "probe never panicked");
+        for f in &seq.findings {
+            assert_eq!(f.report.kind, ReportKind::Crash);
+            assert!(f.report.detail.contains("oracle panicked"));
+            assert!(
+                f.report.detail.contains(&format!(
+                    "state_seed={:#x}, test_seed={:#x}",
+                    state_seed(cfg.seed, f.state_idx),
+                    test_seed(cfg.seed, f.state_idx, f.test_idx)
+                )),
+                "finding lacks its repro coordinates: {}",
+                f.report.detail
+            );
+        }
+        let coords = |r: &CampaignResult| {
+            r.findings
+                .iter()
+                .map(|f| (f.state_idx, f.test_idx, f.report.detail.clone()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(seq.tests_run, par.tests_run);
+        assert_eq!(coords(&seq), coords(&par));
+    }
+
+    /// The setup-retry cap turns a hopeless configuration (every generated
+    /// setup fails) into a recorded finding instead of an infinite loop,
+    /// and `merge_shard` keeps counting every failure on the way there.
+    #[test]
+    fn setup_retry_cap_abandons_hopeless_campaigns() {
+        let cfg = CampaignConfig {
+            max_setup_retries: 5,
+            tests: 100,
+            ..CampaignConfig::new(Dialect::Sqlite)
+        };
+        let result = drive_campaign("test".into(), &cfg, Instant::now(), |state_idx, _| {
+            let mut s = StateShard::new(state_idx);
+            s.setup_failed = true;
+            s.setup_err_queries = 1;
+            s.coverage_words = Coverage::new().snapshot();
+            s
+        });
+        assert_eq!(result.setup_failures, 5, "every failure merged");
+        assert_eq!(result.unsuccessful_queries, 5);
+        assert_eq!(result.tests_run, 0);
+        assert_eq!(result.findings.len(), 1);
+        let f = &result.findings[0];
+        assert_eq!(f.report.oracle, "campaign");
+        assert_eq!(f.report.kind, ReportKind::InternalError);
+        assert!(
+            f.report.detail.contains("5 consecutive"),
+            "{}",
+            f.report.detail
+        );
+        assert_eq!(f.state_idx, 4, "finding points at the last failing state");
+    }
+
+    /// Intermittent setup failures never trip the cap: the counter is
+    /// consecutive, resetting on every successful state.
+    #[test]
+    fn setup_retry_cap_is_consecutive_not_cumulative() {
+        let cfg = CampaignConfig {
+            max_setup_retries: 2,
+            tests: 40,
+            ..CampaignConfig::new(Dialect::Sqlite)
+        };
+        let mut oracle = make_oracle("codd").unwrap();
+        let result = drive_campaign("test".into(), &cfg, Instant::now(), |state_idx, max| {
+            if state_idx % 2 == 0 {
+                let mut s = StateShard::new(state_idx);
+                s.setup_failed = true;
+                s.coverage_words = Coverage::new().snapshot();
+                s
+            } else {
+                run_state(oracle.as_mut(), &cfg, state_idx, max, None)
+            }
+        });
+        assert_eq!(result.tests_run, 40, "budget fully spent");
+        assert!(result.setup_failures >= 2, "alternating failures merged");
+        assert!(
+            result.findings.is_empty(),
+            "no synthetic finding for non-consecutive failures: {:#?}",
+            result.findings
+        );
+    }
+
+    /// Findings produced by recovery-path mutants attribute into the
+    /// separate `attributed_recovery` list via the same replay machinery.
+    #[test]
+    fn recovery_findings_attribute_to_recovery_mutants() {
+        let bug = RecoveryBugId::DropLastCommit;
+        let cfg = CampaignConfig {
+            bugs: BugRegistry::only_recovery(bug),
+            tests: 40,
+            ..CampaignConfig::new(Dialect::Sqlite)
+        };
+        let mut oracle = make_oracle("recover").unwrap();
+        let mut result = run_campaign(oracle.as_mut(), &cfg);
+        assert!(
+            !result.findings.is_empty(),
+            "recover never caught the mutant"
+        );
+        attribute_bugs_parallel(&mut result, &cfg, "recover", 2);
+        assert!(
+            result
+                .findings
+                .iter()
+                .any(|f| f.attributed_recovery.contains(&bug)),
+            "no finding attributed to {bug:?}: {:#?}",
+            result
+                .findings
+                .iter()
+                .map(|f| (&f.attributed, &f.attributed_recovery))
+                .collect::<Vec<_>>()
+        );
+        assert!(
+            result.findings.iter().all(|f| f.attributed.is_empty()),
+            "recovery findings must not attribute to Table 1 mutants"
         );
     }
 

@@ -23,7 +23,8 @@ use coddtest::make_oracle;
 use coddtest::runner::{run_campaign, run_campaign_parallel, CampaignConfig};
 use coddtest_bench::{
     engine_setup as setup, is_join_shape, is_scan_shape, is_vec_shape, CAMPAIGN_PARALLEL_SHAPE,
-    QUERY_SHAPES, RECOVERY_REPLAY_SHAPE, WAL_COMMIT_SHAPE,
+    CHECKPOINT_WRITE_SHAPE, QUERY_SHAPES, RECOVERY_REPLAY_CHECKPOINTED_SHAPE,
+    RECOVERY_REPLAY_SHAPE, WAL_COMMIT_SHAPE,
 };
 
 /// Worker threads for the `campaign_parallel` shape (the evaluation's
@@ -114,6 +115,8 @@ fn main() {
                 && want != CAMPAIGN_PARALLEL_SHAPE
                 && want != WAL_COMMIT_SHAPE
                 && want != RECOVERY_REPLAY_SHAPE
+                && want != CHECKPOINT_WRITE_SHAPE
+                && want != RECOVERY_REPLAY_CHECKPOINTED_SHAPE
             {
                 eprintln!("bench_engine: unknown shape in --shapes: {want}");
                 std::process::exit(1);
@@ -276,7 +279,10 @@ fn main() {
     let run_recovery_shape = shape_filter
         .as_ref()
         .is_none_or(|f| f.iter().any(|s| s == RECOVERY_REPLAY_SHAPE));
-    if run_recovery_shape {
+    // The shared churn workload for the replay shapes: 120 iterations of
+    // INSERT/UPDATE/DELETE traffic, optionally checkpointed late in the
+    // history so the log holds only a short suffix past the snapshot.
+    let build_churn = |checkpoint_at: Option<usize>| {
         let mut db = Database::new(Dialect::Sqlite);
         db.set_storage_mode(StorageMode::Durable);
         db.execute_sql("CREATE TABLE r0 (a INT, b TEXT); CREATE TABLE r1 (a INT)")
@@ -292,13 +298,20 @@ fn main() {
                 i * 3 - 30
             ))
             .unwrap();
+            if checkpoint_at == Some(i) {
+                db.checkpoint().unwrap();
+            }
         }
+        db
+    };
+    if run_recovery_shape {
+        let db = build_churn(None);
         let image = db.wal().expect("durable").image().to_vec();
         let batch = if quick { 10 } else { 60 };
         let replay_ns = measure_campaign(windows.runs, || {
             for _ in 0..batch {
                 std::hint::black_box(
-                    coddb::recovery::recover(&image, Dialect::Sqlite, &BugRegistry::none())
+                    coddb::recovery::recover(&image, &[], Dialect::Sqlite, &BugRegistry::none())
                         .unwrap(),
                 );
             }
@@ -312,6 +325,87 @@ fn main() {
             RECOVERY_REPLAY_SHAPE,
             replay_ns,
             image.len()
+        ));
+    }
+
+    // checkpoint_write: full cost of one Database::checkpoint() over the
+    // churned catalog — snapshot serialization + seal + marker + log
+    // truncation — with the size of a single snapshot recorded.
+    let run_ckpt_write_shape = shape_filter
+        .as_ref()
+        .is_none_or(|f| f.iter().any(|s| s == CHECKPOINT_WRITE_SHAPE));
+    if run_ckpt_write_shape {
+        let mut once = build_churn(None);
+        once.checkpoint().unwrap();
+        let snapshot_bytes = once.wal().expect("durable").snapshot_image().len();
+        let mut db = build_churn(None);
+        let batch = if quick { 5 } else { 30 };
+        let ckpt_ns = measure_campaign(windows.runs, || {
+            for _ in 0..batch {
+                std::hint::black_box(db.checkpoint().unwrap());
+            }
+        }) / batch as f64;
+        println!(
+            "{CHECKPOINT_WRITE_SHAPE:<24} checkpoint {ckpt_ns:>8.0} ns/iter   snapshot {snapshot_bytes} bytes"
+        );
+        entries.push(format!(
+            "    {:?}: {{\n      \"checkpoint_write_ns_per_iter\": {:.0},\n      \"snapshot_bytes\": {}\n    }}",
+            CHECKPOINT_WRITE_SHAPE, ckpt_ns, snapshot_bytes
+        ));
+    }
+
+    // recovery_replay_checkpointed: snapshot + log-suffix recovery of the
+    // same churn workload, checkpointed late in the history, against the
+    // genesis replay of the identical un-checkpointed history — the
+    // wall-clock case for checkpointing at all.
+    let run_ckpt_replay_shape = shape_filter
+        .as_ref()
+        .is_none_or(|f| f.iter().any(|s| s == RECOVERY_REPLAY_CHECKPOINTED_SHAPE));
+    if run_ckpt_replay_shape {
+        let genesis_db = build_churn(None);
+        let genesis_image = genesis_db.wal().expect("durable").image().to_vec();
+        let ckpt_db = build_churn(Some(110));
+        let wal = ckpt_db.wal().expect("durable");
+        let (log_image, snap_image) = (wal.image().to_vec(), wal.snapshot_image().to_vec());
+        let batch = if quick { 10 } else { 60 };
+        let genesis_ns = measure_campaign(windows.runs, || {
+            for _ in 0..batch {
+                std::hint::black_box(
+                    coddb::recovery::recover(
+                        &genesis_image,
+                        &[],
+                        Dialect::Sqlite,
+                        &BugRegistry::none(),
+                    )
+                    .unwrap(),
+                );
+            }
+        }) / batch as f64;
+        let ckpt_ns = measure_campaign(windows.runs, || {
+            for _ in 0..batch {
+                std::hint::black_box(
+                    coddb::recovery::recover(
+                        &log_image,
+                        &snap_image,
+                        Dialect::Sqlite,
+                        &BugRegistry::none(),
+                    )
+                    .unwrap(),
+                );
+            }
+        }) / batch as f64;
+        let speedup = genesis_ns / ckpt_ns;
+        println!(
+            "{RECOVERY_REPLAY_CHECKPOINTED_SHAPE:<24} ckpt {ckpt_ns:>8.0} ns/iter   genesis {genesis_ns:>8.0} ns/iter   speedup {speedup:>5.2}x"
+        );
+        entries.push(format!(
+            "    {:?}: {{\n      \"recovery_replay_checkpointed_ns_per_iter\": {:.0},\n      \"genesis_replay_ns_per_iter\": {:.0},\n      \"checkpointed_vs_genesis_speedup\": {:.2},\n      \"suffix_bytes\": {},\n      \"snapshot_bytes\": {}\n    }}",
+            RECOVERY_REPLAY_CHECKPOINTED_SHAPE,
+            ckpt_ns,
+            genesis_ns,
+            speedup,
+            log_image.len(),
+            snap_image.len()
         ));
     }
 

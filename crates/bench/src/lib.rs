@@ -90,6 +90,16 @@ pub const CAMPAIGN_PARALLEL_SHAPE: &str = "campaign_parallel";
 pub const WAL_COMMIT_SHAPE: &str = "wal_commit";
 pub const RECOVERY_REPLAY_SHAPE: &str = "recovery_replay";
 
+/// The checkpoint shapes: `bench_engine` times a full
+/// [`coddb::Database::checkpoint`] over a populated catalog
+/// (`checkpoint_write_ns_per_iter`, with the snapshot size recorded) and
+/// snapshot+suffix recovery against full genesis replay of the same
+/// workload (`recovery_replay_checkpointed_ns_per_iter`, with the
+/// `checkpointed_vs_genesis_speedup` that justifies checkpointing at
+/// all). Not SQL shapes, so they live outside [`QUERY_SHAPES`].
+pub const CHECKPOINT_WRITE_SHAPE: &str = "checkpoint_write";
+pub const RECOVERY_REPLAY_CHECKPOINTED_SHAPE: &str = "recovery_replay_checkpointed";
+
 /// Shapes whose dominant operator is a join — `bench_engine` additionally
 /// times these with [`coddb::JoinMode::NestedLoop`] forced, recording the
 /// hash-join speedup over the bound nested loop.

@@ -528,16 +528,40 @@ pub enum RecoveryBugId {
     /// Replay ignores the final commit marker in the log, losing the last
     /// committed statement.
     DropLastCommit,
+    /// Checkpoint truncates the log *before* writing the snapshot and the
+    /// marker: a crash inside the snapshot write loses both the snapshot
+    /// and the log suffix it was meant to replace.
+    TruncateBeforeMarker,
+    /// Replay ignores the snapshot's statement coverage and re-applies
+    /// every log commit from offset zero, double-applying statements the
+    /// snapshot already contains.
+    ReplayFromWrongOffset,
+    /// Snapshot scan uses a trailing unsealed snapshot (the writer died
+    /// mid-snapshot) as the recovery base instead of falling back to the
+    /// previous sealed one.
+    AcceptTornSnapshot,
+    /// Snapshot scan prefers the *oldest* sealed snapshot over the newest,
+    /// losing every statement checkpointed after the first one once the
+    /// log has been truncated.
+    StaleSnapshotPreferred,
+    /// Snapshot scan accepts snapshot frames whose checksum does not
+    /// match, rebuilding the base state from corrupted payloads.
+    SkipSnapshotChecksum,
 }
 
 impl RecoveryBugId {
     /// Every recovery mutant, in a stable order.
-    pub const ALL: [RecoveryBugId; 5] = [
+    pub const ALL: [RecoveryBugId; 10] = [
         RecoveryBugId::SkipChecksumVerify,
         RecoveryBugId::TornTailAsComplete,
         RecoveryBugId::ReplayUncommitted,
         RecoveryBugId::ReorderCommitEffects,
         RecoveryBugId::DropLastCommit,
+        RecoveryBugId::TruncateBeforeMarker,
+        RecoveryBugId::ReplayFromWrongOffset,
+        RecoveryBugId::AcceptTornSnapshot,
+        RecoveryBugId::StaleSnapshotPreferred,
+        RecoveryBugId::SkipSnapshotChecksum,
     ];
 
     /// The dominant symptom category: a wrong-data recovery is a logic
@@ -560,6 +584,11 @@ impl RecoveryBugId {
             RecoveryBugId::ReplayUncommitted => "recovery-replay-uncommitted",
             RecoveryBugId::ReorderCommitEffects => "recovery-reorder-commit-effects",
             RecoveryBugId::DropLastCommit => "recovery-drop-last-commit",
+            RecoveryBugId::TruncateBeforeMarker => "recovery-truncate-before-marker",
+            RecoveryBugId::ReplayFromWrongOffset => "recovery-replay-from-wrong-offset",
+            RecoveryBugId::AcceptTornSnapshot => "recovery-accept-torn-snapshot",
+            RecoveryBugId::StaleSnapshotPreferred => "recovery-stale-snapshot-preferred",
+            RecoveryBugId::SkipSnapshotChecksum => "recovery-skip-snapshot-checksum",
         }
     }
 
@@ -575,6 +604,21 @@ impl RecoveryBugId {
                 "replay applies a commit's effects in reverse order"
             }
             RecoveryBugId::DropLastCommit => "replay ignores the final commit marker",
+            RecoveryBugId::TruncateBeforeMarker => {
+                "checkpoint truncates the log before the snapshot and marker are durable"
+            }
+            RecoveryBugId::ReplayFromWrongOffset => {
+                "replay re-applies log commits the snapshot already covers"
+            }
+            RecoveryBugId::AcceptTornSnapshot => {
+                "snapshot scan uses an unsealed trailing snapshot as the recovery base"
+            }
+            RecoveryBugId::StaleSnapshotPreferred => {
+                "snapshot scan prefers the oldest sealed snapshot over the newest"
+            }
+            RecoveryBugId::SkipSnapshotChecksum => {
+                "snapshot scan skips checksum verification on snapshot frames"
+            }
         }
     }
 }
@@ -751,7 +795,7 @@ mod tests {
     fn recovery_mutants_are_separate_from_the_table1_scheme() {
         // Table 1/2 invariants stay untouched by the recovery mutants.
         assert_eq!(BugId::ALL.len(), 45);
-        assert_eq!(RecoveryBugId::ALL.len(), 5);
+        assert_eq!(RecoveryBugId::ALL.len(), 10);
         let mut names = BTreeSet::new();
         for b in RecoveryBugId::ALL {
             assert!(!b.name().is_empty());
@@ -782,7 +826,7 @@ mod tests {
             only.enabled_recovery().collect::<Vec<_>>(),
             vec![RecoveryBugId::ReplayUncommitted]
         );
-        assert_eq!(BugRegistry::all_recovery().enabled_recovery().count(), 5);
+        assert_eq!(BugRegistry::all_recovery().enabled_recovery().count(), 10);
     }
 
     #[test]

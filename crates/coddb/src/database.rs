@@ -68,6 +68,12 @@ pub struct Database {
     /// Attached write-ahead log; `Some` iff the storage mode is
     /// [`StorageMode::Durable`].
     wal: Option<Wal>,
+    /// Every completed DDL statement, as rendered SQL, in execution order
+    /// (drops included). [`Database::checkpoint`] replays this history
+    /// into the snapshot so the recovered catalog's schema — views,
+    /// indexes, tombstoned tables — is rebuilt by the same re-execution
+    /// path WAL replay uses, with no dependency-ordering reconstruction.
+    ddl_history: Vec<String>,
 }
 
 impl Database {
@@ -94,6 +100,7 @@ impl Database {
             subq_memo_misses: 0,
             fuel_used: 0,
             wal: None,
+            ddl_history: Vec::new(),
         }
     }
 
@@ -284,12 +291,68 @@ impl Database {
     /// carry the statement's SQL text (the Display round-trip); replay
     /// re-parses and re-executes it against the recovered catalog.
     fn wal_log_ddl(&mut self, stmt: &Statement) {
+        self.ddl_history.push(stmt.to_string());
         if let Some(w) = self.wal.as_mut() {
             w.append(&WalRecord::Ddl {
                 sql: stmt.to_string(),
             });
             w.commit_statement();
         }
+    }
+
+    /// Checkpoint the durable state: serialize the full catalog (schema
+    /// history + every base-table row) as a framed snapshot to the WAL's
+    /// snapshot file, record the [`WalRecord::CheckpointComplete`]
+    /// durability marker in the log, and truncate the log to the suffix
+    /// after the marker. Recovery then loads the newest sealed snapshot
+    /// and replays only that suffix.
+    ///
+    /// The snapshot body is deterministic: the DDL history in execution
+    /// order, then each table's rows in catalog (name) order — so two
+    /// engines in identical states write byte-identical snapshots.
+    /// Checkpointing never touches the in-memory catalog and consumes no
+    /// fuel; it is purely a storage-layer operation.
+    ///
+    /// Returns the statement coverage of the snapshot (the `stmt_idx` the
+    /// checkpoint marker declares). Errors in volatile mode.
+    pub fn checkpoint(&mut self) -> Result<u64> {
+        if self.wal.is_none() {
+            return Err(Error::Internal(
+                "checkpoint requires durable storage mode".into(),
+            ));
+        }
+        // Mutant: truncate the log *before* the snapshot exists. Correct
+        // order writes snapshot → marker → truncate; truncating first
+        // loses the suffix whenever the crash lands inside the snapshot.
+        let truncate_early = self
+            .bugs
+            .recovery_active(crate::bugs::RecoveryBugId::TruncateBeforeMarker);
+        let w = self.wal.as_mut().expect("checked above");
+        if truncate_early {
+            w.truncate_log();
+        }
+        let stmt_idx = w.statements_logged();
+        w.append_snapshot(&WalRecord::SnapshotBegin { stmt_idx });
+        let mut records: u64 = 0;
+        for sql in &self.ddl_history {
+            w.append_snapshot(&WalRecord::Ddl { sql: sql.clone() });
+            records += 1;
+        }
+        for t in self.catalog.tables() {
+            for row in &t.rows {
+                w.append_snapshot(&WalRecord::InsertRow {
+                    table: t.name.clone(),
+                    row: row.to_vec(),
+                });
+                records += 1;
+            }
+        }
+        w.append_snapshot(&WalRecord::SnapshotEnd { stmt_idx, records });
+        w.append(&WalRecord::CheckpointComplete { stmt_idx });
+        if !truncate_early {
+            w.truncate_log();
+        }
+        Ok(stmt_idx)
     }
 
     /// Build the per-statement execution context.

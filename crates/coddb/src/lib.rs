@@ -133,6 +133,47 @@
 //! recovered state must be **byte-identical** ([`Database::dump_state`])
 //! to a never-crashed engine that executed only the committed prefix.
 //!
+//! **Checkpoints.** [`Database::checkpoint`] bounds replay work by
+//! serializing the full logical state to a second [`wal::SimDisk`]: a
+//! `SnapshotBegin{stmt_idx}` frame, then one `Ddl` frame per DDL the
+//! engine has ever executed (in original order, drops included) and one
+//! `InsertRow` frame per live catalog row (tables in name order, rows in
+//! physical order — both deterministic), sealed by a
+//! `SnapshotEnd{stmt_idx, records}` whose record count makes torn bodies
+//! detectable. Only then does a `CheckpointComplete{stmt_idx}` marker go
+//! to the *log* and the log get truncated — each of these is its own
+//! crashable disk operation, sharing the log's operation counter so one
+//! [`wal::FaultPlan`] range covers DML traffic, snapshot writes and the
+//! truncation step alike. The snapshot disk is append-only: older
+//! snapshots remain on file as fallbacks.
+//!
+//! **The snapshot + suffix contract.** Recovery
+//! ([`recovery::recover_detailed`]) scans the snapshot disk with the
+//! same frame discipline as the log, keeps only *sealed* snapshots
+//! (matching `stmt_idx` and exact record count), loads the newest one,
+//! and then replays the log suffix — skipping any commit whose statement
+//! index the snapshot already covers (a crash between the marker and the
+//! truncation leaves both images whole, and replaying the overlap would
+//! double-apply effects). A torn or corrupt newest snapshot falls back
+//! to the previous sealed one; no sealed snapshot at all falls back to
+//! genesis replay. The contract is exact, not best-effort: the chosen
+//! base must equal the writer-side ground truth
+//! ([`wal::Wal::durable_snapshot_stmts`] — the newest seal that reached
+//! the disk before the crash), and the checkpointed differential
+//! ([`recovery::recovery_divergence_checkpointed`]) reports a mismatch
+//! as a divergence even when the final state happens to agree.
+//!
+//! **Checkpoint determinism.** Checkpoints are part of a scenario's
+//! coordinates: a checkpoint schedule is a sorted list of statement
+//! indices, snapshot serialization order is fully determined by the
+//! catalog (no iteration-order or clock dependence), and every disk
+//! operation a checkpoint performs is counted. Identical `(script,
+//! schedule, FaultPlan)` triples therefore produce byte-identical log
+//! *and* snapshot images — which is what lets the `recover` oracle carry
+//! a `ckpt_seed` alongside `script_seed`/`fault_seed` in findings, and
+//! lets the reducer shrink the checkpoint schedule as a first-class
+//! axis.
+//!
 //! **Fault-injection determinism contract:** crash points are data, not
 //! chance. [`wal::FaultPlan::seeded`]`(seed, total_ops)` derives the
 //! crash op and fault mode purely from its arguments, so a `FaultPlan`

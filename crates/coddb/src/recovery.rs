@@ -1,20 +1,31 @@
-//! Crash recovery: replay a WAL image into a fresh store.
+//! Crash recovery: load the newest sealed snapshot, then replay the WAL
+//! suffix into it.
 //!
-//! Recovery is two-phase, like a real redo-only WAL:
+//! Recovery is three-phase, like a real checkpointing redo-WAL:
 //!
-//! 1. **Scan** ([`scan_log`]) walks the surviving byte image frame by
+//! 1. **Snapshot scan** ([`scan_snapshots`]) walks the snapshot file with
+//!    the same frame/checksum discipline as the log scan, groups frames
+//!    into [`Snapshot`]s (a `SnapshotBegin` … body … `SnapshotEnd` run is
+//!    *sealed* only when the end marker matches the begin marker's
+//!    `stmt_idx` and its declared record count), and recovery bases itself
+//!    on the **newest sealed** snapshot — an unsealed trailing snapshot is
+//!    a writer that died mid-checkpoint and must be ignored, falling back
+//!    to the previous sealed snapshot or genesis.
+//! 2. **Log scan** ([`scan_log`]) walks the surviving log image frame by
 //!    frame, verifying each record's length and checksum. The scan stops —
 //!    truncating the log — at the first incomplete header, truncated
 //!    payload, or checksum mismatch: everything past the damage is, by the
 //!    fault model, the torn tail of the crashing write.
-//! 2. **Replay** ([`replay`]) buffers effect records per statement and
-//!    applies them to a fresh [`Database`] only when the statement's
-//!    commit marker is reached. Effects whose commit never became durable
-//!    are discarded — recovery reconstructs *exactly* the committed
-//!    prefix, byte-identical to a never-crashed engine that executed only
-//!    those statements.
+//! 3. **Replay** ([`replay_into`]) buffers effect records per statement
+//!    and applies them only when the statement's commit marker is reached;
+//!    commits the snapshot already covers (`stmt_idx <` the snapshot's
+//!    coverage) discard their effects instead of double-applying. Effects
+//!    whose commit never became durable are discarded — recovery
+//!    reconstructs *exactly* the committed prefix, byte-identical to a
+//!    never-crashed engine that executed only those statements, whether
+//!    the base is a snapshot or genesis.
 //!
-//! The [`RecoveryBugId`] mutants are seeded into these two phases the way
+//! The [`RecoveryBugId`] mutants are seeded into these phases the way
 //! [`crate::bugs::BugId`] mutants are seeded into the planner/executor, so
 //! campaigns can hunt recovery bugs the way they hunt optimizer bugs.
 
@@ -70,6 +81,115 @@ pub fn scan_log(image: &[u8], bugs: &BugRegistry) -> Result<Vec<WalRecord>> {
         pos = body_start + len;
     }
     Ok(out)
+}
+
+/// One snapshot parsed out of the snapshot file: its declared statement
+/// coverage, its body records, and whether its end marker sealed it.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// The first `stmt_idx` commits are contained in this snapshot.
+    pub stmt_idx: u64,
+    /// The serialized state: DDL history in execution order, then each
+    /// table's rows.
+    pub body: Vec<WalRecord>,
+    /// A matching [`WalRecord::SnapshotEnd`] (same `stmt_idx`, correct
+    /// record count) made this snapshot durable. Unsealed snapshots are
+    /// writers that died mid-checkpoint.
+    pub sealed: bool,
+}
+
+/// Parse the snapshot file into its snapshots, oldest first. Uses the
+/// same frame discipline as [`scan_log`]: the walk truncates at the first
+/// damaged frame (which, by the fault model, can only be the trailing
+/// write of the crashing checkpoint). Stray frames outside a
+/// `SnapshotBegin`/`SnapshotEnd` pair are skipped — a hostile image must
+/// produce an error or a clean parse, never a panic.
+pub fn scan_snapshots(image: &[u8], bugs: &BugRegistry) -> Result<Vec<Snapshot>> {
+    let mut out: Vec<Snapshot> = Vec::new();
+    let mut open: Option<Snapshot> = None;
+    let mut pos = 0usize;
+    while pos < image.len() {
+        if image.len() - pos < FRAME_HEADER {
+            break;
+        }
+        let len = u32::from_le_bytes(image[pos..pos + 4].try_into().unwrap()) as usize;
+        let stored_sum = u32::from_le_bytes(image[pos + 4..pos + 8].try_into().unwrap());
+        let body_start = pos + FRAME_HEADER;
+        if image.len() - body_start < len {
+            // Torn trailing frame: the checkpoint writer died mid-write.
+            break;
+        }
+        let payload = &image[body_start..body_start + len];
+        if checksum(payload) != stored_sum
+            && !bugs.recovery_active(RecoveryBugId::SkipSnapshotChecksum)
+        {
+            break;
+        }
+        let rec = decode_record(payload)
+            .map_err(|e| Error::Internal(format!("snapshot scan: undecodable record: {e}")))?;
+        pos = body_start + len;
+        match rec {
+            WalRecord::SnapshotBegin { stmt_idx } => {
+                // A begin while another snapshot is open abandons the open
+                // one (it never sealed).
+                if let Some(s) = open.take() {
+                    out.push(s);
+                }
+                open = Some(Snapshot {
+                    stmt_idx,
+                    body: Vec::new(),
+                    sealed: false,
+                });
+            }
+            WalRecord::SnapshotEnd { stmt_idx, records } => {
+                if let Some(mut s) = open.take() {
+                    s.sealed = s.stmt_idx == stmt_idx && s.body.len() as u64 == records;
+                    out.push(s);
+                }
+                // A stray end with no open snapshot is skipped.
+            }
+            body => {
+                if let Some(s) = open.as_mut() {
+                    s.body.push(body);
+                }
+                // Body records outside a snapshot are skipped.
+            }
+        }
+    }
+    if let Some(s) = open.take() {
+        out.push(s);
+    }
+    Ok(out)
+}
+
+/// Pick the recovery base among the scanned snapshots: the newest sealed
+/// one, or `None` for genesis. The checkpoint-path mutants hook here.
+pub fn choose_snapshot<'a>(snaps: &'a [Snapshot], bugs: &BugRegistry) -> Option<&'a Snapshot> {
+    if bugs.recovery_active(RecoveryBugId::AcceptTornSnapshot) {
+        // Mutant: a trailing unsealed snapshot (writer died mid-
+        // checkpoint) is used as the base anyway.
+        if let Some(last) = snaps.last() {
+            if !last.sealed {
+                return Some(last);
+            }
+        }
+    }
+    let mut sealed = snaps.iter().filter(|s| s.sealed);
+    if bugs.recovery_active(RecoveryBugId::StaleSnapshotPreferred) {
+        // Mutant: the oldest sealed snapshot wins instead of the newest.
+        return sealed.next();
+    }
+    sealed.last()
+}
+
+/// Rebuild the snapshot's state into `db` by applying its body records in
+/// order: the DDL history re-executes, then the physical rows land.
+pub fn apply_snapshot(db: &mut Database, snap: &Snapshot) -> Result<()> {
+    for rec in &snap.body {
+        apply_effect(db, rec)
+            .map_err(|e| Error::Internal(format!("snapshot replay: {e}")))?;
+    }
+    Ok(())
 }
 
 /// Apply one effect record to the recovered store. DML effects are
@@ -134,21 +254,48 @@ fn apply_effect(db: &mut Database, rec: &WalRecord) -> Result<()> {
         WalRecord::Commit { .. } => Err(Error::Internal(
             "wal replay: commit marker reached apply_effect".into(),
         )),
+        // Checkpoint and snapshot markers are never effects; a hostile
+        // image that smuggles one into an effect position must produce an
+        // error, not a panic or a silent state change.
+        WalRecord::CheckpointComplete { .. } => Err(Error::Internal(
+            "wal replay: checkpoint marker reached apply_effect".into(),
+        )),
+        WalRecord::SnapshotBegin { .. } | WalRecord::SnapshotEnd { .. } => Err(Error::Internal(
+            "wal replay: snapshot marker reached apply_effect".into(),
+        )),
     }
 }
 
-/// Replay scanned records into a fresh database: effects buffer per
-/// statement and apply at their commit marker; uncommitted effects are
-/// discarded.
-pub fn replay(records: &[WalRecord], dialect: Dialect, bugs: &BugRegistry) -> Result<Database> {
-    let mut db = Database::new(dialect);
+/// Replay scanned log records into `db` on top of a base state covering
+/// the first `base_stmts` commits (`None` = genesis). Effects buffer per
+/// statement and apply at their commit marker; commits the base already
+/// contains discard their effects (a truncation that never happened must
+/// not double-apply); uncommitted effects are discarded.
+pub fn replay_into(
+    db: &mut Database,
+    base_stmts: Option<u64>,
+    records: &[WalRecord],
+    bugs: &BugRegistry,
+) -> Result<()> {
     let last_commit = records
         .iter()
         .rposition(|r| matches!(r, WalRecord::Commit { .. }));
     let mut pending: Vec<&WalRecord> = Vec::new();
     for (i, rec) in records.iter().enumerate() {
         match rec {
-            WalRecord::Commit { .. } => {
+            WalRecord::Commit { stmt_idx } => {
+                if let Some(base) = base_stmts {
+                    if *stmt_idx < base
+                        && !bugs.recovery_active(RecoveryBugId::ReplayFromWrongOffset)
+                    {
+                        // The snapshot already contains this statement:
+                        // the log overlaps the base (a crash landed
+                        // between the checkpoint marker and the
+                        // truncation). Discard, don't double-apply.
+                        pending.clear();
+                        continue;
+                    }
+                }
                 if bugs.recovery_active(RecoveryBugId::DropLastCommit) && Some(i) == last_commit {
                     // Mutant: the final durability point vanishes; its
                     // effects stay pending (i.e. uncommitted).
@@ -158,24 +305,77 @@ pub fn replay(records: &[WalRecord], dialect: Dialect, bugs: &BugRegistry) -> Re
                     pending.reverse();
                 }
                 for e in pending.drain(..) {
-                    apply_effect(&mut db, e)?;
+                    apply_effect(db, e)?;
                 }
             }
+            // The checkpoint durability marker carries no effect; it
+            // survives in the log only when the crash beat the truncation.
+            WalRecord::CheckpointComplete { .. } => {}
             effect => pending.push(effect),
         }
     }
     if bugs.recovery_active(RecoveryBugId::ReplayUncommitted) {
         for e in pending.drain(..) {
-            apply_effect(&mut db, e)?;
+            apply_effect(db, e)?;
         }
     }
+    Ok(())
+}
+
+/// Replay scanned records into a fresh database from genesis (no
+/// snapshot base).
+pub fn replay(records: &[WalRecord], dialect: Dialect, bugs: &BugRegistry) -> Result<Database> {
+    let mut db = Database::new(dialect);
+    replay_into(&mut db, None, records, bugs)?;
     Ok(db)
 }
 
-/// Recover a database from a surviving WAL image: scan, then replay.
-pub fn recover(image: &[u8], dialect: Dialect, bugs: &BugRegistry) -> Result<Database> {
-    let records = scan_log(image, bugs)?;
-    replay(&records, dialect, bugs)
+/// What [`recover_detailed`] did, for assertions and reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryInfo {
+    /// Statement coverage of the snapshot recovery based itself on, or
+    /// `None` when it replayed from genesis.
+    pub snapshot_stmts: Option<u64>,
+    /// Snapshots parsed out of the snapshot file (sealed or not).
+    pub snapshots_scanned: usize,
+    /// Intact records parsed out of the log image.
+    pub log_records: usize,
+}
+
+/// Recover a database from the surviving log and snapshot images: scan
+/// the snapshot file, base on the newest sealed snapshot (genesis when
+/// there is none — an empty `snap_image` is the pre-checkpoint world),
+/// then replay the log suffix on top.
+pub fn recover(
+    log_image: &[u8],
+    snap_image: &[u8],
+    dialect: Dialect,
+    bugs: &BugRegistry,
+) -> Result<Database> {
+    recover_detailed(log_image, snap_image, dialect, bugs).map(|(db, _)| db)
+}
+
+/// [`recover`], also reporting which base it chose and what it scanned.
+pub fn recover_detailed(
+    log_image: &[u8],
+    snap_image: &[u8],
+    dialect: Dialect,
+    bugs: &BugRegistry,
+) -> Result<(Database, RecoveryInfo)> {
+    let snaps = scan_snapshots(snap_image, bugs)?;
+    let base = choose_snapshot(&snaps, bugs);
+    let mut db = Database::new(dialect);
+    if let Some(s) = base {
+        apply_snapshot(&mut db, s)?;
+    }
+    let records = scan_log(log_image, bugs)?;
+    replay_into(&mut db, base.map(|s| s.stmt_idx), &records, bugs)?;
+    let info = RecoveryInfo {
+        snapshot_stmts: base.map(|s| s.stmt_idx),
+        snapshots_scanned: snaps.len(),
+        log_records: records.len(),
+    };
+    Ok((db, info))
 }
 
 /// The crash-recovery differential, shared by the `recover` oracle and the
@@ -195,31 +395,81 @@ pub fn recovery_divergence(
     dialect: Dialect,
     bugs: &BugRegistry,
 ) -> Option<String> {
-    let durable_run = |plan: crate::wal::FaultPlan, stop_at: Option<u64>| -> Database {
-        let mut db = Database::with_bugs(dialect, bugs.clone());
-        db.set_storage_mode(crate::wal::StorageMode::Durable);
-        db.set_fault_plan(plan);
-        for s in script {
-            if let Some(c) = stop_at {
-                if db.wal().map(|w| w.committed_statements()) == Some(c) {
-                    break;
+    recovery_divergence_checkpointed(script, &[], plan, dialect, bugs)
+}
+
+/// The checkpointed crash-recovery differential: like
+/// [`recovery_divergence`], but the faulted run calls
+/// [`Database::checkpoint`] after each statement index listed in
+/// `checkpoints` (0-based; indices past the script are ignored). The
+/// reference run never checkpoints — checkpointing is a pure storage-layer
+/// operation, so the committed-prefix state it must match is unchanged.
+///
+/// Beyond the state diff, this also checks the snapshot contract against
+/// writer-side ground truth: recovery must base itself on exactly the
+/// newest snapshot whose seal became durable before the crash
+/// ([`crate::wal::Wal::durable_snapshot_stmts`]) — recovering correct
+/// bytes from genesis when a valid checkpoint survived (or from a stale
+/// or torn snapshot) is a divergence even if the final state matches.
+pub fn recovery_divergence_checkpointed(
+    script: &[crate::ast::Statement],
+    checkpoints: &[usize],
+    plan: &crate::wal::FaultPlan,
+    dialect: Dialect,
+    bugs: &BugRegistry,
+) -> Option<String> {
+    let durable_run =
+        |plan: crate::wal::FaultPlan, ckpts: &[usize], stop_at: Option<u64>| -> Database {
+            let mut db = Database::with_bugs(dialect, bugs.clone());
+            db.set_storage_mode(crate::wal::StorageMode::Durable);
+            db.set_fault_plan(plan);
+            for (i, s) in script.iter().enumerate() {
+                if let Some(c) = stop_at {
+                    if db.wal().map(|w| w.committed_statements()) == Some(c) {
+                        break;
+                    }
+                }
+                let _ = db.execute(s);
+                if ckpts.contains(&i) {
+                    let _ = db.checkpoint();
                 }
             }
-            let _ = db.execute(s);
-        }
-        db
+            db
+        };
+
+    let faulted = durable_run(plan.clone(), checkpoints, None);
+    let wal = faulted.wal().expect("durable");
+    let committed = wal.committed_statements();
+    let log_image = wal.image().to_vec();
+    let snap_image = wal.snapshot_image().to_vec();
+    let durable_snap = wal.durable_snapshot_stmts();
+    let context = {
+        let site = wal
+            .crash_site()
+            .map(|s| format!(", crashed during {}", s.label()))
+            .unwrap_or_default();
+        let ckpts = if checkpoints.is_empty() {
+            String::new()
+        } else {
+            format!(", checkpoints after stmts {checkpoints:?}")
+        };
+        format!("{}{site}{ckpts}", plan.describe())
     };
 
-    let faulted = durable_run(plan.clone(), None);
-    let committed = faulted.wal().expect("durable").committed_statements();
-    let image = faulted.wal().expect("durable").image().to_vec();
-
-    let recovered = match recover(&image, dialect, bugs) {
-        Ok(db) => db,
-        Err(e) => return Some(format!("recovery failed: {e}")),
+    let (recovered, info) = match recover_detailed(&log_image, &snap_image, dialect, bugs) {
+        Ok(x) => x,
+        Err(e) => return Some(format!("recovery failed: {e} ({context})")),
     };
 
-    let reference = durable_run(crate::wal::FaultPlan::none(), Some(committed));
+    if info.snapshot_stmts != durable_snap {
+        return Some(format!(
+            "recovery based itself on snapshot {:?} but the newest durable \
+             snapshot covers {:?} ({context})",
+            info.snapshot_stmts, durable_snap
+        ));
+    }
+
+    let reference = durable_run(crate::wal::FaultPlan::none(), &[], Some(committed));
     let got_committed = reference.wal().expect("durable").committed_statements();
     if got_committed != committed {
         return Some(format!(
@@ -231,8 +481,7 @@ pub fn recovery_divergence(
     if want != got {
         return Some(format!(
             "recovered state diverges from the committed prefix \
-             (committed={committed}, {}):\n--- expected ---\n{want}\n--- recovered ---\n{got}",
-            plan.describe()
+             (committed={committed}, {context}):\n--- expected ---\n{want}\n--- recovered ---\n{got}",
         ));
     }
     None
@@ -266,7 +515,7 @@ mod tests {
              DELETE FROM t WHERE a = 2",
         );
         let image = db.wal().unwrap().image().to_vec();
-        let rec = recover(&image, Dialect::Sqlite, &BugRegistry::none()).unwrap();
+        let rec = recover(&image, &[], Dialect::Sqlite, &BugRegistry::none()).unwrap();
         assert_eq!(rec.dump_state(), db.dump_state());
     }
 
@@ -291,7 +540,7 @@ mod tests {
             w.image().to_vec()
         };
         image.extend_from_slice(&extra);
-        let rec = recover(&image, Dialect::Sqlite, &BugRegistry::none()).unwrap();
+        let rec = recover(&image, &[], Dialect::Sqlite, &BugRegistry::none()).unwrap();
         assert_eq!(rec.dump_state(), db.dump_state());
     }
 
@@ -311,8 +560,8 @@ mod tests {
             row: vec![crate::value::Value::Int(7)],
         });
         image.extend_from_slice(w.image());
-        let rec = recover(&image, Dialect::Sqlite, &BugRegistry::none()).unwrap();
-        let reference = recover(&committed_image, Dialect::Sqlite, &BugRegistry::none()).unwrap();
+        let rec = recover(&image, &[], Dialect::Sqlite, &BugRegistry::none()).unwrap();
+        let reference = recover(&committed_image, &[], Dialect::Sqlite, &BugRegistry::none()).unwrap();
         assert_eq!(rec.dump_state(), reference.dump_state());
     }
 
@@ -329,12 +578,13 @@ mod tests {
             row: vec![crate::value::Value::Int(1)],
         });
         // ... crash before the commit marker.
-        let rec = recover(w.image(), Dialect::Sqlite, &BugRegistry::none()).unwrap();
+        let rec = recover(w.image(), &[], Dialect::Sqlite, &BugRegistry::none()).unwrap();
         assert_eq!(rec.catalog().table("t").unwrap().rows.len(), 0);
 
         // The ReplayUncommitted mutant applies them anyway.
         let buggy = recover(
             w.image(),
+            &[],
             Dialect::Sqlite,
             &BugRegistry::only_recovery(RecoveryBugId::ReplayUncommitted),
         )
@@ -352,6 +602,7 @@ mod tests {
         let image = db.wal().unwrap().image().to_vec();
         let buggy = recover(
             &image,
+            &[],
             Dialect::Sqlite,
             &BugRegistry::only_recovery(RecoveryBugId::ReorderCommitEffects),
         )
@@ -377,6 +628,7 @@ mod tests {
         let image = db.wal().unwrap().image().to_vec();
         let buggy = recover(
             &image,
+            &[],
             Dialect::Sqlite,
             &BugRegistry::only_recovery(RecoveryBugId::DropLastCommit),
         )
@@ -445,6 +697,182 @@ mod tests {
                     "divergence at {plan:?}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn checkpoint_recovers_from_snapshot_plus_suffix() {
+        let mut db = durable_db();
+        run_sql(
+            &mut db,
+            "CREATE TABLE t (a INT, b TEXT);
+             INSERT INTO t VALUES (1, 'x'), (2, 'y');
+             CREATE VIEW v (n) AS SELECT COUNT(*) FROM t",
+        );
+        db.checkpoint().unwrap();
+        run_sql(&mut db, "INSERT INTO t VALUES (3, 'z'); DELETE FROM t WHERE a = 1");
+        let w = db.wal().unwrap();
+        assert_eq!(w.durable_snapshot_stmts(), Some(3));
+        let (rec, info) = recover_detailed(
+            &w.image().to_vec(),
+            &w.snapshot_image().to_vec(),
+            Dialect::Sqlite,
+            &BugRegistry::none(),
+        )
+        .unwrap();
+        assert_eq!(info.snapshot_stmts, Some(3), "recovery used the snapshot");
+        assert_eq!(rec.dump_state(), db.dump_state());
+    }
+
+    #[test]
+    fn truncation_bounds_the_replayable_log() {
+        let mut db = durable_db();
+        run_sql(&mut db, "CREATE TABLE t (a INT); INSERT INTO t VALUES (1)");
+        let genesis_len = db.wal().unwrap().image().len();
+        assert!(genesis_len > 0);
+        db.checkpoint().unwrap();
+        assert!(db.wal().unwrap().image().is_empty(), "log truncated");
+        run_sql(&mut db, "INSERT INTO t VALUES (2)");
+        assert!(db.wal().unwrap().image().len() < genesis_len, "suffix only");
+    }
+
+    #[test]
+    fn ddl_history_snapshot_restores_drops_and_views() {
+        // Schema history with a drop: snapshot-based recovery must rebuild
+        // the post-drop catalog, not resurrect the dropped table.
+        let mut db = durable_db();
+        run_sql(
+            &mut db,
+            "CREATE TABLE gone (z INT);
+             CREATE TABLE t (a INT);
+             INSERT INTO t VALUES (7);
+             CREATE INDEX i ON t (a);
+             DROP TABLE gone",
+        );
+        db.checkpoint().unwrap();
+        let w = db.wal().unwrap();
+        let rec = recover(
+            &w.image().to_vec(),
+            &w.snapshot_image().to_vec(),
+            Dialect::Sqlite,
+            &BugRegistry::none(),
+        )
+        .unwrap();
+        assert!(rec.catalog().table("gone").is_err());
+        assert_eq!(rec.dump_state(), db.dump_state());
+    }
+
+    #[test]
+    fn torn_snapshot_falls_back_to_previous_base() {
+        // Two checkpoints; the fault plan kills a body write of the second
+        // snapshot. Recovery must fall back to the first sealed snapshot
+        // (clean reader) — the AcceptTornSnapshot mutant uses the torn one.
+        let script = crate::parser::parse_statements(
+            "CREATE TABLE t (a INT);
+             INSERT INTO t VALUES (1);
+             INSERT INTO t VALUES (2);
+             INSERT INTO t VALUES (3)",
+        )
+        .unwrap();
+        // Dry run with checkpoints after stmts 1 and 3 to find the op
+        // range of the second snapshot.
+        let mut db = durable_db();
+        for (i, s) in script.iter().enumerate() {
+            db.execute(s).unwrap();
+            if i == 1 || i == 3 {
+                db.checkpoint().unwrap();
+            }
+        }
+        let total = db.wal().unwrap().ops();
+        let mut fell_back = false;
+        for op in 0..total {
+            let plan = FaultPlan {
+                crash_op: op,
+                mode: FaultMode::Lost,
+            };
+            assert_eq!(
+                recovery_divergence_checkpointed(
+                    &script,
+                    &[1, 3],
+                    &plan,
+                    Dialect::Sqlite,
+                    &BugRegistry::none()
+                ),
+                None,
+                "clean fallback diverged at op {op}"
+            );
+            // Re-derive whether this op landed inside the second snapshot:
+            // writer ground truth says the newest durable seal is still
+            // the first checkpoint's.
+            let mut f = Database::new(Dialect::Sqlite);
+            f.set_storage_mode(StorageMode::Durable);
+            f.set_fault_plan(plan);
+            for (i, s) in script.iter().enumerate() {
+                let _ = f.execute(s);
+                if i == 1 || i == 3 {
+                    let _ = f.checkpoint();
+                }
+            }
+            if f.wal().unwrap().durable_snapshot_stmts() == Some(2)
+                && f.wal().unwrap().crashed()
+            {
+                fell_back = true;
+            }
+        }
+        assert!(fell_back, "no crash point exercised the fallback path");
+    }
+
+    #[test]
+    fn checkpoint_mutants_diverge_and_ground_truth_catches_base_lies() {
+        let script = crate::parser::parse_statements(
+            "CREATE TABLE t (a INT);
+             INSERT INTO t VALUES (1);
+             INSERT INTO t VALUES (2);
+             INSERT INTO t VALUES (3)",
+        )
+        .unwrap();
+        let mut db = durable_db();
+        for (i, s) in script.iter().enumerate() {
+            db.execute(s).unwrap();
+            if i == 1 || i == 2 {
+                db.checkpoint().unwrap();
+            }
+        }
+        let total = db.wal().unwrap().ops();
+        for bug in [
+            RecoveryBugId::TruncateBeforeMarker,
+            RecoveryBugId::ReplayFromWrongOffset,
+            RecoveryBugId::AcceptTornSnapshot,
+            RecoveryBugId::StaleSnapshotPreferred,
+            RecoveryBugId::SkipSnapshotChecksum,
+        ] {
+            let bugs = BugRegistry::only_recovery(bug);
+            let mut hit = false;
+            for op in 0..=total {
+                for mode in [
+                    FaultMode::Lost,
+                    FaultMode::Torn { keep_sel: 5 },
+                    FaultMode::Corrupt { byte_sel: 2 },
+                ] {
+                    let plan = if op == total {
+                        FaultPlan::none()
+                    } else {
+                        FaultPlan { crash_op: op, mode }
+                    };
+                    if recovery_divergence_checkpointed(
+                        &script,
+                        &[1, 2],
+                        &plan,
+                        Dialect::Sqlite,
+                        &bugs,
+                    )
+                    .is_some()
+                    {
+                        hit = true;
+                    }
+                }
+            }
+            assert!(hit, "{} never diverged across the grid", bug.name());
         }
     }
 }

@@ -34,6 +34,25 @@
 //! `state_seed`/`test_seed` in the campaign runner: the same
 //! `(script, fault_seed)` pair rebuilds the same log image in any build.
 //!
+//! # Checkpoints
+//!
+//! [`Database::checkpoint`](crate::Database::checkpoint) bounds replay
+//! cost: it serializes the whole committed state as a framed, checksummed
+//! **snapshot** to a second [`SimDisk`] file ([`Wal::snapshot_image`]),
+//! seals it between [`WalRecord::SnapshotBegin`] and
+//! [`WalRecord::SnapshotEnd`] markers, records a
+//! [`WalRecord::CheckpointComplete`] durability marker in the log, and
+//! then truncates the log to the suffix after that marker
+//! ([`Wal::truncate_log`]). Snapshot frames and the truncation step ride
+//! the **same operation counter** as log appends, so a seeded
+//! [`FaultPlan`] lands crashes inside snapshot writes and between the
+//! marker and the truncation exactly the way it lands them inside DML
+//! traffic — the torn-snapshot and early-truncation bug classes become
+//! ordinary grid cells. A crash at the truncation op means the process
+//! died before truncating: the log survives from its previous origin
+//! (every fault mode behaves the same there — truncation either happened
+//! or it did not).
+//!
 //! [`Database`]: crate::Database
 
 use crate::value::Value;
@@ -156,6 +175,10 @@ impl SimDisk {
         &self.data
     }
 
+    fn clear(&mut self) {
+        self.data.clear();
+    }
+
     pub fn len(&self) -> usize {
         self.data.len()
     }
@@ -189,6 +212,20 @@ pub enum WalRecord {
     /// Durability point of statement `stmt_idx`: all effects logged since
     /// the previous commit become visible to recovery.
     Commit { stmt_idx: u64 },
+    /// Log-side checkpoint durability marker: a snapshot covering the
+    /// first `stmt_idx` committed statements is complete on the snapshot
+    /// file. Written after the snapshot's [`WalRecord::SnapshotEnd`] and
+    /// before the log is truncated; it survives in the log only when the
+    /// process dies between the marker and the truncation.
+    CheckpointComplete { stmt_idx: u64 },
+    /// Snapshot-file record: opens a snapshot covering the first
+    /// `stmt_idx` committed statements.
+    SnapshotBegin { stmt_idx: u64 },
+    /// Snapshot-file record: seals a snapshot. `records` counts the body
+    /// records between this marker and its `SnapshotBegin`; a snapshot
+    /// without a matching end marker is incomplete (the writer died
+    /// mid-snapshot) and must be ignored by recovery.
+    SnapshotEnd { stmt_idx: u64, records: u64 },
 }
 
 const TAG_DDL: u8 = 1;
@@ -196,6 +233,9 @@ const TAG_INSERT: u8 = 2;
 const TAG_UPDATE: u8 = 3;
 const TAG_DELETE: u8 = 4;
 const TAG_COMMIT: u8 = 5;
+const TAG_CHECKPOINT: u8 = 6;
+const TAG_SNAP_BEGIN: u8 = 7;
+const TAG_SNAP_END: u8 = 8;
 
 const VTAG_NULL: u8 = 0;
 const VTAG_INT: u8 = 1;
@@ -283,6 +323,19 @@ pub fn encode_record(rec: &WalRecord) -> Vec<u8> {
         WalRecord::Commit { stmt_idx } => {
             out.push(TAG_COMMIT);
             put_u64(&mut out, *stmt_idx);
+        }
+        WalRecord::CheckpointComplete { stmt_idx } => {
+            out.push(TAG_CHECKPOINT);
+            put_u64(&mut out, *stmt_idx);
+        }
+        WalRecord::SnapshotBegin { stmt_idx } => {
+            out.push(TAG_SNAP_BEGIN);
+            put_u64(&mut out, *stmt_idx);
+        }
+        WalRecord::SnapshotEnd { stmt_idx, records } => {
+            out.push(TAG_SNAP_END);
+            put_u64(&mut out, *stmt_idx);
+            put_u64(&mut out, *records);
         }
     }
     out
@@ -393,6 +446,12 @@ pub fn decode_record(payload: &[u8]) -> Result<WalRecord, String> {
             WalRecord::DeleteRows { table, rows }
         }
         TAG_COMMIT => WalRecord::Commit { stmt_idx: r.u64()? },
+        TAG_CHECKPOINT => WalRecord::CheckpointComplete { stmt_idx: r.u64()? },
+        TAG_SNAP_BEGIN => WalRecord::SnapshotBegin { stmt_idx: r.u64()? },
+        TAG_SNAP_END => WalRecord::SnapshotEnd {
+            stmt_idx: r.u64()?,
+            records: r.u64()?,
+        },
         t => return Err(format!("unknown record tag {t}")),
     };
     if !r.done() {
@@ -418,6 +477,31 @@ pub fn checksum(payload: &[u8]) -> u32 {
 /// Size of the `[len][checksum]` frame header.
 pub const FRAME_HEADER: usize = 8;
 
+/// Which durable operation the fault plan killed. Checkpointing threads
+/// snapshot frames and the truncation step through the same op counter as
+/// log appends, so a seeded crash can land in three places; reports name
+/// the site so a repro is readable without decoding the op index by hand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashSite {
+    /// A log append (DML/DDL effect, commit, or checkpoint marker).
+    Log,
+    /// A snapshot-file append (begin/body/end frame).
+    Snapshot,
+    /// The log-truncation step after a checkpoint marker.
+    Truncate,
+}
+
+impl CrashSite {
+    /// Short human-readable label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CrashSite::Log => "log append",
+            CrashSite::Snapshot => "snapshot write",
+            CrashSite::Truncate => "log truncation",
+        }
+    }
+}
+
 /// The write-ahead log: an append-only sequence of framed records on a
 /// [`SimDisk`], with the fault plan applied per append. The writer also
 /// tracks the ground truth the recovery differential compares against:
@@ -427,6 +511,9 @@ pub const FRAME_HEADER: usize = 8;
 #[derive(Debug, Clone)]
 pub struct Wal {
     disk: SimDisk,
+    /// The snapshot file checkpoints serialize to. Shares the op counter
+    /// (and thus the fault plan's crash schedule) with the log disk.
+    snap: SimDisk,
     plan: FaultPlan,
     /// Appends attempted while the simulated process was alive.
     ops: u64,
@@ -435,18 +522,26 @@ pub struct Wal {
     /// Statements whose commit marker was *attempted* (durable or not);
     /// numbers the next commit record.
     stmts_logged: u64,
+    /// Writer-side checkpoint ground truth: the `stmt_idx` of the newest
+    /// [`WalRecord::SnapshotEnd`] that became durable before the crash —
+    /// the snapshot a correct recovery must load (None = genesis).
+    last_snapshot_stmts: Option<u64>,
     crashed: bool,
+    crash_site: Option<CrashSite>,
 }
 
 impl Wal {
     pub fn new(plan: FaultPlan) -> Wal {
         Wal {
             disk: SimDisk::new(),
+            snap: SimDisk::new(),
             plan,
             ops: 0,
             committed: 0,
             stmts_logged: 0,
+            last_snapshot_stmts: None,
             crashed: false,
+            crash_site: None,
         }
     }
 
@@ -485,8 +580,31 @@ impl Wal {
         self.disk.contents()
     }
 
-    /// Append one record through the fault plan.
-    pub fn append(&mut self, rec: &WalRecord) {
+    /// The surviving snapshot-file image (empty until a checkpoint runs).
+    pub fn snapshot_image(&self) -> &[u8] {
+        self.snap.contents()
+    }
+
+    /// Statements whose commit marker was attempted so far — the
+    /// `stmt_idx` coverage a snapshot taken *now* would declare.
+    pub fn statements_logged(&self) -> u64 {
+        self.stmts_logged
+    }
+
+    /// Writer-side checkpoint ground truth: the `stmt_idx` of the newest
+    /// snapshot whose [`WalRecord::SnapshotEnd`] seal became durable
+    /// before the crash, or `None` when recovery must start from genesis.
+    pub fn durable_snapshot_stmts(&self) -> Option<u64> {
+        self.last_snapshot_stmts
+    }
+
+    /// Where the fault plan fired, if it did.
+    pub fn crash_site(&self) -> Option<CrashSite> {
+        self.crash_site
+    }
+
+    /// Append one framed record to `site`'s disk through the fault plan.
+    fn append_frame(&mut self, rec: &WalRecord, site: CrashSite) {
         if self.crashed {
             return;
         }
@@ -499,26 +617,73 @@ impl Wal {
         frame.extend_from_slice(&payload);
 
         if op < self.plan.crash_op {
-            self.disk.write(&frame);
-            if matches!(rec, WalRecord::Commit { .. }) {
-                self.committed += 1;
+            match site {
+                CrashSite::Log => self.disk.write(&frame),
+                CrashSite::Snapshot => self.snap.write(&frame),
+                CrashSite::Truncate => unreachable!("truncation writes no frame"),
+            }
+            match (site, rec) {
+                (CrashSite::Log, WalRecord::Commit { .. }) => self.committed += 1,
+                (CrashSite::Snapshot, WalRecord::SnapshotEnd { stmt_idx, .. }) => {
+                    self.last_snapshot_stmts = Some(*stmt_idx);
+                }
+                _ => {}
             }
             return;
         }
         // This append is the crash point: the simulated process dies
         // during the write. Nothing from this op counts as durable.
         self.crashed = true;
-        match self.plan.mode {
-            FaultMode::Lost => {}
+        self.crash_site = Some(site);
+        let written: Option<Vec<u8>> = match self.plan.mode {
+            FaultMode::Lost => None,
             FaultMode::Torn { keep_sel } => {
                 let keep = 1 + (keep_sel as usize) % (frame.len() - 1);
-                self.disk.write(&frame[..keep]);
+                Some(frame[..keep].to_vec())
             }
             FaultMode::Corrupt { byte_sel } => {
                 let i = FRAME_HEADER + (byte_sel as usize) % payload.len();
                 frame[i] ^= 0x40;
-                self.disk.write(&frame);
+                Some(frame)
             }
+        };
+        if let Some(bytes) = written {
+            match site {
+                CrashSite::Log => self.disk.write(&bytes),
+                CrashSite::Snapshot => self.snap.write(&bytes),
+                CrashSite::Truncate => unreachable!("truncation writes no frame"),
+            }
+        }
+    }
+
+    /// Append one record to the log through the fault plan.
+    pub fn append(&mut self, rec: &WalRecord) {
+        self.append_frame(rec, CrashSite::Log);
+    }
+
+    /// Append one record to the snapshot file through the fault plan.
+    /// Rides the same op counter as log appends, so seeded crash points
+    /// land inside snapshot writes.
+    pub fn append_snapshot(&mut self, rec: &WalRecord) {
+        self.append_frame(rec, CrashSite::Snapshot);
+    }
+
+    /// Discard the replayable log after a durable checkpoint marker. The
+    /// truncation is itself one fault-plan operation: a crash here means
+    /// the process died *before* truncating, so the whole log survives
+    /// (truncation is all-or-nothing for every fault mode — there is no
+    /// torn or corrupt variant of deleting a file's contents).
+    pub fn truncate_log(&mut self) {
+        if self.crashed {
+            return;
+        }
+        let op = self.ops;
+        self.ops += 1;
+        if op < self.plan.crash_op {
+            self.disk.clear();
+        } else {
+            self.crashed = true;
+            self.crash_site = Some(CrashSite::Truncate);
         }
     }
 
@@ -562,6 +727,12 @@ mod tests {
                 rows: vec![0, 5, 9],
             },
             WalRecord::Commit { stmt_idx: 42 },
+            WalRecord::CheckpointComplete { stmt_idx: 42 },
+            WalRecord::SnapshotBegin { stmt_idx: 42 },
+            WalRecord::SnapshotEnd {
+                stmt_idx: 42,
+                records: 17,
+            },
         ]
     }
 
@@ -624,8 +795,9 @@ mod tests {
             wal.append(&rec);
         }
         assert!(!wal.crashed());
-        assert_eq!(wal.ops(), 5);
+        assert_eq!(wal.ops(), 8);
         assert_eq!(wal.committed_statements(), 1);
+        assert_eq!(wal.crash_site(), None);
     }
 
     #[test]
@@ -681,6 +853,76 @@ mod tests {
             assert_eq!(wal.image().len(), FRAME_HEADER + payload_len);
             let stored = u32::from_le_bytes(wal.image()[4..8].try_into().unwrap());
             assert_ne!(checksum(&wal.image()[8..]), stored);
+        }
+    }
+
+    #[test]
+    fn snapshot_appends_share_the_op_counter() {
+        // Ops: log(0), snap begin(1), snap end(2), log(3). A crash_op of 2
+        // must land on the snapshot seal, leaving the log intact and the
+        // snapshot unsealed.
+        let mut wal = Wal::new(FaultPlan {
+            crash_op: 2,
+            mode: FaultMode::Lost,
+        });
+        wal.append(&WalRecord::Ddl { sql: "x".into() });
+        wal.append_snapshot(&WalRecord::SnapshotBegin { stmt_idx: 1 });
+        wal.append_snapshot(&WalRecord::SnapshotEnd {
+            stmt_idx: 1,
+            records: 0,
+        });
+        wal.append(&WalRecord::Commit { stmt_idx: 1 });
+        assert!(wal.crashed());
+        assert_eq!(wal.crash_site(), Some(CrashSite::Snapshot));
+        assert_eq!(wal.durable_snapshot_stmts(), None, "seal never landed");
+        assert!(!wal.snapshot_image().is_empty(), "begin frame is durable");
+        assert_eq!(wal.committed_statements(), 0);
+    }
+
+    #[test]
+    fn durable_snapshot_seal_records_ground_truth() {
+        let mut wal = Wal::new(FaultPlan::none());
+        wal.append_snapshot(&WalRecord::SnapshotBegin { stmt_idx: 3 });
+        wal.append_snapshot(&WalRecord::SnapshotEnd {
+            stmt_idx: 3,
+            records: 0,
+        });
+        assert_eq!(wal.durable_snapshot_stmts(), Some(3));
+        // A seal written to the *log* (hostile/mutant image) never counts.
+        wal.append(&WalRecord::SnapshotEnd {
+            stmt_idx: 9,
+            records: 0,
+        });
+        assert_eq!(wal.durable_snapshot_stmts(), Some(3));
+    }
+
+    #[test]
+    fn truncate_clears_log_and_counts_one_op() {
+        let mut wal = Wal::new(FaultPlan::none());
+        wal.append(&WalRecord::Ddl { sql: "x".into() });
+        wal.append(&WalRecord::Commit { stmt_idx: 0 });
+        assert!(!wal.image().is_empty());
+        wal.truncate_log();
+        assert!(wal.image().is_empty());
+        assert_eq!(wal.ops(), 3);
+        assert_eq!(wal.committed_statements(), 1, "ground truth survives");
+    }
+
+    #[test]
+    fn crash_at_truncation_leaves_log_intact_for_every_mode() {
+        for mode in [
+            FaultMode::Lost,
+            FaultMode::Torn { keep_sel: 5 },
+            FaultMode::Corrupt { byte_sel: 5 },
+        ] {
+            let mut wal = Wal::new(FaultPlan { crash_op: 2, mode });
+            wal.append(&WalRecord::Ddl { sql: "x".into() });
+            wal.append(&WalRecord::Commit { stmt_idx: 0 });
+            let before = wal.image().to_vec();
+            wal.truncate_log();
+            assert!(wal.crashed());
+            assert_eq!(wal.crash_site(), Some(CrashSite::Truncate));
+            assert_eq!(wal.image(), &before[..], "truncation must be lost");
         }
     }
 

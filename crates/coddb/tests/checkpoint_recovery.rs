@@ -1,0 +1,287 @@
+//! Checkpoint-path integration: snapshot+suffix recovery, fallback to the
+//! previous sealed snapshot, and the fuel-accounting contract of replay.
+//!
+//! The exhaustive grid lives in `wal_recovery.rs`; this suite pins the
+//! *qualitative* behaviors the grid only checks in aggregate — which base
+//! recovery chose, what the snapshot file looks like after a mid-run
+//! crash, and that recovery neither charges execution fuel nor behaves
+//! differently when the writer ran under a tight fuel limit.
+
+use coddb::bugs::BugRegistry;
+use coddb::recovery::{recover, recover_detailed, scan_snapshots};
+use coddb::wal::{FaultMode, FaultPlan, StorageMode};
+use coddb::{ast::Statement, Database, Dialect};
+
+fn parse(sql: &str) -> Vec<Statement> {
+    coddb::parser::parse_statements(sql).expect("script parses")
+}
+
+fn durable(dialect: Dialect) -> Database {
+    let mut db = Database::new(dialect);
+    db.set_storage_mode(StorageMode::Durable);
+    db
+}
+
+/// Execute `script` durably under `plan`, checkpointing after the
+/// statement indices in `checkpoints`.
+fn run_with(
+    script: &[Statement],
+    checkpoints: &[usize],
+    plan: FaultPlan,
+    dialect: Dialect,
+) -> Database {
+    let mut db = durable(dialect);
+    db.set_fault_plan(plan);
+    for (i, s) in script.iter().enumerate() {
+        let _ = db.execute(s);
+        if checkpoints.contains(&i) {
+            let _ = db.checkpoint();
+        }
+    }
+    db
+}
+
+#[test]
+fn pre_checkpoint_world_recovers_from_genesis() {
+    let mut db = durable(Dialect::Sqlite);
+    db.execute_sql("CREATE TABLE t (a INT); INSERT INTO t VALUES (1), (2)")
+        .unwrap();
+    let w = db.wal().unwrap();
+    assert!(w.snapshot_image().is_empty());
+    let (rec, info) = recover_detailed(
+        &w.image().to_vec(),
+        &w.snapshot_image().to_vec(),
+        Dialect::Sqlite,
+        &BugRegistry::none(),
+    )
+    .unwrap();
+    assert_eq!(info.snapshot_stmts, None, "no checkpoint yet: genesis");
+    assert_eq!(info.snapshots_scanned, 0);
+    assert_eq!(rec.dump_state(), db.dump_state());
+}
+
+#[test]
+fn crash_in_suffix_recovers_from_snapshot_plus_suffix() {
+    let script = parse(
+        "CREATE TABLE t (a INT);
+         INSERT INTO t VALUES (1), (2);
+         INSERT INTO t VALUES (3);
+         INSERT INTO t VALUES (4)",
+    );
+    // Checkpoint after stmt 1; count ops, then crash in the log suffix
+    // (the very last op: stmt 3's commit marker is lost).
+    let clean = run_with(&script, &[1], FaultPlan::none(), Dialect::Sqlite);
+    let total = clean.wal().unwrap().ops();
+    let crashed = run_with(
+        &script,
+        &[1],
+        FaultPlan {
+            crash_op: total - 1,
+            mode: FaultMode::Lost,
+        },
+        Dialect::Sqlite,
+    );
+    let w = crashed.wal().unwrap();
+    assert_eq!(w.durable_snapshot_stmts(), Some(2));
+    assert_eq!(w.committed_statements(), 3, "stmt 3's commit was the crash");
+    let (rec, info) = recover_detailed(
+        &w.image().to_vec(),
+        &w.snapshot_image().to_vec(),
+        Dialect::Sqlite,
+        &BugRegistry::none(),
+    )
+    .unwrap();
+    assert_eq!(info.snapshot_stmts, Some(2), "base is the snapshot");
+    let rows = &rec.catalog().table("t").unwrap().rows;
+    let vals: Vec<i64> = rows
+        .iter()
+        .map(|r| match r[0] {
+            coddb::Value::Int(i) => i,
+            ref v => panic!("unexpected {v:?}"),
+        })
+        .collect();
+    assert_eq!(vals, vec![1, 2, 3], "committed prefix, uncommitted 4 gone");
+}
+
+#[test]
+fn crash_between_marker_and_truncation_does_not_double_apply() {
+    let script = parse(
+        "CREATE TABLE t (a INT);
+         INSERT INTO t VALUES (1), (2)",
+    );
+    // The truncation is the checkpoint's last op. Crash exactly there:
+    // the marker and the whole pre-checkpoint log survive together, so
+    // replay must skip every commit the snapshot already covers.
+    let clean = run_with(&script, &[1], FaultPlan::none(), Dialect::Sqlite);
+    let total = clean.wal().unwrap().ops();
+    let crashed = run_with(
+        &script,
+        &[1],
+        FaultPlan {
+            crash_op: total - 1,
+            mode: FaultMode::Lost,
+        },
+        Dialect::Sqlite,
+    );
+    let w = crashed.wal().unwrap();
+    assert_eq!(
+        w.crash_site(),
+        Some(coddb::wal::CrashSite::Truncate),
+        "the crash must land on the truncation step"
+    );
+    assert!(!w.image().is_empty(), "truncation lost: log survives whole");
+    let (rec, info) = recover_detailed(
+        &w.image().to_vec(),
+        &w.snapshot_image().to_vec(),
+        Dialect::Sqlite,
+        &BugRegistry::none(),
+    )
+    .unwrap();
+    assert_eq!(info.snapshot_stmts, Some(2));
+    assert_eq!(
+        rec.catalog().table("t").unwrap().rows.len(),
+        2,
+        "overlapped commits must not double-apply"
+    );
+    assert_eq!(rec.dump_state(), clean.dump_state());
+}
+
+#[test]
+fn torn_second_snapshot_falls_back_to_the_first() {
+    let script = parse(
+        "CREATE TABLE t (a INT);
+         INSERT INTO t VALUES (1);
+         INSERT INTO t VALUES (2)",
+    );
+    // Find the second checkpoint's snapshot-write window by crashing at
+    // every op and looking for: first seal durable, second not.
+    let clean = run_with(&script, &[0, 2], FaultPlan::none(), Dialect::Sqlite);
+    let total = clean.wal().unwrap().ops();
+    let mut exercised = false;
+    for op in 0..total {
+        let crashed = run_with(
+            &script,
+            &[0, 2],
+            FaultPlan {
+                crash_op: op,
+                mode: FaultMode::Torn { keep_sel: op + 1 },
+            },
+            Dialect::Sqlite,
+        );
+        let w = crashed.wal().unwrap();
+        if w.durable_snapshot_stmts() != Some(1) {
+            continue;
+        }
+        exercised = true;
+        let snaps = scan_snapshots(w.snapshot_image(), &BugRegistry::none()).unwrap();
+        let (_, info) = recover_detailed(
+            &w.image().to_vec(),
+            &w.snapshot_image().to_vec(),
+            Dialect::Sqlite,
+            &BugRegistry::none(),
+        )
+        .unwrap();
+        assert_eq!(
+            info.snapshot_stmts,
+            Some(1),
+            "op {op}: must fall back to the first sealed snapshot \
+             ({} snapshots on file)",
+            snaps.len()
+        );
+    }
+    assert!(exercised, "no crash point left only the first seal durable");
+}
+
+#[test]
+fn recovery_charges_no_fuel() {
+    // Replay is physical for DML and re-executes only DDL (which consumes
+    // no fuel): a recovered engine reports zero fuel even when the writer
+    // burned plenty.
+    let mut db = durable(Dialect::Sqlite);
+    db.execute_sql(
+        "CREATE TABLE t (a INT);
+         INSERT INTO t VALUES (1), (2), (3), (4);
+         UPDATE t SET a = a + 1 WHERE a > 0;
+         DELETE FROM t WHERE a > 4",
+    )
+    .unwrap();
+    assert!(db.fuel_used() > 0, "writer burned fuel");
+    db.checkpoint().unwrap();
+    db.execute_sql("INSERT INTO t VALUES (9)").unwrap();
+    let w = db.wal().unwrap();
+    let rec = recover(
+        &w.image().to_vec(),
+        &w.snapshot_image().to_vec(),
+        Dialect::Sqlite,
+        &BugRegistry::none(),
+    )
+    .unwrap();
+    assert_eq!(rec.dump_state(), db.dump_state());
+    assert_eq!(rec.fuel_used(), 0, "replay must not charge execution fuel");
+}
+
+#[test]
+fn checkpoint_consumes_no_fuel_and_preserves_state() {
+    let mut db = durable(Dialect::Sqlite);
+    db.execute_sql("CREATE TABLE t (a INT); INSERT INTO t VALUES (1), (2)")
+        .unwrap();
+    let fuel_before = db.fuel_used();
+    let state_before = db.dump_state();
+    db.checkpoint().unwrap();
+    assert_eq!(db.fuel_used(), fuel_before, "checkpoint is fuel-free");
+    assert_eq!(db.dump_state(), state_before, "checkpoint is state-free");
+}
+
+#[test]
+fn tight_fuel_limits_recover_identically() {
+    // A writer under a tight fuel limit errors some statements (logging
+    // nothing for them); recovery must reconstruct exactly the surviving
+    // committed prefix — the same state an in-memory engine under the
+    // same limit holds — and must not trip any limit itself.
+    let script = parse(
+        "CREATE TABLE t (a INT);
+         INSERT INTO t VALUES (1), (2), (3), (4), (5), (6);
+         UPDATE t SET a = a * 2 WHERE a > 1;
+         INSERT INTO t VALUES (7);
+         DELETE FROM t WHERE a > 100",
+    );
+    for limit in [1u64, 3, 6, 20, 1000] {
+        for checkpoints in [&[][..], &[1][..]] {
+            let mut w = durable(Dialect::Sqlite);
+            w.set_fuel_limit(limit);
+            let mut failures = 0;
+            for (i, s) in script.iter().enumerate() {
+                if w.execute(s).is_err() {
+                    failures += 1;
+                }
+                if checkpoints.contains(&i) {
+                    w.checkpoint().unwrap();
+                }
+            }
+            // Reference: the same limit, in-memory only.
+            let mut r = Database::new(Dialect::Sqlite);
+            r.set_fuel_limit(limit);
+            let mut ref_failures = 0;
+            for s in &script {
+                if r.execute(s).is_err() {
+                    ref_failures += 1;
+                }
+            }
+            assert_eq!(failures, ref_failures, "limit {limit}: fuel trips differ");
+            let wal = w.wal().unwrap();
+            let rec = recover(
+                &wal.image().to_vec(),
+                &wal.snapshot_image().to_vec(),
+                Dialect::Sqlite,
+                &BugRegistry::none(),
+            )
+            .unwrap();
+            assert_eq!(
+                rec.dump_state(),
+                r.dump_state(),
+                "limit {limit}, checkpoints {checkpoints:?}: recovered state diverges"
+            );
+            assert_eq!(rec.fuel_used(), 0, "limit {limit}: replay charged fuel");
+        }
+    }
+}

@@ -1,16 +1,23 @@
 //! Durable-storage integration: the exhaustive crash-point grid.
 //!
 //! For every operation index the `FaultPlan` can name over a
-//! DML-interleaved script — and every fault mode at that index — the
-//! recovered database must be byte-identical to a never-crashed engine
-//! that executed only the committed prefix. The grid runs under all five
-//! dialect profiles, and every recovery-path mutant must produce at least
-//! one divergence somewhere in the same grid.
+//! DML-interleaved script — and every fault mode at that index, under
+//! every checkpoint schedule — the recovered database must be
+//! byte-identical to a never-crashed engine that executed only the
+//! committed prefix, recovering from the newest durable snapshot (not
+//! genesis) whenever one survives. The grid runs under all five dialect
+//! profiles, and every recovery-path mutant must produce at least one
+//! divergence somewhere in the same grid.
 
 use coddb::bugs::BugRegistry;
-use coddb::recovery::recovery_divergence;
+use coddb::recovery::{recover_detailed, recovery_divergence, recovery_divergence_checkpointed};
 use coddb::wal::{FaultMode, FaultPlan, StorageMode};
 use coddb::{ast::Statement, Database, Dialect, RecoveryBugId};
+
+/// Checkpoint schedules the grid sweeps: one mid-script checkpoint, and
+/// two checkpoints bracketing most of the DML. (The empty schedule is the
+/// original genesis grid, kept as its own test.)
+const SCHEDULES: [&[usize]; 2] = [&[3], &[0, 6]];
 
 /// Dialect-neutral script interleaving DDL with multi-row DML, including
 /// a zero-row DELETE (commit marker with no effect record) and a DROP.
@@ -41,15 +48,42 @@ fn script() -> Vec<Statement> {
     coddb::parser::parse_statements(SCRIPT).expect("corpus script parses")
 }
 
-/// Count the WAL operations the script produces under a dialect, by
-/// executing it durably with no faults.
-fn total_ops(stmts: &[Statement], dialect: Dialect) -> u64 {
+/// Count the WAL operations the script produces under a dialect and
+/// checkpoint schedule, by executing it durably with no faults.
+fn total_ops_with(stmts: &[Statement], dialect: Dialect, checkpoints: &[usize]) -> u64 {
     let mut db = Database::new(dialect);
     db.set_storage_mode(StorageMode::Durable);
-    for s in stmts {
+    for (i, s) in stmts.iter().enumerate() {
         db.execute(s).expect("corpus script executes cleanly");
+        if checkpoints.contains(&i) {
+            db.checkpoint().expect("corpus checkpoint succeeds");
+        }
     }
     db.wal().expect("durable").ops()
+}
+
+fn total_ops(stmts: &[Statement], dialect: Dialect) -> u64 {
+    total_ops_with(stmts, dialect, &[])
+}
+
+/// Execute the script durably under `plan`, checkpointing per schedule;
+/// returns the crashed database (the surviving images and ground truth).
+fn faulted_run(
+    stmts: &[Statement],
+    dialect: Dialect,
+    checkpoints: &[usize],
+    plan: FaultPlan,
+) -> Database {
+    let mut db = Database::new(dialect);
+    db.set_storage_mode(StorageMode::Durable);
+    db.set_fault_plan(plan);
+    for (i, s) in stmts.iter().enumerate() {
+        let _ = db.execute(s);
+        if checkpoints.contains(&i) {
+            let _ = db.checkpoint();
+        }
+    }
+    db
 }
 
 /// Every fault mode at a given op, with deterministic but varied
@@ -88,23 +122,152 @@ fn exhaustive_fault_grid_recovers_exactly_the_committed_prefix() {
 }
 
 #[test]
-fn every_recovery_mutant_diverges_somewhere_in_the_grid() {
+fn exhaustive_checkpointed_grid_recovers_exactly_the_committed_prefix() {
+    // The checkpointed half of the grid: every crash point — including
+    // ops inside snapshot writes and the truncation steps — × every fault
+    // mode × every dialect × every schedule. The divergence helper also
+    // enforces the snapshot contract per cell: recovery must base itself
+    // on exactly the newest durable snapshot (never genesis when one
+    // survives, never a torn or stale one).
+    let stmts = script();
+    for dialect in DIALECTS {
+        for checkpoints in SCHEDULES {
+            let total = total_ops_with(&stmts, dialect, checkpoints);
+            assert!(
+                total > total_ops(&stmts, dialect),
+                "{dialect}: checkpoints added no ops"
+            );
+            for op in 0..=total {
+                for mode in modes_at(op) {
+                    let plan = FaultPlan { crash_op: op, mode };
+                    let diverged = recovery_divergence_checkpointed(
+                        &stmts,
+                        checkpoints,
+                        &plan,
+                        dialect,
+                        &BugRegistry::none(),
+                    );
+                    assert_eq!(
+                        diverged,
+                        None,
+                        "{dialect}: checkpointed recovery diverged under {} \
+                         (checkpoints {checkpoints:?})",
+                        plan.describe()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn grid_recovers_from_snapshot_exactly_when_one_is_durable() {
+    // Writer-side ground truth, checked end to end: for every crash cell,
+    // recovery's chosen base equals the newest snapshot whose seal landed
+    // before the crash — and both the snapshot path and the genesis
+    // fallback actually occur somewhere in the grid.
     let stmts = script();
     let dialect = Dialect::Sqlite;
-    let total = total_ops(&stmts, dialect);
+    let checkpoints: &[usize] = &[3];
+    let total = total_ops_with(&stmts, dialect, checkpoints);
+    let mut from_snapshot = 0u32;
+    let mut from_genesis = 0u32;
+    for op in 0..=total {
+        for mode in modes_at(op) {
+            let plan = if op == total {
+                FaultPlan::none()
+            } else {
+                FaultPlan { crash_op: op, mode }
+            };
+            let db = faulted_run(&stmts, dialect, checkpoints, plan);
+            let wal = db.wal().unwrap();
+            let truth = wal.durable_snapshot_stmts();
+            let (_, info) = recover_detailed(
+                &wal.image().to_vec(),
+                &wal.snapshot_image().to_vec(),
+                dialect,
+                &BugRegistry::none(),
+            )
+            .unwrap();
+            assert_eq!(
+                info.snapshot_stmts, truth,
+                "op {op}: base {:?} != durable snapshot {:?}",
+                info.snapshot_stmts, truth
+            );
+            match truth {
+                Some(_) => from_snapshot += 1,
+                None => from_genesis += 1,
+            }
+        }
+    }
+    assert!(from_snapshot > 0, "no cell recovered from a snapshot");
+    assert!(from_genesis > 0, "no cell exercised the genesis fallback");
+}
+
+#[test]
+fn every_recovery_mutant_diverges_somewhere_in_the_grid() {
+    // All ten mutants — the five log-replay ones and the five
+    // checkpoint-path ones — across the genesis schedule and both
+    // checkpointed schedules. Each must diverge in at least one cell.
+    let stmts = script();
+    let dialect = Dialect::Sqlite;
+    let schedules: [&[usize]; 3] = [&[], SCHEDULES[0], SCHEDULES[1]];
     for bug in RecoveryBugId::ALL {
         let bugs = BugRegistry::only_recovery(bug);
         let mut hit = false;
-        'grid: for op in 0..=total {
-            for mode in modes_at(op) {
-                let plan = FaultPlan { crash_op: op, mode };
-                if recovery_divergence(&stmts, &plan, dialect, &bugs).is_some() {
-                    hit = true;
-                    break 'grid;
+        'grid: for checkpoints in schedules {
+            let total = total_ops_with(&stmts, dialect, checkpoints);
+            for op in 0..=total {
+                for mode in modes_at(op) {
+                    let plan = if op == total {
+                        FaultPlan::none()
+                    } else {
+                        FaultPlan { crash_op: op, mode }
+                    };
+                    if recovery_divergence_checkpointed(
+                        &stmts,
+                        checkpoints,
+                        &plan,
+                        dialect,
+                        &bugs,
+                    )
+                    .is_some()
+                    {
+                        hit = true;
+                        break 'grid;
+                    }
                 }
             }
         }
         assert!(hit, "{} never diverged across the grid", bug.name());
+    }
+}
+
+#[test]
+fn engine_mutants_cancel_out_of_the_checkpointed_differential() {
+    // An injected engine mutant corrupts the faulted and reference runs
+    // identically — snapshots serialize the post-mutant in-memory state
+    // exactly like WAL records do — so the checkpointed differential
+    // stays quiet on a sample of the grid.
+    let stmts = script();
+    let bugs = BugRegistry::only(coddb::BugId::SqliteLikeCaseFold);
+    let dialect = Dialect::Sqlite;
+    for checkpoints in SCHEDULES {
+        let total = total_ops_with(&stmts, dialect, checkpoints);
+        for op in (0..=total).step_by(5) {
+            for mode in modes_at(op) {
+                let plan = if op == total {
+                    FaultPlan::none()
+                } else {
+                    FaultPlan { crash_op: op, mode }
+                };
+                assert_eq!(
+                    recovery_divergence_checkpointed(&stmts, checkpoints, &plan, dialect, &bugs),
+                    None,
+                    "engine mutant leaked into the checkpointed differential at op {op}"
+                );
+            }
+        }
     }
 }
 
@@ -151,8 +314,8 @@ fn seeded_fault_plans_reproduce_their_scenario_exactly() {
         let (img_b, com_b) = run(b);
         assert_eq!(img_a, img_b, "seed {seed}: images differ");
         assert_eq!(com_a, com_b, "seed {seed}: commit counts differ");
-        let rec_a = coddb::recovery::recover(&img_a, dialect, &BugRegistry::none()).unwrap();
-        let rec_b = coddb::recovery::recover(&img_b, dialect, &BugRegistry::none()).unwrap();
+        let rec_a = coddb::recovery::recover(&img_a, &[], dialect, &BugRegistry::none()).unwrap();
+        let rec_b = coddb::recovery::recover(&img_b, &[], dialect, &BugRegistry::none()).unwrap();
         assert_eq!(rec_a.dump_state(), rec_b.dump_state());
     }
 }

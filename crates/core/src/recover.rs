@@ -1,11 +1,16 @@
 //! The crash-recovery differential oracle.
 //!
 //! Each test is a self-contained crash scenario: generate a schema-plus-
-//! data script with a DML tail, count the WAL operations it produces, draw
-//! a deterministic [`FaultPlan`] over that range, and check — via
-//! [`coddb::recovery::recovery_divergence`] — that recovering the
-//! surviving log image reconstructs *exactly* the committed prefix a
-//! never-crashed engine would hold.
+//! data script with a DML tail, draw a deterministic checkpoint schedule
+//! (0–2 [`Database::checkpoint`] calls at seeded statement positions),
+//! count the WAL operations the checkpointed run produces, draw a
+//! deterministic [`FaultPlan`] over that range — so seeded crashes land
+//! inside snapshot writes and the truncation step, not just DML traffic —
+//! and check, via
+//! [`coddb::recovery::recovery_divergence_checkpointed`], that recovering
+//! the surviving snapshot + log-suffix images reconstructs *exactly* the
+//! committed prefix a never-crashed engine would hold, from exactly the
+//! newest durable snapshot.
 //!
 //! The session's [`coddb::BugRegistry`] rides along into both sides of
 //! the differential: injected *engine* mutants corrupt the faulted run
@@ -21,7 +26,7 @@
 //! and every finding records both seeds.
 
 use coddb::ast::{Expr, InsertSource, Statement};
-use coddb::recovery::recovery_divergence;
+use coddb::recovery::recovery_divergence_checkpointed;
 use coddb::wal::{FaultPlan, StorageMode};
 use coddb::Database;
 use rand::rngs::StdRng;
@@ -113,6 +118,7 @@ impl Oracle for Recover {
     ) -> TestOutcome {
         let script_seed = rng.next_u64();
         let fault_seed = rng.next_u64();
+        let ckpt_seed = rng.next_u64();
         let dialect = session.dialect();
         let bugs = session.db.bugs().clone();
 
@@ -120,12 +126,32 @@ impl Oracle for Recover {
         let (mut script, script_schema) = generate_state(&mut srng, dialect, &script_gen_config());
         push_dml_tail(&mut script, &script_schema, &mut srng);
 
-        // Count the crash points this script exposes: a durable dry run
-        // under the same mutants, no faults.
+        // Draw the checkpoint schedule: most scenarios checkpoint once or
+        // twice mid-script so crashes land in snapshot writes and the
+        // truncation step too; some stay checkpoint-free so the pure
+        // genesis path keeps its coverage.
+        let mut crng = StdRng::seed_from_u64(ckpt_seed);
+        let n_ckpts = match crng.random_range(0..4u32) {
+            0 => 0,
+            1 => 1,
+            _ => 2,
+        };
+        let mut checkpoints: Vec<usize> = (0..n_ckpts)
+            .map(|_| crng.random_range(0..script.len()))
+            .collect();
+        checkpoints.sort_unstable();
+        checkpoints.dedup();
+
+        // Count the crash points this scenario exposes: a durable dry run
+        // under the same mutants and the same checkpoint schedule, no
+        // faults — snapshot frames and truncations count as ops too.
         let mut probe = Database::with_bugs(dialect, bugs.clone());
         probe.set_storage_mode(StorageMode::Durable);
-        for s in &script {
+        for (i, s) in script.iter().enumerate() {
             let _ = probe.execute(s);
+            if checkpoints.contains(&i) {
+                let _ = probe.checkpoint();
+            }
         }
         let total_ops = probe.wal().expect("durable").ops();
         if total_ops == 0 {
@@ -133,7 +159,7 @@ impl Oracle for Recover {
         }
 
         let plan = FaultPlan::seeded(fault_seed, total_ops);
-        match recovery_divergence(&script, &plan, dialect, &bugs) {
+        match recovery_divergence_checkpointed(&script, &checkpoints, &plan, dialect, &bugs) {
             None => TestOutcome::Pass,
             Some(detail) => {
                 // A recovery *error* is always a bug here — unlike query
@@ -151,7 +177,8 @@ impl Oracle for Recover {
                     kind,
                     queries: script.iter().map(|s| ("script".into(), s.to_string())).collect(),
                     detail: format!(
-                        "{detail}\nrepro: script_seed={script_seed:#x} fault_seed={fault_seed:#x} {}",
+                        "{detail}\nrepro: script_seed={script_seed:#x} fault_seed={fault_seed:#x} \
+                         ckpt_seed={ckpt_seed:#x} {} checkpoints={checkpoints:?}",
                         plan.describe()
                     ),
                 })
@@ -240,5 +267,39 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let hit = (0..60).any(|_| oracle.run_one(&mut session, &schema, &mut rng).is_bug());
         assert!(hit, "reorder mutant never surfaced in 60 scenarios");
+    }
+
+    #[test]
+    fn checkpoint_mutant_is_caught() {
+        // A checkpoint-path mutant needs scenarios whose seeded schedule
+        // actually checkpoints (and, for this one, twice) — the oracle's
+        // cadence must provide them within an ordinary campaign slice.
+        let bugs = BugRegistry::only_recovery(coddb::RecoveryBugId::StaleSnapshotPreferred);
+        let mut db = Database::with_bugs(Dialect::Sqlite, bugs);
+        let mut session = Session::new(&mut db);
+        let schema = SchemaInfo::default();
+        let mut oracle = Recover;
+        let mut rng = StdRng::seed_from_u64(7);
+        let hit = (0..120).any(|_| oracle.run_one(&mut session, &schema, &mut rng).is_bug());
+        assert!(hit, "stale-snapshot mutant never surfaced in 120 scenarios");
+    }
+
+    #[test]
+    fn finding_detail_names_the_fault_plan_and_schedule() {
+        let bugs = BugRegistry::only_recovery(coddb::RecoveryBugId::ReplayUncommitted);
+        let mut db = Database::with_bugs(Dialect::Sqlite, bugs);
+        let mut session = Session::new(&mut db);
+        let schema = SchemaInfo::default();
+        let mut oracle = Recover;
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..120 {
+            if let TestOutcome::Bug(r) = oracle.run_one(&mut session, &schema, &mut rng) {
+                assert!(r.detail.contains("crash at op"), "describe() missing: {}", r.detail);
+                assert!(r.detail.contains("ckpt_seed="), "ckpt seed missing: {}", r.detail);
+                assert!(r.detail.contains("checkpoints="), "schedule missing: {}", r.detail);
+                return;
+            }
+        }
+        panic!("replay-uncommitted mutant never surfaced in 120 scenarios");
     }
 }

@@ -11,14 +11,15 @@
 //!    query's predicate with simpler nodes while the discrepancy persists.
 //!
 //! Crash-recovery findings reduce through the same discipline
-//! ([`reduce_recovery`]): drop script statements and simplify the
-//! [`FaultPlan`] while the case still *recovers incorrectly* — the
-//! recovered state diverges from the committed prefix — under the given
-//! mutants and recovers correctly on a clean engine.
+//! ([`reduce_recovery`]): drop script statements, drop checkpoint
+//! positions, and simplify the [`FaultPlan`] while the case still
+//! *recovers incorrectly* — the recovered state diverges from the
+//! committed prefix — under the given mutants and recovers correctly on a
+//! clean engine.
 
 use coddb::ast::{Expr, Select, Statement};
 use coddb::bugs::BugRegistry;
-use coddb::recovery::recovery_divergence;
+use coddb::recovery::recovery_divergence_checkpointed;
 use coddb::value::Value;
 use coddb::wal::{FaultMode, FaultPlan};
 use coddb::{Database, Dialect};
@@ -114,24 +115,29 @@ pub fn reduce(case: &ReducibleCase, dialect: Dialect, bugs: &BugRegistry) -> Red
     current
 }
 
-/// A reducible crash-recovery case: the executed script and the fault
-/// plan that crashed it.
+/// A reducible crash-recovery case: the executed script, the checkpoint
+/// schedule (statement indices after which the run checkpointed), and the
+/// fault plan that crashed it.
 #[derive(Debug, Clone)]
 pub struct RecoveryCase {
     pub script: Vec<Statement>,
+    /// 0-based statement indices after which [`coddb::Database::checkpoint`]
+    /// ran; empty for a genesis-replay case.
+    pub checkpoints: Vec<usize>,
     pub plan: FaultPlan,
 }
 
 impl RecoveryCase {
-    /// Total size proxy: statement count plus a small penalty for a crash
-    /// plan more complex than a clean lost write.
+    /// Total size proxy: statement count, then checkpoint count, then a
+    /// small penalty for a crash plan more complex than a clean lost
+    /// write.
     pub fn size(&self) -> usize {
         let mode_cost = match self.plan.mode {
             _ if !self.plan.crashes() => 0,
             FaultMode::Lost => 1,
             FaultMode::Torn { .. } | FaultMode::Corrupt { .. } => 2,
         };
-        self.script.len() * 100 + mode_cost
+        self.script.len() * 100 + self.checkpoints.len() * 10 + mode_cost
     }
 }
 
@@ -143,8 +149,16 @@ impl RecoveryCase {
 /// 2. on a clean engine the same scenario recovers exactly (otherwise the
 ///    shrink produced a script that fails for an unrelated reason).
 pub fn recovery_still_failing(case: &RecoveryCase, dialect: Dialect, bugs: &BugRegistry) -> bool {
-    recovery_divergence(&case.script, &case.plan, dialect, bugs).is_some()
-        && recovery_divergence(&case.script, &case.plan, dialect, &BugRegistry::none()).is_none()
+    recovery_divergence_checkpointed(&case.script, &case.checkpoints, &case.plan, dialect, bugs)
+        .is_some()
+        && recovery_divergence_checkpointed(
+            &case.script,
+            &case.checkpoints,
+            &case.plan,
+            dialect,
+            &BugRegistry::none(),
+        )
+        .is_none()
 }
 
 /// Fault plans simpler than `plan`, most-simple first: no crash at all,
@@ -189,18 +203,26 @@ pub fn reduce_recovery(case: &RecoveryCase, dialect: Dialect, bugs: &BugRegistry
     let mut current = case.clone();
     // Statement removal shifts every later operation index, which can move
     // the crash out from under the divergence — and a simpler plan can
-    // make more statements droppable. So the two phases alternate to a
-    // joint fixpoint rather than running once each.
+    // make more statements droppable (likewise for checkpoint positions).
+    // So the phases alternate to a joint fixpoint rather than running once
+    // each.
     loop {
         let mut changed = false;
 
-        // Phase 1: drop script statements (greedy, to fixpoint).
+        // Phase 1: drop script statements (greedy, to fixpoint). Dropping
+        // statement `i` shifts the checkpoint schedule with it: positions
+        // before `i` are untouched, later ones slide down one.
         loop {
             let mut progressed = false;
             let mut i = 0;
             while i < current.script.len() {
                 let mut candidate = current.clone();
                 candidate.script.remove(i);
+                candidate.checkpoints = remap_checkpoints(
+                    &current.checkpoints,
+                    i,
+                    candidate.script.len(),
+                );
                 if recovery_still_failing(&candidate, dialect, bugs) {
                     current = candidate;
                     progressed = true;
@@ -214,11 +236,34 @@ pub fn reduce_recovery(case: &RecoveryCase, dialect: Dialect, bugs: &BugRegistry
             changed = true;
         }
 
-        // Phase 2: simplify the fault plan (first — i.e. simplest —
+        // Phase 2: drop checkpoint positions (greedy, to fixpoint) — a
+        // finding that only needs one of its checkpoints (or none) should
+        // report the simpler schedule.
+        loop {
+            let mut progressed = false;
+            let mut i = 0;
+            while i < current.checkpoints.len() {
+                let mut candidate = current.clone();
+                candidate.checkpoints.remove(i);
+                if recovery_still_failing(&candidate, dialect, bugs) {
+                    current = candidate;
+                    progressed = true;
+                } else {
+                    i += 1;
+                }
+            }
+            if !progressed {
+                break;
+            }
+            changed = true;
+        }
+
+        // Phase 3: simplify the fault plan (first — i.e. simplest —
         // candidate that still fails wins).
         for plan in simpler_plans(&current.plan) {
             let candidate = RecoveryCase {
                 script: current.script.clone(),
+                checkpoints: current.checkpoints.clone(),
                 plan,
             };
             if recovery_still_failing(&candidate, dialect, bugs) {
@@ -234,6 +279,31 @@ pub fn reduce_recovery(case: &RecoveryCase, dialect: Dialect, bugs: &BugRegistry
     }
     debug_assert!(recovery_still_failing(&current, dialect, bugs));
     current
+}
+
+/// Shift a checkpoint schedule across the removal of statement `removed`:
+/// positions before it stay, later ones slide down one, and anything
+/// falling off the script is dropped. A checkpoint *at* the removed
+/// statement moves to the previous statement (or is dropped at the
+/// script's head) — it keeps checkpointing "here-ish" rather than
+/// silently rebinding to the next statement's effects.
+fn remap_checkpoints(checkpoints: &[usize], removed: usize, new_len: usize) -> Vec<usize> {
+    let mut out: Vec<usize> = checkpoints
+        .iter()
+        .filter_map(|&c| {
+            if c < removed {
+                Some(c)
+            } else if c == 0 {
+                None
+            } else {
+                Some(c - 1)
+            }
+        })
+        .filter(|&c| c < new_len)
+        .collect();
+    out.sort_unstable();
+    out.dedup();
+    out
 }
 
 /// Candidate replacements for a node: its children (hoisting) and simple
@@ -372,6 +442,7 @@ mod tests {
                  INSERT INTO t VALUES (2)",
             )
             .unwrap(),
+            checkpoints: vec![],
             // Op 5 is the final INSERT's commit marker: it lands corrupted,
             // so the INSERT's effect record survives uncommitted.
             plan: FaultPlan {
@@ -417,6 +488,7 @@ mod tests {
                  INSERT INTO unrelated VALUES (9)",
             )
             .unwrap(),
+            checkpoints: vec![],
             plan: FaultPlan::none(),
         };
         assert!(recovery_still_failing(&case, Dialect::Sqlite, &bugs));
@@ -440,9 +512,56 @@ mod tests {
     fn reducing_a_passing_recovery_case_panics() {
         let case = RecoveryCase {
             script: parse_statements("CREATE TABLE t (a INT)").unwrap(),
+            checkpoints: vec![],
             plan: FaultPlan::none(),
         };
         reduce_recovery(&case, Dialect::Sqlite, &BugRegistry::none());
+    }
+
+    /// A checkpoint-path mutant case reduces along the checkpoint axis
+    /// too: the stale-snapshot mutant needs two checkpoints to diverge, so
+    /// the reducer must keep both while still shrinking the script.
+    #[test]
+    fn recovery_reduction_shrinks_the_checkpoint_axis() {
+        let bugs = BugRegistry::only_recovery(coddb::RecoveryBugId::StaleSnapshotPreferred);
+        let case = RecoveryCase {
+            script: parse_statements(
+                "CREATE TABLE t (a INT);
+                 INSERT INTO t VALUES (1);
+                 CREATE TABLE unrelated (x INT);
+                 INSERT INTO t VALUES (2);
+                 INSERT INTO t VALUES (3)",
+            )
+            .unwrap(),
+            checkpoints: vec![0, 1, 3],
+            plan: FaultPlan::none(),
+        };
+        assert!(recovery_still_failing(&case, Dialect::Sqlite, &bugs));
+        let reduced = reduce_recovery(&case, Dialect::Sqlite, &bugs);
+        assert!(recovery_still_failing(&reduced, Dialect::Sqlite, &bugs));
+        assert!(reduced.size() < case.size());
+        assert!(
+            reduced.script.len() < case.script.len(),
+            "script should shrink: {:?}",
+            reduced.script.iter().map(|s| s.to_string()).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            reduced.checkpoints.len(),
+            2,
+            "the stale-snapshot mutant needs exactly two checkpoints: {:?}",
+            reduced.checkpoints
+        );
+        // The drop-one-checkpoint candidates must have been tried and
+        // rejected — one checkpoint alone cannot make the mutant pick a
+        // stale base.
+        for i in 0..reduced.checkpoints.len() {
+            let mut weaker = reduced.clone();
+            weaker.checkpoints.remove(i);
+            assert!(
+                !recovery_still_failing(&weaker, Dialect::Sqlite, &bugs),
+                "reduction left a droppable checkpoint at {i}"
+            );
+        }
     }
 
     #[test]

@@ -1143,6 +1143,34 @@ mod tests {
     }
 
     #[test]
+    fn checkpoint_mutant_findings_attribute_through_the_same_machinery() {
+        // The checkpoint-path mutants ride the same RecoveryBugId plumbing
+        // as the log-replay ones: findings re-run under each enabled
+        // recovery mutant alone and land in `attributed_recovery`.
+        let bug = RecoveryBugId::ReplayFromWrongOffset;
+        let cfg = CampaignConfig {
+            bugs: BugRegistry::only_recovery(bug),
+            tests: 400,
+            stop_on_first_bug: true,
+            ..CampaignConfig::new(Dialect::Sqlite)
+        };
+        let mut oracle = make_oracle("recover").unwrap();
+        let mut result = run_campaign(oracle.as_mut(), &cfg);
+        assert!(
+            !result.findings.is_empty(),
+            "recover never caught the checkpoint mutant"
+        );
+        attribute_bugs_parallel(&mut result, &cfg, "recover", 2);
+        assert!(
+            result
+                .findings
+                .iter()
+                .any(|f| f.attributed_recovery.contains(&bug)),
+            "no finding attributed to {bug:?}"
+        );
+    }
+
+    #[test]
     fn parallel_attribution_matches_sequential() {
         let cfg = CampaignConfig {
             bugs: BugRegistry::all_for_dialect(Dialect::Tidb),

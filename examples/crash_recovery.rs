@@ -1,35 +1,107 @@
-//! Crash-recovery differential testing: find a recovery bug end to end.
+//! Crash-recovery differential testing over checkpointed storage: find a
+//! checkpoint-path recovery bug end to end.
 //!
-//! This walks the durable-storage pipeline: an engine whose recovery path
-//! carries an injected mutant, a `recover`-oracle campaign that crashes
-//! the WAL at seeded operation points and diffs recovery against the
-//! committed prefix, attribution back to the recovery mutant, and
-//! reduction of the crash scenario along both axes (script and fault
-//! plan).
+//! This walks the full durable-storage pipeline: a checkpoint taken
+//! mid-script (snapshot serialized to its own disk, marker logged, log
+//! truncated), a crash injected in the log suffix past the checkpoint,
+//! recovery from snapshot + suffix — then an engine whose recovery path
+//! carries an injected checkpoint mutant, a `recover`-oracle campaign
+//! whose seeded crash points land inside snapshot writes and truncations
+//! too, attribution back to the recovery mutant, and reduction of the
+//! crash scenario along all three axes (script, checkpoint schedule,
+//! fault plan).
 //!
 //! Run with: `cargo run --example crash_recovery`
 
 use coddb::bugs::BugRegistry;
-use coddb::recovery::recovery_divergence;
-use coddb::wal::{FaultMode, FaultPlan};
-use coddb::{Dialect, RecoveryBugId};
+use coddb::recovery::{recover_detailed, recovery_divergence_checkpointed};
+use coddb::wal::{FaultMode, FaultPlan, StorageMode};
+use coddb::{Database, Dialect, RecoveryBugId};
 use coddtest::reduce::{recovery_still_failing, reduce_recovery, RecoveryCase};
 use coddtest::runner::{attribute_bugs, run_campaign, CampaignConfig};
 
 fn main() {
-    // 1. Inject a recovery-path mutant: replay applies effects whose
-    //    commit marker never made it to the log.
-    let bug = RecoveryBugId::ReplayUncommitted;
+    // 1. The happy path: execute durably, checkpoint mid-script, crash in
+    //    the suffix, and recover from snapshot + log suffix — not genesis.
+    let script = coddb::parser::parse_statements(
+        "CREATE TABLE accounts (id INT, balance INT);
+         INSERT INTO accounts VALUES (1, 100), (2, 250), (3, 40);
+         UPDATE accounts SET balance = balance + 10 WHERE id = 3;
+         INSERT INTO accounts VALUES (4, 75);
+         DELETE FROM accounts WHERE balance < 60",
+    )
+    .unwrap();
+    let checkpoints = [2usize]; // checkpoint after the UPDATE
+
+    // Dry run to learn how many disk operations the checkpointed run
+    // makes, then crash on the very last one (stmt 4's commit marker).
+    let mut dry = Database::new(Dialect::Sqlite);
+    dry.set_storage_mode(StorageMode::Durable);
+    for (i, s) in script.iter().enumerate() {
+        dry.execute(s).unwrap();
+        if checkpoints.contains(&i) {
+            dry.checkpoint().unwrap();
+        }
+    }
+    let total_ops = dry.wal().unwrap().ops();
+
+    let mut db = Database::new(Dialect::Sqlite);
+    db.set_storage_mode(StorageMode::Durable);
+    db.set_fault_plan(FaultPlan {
+        crash_op: total_ops - 1,
+        mode: FaultMode::Lost,
+    });
+    for (i, s) in script.iter().enumerate() {
+        let _ = db.execute(s);
+        if checkpoints.contains(&i) {
+            let _ = db.checkpoint();
+        }
+    }
+    let wal = db.wal().unwrap();
+    println!(
+        "crashed at op {}/{}: log {} bytes, snapshot {} bytes, durable snapshot at stmt {:?}",
+        total_ops - 1,
+        total_ops,
+        wal.image().len(),
+        wal.snapshot_image().len(),
+        wal.durable_snapshot_stmts()
+    );
+    let (recovered, info) = recover_detailed(
+        &wal.image().to_vec(),
+        &wal.snapshot_image().to_vec(),
+        Dialect::Sqlite,
+        &BugRegistry::none(),
+    )
+    .unwrap();
+    println!(
+        "recovered from snapshot at stmt {:?} + {} suffix record(s) ({} snapshot(s) scanned):",
+        info.snapshot_stmts, info.log_records, info.snapshots_scanned
+    );
+    let mut recovered = recovered;
+    let rel = recovered
+        .query_sql("SELECT id, balance FROM accounts")
+        .unwrap();
+    for row in &rel.rows {
+        println!("  account {} balance {}", row[0], row[1]);
+    }
+    assert!(info.snapshot_stmts.is_some(), "must not fall back to genesis");
+    println!();
+
+    // 2. Inject a checkpoint-path mutant: recovery prefers the *oldest*
+    //    sealed snapshot, silently rolling the database back in time.
+    let bug = RecoveryBugId::StaleSnapshotPreferred;
     println!(
         "injected recovery bug: {} — {}\n",
         bug.name(),
         bug.description()
     );
 
-    // 2. Campaign: each test generates a schema + DML script, executes it
-    //    durably, crashes the log at a seeded operation (lost / torn /
-    //    corrupt tail), recovers, and compares against a never-crashed
-    //    engine that executed exactly the committed prefix.
+    // 3. Campaign: each test generates a schema + DML script, draws a
+    //    seeded checkpoint schedule, executes it durably, crashes the
+    //    storage at a seeded operation (which may land inside a snapshot
+    //    write or the truncation step), recovers from the surviving
+    //    snapshot + log images, and compares against a never-crashed
+    //    engine holding exactly the committed prefix.
     let cfg = CampaignConfig {
         bugs: BugRegistry::only_recovery(bug),
         tests: 2_000,
@@ -45,25 +117,29 @@ fn main() {
     );
     println!("{}\n", finding.report.to_display());
 
-    // 3. Attribute: re-run the finding's coordinates under each enabled
+    // 4. Attribute: re-run the finding's coordinates under each enabled
     //    mutant alone — it must reproduce under the recovery mutant.
     attribute_bugs(&mut result, &cfg, "recover");
     let finding = &result.findings[0];
     println!("attributed to: {:?}\n", finding.attributed_recovery);
     assert!(finding.attributed_recovery.contains(&bug));
 
-    // 4. Reduce a hand-written crash scenario: shrink the script and
-    //    simplify the fault plan while recovery still diverges.
+    // 5. Reduce a hand-written crash scenario: shrink the script, drop
+    //    checkpoints, and simplify the fault plan while recovery still
+    //    diverges. The stale-snapshot mutant needs two checkpoints to
+    //    misbehave, so reduction must keep exactly two.
     let case = RecoveryCase {
         script: coddb::parser::parse_statements(
             "CREATE TABLE t (a INT);
              INSERT INTO t VALUES (1);
              CREATE TABLE noise (z TEXT);
-             INSERT INTO t VALUES (2)",
+             INSERT INTO t VALUES (2);
+             INSERT INTO noise VALUES ('x')",
         )
         .unwrap(),
+        checkpoints: vec![0, 1, 3],
         plan: FaultPlan {
-            crash_op: 7,
+            crash_op: 40,
             mode: FaultMode::Corrupt { byte_sel: 0 },
         },
     };
@@ -71,15 +147,24 @@ fn main() {
     assert!(recovery_still_failing(&case, Dialect::Sqlite, &bugs));
     let reduced = reduce_recovery(&case, Dialect::Sqlite, &bugs);
     println!(
-        "reduced: {} -> {} statement(s), plan {} -> {}",
+        "reduced: {} -> {} statement(s), checkpoints {:?} -> {:?}, plan {} -> {}",
         case.script.len(),
         reduced.script.len(),
+        case.checkpoints,
+        reduced.checkpoints,
         case.plan.describe(),
         reduced.plan.describe()
     );
     for s in &reduced.script {
         println!("  {s};");
     }
-    assert!(recovery_divergence(&reduced.script, &reduced.plan, Dialect::Sqlite, &bugs).is_some());
+    assert!(recovery_divergence_checkpointed(
+        &reduced.script,
+        &reduced.checkpoints,
+        &reduced.plan,
+        Dialect::Sqlite,
+        &bugs
+    )
+    .is_some());
     println!("\nreduced scenario still recovers incorrectly — done.");
 }

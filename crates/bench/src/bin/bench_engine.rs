@@ -3,8 +3,10 @@
 //! the execution pipeline's speed (and the bind-once speedup) over time.
 //! Join shapes are additionally timed with the nested loop forced
 //! (hash-join speedup), scan shapes with cloning scans forced (zero-copy
-//! speedup), and vectorization-dominated shapes with row-at-a-time
-//! evaluation forced (`vectorized_vs_row_speedup`).
+//! speedup), vectorization-dominated shapes with row-at-a-time
+//! evaluation forced (`vectorized_vs_row_speedup`), and index-seek
+//! shapes with `AccessMode::ScanOnly` forced
+//! (`indexed_vs_scan_speedup`).
 //!
 //! Run with: `cargo run --release -p coddtest-bench --bin bench_engine`
 //! (optionally `-- --out <path>`; `-- --quick` shrinks the measurement
@@ -18,13 +20,13 @@ use std::time::{Duration, Instant};
 use coddb::ast::Select;
 use coddb::bugs::BugRegistry;
 use coddb::wal::StorageMode;
-use coddb::{BindMode, Database, Dialect, EvalMode, JoinMode, ScanMode};
+use coddb::{AccessMode, BindMode, Database, Dialect, EvalMode, JoinMode, ScanMode};
 use coddtest::make_oracle;
 use coddtest::runner::{run_campaign, run_campaign_parallel, CampaignConfig};
 use coddtest_bench::{
-    engine_setup as setup, is_join_shape, is_scan_shape, is_vec_shape, CAMPAIGN_PARALLEL_SHAPE,
-    CHECKPOINT_WRITE_SHAPE, QUERY_SHAPES, RECOVERY_REPLAY_CHECKPOINTED_SHAPE,
-    RECOVERY_REPLAY_SHAPE, WAL_COMMIT_SHAPE,
+    engine_setup as setup, is_indexed_shape, is_join_shape, is_scan_shape, is_vec_shape,
+    CAMPAIGN_PARALLEL_SHAPE, CHECKPOINT_WRITE_SHAPE, DML_INDEX_MAINTENANCE_SHAPE, QUERY_SHAPES,
+    RECOVERY_REPLAY_CHECKPOINTED_SHAPE, RECOVERY_REPLAY_SHAPE, WAL_COMMIT_SHAPE,
 };
 
 /// Worker threads for the `campaign_parallel` shape (the evaluation's
@@ -110,15 +112,24 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(|csv| csv.split(',').map(|s| s.trim().to_string()).collect());
     if let Some(filter) = &shape_filter {
+        let known: Vec<&str> = QUERY_SHAPES
+            .iter()
+            .map(|(name, _)| *name)
+            .chain([
+                CAMPAIGN_PARALLEL_SHAPE,
+                WAL_COMMIT_SHAPE,
+                RECOVERY_REPLAY_SHAPE,
+                CHECKPOINT_WRITE_SHAPE,
+                RECOVERY_REPLAY_CHECKPOINTED_SHAPE,
+                DML_INDEX_MAINTENANCE_SHAPE,
+            ])
+            .collect();
         for want in filter {
-            if !QUERY_SHAPES.iter().any(|(name, _)| name == want)
-                && want != CAMPAIGN_PARALLEL_SHAPE
-                && want != WAL_COMMIT_SHAPE
-                && want != RECOVERY_REPLAY_SHAPE
-                && want != CHECKPOINT_WRITE_SHAPE
-                && want != RECOVERY_REPLAY_CHECKPOINTED_SHAPE
-            {
-                eprintln!("bench_engine: unknown shape in --shapes: {want}");
+            if !known.iter().any(|name| name == want) {
+                eprintln!(
+                    "bench_engine: unknown shape in --shapes: {want}\navailable shapes: {}",
+                    known.join(", ")
+                );
                 std::process::exit(1);
             }
         }
@@ -173,6 +184,23 @@ fn main() {
             ));
             extra_log.push_str(&format!(
                 "   nested {nested_ns:>12.0} ns/iter   hash speedup {hash_speedup:>5.2}x"
+            ));
+        }
+        if is_indexed_shape(name) {
+            // The ScanOnly baseline isolates the index access path's
+            // contribution: same bind-once machinery, seeks forced back
+            // to full scans (plus the un-eliminated sort where the seek
+            // order satisfied ORDER BY).
+            let mut scan_db = setup();
+            scan_db.set_bind_mode(BindMode::PerQuery);
+            scan_db.set_access_mode(AccessMode::ScanOnly);
+            let scan_ns = measure(&mut scan_db, &q, &windows);
+            let idx_speedup = scan_ns / bound_ns;
+            extra.push_str(&format!(
+                ",\n      \"scan_ns_per_iter\": {scan_ns:.0},\n      \"indexed_vs_scan_speedup\": {idx_speedup:.2}"
+            ));
+            extra_log.push_str(&format!(
+                "   scan-only {scan_ns:>12.0} ns/iter   seek speedup {idx_speedup:>5.2}x"
             ));
         }
         if is_vec_shape(name) {
@@ -270,6 +298,52 @@ fn main() {
         entries.push(format!(
             "    {:?}: {{\n      \"wal_commit_ns_per_iter\": {:.0},\n      \"volatile_ns_per_iter\": {:.0},\n      \"durable_overhead\": {:.2}\n    }}",
             WAL_COMMIT_SHAPE, durable_ns, volatile_ns, overhead
+        ));
+    }
+
+    // dml_index_maintenance: the identical INSERT/UPDATE/DELETE batch
+    // against an indexed and an unindexed copy of one table — the
+    // write-side price of keeping the ordered index layer current,
+    // recorded per statement like the WAL overhead above.
+    let run_dml_index_shape = shape_filter
+        .as_ref()
+        .is_none_or(|f| f.iter().any(|s| s == DML_INDEX_MAINTENANCE_SHAPE));
+    if run_dml_index_shape {
+        let dml = coddb::parser::parse_statements(
+            "INSERT INTO m VALUES (1, 'x'), (52, 'y'), (103, 'z');
+             UPDATE m SET k = k + 1 WHERE k % 3 = 0;
+             DELETE FROM m WHERE k > 190",
+        )
+        .unwrap();
+        let batch = if quick { 100 } else { 1_000 };
+        let total_stmts = (batch * dml.len()) as f64;
+        let run_table = |with_index: bool| {
+            measure_campaign(windows.runs, || {
+                let mut db = Database::new(Dialect::Sqlite);
+                db.execute_sql("CREATE TABLE m (k INT, v TEXT)").unwrap();
+                if with_index {
+                    db.execute_sql("CREATE INDEX im ON m (k)").unwrap();
+                }
+                let seed_rows: Vec<String> =
+                    (0..200).map(|i| format!("({i}, 'seed{i}')")).collect();
+                db.execute_sql(&format!("INSERT INTO m VALUES {}", seed_rows.join(",")))
+                    .unwrap();
+                for _ in 0..batch {
+                    for s in &dml {
+                        std::hint::black_box(db.execute(s).unwrap());
+                    }
+                }
+            }) / total_stmts
+        };
+        let indexed_ns = run_table(true);
+        let unindexed_ns = run_table(false);
+        let overhead = indexed_ns / unindexed_ns;
+        println!(
+            "{DML_INDEX_MAINTENANCE_SHAPE:<24} indexed {indexed_ns:>12.0} ns/iter   unindexed {unindexed_ns:>12.0} ns/iter   overhead {overhead:>5.2}x"
+        );
+        entries.push(format!(
+            "    {:?}: {{\n      \"indexed_dml_ns_per_iter\": {:.0},\n      \"unindexed_dml_ns_per_iter\": {:.0},\n      \"index_maintenance_overhead\": {:.2}\n    }}",
+            DML_INDEX_MAINTENANCE_SHAPE, indexed_ns, unindexed_ns, overhead
         ));
     }
 

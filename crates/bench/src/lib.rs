@@ -73,6 +73,20 @@ pub const QUERY_SHAPES: &[(&str, &str)] = &[
         "SELECT c0 % 5, COUNT(*), AVG(c2), SUM(c3), MIN(c8), MAX(c9) \
          FROM t4 GROUP BY c0 % 5",
     ),
+    // Selective range over the 3000-row indexed table: the seek emits
+    // ~40 postings (the consumed conjunct alone bounds the key range)
+    // where the ScanOnly baseline filters all 3000 rows.
+    (
+        "index_range_scan",
+        "SELECT COUNT(*) FROM t6 WHERE k < 40",
+    ),
+    // Ordered seek with sort elimination: the index emits the tail of the
+    // key range already ordered, so the LIMIT sees presorted rows; the
+    // ScanOnly baseline scans, filters, and sorts before limiting.
+    (
+        "order_by_indexed",
+        "SELECT * FROM t6 WHERE k > 2980 ORDER BY k LIMIT 10",
+    ),
 ];
 
 /// The campaign-runner shape: `bench_engine` times a whole `codd` campaign
@@ -100,6 +114,13 @@ pub const RECOVERY_REPLAY_SHAPE: &str = "recovery_replay";
 pub const CHECKPOINT_WRITE_SHAPE: &str = "checkpoint_write";
 pub const RECOVERY_REPLAY_CHECKPOINTED_SHAPE: &str = "recovery_replay_checkpointed";
 
+/// The index-maintenance shape: `bench_engine` times the same DML batch
+/// against an indexed and an unindexed copy of one table and records the
+/// per-statement `index_maintenance_overhead` — the write-side price of
+/// the ordered index layer, riding the same trajectory as the read-side
+/// seek speedups. Not a SQL shape, so it lives outside [`QUERY_SHAPES`].
+pub const DML_INDEX_MAINTENANCE_SHAPE: &str = "dml_index_maintenance";
+
 /// Shapes whose dominant operator is a join — `bench_engine` additionally
 /// times these with [`coddb::JoinMode::NestedLoop`] forced, recording the
 /// hash-join speedup over the bound nested loop.
@@ -115,6 +136,15 @@ pub fn is_scan_shape(name: &str) -> bool {
         name,
         "seq_filter" | "seq_filter_wide" | "subquery_correlated" | "subquery_correlated_lowcard"
     )
+}
+
+/// Shapes whose access path is an index seek — `bench_engine`
+/// additionally times these with [`coddb::AccessMode::ScanOnly`] forced,
+/// recording `scan_ns_per_iter` and the `indexed_vs_scan_speedup` of the
+/// planner-selected seek over the full-scan pipeline (for
+/// `order_by_indexed` that includes the eliminated sort).
+pub fn is_indexed_shape(name: &str) -> bool {
+    matches!(name, "index_probe" | "index_range_scan" | "order_by_indexed")
 }
 
 /// Shapes dominated by vectorizable clause evaluation — `bench_engine`
@@ -219,6 +249,20 @@ pub fn engine_setup() -> Database {
             })
             .collect();
         db.execute_sql(&format!("INSERT INTO t5 VALUES {}", rows.join(",")))
+            .unwrap();
+    }
+    // Larger indexed table for the seek shapes: 3000 distinct keys, so a
+    // selective range probe touches ~1% of what the full scan filters.
+    db.execute_sql("CREATE TABLE t6 (k INT, v TEXT)").unwrap();
+    db.execute_sql("CREATE INDEX i6 ON t6 (k)").unwrap();
+    for chunk in 0..30 {
+        let rows: Vec<String> = (0..100)
+            .map(|i| {
+                let v = chunk * 100 + i;
+                format!("({v}, 'v{v}')")
+            })
+            .collect();
+        db.execute_sql(&format!("INSERT INTO t6 VALUES {}", rows.join(",")))
             .unwrap();
     }
     db

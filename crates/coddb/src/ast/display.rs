@@ -424,14 +424,21 @@ impl fmt::Display for Statement {
             Statement::CreateIndex {
                 name,
                 table,
-                expr,
+                exprs,
                 unique,
             } => {
                 write!(
                     f,
-                    "CREATE {}INDEX {name} ON {table} ({expr})",
+                    "CREATE {}INDEX {name} ON {table} (",
                     if *unique { "UNIQUE " } else { "" }
-                )
+                )?;
+                for (i, e) in exprs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
             }
             Statement::Insert {
                 table,

@@ -608,7 +608,8 @@ pub enum Statement {
     CreateIndex {
         name: String,
         table: String,
-        expr: Expr,
+        /// One or more key expressions, in index-key order.
+        exprs: Vec<Expr>,
         unique: bool,
     },
     Insert {

@@ -298,7 +298,10 @@ pub fn replace_in_statement(stmt: &mut Statement, target: &Expr, replacement: &E
             .map(|w| replace_in_expr(w, target, replacement))
             .unwrap_or(0),
         Statement::CreateView { query, .. } => replace_in_select(query, target, replacement),
-        Statement::CreateIndex { expr, .. } => replace_in_expr(expr, target, replacement),
+        Statement::CreateIndex { exprs, .. } => exprs
+            .iter_mut()
+            .map(|e| replace_in_expr(e, target, replacement))
+            .sum(),
         Statement::CreateTable { .. } | Statement::DropTable { .. } => 0,
     }
 }

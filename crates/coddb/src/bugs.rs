@@ -623,13 +623,91 @@ impl RecoveryBugId {
     }
 }
 
-/// The set of currently enabled mutants — engine mutants ([`BugId`]) and
-/// recovery mutants ([`RecoveryBugId`]) side by side, so one registry
-/// describes a whole campaign's buggy build.
+/// Injectable index-path mutants, seeded into the physical ordered-index
+/// maintenance and seek paths ([`crate::index`], the executor's
+/// `IndexSeek` arm) the way [`RecoveryBugId`] mutants are seeded into
+/// recovery. They live in their own enum for the same reason: [`BugId`]
+/// reproduces the paper's Table 1/2 counts exactly, while these model the
+/// access-path bug class the indexed-vs-ScanOnly differential hunts.
+///
+/// All five *shrink, corrupt or suppress* the seek's row set — mutants
+/// that merely enlarge it would be invisible, because the full original
+/// WHERE clause is re-applied over whatever the seek returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum IndexBugId {
+    /// UPDATE skips index maintenance: the ordered structure keeps the
+    /// pre-update key, so later seeks probe stale entries.
+    StaleEntryAfterUpdate,
+    /// Range seeks treat inclusive bounds as exclusive (`>=` as `>`,
+    /// `<=` as `<`), dropping the boundary rows.
+    RangeBoundOffByOne,
+    /// The seek path skips the residual WHERE re-check entirely, leaking
+    /// NULL-key rows and residual-failing rows into the result.
+    PrefixSeekIgnoresResidual,
+    /// DESC sort elimination emits key groups in ascending order anyway
+    /// (visible through `ORDER BY ... DESC`, most sharply with LIMIT).
+    SortElimWrongDirection,
+    /// Equality seeks return only the first posting of each matching
+    /// key, dropping duplicate-key rows.
+    EqSeekMissesDuplicates,
+}
+
+impl IndexBugId {
+    /// Every index mutant, in a stable order.
+    pub const ALL: [IndexBugId; 5] = [
+        IndexBugId::StaleEntryAfterUpdate,
+        IndexBugId::RangeBoundOffByOne,
+        IndexBugId::PrefixSeekIgnoresResidual,
+        IndexBugId::SortElimWrongDirection,
+        IndexBugId::EqSeekMissesDuplicates,
+    ];
+
+    /// All index mutants surface as wrong results, never as errors.
+    pub fn kind(self) -> BugKind {
+        BugKind::Logic
+    }
+
+    /// Short stable identifier, e.g. for report keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            IndexBugId::StaleEntryAfterUpdate => "index-stale-entry-after-update",
+            IndexBugId::RangeBoundOffByOne => "index-range-bound-off-by-one",
+            IndexBugId::PrefixSeekIgnoresResidual => "index-seek-drops-residual",
+            IndexBugId::SortElimWrongDirection => "index-sort-elim-wrong-direction",
+            IndexBugId::EqSeekMissesDuplicates => "index-eq-seek-misses-duplicates",
+        }
+    }
+
+    /// Human-readable description (one line).
+    pub fn description(self) -> &'static str {
+        match self {
+            IndexBugId::StaleEntryAfterUpdate => {
+                "UPDATE skips index maintenance, leaving stale ordered-index entries"
+            }
+            IndexBugId::RangeBoundOffByOne => {
+                "range seeks treat inclusive bounds as exclusive, dropping boundary rows"
+            }
+            IndexBugId::PrefixSeekIgnoresResidual => {
+                "seeks skip the residual WHERE re-check, leaking NULL-key and residual rows"
+            }
+            IndexBugId::SortElimWrongDirection => {
+                "DESC sort elimination emits index key groups in ascending order"
+            }
+            IndexBugId::EqSeekMissesDuplicates => {
+                "equality seeks return only the first posting per key, dropping duplicates"
+            }
+        }
+    }
+}
+
+/// The set of currently enabled mutants — engine mutants ([`BugId`]),
+/// recovery mutants ([`RecoveryBugId`]) and index mutants ([`IndexBugId`])
+/// side by side, so one registry describes a whole campaign's buggy build.
 #[derive(Debug, Clone, Default)]
 pub struct BugRegistry {
     active: BTreeSet<BugId>,
     recovery: BTreeSet<RecoveryBugId>,
+    index: BTreeSet<IndexBugId>,
 }
 
 impl BugRegistry {
@@ -669,7 +747,7 @@ impl BugRegistry {
     }
 
     pub fn is_empty(&self) -> bool {
-        self.active.is_empty() && self.recovery.is_empty()
+        self.active.is_empty() && self.recovery.is_empty() && self.index.is_empty()
     }
 
     pub fn enabled(&self) -> impl Iterator<Item = BugId> + '_ {
@@ -710,6 +788,42 @@ impl BugRegistry {
 
     pub fn enabled_recovery(&self) -> impl Iterator<Item = RecoveryBugId> + '_ {
         self.recovery.iter().copied()
+    }
+
+    // --- index mutants ---------------------------------------------------
+
+    /// Enable exactly one index mutant (the per-bug probe configuration,
+    /// mirroring [`BugRegistry::only`]).
+    pub fn only_index(bug: IndexBugId) -> Self {
+        let mut reg = Self::default();
+        reg.enable_index(bug);
+        reg
+    }
+
+    /// Enable every index mutant.
+    pub fn all_index() -> Self {
+        let mut reg = Self::default();
+        for b in IndexBugId::ALL {
+            reg.enable_index(b);
+        }
+        reg
+    }
+
+    pub fn enable_index(&mut self, bug: IndexBugId) {
+        self.index.insert(bug);
+    }
+
+    pub fn disable_index(&mut self, bug: IndexBugId) {
+        self.index.remove(&bug);
+    }
+
+    #[inline]
+    pub fn index_active(&self, bug: IndexBugId) -> bool {
+        self.index.contains(&bug)
+    }
+
+    pub fn enabled_index(&self) -> impl Iterator<Item = IndexBugId> + '_ {
+        self.index.iter().copied()
     }
 }
 
@@ -806,6 +920,49 @@ mod tests {
         for b in BugId::ALL {
             assert!(!names.contains(b.name()));
         }
+    }
+
+    #[test]
+    fn index_mutants_are_separate_from_the_other_schemes() {
+        assert_eq!(BugId::ALL.len(), 45);
+        assert_eq!(RecoveryBugId::ALL.len(), 10);
+        assert_eq!(IndexBugId::ALL.len(), 5);
+        let mut names = BTreeSet::new();
+        for b in IndexBugId::ALL {
+            assert!(!b.name().is_empty());
+            assert!(!b.description().is_empty());
+            assert_eq!(b.kind(), BugKind::Logic);
+            assert!(names.insert(b.name()), "duplicate name {}", b.name());
+        }
+        for b in BugId::ALL {
+            assert!(!names.contains(b.name()));
+        }
+        for b in RecoveryBugId::ALL {
+            assert!(!names.contains(b.name()));
+        }
+    }
+
+    #[test]
+    fn registry_tracks_index_mutants_independently() {
+        let mut reg = BugRegistry::none();
+        assert!(reg.is_empty());
+        reg.enable_index(IndexBugId::RangeBoundOffByOne);
+        assert!(!reg.is_empty(), "index mutants count as active bugs");
+        assert!(reg.index_active(IndexBugId::RangeBoundOffByOne));
+        assert!(!reg.index_active(IndexBugId::StaleEntryAfterUpdate));
+        assert!(!reg.active(BugId::SqliteLikeCaseFold));
+        assert!(!reg.recovery_active(RecoveryBugId::DropLastCommit));
+        reg.disable_index(IndexBugId::RangeBoundOffByOne);
+        assert!(reg.is_empty());
+
+        let only = BugRegistry::only_index(IndexBugId::EqSeekMissesDuplicates);
+        assert_eq!(only.enabled().count(), 0);
+        assert_eq!(only.enabled_recovery().count(), 0);
+        assert_eq!(
+            only.enabled_index().collect::<Vec<_>>(),
+            vec![IndexBugId::EqSeekMissesDuplicates]
+        );
+        assert_eq!(BugRegistry::all_index().enabled_index().count(), 5);
     }
 
     #[test]

@@ -2,14 +2,19 @@
 //!
 //! CoddDB stores everything in memory: base tables hold materialized rows,
 //! views hold their defining query (expanded at plan time), and indexes
-//! hold an indexed *expression* (SQLite-style expression indexes — the
-//! paper's Listing 1 uses `CREATE INDEX i0 ON t0 (c0 > 0)`), which the
-//! planner may choose (or be forced via `INDEXED BY`) for scans.
+//! hold a list of indexed *expressions* (SQLite-style expression indexes —
+//! the paper's Listing 1 uses `CREATE INDEX i0 ON t0 (c0 > 0)`), which the
+//! planner may choose (or be forced via `INDEXED BY`) for scans. Indexes
+//! whose expressions are all bare columns additionally carry a physical
+//! ordered structure ([`OrdIndex`]) that the planner's seek path probes;
+//! the `index_*` maintenance hooks keep those structures in lockstep with
+//! DML on the base table.
 
 use std::collections::BTreeMap;
 
 use crate::ast::{ColumnDef, Expr, Select};
 use crate::error::{Error, Result};
+use crate::index::OrdIndex;
 use crate::value::Row;
 
 /// A base table with its rows.
@@ -41,13 +46,17 @@ pub struct ViewDef {
     pub query: Select,
 }
 
-/// An expression index.
+/// An index definition: one or more key expressions over a table.
 #[derive(Debug, Clone)]
 pub struct IndexDef {
     pub name: String,
     pub table: String,
-    pub expr: Expr,
+    pub exprs: Vec<Expr>,
     pub unique: bool,
+    /// Physical ordered structure — present only when every key
+    /// expression is a bare column of the table; expression indexes stay
+    /// metadata-only and keep the legacy ordered-scan path.
+    pub data: Option<OrdIndex>,
 }
 
 /// What a FROM-clause name resolves to.
@@ -180,21 +189,28 @@ impl Catalog {
         &mut self,
         name: &str,
         table: &str,
-        expr: Expr,
+        exprs: Vec<Expr>,
         unique: bool,
     ) -> Result<()> {
         let k = key(name);
         if self.indexes.contains_key(&k) {
             return Err(Error::Catalog(format!("index {name} already exists")));
         }
-        self.table(table)?;
+        if exprs.is_empty() {
+            return Err(Error::Catalog(format!(
+                "index {name} must have at least one key expression"
+            )));
+        }
+        let t = self.table(table)?;
+        let data = bare_key_cols(t, &exprs).map(|cols| OrdIndex::build(t, cols));
         self.indexes.insert(
             k,
             IndexDef {
                 name: name.to_string(),
                 table: table.to_string(),
-                expr,
+                exprs,
                 unique,
+                data,
             },
         );
         Ok(())
@@ -215,6 +231,75 @@ impl Catalog {
         self.indexes.values().map(|i| i.name.as_str()).collect()
     }
 
+    // --- physical index maintenance -------------------------------------
+    //
+    // DML on a base table drives these hooks so every bare-column index's
+    // OrdIndex tracks the rows exactly. Recovery replay applies row
+    // effects physically (bypassing the hooks) and calls
+    // `rebuild_index_data` once at the end instead.
+
+    /// Index the rows appended at positions `start..` of `table`.
+    pub(crate) fn index_insert_rows(&mut self, table: &str, start: usize) {
+        let k = key(table);
+        let Catalog {
+            tables, indexes, ..
+        } = self;
+        let Some(t) = tables.get(&k) else { return };
+        for idx in indexes.values_mut() {
+            if key(&idx.table) == k {
+                if let Some(data) = idx.data.as_mut() {
+                    for pos in start..t.rows.len() {
+                        data.insert_row(pos, &t.rows[pos]);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Re-key row `pos` of `table` after an in-place update; `old` is the
+    /// pre-update row image.
+    pub(crate) fn index_update_row(&mut self, table: &str, pos: usize, old: &Row) {
+        let k = key(table);
+        let Catalog {
+            tables, indexes, ..
+        } = self;
+        let Some(t) = tables.get(&k) else { return };
+        for idx in indexes.values_mut() {
+            if key(&idx.table) == k {
+                if let Some(data) = idx.data.as_mut() {
+                    data.update_row(pos, old, &t.rows[pos]);
+                }
+            }
+        }
+    }
+
+    /// Unindex deleted rows. `removed` is sorted ascending; `old_rows`
+    /// are the removed rows' pre-delete images.
+    pub(crate) fn index_delete_rows(&mut self, table: &str, removed: &[usize], old_rows: &[Row]) {
+        let k = key(table);
+        for idx in self.indexes.values_mut() {
+            if key(&idx.table) == k {
+                if let Some(data) = idx.data.as_mut() {
+                    data.delete_rows(removed, old_rows);
+                }
+            }
+        }
+    }
+
+    /// Rebuild every physical index structure from current table rows —
+    /// the deterministic post-recovery path (WAL replay and snapshot
+    /// loading mutate rows physically, bypassing the per-DML hooks).
+    pub(crate) fn rebuild_index_data(&mut self) {
+        let Catalog {
+            tables, indexes, ..
+        } = self;
+        for idx in indexes.values_mut() {
+            idx.data = tables
+                .get(&key(&idx.table))
+                .and_then(|t| bare_key_cols(t, &idx.exprs).map(|cols| OrdIndex::build(t, cols)));
+        }
+    }
+
     // --- resolution -----------------------------------------------------
 
     /// Resolve a FROM-clause name to a table or view.
@@ -233,6 +318,19 @@ impl Catalog {
     pub fn total_rows(&self) -> usize {
         self.tables.values().map(|t| t.rows.len()).sum()
     }
+}
+
+/// If every key expression is a bare (optionally alias-free) column of
+/// `table`, the column ordinals in index-key order; otherwise `None`
+/// (expression indexes get no physical structure).
+fn bare_key_cols(table: &TableDef, exprs: &[Expr]) -> Option<Vec<usize>> {
+    exprs
+        .iter()
+        .map(|e| match e {
+            Expr::Column(c) if c.table.is_none() => table.column_index(&c.column),
+            _ => None,
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -288,7 +386,7 @@ mod tests {
         let mut cat = Catalog::new();
         cat.create_table("t", vec![col("c", DataType::Int)], false)
             .unwrap();
-        cat.create_index("i", "t", Expr::bare_col("c"), false)
+        cat.create_index("i", "t", vec![Expr::bare_col("c")], false)
             .unwrap();
         assert_eq!(cat.indexes_for_table("t").len(), 1);
         cat.drop_table("t", false).unwrap();
@@ -314,7 +412,7 @@ mod tests {
     fn index_requires_existing_table() {
         let mut cat = Catalog::new();
         assert!(cat
-            .create_index("i", "missing", Expr::bare_col("c"), false)
+            .create_index("i", "missing", vec![Expr::bare_col("c")], false)
             .is_err());
     }
 

@@ -77,6 +77,8 @@ coverage_points! {
     PLAN_FILTER_FALSE = "plan::filter_false";
     PLAN_NO_FROM = "plan::no_from";
     PLAN_HASH_JOIN = "plan::hash_join_keys";
+    PLAN_INDEX_SEEK = "plan::index_seek";
+    PLAN_SORT_ELIM = "plan::sort_elim";
     // --- executor ------------------------------------------------------
     EXEC_FILTER_PASS = "exec::filter_pass";
     EXEC_FILTER_DROP = "exec::filter_drop";

@@ -6,7 +6,7 @@
 //! [`Database::last_plan_fingerprint`] and the snapshot/restore pair.
 
 use crate::ast::{InsertSource, Statement};
-use crate::bugs::{BugId, BugRegistry};
+use crate::bugs::{BugId, BugRegistry, IndexBugId};
 use crate::catalog::Catalog;
 use crate::coverage::{pt, Coverage};
 use crate::dialect::Dialect;
@@ -22,6 +22,22 @@ use crate::wal::{FaultPlan, StorageMode, Wal, WalRecord};
 /// Default execution fuel per statement (row-operations budget). Generated
 /// workloads stay far below this; injected hang bugs exhaust it.
 pub const DEFAULT_FUEL: u64 = 4_000_000;
+
+/// How the executor reaches table rows when the planner picked an
+/// ordered-index access path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AccessMode {
+    /// Execute planner-selected [`crate::plan::FromPlan::IndexSeek`]
+    /// nodes as ordered-index range/point seeks (default).
+    #[default]
+    Indexed,
+    /// Execute every `IndexSeek` as a full sequential scan with the
+    /// baseline filter — kept for differential testing of the seek path
+    /// (`coddb/tests/index_differential.rs`: byte-identical results,
+    /// coverage bitsets and fuel across modes) and as the scan baseline
+    /// in `BENCH_engine.json`.
+    ScanOnly,
+}
 
 /// Result of executing one statement.
 #[derive(Debug, Clone, PartialEq)]
@@ -60,6 +76,7 @@ pub struct Database {
     join_mode: JoinMode,
     scan_mode: ScanMode,
     eval_mode: EvalMode,
+    access_mode: AccessMode,
     last_plan_fp: Option<u64>,
     queries_executed: u64,
     subq_memo_hits: u64,
@@ -94,6 +111,7 @@ impl Database {
             join_mode: JoinMode::default(),
             scan_mode: ScanMode::default(),
             eval_mode: EvalMode::default(),
+            access_mode: AccessMode::default(),
             last_plan_fp: None,
             queries_executed: 0,
             subq_memo_hits: 0,
@@ -171,6 +189,20 @@ impl Database {
 
     pub fn eval_mode(&self) -> EvalMode {
         self.eval_mode
+    }
+
+    /// Select how planner-chosen index access paths execute:
+    /// [`AccessMode::Indexed`] (default) runs `IndexSeek` nodes as
+    /// ordered range/point seeks with sort elimination,
+    /// [`AccessMode::ScanOnly`] forces them back to full scans plus the
+    /// baseline filter — kept for differential testing of the seek path
+    /// (mirroring [`Database::set_eval_mode`]) and as a baseline.
+    pub fn set_access_mode(&mut self, mode: AccessMode) {
+        self.access_mode = mode;
+    }
+
+    pub fn access_mode(&self) -> AccessMode {
+        self.access_mode
     }
 
     /// Total execution fuel consumed by statements so far (row-work
@@ -275,12 +307,18 @@ impl Database {
         }
         for name in self.catalog.index_names() {
             let i = self.catalog.index(name).expect("listed index");
+            let keys = i
+                .exprs
+                .iter()
+                .map(|e| e.to_string())
+                .collect::<Vec<_>>()
+                .join(", ");
             let _ = writeln!(
                 out,
                 "index {} ON {} ({}){}",
                 i.name,
                 i.table,
-                i.expr,
+                keys,
                 if i.unique { " UNIQUE" } else { "" }
             );
         }
@@ -370,6 +408,7 @@ impl Database {
         ctx.force_nested_loop = self.join_mode == JoinMode::NestedLoop;
         ctx.clone_scans = self.scan_mode == ScanMode::Cloning;
         ctx.vectorize = self.eval_mode == EvalMode::Vectorized;
+        ctx.scan_only = self.access_mode == AccessMode::ScanOnly;
         ctx
     }
 
@@ -456,11 +495,11 @@ impl Database {
             Statement::CreateIndex {
                 name,
                 table,
-                expr,
+                exprs,
                 unique,
             } => {
                 self.catalog
-                    .create_index(name, table, expr.clone(), *unique)?;
+                    .create_index(name, table, exprs.clone(), *unique)?;
                 self.wal_log_ddl(stmt);
                 Ok(ExecOutcome::Ddl)
             }
@@ -740,7 +779,10 @@ impl Database {
             }
             w.commit_statement();
         }
-        self.catalog.table_mut(table)?.rows.extend(staged);
+        let t = self.catalog.table_mut(table)?;
+        let start = t.rows.len();
+        t.rows.extend(staged);
+        self.catalog.index_insert_rows(table, start);
         Ok(n)
     }
 
@@ -827,12 +869,20 @@ impl Database {
             }
             w.commit_statement();
         }
-        let t = self.catalog.table_mut(table)?;
+        // Bug hook: StaleEntryAfterUpdate — the ordered index keeps the
+        // pre-update key entries (and misses the new ones).
+        let stale = self.bugs.index_active(IndexBugId::StaleEntryAfterUpdate);
         for (&i, (indices, vals)) in matches.iter().zip(updates.iter()) {
+            let t = self.catalog.table_mut(table)?;
+            // Copy-on-write: the clone pins the pre-update image (for
+            // index re-keying) and any snapshots or in-flight shared
+            // relations holding this row keep their original values.
+            let old = t.rows[i].clone();
             for (&ci, v) in indices.iter().zip(vals.iter()) {
-                // Copy-on-write: snapshots or in-flight shared relations
-                // holding this row keep their original values.
                 t.rows[i].set(ci, v.clone());
+            }
+            if !stale {
+                self.catalog.index_update_row(table, i, &old);
             }
         }
         Ok(matches.len())
@@ -885,9 +935,13 @@ impl Database {
             w.commit_statement();
         }
         let t = self.catalog.table_mut(table)?;
+        // Pin the removed rows' images (cheap shared-row clones) for
+        // index unkeying before physically removing them.
+        let old_rows: Vec<Row> = matches.iter().map(|&i| t.rows[i].clone()).collect();
         for &i in matches.iter().rev() {
             t.rows.remove(i);
         }
+        self.catalog.index_delete_rows(table, &matches, &old_rows);
         Ok(matches.len())
     }
 }

@@ -25,9 +25,9 @@ use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 
-use crate::ast::{AggFunc, Expr, JoinKind, Select, SelectItem, SetOp, SortOrder};
+use crate::ast::{AggFunc, BinaryOp, Expr, JoinKind, Select, SelectItem, SetOp, SortOrder};
 use crate::bind::{bind_join_keys, Binder, BoundExpr};
-use crate::bugs::{BugId, BugRegistry};
+use crate::bugs::{BugId, BugRegistry, IndexBugId};
 use crate::cache::{get_or_build, GroupedBindings, ProjBindings, StmtCaches, SubqEntry};
 use crate::catalog::Catalog;
 use crate::coverage::{pt, Coverage};
@@ -120,6 +120,9 @@ pub struct EngineCtx<'a> {
     pub force_nested_loop: bool,
     /// Baseline mode: deep-clone scanned rows (see [`ScanMode::Cloning`]).
     pub clone_scans: bool,
+    /// Baseline mode: execute `IndexSeek` nodes as full sequential scans
+    /// (see [`crate::database::AccessMode::ScanOnly`]).
+    pub scan_only: bool,
     /// Vectorized chunk evaluation enabled (see [`EvalMode`]).
     pub vectorize: bool,
     /// Reusable buffers for the vectorized kernels — one pool per
@@ -163,6 +166,7 @@ impl<'a> EngineCtx<'a> {
             rebind_per_row: false,
             force_nested_loop: false,
             clone_scans: false,
+            scan_only: false,
             vectorize: true,
             vec_pool: RefCell::new(crate::vec_eval::Pool::default()),
             fuel: Cell::new(fuel),
@@ -653,19 +657,31 @@ pub fn exec_select_plan(
 
     let (mut rel, pre_rows, pre_from) = exec_body(&plan.body, ctx, &ctes, outer_scopes, depth)?;
 
-    // ORDER BY.
+    // ORDER BY. When the FROM result is an index seek that ran in key
+    // order (`SeekInfo::ordered` — the *runtime* signal, absent whenever
+    // the exactness gate or ScanOnly mode fell back to a plain scan),
+    // the rows already carry the planner-proven output order and the
+    // sort is skipped. `sort_relation` charges no fuel and the
+    // branch-point bit is hit either way, so the elimination is
+    // observation-free.
     if !plan.order_by.is_empty() {
         ctx.cov.hit(pt::EXEC_SORT);
-        sort_relation(
-            &mut rel,
-            pre_rows,
-            pre_from.as_ref().map(|f| &f.schema),
-            plan,
-            ctx,
-            &ctes,
-            outer_scopes,
-            depth,
-        )?;
+        let pre_ordered = pre_from
+            .as_ref()
+            .and_then(|f| f.seek.as_ref())
+            .is_some_and(|s| s.ordered);
+        if !pre_ordered {
+            sort_relation(
+                &mut rel,
+                pre_rows,
+                pre_from.as_ref().map(|f| &f.schema),
+                plan,
+                ctx,
+                &ctes,
+                outer_scopes,
+                depth,
+            )?;
+        }
     }
 
     // OFFSET / LIMIT.
@@ -1001,6 +1017,33 @@ fn dedup_rows(rows: Vec<Row>) -> Vec<Row> {
     out
 }
 
+/// Runtime record of an executed index seek, consumed by [`exec_core`]'s
+/// WHERE stage for coverage/fuel parity with the ScanOnly baseline (see
+/// [`seek_filter`]).
+#[derive(Clone)]
+pub(crate) struct SeekInfo {
+    /// Storage positions of the emitted rows, aligned with the result
+    /// rows (ascending when the seek is unordered).
+    positions: Vec<usize>,
+    /// Table row count at seek time (`positions.len()` + skipped rows).
+    total: usize,
+    /// Catalog name of the seeked index — [`seek_filter`] computes the
+    /// skipped-class representatives from it on demand, exact or lazy
+    /// depending on which charging regime the baseline filter would use.
+    index: String,
+    /// Key-column ordinals of that index (for synthetic rep rows).
+    key_cols: Vec<usize>,
+    /// The consumed equality probes, post bug hooks.
+    eq: Vec<Value>,
+    /// The consumed range probe, post bug hooks.
+    range_probe: Option<(BinaryOp, Value)>,
+    /// Rows arrived in index-key order: the ORDER BY sort may be skipped.
+    ordered: bool,
+    /// Bug hook [`IndexBugId::PrefixSeekIgnoresResidual`]: the WHERE
+    /// stage (wrongly) trusts the seek output wholesale.
+    filter_suppressed: bool,
+}
+
 /// Result of executing a FROM clause. Shared (behind `Rc`) across
 /// operator re-instantiations via the per-statement FROM-result cache —
 /// rows are [`Row`]-shared, so a reuse is a refcount bump per row.
@@ -1011,6 +1054,8 @@ pub(crate) struct FromResult {
     via_index: bool,
     has_cte: bool,
     has_full_join: bool,
+    /// `Some` when the rows came from an executed index seek.
+    seek: Option<SeekInfo>,
 }
 
 fn exec_core(
@@ -1043,6 +1088,7 @@ fn exec_core(
             via_index: false,
             has_cte: false,
             has_full_join: false,
+            seek: None,
         }),
     };
     let schema = &fr.schema;
@@ -1069,7 +1115,27 @@ fn exec_core(
     let mut rows = rows;
     if let Some(pred) = &core.where_clause {
         let prepared = Prepared::new(pred, &bind_scopes(outer_scopes, schema), depth, ctx)?;
-        rows = apply_filter(rows, schema, &prepared, ctx, ctes, outer_scopes, base_info)?;
+        match fr.seek.as_ref() {
+            // Bug hook: PrefixSeekIgnoresResidual — the seek output is
+            // (wrongly) trusted wholesale. Binding still ran, so name
+            // resolution errors surface as usual.
+            Some(seek) if seek.filter_suppressed => {}
+            Some(seek) => {
+                rows = seek_filter(
+                    rows,
+                    seek,
+                    schema,
+                    &prepared,
+                    ctx,
+                    ctes,
+                    outer_scopes,
+                    base_info,
+                )?;
+            }
+            None => {
+                rows = apply_filter(rows, schema, &prepared, ctx, ctes, outer_scopes, base_info)?;
+            }
+        }
     }
 
     let has_aggregates = !core.group_by.is_empty()
@@ -2135,6 +2201,256 @@ pub(crate) fn apply_filter(
     Ok(out)
 }
 
+/// The WHERE stage over an index-seek FROM result: evaluate the filter
+/// over the emitted rows and replay, for every row the seek skipped, the
+/// observable effects the ScanOnly baseline produces — one fuel unit per
+/// row, plus the authentic drop-path coverage bits, fired once per
+/// skipped outcome class by evaluating the predicate on the class's
+/// representative row (the same within-class invariant
+/// [`apply_cmp_filter_fast`] rests on). Every skipped row has a FALSE
+/// consumed conjunct, which short-circuits the rest of the clause, so a
+/// representative evaluation never reads non-key columns and never
+/// errors.
+///
+/// When the predicate is the infallible bulk-charging comparison shape,
+/// the stage collapses to one fuel deduction plus the replays and row
+/// evaluations in any order (nothing observable distinguishes the
+/// interleavings once exhaustion and errors are impossible). Otherwise
+/// the whole ledger runs as ONE walk in **storage order** — gap
+/// stretches deduct their fuel in bulk (draining to zero on exhaustion,
+/// like the per-row loop), representatives replay exactly at their
+/// storage position, emitted rows charge-then-evaluate like the baseline
+/// row loop — so an erroring residual conjunct *and* a mid-filter fuel
+/// exhaustion both surface with exactly the coverage and fuel the
+/// baseline accumulates up to the same row. Ordered seeks only change
+/// the *emission* order: keep flags are collected during the walk and
+/// the kept rows come back in the seek's key order.
+#[allow(clippy::too_many_arguments)]
+fn seek_filter(
+    rows: Vec<Row>,
+    seek: &SeekInfo,
+    schema: &Schema,
+    pred: &Prepared,
+    ctx: &EngineCtx,
+    ctes: &CteEnv,
+    outer_scopes: &[Frame],
+    info: ExprCtx,
+) -> Result<Vec<Row>> {
+    // One representative evaluation per skipped outcome class.
+    #[allow(clippy::too_many_arguments)]
+    fn replay<'a>(
+        frames: &mut Vec<Frame<'a>>,
+        schema: &'a Schema,
+        rep: &'a Row,
+        pred: &Prepared,
+        ctx: &EngineCtx,
+        ctes: &CteEnv,
+        info: ExprCtx,
+        assert_reps: bool,
+    ) -> Result<()> {
+        set_local_row(frames, schema, rep);
+        let env = EvalEnv {
+            ctx,
+            scopes: frames,
+            aggs: None,
+            ctes,
+            info,
+        };
+        let v = pred.eval(env)?;
+        let t = truthiness(&v, ctx)?;
+        ctx.cov.hit(pt::EXEC_FILTER_DROP);
+        if assert_reps {
+            assert_eq!(
+                t,
+                Some(false),
+                "index seek skipped a row the WHERE clause keeps"
+            );
+        }
+        Ok(())
+    }
+
+    // With an index mutant active the skip set is deliberately wrong, so
+    // a representative may well evaluate non-FALSE — that divergence is
+    // the campaign's signal, not a replay defect.
+    let assert_reps = cfg!(debug_assertions) && ctx.bugs.enabled_index().next().is_none();
+
+    // Predicate shapes that [`apply_cmp_filter_fast`] handles charge all
+    // rows in one refusable `consume_fuel` call, so a short budget hangs
+    // with fuel untouched instead of draining row by row. Mirror that
+    // here: the seek's exactness gate already rules out the fast path's
+    // TEXT-mix fallback (the probe column is class-uniform), so the
+    // structural test alone decides which charging regime the baseline
+    // scan would use. Either regime charges exactly `seek.total`.
+    let local_col = |e: &BoundExpr| matches!(e, BoundExpr::Column(c) if c.up == 0 && c.collision_alt.is_none());
+    let bulk_charge = !ctx.rebind_per_row
+        && !(info.via_index && ctx.bugs.active(BugId::SqliteIndexedCmpNullTrue))
+        && matches!(pred.bound(), BoundExpr::Binary { op, left, right }
+            if op.is_comparison()
+                && ((local_col(left) && row_invariant(right))
+                    || (local_col(right) && row_invariant(left))));
+    if bulk_charge && ctx.fuel_left() < seek.total as u64 {
+        return Err(Error::Hang);
+    }
+
+    // Skipped-class representatives, synthesized on demand: the class
+    // key's values at the key columns, NULL elsewhere — safe because
+    // consumed conjuncts read key columns only and the FALSE one
+    // short-circuits the rest of the clause. On the bulk-charge path the
+    // whole stage is infallible (the refusal above was the only exit),
+    // so replay order against the walk is unobservable and any class
+    // member serves (`lazy`, one bounded index probe per class); the
+    // per-row path needs each class's first row in storage order, where
+    // a mid-walk fuel exhaustion would cut the baseline's ledger.
+    let data = ctx
+        .catalog
+        .index(&seek.index)
+        .and_then(|i| i.data.as_ref())
+        .expect("seeked index vanished mid-statement");
+    let reps: Vec<(usize, Row)> = data
+        .skip_reps(&seek.eq, seek.range_probe.clone(), bulk_charge)
+        .into_iter()
+        .map(|(p, key)| {
+            let mut vals = vec![Value::Null; schema.cols.len()];
+            for (&c, ov) in seek.key_cols.iter().zip(key) {
+                vals[c] = ov.0;
+            }
+            (p, Row::new(vals))
+        })
+        .collect();
+    let mut frames = frame_stack(outer_scopes, schema);
+
+    // Walk order: `positions[i]` is the storage position of `rows[i]`.
+    // Unordered seeks already emit ascending; ordered ones emit in key
+    // order, so sort a view back into storage order for the ledger.
+    let mut order: Vec<usize> = (0..rows.len()).collect();
+    if seek.ordered {
+        order.sort_unstable_by_key(|&i| seek.positions[i]);
+    }
+
+    // Bulk path: one deduction for the whole stage (it cannot fail — the
+    // refusal above already ruled that out), then every replay and row
+    // evaluation in sequence. With no exhaustion or error possible, the
+    // interleaving the per-row walk reconstructs is unobservable.
+    if bulk_charge {
+        ctx.consume_fuel(seek.total as u64)?;
+        for (_, rep) in &reps {
+            replay(&mut frames, schema, rep, pred, ctx, ctes, info, assert_reps)?;
+        }
+    }
+
+    // One gap stretch: the baseline charges each skipped row one fuel
+    // unit, and a stretch with no representative inside has no other
+    // observable effect — so deduct it in a single call. On exhaustion
+    // the per-row loop drains fuel to zero before erroring, so the bulk
+    // deduction mirrors that drain exactly instead of refusing intact.
+    let charge_rows = |n: u64| -> Result<()> {
+        if n == 0 {
+            return Ok(());
+        }
+        let left = ctx.fuel_left();
+        if left < n {
+            ctx.consume_fuel(left)?;
+            return Err(Error::Hang);
+        }
+        ctx.consume_fuel(n)
+    };
+    // A representative fires exactly when the walk meets its storage
+    // position; one whose position an (mutant-skewed) emission already
+    // passed stays stuck and silences every later replay, same as the
+    // per-row walk's equality test.
+    let mut rep_i = 0usize;
+    let mut cursor = 0usize;
+    macro_rules! walk_gap_to {
+        ($p:expr) => {{
+            let p: usize = $p;
+            while cursor < p {
+                match reps.get(rep_i) {
+                    Some(&(rp, _)) if (cursor..p).contains(&rp) => {
+                        // Charge through the representative's own row,
+                        // then replay it — the baseline meets the row
+                        // right after that charge.
+                        charge_rows((rp + 1 - cursor) as u64)?;
+                        replay(
+                            &mut frames,
+                            schema,
+                            &reps[rep_i].1,
+                            pred,
+                            ctx,
+                            ctes,
+                            info,
+                            assert_reps,
+                        )?;
+                        rep_i += 1;
+                        cursor = rp + 1;
+                    }
+                    _ => {
+                        charge_rows((p - cursor) as u64)?;
+                        cursor = p;
+                    }
+                }
+            }
+        }};
+    }
+
+    // The per-row branch is the baseline row loop verbatim (the
+    // `via_index` comparison hook cannot apply here: seeks are never
+    // selected while that mutant is active, and they report
+    // `via_index: false`).
+    let and_shape = matches!(
+        pred.ast(),
+        Expr::Binary {
+            op: crate::ast::BinaryOp::And,
+            ..
+        }
+    );
+    let mut keep = vec![false; rows.len()];
+    for &i in &order {
+        if !bulk_charge {
+            walk_gap_to!(seek.positions[i]);
+            cursor = seek.positions[i] + 1;
+            ctx.consume_fuel(1)?;
+        }
+        set_local_row(&mut frames, schema, &rows[i]);
+        let env = EvalEnv {
+            ctx,
+            scopes: &frames,
+            aggs: None,
+            ctes,
+            info,
+        };
+        let v = pred.eval(env)?;
+        let t = truthiness(&v, ctx)?;
+        // Bug hook: CockroachAndNullTopConjunct — a top-level AND that
+        // evaluates to NULL keeps the row (skipped rows are immune: their
+        // clause value is FALSE, never NULL).
+        if t.is_none() && and_shape && ctx.bugs.active(BugId::CockroachAndNullTopConjunct) {
+            keep[i] = true;
+            continue;
+        }
+        match t {
+            Some(true) => {
+                ctx.cov.hit(pt::EXEC_FILTER_PASS);
+                keep[i] = true;
+            }
+            Some(false) => ctx.cov.hit(pt::EXEC_FILTER_DROP),
+            None => ctx.cov.hit(pt::EXEC_FILTER_NULL),
+        }
+    }
+    if !bulk_charge {
+        walk_gap_to!(seek.total);
+    }
+
+    // Emission keeps the seek's own order (storage order, or key order
+    // for sort elimination): filter `rows` in place by the keep flags.
+    let mut out = Vec::with_capacity(rows.len());
+    for (row, keep) in rows.into_iter().zip(keep) {
+        if keep {
+            out.push(row);
+        }
+    }
+    Ok(out)
+}
+
 fn collect_cte_scans(from: &FromPlan, out: &mut Vec<String>) {
     match from {
         FromPlan::CteScan { name, .. } => out.push(name.clone()),
@@ -2168,7 +2484,8 @@ fn from_result_cacheable(from: &FromPlan, ctx: &EngineCtx) -> bool {
         FromPlan::IndexScan { index, .. } => ctx
             .catalog
             .index(index)
-            .is_some_and(|i| !i.expr.contains_subquery()),
+            .is_some_and(|i| !i.exprs.iter().any(Expr::contains_subquery)),
+        FromPlan::IndexSeek { .. } => true,
         FromPlan::Derived { .. } | FromPlan::ValuesScan { .. } | FromPlan::CteScan { .. } => false,
         FromPlan::Join {
             on,
@@ -2246,6 +2563,7 @@ fn exec_from_uncached(
                 via_index: false,
                 has_cte: false,
                 has_full_join: false,
+                seek: None,
             })
         }
         FromPlan::IndexScan {
@@ -2267,28 +2585,36 @@ fn exec_from_uncached(
                     .map(|c| ColMeta::new(Some(alias), &c.name))
                     .collect(),
             };
-            // Evaluate the indexed expression (bound once) per row and
+            // Evaluate the indexed expressions (bound once) per row and
             // visit rows in index order — row-identical to a seq scan,
-            // different order.
-            let prepared = Prepared::new(&idx.expr, &[&schema], depth, ctx)?;
-            let mut keyed: Vec<(OrdValue, usize)> = Vec::with_capacity(t.rows.len());
+            // different order. Multi-expression indexes order by the
+            // composite key.
+            let prepared: Vec<Prepared> = idx
+                .exprs
+                .iter()
+                .map(|e| Prepared::new(e, &[&schema], depth, ctx))
+                .collect::<Result<_>>()?;
+            let mut keyed: Vec<(Vec<OrdValue>, usize)> = Vec::with_capacity(t.rows.len());
             for (i, row) in t.rows.iter().enumerate() {
                 let frames = [Frame {
                     schema: &schema,
                     row,
                 }];
-                let env = EvalEnv {
-                    ctx,
-                    scopes: &frames,
-                    aggs: None,
-                    ctes,
-                    info: ExprCtx {
-                        depth,
-                        ..ExprCtx::new(Clause::IndexExpr)
-                    },
-                };
-                let key = prepared.eval(env)?;
-                keyed.push((OrdValue(key), i));
+                let mut key = Vec::with_capacity(prepared.len());
+                for p in &prepared {
+                    let env = EvalEnv {
+                        ctx,
+                        scopes: &frames,
+                        aggs: None,
+                        ctes,
+                        info: ExprCtx {
+                            depth,
+                            ..ExprCtx::new(Clause::IndexExpr)
+                        },
+                    };
+                    key.push(OrdValue(p.eval(env)?));
+                }
+                keyed.push((key, i));
             }
             keyed.sort_by(|(a, ia), (b, ib)| a.cmp(b).then(ia.cmp(ib)));
             if *reverse {
@@ -2310,6 +2636,113 @@ fn exec_from_uncached(
                 via_index: true,
                 has_cte: false,
                 has_full_join: false,
+                seek: None,
+            })
+        }
+        FromPlan::IndexSeek {
+            table,
+            alias,
+            index,
+            eq,
+            range,
+            ordered,
+            reverse,
+        } => {
+            let t = ctx.catalog.table(table)?;
+            // Same FROM-stage charge as a seq scan: the seek's fuel
+            // saving is accounted at the filter stage (the skipped rows'
+            // filter units are replayed there), keeping the total ledger
+            // identical to the ScanOnly baseline.
+            ctx.consume_fuel(t.rows.len() as u64)?;
+            let schema = Schema {
+                cols: t
+                    .columns
+                    .iter()
+                    .map(|c| ColMeta::new(Some(alias), &c.name))
+                    .collect(),
+            };
+            let data = ctx.catalog.index(index).and_then(|i| i.data.as_ref());
+            // Runtime exactness gate, mirroring the fast-filter
+            // discipline: for each consumed key column, the probe's
+            // TEXT-ness must be uniform with every non-NULL key value, or
+            // ordered-key comparison could disagree with SQL comparison.
+            let exact = data.is_some_and(|d| {
+                eq.iter()
+                    .chain(range.iter().map(|(_, v)| v))
+                    .enumerate()
+                    .all(|(j, v)| {
+                        let s = &d.stats[j];
+                        if matches!(v, Value::Text(_)) {
+                            s.text == s.nonnull
+                        } else {
+                            s.text == 0
+                        }
+                    })
+            });
+            if ctx.scan_only || !exact {
+                // Plain scan, no seek metadata — the filter runs the
+                // baseline path and ORDER BY still sorts.
+                let rows = if ctx.clone_scans {
+                    t.rows.iter().map(Row::deep_clone).collect()
+                } else {
+                    t.rows.clone()
+                };
+                return Ok(FromResult {
+                    schema,
+                    rows,
+                    via_index: false,
+                    has_cte: false,
+                    has_full_join: false,
+                    seek: None,
+                });
+            }
+            let data = data.unwrap();
+            // Bug hook: RangeBoundOffByOne — inclusive range bounds
+            // tighten to exclusive before the seek.
+            let mut range_probe = range.clone();
+            if ctx.bugs.index_active(IndexBugId::RangeBoundOffByOne) {
+                if let Some((op, _)) = range_probe.as_mut() {
+                    *op = match *op {
+                        BinaryOp::Ge => BinaryOp::Gt,
+                        BinaryOp::Le => BinaryOp::Lt,
+                        o => o,
+                    };
+                }
+            }
+            // Bug hook: SortElimWrongDirection — a DESC-ordered seek
+            // emits ascending anyway.
+            let rev = *reverse && !ctx.bugs.index_active(IndexBugId::SortElimWrongDirection);
+            // Bug hook: EqSeekMissesDuplicates — equality seeks return
+            // only the first row of each duplicate key group.
+            let dedup = ctx.bugs.index_active(IndexBugId::EqSeekMissesDuplicates);
+            let out = data.seek(eq, range_probe.clone(), *ordered, rev, dedup);
+            let rows: Vec<Row> = out
+                .emit
+                .iter()
+                .map(|&p| {
+                    if ctx.clone_scans {
+                        t.rows[p].deep_clone()
+                    } else {
+                        t.rows[p].clone()
+                    }
+                })
+                .collect();
+            Ok(FromResult {
+                schema,
+                rows,
+                via_index: false,
+                has_cte: false,
+                has_full_join: false,
+                seek: Some(SeekInfo {
+                    positions: out.emit,
+                    total: t.rows.len(),
+                    index: index.clone(),
+                    key_cols: data.cols.clone(),
+                    eq: eq.clone(),
+                    range_probe,
+                    ordered: *ordered,
+                    filter_suppressed: ctx.bugs.index_active(IndexBugId::PrefixSeekIgnoresResidual),
+                }),
             })
         }
         FromPlan::Derived {
@@ -2343,6 +2776,7 @@ fn exec_from_uncached(
                 via_index: false,
                 has_cte: false,
                 has_full_join: false,
+                seek: None,
             })
         }
         FromPlan::ValuesScan {
@@ -2394,6 +2828,7 @@ fn exec_from_uncached(
                 via_index: false,
                 has_cte: false,
                 has_full_join: false,
+                seek: None,
             })
         }
         FromPlan::CteScan { name, alias } => {
@@ -2423,6 +2858,7 @@ fn exec_from_uncached(
                 via_index: false,
                 has_cte: true,
                 has_full_join: false,
+                seek: None,
             })
         }
         FromPlan::Join {
@@ -2628,6 +3064,7 @@ fn exec_join(
                 via_index: left.via_index || right.via_index,
                 has_cte: left.has_cte || right.has_cte,
                 has_full_join: kind == JoinKind::Full || left.has_full_join || right.has_full_join,
+                seek: None,
             });
         }
         ctx.cov.hit(pt::EXEC_HASH_JOIN_FALLBACK);
@@ -2699,6 +3136,7 @@ fn exec_join(
         via_index: left.via_index || right.via_index,
         has_cte: left.has_cte || right.has_cte,
         has_full_join: kind == JoinKind::Full || left.has_full_join || right.has_full_join,
+        seek: None,
     })
 }
 

@@ -114,6 +114,39 @@
 //! results and identical coverage bitsets) and as the cloning baseline
 //! in `BENCH_engine.json`.
 //!
+//! ## Ordered index access paths
+//!
+//! `CREATE INDEX` on bare columns additionally builds a physical ordered
+//! structure ([`index::OrdIndex`]: a B-tree map from composite key to
+//! storage positions), maintained exactly by INSERT / UPDATE / DELETE
+//! and rebuilt deterministically after WAL or snapshot recovery. The
+//! planner ([`plan`]) turns a **prefix** of the WHERE clause's
+//! conjuncts — `col <cmp> constant` on the index's leading columns, at
+//! most one range — into a [`plan::FromPlan::IndexSeek`] access path,
+//! and satisfies a matching `ORDER BY` by emitting in key order and
+//! skipping the sort (sort elimination; `EXPLAIN` prints the seek shape
+//! and `ordered` / `reverse` flags).
+//!
+//! The path is **observation-exact**, not merely result-exact: a runtime
+//! gate falls back to the scan unless every probed key column's stored
+//! values are comparison-uniform with the probe (the same TEXT/non-TEXT
+//! discipline as the fast filter), and the filter stage replays what the
+//! baseline would have observed for the rows the seek skipped — their
+//! fuel, and the authentic drop-path coverage bits fired once per
+//! skipped outcome class via a representative evaluation
+//! ([`exec`]'s `seek_filter`). Because consumed conjuncts are a prefix
+//! of a left-associated `AND`, a skipped row's clause value is FALSE
+//! before any residual conjunct runs, so residual errors, coverage and
+//! fuel land identically in both modes.
+//! [`Database::set_access_mode`]`(`[`AccessMode::ScanOnly`]`)` forces
+//! every seek back to the baseline scan for differential testing
+//! (`coddb/tests/index_differential.rs`: byte-identical results,
+//! coverage bitsets and fuel), and a dedicated mutant scheme
+//! ([`bugs::IndexBugId`]) injects seek-path bugs — stale entries after
+//! UPDATE, off-by-one range bounds, dropped duplicates, ignored
+//! residuals, wrong sort-elimination direction — for the campaign to
+//! hunt.
+//!
 //! ## The storage / WAL / recovery layer
 //!
 //! [`Database::set_storage_mode`]`(`[`wal::StorageMode::Durable`]`)`
@@ -194,6 +227,7 @@ pub mod dialect;
 pub mod error;
 pub mod eval;
 pub mod exec;
+pub mod index;
 pub mod parser;
 pub mod plan;
 pub mod recovery;
@@ -203,8 +237,8 @@ pub mod wal;
 
 mod database;
 
-pub use bugs::{BugId, BugKind, BugRegistry, RecoveryBugId};
-pub use database::{Database, ExecOutcome};
+pub use bugs::{BugId, BugKind, BugRegistry, IndexBugId, RecoveryBugId};
+pub use database::{AccessMode, Database, ExecOutcome};
 pub use dialect::Dialect;
 pub use error::{Error, Result, Severity};
 pub use exec::{BindMode, EvalMode, JoinMode, ScanMode};

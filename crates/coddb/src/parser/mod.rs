@@ -277,12 +277,15 @@ impl Parser {
         self.expect_kw("ON")?;
         let table = self.parse_identifier()?;
         self.expect_sym(Sym::LParen)?;
-        let expr = self.parse_expr()?;
+        let mut exprs = vec![self.parse_expr()?];
+        while self.eat_sym(Sym::Comma) {
+            exprs.push(self.parse_expr()?);
+        }
         self.expect_sym(Sym::RParen)?;
         Ok(Statement::CreateIndex {
             name,
             table,
-            expr,
+            exprs,
             unique,
         })
     }

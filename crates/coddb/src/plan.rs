@@ -52,6 +52,30 @@ pub enum FromPlan {
         index: String,
         reverse: bool,
     },
+    /// Range/point seek on a physical ordered index (bare-column keys
+    /// only). The executor probes the index's `OrdIndex` for the rows the
+    /// consumed key prefix can reach; the *full* original WHERE clause is
+    /// still evaluated over them, so consumed conjuncts stay in
+    /// `CorePlan::where_clause` and the seek only has to be a superset-
+    /// exact pre-filter (rows a consumed conjunct makes FALSE are the only
+    /// ones it may skip). Unordered seeks emit rows in storage order;
+    /// `ordered` seeks emit in index-key order and license the executor to
+    /// skip the ORDER BY sort.
+    IndexSeek {
+        table: String,
+        alias: String,
+        /// Index name (lowercase catalog key).
+        index: String,
+        /// Equality-probe values for the leading key columns.
+        eq: Vec<Value>,
+        /// Optional range probe on the next key column.
+        range: Option<(BinaryOp, Value)>,
+        /// Emit in index-key order (sort elimination) instead of storage
+        /// order.
+        ordered: bool,
+        /// With `ordered`: emit key groups in descending order (DESC).
+        reverse: bool,
+    },
     /// A derived table (or expanded view).
     Derived {
         plan: Box<SelectPlan>,
@@ -180,13 +204,17 @@ pub fn plan_select(
         ctes.push((cte.name.to_ascii_lowercase(), cte.columns.clone(), plan));
     }
     let body = plan_body(&select.body, pctx, &visible)?;
-    Ok(SelectPlan {
+    let mut plan = SelectPlan {
         ctes,
         body,
         order_by: select.order_by.clone(),
         limit: select.limit.clone(),
         offset: select.offset.clone(),
-    })
+    };
+    if pctx.optimize {
+        eliminate_sort(&mut plan, pctx);
+    }
+    Ok(plan)
 }
 
 fn plan_body(body: &SelectBody, pctx: &PlanCtx, ctes: &BTreeSet<String>) -> Result<BodyPlan> {
@@ -271,8 +299,11 @@ fn plan_core(core: &SelectCore, pctx: &PlanCtx, ctes: &BTreeSet<String>) -> Resu
             from = Some(new_from);
             where_clause = residual;
         }
-        // Index selection on single-table scans.
+        // Access-path selection on single-table scans: first try a
+        // physical index seek over a sargable conjunct prefix, then the
+        // legacy expression-index ordered scan.
         if let Some(f) = from.take() {
+            let f = select_seek(f, where_clause.as_ref(), pctx);
             from = Some(select_index(f, where_clause.as_ref(), pctx)?);
         }
     }
@@ -725,6 +756,7 @@ fn collect_aliases(plan: &FromPlan, out: &mut BTreeSet<String>) {
     match plan {
         FromPlan::SeqScan { alias, .. }
         | FromPlan::IndexScan { alias, .. }
+        | FromPlan::IndexSeek { alias, .. }
         | FromPlan::Derived { alias, .. }
         | FromPlan::ValuesScan { alias, .. }
         | FromPlan::CteScan { alias, .. } => {
@@ -834,6 +866,278 @@ fn push_down(from: FromPlan, where_clause: Expr, pctx: &PlanCtx) -> (FromPlan, O
 }
 
 // ---------------------------------------------------------------------------
+// Index seek selection and sort elimination
+// ---------------------------------------------------------------------------
+
+/// Maximum key columns a seek consumes (a leading run of equality probes
+/// with one optional trailing range probe).
+const MAX_SEEK_KEYS: usize = 2;
+
+/// Mutants whose trigger shapes run through the legacy indexed paths (or
+/// through correlated-name planning): seek selection must not reroute
+/// them, so it stands down entirely while any is active.
+fn seek_gated(pctx: &PlanCtx) -> bool {
+    pctx.bugs.active(BugId::SqliteAggSubqueryIndexedWhere)
+        || pctx.bugs.active(BugId::SqliteIndexedCmpNullTrue)
+        || pctx.bugs.active(BugId::SqliteInternalConcatIndexedExpr)
+        || pctx.bugs.active(BugId::TidbCorrelatedNameCollision)
+}
+
+/// A sargable conjunct: `col <cmp> non-NULL-literal` (either operand
+/// order) over a bare or `alias`-qualified column. Returns the lowercase
+/// column name, the comparison normalized to column-on-the-left, and the
+/// probe literal.
+fn sargable(conj: &Expr, alias: &str) -> Option<(String, BinaryOp, Value)> {
+    let Expr::Binary { op, left, right } = conj else {
+        return None;
+    };
+    if !matches!(
+        op,
+        BinaryOp::Eq | BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge
+    ) {
+        return None;
+    }
+    let col_of = |e: &Expr| -> Option<String> {
+        let Expr::Column(c) = e else { return None };
+        match c.table.as_deref() {
+            Some(t) if !t.eq_ignore_ascii_case(alias) => None,
+            _ => Some(c.column.to_ascii_lowercase()),
+        }
+    };
+    let flip = |op: BinaryOp| match op {
+        BinaryOp::Lt => BinaryOp::Gt,
+        BinaryOp::Le => BinaryOp::Ge,
+        BinaryOp::Gt => BinaryOp::Lt,
+        BinaryOp::Ge => BinaryOp::Le,
+        other => other,
+    };
+    match (left.as_ref(), right.as_ref()) {
+        (col @ Expr::Column(_), Expr::Literal(v)) if !v.is_null() => {
+            Some((col_of(col)?, *op, v.clone()))
+        }
+        (Expr::Literal(v), col @ Expr::Column(_)) if !v.is_null() => {
+            Some((col_of(col)?, flip(*op), v.clone()))
+        }
+        _ => None,
+    }
+}
+
+/// Turn a bare single-table scan into an [`FromPlan::IndexSeek`] when a
+/// *prefix* of the WHERE conjuncts probes a physical index's leading key
+/// columns. Only a prefix qualifies: the executor's coverage/fuel replay
+/// for skipped rows relies on every conjunct *before* the failing one
+/// reading key columns only. The consumed conjuncts stay in the WHERE
+/// clause — the seek is a pre-filter, not a substitute.
+fn select_seek(plan: FromPlan, where_clause: Option<&Expr>, pctx: &PlanCtx) -> FromPlan {
+    if seek_gated(pctx) {
+        return plan;
+    }
+    let FromPlan::SeqScan { table, alias } = &plan else {
+        return plan;
+    };
+    let Some(filter) = where_clause else {
+        return plan;
+    };
+    let Ok(t) = pctx.catalog.table(table) else {
+        return plan;
+    };
+    let conjs = split_conjuncts(filter);
+    let mut best: Option<(usize, String, Vec<Value>, Option<(BinaryOp, Value)>)> = None;
+    for index in pctx.catalog.indexes_for_table(table) {
+        let Some(data) = &index.data else { continue };
+        let mut eq = Vec::new();
+        let mut range = None;
+        for conj in conjs.iter().take(MAX_SEEK_KEYS) {
+            let Some((col, op, v)) = sargable(conj, alias) else {
+                break;
+            };
+            let Some(&key_col) = data.cols.get(eq.len()) else {
+                break;
+            };
+            if !t.columns[key_col].name.eq_ignore_ascii_case(&col) {
+                break;
+            }
+            if op == BinaryOp::Eq {
+                eq.push(v);
+            } else {
+                range = Some((op, v));
+                break;
+            }
+        }
+        let consumed = eq.len() + usize::from(range.is_some());
+        // Best = most consumed key columns; ties go to the first index in
+        // name order (the catalog iterates name-ascending).
+        if consumed > 0 && best.as_ref().is_none_or(|(c, ..)| consumed > *c) {
+            best = Some((consumed, index.name.to_ascii_lowercase(), eq, range));
+        }
+    }
+    match best {
+        Some((_, index, eq, range)) => {
+            pctx.cov.hit(pt::PLAN_INDEX_SEEK);
+            FromPlan::IndexSeek {
+                table: table.clone(),
+                alias: alias.clone(),
+                index,
+                eq,
+                range,
+                ordered: false,
+                reverse: false,
+            }
+        }
+        None => plan,
+    }
+}
+
+/// Satisfy ORDER BY via an ordered index seek when the emission order
+/// provably equals the sorted order: single-core body, no grouping or
+/// aggregation, plain bare-column output items, ORDER BY naming the
+/// *full* key column list of the access path's index in order with one
+/// uniform direction, and no residual WHERE work beyond the seek's
+/// consumed conjuncts (index-order emission changes the row evaluation
+/// order, which an erroring residual conjunct could observe).
+fn eliminate_sort(plan: &mut SelectPlan, pctx: &PlanCtx) {
+    if plan.order_by.is_empty() || seek_gated(pctx) {
+        return;
+    }
+    let BodyPlan::Core(core) = &mut plan.body else {
+        return;
+    };
+    if !core.group_by.is_empty()
+        || core.having.is_some()
+        || core.items.iter().any(|i| match i {
+            SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
+            _ => false,
+        })
+    {
+        return;
+    }
+    let desc = plan.order_by[0].order == crate::ast::SortOrder::Desc;
+    if plan
+        .order_by
+        .iter()
+        .any(|o| (o.order == crate::ast::SortOrder::Desc) != desc)
+    {
+        return;
+    }
+    // Every sort key must be a bare, unqualified column (the executor's
+    // sort then resolves it by output name — no expression evaluation,
+    // which could consume coverage the eliminated path would miss).
+    let mut key_names = Vec::with_capacity(plan.order_by.len());
+    for o in &plan.order_by {
+        match &o.expr {
+            Expr::Column(c) if c.table.is_none() => key_names.push(c.column.clone()),
+            _ => return,
+        }
+    }
+    // The access path: an existing seek whose WHERE is fully consumed, or
+    // a bare scan with no WHERE at all (upgraded to a full-range seek).
+    let table = match core.from.as_ref() {
+        Some(FromPlan::IndexSeek {
+            table, eq, range, ..
+        }) => {
+            let consumed = eq.len() + usize::from(range.is_some());
+            let total = core
+                .where_clause
+                .as_ref()
+                .map(|w| split_conjuncts(w).len())
+                .unwrap_or(0);
+            if consumed != total {
+                return;
+            }
+            table.clone()
+        }
+        Some(FromPlan::SeqScan { table, .. }) => {
+            if core.where_clause.is_some() {
+                return;
+            }
+            table.clone()
+        }
+        _ => return,
+    };
+    let Ok(t) = pctx.catalog.table(&table) else {
+        return;
+    };
+    // The output-name table the executor's sort resolves against, each
+    // name mapped to its underlying storage column ordinal.
+    let outputs: Vec<(&str, usize)> =
+        if core.items.len() == 1 && matches!(core.items[0], SelectItem::Wildcard) {
+            t.columns
+                .iter()
+                .enumerate()
+                .map(|(i, c)| (c.name.as_str(), i))
+                .collect()
+        } else {
+            let mut out = Vec::with_capacity(core.items.len());
+            for item in &core.items {
+                let SelectItem::Expr { expr, alias } = item else {
+                    return;
+                };
+                let Expr::Column(c) = expr else { return };
+                if c.table.is_some() {
+                    return;
+                }
+                let Some(ord) = t.column_index(&c.column) else {
+                    return;
+                };
+                out.push((alias.as_deref().unwrap_or(c.column.as_str()), ord));
+            }
+            out
+        };
+    // Resolve each ORDER BY name exactly as the executor's sort does:
+    // first case-insensitive output-name match.
+    let mut ordinals = Vec::with_capacity(key_names.len());
+    for name in &key_names {
+        let Some((_, ord)) = outputs.iter().find(|(n, _)| n.eq_ignore_ascii_case(name)) else {
+            return;
+        };
+        ordinals.push(*ord);
+    }
+    match core.from.as_mut() {
+        Some(FromPlan::IndexSeek {
+            index,
+            ordered,
+            reverse,
+            ..
+        }) => {
+            let cols_match = pctx
+                .catalog
+                .index(index)
+                .and_then(|i| i.data.as_ref())
+                .is_some_and(|d| d.cols == ordinals);
+            if !cols_match {
+                return;
+            }
+            *ordered = true;
+            *reverse = desc;
+            pctx.cov.hit(pt::PLAN_SORT_ELIM);
+        }
+        Some(from @ FromPlan::SeqScan { .. }) => {
+            let chosen = pctx
+                .catalog
+                .indexes_for_table(&table)
+                .into_iter()
+                .find(|i| i.data.as_ref().is_some_and(|d| d.cols == ordinals));
+            let Some(idx) = chosen else { return };
+            let FromPlan::SeqScan { alias, .. } = &*from else {
+                unreachable!()
+            };
+            *from = FromPlan::IndexSeek {
+                table: table.clone(),
+                alias: alias.clone(),
+                index: idx.name.to_ascii_lowercase(),
+                eq: Vec::new(),
+                range: None,
+                ordered: true,
+                reverse: desc,
+            };
+            pctx.cov.hit(pt::PLAN_INDEX_SEEK);
+            pctx.cov.hit(pt::PLAN_SORT_ELIM);
+        }
+        _ => {}
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Index selection
 // ---------------------------------------------------------------------------
 
@@ -848,7 +1152,7 @@ fn select_index(plan: FromPlan, where_clause: Option<&Expr>, pctx: &PlanCtx) -> 
     };
     for conj in split_conjuncts(filter) {
         for index in pctx.catalog.indexes_for_table(table) {
-            if let Some(reverse) = index_matches(&conj, &index.expr, alias) {
+            if let Some(reverse) = index_matches(&conj, &index.exprs[0], alias) {
                 pctx.cov.hit(pt::PLAN_INDEX_SCAN);
                 return Ok(FromPlan::IndexScan {
                     table: table.clone(),
@@ -1461,6 +1765,30 @@ fn explain_from(from: &FromPlan, indent: usize, ectx: ExplainCtx, out: &mut Stri
                 if *reverse { " (reverse)" } else { "" }
             ));
         }
+        FromPlan::IndexSeek {
+            table,
+            alias,
+            index,
+            eq,
+            range,
+            ordered,
+            reverse,
+        } => {
+            pad(indent, out);
+            let n = eq.len() + usize::from(range.is_some());
+            let shape = if range.is_some() {
+                "range"
+            } else if eq.is_empty() {
+                "full"
+            } else {
+                "point"
+            };
+            out.push_str(&format!(
+                "INDEX SEEK {table} AS {alias} USING {index} ({n} key(s), {shape}{}{})\n",
+                if *ordered { ", ordered" } else { "" },
+                if *reverse { ", reverse" } else { "" }
+            ));
+        }
         FromPlan::Derived {
             plan,
             alias,
@@ -1625,6 +1953,31 @@ fn hash_from(from: &FromPlan, h: &mut impl Hasher) {
             0xC1u8.hash(h);
             table.hash(h);
             index.hash(h);
+            reverse.hash(h);
+        }
+        FromPlan::IndexSeek {
+            table,
+            index,
+            eq,
+            range,
+            ordered,
+            reverse,
+            ..
+        } => {
+            // Shape only: key arity and range operator, never the probe
+            // constants (real planners share a plan across parameters).
+            0xC7u8.hash(h);
+            table.hash(h);
+            index.hash(h);
+            eq.len().hash(h);
+            match range {
+                Some((op, _)) => {
+                    1u8.hash(h);
+                    (*op as u8).hash(h);
+                }
+                None => 0u8.hash(h),
+            }
+            ordered.hash(h);
             reverse.hash(h);
         }
         FromPlan::Derived {
@@ -1887,7 +2240,7 @@ mod tests {
             false,
         )
         .unwrap();
-        cat.create_index("i0", "t0", Expr::bare_col("c0"), false)
+        cat.create_index("i0", "t0", vec![Expr::bare_col("c0")], false)
             .unwrap();
         cat
     }
@@ -1918,6 +2271,9 @@ mod tests {
 
     #[test]
     fn index_selected_for_matching_probe() {
+        // A bare-column index on the probed column upgrades the scan to
+        // a range seek (the legacy ordered IndexScan remains for
+        // expression indexes — see `expr_index_keeps_ordered_scan`).
         let cat = setup();
         let bugs = BugRegistry::none();
         let cov = Coverage::new();
@@ -1929,11 +2285,53 @@ mod tests {
         )));
         let plan = plan_select(&sel, &ctx, &BTreeSet::new()).unwrap();
         match plan.body {
+            BodyPlan::Core(c) => match c.from {
+                Some(FromPlan::IndexSeek {
+                    ref eq,
+                    ref range,
+                    ordered,
+                    reverse,
+                    ..
+                }) => {
+                    assert!(eq.is_empty());
+                    assert!(matches!(range, Some((BinaryOp::Gt, Value::Int(5)))));
+                    assert!(!ordered);
+                    assert!(!reverse);
+                }
+                ref other => panic!("expected IndexSeek, got {other:?}"),
+            },
+            _ => panic!("expected core"),
+        }
+    }
+
+    #[test]
+    fn expr_index_keeps_ordered_scan() {
+        // Expression indexes have no physical ordered structure: the
+        // probe-match heuristic still picks the legacy ordered IndexScan.
+        let mut cat = setup();
+        cat.create_index(
+            "i1",
+            "t0",
+            vec![Expr::bin(
+                BinaryOp::Gt,
+                Expr::bare_col("c1"),
+                Expr::lit(0i64),
+            )],
+            false,
+        )
+        .unwrap();
+        let bugs = BugRegistry::none();
+        let cov = Coverage::new();
+        let ctx = pctx(&cat, &bugs, &cov, true);
+        let sel = simple_select(Some(Expr::bin(
+            BinaryOp::Gt,
+            Expr::col("t0", "c1"),
+            Expr::lit(0i64),
+        )));
+        let plan = plan_select(&sel, &ctx, &BTreeSet::new()).unwrap();
+        match plan.body {
             BodyPlan::Core(c) => {
-                assert!(matches!(
-                    c.from,
-                    Some(FromPlan::IndexScan { reverse: true, .. })
-                ));
+                assert!(matches!(c.from, Some(FromPlan::IndexScan { .. })));
             }
             _ => panic!("expected core"),
         }

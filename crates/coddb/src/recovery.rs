@@ -319,6 +319,12 @@ pub fn replay_into(
             apply_effect(db, e)?;
         }
     }
+    // Row effects were applied physically, bypassing the per-DML index
+    // maintenance hooks: rebuild every ordered index from the recovered
+    // rows. Deterministic — build order is catalog order, key order is
+    // value order — so a recovered engine's seek behaviour is
+    // byte-identical to the never-crashed reference's.
+    db.catalog_mut().rebuild_index_data();
     Ok(())
 }
 

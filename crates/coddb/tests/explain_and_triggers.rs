@@ -19,9 +19,29 @@ fn explain_shows_access_paths() {
     .unwrap();
     let plain = db.explain_sql("SELECT * FROM t").unwrap();
     assert!(plain.contains("SCAN t AS t"), "{plain}");
+    // A bare-column index turns a sargable probe into a range seek.
     let probe = db.explain_sql("SELECT * FROM t WHERE v > 0").unwrap();
-    assert!(probe.contains("INDEX SCAN t AS t USING iv"), "{probe}");
-    assert!(probe.contains("(reverse)"), "{probe}");
+    assert!(
+        probe.contains("INDEX SEEK t AS t USING iv (1 key(s), range)"),
+        "{probe}"
+    );
+    // A matching ORDER BY runs the seek in key order and skips the sort.
+    let sorted = db
+        .explain_sql("SELECT * FROM t WHERE v > 0 ORDER BY v")
+        .unwrap();
+    assert!(
+        sorted.contains("INDEX SEEK t AS t USING iv (1 key(s), range, ordered)"),
+        "{sorted}"
+    );
+    let desc = db.explain_sql("SELECT * FROM t ORDER BY v DESC").unwrap();
+    assert!(
+        desc.contains("INDEX SEEK t AS t USING iv (0 key(s), full, ordered, reverse)"),
+        "{desc}"
+    );
+    // Expression indexes keep the legacy ordered scan.
+    db.execute_sql("CREATE INDEX ie ON t (v > 0)").unwrap();
+    let legacy = db.explain_sql("SELECT * FROM t WHERE v IS NULL").unwrap();
+    assert!(legacy.contains("SCAN t AS t"), "{legacy}");
 }
 
 #[test]

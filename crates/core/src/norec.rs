@@ -148,6 +148,7 @@ mod tests {
                 row_count: 3,
             }],
             indexes: vec![],
+            indexed_columns: vec![],
             dialect: Some(Dialect::Sqlite),
         };
         let mut oracle = NoRec::default();

@@ -68,7 +68,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
-use coddb::bugs::{BugId, BugKind, BugRegistry, RecoveryBugId};
+use coddb::bugs::{BugId, BugKind, BugRegistry, IndexBugId, RecoveryBugId};
 use coddb::coverage::Coverage;
 use coddb::{Database, Dialect, Severity};
 use rand::rngs::StdRng;
@@ -138,6 +138,10 @@ pub struct Finding {
     /// by [`attribute_bugs`]; the recovery scheme is separate from the
     /// Table 1 scheme, so attributions are too).
     pub attributed_recovery: Vec<RecoveryBugId>,
+    /// Injected index-path mutants that reproduce this finding (filled by
+    /// [`attribute_bugs`]; the ordered-index scheme is a third mutant
+    /// family with its own list for the same reason).
+    pub attributed_index: Vec<IndexBugId>,
 }
 
 /// Aggregated campaign results (one row of Table 3).
@@ -435,6 +439,7 @@ fn merge_shard(
             test_idx,
             attributed: Vec::new(),
             attributed_recovery: Vec::new(),
+            attributed_index: Vec::new(),
         });
     }
     result.successful_queries += shard.ok_queries;
@@ -495,6 +500,7 @@ fn drive_campaign(
                     test_idx: 0,
                     attributed: Vec::new(),
                     attributed_recovery: Vec::new(),
+                    attributed_index: Vec::new(),
                 });
                 stop = true;
             }
@@ -749,12 +755,14 @@ pub fn attribute_bugs_parallel(
     enum Mutant {
         Engine(BugId),
         Recovery(RecoveryBugId),
+        Index(IndexBugId),
     }
     impl Mutant {
         fn registry(self) -> BugRegistry {
             match self {
                 Mutant::Engine(b) => BugRegistry::only(b),
                 Mutant::Recovery(b) => BugRegistry::only_recovery(b),
+                Mutant::Index(b) => BugRegistry::only_index(b),
             }
         }
     }
@@ -764,6 +772,7 @@ pub fn attribute_bugs_parallel(
         .enabled()
         .map(Mutant::Engine)
         .chain(cfg.bugs.enabled_recovery().map(Mutant::Recovery))
+        .chain(cfg.bugs.enabled_index().map(Mutant::Index))
         .collect();
     let coords: Vec<(u64, u64)> = result
         .findings
@@ -800,6 +809,7 @@ pub fn attribute_bugs_parallel(
             match bug {
                 Mutant::Engine(b) => result.findings[fi].attributed.push(b),
                 Mutant::Recovery(b) => result.findings[fi].attributed_recovery.push(b),
+                Mutant::Index(b) => result.findings[fi].attributed_index.push(b),
             }
         }
     }
@@ -1168,6 +1178,48 @@ mod tests {
                 .any(|f| f.attributed_recovery.contains(&bug)),
             "no finding attributed to {bug:?}"
         );
+    }
+
+    /// Index-path mutants: the ordered-seek bug family is campaign-visible
+    /// — constant folding flips a leading conjunct's sargability, so
+    /// exactly one of O/F seeks and the mutant no longer cancels out —
+    /// and findings attribute into `attributed_index` through the same
+    /// replay machinery, reproducing from (state_idx, test_idx) alone.
+    #[test]
+    fn index_mutant_findings_attribute_to_index_mutants() {
+        for (bug, seed, budget) in [
+            (IndexBugId::PrefixSeekIgnoresResidual, 0xC0DD, 500),
+            (IndexBugId::EqSeekMissesDuplicates, 2, 600),
+            (IndexBugId::StaleEntryAfterUpdate, 0xC0DD, 1500),
+            (IndexBugId::SortElimWrongDirection, 7, 2000),
+        ] {
+            let cfg = CampaignConfig {
+                bugs: BugRegistry::only_index(bug),
+                tests: budget,
+                seed,
+                stop_on_first_bug: true,
+                ..CampaignConfig::new(Dialect::Sqlite)
+            };
+            let mut oracle = make_oracle("codd").unwrap();
+            let mut result = run_campaign(oracle.as_mut(), &cfg);
+            assert!(!result.findings.is_empty(), "codd never caught {bug:?}");
+            attribute_bugs_parallel(&mut result, &cfg, "codd", 2);
+            assert!(
+                result
+                    .findings
+                    .iter()
+                    .any(|f| f.attributed_index.contains(&bug)),
+                "no finding attributed to {bug:?}: {:#?}",
+                result.findings
+            );
+            assert!(
+                result
+                    .findings
+                    .iter()
+                    .all(|f| f.attributed.is_empty() && f.attributed_recovery.is_empty()),
+                "index findings must not attribute to other mutant families"
+            );
+        }
     }
 
     #[test]

@@ -456,6 +456,7 @@ mod tests {
                 row_count: 3,
             }],
             indexes: vec![],
+            indexed_columns: vec![],
             dialect: Some(Dialect::Tidb),
         };
         let mut oracle = Tlp::default();

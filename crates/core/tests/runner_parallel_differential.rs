@@ -184,7 +184,7 @@ fn stop_kind_picks_same_earliest_matching_finding() {
     let cfg = CampaignConfig {
         bugs,
         tests: 200,
-        seed: 1,
+        seed: 3,
         stop_on_first_bug: true,
         stop_kind: Some(coddb::BugKind::Logic),
         ..CampaignConfig::new(Dialect::Duckdb)

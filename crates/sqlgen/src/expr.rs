@@ -137,6 +137,94 @@ impl<'a> ExprGen<'a> {
             };
         }
         let subqueries = self.config.allow_subqueries;
+        // Seek-probe shape: `col <cmp> rhs` with the column bare on the
+        // left — the sargable orientation the planner's ordered-index
+        // seeks consume. With a non-correlated subquery on the right the
+        // conjunct is NOT sargable until constant folding replaces the
+        // subquery with a literal, so the folded query seeks where the
+        // original scans — the asymmetry that lets the metamorphic
+        // oracles observe index-path mutants at all.
+        if rng.random_bool(0.2) && !self.scope.is_empty() {
+            // Prefer a column an index key covers: probes on unindexed
+            // columns never reach the seek machinery.
+            let indexed: Vec<&ColumnInfo> = self
+                .scope
+                .iter()
+                .filter(|c| {
+                    self.schema.indexed_columns.iter().any(|(t, ic)| {
+                        ic.eq_ignore_ascii_case(&c.column)
+                            && c.table.eq_ignore_ascii_case(t)
+                    })
+                })
+                .collect();
+            let col = if !indexed.is_empty() && rng.random_bool(0.8) {
+                indexed[rng.random_range(0..indexed.len())].clone()
+            } else {
+                self.scope[rng.random_range(0..self.scope.len())].clone()
+            };
+            // Eq leads double-weighted: point seeks are where duplicate
+            // handling and multi-key prefixes live.
+            let op = [
+                BinaryOp::Eq,
+                BinaryOp::Eq,
+                BinaryOp::Lt,
+                BinaryOp::Le,
+                BinaryOp::Gt,
+                BinaryOp::Ge,
+            ][rng.random_range(0..6)];
+            let numeric = matches!(col.ty, DataType::Int | DataType::Any);
+            let rhs = if subqueries && numeric && depth > 0 && rng.random_bool(0.6) {
+                // MIN/MAX of the probed column itself folds to an actual
+                // stored value — point probes then land on occupied (and
+                // often duplicated) keys instead of missing the table.
+                let self_agg = self
+                    .schema
+                    .tables
+                    .iter()
+                    .find(|t| t.name.eq_ignore_ascii_case(&col.table) && !t.is_view);
+                match self_agg {
+                    Some(t) if rng.random_bool(0.5) => {
+                        let func = if rng.random() {
+                            AggFunc::Max
+                        } else {
+                            AggFunc::Min
+                        };
+                        let q = Select::from_core(SelectCore {
+                            items: vec![SelectItem::Expr {
+                                expr: Expr::Agg {
+                                    func,
+                                    arg: Some(Box::new(Expr::col(
+                                        t.name.clone(),
+                                        col.column.clone(),
+                                    ))),
+                                    distinct: false,
+                                },
+                                alias: None,
+                            }],
+                            from: Some(TableExpr::named(t.name.clone())),
+                            ..SelectCore::default()
+                        });
+                        Expr::Scalar(Box::new(q))
+                    }
+                    _ => Expr::Scalar(Box::new(self.gen_count_subquery(rng, depth - 1))),
+                }
+            } else {
+                let ty = if col.ty == DataType::Any {
+                    DataType::Int
+                } else {
+                    col.ty
+                };
+                // The planner only consumes non-NULL constants.
+                loop {
+                    match random_value(rng, ty) {
+                        Value::Null => continue,
+                        v => break Expr::Literal(v),
+                    }
+                }
+            };
+            self.refs.push(col.clone());
+            return Expr::bin(op, Expr::col(col.table, col.column), rhs);
+        }
         let roll = rng.random_range(0..100);
         match roll {
             0..=24 => {

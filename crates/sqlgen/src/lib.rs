@@ -111,6 +111,9 @@ pub struct SchemaInfo {
     pub tables: Vec<TableInfo>,
     /// (index name, table name) pairs.
     pub indexes: Vec<(String, String)>,
+    /// (table name, column name) pairs for bare-column index keys — the
+    /// columns the planner's ordered seeks can consume probes against.
+    pub indexed_columns: Vec<(String, String)>,
     pub dialect: Option<Dialect>,
 }
 

@@ -7,7 +7,7 @@
 //! [`build_projection_query`] wrap a predicate into the original-query
 //! shapes used by the oracles.
 
-use coddb::ast::{BinaryOp, Expr, JoinKind, Select, SelectCore, SelectItem, TableExpr};
+use coddb::ast::{BinaryOp, Expr, JoinKind, OrderItem, Select, SelectCore, SelectItem, SortOrder, TableExpr};
 use coddb::value::DataType;
 use coddb::Dialect;
 use rand::{Rng, RngExt};
@@ -242,6 +242,23 @@ pub fn build_table_wildcard_query(
     })
 }
 
+/// The column name of a predicate's leading `col <cmp> _` conjunct, if
+/// it has one (descending the left spine of top-level ANDs).
+fn leading_cmp_column(pred: &Expr) -> Option<String> {
+    match pred {
+        Expr::Binary {
+            op: BinaryOp::And,
+            left,
+            ..
+        } => leading_cmp_column(left),
+        Expr::Binary { op, left, right } if op.is_comparison() => match (&**left, &**right) {
+            (Expr::Column(c), _) | (_, Expr::Column(c)) => Some(c.column.clone()),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
 /// Pick randomly between the count, projection and table-wildcard shapes.
 pub fn build_random_query(
     rng: &mut (impl Rng + ?Sized),
@@ -254,6 +271,45 @@ pub fn build_random_query(
     }
     if rng.random_bool(0.5) {
         build_count_query(from, where_clause)
+    } else if !from.has_join && rng.random_bool(0.3) {
+        // `SELECT * .. ORDER BY col LIMIT k` — the one projection shape
+        // whose sort an ordered seek can eliminate (wildcard items, bare
+        // sort key resolved by output name). The limited multiset depends
+        // on sort direction, so ordered-seek mutants become visible to
+        // multiset-comparing oracles; ties stay deterministic because the
+        // sort is stable over storage order and an order-satisfying seek
+        // emits key groups in that same storage order. Prefer ordering by
+        // the leading WHERE conjunct's column: when that conjunct is (or
+        // folds to) a seek probe, this sort is exactly the one the seek
+        // can absorb.
+        let lead = where_clause
+            .as_ref()
+            .and_then(leading_cmp_column)
+            .filter(|_| rng.random_bool(0.7));
+        let name = match lead {
+            Some(n) => n,
+            None => {
+                let c = &from.scope[rng.random_range(0..from.scope.len())];
+                c.column.clone()
+            }
+        };
+        let order = if rng.random() {
+            SortOrder::Asc
+        } else {
+            SortOrder::Desc
+        };
+        let mut q = Select::from_core(SelectCore {
+            items: vec![SelectItem::Wildcard],
+            from: Some(from.table_expr.clone()),
+            where_clause,
+            ..SelectCore::default()
+        });
+        q.order_by = vec![OrderItem {
+            expr: Expr::bare_col(name),
+            order,
+        }];
+        q.limit = Some(Expr::lit(rng.random_range(1i64..5)));
+        q
     } else {
         build_projection_query(from, where_clause)
     }

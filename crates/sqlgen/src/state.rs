@@ -47,13 +47,25 @@ pub fn generate_state(
             if_not_exists: false,
         });
 
-        // Insert 1..=max_rows rows (never zero).
+        // Insert 1..=max_rows rows (never zero). Some tables draw their
+        // integers from a 5-value domain: duplicate keys are what make
+        // equality seeks, GROUP BY and join fan-out interesting, and a
+        // wide domain almost never collides within a handful of rows.
+        let narrow = rng.random_bool(0.35);
         let n_rows = rng.random_range(1..=config.max_rows.max(1));
         let mut rows = Vec::with_capacity(n_rows);
         for _ in 0..n_rows {
             let row: Vec<Expr> = columns
                 .iter()
-                .map(|(_, ty)| Expr::Literal(random_value(rng, *ty)))
+                .map(|(_, ty)| {
+                    let mut v = random_value(rng, *ty);
+                    if narrow {
+                        if let Value::Int(i) = v {
+                            v = Value::Int(i.rem_euclid(5));
+                        }
+                    }
+                    Expr::Literal(v)
+                })
                 .collect();
             rows.push(row);
         }
@@ -91,13 +103,48 @@ pub fn generate_state(
             } else {
                 Expr::bare_col(col.clone())
             };
+            // Occasionally widen a bare-column key into a two-column
+            // prefix — the seek path's multi-column shapes.
+            let mut exprs = vec![expr];
+            if matches!(&exprs[0], Expr::Column(_)) && columns.len() > 1 && rng.random_bool(0.3) {
+                let (second, _) = &columns[rng.random_range(0..columns.len())];
+                if !second.eq_ignore_ascii_case(col) {
+                    exprs.push(Expr::bare_col(second.clone()));
+                }
+            }
+            let rekey = match &exprs[0] {
+                Expr::Column(c) if rng.random_bool(0.7) => columns
+                    .iter()
+                    .find(|(n, t)| n == &c.column && *t == DataType::Int)
+                    .map(|(n, _)| n.clone()),
+                _ => None,
+            };
+            if let Expr::Column(c) = &exprs[0] {
+                schema
+                    .indexed_columns
+                    .push((name.clone(), c.column.clone()));
+            }
             stmts.push(Statement::CreateIndex {
                 name: idx_name.clone(),
                 table: name.clone(),
-                expr,
+                exprs,
                 unique: false,
             });
             schema.indexes.push((idx_name, name.clone()));
+            // Count-preserving re-key of the indexed column: every entry
+            // in the fresh index goes stale under a maintenance mutant,
+            // while row count and column types are untouched. Queries
+            // that later seek this index then diverge from scans.
+            if let Some(col) = rekey {
+                stmts.push(Statement::Update {
+                    table: name.clone(),
+                    sets: vec![(
+                        col.clone(),
+                        Expr::bin(BinaryOp::Add, Expr::bare_col(col), Expr::lit(1i64)),
+                    )],
+                    where_clause: None,
+                });
+            }
         }
 
         schema.tables.push(TableInfo {

@@ -66,7 +66,7 @@ fn detection_matrix_fast_subset() {
     // (bug, budget, codd, norec, tlp, dqe) — budgets chosen comfortably
     // above each oracle's observed detection point.
     let cases: &[(BugId, u64, bool, bool, bool, bool)] = &[
-        (BugId::TidbInValueListWhere, 900, true, true, true, false),
+        (BugId::TidbInValueListWhere, 1600, true, true, true, false),
         (
             BugId::TidbIsNullTopLevelInverted,
             400,

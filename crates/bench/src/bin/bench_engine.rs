@@ -19,14 +19,18 @@ use std::time::{Duration, Instant};
 
 use coddb::ast::Select;
 use coddb::bugs::BugRegistry;
-use coddb::wal::StorageMode;
-use coddb::{AccessMode, BindMode, Database, Dialect, EvalMode, JoinMode, ScanMode};
+use coddb::recovery::scrub_images;
+use coddb::wal::{MediaMode, MediaPlan, StorageMode};
+use coddb::{
+    AccessMode, BindMode, Database, Dialect, EvalMode, JoinMode, ScanMode, StorageSite,
+};
 use coddtest::make_oracle;
 use coddtest::runner::{run_campaign, run_campaign_parallel, CampaignConfig};
 use coddtest_bench::{
     engine_setup as setup, is_indexed_shape, is_join_shape, is_scan_shape, is_vec_shape,
     CAMPAIGN_PARALLEL_SHAPE, CHECKPOINT_WRITE_SHAPE, DML_INDEX_MAINTENANCE_SHAPE, QUERY_SHAPES,
-    RECOVERY_REPLAY_CHECKPOINTED_SHAPE, RECOVERY_REPLAY_SHAPE, WAL_COMMIT_SHAPE,
+    RECOVERY_REPLAY_CHECKPOINTED_SHAPE, RECOVERY_REPLAY_SHAPE, SCRUB_THROUGHPUT_SHAPE,
+    WAL_COMMIT_NOSPACE_SHAPE, WAL_COMMIT_SHAPE,
 };
 
 /// Worker threads for the `campaign_parallel` shape (the evaluation's
@@ -122,6 +126,8 @@ fn main() {
                 CHECKPOINT_WRITE_SHAPE,
                 RECOVERY_REPLAY_CHECKPOINTED_SHAPE,
                 DML_INDEX_MAINTENANCE_SHAPE,
+                SCRUB_THROUGHPUT_SHAPE,
+                WAL_COMMIT_NOSPACE_SHAPE,
             ])
             .collect();
         for want in filter {
@@ -480,6 +486,79 @@ fn main() {
             speedup,
             log_image.len(),
             snap_image.len()
+        ));
+    }
+
+    // scrub_throughput: a full offline integrity pass (frame walk +
+    // checksum verification + snapshot-seal structure check) over the
+    // checkpointed churn images — the cost of asking "is this disk
+    // lying to me", per pass, with the scanned byte count recorded.
+    let run_scrub_shape = shape_filter
+        .as_ref()
+        .is_none_or(|f| f.iter().any(|s| s == SCRUB_THROUGHPUT_SHAPE));
+    if run_scrub_shape {
+        let db = build_churn(Some(110));
+        let wal = db.wal().expect("durable");
+        let (log_image, snap_image) = (wal.image().to_vec(), wal.snapshot_image().to_vec());
+        let scrub_bytes = log_image.len() + snap_image.len();
+        let batch = if quick { 10 } else { 60 };
+        let scrub_ns = measure_campaign(windows.runs, || {
+            for _ in 0..batch {
+                let report = scrub_images(&log_image, &snap_image, &BugRegistry::none());
+                assert!(report.clean(), "churn images must scrub clean");
+                std::hint::black_box(report);
+            }
+        }) / batch as f64;
+        println!(
+            "{SCRUB_THROUGHPUT_SHAPE:<24} scrub {scrub_ns:>12.0} ns/iter   {scrub_bytes} bytes"
+        );
+        entries.push(format!(
+            "    {:?}: {{\n      \"scrub_ns_per_iter\": {:.0},\n      \"scrub_bytes\": {}\n    }}",
+            SCRUB_THROUGHPUT_SHAPE, scrub_ns, scrub_bytes
+        ));
+    }
+
+    // wal_commit_nospace: the clean-abort path of a statement hitting a
+    // full disk (append refused, catalog state rolled back, session still
+    // serving) against the identical statement committing unconstrained —
+    // graceful degradation must not cost more than the commit it refuses.
+    let run_nospace_shape = shape_filter
+        .as_ref()
+        .is_none_or(|f| f.iter().any(|s| s == WAL_COMMIT_NOSPACE_SHAPE));
+    if run_nospace_shape {
+        let ins = &coddb::parser::parse_statements(
+            "INSERT INTO w VALUES (1, 'x'), (2, 'y'), (3, 'z')",
+        )
+        .unwrap()[0];
+        let batch = if quick { 300 } else { 3_000 };
+        let unlimited_ns = measure_campaign(windows.runs, || {
+            let mut db = Database::new(Dialect::Sqlite);
+            db.execute_sql("CREATE TABLE w (a INT, b TEXT)").unwrap();
+            db.set_storage_mode(StorageMode::Durable);
+            for _ in 0..batch {
+                std::hint::black_box(db.execute(ins).unwrap());
+            }
+        }) / batch as f64;
+        let nospace_ns = measure_campaign(windows.runs, || {
+            let mut db = Database::new(Dialect::Sqlite);
+            db.execute_sql("CREATE TABLE w (a INT, b TEXT)").unwrap();
+            db.set_storage_mode(StorageMode::Durable);
+            let full = db.wal().expect("durable").ops();
+            db.set_media_plan(MediaPlan {
+                site: StorageSite::Log,
+                mode: MediaMode::NoSpace { at_op: full },
+            });
+            for _ in 0..batch {
+                std::hint::black_box(db.execute(ins).unwrap_err());
+            }
+        }) / batch as f64;
+        let overhead = nospace_ns / unlimited_ns;
+        println!(
+            "{WAL_COMMIT_NOSPACE_SHAPE:<24} abort {nospace_ns:>12.0} ns/iter   unlimited {unlimited_ns:>12.0} ns/iter   overhead {overhead:>5.2}x"
+        );
+        entries.push(format!(
+            "    {:?}: {{\n      \"nospace_abort_ns_per_iter\": {:.0},\n      \"unlimited_ns_per_iter\": {:.0},\n      \"abort_overhead\": {:.2}\n    }}",
+            WAL_COMMIT_NOSPACE_SHAPE, nospace_ns, unlimited_ns, overhead
         ));
     }
 

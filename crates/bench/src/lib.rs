@@ -114,6 +114,16 @@ pub const RECOVERY_REPLAY_SHAPE: &str = "recovery_replay";
 pub const CHECKPOINT_WRITE_SHAPE: &str = "checkpoint_write";
 pub const RECOVERY_REPLAY_CHECKPOINTED_SHAPE: &str = "recovery_replay_checkpointed";
 
+/// The media-fault shapes: `bench_engine` times a full
+/// [`coddb::recovery::scrub_images`] pass over a checkpointed log +
+/// snapshot pair (`scrub_ns_per_iter`, with the scanned byte count as
+/// `scrub_bytes`) and the clean-abort path of a statement hitting a full
+/// disk (`nospace_abort_ns_per_iter`, against the unconstrained commit as
+/// `unlimited_ns_per_iter`, ratio recorded as `abort_overhead`). Not SQL
+/// shapes, so they live outside [`QUERY_SHAPES`].
+pub const SCRUB_THROUGHPUT_SHAPE: &str = "scrub_throughput";
+pub const WAL_COMMIT_NOSPACE_SHAPE: &str = "wal_commit_nospace";
+
 /// The index-maintenance shape: `bench_engine` times the same DML batch
 /// against an indexed and an unindexed copy of one table and records the
 /// per-statement `index_maintenance_overhead` — the write-side price of

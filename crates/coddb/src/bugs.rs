@@ -700,14 +700,102 @@ impl IndexBugId {
     }
 }
 
+/// Injectable media-fault-handling mutants, seeded into the storage
+/// layer's degradation machinery (`crate::wal`'s bounded-retry reads, the
+/// `NoSpace` abort path, `crate::recovery`'s scrub and salvage passes) the
+/// way [`RecoveryBugId`] mutants are seeded into replay. They model the
+/// class of bugs where a system *mishandles its own fault handling*: the
+/// media fault itself is injected environment, the bug is reacting to it
+/// with silent wrong behavior instead of detection or graceful
+/// degradation. Hunted by the `recovery_divergence_media`
+/// detect-or-identical oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MediaBugId {
+    /// Scrub skips frame-checksum verification, reporting a damaged image
+    /// as clean — recovery then silently replays rotted payloads that a
+    /// clean scrub would have quarantined.
+    SkipScrubChecksum,
+    /// Salvage skips a checksum-failing frame and keeps scanning, replaying
+    /// effects *past* the damage instead of dropping the unreplayable
+    /// suffix (salvage must never resurrect state beyond a corrupt frame).
+    SalvagePastCorruptCommit,
+    /// The engine treats a `NoSpace` append failure as a successful
+    /// commit: the in-memory state mutates although the WAL refused the
+    /// record, so the live session diverges from the committed prefix.
+    NoSpaceTreatedAsCommitted,
+    /// The read path gives up after the first failed attempt, reporting a
+    /// transient fault the bounded retry schedule must heal as permanent
+    /// data loss.
+    TransientFaultAsPermanentLoss,
+    /// The read path retries transient faults forever instead of failing
+    /// stop at the cap: a fault beyond the retry budget heals silently
+    /// where the contract demands a structured error.
+    RetryCapIgnored,
+}
+
+impl MediaBugId {
+    /// Every media mutant, in a stable order.
+    pub const ALL: [MediaBugId; 5] = [
+        MediaBugId::SkipScrubChecksum,
+        MediaBugId::SalvagePastCorruptCommit,
+        MediaBugId::NoSpaceTreatedAsCommitted,
+        MediaBugId::TransientFaultAsPermanentLoss,
+        MediaBugId::RetryCapIgnored,
+    ];
+
+    /// The dominant symptom category: most media mutants surface as wrong
+    /// state (logic); giving up on a healable read surfaces as a recovery
+    /// failure (internal error).
+    pub fn kind(self) -> BugKind {
+        match self {
+            MediaBugId::TransientFaultAsPermanentLoss => BugKind::InternalError,
+            _ => BugKind::Logic,
+        }
+    }
+
+    /// Short stable identifier, e.g. for report keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            MediaBugId::SkipScrubChecksum => "media-skip-scrub-checksum",
+            MediaBugId::SalvagePastCorruptCommit => "media-salvage-past-corrupt-commit",
+            MediaBugId::NoSpaceTreatedAsCommitted => "media-nospace-treated-as-committed",
+            MediaBugId::TransientFaultAsPermanentLoss => "media-transient-fault-as-permanent-loss",
+            MediaBugId::RetryCapIgnored => "media-retry-cap-ignored",
+        }
+    }
+
+    /// Human-readable description (one line).
+    pub fn description(self) -> &'static str {
+        match self {
+            MediaBugId::SkipScrubChecksum => {
+                "scrub skips frame checksums, reporting damaged images as clean"
+            }
+            MediaBugId::SalvagePastCorruptCommit => {
+                "salvage replays effects past a checksum-failing frame"
+            }
+            MediaBugId::NoSpaceTreatedAsCommitted => {
+                "a NoSpace append failure is treated as a successful commit"
+            }
+            MediaBugId::TransientFaultAsPermanentLoss => {
+                "the read path reports a healable transient fault as permanent loss"
+            }
+            MediaBugId::RetryCapIgnored => {
+                "the read path retries transient faults past the bounded cap"
+            }
+        }
+    }
+}
+
 /// The set of currently enabled mutants — engine mutants ([`BugId`]),
-/// recovery mutants ([`RecoveryBugId`]) and index mutants ([`IndexBugId`])
-/// side by side, so one registry describes a whole campaign's buggy build.
+/// recovery mutants ([`RecoveryBugId`]), index mutants ([`IndexBugId`])
+/// and media mutants ([`MediaBugId`]) side by side, so one registry
+/// describes a whole campaign's buggy build.
 #[derive(Debug, Clone, Default)]
 pub struct BugRegistry {
     active: BTreeSet<BugId>,
     recovery: BTreeSet<RecoveryBugId>,
     index: BTreeSet<IndexBugId>,
+    media: BTreeSet<MediaBugId>,
 }
 
 impl BugRegistry {
@@ -747,7 +835,10 @@ impl BugRegistry {
     }
 
     pub fn is_empty(&self) -> bool {
-        self.active.is_empty() && self.recovery.is_empty() && self.index.is_empty()
+        self.active.is_empty()
+            && self.recovery.is_empty()
+            && self.index.is_empty()
+            && self.media.is_empty()
     }
 
     pub fn enabled(&self) -> impl Iterator<Item = BugId> + '_ {
@@ -824,6 +915,42 @@ impl BugRegistry {
 
     pub fn enabled_index(&self) -> impl Iterator<Item = IndexBugId> + '_ {
         self.index.iter().copied()
+    }
+
+    // --- media mutants ----------------------------------------------------
+
+    /// Enable exactly one media mutant (the per-bug probe configuration,
+    /// mirroring [`BugRegistry::only`]).
+    pub fn only_media(bug: MediaBugId) -> Self {
+        let mut reg = Self::default();
+        reg.enable_media(bug);
+        reg
+    }
+
+    /// Enable every media mutant.
+    pub fn all_media() -> Self {
+        let mut reg = Self::default();
+        for b in MediaBugId::ALL {
+            reg.enable_media(b);
+        }
+        reg
+    }
+
+    pub fn enable_media(&mut self, bug: MediaBugId) {
+        self.media.insert(bug);
+    }
+
+    pub fn disable_media(&mut self, bug: MediaBugId) {
+        self.media.remove(&bug);
+    }
+
+    #[inline]
+    pub fn media_active(&self, bug: MediaBugId) -> bool {
+        self.media.contains(&bug)
+    }
+
+    pub fn enabled_media(&self) -> impl Iterator<Item = MediaBugId> + '_ {
+        self.media.iter().copied()
     }
 }
 
@@ -963,6 +1090,54 @@ mod tests {
             vec![IndexBugId::EqSeekMissesDuplicates]
         );
         assert_eq!(BugRegistry::all_index().enabled_index().count(), 5);
+    }
+
+    #[test]
+    fn media_mutants_are_separate_from_the_other_schemes() {
+        assert_eq!(BugId::ALL.len(), 45);
+        assert_eq!(RecoveryBugId::ALL.len(), 10);
+        assert_eq!(IndexBugId::ALL.len(), 5);
+        assert_eq!(MediaBugId::ALL.len(), 5);
+        let mut names = BTreeSet::new();
+        for b in MediaBugId::ALL {
+            assert!(!b.name().is_empty());
+            assert!(!b.description().is_empty());
+            assert!(names.insert(b.name()), "duplicate name {}", b.name());
+        }
+        for b in BugId::ALL {
+            assert!(!names.contains(b.name()));
+        }
+        for b in RecoveryBugId::ALL {
+            assert!(!names.contains(b.name()));
+        }
+        for b in IndexBugId::ALL {
+            assert!(!names.contains(b.name()));
+        }
+    }
+
+    #[test]
+    fn registry_tracks_media_mutants_independently() {
+        let mut reg = BugRegistry::none();
+        assert!(reg.is_empty());
+        reg.enable_media(MediaBugId::SkipScrubChecksum);
+        assert!(!reg.is_empty(), "media mutants count as active bugs");
+        assert!(reg.media_active(MediaBugId::SkipScrubChecksum));
+        assert!(!reg.media_active(MediaBugId::RetryCapIgnored));
+        assert!(!reg.active(BugId::SqliteLikeCaseFold));
+        assert!(!reg.recovery_active(RecoveryBugId::DropLastCommit));
+        assert!(!reg.index_active(IndexBugId::RangeBoundOffByOne));
+        reg.disable_media(MediaBugId::SkipScrubChecksum);
+        assert!(reg.is_empty());
+
+        let only = BugRegistry::only_media(MediaBugId::SalvagePastCorruptCommit);
+        assert_eq!(only.enabled().count(), 0);
+        assert_eq!(only.enabled_recovery().count(), 0);
+        assert_eq!(only.enabled_index().count(), 0);
+        assert_eq!(
+            only.enabled_media().collect::<Vec<_>>(),
+            vec![MediaBugId::SalvagePastCorruptCommit]
+        );
+        assert_eq!(BugRegistry::all_media().enabled_media().count(), 5);
     }
 
     #[test]

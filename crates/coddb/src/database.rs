@@ -6,18 +6,19 @@
 //! [`Database::last_plan_fingerprint`] and the snapshot/restore pair.
 
 use crate::ast::{InsertSource, Statement};
-use crate::bugs::{BugId, BugRegistry, IndexBugId};
+use crate::bugs::{BugId, BugRegistry, IndexBugId, MediaBugId};
 use crate::catalog::Catalog;
 use crate::coverage::{pt, Coverage};
 use crate::dialect::Dialect;
-use crate::error::{Error, Result};
+use crate::error::{Error, Result, StorageError};
 use crate::eval::{eval_expr, truthiness, Clause, ExprCtx};
 use crate::exec::{
     self, BindMode, CteEnv, EngineCtx, EvalEnv, EvalMode, Frame, JoinMode, Prepared, ScanMode,
     Schema, StmtKind,
 };
+use crate::recovery::ScrubReport;
 use crate::value::{Relation, Row, Value};
-use crate::wal::{FaultPlan, StorageMode, Wal, WalRecord};
+use crate::wal::{FaultPlan, MediaPlan, StorageMode, Wal, WalRecord};
 
 /// Default execution fuel per statement (row-operations budget). Generated
 /// workloads stay far below this; injected hang bugs exhaust it.
@@ -255,6 +256,37 @@ impl Database {
         }
     }
 
+    /// Install the media-fault plan on the attached WAL. A no-op in
+    /// volatile mode; call [`Database::set_storage_mode`] first.
+    pub fn set_media_plan(&mut self, plan: MediaPlan) {
+        if let Some(w) = self.wal.as_mut() {
+            w.set_media_plan(plan);
+        }
+    }
+
+    /// Apply the media plan's at-rest damage (bit rot, read-fault arming)
+    /// to the stored images — models the time between shutdown and
+    /// recovery. A no-op in volatile mode.
+    pub fn degrade_media(&mut self) {
+        if let Some(w) = self.wal.as_mut() {
+            w.degrade_at_rest();
+        }
+    }
+
+    /// Verify every log frame checksum and snapshot seal, reading both
+    /// images through the bounded retry schedule, and return the
+    /// quarantine report. Errors in volatile mode, or with a structured
+    /// [`Error::Storage`] when the medium itself cannot be read.
+    pub fn scrub(&mut self) -> Result<ScrubReport> {
+        let bugs = self.bugs.clone();
+        let Some(w) = self.wal.as_mut() else {
+            return Err(Error::Internal("scrub requires durable storage mode".into()));
+        };
+        let log = w.read_log_image(&bugs).map_err(Error::from)?.to_vec();
+        let snap = w.read_snapshot_image(&bugs).map_err(Error::from)?.to_vec();
+        Ok(crate::recovery::scrub_images(&log, &snap, &bugs))
+    }
+
     /// The attached write-ahead log, when in durable mode.
     pub fn wal(&self) -> Option<&Wal> {
         self.wal.as_ref()
@@ -327,15 +359,61 @@ impl Database {
 
     /// Log a completed DDL statement and its durability point. DDL records
     /// carry the statement's SQL text (the Display round-trip); replay
-    /// re-parses and re-executes it against the recovered catalog.
-    fn wal_log_ddl(&mut self, stmt: &Statement) {
-        self.ddl_history.push(stmt.to_string());
+    /// re-parses and re-executes it against the recovered catalog. On a
+    /// refused append (`NoSpace`) nothing is recorded — the caller must
+    /// undo the catalog mutation so the statement aborts cleanly.
+    fn wal_log_ddl(&mut self, stmt: &Statement) -> Result<()> {
+        let sql = stmt.to_string();
         if let Some(w) = self.wal.as_mut() {
-            w.append(&WalRecord::Ddl {
-                sql: stmt.to_string(),
-            });
-            w.commit_statement();
+            let logged = w
+                .append(&WalRecord::Ddl { sql: sql.clone() })
+                .and_then(|()| w.commit_statement());
+            if let Err(e) = logged {
+                // Mutant: NoSpaceTreatedAsCommitted — the engine keeps the
+                // statement's effects although the WAL refused the record.
+                if !self.bugs.media_active(MediaBugId::NoSpaceTreatedAsCommitted) {
+                    return Err(e.into());
+                }
+            }
         }
+        self.ddl_history.push(sql);
+        Ok(())
+    }
+
+    /// Classify a DML path's WAL-logging outcome. A refused append aborts
+    /// the statement with a structured storage error — unless the
+    /// NoSpaceTreatedAsCommitted mutant is active, in which case the
+    /// failure is swallowed and the caller proceeds to mutate state the
+    /// log never recorded (the bug the media oracle hunts).
+    fn check_dml_logged(&self, logged: std::result::Result<(), StorageError>) -> Result<()> {
+        match logged {
+            Ok(()) => Ok(()),
+            Err(_) if self.bugs.media_active(MediaBugId::NoSpaceTreatedAsCommitted) => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Run a DDL statement's catalog mutation with WAL-abort rollback: in
+    /// durable mode the pre-statement catalog is pinned, and a refused
+    /// WAL append (disk full) restores it so the session keeps serving
+    /// with the statement cleanly aborted.
+    fn run_ddl<F>(&mut self, stmt: &Statement, apply: F) -> Result<ExecOutcome>
+    where
+        F: FnOnce(&mut Catalog) -> Result<()>,
+    {
+        let undo = if self.wal.is_some() {
+            Some(self.catalog.clone())
+        } else {
+            None
+        };
+        apply(&mut self.catalog)?;
+        if let Err(e) = self.wal_log_ddl(stmt) {
+            if let Some(prev) = undo {
+                self.catalog = prev;
+            }
+            return Err(e);
+        }
+        Ok(ExecOutcome::Ddl)
     }
 
     /// Checkpoint the durable state: serialize the full catalog (schema
@@ -370,10 +448,14 @@ impl Database {
             w.truncate_log();
         }
         let stmt_idx = w.statements_logged();
-        w.append_snapshot(&WalRecord::SnapshotBegin { stmt_idx });
+        // A refused append (disk full) aborts the checkpoint before the
+        // truncation: the log keeps its full replay suffix and the
+        // half-written snapshot group is unsealed, which recovery already
+        // ignores — a failed checkpoint degrades to no checkpoint.
+        w.append_snapshot(&WalRecord::SnapshotBegin { stmt_idx })?;
         let mut records: u64 = 0;
         for sql in &self.ddl_history {
-            w.append_snapshot(&WalRecord::Ddl { sql: sql.clone() });
+            w.append_snapshot(&WalRecord::Ddl { sql: sql.clone() })?;
             records += 1;
         }
         for t in self.catalog.tables() {
@@ -381,12 +463,12 @@ impl Database {
                 w.append_snapshot(&WalRecord::InsertRow {
                     table: t.name.clone(),
                     row: row.to_vec(),
-                });
+                })?;
                 records += 1;
             }
         }
-        w.append_snapshot(&WalRecord::SnapshotEnd { stmt_idx, records });
-        w.append(&WalRecord::CheckpointComplete { stmt_idx });
+        w.append_snapshot(&WalRecord::SnapshotEnd { stmt_idx, records })?;
+        w.append(&WalRecord::CheckpointComplete { stmt_idx })?;
         if !truncate_early {
             w.truncate_log();
         }
@@ -472,37 +554,28 @@ impl Database {
                         self.dialect
                     )));
                 }
-                self.catalog
-                    .create_table(name, columns.clone(), *if_not_exists)?;
-                self.wal_log_ddl(stmt);
-                Ok(ExecOutcome::Ddl)
+                self.run_ddl(stmt, |cat| {
+                    cat.create_table(name, columns.clone(), *if_not_exists)
+                })
             }
             Statement::DropTable { name, if_exists } => {
-                self.catalog.drop_table(name, *if_exists)?;
-                self.wal_log_ddl(stmt);
-                Ok(ExecOutcome::Ddl)
+                self.run_ddl(stmt, |cat| cat.drop_table(name, *if_exists))
             }
             Statement::CreateView {
                 name,
                 columns,
                 query,
-            } => {
-                self.catalog
-                    .create_view(name, columns.clone(), query.clone())?;
-                self.wal_log_ddl(stmt);
-                Ok(ExecOutcome::Ddl)
-            }
+            } => self.run_ddl(stmt, |cat| {
+                cat.create_view(name, columns.clone(), query.clone())
+            }),
             Statement::CreateIndex {
                 name,
                 table,
                 exprs,
                 unique,
-            } => {
-                self.catalog
-                    .create_index(name, table, exprs.clone(), *unique)?;
-                self.wal_log_ddl(stmt);
-                Ok(ExecOutcome::Ddl)
-            }
+            } => self.run_ddl(stmt, |cat| {
+                cat.create_index(name, table, exprs.clone(), *unique)
+            }),
             Statement::Select(q) => {
                 let rel = self.run_select(q, optimize)?;
                 Ok(ExecOutcome::Rows(rel))
@@ -770,14 +843,20 @@ impl Database {
         // Validation is complete: log each staged row, then the statement's
         // durability point. A zero-row INSERT still logs its commit marker
         // so the committed-statement count stays aligned with execution.
+        // A refused append (disk full) aborts the statement *before* any
+        // catalog mutation: nothing to roll back, the session keeps
+        // serving, and recovery sees exactly the committed prefix.
         if let Some(w) = self.wal.as_mut() {
-            for row in &staged {
-                w.append(&WalRecord::InsertRow {
-                    table: table.to_string(),
-                    row: row.to_vec(),
-                });
-            }
-            w.commit_statement();
+            let logged = (|| {
+                for row in &staged {
+                    w.append(&WalRecord::InsertRow {
+                        table: table.to_string(),
+                        row: row.to_vec(),
+                    })?;
+                }
+                w.commit_statement()
+            })();
+            self.check_dml_logged(logged)?;
         }
         let t = self.catalog.table_mut(table)?;
         let start = t.rows.len();
@@ -800,7 +879,7 @@ impl Database {
             let schema = table_schema(t);
             let ctx = self.engine_ctx(false, StmtKind::Update);
             let ctes = CteEnv::root();
-            let res = (|| {
+            let res: Result<_> = (|| {
                 let set_indices: Vec<usize> = sets
                     .iter()
                     .map(|(c, _)| {
@@ -859,15 +938,18 @@ impl Database {
             pt::EXEC_UPDATE_MATCH
         });
         if let Some(w) = self.wal.as_mut() {
-            for (&i, (indices, vals)) in matches.iter().zip(updates.iter()) {
-                w.append(&WalRecord::UpdateRow {
-                    table: table.to_string(),
-                    row_idx: i as u64,
-                    cols: indices.iter().map(|&c| c as u32).collect(),
-                    vals: vals.clone(),
-                });
-            }
-            w.commit_statement();
+            let logged = (|| {
+                for (&i, (indices, vals)) in matches.iter().zip(updates.iter()) {
+                    w.append(&WalRecord::UpdateRow {
+                        table: table.to_string(),
+                        row_idx: i as u64,
+                        cols: indices.iter().map(|&c| c as u32).collect(),
+                        vals: vals.clone(),
+                    })?;
+                }
+                w.commit_statement()
+            })();
+            self.check_dml_logged(logged)?;
         }
         // Bug hook: StaleEntryAfterUpdate — the ordered index keeps the
         // pre-update key entries (and misses the new ones).
@@ -898,7 +980,7 @@ impl Database {
             let schema = table_schema(t);
             let ctx = self.engine_ctx(false, StmtKind::Delete);
             let ctes = CteEnv::root();
-            let res = (|| {
+            let res: Result<_> = (|| {
                 let pred = prepare_dml_where(where_clause, &schema, &ctx)?;
                 let mut out = Vec::new();
                 for (i, row) in t.rows.iter().enumerate() {
@@ -926,13 +1008,16 @@ impl Database {
             pt::EXEC_DELETE_MATCH
         });
         if let Some(w) = self.wal.as_mut() {
-            if !matches.is_empty() {
-                w.append(&WalRecord::DeleteRows {
-                    table: table.to_string(),
-                    rows: matches.iter().map(|&i| i as u64).collect(),
-                });
-            }
-            w.commit_statement();
+            let logged = (|| {
+                if !matches.is_empty() {
+                    w.append(&WalRecord::DeleteRows {
+                        table: table.to_string(),
+                        rows: matches.iter().map(|&i| i as u64).collect(),
+                    })?;
+                }
+                w.commit_statement()
+            })();
+            self.check_dml_logged(logged)?;
         }
         let t = self.catalog.table_mut(table)?;
         // Pin the removed rows' images (cheap shared-row clones) for

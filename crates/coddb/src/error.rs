@@ -7,6 +7,78 @@
 
 use std::fmt;
 
+/// Which simulated medium a storage fault struck.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StorageSite {
+    /// The write-ahead log file.
+    Log,
+    /// The checkpoint snapshot file.
+    Snapshot,
+}
+
+impl StorageSite {
+    /// Short human-readable label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            StorageSite::Log => "log",
+            StorageSite::Snapshot => "snapshot",
+        }
+    }
+}
+
+/// What kind of media fault the storage layer surfaced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StorageFaultKind {
+    /// The disk refused the `op`-th append: it is full. The statement
+    /// being logged must abort cleanly (state rolled back, session keeps
+    /// serving) — recovery sees exactly the committed prefix.
+    NoSpace { op: u64 },
+    /// A read kept failing after `attempts` tries. `permanent` records
+    /// whether the fault could never heal (as opposed to a transient
+    /// fault slower than the bounded retry schedule).
+    ReadFault { attempts: u32, permanent: bool },
+    /// Integrity verification found `findings` damaged frames/seals and
+    /// the active recovery policy is fail-stop.
+    Corrupted { findings: usize },
+}
+
+/// A structured storage-layer failure: the simulated medium refused an
+/// operation, or fail-stop recovery refused a damaged image. These are
+/// *graceful degradation*, not engine bugs — a detected media fault
+/// surfaced as a `StorageError` satisfies the detect-or-identical
+/// contract, so the severity is [`Severity::Expected`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StorageError {
+    pub site: StorageSite,
+    pub kind: StorageFaultKind,
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let site = self.site.label();
+        match self.kind {
+            StorageFaultKind::NoSpace { op } => {
+                write!(f, "no space left on device: {site} append at op {op} refused")
+            }
+            StorageFaultKind::ReadFault {
+                attempts,
+                permanent,
+            } => write!(
+                f,
+                "{site} read failed after {attempts} attempt(s) ({})",
+                if permanent {
+                    "permanent media fault"
+                } else {
+                    "transient fault beyond the retry cap"
+                }
+            ),
+            StorageFaultKind::Corrupted { findings } => {
+                write!(f, "{site} image failed integrity verification ({findings} finding(s), fail-stop policy)")
+            }
+        }
+    }
+}
+
 /// Every failure the engine can produce.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Error {
@@ -31,6 +103,9 @@ pub enum Error {
     Crash(String),
     /// Execution fuel exhausted (models the paper's 5 hang bugs).
     Hang,
+    /// A media fault the storage layer detected and surfaced gracefully
+    /// (disk full, unreadable medium, fail-stop on a damaged image).
+    Storage(StorageError),
 }
 
 /// How a test harness should treat an error.
@@ -47,6 +122,12 @@ impl Error {
     pub fn severity(&self) -> Severity {
         match self {
             Error::Internal(_) | Error::Crash(_) | Error::Hang => Severity::BugSignal,
+            // A *detected* media fault is graceful degradation: the
+            // storage layer refused the operation with a structured
+            // report instead of corrupting state. Silent wrong behavior
+            // under a media fault is what the recovery differential
+            // flags — not this error.
+            Error::Storage(_) => Severity::Expected,
             _ => Severity::Expected,
         }
     }
@@ -63,7 +144,14 @@ impl Error {
             Error::Internal(_) => "internal",
             Error::Crash(_) => "crash",
             Error::Hang => "hang",
+            Error::Storage(_) => "storage",
         }
+    }
+}
+
+impl From<StorageError> for Error {
+    fn from(e: StorageError) -> Error {
+        Error::Storage(e)
     }
 }
 
@@ -79,6 +167,7 @@ impl fmt::Display for Error {
             Error::Internal(m) => write!(f, "internal error: {m}"),
             Error::Crash(m) => write!(f, "crash: {m}"),
             Error::Hang => write!(f, "query hang: execution fuel exhausted"),
+            Error::Storage(e) => write!(f, "storage error: {e}"),
         }
     }
 }
@@ -100,6 +189,31 @@ mod tests {
         assert_eq!(Error::Internal("x".into()).severity(), Severity::BugSignal);
         assert_eq!(Error::Crash("x".into()).severity(), Severity::BugSignal);
         assert_eq!(Error::Hang.severity(), Severity::BugSignal);
+    }
+
+    #[test]
+    fn storage_errors_are_expected_and_structured() {
+        let e = Error::Storage(StorageError {
+            site: StorageSite::Log,
+            kind: StorageFaultKind::NoSpace { op: 12 },
+        });
+        assert_eq!(e.severity(), Severity::Expected, "graceful degradation");
+        assert_eq!(e.category(), "storage");
+        let s = e.to_string();
+        assert!(s.contains("storage error"), "{s}");
+        assert!(s.contains("no space"), "{s}");
+        assert!(s.contains("op 12"), "{s}");
+
+        let r = Error::Storage(StorageError {
+            site: StorageSite::Snapshot,
+            kind: StorageFaultKind::ReadFault {
+                attempts: 4,
+                permanent: true,
+            },
+        });
+        let s = r.to_string();
+        assert!(s.contains("snapshot read failed after 4 attempt(s)"), "{s}");
+        assert!(s.contains("permanent"), "{s}");
     }
 
     #[test]

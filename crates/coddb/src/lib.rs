@@ -21,8 +21,9 @@
 //! * five dialect profiles emulating the paper's target systems
 //!   ([`dialect`]),
 //! * 45 injectable bug mutants mirroring the paper's Table 1 ([`bugs`]),
-//!   plus a separate scheme of recovery-path mutants
-//!   ([`bugs::RecoveryBugId`]),
+//!   plus separate schemes of recovery-path mutants
+//!   ([`bugs::RecoveryBugId`]), index mutants ([`bugs::IndexBugId`]) and
+//!   media-fault mutants ([`bugs::MediaBugId`]),
 //! * a branch-point coverage registry for the Table 3 metric
 //!   ([`coverage`]),
 //! * a durable storage layer: a checksummed redo log written through a
@@ -216,6 +217,59 @@
 //! replay. The recovery-path mutants ([`bugs::RecoveryBugId`]) hook the
 //! scan and replay phases so campaigns hunt recovery bugs the way they
 //! hunt optimizer bugs — without disturbing the Table 1 scheme.
+//!
+//! ## The media-fault model
+//!
+//! Crash injection ([`wal::FaultPlan`]) models a *process* dying; the
+//! media-fault model ([`wal::MediaPlan`]) models the *disk* misbehaving,
+//! and the two axes compose in one scenario. A `MediaPlan` is seeded by
+//! the same splitmix64 scheme as a `FaultPlan` (`media_seed` rides in
+//! findings next to the other seeds) and injects exactly one of:
+//!
+//! * **at-rest bit rot** ([`wal::MediaMode::Rot`]): a deterministic bit
+//!   flip applied to the log or snapshot image *between* shutdown and
+//!   recovery — corruption no write-path check could have seen;
+//! * **read faults** ([`wal::MediaMode::TransientRead`] /
+//!   [`wal::MediaMode::PermanentRead`]): [`wal::SimDisk::read_with_retry`]
+//!   fails the first *k* attempts of every read (healing if
+//!   `k <= `[`wal::READ_RETRY_CAP`]) or fails forever. The **retry
+//!   contract** is bounded and deterministic: at most
+//!   `READ_RETRY_CAP + 1` attempts, then a structured
+//!   [`error::StorageError`] with the attempt count — never a hang, never
+//!   an unbounded loop, and a success past the cap is itself a bug (the
+//!   `RetryCapIgnored` mutant);
+//! * **disk-full** ([`wal::MediaMode::NoSpace`]): the N-th append returns
+//!   `NoSpace` and the disk stays full. The engine **degrades
+//!   gracefully**: the statement aborts cleanly (catalog state rolled
+//!   back, nothing marked committed), the session keeps serving reads,
+//!   and recovery sees exactly the committed prefix.
+//!
+//! **Scrub.** [`Database::scrub`] (offline: [`recovery::scrub_images`])
+//! walks every frame on both disks verifying checksums and snapshot
+//! seals, and returns a quarantine report ([`recovery::ScrubReport`])
+//! classifying each finding as *tail* (an ordinary crash artifact — a
+//! torn frame or unsealed trailing snapshot) or *damage* (mid-image
+//! corruption no crash can explain).
+//!
+//! **Salvage vs. fail-stop.** [`recovery::recover_with_policy`] chooses
+//! what damage means: [`recovery::RecoveryPolicy::FailStop`] scrubs
+//! first and refuses the image on any non-tail finding;
+//! [`recovery::RecoveryPolicy::Salvage`] (the default behavior of
+//! [`recovery::recover`]) truncates at the first damaged frame and may
+//! therefore *drop a committed suffix* — but must never resurrect or
+//! invent effects past the damage: salvaged state must equal **some**
+//! committed prefix of the original history.
+//!
+//! **The detect-or-identical oracle.** The media differential
+//! ([`recovery::recovery_divergence_media`]) holds every injected media
+//! fault to one standard: it must be *detected* (a scrub finding or a
+//! structured storage error) or *harmless* (recovery byte-identical to
+//! the committed-prefix reference). Detected-and-degraded is fine —
+//! that is what salvage is for — but **silent wrong recovery** (clean
+//! scrub, no error, divergent state) is always a finding, as is salvaged
+//! state matching no committed prefix. The [`bugs::MediaBugId`] mutants
+//! break exactly these promises so campaigns prove the oracle can see
+//! them.
 
 pub mod ast;
 pub mod bind;
@@ -237,10 +291,16 @@ pub mod wal;
 
 mod database;
 
-pub use bugs::{BugId, BugKind, BugRegistry, IndexBugId, RecoveryBugId};
+pub use bugs::{BugId, BugKind, BugRegistry, IndexBugId, MediaBugId, RecoveryBugId};
 pub use database::{AccessMode, Database, ExecOutcome};
 pub use dialect::Dialect;
-pub use error::{Error, Result, Severity};
+pub use error::{Error, Result, Severity, StorageError, StorageFaultKind, StorageSite};
 pub use exec::{BindMode, EvalMode, JoinMode, ScanMode};
+pub use recovery::{
+    recover_with_policy, recovery_divergence_media, scrub_images, RecoveryPolicy, ScrubFinding,
+    ScrubReport,
+};
 pub use value::{DataType, Relation, Row, Value};
-pub use wal::{FaultMode, FaultPlan, StorageMode, Wal};
+pub use wal::{
+    FaultMode, FaultPlan, MediaMode, MediaPlan, ReadFault, StorageMode, Wal, READ_RETRY_CAP,
+};

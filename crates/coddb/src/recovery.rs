@@ -29,12 +29,15 @@
 //! [`crate::bugs::BugId`] mutants are seeded into the planner/executor, so
 //! campaigns can hunt recovery bugs the way they hunt optimizer bugs.
 
-use crate::bugs::{BugRegistry, RecoveryBugId};
+use crate::bugs::{BugRegistry, MediaBugId, RecoveryBugId};
 use crate::database::Database;
 use crate::dialect::Dialect;
-use crate::error::{Error, Result};
+use crate::error::{Error, Result, StorageError, StorageFaultKind, StorageSite};
 use crate::value::Row;
-use crate::wal::{checksum, decode_record, WalRecord, FRAME_HEADER};
+use crate::wal::{
+    checksum, decode_record, MediaMode, ReadFault, SimDisk, WalRecord, FRAME_HEADER,
+    READ_RETRY_CAP,
+};
 
 /// Parse the surviving log image into the sequence of intact records,
 /// truncating at the first sign of damage.
@@ -71,8 +74,16 @@ pub fn scan_log(image: &[u8], bugs: &BugRegistry) -> Result<Vec<WalRecord>> {
         if checksum(payload) != stored_sum
             && !bugs.recovery_active(RecoveryBugId::SkipChecksumVerify)
         {
+            if bugs.media_active(MediaBugId::SalvagePastCorruptCommit) {
+                // Mutant: salvage skips the damaged frame and keeps
+                // scanning, replaying records *past* the corruption — the
+                // suffix may now describe effects whose context is gone.
+                pos = body_start + len;
+                continue;
+            }
             // Checksum mismatch: the crashing write landed full-length but
-            // damaged. Truncate here.
+            // damaged. Truncate here — salvage may drop a suffix, never
+            // replay across damage.
             break;
         }
         let rec = decode_record(payload)
@@ -281,6 +292,12 @@ pub fn replay_into(
         .iter()
         .rposition(|r| matches!(r, WalRecord::Commit { .. }));
     let mut pending: Vec<&WalRecord> = Vec::new();
+    // Commits applied on top of the base must be contiguous. A gap means
+    // the image lost a committed statement in the middle (at-rest damage,
+    // or a rotted seal forcing fallback to a stale base): replaying past
+    // it would apply effects whose context is gone. Drop the suffix — a
+    // sound salvage never resurrects effects past missing history.
+    let mut next = base_stmts.unwrap_or(0);
     for (i, rec) in records.iter().enumerate() {
         match rec {
             WalRecord::Commit { stmt_idx } => {
@@ -301,12 +318,19 @@ pub fn replay_into(
                     // effects stay pending (i.e. uncommitted).
                     continue;
                 }
+                if *stmt_idx > next {
+                    // Contiguity gap: statement `next` is missing from the
+                    // replayable history. Salvage stops here.
+                    pending.clear();
+                    break;
+                }
                 if bugs.recovery_active(RecoveryBugId::ReorderCommitEffects) {
                     pending.reverse();
                 }
                 for e in pending.drain(..) {
                     apply_effect(db, e)?;
                 }
+                next = stmt_idx + 1;
             }
             // The checkpoint durability marker carries no effect; it
             // survives in the log only when the crash beat the truncation.
@@ -493,6 +517,444 @@ pub fn recovery_divergence_checkpointed(
     None
 }
 
+/// One damaged or suspicious region found by [`scrub_images`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScrubFinding {
+    /// Which image the finding is in.
+    pub site: StorageSite,
+    /// Byte offset of the damaged frame (or region start) in its image.
+    pub offset: usize,
+    /// Human-readable diagnosis.
+    pub reason: String,
+    /// `true` when the damage is consistent with an ordinary crash
+    /// artifact at the end of the image (torn tail, dangling header,
+    /// unsealed trailing snapshot). Tail findings are quarantined but do
+    /// not force fail-stop: recovery truncates them by design. Non-tail
+    /// findings are mid-image damage only at-rest corruption can produce.
+    pub tail: bool,
+}
+
+/// What [`Database::scrub`] / [`scrub_images`] verified and found.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ScrubReport {
+    /// Intact frames verified in the log image.
+    pub log_frames: usize,
+    /// Intact frames verified in the snapshot image.
+    pub snapshot_frames: usize,
+    /// Damaged or suspicious regions, in image order (log first).
+    pub findings: Vec<ScrubFinding>,
+}
+
+impl ScrubReport {
+    /// No findings at all: every frame checksum and snapshot seal
+    /// verified, and no crash artifacts were present.
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Findings that cannot be explained as crash artifacts — evidence of
+    /// at-rest corruption (or a scrub mutant's blind spot).
+    pub fn damage(&self) -> impl Iterator<Item = &ScrubFinding> {
+        self.findings.iter().filter(|f| !f.tail)
+    }
+}
+
+/// Walk one image frame by frame, verifying checksums, and decode what
+/// verifies. Returns the verified frame count plus the decoded records
+/// (for the snapshot structure pass); damage is appended to `findings`.
+fn scrub_frames(
+    site: StorageSite,
+    image: &[u8],
+    bugs: &BugRegistry,
+    findings: &mut Vec<ScrubFinding>,
+) -> (usize, Vec<WalRecord>) {
+    let mut frames = 0usize;
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    while pos < image.len() {
+        if image.len() - pos < FRAME_HEADER {
+            findings.push(ScrubFinding {
+                site,
+                offset: pos,
+                reason: format!("dangling frame header ({} byte(s))", image.len() - pos),
+                tail: true,
+            });
+            break;
+        }
+        let len = u32::from_le_bytes(image[pos..pos + 4].try_into().unwrap()) as usize;
+        let stored_sum = u32::from_le_bytes(image[pos + 4..pos + 8].try_into().unwrap());
+        let body_start = pos + FRAME_HEADER;
+        if image.len() - body_start < len {
+            findings.push(ScrubFinding {
+                site,
+                offset: pos,
+                reason: format!(
+                    "torn frame: payload declares {len} byte(s), {} present",
+                    image.len() - body_start
+                ),
+                tail: true,
+            });
+            break;
+        }
+        let payload = &image[body_start..body_start + len];
+        if checksum(payload) != stored_sum
+            && !bugs.media_active(MediaBugId::SkipScrubChecksum)
+        {
+            findings.push(ScrubFinding {
+                site,
+                offset: pos,
+                reason: "frame checksum mismatch".into(),
+                tail: false,
+            });
+            let after = image.len() - (body_start + len);
+            if after > 0 {
+                findings.push(ScrubFinding {
+                    site,
+                    offset: body_start + len,
+                    reason: format!("unverifiable suffix ({after} byte(s) past damaged frame)"),
+                    tail: false,
+                });
+            }
+            break;
+        }
+        match decode_record(payload) {
+            Ok(rec) => {
+                frames += 1;
+                records.push(rec);
+            }
+            Err(e) => {
+                findings.push(ScrubFinding {
+                    site,
+                    offset: pos,
+                    reason: format!("undecodable record: {e}"),
+                    tail: false,
+                });
+                break;
+            }
+        }
+        pos = body_start + len;
+    }
+    (frames, records)
+}
+
+/// Verify every frame checksum in both images and every snapshot seal,
+/// producing a quarantine report. Scrub never mutates anything and never
+/// panics on hostile bytes; it classifies each finding as a *tail*
+/// artifact (an ordinary crashing write — recovery truncates these by
+/// design) or mid-image *damage* (at-rest corruption). The
+/// [`MediaBugId::SkipScrubChecksum`] mutant hooks the checksum step.
+pub fn scrub_images(log_image: &[u8], snap_image: &[u8], bugs: &BugRegistry) -> ScrubReport {
+    let mut findings = Vec::new();
+    let (log_frames, _) = scrub_frames(StorageSite::Log, log_image, bugs, &mut findings);
+    let (snapshot_frames, snap_records) =
+        scrub_frames(StorageSite::Snapshot, snap_image, bugs, &mut findings);
+
+    // Structure pass over the snapshot records: every group must be
+    // begin … body … matching seal. Only a *trailing* unsealed group is a
+    // crash artifact; anything else is damage.
+    let mut open: Option<(u64, u64)> = None; // (declared stmt_idx, body count)
+    for (i, rec) in snap_records.iter().enumerate() {
+        match rec {
+            WalRecord::SnapshotBegin { stmt_idx } => {
+                if open.is_some() {
+                    findings.push(ScrubFinding {
+                        site: StorageSite::Snapshot,
+                        offset: i,
+                        reason: "snapshot group abandoned by a new begin (never sealed)".into(),
+                        tail: false,
+                    });
+                }
+                open = Some((*stmt_idx, 0));
+            }
+            WalRecord::SnapshotEnd { stmt_idx, records } => match open.take() {
+                Some((begin, count)) => {
+                    if begin != *stmt_idx || count != *records {
+                        findings.push(ScrubFinding {
+                            site: StorageSite::Snapshot,
+                            offset: i,
+                            reason: format!(
+                                "snapshot seal mismatch: begin stmt_idx={begin} with {count} \
+                                 record(s), seal declares stmt_idx={stmt_idx} with {records}"
+                            ),
+                            tail: false,
+                        });
+                    }
+                }
+                None => findings.push(ScrubFinding {
+                    site: StorageSite::Snapshot,
+                    offset: i,
+                    reason: "stray snapshot seal with no open group".into(),
+                    tail: false,
+                }),
+            },
+            _ => match open.as_mut() {
+                Some((_, count)) => *count += 1,
+                None => findings.push(ScrubFinding {
+                    site: StorageSite::Snapshot,
+                    offset: i,
+                    reason: "stray record outside any snapshot group".into(),
+                    tail: false,
+                }),
+            },
+        }
+    }
+    if open.is_some() {
+        findings.push(ScrubFinding {
+            site: StorageSite::Snapshot,
+            offset: snap_records.len(),
+            reason: "trailing unsealed snapshot (writer died mid-checkpoint)".into(),
+            tail: true,
+        });
+    }
+
+    ScrubReport {
+        log_frames,
+        snapshot_frames,
+        findings,
+    }
+}
+
+/// What recovery does when scrub finds mid-image damage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecoveryPolicy {
+    /// Recover the longest sound committed prefix, dropping an
+    /// unreplayable suffix. Never replays across damage and never
+    /// resurrects effects past a corrupt commit.
+    #[default]
+    Salvage,
+    /// Refuse to recover at all when scrub reports mid-image damage:
+    /// surface a structured [`StorageError`] instead. Tail artifacts
+    /// (ordinary torn crashing writes) do not trigger fail-stop.
+    FailStop,
+}
+
+/// [`recover_detailed`] behind a damage policy: `FailStop` scrubs first
+/// and refuses damaged images with [`Error::Storage`]; `Salvage` is plain
+/// [`recover_detailed`] (whose scan already truncates at damage).
+pub fn recover_with_policy(
+    log_image: &[u8],
+    snap_image: &[u8],
+    dialect: Dialect,
+    bugs: &BugRegistry,
+    policy: RecoveryPolicy,
+) -> Result<(Database, RecoveryInfo)> {
+    if policy == RecoveryPolicy::FailStop {
+        let report = scrub_images(log_image, snap_image, bugs);
+        let damage: Vec<&ScrubFinding> = report.damage().collect();
+        if let Some(first) = damage.first() {
+            return Err(Error::Storage(StorageError {
+                site: first.site,
+                kind: StorageFaultKind::Corrupted {
+                    findings: damage.len(),
+                },
+            }));
+        }
+    }
+    recover_detailed(log_image, snap_image, dialect, bugs)
+}
+
+/// The media-fault differential: the detect-or-identical contract.
+///
+/// Execute `script` on a durable engine under both a write-path crash
+/// `plan` and an orthogonal media `plan` (at-rest bit rot, read faults
+/// with bounded retry, disk-full appends), then demand that every
+/// injected media fault is either **detected** (a scrub finding or a
+/// structured [`StorageError`]) or **harmless** (the live writer and the
+/// recovered engine are byte-identical to the committed-prefix oracle).
+/// When damage is detected and the recovered state is not the full
+/// prefix, the salvage must still equal *some* committed prefix — a
+/// recovered state matching no prefix means salvage resurrected or
+/// corrupted effects past the damage. Silent wrong recovery is the
+/// finding.
+pub fn recovery_divergence_media(
+    script: &[crate::ast::Statement],
+    checkpoints: &[usize],
+    plan: &crate::wal::FaultPlan,
+    media: &crate::wal::MediaPlan,
+    dialect: Dialect,
+    bugs: &BugRegistry,
+) -> Option<String> {
+    if !media.faults() {
+        return recovery_divergence_checkpointed(script, checkpoints, plan, dialect, bugs);
+    }
+    let durable_run = |plan: crate::wal::FaultPlan,
+                       media: crate::wal::MediaPlan,
+                       ckpts: &[usize],
+                       stop_at: Option<u64>|
+     -> Database {
+        let mut db = Database::with_bugs(dialect, bugs.clone());
+        db.set_storage_mode(crate::wal::StorageMode::Durable);
+        db.set_fault_plan(plan);
+        db.set_media_plan(media);
+        for (i, s) in script.iter().enumerate() {
+            if let Some(c) = stop_at {
+                if db.wal().map(|w| w.committed_statements()) == Some(c) {
+                    break;
+                }
+            }
+            let _ = db.execute(s);
+            if ckpts.contains(&i) {
+                let _ = db.checkpoint();
+            }
+        }
+        db
+    };
+
+    let faulted = durable_run(plan.clone(), *media, checkpoints, None);
+    let wal = faulted.wal().expect("durable");
+    let committed = wal.committed_statements();
+    let crashed = wal.crashed();
+    let durable_snap = wal.durable_snapshot_stmts();
+    let mut log_image = wal.image().to_vec();
+    let mut snap_image = wal.snapshot_image().to_vec();
+    let context = {
+        let site = wal
+            .crash_site()
+            .map(|s| format!(", crashed during {}", s.label()))
+            .unwrap_or_default();
+        let ckpts = if checkpoints.is_empty() {
+            String::new()
+        } else {
+            format!(", checkpoints after stmts {checkpoints:?}")
+        };
+        format!("{}, {}{site}{ckpts}", plan.describe(), media.describe())
+    };
+
+    // A clean engine executing the same script (same bugs registry, so
+    // engine mutants cancel out) with no faults, stopped after `k`
+    // commits: the committed-prefix oracle.
+    let reference = |k: u64| -> Option<Database> {
+        let db = durable_run(
+            crate::wal::FaultPlan::none(),
+            crate::wal::MediaPlan::none(),
+            &[],
+            Some(k),
+        );
+        (db.wal().expect("durable").committed_statements() == k).then_some(db)
+    };
+
+    // Live-writer check: a media fault on the append path (disk full)
+    // must abort the statement cleanly — the serving engine stays exactly
+    // at the committed prefix. Only meaningful when the writer survived.
+    if !crashed {
+        let Some(refdb) = reference(committed) else {
+            return Some(format!(
+                "reference run cannot reach {committed} commits ({context})"
+            ));
+        };
+        let want = refdb.dump_state();
+        let live = faulted.dump_state();
+        if live != want {
+            return Some(format!(
+                "writer state diverges from the committed prefix after a media fault \
+                 (committed={committed}, {context}):\n--- expected ---\n{want}\n--- live ---\n{live}"
+            ));
+        }
+    }
+
+    // At-rest degradation between shutdown and recovery: bit rot lands in
+    // the images, read faults arm on the faulted site's disk.
+    media.rot_images(&mut log_image, &mut snap_image);
+    let mut log_disk = SimDisk::from_bytes(log_image);
+    let mut snap_disk = SimDisk::from_bytes(snap_image);
+    let fault = match media.mode {
+        MediaMode::TransientRead { failures } => Some(ReadFault::Transient { failures }),
+        MediaMode::PermanentRead => Some(ReadFault::Permanent),
+        _ => None,
+    };
+    match media.site {
+        StorageSite::Log => log_disk.set_read_fault(fault),
+        StorageSite::Snapshot => snap_disk.set_read_fault(fault),
+    }
+    let must_fail = media.read_must_fail();
+    let log_read = log_disk
+        .read_with_retry(StorageSite::Log, bugs)
+        .map(|b| b.to_vec());
+    let snap_read = snap_disk
+        .read_with_retry(StorageSite::Snapshot, bugs)
+        .map(|b| b.to_vec());
+    let (log_bytes, snap_bytes) = match (log_read, snap_read) {
+        (Ok(l), Ok(s)) => {
+            if must_fail {
+                // The fault cannot heal within the bounded schedule, yet
+                // the read came back: the retry cap was ignored.
+                return Some(format!(
+                    "retry contract violated: a read that must exceed the retry cap \
+                     (cap {READ_RETRY_CAP}) succeeded ({context})"
+                ));
+            }
+            (l, s)
+        }
+        (Err(e), _) | (_, Err(e)) => {
+            if must_fail {
+                // Graceful fail-stop on an unreadable medium: detected.
+                return None;
+            }
+            // A transient fault within the retry budget must heal.
+            return Some(format!(
+                "recovery failed: {} ({context})",
+                Error::Storage(e)
+            ));
+        }
+    };
+
+    let report = scrub_images(&log_bytes, &snap_bytes, bugs);
+
+    let (recovered, info) = match recover_detailed(&log_bytes, &snap_bytes, dialect, bugs) {
+        Ok(x) => x,
+        Err(e) => {
+            if !report.clean() {
+                // Fail-stop on damage scrub also saw: detected.
+                return None;
+            }
+            return Some(format!("recovery failed: {e} ({context})"));
+        }
+    };
+
+    let Some(refdb) = reference(committed) else {
+        return Some(format!(
+            "reference run cannot reach {committed} commits ({context})"
+        ));
+    };
+    let want = refdb.dump_state();
+    let got = recovered.dump_state();
+    if got == want {
+        // Harmless (byte-identical). With a clean scrub the snapshot base
+        // contract still applies; with findings, damage may legitimately
+        // have forced a different base.
+        if report.clean() && info.snapshot_stmts != durable_snap {
+            return Some(format!(
+                "recovery based itself on snapshot {:?} but the newest durable \
+                 snapshot covers {:?} ({context})",
+                info.snapshot_stmts, durable_snap
+            ));
+        }
+        return None;
+    }
+    if report.clean() {
+        return Some(format!(
+            "silent wrong recovery: media damage went undetected and recovery \
+             diverged from the committed prefix (committed={committed}, {context}):\n\
+             --- expected ---\n{want}\n--- recovered ---\n{got}"
+        ));
+    }
+    // Damage was detected and the full prefix is gone: the salvage must
+    // equal SOME shorter committed prefix — never a state no committed
+    // history ever produced.
+    for k in (0..committed).rev() {
+        if let Some(r) = reference(k) {
+            if r.dump_state() == got {
+                return None;
+            }
+        }
+    }
+    Some(format!(
+        "salvage resurrected or corrupted state past the damage: recovered state \
+         matches no committed prefix (committed={committed}, {context}):\n\
+         --- committed prefix ---\n{want}\n--- recovered ---\n{got}"
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -542,7 +1004,8 @@ mod tests {
             w.append(&WalRecord::InsertRow {
                 table: "t".into(),
                 row: vec![crate::value::Value::Int(9)],
-            });
+            })
+            .unwrap();
             w.image().to_vec()
         };
         image.extend_from_slice(&extra);
@@ -564,7 +1027,8 @@ mod tests {
         w.append(&WalRecord::InsertRow {
             table: "t".into(),
             row: vec![crate::value::Value::Int(7)],
-        });
+        })
+        .unwrap();
         image.extend_from_slice(w.image());
         let rec = recover(&image, &[], Dialect::Sqlite, &BugRegistry::none()).unwrap();
         let reference = recover(&committed_image, &[], Dialect::Sqlite, &BugRegistry::none()).unwrap();
@@ -577,12 +1041,14 @@ mod tests {
         let mut w = Wal::new(FaultPlan::none());
         w.append(&WalRecord::Ddl {
             sql: "CREATE TABLE t (a INT)".into(),
-        });
-        w.commit_statement();
+        })
+        .unwrap();
+        w.commit_statement().unwrap();
         w.append(&WalRecord::InsertRow {
             table: "t".into(),
             row: vec![crate::value::Value::Int(1)],
-        });
+        })
+        .unwrap();
         // ... crash before the commit marker.
         let rec = recover(w.image(), &[], Dialect::Sqlite, &BugRegistry::none()).unwrap();
         assert_eq!(rec.catalog().table("t").unwrap().rows.len(), 0);
@@ -652,12 +1118,14 @@ mod tests {
         });
         w.append(&WalRecord::Ddl {
             sql: "CREATE TABLE t (a INT)".into(),
-        });
-        w.commit_statement();
+        })
+        .unwrap();
+        w.commit_statement().unwrap();
         w.append(&WalRecord::InsertRow {
             table: "t".into(),
             row: vec![crate::value::Value::Int(5)],
-        });
+        })
+        .unwrap();
         let clean = scan_log(w.image(), &BugRegistry::none()).unwrap();
         assert_eq!(clean.len(), 2, "corrupt record truncated");
         let buggy = scan_log(
@@ -826,6 +1294,208 @@ mod tests {
             }
         }
         assert!(fell_back, "no crash point exercised the fallback path");
+    }
+
+    #[test]
+    fn scrub_is_clean_on_intact_images_and_classifies_tail_vs_damage() {
+        let mut db = durable_db();
+        run_sql(
+            &mut db,
+            "CREATE TABLE t (a INT); INSERT INTO t VALUES (1), (2)",
+        );
+        db.checkpoint().unwrap();
+        run_sql(&mut db, "INSERT INTO t VALUES (3)");
+        let log = db.wal().unwrap().image().to_vec();
+        let snap = db.wal().unwrap().snapshot_image().to_vec();
+
+        let report = scrub_images(&log, &snap, &BugRegistry::none());
+        assert!(report.clean(), "intact images: {:?}", report.findings);
+        assert!(report.log_frames > 0);
+        assert!(report.snapshot_frames > 0);
+
+        // Dangling tail bytes are a crash artifact, not damage.
+        let mut torn = log.clone();
+        torn.extend_from_slice(&[0xAB, 0xCD, 0xEF]);
+        let report = scrub_images(&torn, &snap, &BugRegistry::none());
+        assert!(!report.clean());
+        assert_eq!(report.damage().count(), 0, "tail artifact is not damage");
+        assert!(report.findings[0].tail);
+        assert!(report.findings[0].reason.contains("dangling"));
+
+        // A mid-image bit flip is damage, and the suffix past it is
+        // reported unverifiable.
+        let mut rotted = log.clone();
+        let mid = FRAME_HEADER + 1; // inside the first frame's payload
+        rotted[mid] ^= 0x40;
+        let report = scrub_images(&rotted, &snap, &BugRegistry::none());
+        assert!(report.damage().count() >= 1, "{:?}", report.findings);
+        assert!(report
+            .damage()
+            .any(|f| f.reason.contains("checksum mismatch")));
+        assert!(report.damage().any(|f| f.reason.contains("unverifiable")));
+
+        // The SkipScrubChecksum mutant goes blind on the same image.
+        let blind = scrub_images(
+            &rotted,
+            &snap,
+            &BugRegistry::only_media(MediaBugId::SkipScrubChecksum),
+        );
+        assert!(
+            blind.damage().count() < report.damage().count(),
+            "mutant scrub must miss checksum damage"
+        );
+    }
+
+    #[test]
+    fn scrub_flags_snapshot_seal_violations() {
+        // An unsealed trailing group is a crash artifact; a seal whose
+        // declared record count disagrees with the body is damage.
+        let mut w = Wal::new(FaultPlan::none());
+        w.append_snapshot(&WalRecord::SnapshotBegin { stmt_idx: 2 })
+            .unwrap();
+        w.append_snapshot(&WalRecord::InsertRow {
+            table: "t".into(),
+            row: vec![crate::value::Value::Int(1)],
+        })
+        .unwrap();
+        let trailing = w.snapshot_image().to_vec();
+        let report = scrub_images(&[], &trailing, &BugRegistry::none());
+        assert!(!report.clean());
+        assert_eq!(report.damage().count(), 0);
+        assert!(report.findings.iter().any(|f| f.tail
+            && f.site == StorageSite::Snapshot
+            && f.reason.contains("mid-checkpoint")));
+
+        w.append_snapshot(&WalRecord::SnapshotEnd {
+            stmt_idx: 2,
+            records: 7, // body has 1 record
+        })
+        .unwrap();
+        let mismatched = w.snapshot_image().to_vec();
+        let report = scrub_images(&[], &mismatched, &BugRegistry::none());
+        assert!(report
+            .damage()
+            .any(|f| f.reason.contains("seal mismatch")), "{:?}", report.findings);
+    }
+
+    #[test]
+    fn fail_stop_refuses_damage_salvage_recovers_the_prefix() {
+        let mut db = durable_db();
+        run_sql(
+            &mut db,
+            "CREATE TABLE t (a INT); INSERT INTO t VALUES (1); INSERT INTO t VALUES (2)",
+        );
+        let mut log = db.wal().unwrap().image().to_vec();
+        // Rot the final frame's payload (the last statement's commit).
+        *log.last_mut().unwrap() ^= 0xFF;
+
+        match recover_with_policy(
+            &log,
+            &[],
+            Dialect::Sqlite,
+            &BugRegistry::none(),
+            RecoveryPolicy::FailStop,
+        ) {
+            Err(Error::Storage(StorageError {
+                site: StorageSite::Log,
+                kind: StorageFaultKind::Corrupted { findings },
+            })) => assert!(findings >= 1),
+            Err(other) => panic!("expected fail-stop storage error, got {other:?}"),
+            Ok(_) => panic!("fail-stop accepted a damaged image"),
+        }
+
+        let (salvaged, _) = recover_with_policy(
+            &log,
+            &[],
+            Dialect::Sqlite,
+            &BugRegistry::none(),
+            RecoveryPolicy::Salvage,
+        )
+        .unwrap();
+        // The damaged commit is dropped; the prefix survives.
+        assert_eq!(salvaged.catalog().table("t").unwrap().rows.len(), 1);
+
+        // FailStop still accepts an ordinary torn tail.
+        let clean = db.wal().unwrap().image().to_vec();
+        let mut torn = clean.clone();
+        torn.extend_from_slice(&[0x01, 0x02]);
+        let (rec, _) = recover_with_policy(
+            &torn,
+            &[],
+            Dialect::Sqlite,
+            &BugRegistry::none(),
+            RecoveryPolicy::FailStop,
+        )
+        .unwrap();
+        assert_eq!(rec.dump_state(), db.dump_state());
+    }
+
+    #[test]
+    fn replay_drops_the_suffix_past_a_commit_gap() {
+        // Commit 1 is missing from the history: replaying commit 2 on top
+        // of commit 0 would apply effects whose context is gone.
+        let records = vec![
+            WalRecord::Ddl {
+                sql: "CREATE TABLE t (a INT)".into(),
+            },
+            WalRecord::Commit { stmt_idx: 0 },
+            WalRecord::InsertRow {
+                table: "t".into(),
+                row: vec![crate::value::Value::Int(2)],
+            },
+            WalRecord::Commit { stmt_idx: 2 },
+        ];
+        let db = replay(&records, Dialect::Sqlite, &BugRegistry::none()).unwrap();
+        assert_eq!(
+            db.catalog().table("t").unwrap().rows.len(),
+            0,
+            "suffix past the gap must be dropped"
+        );
+    }
+
+    #[test]
+    fn salvage_past_corrupt_commit_mutant_replays_across_damage() {
+        // Three inserts in one statement; rot the middle row's frame. The
+        // clean scan truncates; the mutant skips the damaged frame and
+        // keeps replaying — committing a statement with a missing effect.
+        let mut db = durable_db();
+        run_sql(
+            &mut db,
+            "CREATE TABLE t (a INT); INSERT INTO t VALUES (1), (2), (3); INSERT INTO t VALUES (4)",
+        );
+        let log = db.wal().unwrap().image().to_vec();
+        // Find the frame encoding the row (2) insert and rot its payload.
+        let needle = encode_record(&WalRecord::InsertRow {
+            table: "t".into(),
+            row: vec![crate::value::Value::Int(2)],
+        });
+        let at = log
+            .windows(needle.len())
+            .position(|w| w == needle)
+            .expect("row 2 frame present");
+        let mut rotted = log.clone();
+        rotted[at] ^= 0x01; // flip a payload bit: the frame checksum breaks
+
+
+        let clean = recover(&rotted, &[], Dialect::Sqlite, &BugRegistry::none()).unwrap();
+        assert_eq!(
+            clean.catalog().table("t").unwrap().rows.len(),
+            0,
+            "sound salvage drops everything from the damaged statement on"
+        );
+
+        let buggy = recover(
+            &rotted,
+            &[],
+            Dialect::Sqlite,
+            &BugRegistry::only_media(MediaBugId::SalvagePastCorruptCommit),
+        )
+        .unwrap();
+        assert_eq!(
+            buggy.catalog().table("t").unwrap().rows.len(),
+            3,
+            "mutant resurrects the suffix with a row missing"
+        );
     }
 
     #[test]

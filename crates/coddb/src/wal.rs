@@ -55,6 +55,8 @@
 //!
 //! [`Database`]: crate::Database
 
+use crate::bugs::{BugRegistry, MediaBugId};
+use crate::error::{StorageError, StorageFaultKind, StorageSite};
 use crate::value::Value;
 
 /// How a [`Database`](crate::Database) persists effects.
@@ -153,12 +155,157 @@ impl FaultPlan {
     }
 }
 
+/// Maximum *extra* read attempts the bounded retry schedule allows: a read
+/// is tried at most `READ_RETRY_CAP + 1` times before the storage layer
+/// surfaces a structured [`StorageError`]. A transient fault that heals
+/// within the cap is invisible to callers; one that does not is
+/// indistinguishable from a permanent fault and must fail stop.
+pub const READ_RETRY_CAP: u32 = 3;
+
+/// A read-path media fault armed on a [`SimDisk`].
+///
+/// Faults are *per call*: every [`SimDisk::read_with_retry`] call starts
+/// its own attempt counter, so a transient fault with `failures <= cap`
+/// heals inside every read (scrub and recovery alike) and one with
+/// `failures > cap` deterministically exhausts every read's retry budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadFault {
+    /// The first `failures` attempts of every read fail, then it heals.
+    Transient { failures: u32 },
+    /// Every attempt fails, forever.
+    Permanent,
+}
+
+/// How a seeded [`MediaPlan`] damages the medium — the second, orthogonal
+/// fault axis next to [`FaultPlan`]'s write-path crashes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MediaMode {
+    /// No media fault.
+    None,
+    /// At-rest bit rot: between shutdown and recovery, one bit anywhere in
+    /// the site's byte image flips (`bit_sel` selects which, modulo the
+    /// image's bit length).
+    Rot { bit_sel: u64 },
+    /// Reads of the site fail `failures` times per read, then heal.
+    TransientRead { failures: u32 },
+    /// Reads of the site never succeed.
+    PermanentRead,
+    /// The disk is full: the `at_op`-th append (0-based, shared op counter
+    /// with the crash schedule) and every later one return `NoSpace`.
+    NoSpace { at_op: u64 },
+}
+
+/// A deterministic media-fault schedule, seeded like [`FaultPlan`]. One
+/// plan names one fault site (log or snapshot file) and one [`MediaMode`];
+/// campaigns draw both axes independently so write-path crashes and media
+/// faults compose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MediaPlan {
+    /// Which file the fault strikes (`Rot`/read faults are per-site;
+    /// `NoSpace` refuses appends to either file once `at_op` is reached).
+    pub site: StorageSite,
+    pub mode: MediaMode,
+}
+
+impl MediaPlan {
+    /// A plan with no media fault.
+    pub fn none() -> MediaPlan {
+        MediaPlan {
+            site: StorageSite::Log,
+            mode: MediaMode::None,
+        }
+    }
+
+    /// Does this plan inject any fault at all?
+    pub fn faults(&self) -> bool {
+        self.mode != MediaMode::None
+    }
+
+    /// Deterministically derive a plan from a seed, given the total number
+    /// of appends a fault-free run performs. Roughly 3/8 of seeds draw no
+    /// fault, so seeded media campaigns keep exercising the clean path.
+    pub fn seeded(seed: u64, total_ops: u64) -> MediaPlan {
+        let mut s = seed;
+        let site = if splitmix64(&mut s) % 2 == 0 {
+            StorageSite::Log
+        } else {
+            StorageSite::Snapshot
+        };
+        let mode = match splitmix64(&mut s) % 8 {
+            0..=2 => MediaMode::None,
+            3 | 4 => MediaMode::Rot {
+                bit_sel: splitmix64(&mut s),
+            },
+            5 => MediaMode::TransientRead {
+                // 1..=6: both the must-heal (<= cap) and must-fail-stop
+                // (> cap) regimes occur across a seed sweep.
+                failures: 1 + (splitmix64(&mut s) % 6) as u32,
+            },
+            6 => MediaMode::PermanentRead,
+            _ => MediaMode::NoSpace {
+                at_op: splitmix64(&mut s) % (total_ops + 1),
+            },
+        };
+        MediaPlan { site, mode }
+    }
+
+    /// Human-readable summary for reports, in the style of
+    /// [`FaultPlan::describe`].
+    pub fn describe(&self) -> String {
+        let site = self.site.label();
+        match self.mode {
+            MediaMode::None => "no media fault".to_string(),
+            MediaMode::Rot { bit_sel } => {
+                format!("media: bit rot in {site} image (bit_sel={bit_sel})")
+            }
+            MediaMode::TransientRead { failures } => format!(
+                "media: transient read fault at {site} (fails {failures}x per read, retry cap {READ_RETRY_CAP})"
+            ),
+            MediaMode::PermanentRead => format!("media: permanent read fault at {site}"),
+            MediaMode::NoSpace { at_op } => format!("media: disk full at append op {at_op}"),
+        }
+    }
+
+    /// Apply at-rest bit rot to the site's byte image (no-op for other
+    /// modes or an empty image). Models damage accrued between shutdown
+    /// and recovery, outside any write the fault plan could kill.
+    pub fn rot_images(&self, log: &mut [u8], snap: &mut [u8]) {
+        if let MediaMode::Rot { bit_sel } = self.mode {
+            let img: &mut [u8] = match self.site {
+                StorageSite::Log => log,
+                StorageSite::Snapshot => snap,
+            };
+            if img.is_empty() {
+                return;
+            }
+            let bit = (bit_sel as usize) % (img.len() * 8);
+            img[bit / 8] ^= 1 << (bit % 8);
+        }
+    }
+
+    /// Must a bounded-retry read of the faulted site fail under this plan?
+    /// (`Transient` beyond the cap, or `Permanent`.) This is the retry
+    /// contract's ground truth: a read that must fail but succeeds — or
+    /// must heal but fails — is a divergence.
+    pub fn read_must_fail(&self) -> bool {
+        match self.mode {
+            MediaMode::TransientRead { failures } => failures > READ_RETRY_CAP,
+            MediaMode::PermanentRead => true,
+            _ => false,
+        }
+    }
+}
+
 /// An in-memory byte-file model of the durable medium. Only the [`Wal`]
 /// writes to it; everything it holds is, by definition, what survived the
-/// crash.
+/// crash. A [`ReadFault`] can be armed on the disk, after which every
+/// read must go through the bounded retry schedule of
+/// [`SimDisk::read_with_retry`].
 #[derive(Debug, Clone, Default)]
 pub struct SimDisk {
     data: Vec<u8>,
+    read_fault: Option<ReadFault>,
+    read_attempts: u64,
 }
 
 impl SimDisk {
@@ -166,11 +313,23 @@ impl SimDisk {
         SimDisk::default()
     }
 
+    /// A disk pre-loaded with an at-rest image (e.g. one that survived a
+    /// crash and possibly rotted), ready for fault-armed reads.
+    pub fn from_bytes(data: Vec<u8>) -> SimDisk {
+        SimDisk {
+            data,
+            read_fault: None,
+            read_attempts: 0,
+        }
+    }
+
     fn write(&mut self, bytes: &[u8]) {
         self.data.extend_from_slice(bytes);
     }
 
-    /// The surviving byte image (what recovery gets to read).
+    /// The surviving byte image (what recovery gets to read). Bypasses the
+    /// read-fault model — use [`SimDisk::read_with_retry`] on a
+    /// fault-armed disk.
     pub fn contents(&self) -> &[u8] {
         &self.data
     }
@@ -185,6 +344,64 @@ impl SimDisk {
 
     pub fn is_empty(&self) -> bool {
         self.data.is_empty()
+    }
+
+    /// Arm (or clear) a read fault on this disk.
+    pub fn set_read_fault(&mut self, fault: Option<ReadFault>) {
+        self.read_fault = fault;
+    }
+
+    /// Total read attempts made across all [`SimDisk::read_with_retry`]
+    /// calls — lets tests pin the retry schedule exactly.
+    pub fn read_attempts(&self) -> u64 {
+        self.read_attempts
+    }
+
+    /// Read the whole image through the bounded deterministic retry
+    /// schedule: up to [`READ_RETRY_CAP`] retries (cap + 1 attempts per
+    /// call), after which a structured [`StorageError`] surfaces. The
+    /// attempt counter is per call, so a transient fault behaves
+    /// identically for every caller (scrub, recovery, ...).
+    pub fn read_with_retry(
+        &mut self,
+        site: StorageSite,
+        bugs: &BugRegistry,
+    ) -> Result<&[u8], StorageError> {
+        // Mutant: treats the first failed attempt as permanent data loss
+        // instead of walking the retry schedule.
+        let max_attempts = if bugs.media_active(MediaBugId::TransientFaultAsPermanentLoss) {
+            1
+        } else {
+            READ_RETRY_CAP + 1
+        };
+        // Mutant: retries transient faults forever instead of failing
+        // stop at the cap (terminates once the fault heals, so the bug is
+        // a silent success where the contract demands a structured error).
+        let ignore_cap = bugs.media_active(MediaBugId::RetryCapIgnored);
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            self.read_attempts += 1;
+            let ok = match self.read_fault {
+                None => true,
+                Some(ReadFault::Transient { failures }) => attempts > failures,
+                Some(ReadFault::Permanent) => false,
+            };
+            if ok {
+                return Ok(&self.data);
+            }
+            let exhausted = attempts >= max_attempts;
+            let transient = matches!(self.read_fault, Some(ReadFault::Transient { .. }));
+            if exhausted && !(ignore_cap && transient) {
+                return Err(StorageError {
+                    site,
+                    kind: StorageFaultKind::ReadFault {
+                        attempts,
+                        permanent: matches!(self.read_fault, Some(ReadFault::Permanent)),
+                    },
+                });
+            }
+        }
     }
 }
 
@@ -515,6 +732,8 @@ pub struct Wal {
     /// (and thus the fault plan's crash schedule) with the log disk.
     snap: SimDisk,
     plan: FaultPlan,
+    /// The media-fault schedule (orthogonal to `plan`'s crash schedule).
+    media: MediaPlan,
     /// Appends attempted while the simulated process was alive.
     ops: u64,
     /// Commit markers durably written (the committed-prefix length).
@@ -536,6 +755,7 @@ impl Wal {
             disk: SimDisk::new(),
             snap: SimDisk::new(),
             plan,
+            media: MediaPlan::none(),
             ops: 0,
             committed: 0,
             stmts_logged: 0,
@@ -553,6 +773,16 @@ impl Wal {
 
     pub fn plan(&self) -> &FaultPlan {
         &self.plan
+    }
+
+    /// Replace the media-fault schedule. Call before any appends so a
+    /// `NoSpace` op threshold covers the whole run.
+    pub fn set_media_plan(&mut self, media: MediaPlan) {
+        self.media = media;
+    }
+
+    pub fn media(&self) -> &MediaPlan {
+        &self.media
     }
 
     /// Total appends attempted before the crash (equals the run's total
@@ -603,10 +833,24 @@ impl Wal {
         self.crash_site
     }
 
-    /// Append one framed record to `site`'s disk through the fault plan.
-    fn append_frame(&mut self, rec: &WalRecord, site: CrashSite) {
+    /// Append one framed record to `site`'s disk through the fault plan
+    /// and the media plan. `Err(NoSpace)` means the disk refused the
+    /// append: nothing was written, the op counter did not advance, and
+    /// the caller must abort the in-flight statement cleanly.
+    fn append_frame(&mut self, rec: &WalRecord, site: CrashSite) -> Result<(), StorageError> {
         if self.crashed {
-            return;
+            return Ok(());
+        }
+        if let MediaMode::NoSpace { at_op } = self.media.mode {
+            if self.ops >= at_op {
+                return Err(StorageError {
+                    site: match site {
+                        CrashSite::Log | CrashSite::Truncate => StorageSite::Log,
+                        CrashSite::Snapshot => StorageSite::Snapshot,
+                    },
+                    kind: StorageFaultKind::NoSpace { op: self.ops },
+                });
+            }
         }
         let op = self.ops;
         self.ops += 1;
@@ -629,7 +873,7 @@ impl Wal {
                 }
                 _ => {}
             }
-            return;
+            return Ok(());
         }
         // This append is the crash point: the simulated process dies
         // during the write. Nothing from this op counts as durable.
@@ -654,18 +898,19 @@ impl Wal {
                 CrashSite::Truncate => unreachable!("truncation writes no frame"),
             }
         }
+        Ok(())
     }
 
     /// Append one record to the log through the fault plan.
-    pub fn append(&mut self, rec: &WalRecord) {
-        self.append_frame(rec, CrashSite::Log);
+    pub fn append(&mut self, rec: &WalRecord) -> Result<(), StorageError> {
+        self.append_frame(rec, CrashSite::Log)
     }
 
     /// Append one record to the snapshot file through the fault plan.
     /// Rides the same op counter as log appends, so seeded crash points
     /// land inside snapshot writes.
-    pub fn append_snapshot(&mut self, rec: &WalRecord) {
-        self.append_frame(rec, CrashSite::Snapshot);
+    pub fn append_snapshot(&mut self, rec: &WalRecord) -> Result<(), StorageError> {
+        self.append_frame(rec, CrashSite::Snapshot)
     }
 
     /// Discard the replayable log after a durable checkpoint marker. The
@@ -688,11 +933,44 @@ impl Wal {
     }
 
     /// Append the commit marker for the statement whose effects were just
-    /// logged.
-    pub fn commit_statement(&mut self) {
+    /// logged. On `NoSpace` the marker did not land and the statement
+    /// number is *not* consumed: the caller aborts the statement and the
+    /// next one commits under the same index.
+    pub fn commit_statement(&mut self) -> Result<(), StorageError> {
         let stmt_idx = self.stmts_logged;
+        self.append(&WalRecord::Commit { stmt_idx })?;
         self.stmts_logged += 1;
-        self.append(&WalRecord::Commit { stmt_idx });
+        Ok(())
+    }
+
+    /// Apply the media plan's at-rest damage to the stored images and arm
+    /// any read fault on the faulted site's disk. Models the time between
+    /// shutdown and recovery; call once after the writer is done.
+    pub fn degrade_at_rest(&mut self) {
+        let mut log = std::mem::take(&mut self.disk.data);
+        let mut snap = std::mem::take(&mut self.snap.data);
+        self.media.rot_images(&mut log, &mut snap);
+        self.disk.data = log;
+        self.snap.data = snap;
+        let fault = match self.media.mode {
+            MediaMode::TransientRead { failures } => Some(ReadFault::Transient { failures }),
+            MediaMode::PermanentRead => Some(ReadFault::Permanent),
+            _ => None,
+        };
+        match self.media.site {
+            StorageSite::Log => self.disk.set_read_fault(fault),
+            StorageSite::Snapshot => self.snap.set_read_fault(fault),
+        }
+    }
+
+    /// Read the log image through the bounded retry schedule.
+    pub fn read_log_image(&mut self, bugs: &BugRegistry) -> Result<&[u8], StorageError> {
+        self.disk.read_with_retry(StorageSite::Log, bugs)
+    }
+
+    /// Read the snapshot image through the bounded retry schedule.
+    pub fn read_snapshot_image(&mut self, bugs: &BugRegistry) -> Result<&[u8], StorageError> {
+        self.snap.read_with_retry(StorageSite::Snapshot, bugs)
     }
 }
 
@@ -792,7 +1070,7 @@ mod tests {
     fn fault_plan_none_never_crashes() {
         let mut wal = Wal::new(FaultPlan::none());
         for rec in sample_records() {
-            wal.append(&rec);
+            wal.append(&rec).unwrap();
         }
         assert!(!wal.crashed());
         assert_eq!(wal.ops(), 8);
@@ -809,10 +1087,10 @@ mod tests {
         let recs = sample_records();
         let mut clean = Wal::new(FaultPlan::none());
         for rec in &recs[..2] {
-            clean.append(rec);
+            clean.append(rec).unwrap();
         }
         for rec in &recs {
-            wal.append(rec);
+            wal.append(rec).unwrap();
         }
         assert!(wal.crashed());
         assert_eq!(wal.image(), clean.image(), "durable prefix is ops 0..2");
@@ -828,10 +1106,10 @@ mod tests {
                 mode: FaultMode::Torn { keep_sel },
             });
             let mut clean = Wal::new(FaultPlan::none());
-            clean.append(&recs[0]);
+            clean.append(&recs[0]).unwrap();
             let full = clean.image().len();
             for rec in &recs {
-                wal.append(rec);
+                wal.append(rec).unwrap();
             }
             let torn_len = wal.image().len() - full;
             let frame_len = FRAME_HEADER + encode_record(&recs[1]).len();
@@ -848,7 +1126,7 @@ mod tests {
                 crash_op: 0,
                 mode: FaultMode::Corrupt { byte_sel },
             });
-            wal.append(&recs[1]);
+            wal.append(&recs[1]).unwrap();
             let payload_len = encode_record(&recs[1]).len();
             assert_eq!(wal.image().len(), FRAME_HEADER + payload_len);
             let stored = u32::from_le_bytes(wal.image()[4..8].try_into().unwrap());
@@ -865,13 +1143,15 @@ mod tests {
             crash_op: 2,
             mode: FaultMode::Lost,
         });
-        wal.append(&WalRecord::Ddl { sql: "x".into() });
-        wal.append_snapshot(&WalRecord::SnapshotBegin { stmt_idx: 1 });
+        wal.append(&WalRecord::Ddl { sql: "x".into() }).unwrap();
+        wal.append_snapshot(&WalRecord::SnapshotBegin { stmt_idx: 1 })
+            .unwrap();
         wal.append_snapshot(&WalRecord::SnapshotEnd {
             stmt_idx: 1,
             records: 0,
-        });
-        wal.append(&WalRecord::Commit { stmt_idx: 1 });
+        })
+        .unwrap();
+        wal.append(&WalRecord::Commit { stmt_idx: 1 }).unwrap();
         assert!(wal.crashed());
         assert_eq!(wal.crash_site(), Some(CrashSite::Snapshot));
         assert_eq!(wal.durable_snapshot_stmts(), None, "seal never landed");
@@ -882,25 +1162,28 @@ mod tests {
     #[test]
     fn durable_snapshot_seal_records_ground_truth() {
         let mut wal = Wal::new(FaultPlan::none());
-        wal.append_snapshot(&WalRecord::SnapshotBegin { stmt_idx: 3 });
+        wal.append_snapshot(&WalRecord::SnapshotBegin { stmt_idx: 3 })
+            .unwrap();
         wal.append_snapshot(&WalRecord::SnapshotEnd {
             stmt_idx: 3,
             records: 0,
-        });
+        })
+        .unwrap();
         assert_eq!(wal.durable_snapshot_stmts(), Some(3));
         // A seal written to the *log* (hostile/mutant image) never counts.
         wal.append(&WalRecord::SnapshotEnd {
             stmt_idx: 9,
             records: 0,
-        });
+        })
+        .unwrap();
         assert_eq!(wal.durable_snapshot_stmts(), Some(3));
     }
 
     #[test]
     fn truncate_clears_log_and_counts_one_op() {
         let mut wal = Wal::new(FaultPlan::none());
-        wal.append(&WalRecord::Ddl { sql: "x".into() });
-        wal.append(&WalRecord::Commit { stmt_idx: 0 });
+        wal.append(&WalRecord::Ddl { sql: "x".into() }).unwrap();
+        wal.append(&WalRecord::Commit { stmt_idx: 0 }).unwrap();
         assert!(!wal.image().is_empty());
         wal.truncate_log();
         assert!(wal.image().is_empty());
@@ -916,8 +1199,8 @@ mod tests {
             FaultMode::Corrupt { byte_sel: 5 },
         ] {
             let mut wal = Wal::new(FaultPlan { crash_op: 2, mode });
-            wal.append(&WalRecord::Ddl { sql: "x".into() });
-            wal.append(&WalRecord::Commit { stmt_idx: 0 });
+            wal.append(&WalRecord::Ddl { sql: "x".into() }).unwrap();
+            wal.append(&WalRecord::Commit { stmt_idx: 0 }).unwrap();
             let before = wal.image().to_vec();
             wal.truncate_log();
             assert!(wal.crashed());
@@ -958,5 +1241,274 @@ mod tests {
             }
         }
         assert!(lost > 0 && torn > 0 && corrupt > 0 && none > 0);
+    }
+
+    #[test]
+    fn fault_plan_seeded_streams_are_pinned() {
+        // Golden values: the seed → plan mapping is part of the repro
+        // contract (a finding's fault_seed must rebuild the same plan in
+        // any build on any platform). If this test breaks, the seed
+        // scheme changed and every recorded repro coordinate is invalid.
+        assert_eq!(
+            FaultPlan::seeded(0, 10),
+            FaultPlan {
+                crash_op: 1,
+                mode: FaultMode::Lost
+            }
+        );
+        assert_eq!(
+            FaultPlan::seeded(1, 10),
+            FaultPlan {
+                crash_op: 9,
+                mode: FaultMode::Torn {
+                    keep_sel: 17911839290282890590
+                }
+            }
+        );
+        assert_eq!(
+            FaultPlan::seeded(2, 10),
+            FaultPlan {
+                crash_op: 6,
+                mode: FaultMode::Corrupt {
+                    byte_sel: 10987583248141275951
+                }
+            }
+        );
+        assert_eq!(FaultPlan::seeded(4, 10), FaultPlan::none());
+    }
+
+    #[test]
+    fn media_plan_seeded_streams_are_pinned() {
+        // Golden values for the media axis — same contract as the fault
+        // plan's pinned stream.
+        assert_eq!(
+            MediaPlan::seeded(0, 10),
+            MediaPlan {
+                site: StorageSite::Snapshot,
+                mode: MediaMode::Rot {
+                    bit_sel: 487617019471545679
+                }
+            }
+        );
+        assert_eq!(
+            MediaPlan::seeded(2, 10),
+            MediaPlan {
+                site: StorageSite::Log,
+                mode: MediaMode::None
+            }
+        );
+        assert_eq!(
+            MediaPlan::seeded(10, 10),
+            MediaPlan {
+                site: StorageSite::Log,
+                mode: MediaMode::PermanentRead
+            }
+        );
+        assert_eq!(
+            MediaPlan::seeded(20, 10),
+            MediaPlan {
+                site: StorageSite::Log,
+                mode: MediaMode::TransientRead { failures: 2 }
+            }
+        );
+        assert_eq!(
+            MediaPlan::seeded(23, 10),
+            MediaPlan {
+                site: StorageSite::Log,
+                mode: MediaMode::NoSpace { at_op: 1 }
+            }
+        );
+    }
+
+    #[test]
+    fn media_plan_seeded_covers_every_mode_and_both_retry_regimes() {
+        let mut none = 0;
+        let mut rot = 0;
+        let mut heal = 0; // transient within the cap
+        let mut beyond = 0; // transient beyond the cap
+        let mut permanent = 0;
+        let mut nospace = 0;
+        for seed in 0..400u64 {
+            let p = MediaPlan::seeded(seed, 10);
+            assert_eq!(p, MediaPlan::seeded(seed, 10), "deterministic");
+            match p.mode {
+                MediaMode::None => none += 1,
+                MediaMode::Rot { .. } => rot += 1,
+                MediaMode::TransientRead { failures } => {
+                    assert!((1..=6).contains(&failures));
+                    if failures <= READ_RETRY_CAP {
+                        heal += 1;
+                    } else {
+                        beyond += 1;
+                    }
+                }
+                MediaMode::PermanentRead => permanent += 1,
+                MediaMode::NoSpace { at_op } => {
+                    assert!(at_op <= 10);
+                    nospace += 1;
+                }
+            }
+        }
+        assert!(
+            none > 0 && rot > 0 && heal > 0 && beyond > 0 && permanent > 0 && nospace > 0,
+            "none={none} rot={rot} heal={heal} beyond={beyond} permanent={permanent} nospace={nospace}"
+        );
+    }
+
+    #[test]
+    fn read_retry_heals_transient_faults_within_the_cap() {
+        let bugs = BugRegistry::none();
+        for failures in 1..=READ_RETRY_CAP {
+            let mut disk = SimDisk::from_bytes(vec![1, 2, 3]);
+            disk.set_read_fault(Some(ReadFault::Transient { failures }));
+            let got = disk.read_with_retry(StorageSite::Log, &bugs).unwrap().to_vec();
+            assert_eq!(got, vec![1, 2, 3]);
+            assert_eq!(disk.read_attempts(), (failures + 1) as u64);
+            // Per-call semantics: a second read pays the same schedule.
+            disk.read_with_retry(StorageSite::Log, &bugs).unwrap();
+            assert_eq!(disk.read_attempts(), 2 * (failures + 1) as u64);
+        }
+    }
+
+    #[test]
+    fn read_retry_fails_stop_beyond_the_cap_and_on_permanent_faults() {
+        let bugs = BugRegistry::none();
+        let mut disk = SimDisk::from_bytes(vec![9]);
+        disk.set_read_fault(Some(ReadFault::Transient {
+            failures: READ_RETRY_CAP + 1,
+        }));
+        let err = disk.read_with_retry(StorageSite::Log, &bugs).unwrap_err();
+        assert_eq!(
+            err.kind,
+            StorageFaultKind::ReadFault {
+                attempts: READ_RETRY_CAP + 1,
+                permanent: false
+            }
+        );
+
+        let mut disk = SimDisk::from_bytes(vec![9]);
+        disk.set_read_fault(Some(ReadFault::Permanent));
+        let err = disk
+            .read_with_retry(StorageSite::Snapshot, &bugs)
+            .unwrap_err();
+        assert_eq!(err.site, StorageSite::Snapshot);
+        assert_eq!(
+            err.kind,
+            StorageFaultKind::ReadFault {
+                attempts: READ_RETRY_CAP + 1,
+                permanent: true
+            }
+        );
+    }
+
+    #[test]
+    fn read_retry_mutants_break_the_contract_in_opposite_directions() {
+        // TransientFaultAsPermanentLoss: gives up on the first failure of
+        // a fault the retry schedule must heal.
+        let bugs = BugRegistry::only_media(MediaBugId::TransientFaultAsPermanentLoss);
+        let mut disk = SimDisk::from_bytes(vec![7]);
+        disk.set_read_fault(Some(ReadFault::Transient { failures: 1 }));
+        let err = disk.read_with_retry(StorageSite::Log, &bugs).unwrap_err();
+        assert_eq!(
+            err.kind,
+            StorageFaultKind::ReadFault {
+                attempts: 1,
+                permanent: false
+            }
+        );
+
+        // RetryCapIgnored: silently retries a transient fault past the cap
+        // where the contract demands a structured error...
+        let bugs = BugRegistry::only_media(MediaBugId::RetryCapIgnored);
+        let mut disk = SimDisk::from_bytes(vec![7]);
+        disk.set_read_fault(Some(ReadFault::Transient {
+            failures: READ_RETRY_CAP + 3,
+        }));
+        assert!(disk.read_with_retry(StorageSite::Log, &bugs).is_ok());
+        assert_eq!(disk.read_attempts(), (READ_RETRY_CAP + 4) as u64);
+        // ...but still terminates (with an error) on a permanent fault.
+        let mut disk = SimDisk::from_bytes(vec![7]);
+        disk.set_read_fault(Some(ReadFault::Permanent));
+        assert!(disk.read_with_retry(StorageSite::Log, &bugs).is_err());
+    }
+
+    #[test]
+    fn nospace_refuses_the_nth_append_and_every_later_one() {
+        let mut wal = Wal::new(FaultPlan::none());
+        wal.set_media_plan(MediaPlan {
+            site: StorageSite::Log,
+            mode: MediaMode::NoSpace { at_op: 2 },
+        });
+        wal.append(&WalRecord::Ddl { sql: "a".into() }).unwrap();
+        wal.commit_statement().unwrap();
+        assert_eq!(wal.committed_statements(), 1);
+        let before = wal.image().to_vec();
+        let err = wal.append(&WalRecord::Ddl { sql: "b".into() }).unwrap_err();
+        assert_eq!(err.site, StorageSite::Log);
+        assert_eq!(err.kind, StorageFaultKind::NoSpace { op: 2 });
+        // Nothing landed, the op counter did not advance, and later
+        // appends (to either file) keep failing.
+        assert_eq!(wal.image(), &before[..]);
+        assert_eq!(wal.ops(), 2);
+        assert!(wal.commit_statement().is_err());
+        assert!(wal
+            .append_snapshot(&WalRecord::SnapshotBegin { stmt_idx: 1 })
+            .is_err());
+        assert_eq!(wal.committed_statements(), 1);
+        assert_eq!(wal.statements_logged(), 1, "failed commit keeps its index");
+        assert!(!wal.crashed(), "disk-full is degradation, not a crash");
+    }
+
+    #[test]
+    fn degrade_at_rest_applies_rot_and_arms_read_faults() {
+        let mut wal = Wal::new(FaultPlan::none());
+        wal.append(&WalRecord::Ddl { sql: "x".into() }).unwrap();
+        let clean = wal.image().to_vec();
+
+        let mut rotted = wal.clone();
+        rotted.set_media_plan(MediaPlan {
+            site: StorageSite::Log,
+            mode: MediaMode::Rot { bit_sel: 13 },
+        });
+        rotted.degrade_at_rest();
+        let dirty = rotted.image().to_vec();
+        assert_ne!(dirty, clean);
+        let diff: Vec<usize> = (0..clean.len())
+            .filter(|&i| clean[i] != dirty[i])
+            .collect();
+        assert_eq!(diff.len(), 1, "exactly one byte differs");
+        assert_eq!(
+            (clean[diff[0]] ^ dirty[diff[0]]).count_ones(),
+            1,
+            "exactly one bit flipped"
+        );
+
+        let mut faulted = wal.clone();
+        faulted.set_media_plan(MediaPlan {
+            site: StorageSite::Log,
+            mode: MediaMode::PermanentRead,
+        });
+        faulted.degrade_at_rest();
+        let bugs = BugRegistry::none();
+        assert!(faulted.read_log_image(&bugs).is_err());
+        assert!(faulted.read_snapshot_image(&bugs).is_ok(), "other site unhurt");
+    }
+
+    #[test]
+    fn media_describe_names_site_mode_and_retry_cap() {
+        assert_eq!(MediaPlan::none().describe(), "no media fault");
+        let p = MediaPlan {
+            site: StorageSite::Snapshot,
+            mode: MediaMode::TransientRead { failures: 5 },
+        };
+        let d = p.describe();
+        assert!(d.contains("snapshot"), "{d}");
+        assert!(d.contains("fails 5x"), "{d}");
+        assert!(d.contains("retry cap 3"), "{d}");
+        let p = MediaPlan {
+            site: StorageSite::Log,
+            mode: MediaMode::NoSpace { at_op: 7 },
+        };
+        assert!(p.describe().contains("disk full at append op 7"));
     }
 }

@@ -376,3 +376,182 @@ fn tight_fuel_limits_recover_identically() {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Media-fault degradation: disk-full aborts, bounded-retry reads, scrub.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn nospace_aborts_the_statement_cleanly_and_the_session_keeps_serving() {
+    use coddb::error::{Error, Severity, StorageFaultKind};
+    use coddb::wal::{MediaMode, MediaPlan};
+
+    let mut db = durable(Dialect::Sqlite);
+    db.execute_sql("CREATE TABLE t (a INT); INSERT INTO t VALUES (1)")
+        .unwrap();
+    let full_at = db.wal().unwrap().ops();
+    db.set_media_plan(MediaPlan {
+        site: coddb::error::StorageSite::Log,
+        mode: MediaMode::NoSpace { at_op: full_at },
+    });
+
+    // The next DML is refused by the medium: structured error, Expected
+    // severity (graceful degradation, not a bug signal), no state change.
+    let err = db.execute_sql("INSERT INTO t VALUES (2)").unwrap_err();
+    match &err {
+        Error::Storage(se) => {
+            assert!(matches!(se.kind, StorageFaultKind::NoSpace { .. }), "{se:?}");
+        }
+        other => panic!("expected a storage error, got {other:?}"),
+    }
+    assert_eq!(err.severity(), Severity::Expected);
+    assert_eq!(err.category(), "storage");
+    assert_eq!(
+        db.catalog().table("t").unwrap().rows.len(),
+        1,
+        "aborted INSERT must not land"
+    );
+
+    // The session keeps serving reads, and later writes keep failing —
+    // the disk stays full.
+    db.execute_sql("SELECT * FROM t").unwrap();
+    assert!(db.execute_sql("INSERT INTO t VALUES (3)").is_err());
+    assert_eq!(db.wal().unwrap().committed_statements(), 2);
+
+    // Recovery sees exactly the committed prefix.
+    let wal = db.wal().unwrap();
+    let rec = recover(
+        &wal.image().to_vec(),
+        &wal.snapshot_image().to_vec(),
+        Dialect::Sqlite,
+        &BugRegistry::none(),
+    )
+    .unwrap();
+    assert_eq!(rec.dump_state(), db.dump_state());
+}
+
+#[test]
+fn nospace_rolls_back_ddl_catalog_mutations() {
+    use coddb::error::Error;
+    use coddb::wal::{MediaMode, MediaPlan};
+
+    let mut db = durable(Dialect::Sqlite);
+    db.execute_sql("CREATE TABLE t (a INT)").unwrap();
+    let full_at = db.wal().unwrap().ops();
+    db.set_media_plan(MediaPlan {
+        site: coddb::error::StorageSite::Log,
+        mode: MediaMode::NoSpace { at_op: full_at },
+    });
+
+    // DDL mutates the catalog before logging; a refused append must roll
+    // that mutation back — the un-logged table would otherwise vanish on
+    // recovery while the live session still saw it.
+    let err = db.execute_sql("CREATE TABLE u (x INT)").unwrap_err();
+    assert!(matches!(err, Error::Storage(_)), "{err:?}");
+    assert!(
+        db.catalog().table("u").is_err(),
+        "rolled-back DDL left the table in the catalog"
+    );
+    db.execute_sql("SELECT * FROM t").unwrap();
+}
+
+#[test]
+fn scrub_quarantines_bit_rot_and_salvage_recovers_a_prefix() {
+    use coddb::error::StorageSite;
+    use coddb::recovery::{recover_with_policy, RecoveryPolicy};
+    use coddb::wal::{MediaMode, MediaPlan};
+
+    let mut db = durable(Dialect::Sqlite);
+    db.execute_sql(
+        "CREATE TABLE t (a INT);
+         INSERT INTO t VALUES (1);
+         INSERT INTO t VALUES (2);
+         INSERT INTO t VALUES (3)",
+    )
+    .unwrap();
+    // Rot a bit in the middle of the at-rest log image.
+    let log_bits = db.wal().unwrap().image().len() as u64 * 8;
+    db.set_media_plan(MediaPlan {
+        site: StorageSite::Log,
+        mode: MediaMode::Rot {
+            bit_sel: log_bits / 2,
+        },
+    });
+    db.degrade_media();
+
+    let report = db.scrub().unwrap();
+    assert!(!report.clean(), "rot went unnoticed");
+    assert!(
+        report.damage().next().is_some(),
+        "mid-image rot must be damage, not a tail artifact: {:?}",
+        report.findings
+    );
+    assert!(report.findings.iter().all(|f| f.site == StorageSite::Log));
+
+    // Salvage recovers a committed prefix (never past the damage).
+    let wal = db.wal().unwrap();
+    let (rec, _) = recover_with_policy(
+        &wal.image().to_vec(),
+        &wal.snapshot_image().to_vec(),
+        Dialect::Sqlite,
+        &BugRegistry::none(),
+        RecoveryPolicy::Salvage,
+    )
+    .unwrap();
+    let rows = rec
+        .catalog()
+        .table("t")
+        .map(|t| t.rows.len())
+        .unwrap_or(0);
+    assert!(rows < 3, "salvage kept state past the damage ({rows} rows)");
+}
+
+#[test]
+fn transient_reads_heal_within_the_cap_and_fail_stop_beyond() {
+    use coddb::error::{Error, Severity, StorageFaultKind};
+    use coddb::wal::{MediaMode, MediaPlan, READ_RETRY_CAP};
+
+    let mut db = durable(Dialect::Sqlite);
+    db.execute_sql("CREATE TABLE t (a INT); INSERT INTO t VALUES (1)")
+        .unwrap();
+
+    // Within the cap: the bounded retry schedule heals the fault and
+    // scrub completes.
+    db.set_media_plan(MediaPlan {
+        site: coddb::error::StorageSite::Log,
+        mode: MediaMode::TransientRead {
+            failures: READ_RETRY_CAP,
+        },
+    });
+    db.degrade_media();
+    let report = db.scrub().unwrap();
+    assert!(report.clean(), "healed read left findings: {:?}", report.findings);
+
+    // Beyond the cap: a structured read fault surfaces instead of a hang
+    // or a silent empty image.
+    db.set_media_plan(MediaPlan {
+        site: coddb::error::StorageSite::Log,
+        mode: MediaMode::TransientRead {
+            failures: READ_RETRY_CAP + 1,
+        },
+    });
+    db.degrade_media();
+    let err = db.scrub().unwrap_err();
+    match &err {
+        Error::Storage(se) => match se.kind {
+            StorageFaultKind::ReadFault { attempts, permanent } => {
+                assert_eq!(attempts, READ_RETRY_CAP + 1);
+                assert!(!permanent);
+            }
+            other => panic!("expected a read fault, got {other:?}"),
+        },
+        other => panic!("expected a storage error, got {other:?}"),
+    }
+    assert_eq!(err.severity(), Severity::Expected);
+}
+
+#[test]
+fn scrub_requires_durable_storage() {
+    let mut db = Database::new(Dialect::Sqlite);
+    assert!(db.scrub().is_err(), "volatile engines have nothing to scrub");
+}

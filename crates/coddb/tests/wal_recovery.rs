@@ -9,9 +9,13 @@
 //! profiles, and every recovery-path mutant must produce at least one
 //! divergence somewhere in the same grid.
 
-use coddb::bugs::BugRegistry;
-use coddb::recovery::{recover_detailed, recovery_divergence, recovery_divergence_checkpointed};
-use coddb::wal::{FaultMode, FaultPlan, StorageMode};
+use coddb::bugs::{BugRegistry, MediaBugId};
+use coddb::error::StorageSite;
+use coddb::recovery::{
+    recover_detailed, recovery_divergence, recovery_divergence_checkpointed,
+    recovery_divergence_media,
+};
+use coddb::wal::{FaultMode, FaultPlan, MediaMode, MediaPlan, StorageMode, READ_RETRY_CAP};
 use coddb::{ast::Statement, AccessMode, Database, Dialect, RecoveryBugId};
 
 /// Checkpoint schedules the grid sweeps: one mid-script checkpoint, and
@@ -240,6 +244,175 @@ fn every_recovery_mutant_diverges_somewhere_in_the_grid() {
             }
         }
         assert!(hit, "{} never diverged across the grid", bug.name());
+    }
+}
+
+/// Every media fault site × mode the plan can express over a scenario:
+/// bit rot at scattered positions in either image, transient read faults
+/// on both sides of the retry cap, permanent read faults, and disk-full
+/// at every append op.
+fn media_cells(total: u64) -> Vec<MediaPlan> {
+    let mut cells = Vec::new();
+    for site in [StorageSite::Log, StorageSite::Snapshot] {
+        // Bit selectors scattered by a prime so rot lands in length
+        // fields, checksums, tags and values alike (the selector wraps
+        // modulo the image's bit length).
+        for k in 0..24u64 {
+            cells.push(MediaPlan {
+                site,
+                mode: MediaMode::Rot {
+                    bit_sel: k.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                },
+            });
+        }
+        for failures in 1..=READ_RETRY_CAP + 2 {
+            cells.push(MediaPlan {
+                site,
+                mode: MediaMode::TransientRead { failures },
+            });
+        }
+        cells.push(MediaPlan {
+            site,
+            mode: MediaMode::PermanentRead,
+        });
+    }
+    for at_op in 0..=total {
+        cells.push(MediaPlan {
+            site: StorageSite::Log,
+            mode: MediaMode::NoSpace { at_op },
+        });
+    }
+    cells
+}
+
+#[test]
+fn exhaustive_media_grid_is_detected_or_identical() {
+    // The media half of the grid: every media fault site × mode × dialect
+    // on a checkpointed scenario must be either detected (scrub finding /
+    // structured storage error) or harmless (recovery byte-identical to
+    // the committed-prefix oracle, salvage landing on a sound prefix).
+    let stmts = script();
+    let checkpoints: &[usize] = &[3];
+    for dialect in DIALECTS {
+        let total = total_ops_with(&stmts, dialect, checkpoints);
+        for media in media_cells(total) {
+            let diverged = recovery_divergence_media(
+                &stmts,
+                checkpoints,
+                &FaultPlan::none(),
+                &media,
+                dialect,
+                &BugRegistry::none(),
+            );
+            assert_eq!(
+                diverged,
+                None,
+                "{dialect}: media fault neither detected nor harmless under {}",
+                media.describe()
+            );
+        }
+    }
+}
+
+#[test]
+fn crash_and_media_faults_compose_in_the_same_grid() {
+    // Both fault axes at once, sampled: a write-path crash tears the tail
+    // while the media plan rots the at-rest image / fails reads / fills
+    // the disk. The detect-or-identical contract must hold per cell.
+    let stmts = script();
+    let dialect = Dialect::Sqlite;
+    let checkpoints: &[usize] = &[3];
+    let total = total_ops_with(&stmts, dialect, checkpoints);
+    for op in (0..total).step_by(7) {
+        for mode in modes_at(op) {
+            let plan = FaultPlan { crash_op: op, mode };
+            for media in [
+                MediaPlan {
+                    site: StorageSite::Log,
+                    mode: MediaMode::Rot {
+                        bit_sel: op.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    },
+                },
+                MediaPlan {
+                    site: StorageSite::Snapshot,
+                    mode: MediaMode::Rot {
+                        bit_sel: op.wrapping_add(41),
+                    },
+                },
+                MediaPlan {
+                    site: StorageSite::Log,
+                    mode: MediaMode::TransientRead {
+                        failures: (op % (READ_RETRY_CAP as u64 + 2) + 1) as u32,
+                    },
+                },
+                MediaPlan {
+                    site: StorageSite::Snapshot,
+                    mode: MediaMode::NoSpace { at_op: op / 2 },
+                },
+            ] {
+                let diverged = recovery_divergence_media(
+                    &stmts,
+                    checkpoints,
+                    &plan,
+                    &media,
+                    dialect,
+                    &BugRegistry::none(),
+                );
+                assert_eq!(
+                    diverged,
+                    None,
+                    "composed faults broke the contract: {} + {}",
+                    plan.describe(),
+                    media.describe()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn every_media_mutant_diverges_somewhere_in_the_media_grid() {
+    // Each of the five media-fault mutants must produce at least one
+    // divergence across the media grid — and the divergence must vanish
+    // on the clean engine (the cell is a true mutant witness).
+    let stmts = script();
+    let dialect = Dialect::Sqlite;
+    let checkpoints: &[usize] = &[3];
+    let total = total_ops_with(&stmts, dialect, checkpoints);
+    for bug in MediaBugId::ALL {
+        let bugs = BugRegistry::only_media(bug);
+        let mut witness = None;
+        for media in media_cells(total) {
+            if recovery_divergence_media(
+                &stmts,
+                checkpoints,
+                &FaultPlan::none(),
+                &media,
+                dialect,
+                &bugs,
+            )
+            .is_some()
+            {
+                witness = Some(media);
+                break;
+            }
+        }
+        let media = witness
+            .unwrap_or_else(|| panic!("{} never diverged across the media grid", bug.name()));
+        assert_eq!(
+            recovery_divergence_media(
+                &stmts,
+                checkpoints,
+                &FaultPlan::none(),
+                &media,
+                dialect,
+                &BugRegistry::none(),
+            ),
+            None,
+            "{}: witness cell {} also fails on a clean engine",
+            bug.name(),
+            media.describe()
+        );
     }
 }
 

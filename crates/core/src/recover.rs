@@ -26,8 +26,8 @@
 //! and every finding records both seeds.
 
 use coddb::ast::{Expr, InsertSource, Statement};
-use coddb::recovery::recovery_divergence_checkpointed;
-use coddb::wal::{FaultPlan, StorageMode};
+use coddb::recovery::recovery_divergence_media;
+use coddb::wal::{FaultPlan, MediaPlan, StorageMode};
 use coddb::Database;
 use rand::rngs::StdRng;
 use rand::{Rng, RngExt, SeedableRng};
@@ -119,6 +119,10 @@ impl Oracle for Recover {
         let script_seed = rng.next_u64();
         let fault_seed = rng.next_u64();
         let ckpt_seed = rng.next_u64();
+        // Drawn after the existing seeds so their streams stay stable: a
+        // pre-media campaign coordinate still derives the same script,
+        // fault plan and checkpoint schedule.
+        let media_seed = rng.next_u64();
         let dialect = session.dialect();
         let bugs = session.db.bugs().clone();
 
@@ -159,7 +163,8 @@ impl Oracle for Recover {
         }
 
         let plan = FaultPlan::seeded(fault_seed, total_ops);
-        match recovery_divergence_checkpointed(&script, &checkpoints, &plan, dialect, &bugs) {
+        let mplan = MediaPlan::seeded(media_seed, total_ops);
+        match recovery_divergence_media(&script, &checkpoints, &plan, &mplan, dialect, &bugs) {
             None => TestOutcome::Pass,
             Some(detail) => {
                 // A recovery *error* is always a bug here — unlike query
@@ -178,8 +183,10 @@ impl Oracle for Recover {
                     queries: script.iter().map(|s| ("script".into(), s.to_string())).collect(),
                     detail: format!(
                         "{detail}\nrepro: script_seed={script_seed:#x} fault_seed={fault_seed:#x} \
-                         ckpt_seed={ckpt_seed:#x} {} checkpoints={checkpoints:?}",
-                        plan.describe()
+                         ckpt_seed={ckpt_seed:#x} media_seed={media_seed:#x} {} \
+                         checkpoints={checkpoints:?}\n{}",
+                        plan.describe(),
+                        mplan.describe()
                     ),
                 })
             }
@@ -282,6 +289,41 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let hit = (0..120).any(|_| oracle.run_one(&mut session, &schema, &mut rng).is_bug());
         assert!(hit, "stale-snapshot mutant never surfaced in 120 scenarios");
+    }
+
+    #[test]
+    fn media_mutants_are_caught() {
+        // Every media-fault mutant must surface within an ordinary
+        // campaign slice: seeded media plans cover bit rot, both read-
+        // fault regimes and disk-full appends.
+        for bug in coddb::bugs::MediaBugId::ALL {
+            let bugs = BugRegistry::only_media(bug);
+            let mut db = Database::with_bugs(Dialect::Sqlite, bugs);
+            let mut session = Session::new(&mut db);
+            let schema = SchemaInfo::default();
+            let mut oracle = Recover;
+            let mut rng = StdRng::seed_from_u64(11);
+            let hit = (0..250).any(|_| oracle.run_one(&mut session, &schema, &mut rng).is_bug());
+            assert!(hit, "{} never surfaced in 250 scenarios", bug.name());
+        }
+    }
+
+    #[test]
+    fn finding_detail_names_the_media_plan() {
+        let bugs = BugRegistry::only_media(coddb::bugs::MediaBugId::SalvagePastCorruptCommit);
+        let mut db = Database::with_bugs(Dialect::Sqlite, bugs);
+        let mut session = Session::new(&mut db);
+        let schema = SchemaInfo::default();
+        let mut oracle = Recover;
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..250 {
+            if let TestOutcome::Bug(r) = oracle.run_one(&mut session, &schema, &mut rng) {
+                assert!(r.detail.contains("media_seed="), "media seed missing: {}", r.detail);
+                assert!(r.detail.contains("media:"), "media describe missing: {}", r.detail);
+                return;
+            }
+        }
+        panic!("salvage mutant never surfaced in 250 scenarios");
     }
 
     #[test]

@@ -19,9 +19,9 @@
 
 use coddb::ast::{Expr, Select, Statement};
 use coddb::bugs::BugRegistry;
-use coddb::recovery::recovery_divergence_checkpointed;
+use coddb::recovery::recovery_divergence_media;
 use coddb::value::Value;
-use coddb::wal::{FaultMode, FaultPlan};
+use coddb::wal::{FaultMode, FaultPlan, MediaMode, MediaPlan};
 use coddb::{Database, Dialect};
 
 /// A reducible CODDTest case: setup + the disagreeing query pair.
@@ -125,19 +125,29 @@ pub struct RecoveryCase {
     /// ran; empty for a genesis-replay case.
     pub checkpoints: Vec<usize>,
     pub plan: FaultPlan,
+    /// The orthogonal media-fault axis (at-rest rot, read faults,
+    /// disk-full appends); [`MediaPlan::none`] for a pure crash case.
+    pub media: MediaPlan,
 }
 
 impl RecoveryCase {
     /// Total size proxy: statement count, then checkpoint count, then a
     /// small penalty for a crash plan more complex than a clean lost
-    /// write.
+    /// write, then one for any media fault beyond a plain disk-full.
     pub fn size(&self) -> usize {
         let mode_cost = match self.plan.mode {
             _ if !self.plan.crashes() => 0,
             FaultMode::Lost => 1,
             FaultMode::Torn { .. } | FaultMode::Corrupt { .. } => 2,
         };
-        self.script.len() * 100 + self.checkpoints.len() * 10 + mode_cost
+        let media_cost = match self.media.mode {
+            MediaMode::None => 0,
+            MediaMode::NoSpace { .. } => 1,
+            MediaMode::Rot { .. }
+            | MediaMode::TransientRead { .. }
+            | MediaMode::PermanentRead => 2,
+        };
+        self.script.len() * 100 + self.checkpoints.len() * 10 + mode_cost + media_cost
     }
 }
 
@@ -149,12 +159,23 @@ impl RecoveryCase {
 /// 2. on a clean engine the same scenario recovers exactly (otherwise the
 ///    shrink produced a script that fails for an unrelated reason).
 pub fn recovery_still_failing(case: &RecoveryCase, dialect: Dialect, bugs: &BugRegistry) -> bool {
-    recovery_divergence_checkpointed(&case.script, &case.checkpoints, &case.plan, dialect, bugs)
-        .is_some()
-        && recovery_divergence_checkpointed(
+    // `recovery_divergence_media` delegates to the pure checkpointed
+    // differential when the case carries no media fault, so one entry
+    // point serves both kinds of case.
+    recovery_divergence_media(
+        &case.script,
+        &case.checkpoints,
+        &case.plan,
+        &case.media,
+        dialect,
+        bugs,
+    )
+    .is_some()
+        && recovery_divergence_media(
             &case.script,
             &case.checkpoints,
             &case.plan,
+            &case.media,
             dialect,
             &BugRegistry::none(),
         )
@@ -188,6 +209,40 @@ fn simpler_plans(plan: &FaultPlan) -> Vec<FaultPlan> {
             crash_op: plan.crash_op,
             mode: FaultMode::Lost,
         });
+    }
+    out
+}
+
+/// Media plans simpler than `media`, most-simple first: no media fault at
+/// all, then a transient read fault that heals sooner, or a disk that
+/// fills earlier (a smaller `at_op` means less committed history before
+/// the refusal). Bit rot and permanent read faults have no intermediate
+/// shrink beyond removal.
+fn simpler_media(media: &MediaPlan) -> Vec<MediaPlan> {
+    if !media.faults() {
+        return Vec::new();
+    }
+    let mut out = vec![MediaPlan::none()];
+    match media.mode {
+        MediaMode::TransientRead { failures } => {
+            for f in 1..failures {
+                out.push(MediaPlan {
+                    site: media.site,
+                    mode: MediaMode::TransientRead { failures: f },
+                });
+            }
+        }
+        MediaMode::NoSpace { at_op } => {
+            for op in 0..at_op {
+                out.push(MediaPlan {
+                    site: media.site,
+                    mode: MediaMode::NoSpace { at_op: op },
+                });
+            }
+        }
+        MediaMode::None
+        | MediaMode::Rot { .. }
+        | MediaMode::PermanentRead => {}
     }
     out
 }
@@ -262,9 +317,21 @@ pub fn reduce_recovery(case: &RecoveryCase, dialect: Dialect, bugs: &BugRegistry
         // candidate that still fails wins).
         for plan in simpler_plans(&current.plan) {
             let candidate = RecoveryCase {
-                script: current.script.clone(),
-                checkpoints: current.checkpoints.clone(),
                 plan,
+                ..current.clone()
+            };
+            if recovery_still_failing(&candidate, dialect, bugs) {
+                current = candidate;
+                changed = true;
+                break;
+            }
+        }
+
+        // Phase 4: simplify the media plan the same way.
+        for media in simpler_media(&current.media) {
+            let candidate = RecoveryCase {
+                media,
+                ..current.clone()
             };
             if recovery_still_failing(&candidate, dialect, bugs) {
                 current = candidate;
@@ -449,6 +516,7 @@ mod tests {
                 crash_op: 5,
                 mode: FaultMode::Corrupt { byte_sel: 0 },
             },
+            media: MediaPlan::none(),
         };
         assert!(recovery_still_failing(&case, Dialect::Sqlite, &bugs));
         let reduced = reduce_recovery(&case, Dialect::Sqlite, &bugs);
@@ -490,6 +558,7 @@ mod tests {
             .unwrap(),
             checkpoints: vec![],
             plan: FaultPlan::none(),
+            media: MediaPlan::none(),
         };
         assert!(recovery_still_failing(&case, Dialect::Sqlite, &bugs));
         let reduced = reduce_recovery(&case, Dialect::Sqlite, &bugs);
@@ -514,6 +583,7 @@ mod tests {
             script: parse_statements("CREATE TABLE t (a INT)").unwrap(),
             checkpoints: vec![],
             plan: FaultPlan::none(),
+            media: MediaPlan::none(),
         };
         reduce_recovery(&case, Dialect::Sqlite, &BugRegistry::none());
     }
@@ -535,6 +605,7 @@ mod tests {
             .unwrap(),
             checkpoints: vec![0, 1, 3],
             plan: FaultPlan::none(),
+            media: MediaPlan::none(),
         };
         assert!(recovery_still_failing(&case, Dialect::Sqlite, &bugs));
         let reduced = reduce_recovery(&case, Dialect::Sqlite, &bugs);
@@ -562,6 +633,47 @@ mod tests {
                 "reduction left a droppable checkpoint at {i}"
             );
         }
+    }
+
+    /// A media-axis case reduces along its own dimension: the retry-cap
+    /// mutant only needs a transient fault slower than the cap, so the
+    /// failure count shrinks to `READ_RETRY_CAP + 1` and the script — the
+    /// fault is orthogonal to it — drops away entirely.
+    #[test]
+    fn recovery_reduction_shrinks_the_media_axis() {
+        use coddb::error::StorageSite;
+        use coddb::wal::READ_RETRY_CAP;
+        let bugs = BugRegistry::only_media(coddb::bugs::MediaBugId::RetryCapIgnored);
+        let case = RecoveryCase {
+            script: parse_statements(
+                "CREATE TABLE t (a INT);
+                 INSERT INTO t VALUES (1);
+                 CREATE TABLE unrelated (x INT)",
+            )
+            .unwrap(),
+            checkpoints: vec![],
+            plan: FaultPlan::none(),
+            media: MediaPlan {
+                site: StorageSite::Log,
+                mode: MediaMode::TransientRead { failures: 9 },
+            },
+        };
+        assert!(recovery_still_failing(&case, Dialect::Sqlite, &bugs));
+        let reduced = reduce_recovery(&case, Dialect::Sqlite, &bugs);
+        assert!(recovery_still_failing(&reduced, Dialect::Sqlite, &bugs));
+        assert_eq!(
+            reduced.media.mode,
+            MediaMode::TransientRead {
+                failures: READ_RETRY_CAP + 1
+            },
+            "the slowest still-failing transient fault is one past the cap"
+        );
+        assert!(
+            reduced.script.is_empty(),
+            "the read-path fault needs no script at all: {:?}",
+            reduced.script.iter().map(|s| s.to_string()).collect::<Vec<_>>()
+        );
+        assert!(reduced.size() < case.size());
     }
 
     #[test]

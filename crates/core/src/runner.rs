@@ -68,7 +68,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
-use coddb::bugs::{BugId, BugKind, BugRegistry, IndexBugId, RecoveryBugId};
+use coddb::bugs::{BugId, BugKind, BugRegistry, IndexBugId, MediaBugId, RecoveryBugId};
 use coddb::coverage::Coverage;
 use coddb::{Database, Dialect, Severity};
 use rand::rngs::StdRng;
@@ -142,6 +142,10 @@ pub struct Finding {
     /// [`attribute_bugs`]; the ordered-index scheme is a third mutant
     /// family with its own list for the same reason).
     pub attributed_index: Vec<IndexBugId>,
+    /// Injected media-fault mutants that reproduce this finding (filled by
+    /// [`attribute_bugs`]; the media scheme is a fourth mutant family with
+    /// its own list for the same reason).
+    pub attributed_media: Vec<MediaBugId>,
 }
 
 /// Aggregated campaign results (one row of Table 3).
@@ -440,6 +444,7 @@ fn merge_shard(
             attributed: Vec::new(),
             attributed_recovery: Vec::new(),
             attributed_index: Vec::new(),
+            attributed_media: Vec::new(),
         });
     }
     result.successful_queries += shard.ok_queries;
@@ -501,6 +506,7 @@ fn drive_campaign(
                     attributed: Vec::new(),
                     attributed_recovery: Vec::new(),
                     attributed_index: Vec::new(),
+                    attributed_media: Vec::new(),
                 });
                 stop = true;
             }
@@ -756,6 +762,7 @@ pub fn attribute_bugs_parallel(
         Engine(BugId),
         Recovery(RecoveryBugId),
         Index(IndexBugId),
+        Media(MediaBugId),
     }
     impl Mutant {
         fn registry(self) -> BugRegistry {
@@ -763,6 +770,7 @@ pub fn attribute_bugs_parallel(
                 Mutant::Engine(b) => BugRegistry::only(b),
                 Mutant::Recovery(b) => BugRegistry::only_recovery(b),
                 Mutant::Index(b) => BugRegistry::only_index(b),
+                Mutant::Media(b) => BugRegistry::only_media(b),
             }
         }
     }
@@ -773,6 +781,7 @@ pub fn attribute_bugs_parallel(
         .map(Mutant::Engine)
         .chain(cfg.bugs.enabled_recovery().map(Mutant::Recovery))
         .chain(cfg.bugs.enabled_index().map(Mutant::Index))
+        .chain(cfg.bugs.enabled_media().map(Mutant::Media))
         .collect();
     let coords: Vec<(u64, u64)> = result
         .findings
@@ -810,6 +819,7 @@ pub fn attribute_bugs_parallel(
                 Mutant::Engine(b) => result.findings[fi].attributed.push(b),
                 Mutant::Recovery(b) => result.findings[fi].attributed_recovery.push(b),
                 Mutant::Index(b) => result.findings[fi].attributed_index.push(b),
+                Mutant::Media(b) => result.findings[fi].attributed_media.push(b),
             }
         }
     }

@@ -4,7 +4,7 @@
 //! their `(state_idx, test_idx)` coordinates, and a clean engine must stay
 //! quiet across the same budget.
 
-use coddb::bugs::BugRegistry;
+use coddb::bugs::{BugRegistry, MediaBugId};
 use coddb::{Dialect, RecoveryBugId};
 use coddtest::make_oracle;
 use coddtest::runner::{
@@ -79,6 +79,70 @@ fn every_recovery_mutant_is_detected_and_attributed() {
         );
         assert!(
             finding.report.detail.contains("script_seed="),
+            "{}: detail lacks repro seeds: {}",
+            bug.name(),
+            finding.report.detail
+        );
+    }
+}
+
+/// Every media-fault mutant is caught by the same `recover` campaign (the
+/// oracle's seeded media axis exercises bit rot, both read-fault regimes
+/// and disk-full appends), attributes into its own `attributed_media`
+/// family, and reproduces from its coordinates.
+#[test]
+fn every_media_mutant_is_detected_and_attributed() {
+    for bug in MediaBugId::ALL {
+        let cfg = recover_cfg(BugRegistry::only_media(bug), 900);
+        let mut oracle = make_oracle("recover").unwrap();
+        let mut result = run_campaign(oracle.as_mut(), &cfg);
+        assert!(
+            !result.findings.is_empty(),
+            "{}: no finding in {} tests",
+            bug.name(),
+            result.tests_run
+        );
+        attribute_bugs(&mut result, &cfg, "recover");
+        let finding = &result.findings[0];
+        assert!(
+            finding.attributed_media.contains(&bug),
+            "{}: finding not attributed to its mutant ({:?})",
+            bug.name(),
+            finding.attributed_media
+        );
+        assert!(
+            finding.attributed.is_empty()
+                && finding.attributed_recovery.is_empty()
+                && finding.attributed_index.is_empty(),
+            "{}: media finding wrongly attributed outside its family",
+            bug.name()
+        );
+        assert!(rerun_test(
+            "recover",
+            &cfg,
+            finding.state_idx,
+            finding.test_idx,
+            &cfg.bugs
+        ));
+        assert!(!rerun_test(
+            "recover",
+            &cfg,
+            finding.state_idx,
+            finding.test_idx,
+            &BugRegistry::none()
+        ));
+        assert!(
+            matches!(
+                finding.report.kind,
+                ReportKind::LogicDiscrepancy | ReportKind::InternalError
+            ),
+            "{}: unexpected kind {:?}",
+            bug.name(),
+            finding.report.kind
+        );
+        assert!(
+            finding.report.detail.contains("script_seed=")
+                && finding.report.detail.contains("media_seed="),
             "{}: detail lacks repro seeds: {}",
             bug.name(),
             finding.report.detail

@@ -8,15 +8,24 @@
 //! carries an injected checkpoint mutant, a `recover`-oracle campaign
 //! whose seeded crash points land inside snapshot writes and truncations
 //! too, attribution back to the recovery mutant, and reduction of the
-//! crash scenario along all three axes (script, checkpoint schedule,
-//! fault plan).
+//! crash scenario along all four axes (script, checkpoint schedule,
+//! fault plan, media plan).
+//!
+//! It then walks the media-fault axis end to end: at-rest bit rot in the
+//! log image, a scrub that quarantines the damage, the salvage-vs-fail-
+//! stop recovery policies, and a campaign that catches a media mutant
+//! (salvage replaying *past* the damage) and attributes it into its own
+//! mutant family.
 //!
 //! Run with: `cargo run --example crash_recovery`
 
 use coddb::bugs::BugRegistry;
-use coddb::recovery::{recover_detailed, recovery_divergence_checkpointed};
-use coddb::wal::{FaultMode, FaultPlan, StorageMode};
-use coddb::{Database, Dialect, RecoveryBugId};
+use coddb::recovery::{
+    recover_detailed, recover_with_policy, recovery_divergence_checkpointed, scrub_images,
+    RecoveryPolicy,
+};
+use coddb::wal::{FaultMode, FaultPlan, MediaPlan, StorageMode, FRAME_HEADER};
+use coddb::{Database, Dialect, MediaBugId, RecoveryBugId};
 use coddtest::reduce::{recovery_still_failing, reduce_recovery, RecoveryCase};
 use coddtest::runner::{attribute_bugs, run_campaign, CampaignConfig};
 
@@ -142,6 +151,7 @@ fn main() {
             crash_op: 40,
             mode: FaultMode::Corrupt { byte_sel: 0 },
         },
+        media: MediaPlan::none(),
     };
     let bugs = BugRegistry::only_recovery(bug);
     assert!(recovery_still_failing(&case, Dialect::Sqlite, &bugs));
@@ -166,5 +176,98 @@ fn main() {
         &bugs
     )
     .is_some());
-    println!("\nreduced scenario still recovers incorrectly — done.");
+    println!("\nreduced scenario still recovers incorrectly.\n");
+
+    // 6. The media-fault axis: rot a bit in the *at-rest* log image — the
+    //    kind of corruption no write-path check could have seen — then
+    //    scrub, and contrast the two recovery policies. The clean run
+    //    from step 1's dry engine committed all five statements.
+    let wal = dry.wal().unwrap();
+    let mut log = wal.image().to_vec();
+    let snap = wal.snapshot_image().to_vec();
+    log[FRAME_HEADER] ^= 0x04; // first payload byte of the first suffix frame
+    let report = scrub_images(&log, &snap, &BugRegistry::none());
+    println!(
+        "scrub after bit rot: {} log frame(s), {} snapshot frame(s), {} finding(s):",
+        report.log_frames,
+        report.snapshot_frames,
+        report.findings.len()
+    );
+    for f in &report.findings {
+        println!(
+            "  [{}] {:?} at offset {}: {}",
+            if f.tail { "tail" } else { "DAMAGE" },
+            f.site,
+            f.offset,
+            f.reason
+        );
+    }
+    assert!(!report.clean(), "scrub must quarantine the rot");
+
+    // Fail-stop refuses the damaged image outright; salvage truncates at
+    // the damage and recovers a committed *prefix* — here the snapshot
+    // state, with the rotted log suffix dropped.
+    let failstop = recover_with_policy(
+        &log,
+        &snap,
+        Dialect::Sqlite,
+        &BugRegistry::none(),
+        RecoveryPolicy::FailStop,
+    );
+    match &failstop {
+        Err(e) => println!("fail-stop: refused the image: {e}"),
+        Ok(_) => panic!("fail-stop must refuse non-tail damage"),
+    }
+    let (mut salvaged, sinfo) = recover_with_policy(
+        &log,
+        &snap,
+        Dialect::Sqlite,
+        &BugRegistry::none(),
+        RecoveryPolicy::Salvage,
+    )
+    .expect("salvage recovers a prefix");
+    let rel = salvaged
+        .query_sql("SELECT id, balance FROM accounts")
+        .unwrap();
+    println!(
+        "salvage: recovered from snapshot at stmt {:?}, dropped the rotted suffix, {} row(s):",
+        sinfo.snapshot_stmts,
+        rel.rows.len()
+    );
+    for row in &rel.rows {
+        println!("  account {} balance {}", row[0], row[1]);
+    }
+    println!();
+
+    // 7. A media mutant — salvage that replays *past* a corrupt frame,
+    //    resurrecting effects the damage should have quarantined — is
+    //    hunted by the same `recover` campaign: its seeded media axis
+    //    flips bits, injects read faults and fills the disk, and the
+    //    detect-or-identical oracle flags any fault that is neither.
+    let mbug = MediaBugId::SalvagePastCorruptCommit;
+    println!(
+        "injected media bug: {} — {}\n",
+        mbug.name(),
+        mbug.description()
+    );
+    let cfg = CampaignConfig {
+        bugs: BugRegistry::only_media(mbug),
+        tests: 2_000,
+        stop_on_first_bug: true,
+        ..CampaignConfig::new(Dialect::Sqlite)
+    };
+    let mut oracle = coddtest::make_oracle("recover").expect("recover oracle");
+    let mut result = run_campaign(oracle.as_mut(), &cfg);
+    let finding = result.findings.first().expect("campaign finds the bug");
+    println!(
+        "found after {} tests at (state {}, test {}):",
+        result.tests_run, finding.state_idx, finding.test_idx
+    );
+    println!("{}\n", finding.report.to_display());
+    attribute_bugs(&mut result, &cfg, "recover");
+    let finding = &result.findings[0];
+    println!("attributed to media mutant(s): {:?}", finding.attributed_media);
+    assert!(finding.attributed_media.contains(&mbug));
+    assert!(finding.attributed_recovery.is_empty() && finding.attributed.is_empty());
+    println!("\nmedia fault detected, attributed and reproducible — done.");
 }

@@ -11,8 +11,8 @@
 
 use proptest::prelude::*;
 
-use coddb::bugs::BugRegistry;
-use coddb::recovery::{recover, scan_log, scan_snapshots};
+use coddb::bugs::{BugRegistry, MediaBugId};
+use coddb::recovery::{recover, scan_log, scan_snapshots, scrub_images};
 use coddb::wal::StorageMode;
 use coddb::{Database, Dialect};
 
@@ -109,6 +109,83 @@ proptest! {
         let _ = scan_log(&img, &bugs);
         let _ = scan_snapshots(&img, &bugs);
         let _ = recover(&img, &img, Dialect::Sqlite, &bugs);
+    }
+
+    #[test]
+    fn mid_log_bit_flips_satisfy_detect_or_identical(
+        seed in any::<u64>(),
+        flip in any::<u64>(),
+    ) {
+        // At-rest corruption anywhere in the log must be *detected* (scrub
+        // finding or a structured recovery error) or *harmless* (recovery
+        // byte-identical to the un-flipped baseline). A clean scrub paired
+        // with a divergent recovery is the silent-wrong-recovery failure
+        // mode this suite exists to catch.
+        let bugs = BugRegistry::none();
+        let (log, snap) = genuine_images(seed);
+        let dialect = Dialect::ALL[(seed % 5) as usize];
+        let base = recover(&log, &snap, dialect, &bugs).unwrap();
+        let mut rotted = log.clone();
+        prop_assert!(!rotted.is_empty());
+        let i = (flip as usize / 8) % rotted.len();
+        rotted[i] ^= 1 << (flip % 8);
+        let report = scrub_images(&rotted, &snap, &bugs);
+        match recover(&rotted, &snap, dialect, &bugs) {
+            Err(_) => {} // detected: structured error
+            Ok(db) => {
+                if report.clean() {
+                    prop_assert_eq!(
+                        db.dump_state(),
+                        base.dump_state(),
+                        "undetected log bit flip changed the recovered state"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mid_snapshot_bit_flips_satisfy_detect_or_identical(
+        seed in any::<u64>(),
+        flip in any::<u64>(),
+    ) {
+        let bugs = BugRegistry::none();
+        let (log, snap) = genuine_images(seed);
+        let dialect = Dialect::ALL[(seed % 5) as usize];
+        let base = recover(&log, &snap, dialect, &bugs).unwrap();
+        let mut rotted = snap.clone();
+        prop_assert!(!rotted.is_empty());
+        let i = (flip as usize / 8) % rotted.len();
+        rotted[i] ^= 1 << (flip % 8);
+        let report = scrub_images(&log, &rotted, &bugs);
+        match recover(&log, &rotted, dialect, &bugs) {
+            Err(_) => {}
+            Ok(db) => {
+                if report.clean() {
+                    prop_assert_eq!(
+                        db.dump_state(),
+                        base.dump_state(),
+                        "undetected snapshot bit flip changed the recovered state"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scrub_never_panics_under_any_media_mutant(
+        log in prop::collection::vec(any::<u8>(), 0..128),
+        snap in prop::collection::vec(any::<u8>(), 0..128),
+        which in any::<u64>(),
+    ) {
+        // Media mutants weaken scrub and salvage validation, widening the
+        // set of bytes that reach the decoders — no panic allowed anywhere.
+        let bug = MediaBugId::ALL[(which as usize) % MediaBugId::ALL.len()];
+        let bugs = BugRegistry::only_media(bug);
+        let _ = scan_log(&log, &bugs);
+        let _ = scan_snapshots(&snap, &bugs);
+        let _ = scrub_images(&log, &snap, &bugs);
+        let _ = recover(&log, &snap, Dialect::Sqlite, &bugs);
     }
 
     #[test]

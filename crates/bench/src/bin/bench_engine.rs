@@ -21,9 +21,7 @@ use coddb::ast::Select;
 use coddb::bugs::BugRegistry;
 use coddb::recovery::scrub_images;
 use coddb::wal::{MediaMode, MediaPlan, StorageMode};
-use coddb::{
-    AccessMode, BindMode, Database, Dialect, EvalMode, JoinMode, ScanMode, StorageSite,
-};
+use coddb::{AccessMode, BindMode, Database, Dialect, EvalMode, JoinMode, ScanMode, StorageSite};
 use coddtest::make_oracle;
 use coddtest::runner::{run_campaign, run_campaign_parallel, CampaignConfig};
 use coddtest_bench::{
@@ -526,10 +524,9 @@ fn main() {
         .as_ref()
         .is_none_or(|f| f.iter().any(|s| s == WAL_COMMIT_NOSPACE_SHAPE));
     if run_nospace_shape {
-        let ins = &coddb::parser::parse_statements(
-            "INSERT INTO w VALUES (1, 'x'), (2, 'y'), (3, 'z')",
-        )
-        .unwrap()[0];
+        let ins =
+            &coddb::parser::parse_statements("INSERT INTO w VALUES (1, 'x'), (2, 'y'), (3, 'z')")
+                .unwrap()[0];
         let batch = if quick { 300 } else { 3_000 };
         let unlimited_ns = measure_campaign(windows.runs, || {
             let mut db = Database::new(Dialect::Sqlite);

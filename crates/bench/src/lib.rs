@@ -76,10 +76,7 @@ pub const QUERY_SHAPES: &[(&str, &str)] = &[
     // Selective range over the 3000-row indexed table: the seek emits
     // ~40 postings (the consumed conjunct alone bounds the key range)
     // where the ScanOnly baseline filters all 3000 rows.
-    (
-        "index_range_scan",
-        "SELECT COUNT(*) FROM t6 WHERE k < 40",
-    ),
+    ("index_range_scan", "SELECT COUNT(*) FROM t6 WHERE k < 40"),
     // Ordered seek with sort elimination: the index emits the tail of the
     // key range already ordered, so the LIMIT sees presorted rows; the
     // ScanOnly baseline scans, filters, and sorts before limiting.
@@ -154,7 +151,10 @@ pub fn is_scan_shape(name: &str) -> bool {
 /// planner-selected seek over the full-scan pipeline (for
 /// `order_by_indexed` that includes the eliminated sort).
 pub fn is_indexed_shape(name: &str) -> bool {
-    matches!(name, "index_probe" | "index_range_scan" | "order_by_indexed")
+    matches!(
+        name,
+        "index_probe" | "index_range_scan" | "order_by_indexed"
+    )
 }
 
 /// Shapes dominated by vectorizable clause evaluation — `bench_engine`

@@ -804,6 +804,17 @@ impl BugRegistry {
         Self::default()
     }
 
+    /// No mutant of any registry is enabled. The debug-mode plan verifier
+    /// ([`crate::validate`]) only asserts on clean engines: mutant-corrupted
+    /// plans are invalid *by design*, and flagging them is the campaign
+    /// oracle's job, not an assertion failure.
+    pub fn is_clean(&self) -> bool {
+        self.active.is_empty()
+            && self.recovery.is_empty()
+            && self.index.is_empty()
+            && self.media.is_empty()
+    }
+
     /// Enable every mutant belonging to `dialect` (the Table 1 campaign
     /// configuration).
     pub fn all_for_dialect(dialect: Dialect) -> Self {

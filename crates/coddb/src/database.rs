@@ -280,7 +280,9 @@ impl Database {
     pub fn scrub(&mut self) -> Result<ScrubReport> {
         let bugs = self.bugs.clone();
         let Some(w) = self.wal.as_mut() else {
-            return Err(Error::Internal("scrub requires durable storage mode".into()));
+            return Err(Error::Internal(
+                "scrub requires durable storage mode".into(),
+            ));
         };
         let log = w.read_log_image(&bugs).map_err(Error::from)?.to_vec();
         let snap = w.read_snapshot_image(&bugs).map_err(Error::from)?.to_vec();
@@ -371,7 +373,10 @@ impl Database {
             if let Err(e) = logged {
                 // Mutant: NoSpaceTreatedAsCommitted — the engine keeps the
                 // statement's effects although the WAL refused the record.
-                if !self.bugs.media_active(MediaBugId::NoSpaceTreatedAsCommitted) {
+                if !self
+                    .bugs
+                    .media_active(MediaBugId::NoSpaceTreatedAsCommitted)
+                {
                     return Err(e.into());
                 }
             }
@@ -388,7 +393,13 @@ impl Database {
     fn check_dml_logged(&self, logged: std::result::Result<(), StorageError>) -> Result<()> {
         match logged {
             Ok(()) => Ok(()),
-            Err(_) if self.bugs.media_active(MediaBugId::NoSpaceTreatedAsCommitted) => Ok(()),
+            Err(_)
+                if self
+                    .bugs
+                    .media_active(MediaBugId::NoSpaceTreatedAsCommitted) =>
+            {
+                Ok(())
+            }
             Err(e) => Err(e.into()),
         }
     }
@@ -650,6 +661,23 @@ impl Database {
             Some(&self.catalog),
             vec,
         ))
+    }
+
+    /// Statically verify a SELECT's physical plan against the engine's
+    /// plan invariants ([`crate::validate`]) without executing a row.
+    /// Planning consults the active bug registry, so a planner mutant's
+    /// corruption shows up in the returned violations; a clean engine
+    /// must always return an empty list.
+    pub fn verify_select(&self, q: &crate::ast::Select) -> Result<Vec<crate::validate::Violation>> {
+        let pctx = crate::plan::PlanCtx {
+            catalog: &self.catalog,
+            dialect: self.dialect,
+            bugs: &self.bugs,
+            cov: &self.coverage,
+            optimize: true,
+        };
+        let plan = crate::plan::plan_select(q, &pctx, &std::collections::BTreeSet::new())?;
+        Ok(crate::validate::validate_plan(&plan, &self.catalog))
     }
 
     /// Parse and explain a single SELECT.

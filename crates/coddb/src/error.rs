@@ -58,7 +58,10 @@ impl fmt::Display for StorageError {
         let site = self.site.label();
         match self.kind {
             StorageFaultKind::NoSpace { op } => {
-                write!(f, "no space left on device: {site} append at op {op} refused")
+                write!(
+                    f,
+                    "no space left on device: {site} append at op {op} refused"
+                )
             }
             StorageFaultKind::ReadFault {
                 attempts,

@@ -427,6 +427,28 @@ impl<'p> Prepared<'p> {
                 Ok(Rc::new(binder.bind(expr)?))
             },
         )?;
+        // Debug builds verify every bound clause at the bind seam: scope
+        // hops and ordinals in bounds, no aggregate slots (this path
+        // rejects aggregates), and agreement between the AST-mirror and
+        // bound-form vectorization classifiers. Clean engines only —
+        // mutant behavior is the campaign's business.
+        #[cfg(debug_assertions)]
+        if ctx.bugs.is_clean() {
+            let violations = crate::validate::validate_bound(&bound, scopes, None);
+            assert!(
+                violations.is_empty(),
+                "binder produced an out-of-bounds form for `{expr}`: {violations:?}"
+            );
+            if depth == 0 {
+                let bound_ok = crate::vec_eval::classify(&bound, ctx).is_ok();
+                let ast_ok =
+                    crate::vec_eval::classify_ast(expr, ctx.bugs, ctx.dialect, ctx.stmt, 0).is_ok();
+                assert!(
+                    bound_ok == ast_ok,
+                    "vectorization classifiers disagree on `{expr}`"
+                );
+            }
+        }
         Ok(Prepared { bound, ast: expr })
     }
 
@@ -1858,7 +1880,7 @@ fn grouped_bindings(
             let scopes = bind_scopes(outer_scopes, schema);
             // Group keys bind in non-aggregate scope (aggregates are illegal
             // in GROUP BY), each through its own binder like any clause root.
-            let group_bound = group_exprs
+            let group_bound: Vec<Rc<BoundExpr>> = group_exprs
                 .iter()
                 .map(|g| {
                     let mut binder = Binder::new(&scopes, depth);
@@ -1881,6 +1903,27 @@ fn grouped_bindings(
                 None => None,
             };
             let agg_specs = binder.into_agg_specs();
+            // Debug builds verify the grouped bound forms: group keys are
+            // aggregate-free, and every aggregate slot in the projection /
+            // HAVING indexes the collected spec table.
+            #[cfg(debug_assertions)]
+            if ctx.bugs.is_clean() {
+                let mut violations = Vec::new();
+                for g in &group_bound {
+                    violations.extend(crate::validate::validate_bound(g, &scopes, None));
+                }
+                for b in bound_projs.iter().chain(bound_having.iter()) {
+                    violations.extend(crate::validate::validate_bound(
+                        b,
+                        &scopes,
+                        Some(agg_specs.len()),
+                    ));
+                }
+                assert!(
+                    violations.is_empty(),
+                    "binder produced an out-of-bounds grouped form: {violations:?}"
+                );
+            }
             Ok(Rc::new(GroupedBindings {
                 group_exprs,
                 group_bound,
@@ -2281,9 +2324,10 @@ fn seek_filter(
     // TEXT-mix fallback (the probe column is class-uniform), so the
     // structural test alone decides which charging regime the baseline
     // scan would use. Either regime charges exactly `seek.total`.
-    let local_col = |e: &BoundExpr| matches!(e, BoundExpr::Column(c) if c.up == 0 && c.collision_alt.is_none());
-    let bulk_charge = !ctx.rebind_per_row
-        && !(info.via_index && ctx.bugs.active(BugId::SqliteIndexedCmpNullTrue))
+    let local_col =
+        |e: &BoundExpr| matches!(e, BoundExpr::Column(c) if c.up == 0 && c.collision_alt.is_none());
+    let bulk_charge = !(ctx.rebind_per_row
+        || (info.via_index && ctx.bugs.active(BugId::SqliteIndexedCmpNullTrue)))
         && matches!(pred.bound(), BoundExpr::Binary { op, left, right }
             if op.is_comparison()
                 && ((local_col(left) && row_invariant(right))
@@ -2697,25 +2741,14 @@ fn exec_from_uncached(
                 });
             }
             let data = data.unwrap();
-            // Bug hook: RangeBoundOffByOne — inclusive range bounds
-            // tighten to exclusive before the seek.
-            let mut range_probe = range.clone();
-            if ctx.bugs.index_active(IndexBugId::RangeBoundOffByOne) {
-                if let Some((op, _)) = range_probe.as_mut() {
-                    *op = match *op {
-                        BinaryOp::Ge => BinaryOp::Gt,
-                        BinaryOp::Le => BinaryOp::Lt,
-                        o => o,
-                    };
-                }
-            }
-            // Bug hook: SortElimWrongDirection — a DESC-ordered seek
-            // emits ascending anyway.
-            let rev = *reverse && !ctx.bugs.index_active(IndexBugId::SortElimWrongDirection);
+            // The RangeBoundOffByOne and SortElimWrongDirection hooks
+            // corrupt the *plan* (see `plan::select_seek` and
+            // `plan::eliminate_sort`): the executor faithfully runs the
+            // seek it was handed.
             // Bug hook: EqSeekMissesDuplicates — equality seeks return
             // only the first row of each duplicate key group.
             let dedup = ctx.bugs.index_active(IndexBugId::EqSeekMissesDuplicates);
-            let out = data.seek(eq, range_probe.clone(), *ordered, rev, dedup);
+            let out = data.seek(eq, range.clone(), *ordered, *reverse, dedup);
             let rows: Vec<Row> = out
                 .emit
                 .iter()
@@ -2739,7 +2772,7 @@ fn exec_from_uncached(
                     index: index.clone(),
                     key_cols: data.cols.clone(),
                     eq: eq.clone(),
-                    range_probe,
+                    range_probe: range.clone(),
                     ordered: *ordered,
                     filter_suppressed: ctx.bugs.index_active(IndexBugId::PrefixSeekIgnoresResidual),
                 }),

@@ -81,7 +81,10 @@ impl OrdIndex {
 
     /// The composite key of a row.
     pub fn key_of(&self, row: &Row) -> Vec<OrdValue> {
-        self.cols.iter().map(|&c| OrdValue(row[c].clone())).collect()
+        self.cols
+            .iter()
+            .map(|&c| OrdValue(row[c].clone()))
+            .collect()
     }
 
     fn add_stats(&mut self, key: &[OrdValue]) {
@@ -283,7 +286,10 @@ impl OrdIndex {
         let j = prefix.len();
         let mut lo = prefix.to_vec();
         lo.push(OrdValue(Value::Null));
-        for (k, ps) in self.map.range::<[OrdValue], _>((Included(&lo[..]), Unbounded)) {
+        for (k, ps) in self
+            .map
+            .range::<[OrdValue], _>((Included(&lo[..]), Unbounded))
+        {
             if k[..j] != *prefix || !k[j].0.is_null() {
                 break;
             }
@@ -327,7 +333,10 @@ impl OrdIndex {
             }
             BinaryOp::Lt | BinaryOp::Le => {
                 lo.push(OrdValue(Value::Null));
-                for (k, ps) in self.map.range::<[OrdValue], _>((Excluded(&lo[..]), Unbounded)) {
+                for (k, ps) in self
+                    .map
+                    .range::<[OrdValue], _>((Excluded(&lo[..]), Unbounded))
+                {
                     if k[..j] != *prefix {
                         break;
                     }
@@ -378,7 +387,10 @@ impl OrdIndex {
         if matches!(op, BinaryOp::Eq | BinaryOp::Gt | BinaryOp::Ge) {
             let mut lo = prefix.to_vec();
             lo.push(OrdValue(Value::Null));
-            for (k, ps) in self.map.range::<[OrdValue], _>((Excluded(&lo[..]), Unbounded)) {
+            for (k, ps) in self
+                .map
+                .range::<[OrdValue], _>((Excluded(&lo[..]), Unbounded))
+            {
                 if k[..j] != *prefix {
                     break;
                 }
@@ -400,7 +412,10 @@ impl OrdIndex {
         if matches!(op, BinaryOp::Eq | BinaryOp::Lt | BinaryOp::Le) && !(lazy && best.is_some()) {
             let mut hi = prefix.to_vec();
             hi.push(v.clone());
-            for (k, ps) in self.map.range::<[OrdValue], _>((Included(&hi[..]), Unbounded)) {
+            for (k, ps) in self
+                .map
+                .range::<[OrdValue], _>((Included(&hi[..]), Unbounded))
+            {
                 if k[..j] != *prefix {
                     break;
                 }

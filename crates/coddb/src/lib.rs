@@ -270,6 +270,50 @@
 //! state matching no committed prefix. The [`bugs::MediaBugId`] mutants
 //! break exactly these promises so campaigns prove the oracle can see
 //! them.
+//!
+//! ## Plan invariants (the static verifier)
+//!
+//! The planner promises the executor a set of structural invariants, and
+//! [`validate`] re-derives each one from the plan tree and the catalog
+//! alone — never from the bug registry, so a mutant-corrupted plan cannot
+//! bless itself. The checked invariants:
+//!
+//! * **Seek placement** — [`plan::FromPlan::IndexSeek`] appears only at
+//!   the root of a core's FROM tree, over a physical (bare-column) index
+//!   of the scanned table.
+//! * **Seek justification** — the consumed key prefix is exactly what the
+//!   WHERE clause's leading conjuncts probe: key column *j* matched by
+//!   conjunct *j* with the same comparison operator and the same non-NULL
+//!   literal, at most [`plan::MAX_SEEK_KEYS`] keys, at most one trailing
+//!   range, range operator a real comparison. (Consumed conjuncts stay in
+//!   the WHERE clause, so the plan carries its own justification.)
+//! * **Sort-elimination legality** — an `ordered` seek implies the
+//!   re-derived elimination decision holds: a bare core body with no
+//!   grouping/aggregation, a fully-consumed predicate, uniform sort
+//!   direction, bare sort keys resolving through the output-name table to
+//!   exactly the index's key columns — and the seek's `reverse` flag
+//!   equals the ORDER BY direction.
+//! * **Hash-join shape** — recognized key pairs are side-pure over
+//!   disjoint alias sets, form a prefix of the `ON` conjunction (each
+//!   conjunct an equality matching its pair in either orientation), and
+//!   the residual is exactly the unconsumed conjuncts, subquery-free.
+//! * **Pushdown placement** — a pushed filter ([`plan::FromPlan::Filtered`])
+//!   sits only directly below an inner/cross join child and reads only
+//!   from its own input subtree (outer-join pushdown changes semantics).
+//! * **EXPLAIN faithfulness** — every plan operator surfaces in the
+//!   rendered annotation (seeks, index scans, hash joins, nested loops,
+//!   pushed filters, CTE materializations, sorts); under-rendering is a
+//!   violation.
+//! * **Bound-form bounds** — every [`bind::BoundColumn`] (and recorded
+//!   collision alternative) points inside the binder's scope stack, and
+//!   every aggregate slot indexes the clause's per-group value table
+//!   ([`validate::validate_bound`]).
+//!
+//! Debug builds assert these at the plan and bind seams for every
+//! statement (clean engines only — mutant-corrupted plans are invalid by
+//! design), the `verify` campaign oracle in `crates/core` reports
+//! violations as findings without executing a row, and
+//! [`Database::verify_select`] exposes the pass directly.
 
 pub mod ast;
 pub mod bind;
@@ -285,6 +329,7 @@ pub mod index;
 pub mod parser;
 pub mod plan;
 pub mod recovery;
+pub mod validate;
 pub mod value;
 pub mod vec_eval;
 pub mod wal;

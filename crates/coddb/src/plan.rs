@@ -22,7 +22,7 @@ use crate::ast::{
     BinaryOp, Expr, JoinKind, OrderItem, Select, SelectBody, SelectCore, SelectItem, SetOp,
     TableExpr,
 };
-use crate::bugs::{BugId, BugRegistry};
+use crate::bugs::{BugId, BugRegistry, IndexBugId};
 use crate::catalog::{Catalog, RelationKind};
 use crate::coverage::{pt, Coverage};
 use crate::dialect::Dialect;
@@ -213,6 +213,18 @@ pub fn plan_select(
     };
     if pctx.optimize {
         eliminate_sort(&mut plan, pctx);
+    }
+    // Debug builds sweep the static verifier over every plan the engine
+    // produces, so the whole test + fuzz corpus exercises it for free.
+    // Clean engines only: mutant-corrupted plans are invalid by design,
+    // and flagging them is the campaign oracle's job, not an assertion.
+    #[cfg(debug_assertions)]
+    if pctx.bugs.is_clean() {
+        let violations = crate::validate::validate_plan(&plan, pctx.catalog);
+        assert!(
+            violations.is_empty(),
+            "clean engine planned an invalid statement: {violations:?}"
+        );
     }
     Ok(plan)
 }
@@ -745,14 +757,14 @@ pub fn split_conjuncts(expr: &Expr) -> Vec<Expr> {
     }
 }
 
-fn conjoin(parts: Vec<Expr>) -> Option<Expr> {
+pub(crate) fn conjoin(parts: Vec<Expr>) -> Option<Expr> {
     let mut it = parts.into_iter();
     let first = it.next()?;
     Some(it.fold(first, Expr::and))
 }
 
 /// Aliases produced by a FROM subtree.
-fn collect_aliases(plan: &FromPlan, out: &mut BTreeSet<String>) {
+pub(crate) fn collect_aliases(plan: &FromPlan, out: &mut BTreeSet<String>) {
     match plan {
         FromPlan::SeqScan { alias, .. }
         | FromPlan::IndexScan { alias, .. }
@@ -772,7 +784,7 @@ fn collect_aliases(plan: &FromPlan, out: &mut BTreeSet<String>) {
 
 /// Can a conjunct be evaluated using only the given aliases? Conservative:
 /// bare (unqualified) column references and subqueries block pushdown.
-fn refers_only_to(expr: &Expr, aliases: &BTreeSet<String>) -> bool {
+pub(crate) fn refers_only_to(expr: &Expr, aliases: &BTreeSet<String>) -> bool {
     if expr.contains_subquery() || expr.contains_aggregate() {
         return false;
     }
@@ -871,7 +883,7 @@ fn push_down(from: FromPlan, where_clause: Expr, pctx: &PlanCtx) -> (FromPlan, O
 
 /// Maximum key columns a seek consumes (a leading run of equality probes
 /// with one optional trailing range probe).
-const MAX_SEEK_KEYS: usize = 2;
+pub(crate) const MAX_SEEK_KEYS: usize = 2;
 
 /// Mutants whose trigger shapes run through the legacy indexed paths (or
 /// through correlated-name planning): seek selection must not reroute
@@ -887,7 +899,7 @@ fn seek_gated(pctx: &PlanCtx) -> bool {
 /// order) over a bare or `alias`-qualified column. Returns the lowercase
 /// column name, the comparison normalized to column-on-the-left, and the
 /// probe literal.
-fn sargable(conj: &Expr, alias: &str) -> Option<(String, BinaryOp, Value)> {
+pub(crate) fn sargable(conj: &Expr, alias: &str) -> Option<(String, BinaryOp, Value)> {
     let Expr::Binary { op, left, right } = conj else {
         return None;
     };
@@ -942,7 +954,9 @@ fn select_seek(plan: FromPlan, where_clause: Option<&Expr>, pctx: &PlanCtx) -> F
         return plan;
     };
     let conjs = split_conjuncts(filter);
-    let mut best: Option<(usize, String, Vec<Value>, Option<(BinaryOp, Value)>)> = None;
+    // (consumed conjuncts, index name, eq-prefix values, trailing range)
+    type SeekCandidate = (usize, String, Vec<Value>, Option<(BinaryOp, Value)>);
+    let mut best: Option<SeekCandidate> = None;
     for index in pctx.catalog.indexes_for_table(table) {
         let Some(data) = &index.data else { continue };
         let mut eq = Vec::new();
@@ -960,6 +974,19 @@ fn select_seek(plan: FromPlan, where_clause: Option<&Expr>, pctx: &PlanCtx) -> F
             if op == BinaryOp::Eq {
                 eq.push(v);
             } else {
+                // Bug hook: RangeBoundOffByOne — the planner tightens
+                // inclusive range bounds to exclusive while building the
+                // seek, so the corrupted bound is visible in the plan tree
+                // (the WHERE clause keeps the original operator).
+                let op = if pctx.bugs.index_active(IndexBugId::RangeBoundOffByOne) {
+                    match op {
+                        BinaryOp::Ge => BinaryOp::Gt,
+                        BinaryOp::Le => BinaryOp::Lt,
+                        o => o,
+                    }
+                } else {
+                    op
+                };
                 range = Some((op, v));
                 break;
             }
@@ -1108,7 +1135,10 @@ fn eliminate_sort(plan: &mut SelectPlan, pctx: &PlanCtx) {
                 return;
             }
             *ordered = true;
-            *reverse = desc;
+            // Bug hook: SortElimWrongDirection — the planner eliminates a
+            // DESC sort but records an ascending seek, so the wrong
+            // direction is visible in the plan tree.
+            *reverse = desc && !pctx.bugs.index_active(IndexBugId::SortElimWrongDirection);
             pctx.cov.hit(pt::PLAN_SORT_ELIM);
         }
         Some(from @ FromPlan::SeqScan { .. }) => {
@@ -1128,7 +1158,8 @@ fn eliminate_sort(plan: &mut SelectPlan, pctx: &PlanCtx) {
                 eq: Vec::new(),
                 range: None,
                 ordered: true,
-                reverse: desc,
+                // Bug hook: SortElimWrongDirection (see the seek arm above).
+                reverse: desc && !pctx.bugs.index_active(IndexBugId::SortElimWrongDirection),
             };
             pctx.cov.hit(pt::PLAN_INDEX_SEEK);
             pctx.cov.hit(pt::PLAN_SORT_ELIM);

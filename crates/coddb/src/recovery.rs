@@ -35,8 +35,7 @@ use crate::dialect::Dialect;
 use crate::error::{Error, Result, StorageError, StorageFaultKind, StorageSite};
 use crate::value::Row;
 use crate::wal::{
-    checksum, decode_record, MediaMode, ReadFault, SimDisk, WalRecord, FRAME_HEADER,
-    READ_RETRY_CAP,
+    checksum, decode_record, MediaMode, ReadFault, SimDisk, WalRecord, FRAME_HEADER, READ_RETRY_CAP,
 };
 
 /// Parse the surviving log image into the sequence of intact records,
@@ -190,15 +189,14 @@ pub fn choose_snapshot<'a>(snaps: &'a [Snapshot], bugs: &BugRegistry) -> Option<
         // Mutant: the oldest sealed snapshot wins instead of the newest.
         return sealed.next();
     }
-    sealed.last()
+    sealed.next_back()
 }
 
 /// Rebuild the snapshot's state into `db` by applying its body records in
 /// order: the DDL history re-executes, then the physical rows land.
 pub fn apply_snapshot(db: &mut Database, snap: &Snapshot) -> Result<()> {
     for rec in &snap.body {
-        apply_effect(db, rec)
-            .map_err(|e| Error::Internal(format!("snapshot replay: {e}")))?;
+        apply_effect(db, rec).map_err(|e| Error::Internal(format!("snapshot replay: {e}")))?;
     }
     Ok(())
 }
@@ -597,9 +595,7 @@ fn scrub_frames(
             break;
         }
         let payload = &image[body_start..body_start + len];
-        if checksum(payload) != stored_sum
-            && !bugs.media_active(MediaBugId::SkipScrubChecksum)
-        {
+        if checksum(payload) != stored_sum && !bugs.media_active(MediaBugId::SkipScrubChecksum) {
             findings.push(ScrubFinding {
                 site,
                 offset: pos,
@@ -1031,7 +1027,8 @@ mod tests {
         .unwrap();
         image.extend_from_slice(w.image());
         let rec = recover(&image, &[], Dialect::Sqlite, &BugRegistry::none()).unwrap();
-        let reference = recover(&committed_image, &[], Dialect::Sqlite, &BugRegistry::none()).unwrap();
+        let reference =
+            recover(&committed_image, &[], Dialect::Sqlite, &BugRegistry::none()).unwrap();
         assert_eq!(rec.dump_state(), reference.dump_state());
     }
 
@@ -1184,12 +1181,15 @@ mod tests {
              CREATE VIEW v (n) AS SELECT COUNT(*) FROM t",
         );
         db.checkpoint().unwrap();
-        run_sql(&mut db, "INSERT INTO t VALUES (3, 'z'); DELETE FROM t WHERE a = 1");
+        run_sql(
+            &mut db,
+            "INSERT INTO t VALUES (3, 'z'); DELETE FROM t WHERE a = 1",
+        );
         let w = db.wal().unwrap();
         assert_eq!(w.durable_snapshot_stmts(), Some(3));
         let (rec, info) = recover_detailed(
-            &w.image().to_vec(),
-            &w.snapshot_image().to_vec(),
+            w.image(),
+            w.snapshot_image(),
             Dialect::Sqlite,
             &BugRegistry::none(),
         )
@@ -1226,8 +1226,8 @@ mod tests {
         db.checkpoint().unwrap();
         let w = db.wal().unwrap();
         let rec = recover(
-            &w.image().to_vec(),
-            &w.snapshot_image().to_vec(),
+            w.image(),
+            w.snapshot_image(),
             Dialect::Sqlite,
             &BugRegistry::none(),
         )
@@ -1287,9 +1287,7 @@ mod tests {
                     let _ = f.checkpoint();
                 }
             }
-            if f.wal().unwrap().durable_snapshot_stmts() == Some(2)
-                && f.wal().unwrap().crashed()
-            {
+            if f.wal().unwrap().durable_snapshot_stmts() == Some(2) && f.wal().unwrap().crashed() {
                 fell_back = true;
             }
         }
@@ -1373,9 +1371,11 @@ mod tests {
         .unwrap();
         let mismatched = w.snapshot_image().to_vec();
         let report = scrub_images(&[], &mismatched, &BugRegistry::none());
-        assert!(report
-            .damage()
-            .any(|f| f.reason.contains("seal mismatch")), "{:?}", report.findings);
+        assert!(
+            report.damage().any(|f| f.reason.contains("seal mismatch")),
+            "{:?}",
+            report.findings
+        );
     }
 
     #[test]
@@ -1475,7 +1475,6 @@ mod tests {
             .expect("row 2 frame present");
         let mut rotted = log.clone();
         rotted[at] ^= 0x01; // flip a payload bit: the frame checksum breaks
-
 
         let clean = recover(&rotted, &[], Dialect::Sqlite, &BugRegistry::none()).unwrap();
         assert_eq!(

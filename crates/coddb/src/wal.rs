@@ -226,7 +226,7 @@ impl MediaPlan {
     /// fault, so seeded media campaigns keep exercising the clean path.
     pub fn seeded(seed: u64, total_ops: u64) -> MediaPlan {
         let mut s = seed;
-        let site = if splitmix64(&mut s) % 2 == 0 {
+        let site = if splitmix64(&mut s).is_multiple_of(2) {
             StorageSite::Log
         } else {
             StorageSite::Snapshot
@@ -1361,7 +1361,10 @@ mod tests {
         for failures in 1..=READ_RETRY_CAP {
             let mut disk = SimDisk::from_bytes(vec![1, 2, 3]);
             disk.set_read_fault(Some(ReadFault::Transient { failures }));
-            let got = disk.read_with_retry(StorageSite::Log, &bugs).unwrap().to_vec();
+            let got = disk
+                .read_with_retry(StorageSite::Log, &bugs)
+                .unwrap()
+                .to_vec();
             assert_eq!(got, vec![1, 2, 3]);
             assert_eq!(disk.read_attempts(), (failures + 1) as u64);
             // Per-call semantics: a second read pays the same schedule.
@@ -1473,9 +1476,7 @@ mod tests {
         rotted.degrade_at_rest();
         let dirty = rotted.image().to_vec();
         assert_ne!(dirty, clean);
-        let diff: Vec<usize> = (0..clean.len())
-            .filter(|&i| clean[i] != dirty[i])
-            .collect();
+        let diff: Vec<usize> = (0..clean.len()).filter(|&i| clean[i] != dirty[i]).collect();
         assert_eq!(diff.len(), 1, "exactly one byte differs");
         assert_eq!(
             (clean[diff[0]] ^ dirty[diff[0]]).count_ones(),
@@ -1491,7 +1492,10 @@ mod tests {
         faulted.degrade_at_rest();
         let bugs = BugRegistry::none();
         assert!(faulted.read_log_image(&bugs).is_err());
-        assert!(faulted.read_snapshot_image(&bugs).is_ok(), "other site unhurt");
+        assert!(
+            faulted.read_snapshot_image(&bugs).is_ok(),
+            "other site unhurt"
+        );
     }
 
     #[test]

@@ -49,8 +49,8 @@ fn pre_checkpoint_world_recovers_from_genesis() {
     let w = db.wal().unwrap();
     assert!(w.snapshot_image().is_empty());
     let (rec, info) = recover_detailed(
-        &w.image().to_vec(),
-        &w.snapshot_image().to_vec(),
+        w.image(),
+        w.snapshot_image(),
         Dialect::Sqlite,
         &BugRegistry::none(),
     )
@@ -85,8 +85,8 @@ fn crash_in_suffix_recovers_from_snapshot_plus_suffix() {
     assert_eq!(w.durable_snapshot_stmts(), Some(2));
     assert_eq!(w.committed_statements(), 3, "stmt 3's commit was the crash");
     let (rec, info) = recover_detailed(
-        &w.image().to_vec(),
-        &w.snapshot_image().to_vec(),
+        w.image(),
+        w.snapshot_image(),
         Dialect::Sqlite,
         &BugRegistry::none(),
     )
@@ -131,8 +131,8 @@ fn crash_between_marker_and_truncation_does_not_double_apply() {
     );
     assert!(!w.image().is_empty(), "truncation lost: log survives whole");
     let (rec, info) = recover_detailed(
-        &w.image().to_vec(),
-        &w.snapshot_image().to_vec(),
+        w.image(),
+        w.snapshot_image(),
         Dialect::Sqlite,
         &BugRegistry::none(),
     )
@@ -175,8 +175,8 @@ fn torn_second_snapshot_falls_back_to_the_first() {
         exercised = true;
         let snaps = scan_snapshots(w.snapshot_image(), &BugRegistry::none()).unwrap();
         let (_, info) = recover_detailed(
-            &w.image().to_vec(),
-            &w.snapshot_image().to_vec(),
+            w.image(),
+            w.snapshot_image(),
             Dialect::Sqlite,
             &BugRegistry::none(),
         )
@@ -229,8 +229,8 @@ fn snapshot_plus_suffix_rebuilds_indexes_that_seek_like_scan_only() {
         let w = crashed.wal().unwrap();
         let probe = |mode: AccessMode| {
             let (mut rec, info) = recover_detailed(
-                &w.image().to_vec(),
-                &w.snapshot_image().to_vec(),
+                w.image(),
+                w.snapshot_image(),
                 Dialect::Sqlite,
                 &BugRegistry::none(),
             )
@@ -270,8 +270,8 @@ fn snapshot_plus_suffix_rebuilds_indexes_that_seek_like_scan_only() {
     // The clean recovery must plan a real seek over the rebuilt index.
     let w = clean.wal().unwrap();
     let (mut rec, _) = recover_detailed(
-        &w.image().to_vec(),
-        &w.snapshot_image().to_vec(),
+        w.image(),
+        w.snapshot_image(),
         Dialect::Sqlite,
         &BugRegistry::none(),
     )
@@ -301,8 +301,8 @@ fn recovery_charges_no_fuel() {
     db.execute_sql("INSERT INTO t VALUES (9)").unwrap();
     let w = db.wal().unwrap();
     let rec = recover(
-        &w.image().to_vec(),
-        &w.snapshot_image().to_vec(),
+        w.image(),
+        w.snapshot_image(),
         Dialect::Sqlite,
         &BugRegistry::none(),
     )
@@ -361,8 +361,8 @@ fn tight_fuel_limits_recover_identically() {
             assert_eq!(failures, ref_failures, "limit {limit}: fuel trips differ");
             let wal = w.wal().unwrap();
             let rec = recover(
-                &wal.image().to_vec(),
-                &wal.snapshot_image().to_vec(),
+                wal.image(),
+                wal.snapshot_image(),
                 Dialect::Sqlite,
                 &BugRegistry::none(),
             )
@@ -400,7 +400,10 @@ fn nospace_aborts_the_statement_cleanly_and_the_session_keeps_serving() {
     let err = db.execute_sql("INSERT INTO t VALUES (2)").unwrap_err();
     match &err {
         Error::Storage(se) => {
-            assert!(matches!(se.kind, StorageFaultKind::NoSpace { .. }), "{se:?}");
+            assert!(
+                matches!(se.kind, StorageFaultKind::NoSpace { .. }),
+                "{se:?}"
+            );
         }
         other => panic!("expected a storage error, got {other:?}"),
     }
@@ -421,8 +424,8 @@ fn nospace_aborts_the_statement_cleanly_and_the_session_keeps_serving() {
     // Recovery sees exactly the committed prefix.
     let wal = db.wal().unwrap();
     let rec = recover(
-        &wal.image().to_vec(),
-        &wal.snapshot_image().to_vec(),
+        wal.image(),
+        wal.snapshot_image(),
         Dialect::Sqlite,
         &BugRegistry::none(),
     )
@@ -491,18 +494,14 @@ fn scrub_quarantines_bit_rot_and_salvage_recovers_a_prefix() {
     // Salvage recovers a committed prefix (never past the damage).
     let wal = db.wal().unwrap();
     let (rec, _) = recover_with_policy(
-        &wal.image().to_vec(),
-        &wal.snapshot_image().to_vec(),
+        wal.image(),
+        wal.snapshot_image(),
         Dialect::Sqlite,
         &BugRegistry::none(),
         RecoveryPolicy::Salvage,
     )
     .unwrap();
-    let rows = rec
-        .catalog()
-        .table("t")
-        .map(|t| t.rows.len())
-        .unwrap_or(0);
+    let rows = rec.catalog().table("t").map(|t| t.rows.len()).unwrap_or(0);
     assert!(rows < 3, "salvage kept state past the damage ({rows} rows)");
 }
 
@@ -525,7 +524,11 @@ fn transient_reads_heal_within_the_cap_and_fail_stop_beyond() {
     });
     db.degrade_media();
     let report = db.scrub().unwrap();
-    assert!(report.clean(), "healed read left findings: {:?}", report.findings);
+    assert!(
+        report.clean(),
+        "healed read left findings: {:?}",
+        report.findings
+    );
 
     // Beyond the cap: a structured read fault surfaces instead of a hang
     // or a silent empty image.
@@ -539,7 +542,10 @@ fn transient_reads_heal_within_the_cap_and_fail_stop_beyond() {
     let err = db.scrub().unwrap_err();
     match &err {
         Error::Storage(se) => match se.kind {
-            StorageFaultKind::ReadFault { attempts, permanent } => {
+            StorageFaultKind::ReadFault {
+                attempts,
+                permanent,
+            } => {
                 assert_eq!(attempts, READ_RETRY_CAP + 1);
                 assert!(!permanent);
             }
@@ -553,5 +559,8 @@ fn transient_reads_heal_within_the_cap_and_fail_stop_beyond() {
 #[test]
 fn scrub_requires_durable_storage() {
     let mut db = Database::new(Dialect::Sqlite);
-    assert!(db.scrub().is_err(), "volatile engines have nothing to scrub");
+    assert!(
+        db.scrub().is_err(),
+        "volatile engines have nothing to scrub"
+    );
 }

@@ -320,7 +320,10 @@ fn index_mutant_divergence_scenarios() {
         dml,
         "SELECT v FROM t WHERE k = 9",
     );
-    assert!(buggy.is_empty(), "stale index should miss the row: {buggy:?}");
+    assert!(
+        buggy.is_empty(),
+        "stale index should miss the row: {buggy:?}"
+    );
 }
 
 /// Access modes must agree statement-for-statement even when the fuel

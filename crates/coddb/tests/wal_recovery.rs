@@ -187,8 +187,8 @@ fn grid_recovers_from_snapshot_exactly_when_one_is_durable() {
             let wal = db.wal().unwrap();
             let truth = wal.durable_snapshot_stmts();
             let (_, info) = recover_detailed(
-                &wal.image().to_vec(),
-                &wal.snapshot_image().to_vec(),
+                wal.image(),
+                wal.snapshot_image(),
                 dialect,
                 &BugRegistry::none(),
             )
@@ -228,14 +228,8 @@ fn every_recovery_mutant_diverges_somewhere_in_the_grid() {
                     } else {
                         FaultPlan { crash_op: op, mode }
                     };
-                    if recovery_divergence_checkpointed(
-                        &stmts,
-                        checkpoints,
-                        &plan,
-                        dialect,
-                        &bugs,
-                    )
-                    .is_some()
+                    if recovery_divergence_checkpointed(&stmts, checkpoints, &plan, dialect, &bugs)
+                        .is_some()
                     {
                         hit = true;
                         break 'grid;
@@ -509,8 +503,8 @@ fn indexed_table_grid_recovers_and_seeks_match_scan_only() {
             let wal = db.wal().unwrap();
             let probe = |mode: AccessMode| {
                 let (mut rec, _) = recover_detailed(
-                    &wal.image().to_vec(),
-                    &wal.snapshot_image().to_vec(),
+                    wal.image(),
+                    wal.snapshot_image(),
                     dialect,
                     &BugRegistry::none(),
                 )

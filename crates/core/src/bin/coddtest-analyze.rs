@@ -1,0 +1,57 @@
+//! `coddtest-analyze` — self-hosted registry lints as a CLI.
+//!
+//! Usage: `coddtest-analyze [--json] [--root <path>]`
+//!
+//! Exits 0 when the repository is drift-free, 1 when any lint fires
+//! (CI runs this via `scripts/analyze_check`), 2 on usage or I/O errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use coddtest::analyze::analyze_repo;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: coddtest-analyze [--json] [--root <path>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // Default to the workspace root this binary was built from.
+    let root = root.unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."));
+
+    let report = match analyze_repo(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("coddtest-analyze: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.to_text());
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

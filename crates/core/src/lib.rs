@@ -11,6 +11,9 @@
 //! * [`recover`] — the crash-recovery differential oracle over coddb's
 //!   durable storage layer: seeded crash injection, recovery, and a
 //!   byte-exact committed-prefix comparison.
+//! * [`verify`] — the static plan verifier as an oracle: flags any
+//!   statically-illegal plan ([`coddb::validate`]) as a finding without
+//!   executing a row.
 //! * [`runner`] — deterministic test campaigns with the Table 3 metrics
 //!   (tests, successful/unsuccessful queries, QPT, unique query plans,
 //!   branch coverage) and bug attribution for the Table 1/2 harnesses.
@@ -20,6 +23,7 @@
 //! Every oracle implements [`Oracle`] and consumes a [`Session`], which
 //! tallies successful/unsuccessful queries and collects plan fingerprints.
 
+pub mod analyze;
 pub mod codd;
 pub mod dqe;
 pub mod eet;
@@ -28,6 +32,7 @@ pub mod recover;
 pub mod reduce;
 pub mod runner;
 pub mod tlp;
+pub mod verify;
 
 use std::collections::BTreeSet;
 
@@ -232,6 +237,7 @@ pub fn make_oracle(name: &str) -> Option<Box<dyn Oracle>> {
         "eet" => Some(Box::new(eet::Eet::default())),
         "recover" => Some(Box::new(recover::Recover)),
         "panic-probe" => Some(Box::new(recover::PanicProbe)),
+        "verify" => Some(Box::new(verify::Verify::default())),
         _ => None,
     }
 }
@@ -291,6 +297,7 @@ mod tests {
             "eet",
             "recover",
             "panic-probe",
+            "verify",
         ] {
             assert!(make_oracle(name).is_some(), "{name}");
         }

@@ -180,7 +180,10 @@ impl Oracle for Recover {
                 TestOutcome::Bug(BugReport {
                     oracle: "recover",
                     kind,
-                    queries: script.iter().map(|s| ("script".into(), s.to_string())).collect(),
+                    queries: script
+                        .iter()
+                        .map(|s| ("script".into(), s.to_string()))
+                        .collect(),
                     detail: format!(
                         "{detail}\nrepro: script_seed={script_seed:#x} fault_seed={fault_seed:#x} \
                          ckpt_seed={ckpt_seed:#x} media_seed={media_seed:#x} {} \
@@ -318,8 +321,16 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         for _ in 0..250 {
             if let TestOutcome::Bug(r) = oracle.run_one(&mut session, &schema, &mut rng) {
-                assert!(r.detail.contains("media_seed="), "media seed missing: {}", r.detail);
-                assert!(r.detail.contains("media:"), "media describe missing: {}", r.detail);
+                assert!(
+                    r.detail.contains("media_seed="),
+                    "media seed missing: {}",
+                    r.detail
+                );
+                assert!(
+                    r.detail.contains("media:"),
+                    "media describe missing: {}",
+                    r.detail
+                );
                 return;
             }
         }
@@ -336,9 +347,21 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..120 {
             if let TestOutcome::Bug(r) = oracle.run_one(&mut session, &schema, &mut rng) {
-                assert!(r.detail.contains("crash at op"), "describe() missing: {}", r.detail);
-                assert!(r.detail.contains("ckpt_seed="), "ckpt seed missing: {}", r.detail);
-                assert!(r.detail.contains("checkpoints="), "schedule missing: {}", r.detail);
+                assert!(
+                    r.detail.contains("crash at op"),
+                    "describe() missing: {}",
+                    r.detail
+                );
+                assert!(
+                    r.detail.contains("ckpt_seed="),
+                    "ckpt seed missing: {}",
+                    r.detail
+                );
+                assert!(
+                    r.detail.contains("checkpoints="),
+                    "schedule missing: {}",
+                    r.detail
+                );
                 return;
             }
         }

@@ -143,9 +143,7 @@ impl RecoveryCase {
         let media_cost = match self.media.mode {
             MediaMode::None => 0,
             MediaMode::NoSpace { .. } => 1,
-            MediaMode::Rot { .. }
-            | MediaMode::TransientRead { .. }
-            | MediaMode::PermanentRead => 2,
+            MediaMode::Rot { .. } | MediaMode::TransientRead { .. } | MediaMode::PermanentRead => 2,
         };
         self.script.len() * 100 + self.checkpoints.len() * 10 + mode_cost + media_cost
     }
@@ -240,9 +238,7 @@ fn simpler_media(media: &MediaPlan) -> Vec<MediaPlan> {
                 });
             }
         }
-        MediaMode::None
-        | MediaMode::Rot { .. }
-        | MediaMode::PermanentRead => {}
+        MediaMode::None | MediaMode::Rot { .. } | MediaMode::PermanentRead => {}
     }
     out
 }
@@ -273,11 +269,8 @@ pub fn reduce_recovery(case: &RecoveryCase, dialect: Dialect, bugs: &BugRegistry
             while i < current.script.len() {
                 let mut candidate = current.clone();
                 candidate.script.remove(i);
-                candidate.checkpoints = remap_checkpoints(
-                    &current.checkpoints,
-                    i,
-                    candidate.script.len(),
-                );
+                candidate.checkpoints =
+                    remap_checkpoints(&current.checkpoints, i, candidate.script.len());
                 if recovery_still_failing(&candidate, dialect, bugs) {
                     current = candidate;
                     progressed = true;
@@ -614,7 +607,11 @@ mod tests {
         assert!(
             reduced.script.len() < case.script.len(),
             "script should shrink: {:?}",
-            reduced.script.iter().map(|s| s.to_string()).collect::<Vec<_>>()
+            reduced
+                .script
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
         );
         assert_eq!(
             reduced.checkpoints.len(),
@@ -671,7 +668,11 @@ mod tests {
         assert!(
             reduced.script.is_empty(),
             "the read-path fault needs no script at all: {:?}",
-            reduced.script.iter().map(|s| s.to_string()).collect::<Vec<_>>()
+            reduced
+                .script
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
         );
         assert!(reduced.size() < case.size());
     }

@@ -1232,6 +1232,68 @@ mod tests {
         }
     }
 
+    /// The `verify` oracle catches plan-corrupting mutants *statically*:
+    /// the corrupted plan tree itself is the finding — no row executed —
+    /// and findings attribute through the standard replay machinery,
+    /// reproducing from (state_idx, test_idx) alone.
+    #[test]
+    fn verify_oracle_catches_plan_corrupting_mutants_statically() {
+        // Engine family: illegal LEFT-JOIN pushdown is visible as a
+        // Filtered node below the null-padded side.
+        let bug = BugId::DuckdbPushdownLeftJoin;
+        let cfg = CampaignConfig {
+            bugs: BugRegistry::only(bug),
+            tests: 40,
+            stop_on_first_bug: true,
+            ..CampaignConfig::new(bug.dialect())
+        };
+        let mut oracle = make_oracle("verify").unwrap();
+        let mut result = run_campaign(oracle.as_mut(), &cfg);
+        assert!(!result.findings.is_empty(), "verify never caught {bug:?}");
+        attribute_bugs(&mut result, &cfg, "verify");
+        assert!(
+            result.unique_attributed_bugs().contains(&bug),
+            "attribution failed: {:#?}",
+            result.findings
+        );
+
+        // Index family: seek-bound tightening and wrong sort-elimination
+        // direction are visible in the seek node itself.
+        for bug in [
+            IndexBugId::RangeBoundOffByOne,
+            IndexBugId::SortElimWrongDirection,
+        ] {
+            let cfg = CampaignConfig {
+                bugs: BugRegistry::only_index(bug),
+                tests: 40,
+                stop_on_first_bug: true,
+                ..CampaignConfig::new(Dialect::Sqlite)
+            };
+            let mut oracle = make_oracle("verify").unwrap();
+            let mut result = run_campaign(oracle.as_mut(), &cfg);
+            assert!(!result.findings.is_empty(), "verify never caught {bug:?}");
+            attribute_bugs_parallel(&mut result, &cfg, "verify", 2);
+            assert!(
+                result
+                    .findings
+                    .iter()
+                    .any(|f| f.attributed_index.contains(&bug)),
+                "no finding attributed to {bug:?}: {:#?}",
+                result.findings
+            );
+        }
+
+        // A clean engine sails through a verify campaign finding nothing.
+        let cfg = CampaignConfig {
+            tests: 60,
+            ..CampaignConfig::new(Dialect::Sqlite)
+        };
+        let mut oracle = make_oracle("verify").unwrap();
+        let result = run_campaign(oracle.as_mut(), &cfg);
+        assert!(result.findings.is_empty(), "{:#?}", result.findings);
+        assert_eq!(result.tests_run, 60);
+    }
+
     #[test]
     fn parallel_attribution_matches_sequential() {
         let cfg = CampaignConfig {

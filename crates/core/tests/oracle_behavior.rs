@@ -229,7 +229,7 @@ fn fuel_exhaustion_reports_cleanly() {
             row_count: 200,
         }],
         indexes: vec![],
-            indexed_columns: vec![],
+        indexed_columns: vec![],
         dialect: Some(Dialect::Sqlite),
     };
     let mut oracle = make_oracle("codd").unwrap();

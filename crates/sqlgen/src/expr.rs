@@ -152,8 +152,7 @@ impl<'a> ExprGen<'a> {
                 .iter()
                 .filter(|c| {
                     self.schema.indexed_columns.iter().any(|(t, ic)| {
-                        ic.eq_ignore_ascii_case(&c.column)
-                            && c.table.eq_ignore_ascii_case(t)
+                        ic.eq_ignore_ascii_case(&c.column) && c.table.eq_ignore_ascii_case(t)
                     })
                 })
                 .collect();

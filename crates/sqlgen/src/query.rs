@@ -7,7 +7,9 @@
 //! [`build_projection_query`] wrap a predicate into the original-query
 //! shapes used by the oracles.
 
-use coddb::ast::{BinaryOp, Expr, JoinKind, OrderItem, Select, SelectCore, SelectItem, SortOrder, TableExpr};
+use coddb::ast::{
+    BinaryOp, Expr, JoinKind, OrderItem, Select, SelectCore, SelectItem, SortOrder, TableExpr,
+};
 use coddb::value::DataType;
 use coddb::Dialect;
 use rand::{Rng, RngExt};

@@ -76,8 +76,8 @@ fn main() {
         wal.durable_snapshot_stmts()
     );
     let (recovered, info) = recover_detailed(
-        &wal.image().to_vec(),
-        &wal.snapshot_image().to_vec(),
+        wal.image(),
+        wal.snapshot_image(),
         Dialect::Sqlite,
         &BugRegistry::none(),
     )
@@ -93,7 +93,10 @@ fn main() {
     for row in &rel.rows {
         println!("  account {} balance {}", row[0], row[1]);
     }
-    assert!(info.snapshot_stmts.is_some(), "must not fall back to genesis");
+    assert!(
+        info.snapshot_stmts.is_some(),
+        "must not fall back to genesis"
+    );
     println!();
 
     // 2. Inject a checkpoint-path mutant: recovery prefers the *oldest*
@@ -266,7 +269,10 @@ fn main() {
     println!("{}\n", finding.report.to_display());
     attribute_bugs(&mut result, &cfg, "recover");
     let finding = &result.findings[0];
-    println!("attributed to media mutant(s): {:?}", finding.attributed_media);
+    println!(
+        "attributed to media mutant(s): {:?}",
+        finding.attributed_media
+    );
     assert!(finding.attributed_media.contains(&mbug));
     assert!(finding.attributed_recovery.is_empty() && finding.attributed.is_empty());
     println!("\nmedia fault detected, attributed and reproducible — done.");
